@@ -1,0 +1,104 @@
+// §2.2/§2.3 ablation: Block Lookup Table implementations.
+//
+// The paper mentions both an extent tree ("a high-performance data
+// structure", §2.2) and a byte array ("one byte per 4 KB … less than
+// 0.025% of space overhead", §2.3). This google-benchmark binary measures
+// real CPU time for lookups, updates, and run decomposition on both, for a
+// contiguous file and a fragmented one, and prints the memory footprints.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/core/block_lookup_table.h"
+
+namespace mux::core {
+namespace {
+
+constexpr uint64_t kFileBlocks = 256 * 1024;  // 1 GiB of 4K blocks
+
+std::unique_ptr<BlockLookupTable> MakeContiguous(BltKind kind) {
+  auto blt = MakeBlt(kind);
+  blt->SetRange(0, kFileBlocks, 0);
+  return blt;
+}
+
+std::unique_ptr<BlockLookupTable> MakeFragmented(BltKind kind) {
+  auto blt = MakeBlt(kind);
+  // Alternate tiers every few blocks: a worst case for the extent tree.
+  Rng rng(3);
+  uint64_t pos = 0;
+  while (pos < kFileBlocks) {
+    const uint64_t len = 1 + rng.Below(4);
+    blt->SetRange(pos, len, static_cast<TierId>(rng.Below(3)));
+    pos += len;
+  }
+  return blt;
+}
+
+template <BltKind kKind, bool kFragmented>
+void BM_Lookup(benchmark::State& state) {
+  auto blt = kFragmented ? MakeFragmented(kKind) : MakeContiguous(kKind);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blt->Lookup(rng.Below(kFileBlocks)));
+  }
+}
+BENCHMARK(BM_Lookup<BltKind::kExtentTree, false>)->Name("Lookup/extent/contig");
+BENCHMARK(BM_Lookup<BltKind::kByteArray, false>)->Name("Lookup/byte/contig");
+BENCHMARK(BM_Lookup<BltKind::kExtentTree, true>)->Name("Lookup/extent/frag");
+BENCHMARK(BM_Lookup<BltKind::kByteArray, true>)->Name("Lookup/byte/frag");
+
+template <BltKind kKind>
+void BM_SetRange(benchmark::State& state) {
+  auto blt = MakeContiguous(kKind);
+  Rng rng(9);
+  for (auto _ : state) {
+    const uint64_t first = rng.Below(kFileBlocks - 64);
+    blt->SetRange(first, 1 + rng.Below(64), static_cast<TierId>(rng.Below(3)));
+  }
+}
+BENCHMARK(BM_SetRange<BltKind::kExtentTree>)->Name("SetRange/extent");
+BENCHMARK(BM_SetRange<BltKind::kByteArray>)->Name("SetRange/byte");
+
+template <BltKind kKind, bool kFragmented>
+void BM_Runs(benchmark::State& state) {
+  auto blt = kFragmented ? MakeFragmented(kKind) : MakeContiguous(kKind);
+  Rng rng(11);
+  for (auto _ : state) {
+    const uint64_t first = rng.Below(kFileBlocks - 256);
+    benchmark::DoNotOptimize(blt->Runs(first, 256));
+  }
+}
+BENCHMARK(BM_Runs<BltKind::kExtentTree, false>)->Name("Runs256/extent/contig");
+BENCHMARK(BM_Runs<BltKind::kByteArray, false>)->Name("Runs256/byte/contig");
+BENCHMARK(BM_Runs<BltKind::kExtentTree, true>)->Name("Runs256/extent/frag");
+BENCHMARK(BM_Runs<BltKind::kByteArray, true>)->Name("Runs256/byte/frag");
+
+void PrintMemoryFootprints() {
+  auto report = [](const char* label, const BlockLookupTable& blt) {
+    const double overhead = static_cast<double>(blt.MemoryBytes()) /
+                            static_cast<double>(kFileBlocks * 4096) * 100.0;
+    std::printf("  %-24s %10.1f KiB  (%.5f%% of 1 GiB file; paper bound "
+                "0.025%%)\n",
+                label, static_cast<double>(blt.MemoryBytes()) / 1024.0,
+                overhead);
+  };
+  std::printf("\nBLT memory footprint, 1 GiB file:\n");
+  report("extent tree, contiguous", *MakeContiguous(BltKind::kExtentTree));
+  report("byte array,  contiguous", *MakeContiguous(BltKind::kByteArray));
+  report("extent tree, fragmented", *MakeFragmented(BltKind::kExtentTree));
+  report("byte array,  fragmented", *MakeFragmented(BltKind::kByteArray));
+}
+
+}  // namespace
+}  // namespace mux::core
+
+int main(int argc, char** argv) {
+  std::printf("=== Sec 2.2/2.3 ablation: Block Lookup Table structures ===\n");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  mux::core::PrintMemoryFootprints();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// §2.5 ablation: the SCM cache — off vs plain-LRU vs MGLRU.
+//
+// The paper: Mux uses SCM (PM) as a shared cache above the per-FS DRAM page
+// caches, DAX-mapped, with Multi-generational LRU replacement ("the
+// algorithm Linux uses for its page caches"). Two workloads:
+//   1. Zipfian reads over an HDD-resident file — a skewed working set the
+//      cache should capture (hit rate + mean latency reported).
+//   2. The same, with a periodic full scan mixed in — MGLRU's
+//      scan-resistance vs plain LRU's pollution.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/histogram.h"
+
+namespace mux::bench {
+namespace {
+
+constexpr uint64_t kFileBlocks = 8192;           // 32 MiB on HDD
+constexpr uint64_t kCacheBlocks = 1024;          // 4 MiB SCM cache
+constexpr int kReads = 40000;
+
+struct CacheResult {
+  double mean_ns = 0;
+  double hit_rate = 0;
+};
+
+enum class CacheMode { kOff, kLru, kMglru };
+
+CacheResult RunWorkload(CacheMode mode, bool with_scans) {
+  core::Mux::Options options;
+  options.policy = "pin";
+  options.policy_args = "/=hdd";
+  if (mode != CacheMode::kOff) {
+    options.enable_scm_cache = true;
+    options.cache.capacity_blocks = kCacheBlocks;
+    options.cache.use_mglru = mode == CacheMode::kMglru;
+    options.cache.admission_threshold = 2;
+  }
+  // The paper's premise (§2.5): DRAM is hard to scale, so the per-FS DRAM
+  // page cache is small and SCM takes over the caching role.
+  MuxRigSizes sizes;
+  sizes.extlite_cache_pages = 128;  // 512 KiB of DRAM cache on the HDD FS
+  MuxRig rig(options, sizes);
+  if (!rig.ok()) {
+    return {};
+  }
+  auto& mux = rig.mux();
+  auto h = mux.Open("/data", vfs::OpenFlags::kCreateRw);
+  if (!h.ok()) {
+    return {};
+  }
+  if (!SequentialWrite(mux, *h, kFileBlocks * 4096, 1 << 20, 1).ok()) {
+    return {};
+  }
+  if (!mux.Fsync(*h, false).ok()) {
+    return {};
+  }
+
+  ZipfianGenerator zipf(kFileBlocks, 0.99, 42);
+  std::vector<uint8_t> out(4096);
+  // Warm up the cache on the skewed distribution.
+  for (int i = 0; i < kReads / 2; ++i) {
+    (void)mux.Read(*h, zipf.Next() * 4096, 4096, out.data());
+  }
+  Histogram latencies;
+  int scan_cursor = 0;
+  for (int i = 0; i < kReads; ++i) {
+    uint64_t block;
+    if (with_scans && i % 4 == 3) {
+      // A streaming scan touches every block exactly once per sweep.
+      block = scan_cursor++ % kFileBlocks;
+    } else {
+      block = zipf.Next();
+    }
+    const SimTime t0 = rig.clock().Now();
+    (void)mux.Read(*h, block * 4096, 4096, out.data());
+    latencies.Add(rig.clock().Now() - t0);
+  }
+  CacheResult result;
+  result.mean_ns = latencies.Mean();
+  auto stats = mux.CacheStats();
+  const uint64_t lookups = stats.hits + stats.misses;
+  result.hit_rate =
+      lookups > 0 ? static_cast<double>(stats.hits) / lookups : 0.0;
+  return result;
+}
+
+int Run() {
+  PrintHeader("Sec 2.5 ablation: SCM cache (off / LRU / MGLRU)");
+  struct Row {
+    const char* label;
+    CacheMode mode;
+    bool scans;
+  };
+  const Row rows[] = {
+      {"zipfian, cache off", CacheMode::kOff, false},
+      {"zipfian, LRU cache", CacheMode::kLru, false},
+      {"zipfian, MGLRU cache", CacheMode::kMglru, false},
+      {"zipfian + scans, LRU cache", CacheMode::kLru, true},
+      {"zipfian + scans, MGLRU cache", CacheMode::kMglru, true},
+  };
+  std::printf("  %-32s %14s %10s\n", "workload", "mean read ns", "hit rate");
+  for (const Row& row : rows) {
+    const CacheResult result = RunWorkload(row.mode, row.scans);
+    std::printf("  %-32s %14.0f %9.1f%%\n", row.label, result.mean_ns,
+                result.hit_rate * 100.0);
+  }
+  std::printf(
+      "\n  (MGLRU admits one-touch scan blocks into the oldest generation,\n"
+      "   so sweeps do not flush the zipfian working set the way they do\n"
+      "   under plain LRU.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mux::bench
+
+int main() { return mux::bench::Run(); }

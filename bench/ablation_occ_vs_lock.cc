@@ -1,0 +1,146 @@
+// §2.4 ablation: the OCC Synchronizer vs lock-based migration.
+//
+// The paper's claim: OCC keeps conflict checking off the critical path — a
+// migration copies without blocking writers, validates versions, retries
+// the few conflicted blocks, and only falls back to a lock when retries are
+// exhausted; "this scheme minimizes the critical path of user requests and
+// enables the parallel execution of migration without pessimistic blocking".
+//
+// The experiment runs real threads: a writer hammers a file while the file
+// migrates between tiers, once against Mux (OCC) and once against Strata
+// (per-block file locking). Reported:
+//   * writer throughput achieved DURING migration (wall-clock ops/s),
+//   * Mux's OCC telemetry: passes, clean commits, conflicts, retried
+//     blocks, lock fallbacks.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace mux::bench {
+namespace {
+
+constexpr uint64_t kBlocks = 2048;  // 8 MiB file
+constexpr int kMigrationRounds = 6;
+
+struct RunResult {
+  double writer_ops_per_sec = 0;
+  uint64_t migrations = 0;
+};
+
+template <typename MigrateFn, typename Fs>
+RunResult RunContended(Fs& fs, vfs::FileHandle handle, MigrateFn migrate) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::thread writer([&] {
+    Rng rng(21);
+    uint8_t stamp[64];
+    rng.Fill(stamp, sizeof(stamp));
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t block = rng.Below(kBlocks);
+      if (!fs.Write(handle, block * 4096, stamp, sizeof(stamp)).ok()) {
+        break;
+      }
+      writes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Writer throughput is sampled strictly INSIDE migration windows — the
+  // paper's point is what happens to user requests while data moves.
+  uint64_t migrations = 0;
+  uint64_t ops_during = 0;
+  double seconds_during = 0;
+  for (int round = 0; round < kMigrationRounds; ++round) {
+    const uint64_t ops_before = writes.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = migrate(round).ok();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (ok) {
+      migrations++;
+      ops_during += writes.load(std::memory_order_relaxed) - ops_before;
+      seconds_during += std::chrono::duration<double>(t1 - t0).count();
+    }
+  }
+  stop.store(true);
+  writer.join();
+
+  RunResult result;
+  result.writer_ops_per_sec =
+      seconds_during > 0 ? static_cast<double>(ops_during) / seconds_during
+                         : 0;
+  result.migrations = migrations;
+  return result;
+}
+
+int Run() {
+  PrintHeader("Sec 2.4 ablation: OCC synchronizer vs lock-based migration");
+
+  // --- Mux: OCC migration ----------------------------------------------
+  MuxRig rig;
+  if (!rig.ok()) {
+    return 1;
+  }
+  auto& mux = rig.mux();
+  auto mh = mux.Open("/contended", vfs::OpenFlags::kCreateRw);
+  if (!mh.ok()) {
+    return 1;
+  }
+  if (!SequentialWrite(mux, *mh, kBlocks * 4096, 1 << 20, 1).ok()) {
+    return 1;
+  }
+  const core::TierId ring[3] = {rig.ssd_tier(), rig.hdd_tier(),
+                                rig.pm_tier()};
+  auto mux_result = RunContended(mux, *mh, [&](int round) {
+    return mux.MigrateFile("/contended", ring[round % 3]);
+  });
+  auto occ = mux.stats().occ;
+
+  // --- Strata: lock-based migration --------------------------------------
+  StrataRig srig;
+  if (!srig.ok()) {
+    return 1;
+  }
+  auto& strata_fs = srig.fs();
+  auto sh = strata_fs.Open("/contended", vfs::OpenFlags::kCreateRw);
+  if (!sh.ok()) {
+    return 1;
+  }
+  if (!SequentialWrite(strata_fs, *sh, kBlocks * 4096, 1 << 20, 1).ok()) {
+    return 1;
+  }
+  // Strata only migrates PM->{SSD,HDD}; round-trip by rewriting to PM.
+  auto strata_result = RunContended(strata_fs, *sh, [&](int round) -> Status {
+    MUX_RETURN_IF_ERROR(strata_fs.DigestAll());
+    return strata_fs.MigrateFile("/contended", strata::Tier::kPm,
+                                 round % 2 == 0 ? strata::Tier::kSsd
+                                                : strata::Tier::kHdd);
+  });
+
+  std::printf("  %-34s %14s %12s\n", "system",
+              "ops/s in-mig", "migrations");
+  std::printf("  %-34s %14.0f %12llu\n", "Mux (OCC synchronizer)",
+              mux_result.writer_ops_per_sec,
+              static_cast<unsigned long long>(mux_result.migrations));
+  std::printf("  %-34s %14.0f %12llu\n", "Strata (per-block file lock)",
+              strata_result.writer_ops_per_sec,
+              static_cast<unsigned long long>(strata_result.migrations));
+
+  std::printf("\n  Mux OCC telemetry:\n");
+  PrintRow("validation passes", static_cast<double>(occ.passes), "");
+  PrintRow("clean commits", static_cast<double>(occ.clean_commits), "");
+  PrintRow("conflicting passes", static_cast<double>(occ.conflicts), "");
+  PrintRow("blocks retried", static_cast<double>(occ.retried_blocks), "");
+  PrintRow("lock fallbacks", static_cast<double>(occ.lock_fallbacks), "");
+  std::printf(
+      "\n  (OCC lets the writer run during the copy phase; conflicts are\n"
+      "   resolved by re-copying only the dirtied blocks, and the lock\n"
+      "   fallback bounds the retry count, so migration always finishes.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mux::bench
+
+int main() { return mux::bench::Run(); }

@@ -1,0 +1,116 @@
+// §4 ablation ("Improving The I/O Scheduler"): dispatch orders on a
+// seek-bound device.
+//
+// The same batch of requests — a scattered mix of small reads/writes plus a
+// few large streaming transfers, with one high-priority request — is
+// dispatched to the HDD-backed tier under each algorithm. Reported: total
+// simulated completion time and the finishing position of the
+// high-priority request.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/io_scheduler.h"
+
+namespace mux::bench {
+namespace {
+
+constexpr int kSmallRequests = 96;
+constexpr int kLargeRequests = 4;
+
+struct SchedResult {
+  SimTime completion_ns = 0;
+  double mean_finish_ns = 0;   // mean per-request completion time (wait)
+  int priority_position = -1;  // dispatch index of the priority request
+};
+
+SchedResult RunAlgo(core::SchedAlgo algo) {
+  SimClock clock;
+  device::BlockDevice hdd(device::DeviceProfile::ExosHdd(512ULL << 20),
+                          &clock);
+  core::IoScheduler sched(algo, &clock);
+  core::TierInfo tier;
+  tier.id = 0;
+  tier.name = "hdd";
+  tier.profile = hdd.profile();
+  sched.RegisterTier(tier);
+
+  Rng rng(17);
+  int dispatch_counter = 0;
+  SchedResult result;
+  auto buf = std::make_shared<std::vector<uint8_t>>(1 << 20);
+  auto finish_sum = std::make_shared<double>(0.0);
+
+  auto submit = [&](uint64_t offset, uint64_t bytes, bool is_write,
+                    int priority, bool is_priority_probe) {
+    core::IoRequest request;
+    request.tier = 0;
+    request.is_write = is_write;
+    request.offset = offset;
+    request.bytes = bytes;
+    request.priority = priority;
+    request.execute = [&hdd, &clock, &dispatch_counter, &result, offset,
+                       bytes, is_write, is_priority_probe, buf,
+                       finish_sum]() -> Status {
+      const uint64_t lba = offset / 4096;
+      const uint32_t blocks = static_cast<uint32_t>(bytes / 4096);
+      Status s = is_write ? hdd.WriteBlocks(lba, blocks, buf->data())
+                          : hdd.ReadBlocks(lba, blocks, buf->data());
+      *finish_sum += static_cast<double>(clock.Now());
+      if (is_priority_probe && result.priority_position < 0) {
+        result.priority_position = dispatch_counter;
+      }
+      dispatch_counter++;
+      return s;
+    };
+    return sched.Submit(std::move(request));
+  };
+
+  for (int i = 0; i < kSmallRequests; ++i) {
+    const uint64_t offset = rng.Below(100000) * 4096;
+    (void)submit(offset, 4096, rng.OneIn(2), 1, false);
+  }
+  for (int i = 0; i < kLargeRequests; ++i) {
+    (void)submit(rng.Below(1000) * 4096, 1 << 20, false, 1, false);
+  }
+  // One latency-critical request, submitted last.
+  (void)submit(rng.Below(100000) * 4096, 4096, false, 0, true);
+
+  SimTimer timer(clock);
+  (void)sched.RunAll();
+  result.completion_ns = timer.Elapsed();
+  result.mean_finish_ns =
+      dispatch_counter > 0 ? *finish_sum / dispatch_counter : 0;
+  return result;
+}
+
+int Run() {
+  PrintHeader("Sec 4 ablation: I/O scheduler dispatch orders (HDD tier)");
+  struct Row {
+    const char* label;
+    core::SchedAlgo algo;
+  };
+  const Row rows[] = {
+      {"fifo (arrival order)", core::SchedAlgo::kFifo},
+      {"cost-based (cheapest first)", core::SchedAlgo::kCostBased},
+      {"elevator (offset order)", core::SchedAlgo::kElevator},
+  };
+  std::printf("  %-30s %14s %14s %16s\n", "algorithm", "total ms",
+              "mean wait ms", "priority pos");
+  for (const Row& row : rows) {
+    const SchedResult result = RunAlgo(row.algo);
+    std::printf("  %-30s %14.1f %14.1f %13d/%d\n", row.label,
+                static_cast<double>(result.completion_ns) / 1e6,
+                result.mean_finish_ns / 1e6, result.priority_position + 1,
+                kSmallRequests + kLargeRequests + 1);
+  }
+  std::printf(
+      "\n  (The elevator cuts seek time on the HDD; priorities dispatch\n"
+      "   first under every algorithm — the hooks §4's 'Configuring Mux'\n"
+      "   asks for.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mux::bench
+
+int main() { return mux::bench::Run(); }

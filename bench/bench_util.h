@@ -1,0 +1,76 @@
+// Shared helpers for the benchmark binaries: the full Mux stack rig (reused
+// from the tests), a Strata rig, and table formatting. Every benchmark
+// reports *simulated* time from the shared SimClock, so results are
+// deterministic and hardware-independent (see DESIGN.md).
+#ifndef MUX_BENCH_BENCH_UTIL_H_
+#define MUX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/strata/strata.h"
+#include "tests/mux_rig.h"
+
+namespace mux::bench {
+
+using testing::MuxRig;
+using testing::MuxRigSizes;
+
+// Strata over the same simulated device triple.
+class StrataRig {
+ public:
+  explicit StrataRig(MuxRigSizes sizes = MuxRigSizes())
+      : pm_(device::DeviceProfile::OptanePm(sizes.pm_bytes), &clock_),
+        ssd_(device::DeviceProfile::OptaneSsd(sizes.ssd_bytes), &clock_),
+        hdd_(device::DeviceProfile::ExosHdd(sizes.hdd_bytes), &clock_),
+        fs_(&pm_, &ssd_, &hdd_, &clock_) {
+    ok_ = fs_.Format().ok();
+  }
+
+  bool ok() const { return ok_; }
+  strata::StrataFs& fs() { return fs_; }
+  SimClock& clock() { return clock_; }
+
+ private:
+  SimClock clock_;
+  device::PmDevice pm_;
+  device::BlockDevice ssd_;
+  device::BlockDevice hdd_;
+  strata::StrataFs fs_;
+  bool ok_ = false;
+};
+
+inline std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+// Writes `total` bytes in `chunk`-sized sequential pieces.
+inline Status SequentialWrite(vfs::FileSystem& fs, vfs::FileHandle handle,
+                              uint64_t total, uint64_t chunk, uint64_t seed) {
+  auto data = Pattern(chunk, seed);
+  for (uint64_t off = 0; off < total; off += chunk) {
+    MUX_RETURN_IF_ERROR(
+        fs.Write(handle, off, data.data(), std::min(chunk, total - off))
+            .status());
+  }
+  return Status::Ok();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const char* label, double value, const char* unit) {
+  std::printf("  %-38s %12.2f %s\n", label, value, unit);
+}
+
+}  // namespace mux::bench
+
+#endif  // MUX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,108 @@
+// Figure 3(b): per-device I/O throughput, Strata vs Mux.
+//
+// Paper result being reproduced: with the I/O request stream directed at a
+// single target device (random writes; the paper uses Strata's
+// microbenchmark with 90 GB, scaled down here), Mux beats Strata by 1.08x
+// (PM), 1.46x (SSD), and 1.07x (HDD). The causes the paper identifies:
+// Strata logs every write to PM first (write amplification — fatal for the
+// PM target where NOVA writes direct via DAX, and an extra copy for
+// SSD/HDD), while Mux delegates to the device-specialized file system.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace mux::bench {
+namespace {
+
+constexpr uint64_t kTotalBytes = 48ULL << 20;  // paper: 90 GB, scaled
+constexpr uint64_t kIoSize = 16 << 10;         // random 16K writes
+constexpr uint64_t kFileSpan = 48ULL << 20;
+
+// Random writes across the file span, all blocks landing on one tier.
+template <typename Fs>
+Status RandomWrites(Fs& fs, vfs::FileHandle handle, uint64_t seed) {
+  Rng rng(seed);
+  auto data = Pattern(kIoSize, seed);
+  const uint64_t slots = kFileSpan / kIoSize;
+  for (uint64_t written = 0; written < kTotalBytes; written += kIoSize) {
+    const uint64_t off = rng.Below(slots) * kIoSize;
+    MUX_RETURN_IF_ERROR(fs.Write(handle, off, data.data(), kIoSize).status());
+  }
+  return fs.Fsync(handle, /*data_only=*/false);
+}
+
+double MuxThroughput(const char* tier_name) {
+  core::Mux::Options options;
+  options.policy = "pin";
+  options.policy_args = std::string("/=") + tier_name;
+  MuxRigSizes sizes;
+  sizes.pm_bytes = 96ULL << 20;
+  sizes.ssd_bytes = 128ULL << 20;
+  sizes.hdd_bytes = 192ULL << 20;
+  MuxRig rig(options, sizes);
+  if (!rig.ok()) {
+    return 0;
+  }
+  auto& mux = rig.mux();
+  auto h = mux.Open("/target", vfs::OpenFlags::kCreateRw);
+  if (!h.ok()) {
+    return 0;
+  }
+  SimTimer timer(rig.clock());
+  if (!RandomWrites(mux, *h, 7).ok()) {
+    return 0;
+  }
+  return ThroughputMBps(kTotalBytes, timer.Elapsed());
+}
+
+double StrataThroughput(strata::Tier tier) {
+  MuxRigSizes sizes;
+  sizes.pm_bytes = 96ULL << 20;
+  sizes.ssd_bytes = 128ULL << 20;
+  sizes.hdd_bytes = 192ULL << 20;
+  StrataRig rig(sizes);
+  if (!rig.ok()) {
+    return 0;
+  }
+  auto& fs = rig.fs();
+  auto h = fs.Open("/target", vfs::OpenFlags::kCreateRw);
+  if (!h.ok()) {
+    return 0;
+  }
+  if (!fs.SetFileTier("/target", tier).ok()) {
+    return 0;
+  }
+  SimTimer timer(rig.clock());
+  if (!RandomWrites(fs, *h, 7).ok()) {
+    return 0;
+  }
+  if (!fs.DigestAll().ok()) {  // drain to the target device
+    return 0;
+  }
+  return ThroughputMBps(kTotalBytes, timer.Elapsed());
+}
+
+int Run() {
+  PrintHeader("Figure 3b: single-device I/O throughput, Strata vs Mux");
+  const char* names[3] = {"pm", "ssd", "hdd"};
+  const char* labels[3] = {"PM", "SSD", "HDD"};
+  const strata::Tier tiers[3] = {strata::Tier::kPm, strata::Tier::kSsd,
+                                 strata::Tier::kHdd};
+  const double paper_speedup[3] = {1.08, 1.46, 1.07};
+  std::printf("  %-6s %14s %14s %10s %14s\n", "device", "Strata MB/s",
+              "Mux MB/s", "Mux/Strata", "paper");
+  for (int i = 0; i < 3; ++i) {
+    const double strata_mbps = StrataThroughput(tiers[i]);
+    const double mux_mbps = MuxThroughput(names[i]);
+    std::printf("  %-6s %14.0f %14.0f %9.2fx %13.2fx\n", labels[i],
+                strata_mbps, mux_mbps,
+                strata_mbps > 0 ? mux_mbps / strata_mbps : 0.0,
+                paper_speedup[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mux::bench
+
+int main() { return mux::bench::Run(); }

@@ -1,0 +1,120 @@
+// hotplug_tiers — runtime integration and removal of storage (paper §2.1):
+// "To add a new device and the corresponding file system, the user only
+//  needs to mount the new file system and register it with Mux ... To
+//  remove a device, data must be migrated first. Adding or removing a
+//  device can be done at runtime."
+//
+// The example starts with PM+HDD, later hot-adds an SSD tier (a MemFs even —
+// ANY vfs::FileSystem plugs in), rebalances onto it, then drains and removes
+// the PM tier while files stay readable throughout.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/mux.h"
+#include "src/device/block_device.h"
+#include "src/device/pm_device.h"
+#include "src/fs/extlite/extlite.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/fs/xfslite/xfslite.h"
+#include "src/vfs/memfs.h"
+
+using namespace mux;
+
+namespace {
+
+bool Verify(core::Mux& mux, const std::string& path,
+            const std::vector<uint8_t>& expected) {
+  auto h = mux.Open(path, vfs::OpenFlags::kRead);
+  if (!h.ok()) {
+    return false;
+  }
+  std::vector<uint8_t> out(expected.size());
+  auto n = mux.Read(*h, 0, out.size(), out.data());
+  (void)mux.Close(*h);
+  return n.ok() && *n == expected.size() && out == expected;
+}
+
+void PrintTiers(core::Mux& mux) {
+  std::printf("  registered tiers:");
+  for (const auto& usage : mux.TierUsages()) {
+    std::printf(" %s(%.0f%% used)", usage.name.c_str(),
+                usage.UsedFraction() * 100);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  device::PmDevice pm(device::DeviceProfile::OptanePm(32ULL << 20), &clock);
+  device::BlockDevice ssd(device::DeviceProfile::OptaneSsd(64ULL << 20),
+                          &clock);
+  device::BlockDevice hdd(device::DeviceProfile::ExosHdd(128ULL << 20),
+                          &clock);
+  fs::NovaFs novafs(&pm, &clock);
+  fs::XfsLite xfslite(&ssd, &clock);
+  fs::ExtLite extlite(&hdd, &clock);
+  if (!novafs.Format().ok() || !xfslite.Format().ok() ||
+      !extlite.Format().ok()) {
+    return 1;
+  }
+
+  core::Mux mux(&clock);
+  (void)mux.AddTier("pm", &novafs, pm.profile());
+  (void)mux.AddTier("hdd", &extlite, hdd.profile());
+  std::printf("boot with two tiers:\n");
+  PrintTiers(mux);
+
+  // Some data, written while only PM+HDD exist.
+  std::vector<uint8_t> payload(4 << 20);
+  Rng rng(3);
+  rng.Fill(payload.data(), payload.size());
+  for (const char* path : {"/a", "/b", "/c"}) {
+    auto h = mux.Open(path, vfs::OpenFlags::kCreateRw);
+    if (!h.ok() || !mux.Write(*h, 0, payload.data(), payload.size()).ok()) {
+      return 1;
+    }
+    (void)mux.Close(*h);
+  }
+
+  // --- hot-add the SSD tier ------------------------------------------------
+  std::printf("\nhot-adding the SSD tier (xfslite, freshly mounted):\n");
+  auto ssd_tier = mux.AddTier("ssd", &xfslite, ssd.profile());
+  if (!ssd_tier.ok()) {
+    return 1;
+  }
+  PrintTiers(mux);
+  (void)mux.MigrateFile("/b", *ssd_tier);  // rebalance something onto it
+  std::printf("  /b migrated to the new tier; intact: %s\n",
+              Verify(mux, "/b", payload) ? "yes" : "NO");
+
+  // --- hot-add an arbitrary FileSystem — extensibility in its purest form —
+  SimClock* same_clock = &clock;
+  vfs::MemFs scratch(same_clock);
+  auto mem_tier = mux.AddTier("scratch-ram", &scratch,
+                              device::DeviceProfile::TestRam(64ULL << 20));
+  std::printf("\nhot-adding a MemFs as a fourth tier (any vfs::FileSystem "
+              "plugs in): %s\n",
+              mem_tier.ok() ? "ok" : "failed");
+  if (mem_tier.ok()) {
+    (void)mux.MigrateFile("/c", *mem_tier);
+    std::printf("  /c migrated to scratch-ram; intact: %s\n",
+                Verify(mux, "/c", payload) ? "yes" : "NO");
+    PrintTiers(mux);
+  }
+
+  // --- drain and remove the PM tier at runtime -----------------------------
+  std::printf("\nremoving the PM tier (data drains to the next tier):\n");
+  Status removed = mux.RemoveTier("pm");
+  std::printf("  RemoveTier(pm): %s\n", removed.ToString().c_str());
+  PrintTiers(mux);
+  bool all_ok = true;
+  for (const char* path : {"/a", "/b", "/c"}) {
+    all_ok &= Verify(mux, path, payload);
+  }
+  std::printf("  all files readable after removal: %s\n",
+              all_ok ? "yes" : "NO");
+  return all_ok && removed.ok() ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+// CRC32 (Castagnoli polynomial, table-driven) for on-disk structure
+// validation in journals and superblocks.
+#ifndef MUX_COMMON_CHECKSUM_H_
+#define MUX_COMMON_CHECKSUM_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace mux {
+
+namespace internal {
+constexpr uint32_t kCrc32cPoly = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kCrc32cPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+}  // namespace internal
+
+inline uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed = 0) {
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ internal::kCrcTable[(crc ^ data[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace mux
+
+#endif  // MUX_COMMON_CHECKSUM_H_

@@ -1,0 +1,4 @@
+#include "src/common/clock.h"
+
+// SimClock is header-only today; this translation unit anchors the library
+// and keeps room for future vtable-carrying clock variants.

@@ -1,0 +1,69 @@
+// Simulated time base.
+//
+// All device latencies and modelled CPU costs are charged to a SimClock
+// instead of wall-clock time. This makes every benchmark deterministic and
+// independent of host hardware: throughput = bytes / (end - start) in
+// simulated nanoseconds.
+//
+// The clock is shared by every component of one simulated machine (devices,
+// file systems, Mux). Threads advance it with atomic adds, so concurrent
+// stress tests remain safe; single-threaded benchmarks remain exactly
+// reproducible.
+#ifndef MUX_COMMON_CLOCK_H_
+#define MUX_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mux {
+
+// Nanoseconds of simulated time.
+using SimTime = uint64_t;
+
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  SimTime Now() const { return now_.load(std::memory_order_relaxed); }
+
+  // Charges `ns` of elapsed simulated time and returns the new time.
+  SimTime Advance(SimTime ns) {
+    return now_.fetch_add(ns, std::memory_order_relaxed) + ns;
+  }
+
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<SimTime> now_{0};
+};
+
+// A stopwatch over simulated time.
+class SimTimer {
+ public:
+  explicit SimTimer(const SimClock& clock)
+      : clock_(clock), start_(clock.Now()) {}
+
+  SimTime Elapsed() const { return clock_.Now() - start_; }
+  void Restart() { start_ = clock_.Now(); }
+
+ private:
+  const SimClock& clock_;
+  SimTime start_;
+};
+
+// Conversions used when reporting results.
+constexpr double NsToSeconds(SimTime ns) {
+  return static_cast<double>(ns) / 1e9;
+}
+constexpr double ThroughputMBps(uint64_t bytes, SimTime elapsed_ns) {
+  if (elapsed_ns == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / NsToSeconds(elapsed_ns);
+}
+
+}  // namespace mux
+
+#endif  // MUX_COMMON_CLOCK_H_

@@ -1,0 +1,47 @@
+// Little-endian fixed-width encode/decode for on-"disk" structures.
+// All persistent formats in this repo use these helpers so layouts are
+// explicit and independent of host struct padding.
+#ifndef MUX_COMMON_ENCODING_H_
+#define MUX_COMMON_ENCODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace mux {
+
+inline void Put16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline void Put32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+inline void Put64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+inline uint16_t Get16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+inline uint32_t Get32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+inline uint64_t Get64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace mux
+
+#endif  // MUX_COMMON_ENCODING_H_

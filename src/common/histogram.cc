@@ -1,0 +1,88 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace mux {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  return std::min(kNumBuckets - 1, 64 - std::countl_zero(value));
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  max_ = std::max(max_, value);
+  sum_ += value;
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within [2^(i-1), 2^i).
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      const double hi = static_cast<double>(1ULL << std::min(i, 62));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      return std::min(lo + frac * (hi - lo), static_cast<double>(max_));
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%.0f p99=%.0f max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(50), Percentile(99),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace mux

@@ -1,0 +1,42 @@
+// Latency histogram with power-of-two buckets; used by benchmarks to report
+// avg / p50 / p99 over simulated-time samples.
+#ifndef MUX_COMMON_HISTOGRAM_H_
+#define MUX_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mux {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // Approximate percentile (p in [0, 100]) via bucket interpolation.
+  double Percentile(double p) const;
+
+  // One-line summary, e.g. "n=1000 mean=1523.2 p50=1400 p99=9800 max=12000".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(uint64_t value);
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace mux
+
+#endif  // MUX_COMMON_HISTOGRAM_H_

@@ -1,0 +1,56 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mux {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kOff)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               message.c_str());
+}
+
+namespace internal {
+
+FatalLine::FatalLine(const char* file, int line, const char* cond)
+    : file_(file), line_(line) {
+  stream_ << "CHECK failed: " << cond << " ";
+}
+
+FatalLine::~FatalLine() {
+  std::fprintf(stderr, "[F %s:%d] %s\n", file_, line_, stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mux

@@ -1,0 +1,81 @@
+// Minimal leveled logging. Off by default so tests and benchmarks stay quiet;
+// enable with mux::SetLogLevel(LogLevel::kDebug) when debugging.
+#ifndef MUX_COMMON_LOGGING_H_
+#define MUX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mux {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mux
+
+#define MUX_LOG(level)                                              \
+  if (::mux::LogLevel::level < ::mux::GetLogLevel()) {              \
+  } else                                                            \
+    ::mux::internal::LogLine(::mux::LogLevel::level, __FILE__, __LINE__)
+
+// Fatal invariant check: prints and aborts. Used for programmer errors only
+// (never for I/O failures, which surface as Status).
+#define MUX_CHECK(cond)                                                   \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::mux::internal::FatalLine(__FILE__, __LINE__, #cond)
+
+namespace mux::internal {
+
+class FatalLine {
+ public:
+  FatalLine(const char* file, int line, const char* cond);
+  [[noreturn]] ~FatalLine();
+
+  template <typename T>
+  FatalLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mux::internal
+
+#endif  // MUX_COMMON_LOGGING_H_

@@ -1,0 +1,113 @@
+// Deterministic random number generation for tests and workload generators.
+#ifndef MUX_COMMON_RANDOM_H_
+#define MUX_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mux {
+
+// SplitMix64: tiny, fast, and good enough for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+  // Fills `out` with pseudo-random bytes.
+  void Fill(uint8_t* out, size_t n) {
+    size_t i = 0;
+    while (i + 8 <= n) {
+      uint64_t v = Next();
+      for (int b = 0; b < 8; ++b) {
+        out[i++] = static_cast<uint8_t>(v >> (8 * b));
+      }
+    }
+    if (i < n) {
+      uint64_t v = Next();
+      while (i < n) {
+        out[i++] = static_cast<uint8_t>(v);
+        v >>= 8;
+      }
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian distribution over [0, n) with skew theta (0 = uniform-ish,
+// 0.99 = YCSB default). Used by cache and policy benchmarks.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 1)
+      : rng_(seed), n_(n), theta_(theta) {
+    assert(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      return 0;
+    }
+    if (uz < 1.0 + std::pow(0.5, theta_)) {
+      return 1;
+    }
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace mux
+
+#endif  // MUX_COMMON_RANDOM_H_

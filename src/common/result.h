@@ -1,0 +1,71 @@
+// Result<T>: value-or-Status, the library's StatusOr equivalent.
+#ifndef MUX_COMMON_RESULT_H_
+#define MUX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace mux {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions from T and Status keep call sites terse:
+  //   Result<int> F() { if (bad) return InvalidArgumentError("…"); return 7; }
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace mux
+
+// ASSIGN_OR_RETURN equivalent. Usage:
+//   MUX_ASSIGN_OR_RETURN(auto handle, fs.Open(path));
+#define MUX_ASSIGN_OR_RETURN(decl, expr)                        \
+  MUX_ASSIGN_OR_RETURN_IMPL_(                                   \
+      MUX_RESULT_CONCAT_(_mux_result_, __LINE__), decl, expr)
+
+#define MUX_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  decl = std::move(tmp).value()
+
+#define MUX_RESULT_CONCAT_(a, b) MUX_RESULT_CONCAT_2_(a, b)
+#define MUX_RESULT_CONCAT_2_(a, b) a##b
+
+#endif  // MUX_COMMON_RESULT_H_

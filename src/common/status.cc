@@ -1,0 +1,107 @@
+#include "src/common/status.h"
+
+namespace mux {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kExists:
+      return "EXISTS";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kNotDir:
+      return "NOT_DIR";
+    case ErrorCode::kIsDir:
+      return "IS_DIR";
+    case ErrorCode::kNotEmpty:
+      return "NOT_EMPTY";
+    case ErrorCode::kBadHandle:
+      return "BAD_HANDLE";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case ErrorCode::kBusy:
+      return "BUSY";
+    case ErrorCode::kPermission:
+      return "PERMISSION";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kConflict:
+      return "CONFLICT";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status ExistsError(std::string message) {
+  return Status(ErrorCode::kExists, std::move(message));
+}
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NoSpaceError(std::string message) {
+  return Status(ErrorCode::kNoSpace, std::move(message));
+}
+Status NotDirError(std::string message) {
+  return Status(ErrorCode::kNotDir, std::move(message));
+}
+Status IsDirError(std::string message) {
+  return Status(ErrorCode::kIsDir, std::move(message));
+}
+Status NotEmptyError(std::string message) {
+  return Status(ErrorCode::kNotEmpty, std::move(message));
+}
+Status BadHandleError(std::string message) {
+  return Status(ErrorCode::kBadHandle, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(ErrorCode::kIoError, std::move(message));
+}
+Status NotSupportedError(std::string message) {
+  return Status(ErrorCode::kNotSupported, std::move(message));
+}
+Status BusyError(std::string message) {
+  return Status(ErrorCode::kBusy, std::move(message));
+}
+Status PermissionError(std::string message) {
+  return Status(ErrorCode::kPermission, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status CorruptionError(std::string message) {
+  return Status(ErrorCode::kCorruption, std::move(message));
+}
+Status ConflictError(std::string message) {
+  return Status(ErrorCode::kConflict, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace mux

@@ -1,0 +1,96 @@
+// Status and error codes for the whole library.
+//
+// The library does not use exceptions (os-systems style): every fallible
+// operation returns a Status, or a Result<T> (see result.h) when it also
+// produces a value. Codes intentionally mirror errno names so that callers
+// porting POSIX code find the mapping obvious.
+#ifndef MUX_COMMON_STATUS_H_
+#define MUX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mux {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,          // ENOENT
+  kExists,            // EEXIST
+  kInvalidArgument,   // EINVAL
+  kNoSpace,           // ENOSPC
+  kNotDir,            // ENOTDIR
+  kIsDir,             // EISDIR
+  kNotEmpty,          // ENOTEMPTY
+  kBadHandle,         // EBADF
+  kIoError,           // EIO
+  kNotSupported,      // ENOTSUP
+  kBusy,              // EBUSY
+  kPermission,        // EACCES
+  kOutOfRange,        // ERANGE / out-of-device access
+  kCorruption,        // on-"disk" structure failed validation
+  kConflict,          // OCC validation failed (internal; retried)
+  kInternal,          // invariant violation
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap value type: one machine word when OK (the common case), a small
+// string payload only on error.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, e.g. NotFoundError("no such file: " + path).
+Status NotFoundError(std::string message);
+Status ExistsError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status NoSpaceError(std::string message);
+Status NotDirError(std::string message);
+Status IsDirError(std::string message);
+Status NotEmptyError(std::string message);
+Status BadHandleError(std::string message);
+Status IoError(std::string message);
+Status NotSupportedError(std::string message);
+Status BusyError(std::string message);
+Status PermissionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status CorruptionError(std::string message);
+Status ConflictError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace mux
+
+// Propagates a non-OK Status to the caller.
+#define MUX_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::mux::Status _status = (expr);                \
+    if (!_status.ok()) {                           \
+      return _status;                              \
+    }                                              \
+  } while (0)
+
+#endif  // MUX_COMMON_STATUS_H_

@@ -1,0 +1,257 @@
+#include "src/core/block_lookup_table.h"
+
+#include <algorithm>
+
+namespace mux::core {
+
+// ---- ExtentTreeBlt ---------------------------------------------------------
+
+TierId ExtentTreeBlt::Lookup(uint64_t block) const {
+  auto it = extents_.upper_bound(block);
+  if (it == extents_.begin()) {
+    return kInvalidTier;
+  }
+  --it;
+  if (block < it->first + it->second.count) {
+    return it->second.tier;
+  }
+  return kInvalidTier;
+}
+
+void ExtentTreeBlt::Coalesce(std::map<uint64_t, Extent>::iterator it) {
+  // Merge with predecessor.
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.count == it->first &&
+        prev->second.tier == it->second.tier) {
+      prev->second.count += it->second.count;
+      extents_.erase(it);
+      it = prev;
+    }
+  }
+  // Merge with successor.
+  auto next = std::next(it);
+  if (next != extents_.end() &&
+      it->first + it->second.count == next->first &&
+      it->second.tier == next->second.tier) {
+    it->second.count += next->second.count;
+    extents_.erase(next);
+  }
+}
+
+void ExtentTreeBlt::ClearRange(uint64_t first_block, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const uint64_t end = first_block + count;
+  auto it = extents_.upper_bound(first_block);
+  if (it != extents_.begin()) {
+    --it;
+  }
+  while (it != extents_.end() && it->first < end) {
+    const uint64_t ext_start = it->first;
+    const uint64_t ext_end = ext_start + it->second.count;
+    const TierId tier = it->second.tier;
+    if (ext_end <= first_block) {
+      ++it;
+      continue;
+    }
+    const uint64_t lo = std::max(ext_start, first_block);
+    const uint64_t hi = std::min(ext_end, end);
+    per_tier_[tier] -= hi - lo;
+    it = extents_.erase(it);
+    if (ext_start < lo) {
+      extents_.emplace(ext_start, Extent{lo - ext_start, tier});
+    }
+    if (hi < ext_end) {
+      it = extents_.emplace(hi, Extent{ext_end - hi, tier}).first;
+      ++it;
+    }
+  }
+}
+
+void ExtentTreeBlt::SetRange(uint64_t first_block, uint64_t count,
+                             TierId tier) {
+  if (count == 0) {
+    return;
+  }
+  ClearRange(first_block, count);
+  auto [it, inserted] = extents_.emplace(first_block, Extent{count, tier});
+  (void)inserted;
+  per_tier_[tier] += count;
+  Coalesce(it);
+}
+
+void ExtentTreeBlt::TruncateFrom(uint64_t first_block) {
+  ClearRange(first_block, UINT64_MAX - first_block);
+}
+
+std::vector<BlockLookupTable::Run> ExtentTreeBlt::Runs(uint64_t first_block,
+                                                       uint64_t count) const {
+  std::vector<Run> runs;
+  if (count == 0) {
+    return runs;
+  }
+  const uint64_t end = first_block + count;
+  uint64_t pos = first_block;
+  auto it = extents_.upper_bound(first_block);
+  if (it != extents_.begin()) {
+    auto prev = std::prev(it);
+    if (first_block < prev->first + prev->second.count) {
+      it = prev;
+    }
+  }
+  while (pos < end) {
+    if (it == extents_.end() || it->first >= end) {
+      runs.push_back(Run{pos, end - pos, kInvalidTier});
+      break;
+    }
+    if (it->first > pos) {
+      runs.push_back(Run{pos, it->first - pos, kInvalidTier});
+      pos = it->first;
+    }
+    const uint64_t ext_end = it->first + it->second.count;
+    const uint64_t hi = std::min(ext_end, end);
+    if (hi > pos) {
+      runs.push_back(Run{pos, hi - pos, it->second.tier});
+      pos = hi;
+    }
+    ++it;
+  }
+  return runs;
+}
+
+std::vector<BlockLookupTable::Run> ExtentTreeBlt::AllRuns() const {
+  std::vector<Run> runs;
+  runs.reserve(extents_.size());
+  for (const auto& [start, ext] : extents_) {
+    runs.push_back(Run{start, ext.count, ext.tier});
+  }
+  return runs;
+}
+
+uint64_t ExtentTreeBlt::BlocksOnTier(TierId tier) const {
+  auto it = per_tier_.find(tier);
+  return it == per_tier_.end() ? 0 : it->second;
+}
+
+uint64_t ExtentTreeBlt::TotalBlocks() const {
+  uint64_t total = 0;
+  for (const auto& [tier, count] : per_tier_) {
+    total += count;
+  }
+  return total;
+}
+
+uint64_t ExtentTreeBlt::MemoryBytes() const {
+  // Red-black tree node: key + extent + 3 pointers + color, ~48 bytes.
+  return extents_.size() * 48 + sizeof(*this);
+}
+
+// ---- ByteArrayBlt ----------------------------------------------------------
+
+TierId ByteArrayBlt::Lookup(uint64_t block) const {
+  if (block >= tiers_.size() || tiers_[block] == kHole) {
+    return kInvalidTier;
+  }
+  return tiers_[block];
+}
+
+void ByteArrayBlt::SetRange(uint64_t first_block, uint64_t count,
+                            TierId tier) {
+  if (count == 0) {
+    return;
+  }
+  if (first_block + count > tiers_.size()) {
+    tiers_.resize(first_block + count, kHole);
+  }
+  for (uint64_t b = first_block; b < first_block + count; ++b) {
+    if (tiers_[b] != kHole) {
+      per_tier_[tiers_[b]]--;
+    }
+    tiers_[b] = static_cast<uint8_t>(tier);
+    per_tier_[tier]++;
+  }
+}
+
+void ByteArrayBlt::ClearRange(uint64_t first_block, uint64_t count) {
+  const uint64_t end = std::min<uint64_t>(
+      tiers_.size(), count > UINT64_MAX - first_block ? UINT64_MAX
+                                                      : first_block + count);
+  for (uint64_t b = first_block; b < end; ++b) {
+    if (tiers_[b] != kHole) {
+      per_tier_[tiers_[b]]--;
+      tiers_[b] = kHole;
+    }
+  }
+}
+
+void ByteArrayBlt::TruncateFrom(uint64_t first_block) {
+  if (first_block >= tiers_.size()) {
+    return;
+  }
+  ClearRange(first_block, tiers_.size() - first_block);
+  tiers_.resize(first_block);
+}
+
+std::vector<BlockLookupTable::Run> ByteArrayBlt::Runs(uint64_t first_block,
+                                                      uint64_t count) const {
+  std::vector<Run> runs;
+  uint64_t pos = first_block;
+  const uint64_t end = first_block + count;
+  while (pos < end) {
+    const TierId tier = Lookup(pos);
+    uint64_t len = 1;
+    while (pos + len < end && Lookup(pos + len) == tier) {
+      ++len;
+    }
+    runs.push_back(Run{pos, len, tier});
+    pos += len;
+  }
+  return runs;
+}
+
+std::vector<BlockLookupTable::Run> ByteArrayBlt::AllRuns() const {
+  std::vector<Run> runs;
+  uint64_t pos = 0;
+  while (pos < tiers_.size()) {
+    if (tiers_[pos] == kHole) {
+      ++pos;
+      continue;
+    }
+    const TierId tier = tiers_[pos];
+    uint64_t len = 1;
+    while (pos + len < tiers_.size() && tiers_[pos + len] == tier) {
+      ++len;
+    }
+    runs.push_back(Run{pos, len, tier});
+    pos += len;
+  }
+  return runs;
+}
+
+uint64_t ByteArrayBlt::BlocksOnTier(TierId tier) const {
+  auto it = per_tier_.find(tier);
+  return it == per_tier_.end() ? 0 : it->second;
+}
+
+uint64_t ByteArrayBlt::TotalBlocks() const {
+  uint64_t total = 0;
+  for (const auto& [tier, count] : per_tier_) {
+    total += count;
+  }
+  return total;
+}
+
+uint64_t ByteArrayBlt::MemoryBytes() const {
+  return tiers_.capacity() + sizeof(*this);
+}
+
+std::unique_ptr<BlockLookupTable> MakeBlt(BltKind kind) {
+  if (kind == BltKind::kByteArray) {
+    return std::make_unique<ByteArrayBlt>();
+  }
+  return std::make_unique<ExtentTreeBlt>();
+}
+
+}  // namespace mux::core

@@ -1,0 +1,107 @@
+// Block Lookup Table (BLT): per-file map from block index to the tier that
+// stores the current version of the block (paper §2.2, Figure 2).
+//
+// Two implementations, both mentioned in the paper:
+//  * ExtentTreeBlt — runs of blocks on the same tier stored as extents in an
+//    ordered tree; the default ("we use an extent tree as a high-performance
+//    data structure").
+//  * ByteArrayBlt — "one byte per 4 KB of user data is sufficient with a
+//    simple byte array, leading to less than 0.025% of space overhead"
+//    (§2.3). Kept for the space/speed ablation bench.
+#ifndef MUX_CORE_BLOCK_LOOKUP_TABLE_H_
+#define MUX_CORE_BLOCK_LOOKUP_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/tier.h"
+
+namespace mux::core {
+
+class BlockLookupTable {
+ public:
+  struct Run {
+    uint64_t first_block = 0;
+    uint64_t count = 0;
+    TierId tier = kInvalidTier;
+  };
+
+  virtual ~BlockLookupTable() = default;
+
+  // Tier storing `block`; kInvalidTier for holes.
+  virtual TierId Lookup(uint64_t block) const = 0;
+  virtual void SetRange(uint64_t first_block, uint64_t count, TierId tier) = 0;
+  void Set(uint64_t block, TierId tier) { SetRange(block, 1, tier); }
+  // Clears mappings at and beyond `first_block` (truncate).
+  virtual void TruncateFrom(uint64_t first_block) = 0;
+  // Clears mappings in a range (hole punch).
+  virtual void ClearRange(uint64_t first_block, uint64_t count) = 0;
+
+  // Decomposes [first_block, first_block+count) into maximal runs of equal
+  // tier (holes appear as kInvalidTier runs). This is what the VFS call
+  // processor uses to split one user request into per-file-system requests.
+  virtual std::vector<Run> Runs(uint64_t first_block, uint64_t count) const = 0;
+  // Every mapped run in the file, in order.
+  virtual std::vector<Run> AllRuns() const = 0;
+
+  // Mapped blocks on a given tier / in total.
+  virtual uint64_t BlocksOnTier(TierId tier) const = 0;
+  virtual uint64_t TotalBlocks() const = 0;
+  // Approximate DRAM footprint, for the paper's space-overhead claim.
+  virtual uint64_t MemoryBytes() const = 0;
+};
+
+// Extent-tree implementation (default).
+class ExtentTreeBlt : public BlockLookupTable {
+ public:
+  TierId Lookup(uint64_t block) const override;
+  void SetRange(uint64_t first_block, uint64_t count, TierId tier) override;
+  void TruncateFrom(uint64_t first_block) override;
+  void ClearRange(uint64_t first_block, uint64_t count) override;
+  std::vector<Run> Runs(uint64_t first_block, uint64_t count) const override;
+  std::vector<Run> AllRuns() const override;
+  uint64_t BlocksOnTier(TierId tier) const override;
+  uint64_t TotalBlocks() const override;
+  uint64_t MemoryBytes() const override;
+
+ private:
+  struct Extent {
+    uint64_t count = 0;
+    TierId tier = kInvalidTier;
+  };
+  // Merges with neighbours where possible; requires the entry at `it` to
+  // exist.
+  void Coalesce(std::map<uint64_t, Extent>::iterator it);
+
+  std::map<uint64_t, Extent> extents_;  // first_block -> extent
+  std::map<TierId, uint64_t> per_tier_;
+};
+
+// Byte-array implementation (one byte per block).
+class ByteArrayBlt : public BlockLookupTable {
+ public:
+  TierId Lookup(uint64_t block) const override;
+  void SetRange(uint64_t first_block, uint64_t count, TierId tier) override;
+  void TruncateFrom(uint64_t first_block) override;
+  void ClearRange(uint64_t first_block, uint64_t count) override;
+  std::vector<Run> Runs(uint64_t first_block, uint64_t count) const override;
+  std::vector<Run> AllRuns() const override;
+  uint64_t BlocksOnTier(TierId tier) const override;
+  uint64_t TotalBlocks() const override;
+  uint64_t MemoryBytes() const override;
+
+ private:
+  static constexpr uint8_t kHole = 0xff;
+  std::vector<uint8_t> tiers_;  // index = block, value = tier (kHole = none)
+  std::map<TierId, uint64_t> per_tier_;
+};
+
+enum class BltKind { kExtentTree, kByteArray };
+
+std::unique_ptr<BlockLookupTable> MakeBlt(BltKind kind);
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_BLOCK_LOOKUP_TABLE_H_

@@ -1,0 +1,225 @@
+#include "src/core/bookkeeper.h"
+
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/encoding.h"
+
+namespace mux::core {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x4d555853;  // "MUXS"
+constexpr uint32_t kSnapshotVersion = 2;
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  uint8_t buf[4];
+  Put32(buf, v);
+  out.insert(out.end(), buf, buf + 4);
+}
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  uint8_t buf[8];
+  Put64(buf, v);
+  out.insert(out.end(), buf, buf + 8);
+}
+void AppendString(std::vector<uint8_t>& out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) {
+      return false;
+    }
+    *v = Get32(bytes_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) {
+      return false;
+    }
+    *v = Get64(bytes_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || pos_ + len > bytes_.size()) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSnapshot(const MuxSnapshot& snapshot) {
+  std::vector<uint8_t> body;
+  AppendU32(body, static_cast<uint32_t>(snapshot.files.size()));
+  for (const FileSnapshot& file : snapshot.files) {
+    AppendString(body, file.path);
+    AppendU32(body, file.is_directory ? 1 : 0);
+    AppendU64(body, file.size);
+    AppendU64(body, file.mtime);
+    AppendU64(body, file.atime);
+    AppendU64(body, file.ctime);
+    AppendU32(body, file.mode);
+    AppendU64(body, file.occ_version);
+    for (TierId owner : file.attr_owners) {
+      AppendU32(body, owner);
+    }
+    AppendU32(body, static_cast<uint32_t>(file.runs.size()));
+    for (const auto& run : file.runs) {
+      AppendU64(body, run.first_block);
+      AppendU64(body, run.count);
+      AppendU32(body, run.tier);
+    }
+    AppendU32(body, static_cast<uint32_t>(file.replica_runs.size()));
+    for (const auto& run : file.replica_runs) {
+      AppendU64(body, run.first_block);
+      AppendU64(body, run.count);
+      AppendU32(body, run.tier);
+    }
+  }
+
+  std::vector<uint8_t> out;
+  AppendU32(out, kSnapshotMagic);
+  AppendU32(out, kSnapshotVersion);
+  AppendU64(out, body.size());
+  AppendU32(out, Crc32c(body.data(), body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<MuxSnapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t body_len = 0;
+  uint32_t crc = 0;
+  if (!reader.ReadU32(&magic) || magic != kSnapshotMagic) {
+    return CorruptionError("mux snapshot magic mismatch");
+  }
+  if (!reader.ReadU32(&version) || version != kSnapshotVersion) {
+    return CorruptionError("mux snapshot version mismatch");
+  }
+  if (!reader.ReadU64(&body_len) || !reader.ReadU32(&crc)) {
+    return CorruptionError("mux snapshot header truncated");
+  }
+  constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
+  if (bytes.size() < kHeaderSize + body_len) {
+    return CorruptionError("mux snapshot body truncated");
+  }
+  if (Crc32c(bytes.data() + kHeaderSize, body_len) != crc) {
+    return CorruptionError("mux snapshot checksum mismatch");
+  }
+
+  MuxSnapshot snapshot;
+  uint32_t file_count = 0;
+  if (!reader.ReadU32(&file_count)) {
+    return CorruptionError("mux snapshot malformed");
+  }
+  snapshot.files.reserve(file_count);
+  for (uint32_t i = 0; i < file_count; ++i) {
+    FileSnapshot file;
+    uint32_t is_dir = 0;
+    uint32_t run_count = 0;
+    if (!reader.ReadString(&file.path) || !reader.ReadU32(&is_dir) ||
+        !reader.ReadU64(&file.size) || !reader.ReadU64(&file.mtime) ||
+        !reader.ReadU64(&file.atime) || !reader.ReadU64(&file.ctime) ||
+        !reader.ReadU32(&file.mode) || !reader.ReadU64(&file.occ_version)) {
+      return CorruptionError("mux snapshot file record malformed");
+    }
+    file.is_directory = is_dir != 0;
+    for (size_t a = 0; a < file.attr_owners.size(); ++a) {
+      uint32_t owner = 0;
+      if (!reader.ReadU32(&owner)) {
+        return CorruptionError("mux snapshot owners malformed");
+      }
+      file.attr_owners[a] = owner;
+    }
+    if (!reader.ReadU32(&run_count)) {
+      return CorruptionError("mux snapshot run count malformed");
+    }
+    file.runs.reserve(run_count);
+    for (uint32_t r = 0; r < run_count; ++r) {
+      BlockLookupTable::Run run;
+      uint32_t tier = 0;
+      if (!reader.ReadU64(&run.first_block) || !reader.ReadU64(&run.count) ||
+          !reader.ReadU32(&tier)) {
+        return CorruptionError("mux snapshot run malformed");
+      }
+      run.tier = tier;
+      file.runs.push_back(run);
+    }
+    uint32_t replica_count = 0;
+    if (!reader.ReadU32(&replica_count)) {
+      return CorruptionError("mux snapshot replica count malformed");
+    }
+    file.replica_runs.reserve(replica_count);
+    for (uint32_t r = 0; r < replica_count; ++r) {
+      BlockLookupTable::Run run;
+      uint32_t tier = 0;
+      if (!reader.ReadU64(&run.first_block) || !reader.ReadU64(&run.count) ||
+          !reader.ReadU32(&tier)) {
+        return CorruptionError("mux snapshot replica run malformed");
+      }
+      run.tier = tier;
+      file.replica_runs.push_back(run);
+    }
+    snapshot.files.push_back(std::move(file));
+  }
+  return snapshot;
+}
+
+Status SaveSnapshot(vfs::FileSystem* fs, const std::string& meta_path,
+                    const MuxSnapshot& snapshot) {
+  const std::vector<uint8_t> bytes = EncodeSnapshot(snapshot);
+  const std::string tmp_path = meta_path + ".tmp";
+  MUX_ASSIGN_OR_RETURN(
+      vfs::FileHandle handle,
+      fs->Open(tmp_path,
+               vfs::OpenFlags::kCreateRw | vfs::OpenFlags::kTruncate, 0600));
+  auto written = fs->Write(handle, 0, bytes.data(), bytes.size());
+  if (!written.ok()) {
+    (void)fs->Close(handle);
+    return written.status();
+  }
+  Status sync = fs->Fsync(handle, /*data_only=*/false);
+  (void)fs->Close(handle);
+  MUX_RETURN_IF_ERROR(sync);
+  return fs->Rename(tmp_path, meta_path);
+}
+
+Result<MuxSnapshot> LoadSnapshot(vfs::FileSystem* fs,
+                                 const std::string& meta_path) {
+  auto stat = fs->Stat(meta_path);
+  if (!stat.ok()) {
+    return stat.status();
+  }
+  MUX_ASSIGN_OR_RETURN(vfs::FileHandle handle,
+                       fs->Open(meta_path, vfs::OpenFlags::kRead));
+  std::vector<uint8_t> bytes(stat->size);
+  auto read = fs->Read(handle, 0, bytes.size(), bytes.data());
+  (void)fs->Close(handle);
+  if (!read.ok()) {
+    return read.status();
+  }
+  if (*read != bytes.size()) {
+    return CorruptionError("mux snapshot short read");
+  }
+  return DecodeSnapshot(bytes);
+}
+
+}  // namespace mux::core

@@ -1,0 +1,55 @@
+// StateBookkeeper: persistence of Mux's own metadata (Figure 1c).
+//
+// Mux keeps global state no underlying file system knows about: the
+// namespace, per-file block lookup tables, metadata-affinity owners, and OCC
+// versions. The bookkeeper serializes a snapshot of that state into a meta
+// file stored on the fastest tier and restores it at mount. The format is a
+// simple length-prefixed, CRC-guarded binary record stream.
+#ifndef MUX_CORE_BOOKKEEPER_H_
+#define MUX_CORE_BOOKKEEPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/core/block_lookup_table.h"
+#include "src/core/metadata.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::core {
+
+struct FileSnapshot {
+  std::string path;
+  bool is_directory = false;
+  uint64_t size = 0;
+  SimTime mtime = 0;
+  SimTime atime = 0;
+  SimTime ctime = 0;
+  uint32_t mode = 0644;
+  uint64_t occ_version = 0;
+  std::array<TierId, kAttrCount> attr_owners{};
+  std::vector<BlockLookupTable::Run> runs;
+  std::vector<BlockLookupTable::Run> replica_runs;  // §4 replication mirrors
+};
+
+struct MuxSnapshot {
+  std::vector<FileSnapshot> files;  // directories included
+};
+
+// Serialization (exposed for tests).
+std::vector<uint8_t> EncodeSnapshot(const MuxSnapshot& snapshot);
+Result<MuxSnapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes);
+
+// Writes the snapshot to `meta_path` on `fs` (atomically: temp file +
+// rename) and fsyncs.
+Status SaveSnapshot(vfs::FileSystem* fs, const std::string& meta_path,
+                    const MuxSnapshot& snapshot);
+// Loads and validates; kNotFound when no snapshot exists.
+Result<MuxSnapshot> LoadSnapshot(vfs::FileSystem* fs,
+                                 const std::string& meta_path);
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_BOOKKEEPER_H_

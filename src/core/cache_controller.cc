@@ -1,0 +1,176 @@
+#include "src/core/cache_controller.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace mux::core {
+
+CacheController::CacheController(vfs::FileSystem* scm_fs, SimClock* clock,
+                                 const CostModel& costs, Options options)
+    : scm_fs_(scm_fs), clock_(clock), costs_(costs),
+      options_(std::move(options)) {
+  replacement_ = options_.use_mglru
+                     ? std::unique_ptr<ReplacementPolicy>(
+                           std::make_unique<MglruPolicy>())
+                     : std::make_unique<PlainLruPolicy>();
+}
+
+CacheController::~CacheController() {
+  if (initialized_) {
+    (void)scm_fs_->Close(cache_handle_);
+  }
+}
+
+Status CacheController::Init() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (initialized_) {
+    return Status::Ok();
+  }
+  if (!scm_fs_->SupportsDax()) {
+    return NotSupportedError("SCM cache needs a DAX-capable file system");
+  }
+  MUX_ASSIGN_OR_RETURN(
+      cache_handle_,
+      scm_fs_->Open(options_.cache_path, vfs::OpenFlags::kCreateRw, 0600));
+  const uint64_t bytes = options_.capacity_blocks * kBlockSize;
+  Status fallocate = scm_fs_->Fallocate(cache_handle_, 0, bytes,
+                                        /*keep_size=*/false);
+  if (!fallocate.ok()) {
+    (void)scm_fs_->Close(cache_handle_);
+    return fallocate;
+  }
+  auto mapping = scm_fs_->DaxMap(cache_handle_, 0, bytes);
+  if (!mapping.ok()) {
+    (void)scm_fs_->Close(cache_handle_);
+    return mapping.status();
+  }
+  dax_base_ = mapping->data;
+  slot_owner_.assign(options_.capacity_blocks, Key{0, 0});
+  free_slots_.clear();
+  for (uint32_t slot = 0; slot < options_.capacity_blocks; ++slot) {
+    free_slots_.push_back(options_.capacity_blocks - 1 - slot);
+  }
+  initialized_ = true;
+  return Status::Ok();
+}
+
+bool CacheController::TryRead(uint64_t file_key, uint64_t block,
+                              uint64_t offset_in_block, uint64_t n,
+                              uint8_t* out) {
+  clock_->Advance(costs_.cache_lookup_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!initialized_) {
+    return false;
+  }
+  auto it = index_.find(Key{file_key, block});
+  if (it == index_.end()) {
+    stats_.misses++;
+    return false;
+  }
+  std::memcpy(out, SlotPtr(it->second) + offset_in_block, n);
+  scm_fs_->ChargeDax(n, /*is_write=*/false);
+  replacement_->Touched(it->second);
+  stats_.hits++;
+  return true;
+}
+
+void CacheController::EvictOneLocked() {
+  auto victim = replacement_->Evict();
+  if (!victim.ok()) {
+    return;
+  }
+  index_.erase(slot_owner_[*victim]);
+  free_slots_.push_back(*victim);
+  stats_.evictions++;
+}
+
+void CacheController::OnMiss(uint64_t file_key, uint64_t block,
+                             const uint8_t* block_data) {
+  clock_->Advance(costs_.cache_admission_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!initialized_) {
+    return;
+  }
+  const Key key{file_key, block};
+  if (index_.contains(key)) {
+    return;  // raced in already
+  }
+  const uint32_t count = ++miss_counts_[key];
+  if (count < options_.admission_threshold) {
+    // Bound the sketch: decay by clearing when it outgrows the cache 8x.
+    if (miss_counts_.size() > options_.capacity_blocks * 8) {
+      miss_counts_.clear();
+    }
+    return;
+  }
+  miss_counts_.erase(key);
+  if (free_slots_.empty()) {
+    EvictOneLocked();
+  }
+  if (free_slots_.empty()) {
+    return;
+  }
+  const uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  std::memcpy(SlotPtr(slot), block_data, kBlockSize);
+  scm_fs_->ChargeDax(kBlockSize, /*is_write=*/true);
+  index_[key] = slot;
+  slot_owner_[slot] = key;
+  replacement_->Inserted(slot);
+  stats_.admissions++;
+}
+
+void CacheController::OnWrite(uint64_t file_key, uint64_t block,
+                              uint64_t offset_in_block, uint64_t n,
+                              const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!initialized_) {
+    return;
+  }
+  auto it = index_.find(Key{file_key, block});
+  if (it == index_.end()) {
+    return;
+  }
+  std::memcpy(SlotPtr(it->second) + offset_in_block, data, n);
+  scm_fs_->ChargeDax(n, /*is_write=*/true);
+  replacement_->Touched(it->second);
+}
+
+void CacheController::InvalidateBlock(uint64_t file_key, uint64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{file_key, block});
+  if (it == index_.end()) {
+    return;
+  }
+  replacement_->Removed(it->second);
+  free_slots_.push_back(it->second);
+  index_.erase(it);
+  stats_.invalidations++;
+}
+
+void CacheController::InvalidateFile(uint64_t file_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->first.file_key == file_key) {
+      replacement_->Removed(it->second);
+      free_slots_.push_back(it->second);
+      stats_.invalidations++;
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ScmCacheStats CacheController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t CacheController::ResidentBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+}  // namespace mux::core

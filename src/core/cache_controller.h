@@ -1,0 +1,122 @@
+// SCM cache controller (§2.5).
+//
+// Mux offloads the DRAM page-cache role to storage-class memory: one cache
+// file is created and preallocated on the PM tier ("Mux can create one file
+// for all caches … preallocate the cache file to ensure cache availability
+// and reduce block allocation overhead") and DAX-mapped, so cache hits are
+// direct loads from PM with no block I/O. Replacement is Multi-generational
+// LRU by default, plain LRU for the ablation.
+//
+// The cache holds blocks of files whose home is a *slower* tier; PM-resident
+// blocks are already as fast as the cache. User writes update a cached copy
+// in place (write-through), so the cache never holds data newer than the
+// home tier — which keeps migration's OCC reasoning sound: content on the
+// home tier is always current. (The paper also allows write-back; see
+// DESIGN.md for the tradeoff.)
+//
+// Admission control: a block is only inserted after `admission_threshold`
+// misses, so one-touch scans do not pay the PM-copy cost for nothing.
+#ifndef MUX_CORE_CACHE_CONTROLLER_H_
+#define MUX_CORE_CACHE_CONTROLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/cost_model.h"
+#include "src/core/mglru.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::core {
+
+struct ScmCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t admissions = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+class CacheController {
+ public:
+  static constexpr uint64_t kBlockSize = 4096;
+
+  struct Options {
+    uint64_t capacity_blocks = 1024;  // 4 MiB default
+    bool use_mglru = true;
+    uint32_t admission_threshold = 2;  // misses before a block is admitted
+    std::string cache_path = "/.mux_cache";
+  };
+
+  // `scm_fs` must support DAX (the PM tier's file system).
+  CacheController(vfs::FileSystem* scm_fs, SimClock* clock,
+                  const CostModel& costs, Options options);
+  ~CacheController();
+
+  // Creates, preallocates, and DAX-maps the cache file.
+  Status Init();
+
+  // Copies [offset_in_block, offset_in_block+n) of the cached block into
+  // `out` if present. Charges the cache probe and, on hit, the DAX read.
+  bool TryRead(uint64_t file_key, uint64_t block, uint64_t offset_in_block,
+               uint64_t n, uint8_t* out);
+
+  // Reports a miss; once the block's miss count reaches the admission
+  // threshold, `block_data` (a full block) is copied into the cache.
+  void OnMiss(uint64_t file_key, uint64_t block, const uint8_t* block_data);
+
+  // Write-through update of a cached copy (no-op if not cached).
+  void OnWrite(uint64_t file_key, uint64_t block, uint64_t offset_in_block,
+               uint64_t n, const uint8_t* data);
+
+  void InvalidateFile(uint64_t file_key);
+  void InvalidateBlock(uint64_t file_key, uint64_t block);
+
+  ScmCacheStats stats() const;
+  size_t ResidentBlocks() const;
+  std::string_view ReplacementName() const { return replacement_->Name(); }
+
+ private:
+  struct Key {
+    uint64_t file_key;
+    uint64_t block;
+    bool operator==(const Key& other) const {
+      return file_key == other.file_key && block == other.block;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.file_key * 0x9e3779b97f4a7c15ULL ^
+                                   k.block);
+    }
+  };
+
+  uint8_t* SlotPtr(uint32_t slot) const {
+    return dax_base_ + static_cast<uint64_t>(slot) * kBlockSize;
+  }
+  void EvictOneLocked();
+
+  vfs::FileSystem* const scm_fs_;
+  SimClock* const clock_;
+  const CostModel costs_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  vfs::FileHandle cache_handle_ = 0;
+  bool initialized_ = false;
+  uint8_t* dax_base_ = nullptr;
+  std::unique_ptr<ReplacementPolicy> replacement_;
+  std::unordered_map<Key, uint32_t, KeyHash> index_;   // key -> slot
+  std::vector<Key> slot_owner_;                        // slot -> key
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<Key, uint32_t, KeyHash> miss_counts_;
+  ScmCacheStats stats_;
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_CACHE_CONTROLLER_H_

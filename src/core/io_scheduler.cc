@@ -1,0 +1,194 @@
+#include "src/core/io_scheduler.h"
+
+#include <algorithm>
+
+namespace mux::core {
+
+std::string_view SchedAlgoName(SchedAlgo algo) {
+  switch (algo) {
+    case SchedAlgo::kFifo:
+      return "fifo";
+    case SchedAlgo::kCostBased:
+      return "cost";
+    case SchedAlgo::kElevator:
+      return "elevator";
+  }
+  return "?";
+}
+
+IoScheduler::IoScheduler(SchedAlgo algo, SimClock* clock)
+    : algo_(algo), clock_(clock) {}
+
+void IoScheduler::RegisterTier(const TierInfo& tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiles_[tier.id] = tier.profile;
+  queues_[tier.id];
+  head_positions_[tier.id] = 0;
+}
+
+SimTime IoScheduler::Estimate(const IoRequest& request) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = profiles_.find(request.tier);
+  if (it == profiles_.end()) {
+    return 0;
+  }
+  const auto& profile = it->second;
+  SimTime cost = request.is_write ? profile.EstimateWriteNs(request.bytes)
+                                  : profile.EstimateReadNs(request.bytes);
+  if (profile.full_seek_ns > 0) {
+    // Half-stroke expected seek for a random request.
+    cost += profile.full_seek_ns / 2;
+  }
+  return cost;
+}
+
+Status IoScheduler::Submit(IoRequest request) {
+  if (request.execute == nullptr) {
+    return InvalidArgumentError("request without an execute function");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(request.tier);
+  if (it == queues_.end()) {
+    return NotFoundError("tier not registered with scheduler");
+  }
+  it->second.push_back(std::move(request));
+  stats_.submitted++;
+  return Status::Ok();
+}
+
+size_t IoScheduler::PickLocked(const std::deque<IoRequest>& queue,
+                               uint64_t head_position) const {
+  size_t best = 0;
+  // Priority first, always.
+  int best_priority = queue[0].priority;
+  for (size_t i = 1; i < queue.size(); ++i) {
+    if (queue[i].priority < best_priority) {
+      best_priority = queue[i].priority;
+    }
+  }
+  auto eligible = [&](const IoRequest& r) {
+    return r.priority == best_priority;
+  };
+  switch (algo_) {
+    case SchedAlgo::kFifo: {
+      for (size_t i = 0; i < queue.size(); ++i) {
+        if (eligible(queue[i])) {
+          return i;
+        }
+      }
+      return 0;
+    }
+    case SchedAlgo::kCostBased: {
+      SimTime best_cost = UINT64_MAX;
+      for (size_t i = 0; i < queue.size(); ++i) {
+        if (!eligible(queue[i])) {
+          continue;
+        }
+        const auto& profile = profiles_.at(queue[i].tier);
+        const SimTime cost =
+            queue[i].is_write ? profile.EstimateWriteNs(queue[i].bytes)
+                              : profile.EstimateReadNs(queue[i].bytes);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case SchedAlgo::kElevator: {
+      // Closest offset at or after the head position; wrap to the smallest.
+      bool found = false;
+      uint64_t best_offset = UINT64_MAX;
+      size_t wrap = 0;
+      uint64_t wrap_offset = UINT64_MAX;
+      for (size_t i = 0; i < queue.size(); ++i) {
+        if (!eligible(queue[i])) {
+          continue;
+        }
+        if (queue[i].offset >= head_position &&
+            queue[i].offset < best_offset) {
+          best_offset = queue[i].offset;
+          best = i;
+          found = true;
+        }
+        if (queue[i].offset < wrap_offset) {
+          wrap_offset = queue[i].offset;
+          wrap = i;
+        }
+      }
+      return found ? best : wrap;
+    }
+  }
+  return best;
+}
+
+Result<bool> IoScheduler::RunOne(TierId tier) {
+  IoRequest request;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queues_.find(tier);
+    if (it == queues_.end()) {
+      return NotFoundError("tier not registered with scheduler");
+    }
+    if (it->second.empty()) {
+      return false;
+    }
+    const size_t idx = PickLocked(it->second, head_positions_[tier]);
+    request = std::move(it->second[idx]);
+    it->second.erase(it->second.begin() + static_cast<long>(idx));
+    head_positions_[tier] = request.offset + request.bytes;
+    stats_.dispatched++;
+    const auto& profile = profiles_.at(tier);
+    stats_.est_cost_dispatched_ns +=
+        request.is_write ? profile.EstimateWriteNs(request.bytes)
+                         : profile.EstimateReadNs(request.bytes);
+  }
+  Status status = request.execute();
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.failures++;
+    return status;
+  }
+  return true;
+}
+
+Result<uint64_t> IoScheduler::RunAll() {
+  uint64_t executed = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<TierId> tiers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [tier, queue] : queues_) {
+        if (!queue.empty()) {
+          tiers.push_back(tier);
+        }
+      }
+    }
+    for (TierId tier : tiers) {
+      MUX_ASSIGN_OR_RETURN(bool ran, RunOne(tier));
+      if (ran) {
+        executed++;
+        progress = true;
+      }
+    }
+  }
+  return executed;
+}
+
+size_t IoScheduler::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [tier, queue] : queues_) {
+    total += queue.size();
+  }
+  return total;
+}
+
+SchedulerStats IoScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mux::core

@@ -1,0 +1,98 @@
+// Metadata multiplexing: collective inode + per-attribute affinity (§2.3).
+//
+// Each metadata attribute has an *affinitive* file system — the one holding
+// the most up-to-date value:
+//   * size  — the FS that stores the last byte of the file,
+//   * mtime — the FS that performed the last update,
+//   * atime — the FS that served the last read,
+//   * mode  — the FS that hosted the file at creation (or last chmod).
+// Mux caches all attribute values in a collective inode so Stat never fans
+// out to the underlying file systems, and lazily pushes values to the
+// non-owner file systems (LazySync) so their shadow files do not drift
+// arbitrarily far.
+//
+// Cross-FS attributes with no single owner (disk consumption) are aggregated
+// over all participating file systems.
+#ifndef MUX_CORE_METADATA_H_
+#define MUX_CORE_METADATA_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/core/tier.h"
+#include "src/vfs/types.h"
+
+namespace mux::core {
+
+enum class Attr : uint8_t { kSize = 0, kMtime = 1, kAtime = 2, kMode = 3 };
+inline constexpr int kAttrCount = 4;
+
+std::string_view AttrName(Attr attr);
+
+// The collective inode: every attribute value plus its affinitive tier.
+class CollectiveInode {
+ public:
+  CollectiveInode() { owners_.fill(kInvalidTier); }
+
+  // --- cached values ----------------------------------------------------
+  uint64_t size() const { return size_; }
+  SimTime mtime() const { return mtime_; }
+  SimTime atime() const { return atime_; }
+  uint32_t mode() const { return mode_; }
+  SimTime ctime() const { return ctime_; }
+
+  void set_ctime(SimTime t) { ctime_ = t; }
+
+  // --- affinity-tracked updates ------------------------------------------
+  // Each setter records the new value and reassigns the attribute's owner.
+  void UpdateSize(uint64_t size, TierId owner) {
+    size_ = size;
+    SetOwner(Attr::kSize, owner);
+  }
+  void UpdateMtime(SimTime t, TierId owner) {
+    mtime_ = t;
+    SetOwner(Attr::kMtime, owner);
+  }
+  void UpdateAtime(SimTime t, TierId owner) {
+    atime_ = t;
+    SetOwner(Attr::kAtime, owner);
+  }
+  void UpdateMode(uint32_t mode, TierId owner) {
+    mode_ = mode;
+    SetOwner(Attr::kMode, owner);
+  }
+
+  TierId Owner(Attr attr) const {
+    return owners_[static_cast<size_t>(attr)];
+  }
+  void SetOwner(Attr attr, TierId tier) {
+    owners_[static_cast<size_t>(attr)] = tier;
+    dirty_[static_cast<size_t>(attr)] = true;
+  }
+
+  // Attributes changed since the last lazy synchronization.
+  bool Dirty(Attr attr) const { return dirty_[static_cast<size_t>(attr)]; }
+  void ClearDirty() { dirty_.fill(false); }
+
+  // Normalizes a timestamp to what a tier with the given granularity can
+  // represent (feature imparity, §4 — e.g. extlite's 1-second stamps).
+  static SimTime Normalize(SimTime t, SimTime granularity_ns) {
+    return granularity_ns <= 1 ? t : t - t % granularity_ns;
+  }
+
+ private:
+  uint64_t size_ = 0;
+  SimTime mtime_ = 0;
+  SimTime atime_ = 0;
+  SimTime ctime_ = 0;
+  uint32_t mode_ = 0644;
+  std::array<TierId, kAttrCount> owners_{};
+  std::array<bool, kAttrCount> dirty_{};
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_METADATA_H_

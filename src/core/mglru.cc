@@ -1,0 +1,134 @@
+#include "src/core/mglru.h"
+
+namespace mux::core {
+
+// ---- MglruPolicy -----------------------------------------------------------
+
+void MglruPolicy::Inserted(uint32_t slot) {
+  // New entries start in the OLDEST generation — the MGLRU trait that makes
+  // it scan-resistant: a one-touch streaming page is evicted before anything
+  // the workload has re-referenced (re-referenced entries promote to the
+  // youngest generation at eviction scan time).
+  constexpr int kInsertGen = kGenerations - 1;
+  gens_[kInsertGen].push_front(slot);
+  entries_[slot] = Entry{kInsertGen, false, gens_[kInsertGen].begin()};
+}
+
+void MglruPolicy::Touched(uint32_t slot) {
+  // Cheap on access: only the access bit is set (like hardware A-bits);
+  // promotion happens lazily at eviction scan.
+  auto it = entries_.find(slot);
+  if (it != entries_.end()) {
+    it->second.accessed = true;
+  }
+}
+
+Result<uint32_t> MglruPolicy::Evict() {
+  // Scan from the oldest generation; accessed entries are promoted to the
+  // youngest generation instead of being evicted (second chance).
+  for (int scan_budget = 0; scan_budget < 3; ++scan_budget) {
+    for (int g = kGenerations - 1; g >= 0; --g) {
+      auto& gen = gens_[g];
+      while (!gen.empty()) {
+        const uint32_t slot = gen.back();
+        Entry& entry = entries_.at(slot);
+        if (entry.accessed) {
+          gen.pop_back();
+          gens_[0].push_front(slot);
+          entry.generation = 0;
+          entry.accessed = false;
+          entry.pos = gens_[0].begin();
+          continue;
+        }
+        if (g == 0 && entries_.size() > 1 && scan_budget == 0) {
+          // Prefer to age rather than evict from the youngest generation on
+          // the first pass.
+          break;
+        }
+        gen.pop_back();
+        entries_.erase(slot);
+        return slot;
+      }
+    }
+    AgeGenerations();
+  }
+  if (entries_.empty()) {
+    return NotFoundError("cache empty");
+  }
+  // Degenerate fallback: evict the tail of the youngest generation.
+  for (int g = kGenerations - 1; g >= 0; --g) {
+    if (!gens_[g].empty()) {
+      const uint32_t slot = gens_[g].back();
+      gens_[g].pop_back();
+      entries_.erase(slot);
+      return slot;
+    }
+  }
+  return NotFoundError("cache empty");
+}
+
+void MglruPolicy::Removed(uint32_t slot) {
+  auto it = entries_.find(slot);
+  if (it == entries_.end()) {
+    return;
+  }
+  gens_[it->second.generation].erase(it->second.pos);
+  entries_.erase(it);
+}
+
+void MglruPolicy::AgeGenerations() {
+  // Shift generations one step older; the oldest two merge.
+  gens_[kGenerations - 1].splice(gens_[kGenerations - 1].begin(),
+                                 gens_[kGenerations - 2]);
+  for (int g = kGenerations - 2; g > 0; --g) {
+    gens_[g] = std::move(gens_[g - 1]);
+    gens_[g - 1].clear();
+  }
+  // Fix entry bookkeeping (generation indexes only; iterators stay valid
+  // because std::list splice/move preserves them).
+  for (int g = 0; g < kGenerations; ++g) {
+    for (auto it = gens_[g].begin(); it != gens_[g].end(); ++it) {
+      Entry& entry = entries_.at(*it);
+      entry.generation = g;
+      entry.pos = it;
+    }
+  }
+}
+
+// ---- PlainLruPolicy --------------------------------------------------------
+
+void PlainLruPolicy::Inserted(uint32_t slot) {
+  lru_.push_front(slot);
+  entries_[slot] = lru_.begin();
+}
+
+void PlainLruPolicy::Touched(uint32_t slot) {
+  auto it = entries_.find(slot);
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  lru_.push_front(slot);
+  it->second = lru_.begin();
+}
+
+Result<uint32_t> PlainLruPolicy::Evict() {
+  if (lru_.empty()) {
+    return NotFoundError("cache empty");
+  }
+  const uint32_t slot = lru_.back();
+  lru_.pop_back();
+  entries_.erase(slot);
+  return slot;
+}
+
+void PlainLruPolicy::Removed(uint32_t slot) {
+  auto it = entries_.find(slot);
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+}  // namespace mux::core

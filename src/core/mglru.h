@@ -1,0 +1,79 @@
+// Cache replacement policies for the SCM cache (§2.5).
+//
+// The paper uses Multi-generational LRU, "the algorithm Linux uses for its
+// page caches". MglruPolicy keeps kGenerations LRU lists; entries enter the
+// youngest generation, age toward the oldest, and get a second chance when
+// their access bit is set at eviction scan time (the multi-generational
+// clock at the heart of MGLRU). PlainLruPolicy is the single-list classic,
+// kept for the ablation benchmark.
+#ifndef MUX_CORE_MGLRU_H_
+#define MUX_CORE_MGLRU_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace mux::core {
+
+// Operates on abstract slot ids; the CacheController maps (file, block)
+// pairs to slots.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  virtual std::string_view Name() const = 0;
+  virtual void Inserted(uint32_t slot) = 0;
+  virtual void Touched(uint32_t slot) = 0;
+  // Picks and removes the victim slot. Fails only when empty.
+  virtual Result<uint32_t> Evict() = 0;
+  virtual void Removed(uint32_t slot) = 0;
+  virtual size_t Size() const = 0;
+};
+
+class MglruPolicy : public ReplacementPolicy {
+ public:
+  static constexpr int kGenerations = 4;
+
+  std::string_view Name() const override { return "mglru"; }
+  void Inserted(uint32_t slot) override;
+  void Touched(uint32_t slot) override;
+  Result<uint32_t> Evict() override;
+  void Removed(uint32_t slot) override;
+  size_t Size() const override { return entries_.size(); }
+
+  // Ages every generation by one step (moves gen g to g+1). Called
+  // periodically by the cache controller.
+  void AgeGenerations();
+
+ private:
+  struct Entry {
+    int generation = 0;
+    bool accessed = false;
+    std::list<uint32_t>::iterator pos;
+  };
+  // generation -> LRU list (front = most recently inserted).
+  std::array<std::list<uint32_t>, kGenerations> gens_;
+  std::unordered_map<uint32_t, Entry> entries_;
+};
+
+class PlainLruPolicy : public ReplacementPolicy {
+ public:
+  std::string_view Name() const override { return "lru"; }
+  void Inserted(uint32_t slot) override;
+  void Touched(uint32_t slot) override;
+  Result<uint32_t> Evict() override;
+  void Removed(uint32_t slot) override;
+  size_t Size() const override { return entries_.size(); }
+
+ private:
+  std::list<uint32_t> lru_;  // front = most recent
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> entries_;
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_MGLRU_H_

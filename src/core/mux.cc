@@ -1,0 +1,658 @@
+#include "src/core/mux.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/core/mux_internal.h"
+#include "src/vfs/path.h"
+
+namespace mux::core {
+
+using internal::Decay;
+using internal::kRootIno;
+
+Mux::Mux(SimClock* clock) : Mux(clock, Options()) {}
+
+Mux::Mux(SimClock* clock, Options options)
+    : clock_(clock), options_(std::move(options)) {
+  auto root = std::make_shared<MuxInode>();
+  root->ino = kRootIno;
+  root->type = vfs::FileType::kDirectory;
+  root->path = "/";
+  root->attrs.set_ctime(clock_->Now());
+  inodes_.emplace(kRootIno, std::move(root));
+  auto policy = PolicyRegistry::Global().Create(options_.policy,
+                                                options_.policy_args);
+  if (policy.ok()) {
+    policy_ = std::move(*policy);
+  } else {
+    policy_ = MakeLruPolicy();
+  }
+}
+
+Mux::~Mux() {
+  StopBackgroundMigration();
+  // Close every shadow handle still open.
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  for (auto& [ino, inode] : inodes_) {
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    (void)CloseShadowsLocked(*inode);
+  }
+}
+
+// ---- tier registry ---------------------------------------------------------
+
+Result<TierId> Mux::AddTier(const std::string& name, vfs::FileSystem* fs,
+                            const device::DeviceProfile& profile) {
+  if (fs == nullptr) {
+    return InvalidArgumentError("null file system");
+  }
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  for (const TierInfo& tier : tiers_) {
+    if (tier.name == name) {
+      return ExistsError("tier name in use: " + name);
+    }
+  }
+  TierInfo tier;
+  tier.id = next_tier_id_++;
+  tier.name = name;
+  tier.fs = fs;
+  tier.profile = profile;
+  tier.speed_rank = static_cast<uint32_t>(tiers_.size());
+  const TierId id = tier.id;
+  tiers_.push_back(std::move(tier));
+
+  // The SCM cache wants the (first) DAX-capable tier.
+  if (options_.enable_scm_cache && cache_ == nullptr && fs->SupportsDax()) {
+    cache_ = std::make_unique<CacheController>(fs, clock_, options_.costs,
+                                               options_.cache);
+    Status init = cache_->Init();
+    if (!init.ok()) {
+      MUX_LOG(kWarning) << "SCM cache init failed: " << init;
+      cache_.reset();
+    }
+  }
+  return id;
+}
+
+Status Mux::RemoveTier(const std::string& name) {
+  TierId removed = kInvalidTier;
+  TierId target = kInvalidTier;
+  std::vector<std::shared_ptr<MuxInode>> files;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    for (const TierInfo& tier : tiers_) {
+      if (tier.name == name) {
+        removed = tier.id;
+      }
+    }
+    if (removed == kInvalidTier) {
+      return NotFoundError("no such tier: " + name);
+    }
+    if (tiers_.size() < 2) {
+      return InvalidArgumentError("cannot remove the last tier");
+    }
+    for (const TierInfo& tier : tiers_) {
+      if (tier.id != removed) {
+        target = tier.id;
+        break;
+      }
+    }
+    for (const auto& [ino, inode] : inodes_) {
+      if (inode->type == vfs::FileType::kRegular) {
+        files.push_back(inode);
+      }
+    }
+  }
+  // Drain the tier.
+  for (const auto& inode : files) {
+    uint64_t blocks = 0;
+    {
+      std::lock_guard<std::mutex> file_lock(inode->mu);
+      blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
+      if (inode->blt->BlocksOnTier(removed) == 0) {
+        continue;
+      }
+    }
+    MUX_RETURN_IF_ERROR(
+        MigrateRangeInternal(inode, 0, blocks, target, removed));
+  }
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  for (const auto& [ino, inode] : inodes_) {
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    if (inode->blt != nullptr && inode->blt->BlocksOnTier(removed) != 0) {
+      return BusyError("tier still holds data: " + name);
+    }
+    auto it = inode->shadows.find(removed);
+    if (it != inode->shadows.end()) {
+      for (const TierInfo& tier : tiers_) {
+        if (tier.id == removed) {
+          (void)tier.fs->Close(it->second);
+        }
+      }
+      inode->shadows.erase(it);
+    }
+    inode->touched_tiers.erase(removed);
+  }
+  tiers_.erase(std::remove_if(tiers_.begin(), tiers_.end(),
+                              [&](const TierInfo& t) {
+                                return t.id == removed;
+                              }),
+               tiers_.end());
+  return Status::Ok();
+}
+
+Result<TierId> Mux::TierByName(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  for (const TierInfo& tier : tiers_) {
+    if (tier.name == name) {
+      return tier.id;
+    }
+  }
+  return NotFoundError("no such tier: " + name);
+}
+
+std::vector<TierUsage> Mux::TierUsagesLocked() const {
+  std::vector<TierUsage> usages;
+  usages.reserve(tiers_.size());
+  for (const TierInfo& tier : tiers_) {
+    TierUsage usage;
+    usage.id = tier.id;
+    usage.name = tier.name;
+    usage.speed_rank = tier.speed_rank;
+    usage.kind = tier.profile.kind;
+    auto st = tier.fs->StatFs();
+    if (st.ok()) {
+      usage.capacity_bytes = st->capacity_bytes;
+      usage.free_bytes = st->free_bytes;
+    }
+    usages.push_back(std::move(usage));
+  }
+  std::sort(usages.begin(), usages.end(),
+            [](const TierUsage& a, const TierUsage& b) {
+              return a.speed_rank < b.speed_rank;
+            });
+  return usages;
+}
+
+std::vector<TierUsage> Mux::TierUsages() const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  return TierUsagesLocked();
+}
+
+TierId Mux::FastestTierLocked() const {
+  TierId best = kInvalidTier;
+  uint32_t best_rank = UINT32_MAX;
+  for (const TierInfo& tier : tiers_) {
+    if (tier.speed_rank < best_rank) {
+      best_rank = tier.speed_rank;
+      best = tier.id;
+    }
+  }
+  return best;
+}
+
+// ---- policy ------------------------------------------------------------------
+
+Status Mux::SetPolicy(std::unique_ptr<TieringPolicy> policy) {
+  if (policy == nullptr) {
+    return InvalidArgumentError("null policy");
+  }
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  policy_ = std::move(policy);
+  return Status::Ok();
+}
+
+Status Mux::SetPolicyByName(const std::string& name, const std::string& args) {
+  MUX_ASSIGN_OR_RETURN(auto policy,
+                       PolicyRegistry::Global().Create(name, args));
+  return SetPolicy(std::move(policy));
+}
+
+std::string_view Mux::PolicyName() const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  return policy_->Name();
+}
+
+// ---- namespace helpers ----------------------------------------------------------
+
+Result<std::shared_ptr<Mux::MuxInode>> Mux::ResolveLocked(
+    const std::string& path) const {
+  if (!vfs::IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  std::shared_ptr<MuxInode> cur = inodes_.at(kRootIno);
+  for (const auto& part : vfs::SplitPath(path)) {
+    if (cur->type != vfs::FileType::kDirectory) {
+      return NotDirError(path);
+    }
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) {
+      return NotFoundError(path);
+    }
+    auto node = inodes_.find(it->second);
+    if (node == inodes_.end()) {
+      return InternalError("dangling mux dentry");
+    }
+    cur = node->second;
+  }
+  return cur;
+}
+
+Result<std::shared_ptr<Mux::MuxInode>> Mux::ResolveDirLocked(
+    const std::string& path) const {
+  MUX_ASSIGN_OR_RETURN(auto node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  return node;
+}
+
+Result<Mux::OpCtx> Mux::BeginOp(vfs::FileHandle handle,
+                                uint32_t needed_flags) const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return BadHandleError("unknown handle");
+  }
+  if ((it->second.flags & needed_flags) != needed_flags) {
+    return PermissionError("handle lacks required access mode");
+  }
+  OpCtx ctx;
+  ctx.file = it->second;
+  ctx.tiers = tiers_;
+  ctx.policy = policy_.get();
+  return ctx;
+}
+
+// ---- shadow plumbing ----------------------------------------------------------
+
+Status Mux::EnsureShadowDirs(const TierInfo& tier, const std::string& path) {
+  // mkdir -p on the tier for every ancestor of `path`.
+  const auto parts = vfs::SplitPath(path);
+  std::string prefix;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    prefix += '/';
+    prefix += parts[i];
+    Status s = tier.fs->Mkdir(prefix, 0755);
+    if (!s.ok() && s.code() != ErrorCode::kExists) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FileHandle> Mux::ShadowHandleLocked(MuxInode& inode,
+                                                const TierInfo& tier,
+                                                bool create) {
+  auto it = inode.shadows.find(tier.id);
+  if (it != inode.shadows.end()) {
+    return it->second;
+  }
+  uint32_t flags = vfs::OpenFlags::kReadWrite;
+  if (create) {
+    flags |= vfs::OpenFlags::kCreate;
+    MUX_RETURN_IF_ERROR(EnsureShadowDirs(tier, inode.path));
+  }
+  MUX_ASSIGN_OR_RETURN(vfs::FileHandle handle,
+                       tier.fs->Open(inode.path, flags, inode.attrs.mode()));
+  inode.shadows.emplace(tier.id, handle);
+  inode.touched_tiers.insert(tier.id);
+  return handle;
+}
+
+Status Mux::CloseShadowsLocked(MuxInode& inode) {
+  // Callers hold inode.mu; tier table access via tiers_ snapshot captured
+  // by the caller is not needed here because the destructor and unlink paths
+  // hold ns_mu_ as well. To stay safe, look up through the member directly —
+  // every caller of this function holds ns_mu_.
+  for (const auto& [tier_id, handle] : inode.shadows) {
+    for (const TierInfo& tier : tiers_) {
+      if (tier.id == tier_id) {
+        (void)tier.fs->Close(handle);
+      }
+    }
+  }
+  inode.shadows.clear();
+  return Status::Ok();
+}
+
+void Mux::Touch(MuxInode& inode) {
+  const SimTime now = clock_->Now();
+  inode.temperature = Decay(inode.temperature, now - inode.last_access) + 1.0;
+  inode.last_access = now;
+}
+
+// ---- vfs namespace operations -----------------------------------------------------
+
+Result<vfs::FileHandle> Mux::Open(const std::string& path, uint32_t flags,
+                                  uint32_t mode) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (tiers_.empty()) {
+    return InternalError("mux has no registered tiers");
+  }
+  auto resolved = ResolveLocked(path);
+  std::shared_ptr<MuxInode> inode;
+  if (resolved.ok()) {
+    if ((flags & vfs::OpenFlags::kExclusive) &&
+        (flags & vfs::OpenFlags::kCreate)) {
+      return ExistsError(path);
+    }
+    inode = *resolved;
+    if (inode->type == vfs::FileType::kDirectory) {
+      return IsDirError(path);
+    }
+    if (flags & vfs::OpenFlags::kTruncate) {
+      std::lock_guard<std::mutex> file_lock(inode->mu);
+      MUX_RETURN_IF_ERROR(TruncateLocked(*inode, 0, tiers_));
+    }
+  } else if (resolved.status().code() == ErrorCode::kNotFound &&
+             (flags & vfs::OpenFlags::kCreate)) {
+    MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
+    inode = std::make_shared<MuxInode>();
+    inode->ino = next_ino_++;
+    inode->type = vfs::FileType::kRegular;
+    inode->path = vfs::NormalizePath(path);
+    inode->blt = MakeBlt(options_.blt_kind);
+    const TierId fastest = FastestTierLocked();
+    const SimTime now = clock_->Now();
+    inode->attrs.set_ctime(now);
+    inode->attrs.UpdateSize(0, fastest);
+    inode->attrs.UpdateMtime(now, fastest);
+    inode->attrs.UpdateAtime(now, fastest);
+    inode->attrs.UpdateMode(mode, fastest);
+    inode->last_access = now;
+    inodes_.emplace(inode->ino, inode);
+    parent->children.emplace(vfs::Basename(path), inode->ino);
+  } else {
+    return resolved.status();
+  }
+  const vfs::FileHandle handle = next_handle_++;
+  inode->open_count++;
+  open_files_.emplace(handle, OpenFile{inode, flags});
+  return handle;
+}
+
+Status Mux::Close(vfs::FileHandle handle) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return BadHandleError("close of unknown handle");
+  }
+  it->second.inode->open_count--;
+  open_files_.erase(it);
+  return Status::Ok();
+}
+
+Status Mux::Mkdir(const std::string& path, uint32_t mode) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (!vfs::IsValidPath(path) || vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("invalid mkdir path: " + path);
+  }
+  if (ResolveLocked(path).ok()) {
+    return ExistsError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
+  auto inode = std::make_shared<MuxInode>();
+  inode->ino = next_ino_++;
+  inode->type = vfs::FileType::kDirectory;
+  inode->path = vfs::NormalizePath(path);
+  const SimTime now = clock_->Now();
+  inode->attrs.set_ctime(now);
+  inode->attrs.UpdateMode(mode, FastestTierLocked());
+  inodes_.emplace(inode->ino, inode);
+  parent->children.emplace(vfs::Basename(path), inode->ino);
+  return Status::Ok();
+}
+
+Status Mux::Rmdir(const std::string& path) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("cannot remove root");
+  }
+  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+  if (inode->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  if (!inode->children.empty()) {
+    return NotEmptyError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
+  // Remove the shadow directory wherever it materialized.
+  for (const TierInfo& tier : tiers_) {
+    Status s = tier.fs->Rmdir(inode->path);
+    if (!s.ok() && s.code() != ErrorCode::kNotFound) {
+      return s;
+    }
+  }
+  parent->children.erase(vfs::Basename(path));
+  inodes_.erase(inode->ino);
+  return Status::Ok();
+}
+
+Status Mux::UnlinkInodeLocked(const std::shared_ptr<MuxInode>& inode) {
+  // ns_mu_ held. Drop shadows, shadow files, cache entries, namespace entry.
+  std::lock_guard<std::mutex> file_lock(inode->mu);
+  MUX_RETURN_IF_ERROR(CloseShadowsLocked(*inode));
+  for (const TierId tier_id : inode->touched_tiers) {
+    for (const TierInfo& tier : tiers_) {
+      if (tier.id == tier_id) {
+        Status s = tier.fs->Unlink(inode->path);
+        if (!s.ok() && s.code() != ErrorCode::kNotFound) {
+          return s;
+        }
+      }
+    }
+  }
+  if (cache_ != nullptr) {
+    cache_->InvalidateFile(inode->ino);
+  }
+  inodes_.erase(inode->ino);
+  return Status::Ok();
+}
+
+Status Mux::Unlink(const std::string& path) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+  if (inode->type == vfs::FileType::kDirectory) {
+    return IsDirError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
+  MUX_RETURN_IF_ERROR(UnlinkInodeLocked(inode));
+  parent->children.erase(vfs::Basename(path));
+  return Status::Ok();
+}
+
+Status Mux::Rename(const std::string& from, const std::string& to) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(from));
+  if (!vfs::IsValidPath(to)) {
+    return InvalidArgumentError("invalid rename target: " + to);
+  }
+  const std::string norm_from = vfs::NormalizePath(from);
+  const std::string norm_to = vfs::NormalizePath(to);
+  if (vfs::PathHasPrefix(norm_to, norm_from) && norm_to != norm_from) {
+    return InvalidArgumentError("cannot rename a directory into itself");
+  }
+  // Replace an existing target.
+  auto existing = ResolveLocked(to);
+  if (existing.ok()) {
+    auto target = *existing;
+    if (target->type == vfs::FileType::kDirectory) {
+      if (!target->children.empty()) {
+        return NotEmptyError(to);
+      }
+      MUX_ASSIGN_OR_RETURN(auto to_parent, ResolveDirLocked(vfs::Dirname(to)));
+      for (const TierInfo& tier : tiers_) {
+        Status s = tier.fs->Rmdir(target->path);
+        if (!s.ok() && s.code() != ErrorCode::kNotFound) {
+          return s;
+        }
+      }
+      to_parent->children.erase(vfs::Basename(to));
+      inodes_.erase(target->ino);
+    } else {
+      MUX_ASSIGN_OR_RETURN(auto to_parent, ResolveDirLocked(vfs::Dirname(to)));
+      MUX_RETURN_IF_ERROR(UnlinkInodeLocked(target));
+      to_parent->children.erase(vfs::Basename(to));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    MUX_RETURN_IF_ERROR(CloseShadowsLocked(*inode));
+    // Rename the shadow on every tier that may hold it (file: touched
+    // tiers; directory: any tier — shadow dirs are not tracked per tier).
+    for (const TierInfo& tier : tiers_) {
+      if (inode->type == vfs::FileType::kRegular &&
+          !inode->touched_tiers.contains(tier.id)) {
+        continue;
+      }
+      if (tier.fs->Stat(inode->path).ok()) {
+        MUX_RETURN_IF_ERROR(EnsureShadowDirs(tier, norm_to));
+        MUX_RETURN_IF_ERROR(tier.fs->Rename(inode->path, norm_to));
+      }
+    }
+  }
+
+  // Update the mux namespace.
+  MUX_ASSIGN_OR_RETURN(auto from_parent, ResolveDirLocked(vfs::Dirname(from)));
+  from_parent->children.erase(vfs::Basename(from));
+  MUX_ASSIGN_OR_RETURN(auto to_parent, ResolveDirLocked(vfs::Dirname(to)));
+  to_parent->children[vfs::Basename(to)] = inode->ino;
+
+  // Rewrite descendant paths (directory rename moves the whole subtree).
+  const std::string old_path = inode->path;
+  inode->path = norm_to;
+  if (inode->type == vfs::FileType::kDirectory) {
+    for (auto& [ino, node] : inodes_) {
+      if (node->ino != inode->ino &&
+          vfs::PathHasPrefix(node->path, old_path)) {
+        std::lock_guard<std::mutex> file_lock(node->mu);
+        // Shadow handles hold pre-rename paths on the underlying FSes; the
+        // handles stay valid (handle-based I/O), but fresh opens need the
+        // new path, so drop the cached ones.
+        MUX_RETURN_IF_ERROR(CloseShadowsLocked(*node));
+        node->path = norm_to + node->path.substr(old_path.size());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FileStat> Mux::Stat(const std::string& path) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+  std::lock_guard<std::mutex> file_lock(inode->mu);
+  return StatForLocked(*inode);
+}
+
+vfs::FileStat Mux::StatForLocked(const MuxInode& inode) const {
+  // Served entirely from the collective inode — no fan-out (§2.3).
+  vfs::FileStat st;
+  st.ino = inode.ino;
+  st.type = inode.type;
+  st.size = inode.attrs.size();
+  st.allocated_bytes =
+      inode.blt != nullptr ? inode.blt->TotalBlocks() * kBlockSize : 0;
+  st.atime = inode.attrs.atime();
+  st.mtime = inode.attrs.mtime();
+  st.ctime = inode.attrs.ctime();
+  st.mode = inode.attrs.mode();
+  return st;
+}
+
+Result<std::vector<vfs::DirEntry>> Mux::ReadDir(const std::string& path) {
+  ChargeDispatch();
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto dir, ResolveDirLocked(path));
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(dir->children.size());
+  for (const auto& [name, ino] : dir->children) {
+    auto it = inodes_.find(ino);
+    if (it == inodes_.end()) {
+      continue;
+    }
+    entries.push_back(vfs::DirEntry{name, it->second->type, ino});
+  }
+  return entries;
+}
+
+Result<vfs::FileStat> Mux::FStat(vfs::FileHandle handle) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
+  std::lock_guard<std::mutex> file_lock(ctx.file.inode->mu);
+  return StatForLocked(*ctx.file.inode);
+}
+
+Status Mux::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
+  MuxInode& inode = *ctx.file.inode;
+  std::lock_guard<std::mutex> file_lock(inode.mu);
+  // The caller dictates values; ownership moves to the fastest tier that
+  // holds part of the file (or the fastest overall for empty files).
+  TierId owner = kInvalidTier;
+  for (const TierInfo& tier : ctx.tiers) {
+    if (inode.blt != nullptr && inode.blt->BlocksOnTier(tier.id) > 0) {
+      owner = tier.id;
+      break;
+    }
+  }
+  if (owner == kInvalidTier && !ctx.tiers.empty()) {
+    owner = ctx.tiers.front().id;
+  }
+  if (update.atime) {
+    inode.attrs.UpdateAtime(*update.atime, owner);
+  }
+  if (update.mtime) {
+    inode.attrs.UpdateMtime(*update.mtime, owner);
+  }
+  if (update.mode) {
+    inode.attrs.UpdateMode(*update.mode, owner);
+  }
+  clock_->Advance(options_.costs.affinity_update_ns);
+  // Lazy sync: push the values to every shadow so non-owners don't drift.
+  for (const TierInfo& tier : ctx.tiers) {
+    auto it = inode.shadows.find(tier.id);
+    if (it != inode.shadows.end()) {
+      (void)tier.fs->SetAttr(it->second, update);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FsStats> Mux::StatFs() {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  vfs::FsStats total;
+  for (const TierInfo& tier : tiers_) {
+    auto st = tier.fs->StatFs();
+    if (st.ok()) {
+      total.capacity_bytes += st->capacity_bytes;
+      total.free_bytes += st->free_bytes;
+      total.total_inodes += st->total_inodes;
+      total.free_inodes += st->free_inodes;
+    }
+  }
+  return total;
+}
+
+Status Mux::Sync() {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  for (const TierInfo& tier : tiers_) {
+    MUX_RETURN_IF_ERROR(tier.fs->Sync());
+  }
+  return Status::Ok();
+}
+
+}  // namespace mux::core

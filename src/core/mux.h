@@ -1,0 +1,309 @@
+// Mux — the tiered file system that talks to file systems, not device
+// drivers (the paper's core contribution).
+//
+// Mux implements vfs::FileSystem and is mounted like any other file system
+// (Figure 1b): it receives VFS calls from above, consults its Block Lookup
+// Table and tiering policy, splits each call along block→tier mappings, and
+// re-issues the pieces to the registered device-specific file systems as
+// ordinary VFS calls on *shadow files* — sparse files with the same path and
+// the same block offsets on every participating tier (§2.2, Figure 2).
+//
+// Component map (Figure 1c):
+//   FS Multiplexer / tier registry  — AddTier / RemoveTier
+//   VFS Call Processor / Maker      — Read/Write/... split-and-merge logic
+//   File Blk. Tracker               — BlockLookupTable per file
+//   Metadata Tracker                — CollectiveInode + attribute affinity
+//   OCC Synchronizer                — OccState per file + MigrateRange
+//   Policy Runner                   — TieringPolicy + RunPolicyMigrations
+//   Cache Controller                — SCM cache (DAX file on the PM tier)
+//   State Bookkeeper                — Checkpoint / Recover
+//   (the I/O scheduler serves the background migration path; see
+//    io_scheduler.h)
+#ifndef MUX_CORE_MUX_H_
+#define MUX_CORE_MUX_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/block_lookup_table.h"
+#include "src/core/bookkeeper.h"
+#include "src/core/cache_controller.h"
+#include "src/core/cost_model.h"
+#include "src/core/io_scheduler.h"
+#include "src/core/metadata.h"
+#include "src/core/occ.h"
+#include "src/core/policy.h"
+#include "src/core/tier.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::core {
+
+struct MuxStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t split_segments = 0;   // extra per-tier pieces beyond 1 per call
+  uint64_t migration_passes = 0;
+  uint64_t migrated_blocks = 0;
+  OccStats occ;
+};
+
+class Mux : public vfs::FileSystem {
+ public:
+  static constexpr uint64_t kBlockSize = 4096;
+
+  struct Options {
+    BltKind blt_kind = BltKind::kExtentTree;
+    CostModel costs;
+    std::string policy = "lru";
+    std::string policy_args;
+    bool enable_scm_cache = false;
+    CacheController::Options cache;
+    std::string meta_path = "/.mux_meta";
+  };
+
+  Mux(SimClock* clock, Options options);
+  explicit Mux(SimClock* clock);
+  ~Mux() override;
+
+  // ---- FS Multiplexer: tier registry ------------------------------------
+  // Tiers must be added fastest-first (speed_rank = registration order).
+  // Returns the TierId.
+  Result<TierId> AddTier(const std::string& name, vfs::FileSystem* fs,
+                         const device::DeviceProfile& profile);
+  // Migrates all data off the tier (to the next-fastest remaining one) and
+  // deregisters it. Runtime removal per §2.1.
+  Status RemoveTier(const std::string& name);
+  Result<TierId> TierByName(const std::string& name) const;
+  std::vector<TierUsage> TierUsages() const;
+
+  // ---- Policy Runner ------------------------------------------------------
+  Status SetPolicy(std::unique_ptr<TieringPolicy> policy);
+  Status SetPolicyByName(const std::string& name,
+                         const std::string& args = "");
+  std::string_view PolicyName() const;
+  // One synchronous round of policy-driven migration.
+  Status RunPolicyMigrations();
+  // Background migration thread (real thread; interval is wall time).
+  void StartBackgroundMigration(uint32_t interval_ms = 10);
+  void StopBackgroundMigration();
+
+  // ---- Data movement (OCC Synchronizer, §2.4) -----------------------------
+  // Moves the file's blocks currently on `from` (kInvalidTier = any tier
+  // except `to`) onto `to`. Optimistic: user writes proceed during the copy;
+  // conflicting blocks are retried and, after OccState::kMaxRetries, moved
+  // under the file lock.
+  Status MigrateFile(const std::string& path, TierId to,
+                     TierId from = kInvalidTier);
+  Status MigrateRange(const std::string& path, uint64_t first_block,
+                      uint64_t count, TierId to);
+
+  // ---- Replication (§4 "Crash Consistency": "a much stronger crash
+  // consistency guarantee can be designed ... by the opportunity for data
+  // replication across devices") ------------------------------------------
+  // Mirrors the file's blocks onto `replica_tier` (in addition to their
+  // primary homes). Subsequent writes update both copies; reads are served
+  // from the faster of the two and FAIL OVER to the surviving copy when a
+  // device dies.
+  Status ReplicateFile(const std::string& path, TierId replica_tier);
+  Status ReplicateRange(const std::string& path, uint64_t first_block,
+                        uint64_t count, TierId replica_tier);
+  // Drops all replicas of the file (punching their shadow blocks).
+  Status DropReplicas(const std::string& path);
+  Result<std::map<TierId, uint64_t>> ReplicaBreakdown(
+      const std::string& path) const;
+
+  // ---- State Bookkeeper ----------------------------------------------------
+  // Persists Mux's metadata to the fastest tier.
+  Status Checkpoint();
+  // Rebuilds Mux state from the last checkpoint. Tiers must already be
+  // registered in the same order as when the checkpoint was taken.
+  Status Recover();
+
+  // ---- Consistency scrub ------------------------------------------------
+  struct ScrubReport {
+    uint64_t files_checked = 0;
+    uint64_t blocks_checked = 0;
+    uint64_t missing_shadows = 0;      // BLT points at a tier with no shadow
+    uint64_t size_inconsistencies = 0; // BLT maps blocks beyond logical size
+    uint64_t replica_mismatches = 0;   // mirror bytes differ from primary
+
+    bool Clean() const {
+      return missing_shadows == 0 && size_inconsistencies == 0 &&
+             replica_mismatches == 0;
+    }
+  };
+  // Walks every file and validates Mux's global metadata against the
+  // underlying file systems: shadows exist where the BLT says data lives,
+  // no mapping extends past the logical size, and every replica byte equals
+  // its primary. Read-only; safe to run online.
+  Result<ScrubReport> Scrub();
+
+  // ---- Introspection ---------------------------------------------------------
+  MuxStats stats() const;
+  ScmCacheStats CacheStats() const;
+  // Blocks per tier for one file (Figure 2's "user view" of distribution).
+  Result<std::map<TierId, uint64_t>> FileTierBreakdown(
+      const std::string& path) const;
+  uint64_t BltMemoryBytes() const;
+
+  // ---- vfs::FileSystem --------------------------------------------------------
+  std::string_view Name() const override { return "mux"; }
+
+  Result<vfs::FileHandle> Open(const std::string& path, uint32_t flags,
+                               uint32_t mode = 0644) override;
+  Status Close(vfs::FileHandle handle) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<vfs::FileStat> Stat(const std::string& path) override;
+  Result<std::vector<vfs::DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<uint64_t> Read(vfs::FileHandle handle, uint64_t offset,
+                        uint64_t length, uint8_t* out) override;
+  Result<uint64_t> Write(vfs::FileHandle handle, uint64_t offset,
+                         const uint8_t* data, uint64_t length) override;
+  Status Truncate(vfs::FileHandle handle, uint64_t new_size) override;
+  Status Fsync(vfs::FileHandle handle, bool data_only) override;
+  Status Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
+                   bool keep_size) override;
+  Status PunchHole(vfs::FileHandle handle, uint64_t offset,
+                   uint64_t length) override;
+  Result<vfs::FileStat> FStat(vfs::FileHandle handle) override;
+  Status SetAttr(vfs::FileHandle handle,
+                 const vfs::AttrUpdate& update) override;
+
+  Result<vfs::FsStats> StatFs() override;
+  Status Sync() override;
+
+ private:
+  struct MuxInode {
+    vfs::InodeNum ino = vfs::kInvalidInode;
+    vfs::FileType type = vfs::FileType::kRegular;
+    std::string path;  // canonical mux path == shadow path on every tier
+    CollectiveInode attrs;
+    std::unique_ptr<BlockLookupTable> blt;
+    // Mirror locations (nullptr until the first ReplicateRange). A block may
+    // have at most one replica; its shadow offsets match the primary's.
+    std::unique_ptr<BlockLookupTable> replicas;
+    OccState occ;
+    std::map<TierId, vfs::FileHandle> shadows;  // lazily opened
+    std::set<TierId> touched_tiers;  // tiers where a shadow file may exist
+    std::map<std::string, vfs::InodeNum> children;  // directories
+    double temperature = 0.0;
+    SimTime last_access = 0;
+    uint32_t open_count = 0;
+    std::mutex mu;  // file lock: data path, BLT, attrs
+  };
+
+  struct OpenFile {
+    std::shared_ptr<MuxInode> inode;
+    uint32_t flags = 0;
+  };
+
+  // Everything one data-path call needs, captured under ns_mu_ once so the
+  // hot path never holds ns_mu_ across device I/O (lock order is always
+  // ns_mu_ -> inode.mu, never the reverse).
+  struct OpCtx {
+    OpenFile file;
+    std::vector<TierInfo> tiers;
+    TieringPolicy* policy = nullptr;
+  };
+
+  // ---- namespace (ns_mu_ held) --------------------------------------------
+  Result<std::shared_ptr<MuxInode>> ResolveLocked(const std::string& path) const;
+  Result<std::shared_ptr<MuxInode>> ResolveDirLocked(
+      const std::string& path) const;
+  Result<OpCtx> BeginOp(vfs::FileHandle handle, uint32_t needed_flags) const;
+  Status UnlinkInodeLocked(const std::shared_ptr<MuxInode>& inode);
+  vfs::FileStat StatForLocked(const MuxInode& inode) const;
+
+  // ---- shadow plumbing (inode.mu held) --------------------------------------
+  Result<vfs::FileHandle> ShadowHandleLocked(MuxInode& inode,
+                                             const TierInfo& tier,
+                                             bool create);
+  Status CloseShadowsLocked(MuxInode& inode);  // also needs ns_mu_
+  Status EnsureShadowDirs(const TierInfo& tier, const std::string& path);
+
+  // ---- tier helpers (ns_mu_ held) ---------------------------------------------
+  std::vector<TierUsage> TierUsagesLocked() const;
+  TierId FastestTierLocked() const;
+  static Result<const TierInfo*> FindTier(const std::vector<TierInfo>& tiers,
+                                          TierId id);
+
+  // ---- data-path internals (inode.mu held) --------------------------------------
+  void Touch(MuxInode& inode);
+  // Reads [offset, offset+length) of one block from `primary_tier`,
+  // preferring a faster replica and failing over to the other copy on I/O
+  // error.
+  Status ReadWithReplicaLocked(MuxInode& inode,
+                               const std::vector<TierInfo>& tiers,
+                               TierId primary_tier, uint64_t offset,
+                               uint64_t length, uint8_t* out);
+  // Mirrors a just-written byte range into any replicas covering it.
+  Status UpdateReplicasLocked(MuxInode& inode,
+                              const std::vector<TierInfo>& tiers,
+                              uint64_t offset, const uint8_t* data,
+                              uint64_t length, TierId primary_tier);
+  Result<uint64_t> WriteLocked(MuxInode& inode, const OpCtx& ctx,
+                               uint64_t offset, const uint8_t* data,
+                               uint64_t length, bool is_sync);
+  Result<uint64_t> ReadLocked(MuxInode& inode, const OpCtx& ctx,
+                              uint64_t offset, uint64_t length, uint8_t* out);
+  Status TruncateLocked(MuxInode& inode, uint64_t new_size,
+                        const std::vector<TierInfo>& tiers);
+
+  // ---- migration internals ------------------------------------------------------
+  Status MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
+                              uint64_t first_block, uint64_t count, TierId to,
+                              TierId only_from);
+  // Copies the given runs to `to` through the shadow files (no lock held).
+  Status CopyRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
+                  const std::vector<BlockLookupTable::Run>& runs, TierId to);
+  // Commits runs into the BLT and punches holes at the sources, skipping
+  // `skip_blocks` (inode.mu held).
+  Status CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
+                    const std::vector<BlockLookupTable::Run>& runs, TierId to,
+                    const std::vector<uint64_t>& skip_blocks);
+  // Runs currently needing migration for [first, first+count) (inode.mu
+  // held).
+  std::vector<BlockLookupTable::Run> PendingRunsLocked(
+      const MuxInode& inode, uint64_t first_block, uint64_t count, TierId to,
+      TierId only_from) const;
+
+  // ---- bookkeeping ---------------------------------------------------------------
+  MuxSnapshot BuildSnapshotLocked() const;  // ns_mu_ held
+
+  void ChargeDispatch() const { clock_->Advance(options_.costs.dispatch_ns); }
+
+  SimClock* const clock_;
+  const Options options_;
+
+  mutable std::mutex ns_mu_;  // namespace, tiers, handles, policy pointer
+  std::vector<TierInfo> tiers_;  // sorted by speed_rank (= insertion order)
+  std::unordered_map<vfs::InodeNum, std::shared_ptr<MuxInode>> inodes_;
+  std::unordered_map<vfs::FileHandle, OpenFile> open_files_;
+  std::unique_ptr<TieringPolicy> policy_;
+  std::unique_ptr<CacheController> cache_;
+  TierId next_tier_id_ = 0;
+  vfs::InodeNum next_ino_ = 2;
+  vfs::FileHandle next_handle_ = 1;
+
+  mutable std::mutex stats_mu_;
+  MuxStats stats_;
+
+  std::thread migration_thread_;
+  std::atomic<bool> migration_running_{false};
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_MUX_H_

@@ -1,0 +1,985 @@
+// Mux data path: the VFS Call Processor (split/dispatch/merge), the OCC
+// migration engine, the policy runner, and the bookkeeper glue.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/core/mux.h"
+#include "src/core/mux_internal.h"
+#include "src/vfs/path.h"
+
+namespace mux::core {
+
+using internal::Decay;
+using internal::kRootIno;
+
+Result<const TierInfo*> Mux::FindTier(const std::vector<TierInfo>& tiers,
+                                      TierId id) {
+  for (const TierInfo& tier : tiers) {
+    if (tier.id == id) {
+      return &tier;
+    }
+  }
+  return NotFoundError("unknown tier id");
+}
+
+// ---- read path ---------------------------------------------------------------
+
+Result<uint64_t> Mux::Read(vfs::FileHandle handle, uint64_t offset,
+                           uint64_t length, uint8_t* out) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kRead));
+  MuxInode& inode = *ctx.file.inode;
+  std::lock_guard<std::mutex> file_lock(inode.mu);
+  return ReadLocked(inode, ctx, offset, length, out);
+}
+
+Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
+                                 uint64_t offset, uint64_t length,
+                                 uint8_t* out) {
+  const uint64_t size = inode.attrs.size();
+  if (offset >= size || length == 0) {
+    return uint64_t{0};
+  }
+  const uint64_t n = std::min(length, size - offset);
+  const uint64_t first_block = offset / kBlockSize;
+  const uint64_t last_block = (offset + n - 1) / kBlockSize;
+
+  clock_->Advance(options_.costs.blt_lookup_ns);
+  const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
+  if (runs.size() > 1) {
+    clock_->Advance(options_.costs.split_segment_ns * (runs.size() - 1));
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.split_segments += runs.size() - 1;
+  }
+
+  TierId last_tier = kInvalidTier;
+  std::vector<uint8_t> block_buf;
+  for (const auto& run : runs) {
+    const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
+    const uint64_t run_hi =
+        std::min(offset + n, (run.first_block + run.count) * kBlockSize);
+    if (run_lo >= run_hi) {
+      continue;
+    }
+    if (run.tier == kInvalidTier) {
+      std::memset(out + (run_lo - offset), 0, run_hi - run_lo);
+      continue;
+    }
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers, run.tier));
+    last_tier = run.tier;
+
+    // SCM cache path: only for blocks whose home is a slower tier.
+    const bool cacheable = cache_ != nullptr && tier->speed_rank > 0;
+    if (cacheable) {
+      if (block_buf.empty()) {
+        block_buf.resize(kBlockSize);
+      }
+      for (uint64_t pos = run_lo; pos < run_hi;) {
+        const uint64_t block = pos / kBlockSize;
+        const uint64_t in_block = pos % kBlockSize;
+        const uint64_t chunk = std::min(run_hi - pos, kBlockSize - in_block);
+        if (cache_->TryRead(inode.ino, block, in_block, chunk,
+                            out + (pos - offset))) {
+          pos += chunk;
+          continue;
+        }
+        MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers, run.tier,
+                                                  block * kBlockSize,
+                                                  kBlockSize,
+                                                  block_buf.data()));
+        std::memcpy(out + (pos - offset), block_buf.data() + in_block, chunk);
+        cache_->OnMiss(inode.ino, block, block_buf.data());
+        pos += chunk;
+      }
+      continue;
+    }
+
+    if (inode.replicas == nullptr) {
+      MUX_ASSIGN_OR_RETURN(vfs::FileHandle shadow,
+                           ShadowHandleLocked(inode, *tier, false));
+      MUX_ASSIGN_OR_RETURN(uint64_t got,
+                           tier->fs->Read(shadow, run_lo, run_hi - run_lo,
+                                          out + (run_lo - offset)));
+      if (got < run_hi - run_lo) {
+        // The shadow is shorter than the mapping implies (e.g. tail block
+        // of the file): the remainder reads as zeros.
+        std::memset(out + (run_lo - offset) + got, 0, run_hi - run_lo - got);
+      }
+    } else {
+      // Split at replica-coverage boundaries so each piece reads from its
+      // fastest available copy (and can fail over).
+      const uint64_t rb_first = run_lo / kBlockSize;
+      const uint64_t rb_last = (run_hi - 1) / kBlockSize;
+      for (const auto& rrun :
+           inode.replicas->Runs(rb_first, rb_last - rb_first + 1)) {
+        const uint64_t lo =
+            std::max(run_lo, rrun.first_block * kBlockSize);
+        const uint64_t hi = std::min(
+            run_hi, (rrun.first_block + rrun.count) * kBlockSize);
+        if (lo >= hi) {
+          continue;
+        }
+        MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(
+            inode, ctx.tiers, run.tier, lo, hi - lo, out + (lo - offset)));
+      }
+    }
+  }
+
+  // atime affinity: the file system that fetched the last block (§2.3).
+  inode.attrs.UpdateAtime(clock_->Now(),
+                          last_tier == kInvalidTier
+                              ? inode.attrs.Owner(Attr::kAtime)
+                              : last_tier);
+  clock_->Advance(options_.costs.affinity_update_ns);
+  Touch(inode);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.reads++;
+  }
+  return n;
+}
+
+// ---- write path -----------------------------------------------------------------
+
+Result<uint64_t> Mux::Write(vfs::FileHandle handle, uint64_t offset,
+                            const uint8_t* data, uint64_t length) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
+  MuxInode& inode = *ctx.file.inode;
+  const bool is_sync = (ctx.file.flags & vfs::OpenFlags::kSync) != 0;
+  std::lock_guard<std::mutex> file_lock(inode.mu);
+  return WriteLocked(inode, ctx, offset, data, length, is_sync);
+}
+
+Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
+                                  uint64_t offset, const uint8_t* data,
+                                  uint64_t length, bool is_sync) {
+  if (length == 0) {
+    return uint64_t{0};
+  }
+  const uint64_t first_block = offset / kBlockSize;
+  const uint64_t last_block = (offset + length - 1) / kBlockSize;
+
+  clock_->Advance(options_.costs.blt_lookup_ns);
+  const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
+  if (runs.size() > 1) {
+    clock_->Advance(options_.costs.split_segment_ns * (runs.size() - 1));
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.split_segments += runs.size() - 1;
+  }
+
+  // Placement granularity for new blocks: large appends are placed in
+  // chunks so a single huge write can start on the fast tier and spill to
+  // slower ones when space runs out.
+  constexpr uint64_t kPlacementChunkBlocks = 1024;  // 4 MiB
+  std::vector<BlockLookupTable::Run> segments;
+  bool has_hole = false;
+  for (const auto& run : runs) {
+    if (run.tier != kInvalidTier || run.count <= kPlacementChunkBlocks) {
+      segments.push_back(run);
+      has_hole |= run.tier == kInvalidTier;
+      continue;
+    }
+    has_hole = true;
+    for (uint64_t done = 0; done < run.count; done += kPlacementChunkBlocks) {
+      segments.push_back(BlockLookupTable::Run{
+          run.first_block + done,
+          std::min(kPlacementChunkBlocks, run.count - done), kInvalidTier});
+    }
+  }
+
+  // Policies need occupancy; capture it once and keep it current locally as
+  // chunks land.
+  std::vector<TierUsage> usages;
+  if (has_hole) {
+    usages.reserve(ctx.tiers.size());
+    for (const TierInfo& tier : ctx.tiers) {
+      TierUsage usage;
+      usage.id = tier.id;
+      usage.name = tier.name;
+      usage.speed_rank = tier.speed_rank;
+      usage.kind = tier.profile.kind;
+      auto st = tier.fs->StatFs();
+      if (st.ok()) {
+        usage.capacity_bytes = st->capacity_bytes;
+        usage.free_bytes = st->free_bytes;
+      }
+      usages.push_back(std::move(usage));
+    }
+    std::sort(usages.begin(), usages.end(),
+              [](const TierUsage& a, const TierUsage& b) {
+                return a.speed_rank < b.speed_rank;
+              });
+  }
+
+  TierId last_written_tier = kInvalidTier;
+  for (const auto& run : segments) {
+    const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
+    const uint64_t run_hi =
+        std::min(offset + length, (run.first_block + run.count) * kBlockSize);
+    TierId target = run.tier;
+    if (target == kInvalidTier) {
+      PlacementContext pctx;
+      pctx.path = inode.path;
+      pctx.io_size = run_hi - run_lo;
+      pctx.is_sync = is_sync;
+      pctx.file_size = inode.attrs.size();
+      pctx.block_index = run.first_block;
+      pctx.temperature = inode.temperature;
+      pctx.tiers = &usages;
+      target = ctx.policy != nullptr ? ctx.policy->PlaceWrite(pctx)
+                                     : kInvalidTier;
+      if (target == kInvalidTier && !ctx.tiers.empty()) {
+        target = ctx.tiers.front().id;
+      }
+    }
+
+    // Dispatch, falling down the hierarchy on ENOSPC.
+    Status write_status = NoSpaceError("no tier accepted the write");
+    TierId actual = kInvalidTier;
+    MUX_ASSIGN_OR_RETURN(const TierInfo* first_choice,
+                         FindTier(ctx.tiers, target));
+    std::vector<const TierInfo*> candidates{first_choice};
+    for (const TierInfo& tier : ctx.tiers) {
+      if (tier.id != target) {
+        candidates.push_back(&tier);
+      }
+    }
+    for (const TierInfo* tier : candidates) {
+      auto shadow = ShadowHandleLocked(inode, *tier, /*create=*/true);
+      if (!shadow.ok()) {
+        write_status = shadow.status();
+        continue;
+      }
+      auto written = tier->fs->Write(*shadow, run_lo, data + (run_lo - offset),
+                                     run_hi - run_lo);
+      if (written.ok()) {
+        actual = tier->id;
+        write_status = Status::Ok();
+        break;
+      }
+      write_status = written.status();
+      if (written.status().code() != ErrorCode::kNoSpace) {
+        break;
+      }
+    }
+    MUX_RETURN_IF_ERROR(write_status);
+
+    // Keep the local occupancy view current so later chunks of this call
+    // see the space this chunk consumed.
+    for (TierUsage& usage : usages) {
+      if (usage.id == actual) {
+        usage.free_bytes -= std::min<uint64_t>(usage.free_bytes,
+                                               run_hi - run_lo);
+      }
+    }
+
+    // If the data moved tiers relative to the old mapping, the old copy
+    // must be punched out.
+    if (run.tier != kInvalidTier && run.tier != actual) {
+      MUX_ASSIGN_OR_RETURN(const TierInfo* old_tier,
+                           FindTier(ctx.tiers, run.tier));
+      auto old_shadow = ShadowHandleLocked(inode, *old_tier, false);
+      if (old_shadow.ok()) {
+        const uint64_t punch_first = run_lo / kBlockSize;
+        const uint64_t punch_last = (run_hi - 1) / kBlockSize;
+        (void)old_tier->fs->PunchHole(*old_shadow, punch_first * kBlockSize,
+                                      (punch_last - punch_first + 1) *
+                                          kBlockSize);
+      }
+    }
+    inode.blt->SetRange(run_lo / kBlockSize,
+                        (run_hi - 1) / kBlockSize - run_lo / kBlockSize + 1,
+                        actual);
+    last_written_tier = actual;
+
+    // Write-through into the SCM cache.
+    if (cache_ != nullptr) {
+      for (uint64_t pos = run_lo; pos < run_hi;) {
+        const uint64_t block = pos / kBlockSize;
+        const uint64_t in_block = pos % kBlockSize;
+        const uint64_t chunk = std::min(run_hi - pos, kBlockSize - in_block);
+        cache_->OnWrite(inode.ino, block, in_block, chunk,
+                        data + (pos - offset));
+        pos += chunk;
+      }
+    }
+
+    // Keep mirrors current (synchronous replication, §4 extension).
+    MUX_RETURN_IF_ERROR(UpdateReplicasLocked(inode, ctx.tiers, run_lo,
+                                             data + (run_lo - offset),
+                                             run_hi - run_lo, actual));
+  }
+
+  // OCC bookkeeping: every committed write bumps the version and, during a
+  // migration pass, records its dirty blocks (§2.4).
+  inode.occ.NoteWrite(first_block, last_block - first_block + 1);
+  clock_->Advance(options_.costs.occ_check_ns);
+
+  // Metadata affinity (§2.3): the FS that allocated the last block of an
+  // append owns the size; the FS that overwrote the last block owns mtime.
+  const uint64_t new_size = std::max(inode.attrs.size(), offset + length);
+  const SimTime now = clock_->Now();
+  if (new_size > inode.attrs.size()) {
+    inode.attrs.UpdateSize(new_size, last_written_tier);
+  }
+  inode.attrs.UpdateMtime(now, last_written_tier);
+  clock_->Advance(options_.costs.affinity_update_ns);
+  Touch(inode);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.writes++;
+  }
+  return length;
+}
+
+// ---- truncate / fsync / fallocate / punch ------------------------------------------
+
+Status Mux::TruncateLocked(MuxInode& inode, uint64_t new_size,
+                           const std::vector<TierInfo>& tiers) {
+  // Every tier that holds part of the file truncates its shadow; sparse
+  // offsets keep this a single call per tier.
+  for (const TierId tier_id : inode.touched_tiers) {
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(tiers, tier_id));
+    auto shadow = ShadowHandleLocked(inode, *tier, false);
+    if (!shadow.ok()) {
+      continue;
+    }
+    MUX_RETURN_IF_ERROR(tier->fs->Truncate(*shadow, new_size));
+  }
+  const uint64_t first_dead = (new_size + kBlockSize - 1) / kBlockSize;
+  if (cache_ != nullptr && new_size < inode.attrs.size()) {
+    cache_->InvalidateFile(inode.ino);  // coarse but safe
+  }
+  inode.blt->TruncateFrom(first_dead);
+  if (inode.replicas != nullptr) {
+    inode.replicas->TruncateFrom(first_dead);
+  }
+  TierId owner = new_size == 0
+                     ? inode.attrs.Owner(Attr::kSize)
+                     : inode.blt->Lookup((new_size - 1) / kBlockSize);
+  if (owner == kInvalidTier) {
+    owner = inode.attrs.Owner(Attr::kSize);
+  }
+  inode.attrs.UpdateSize(new_size, owner);
+  inode.attrs.UpdateMtime(clock_->Now(), owner);
+  clock_->Advance(options_.costs.affinity_update_ns);
+  return Status::Ok();
+}
+
+Status Mux::Truncate(vfs::FileHandle handle, uint64_t new_size) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
+  MuxInode& inode = *ctx.file.inode;
+  std::lock_guard<std::mutex> file_lock(inode.mu);
+  MUX_RETURN_IF_ERROR(TruncateLocked(inode, new_size, ctx.tiers));
+  inode.occ.NoteWrite(new_size / kBlockSize, 1);
+  return Status::Ok();
+}
+
+Status Mux::Fsync(vfs::FileHandle handle, bool data_only) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
+  MuxInode& inode = *ctx.file.inode;
+  std::lock_guard<std::mutex> file_lock(inode.mu);
+  // Fan out to every file system responsible for part of the file and
+  // synchronize on all completions (§4 "Crash Consistency").
+  for (const TierId tier_id : inode.touched_tiers) {
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers, tier_id));
+    auto shadow = ShadowHandleLocked(inode, *tier, false);
+    if (!shadow.ok()) {
+      continue;
+    }
+    MUX_RETURN_IF_ERROR(tier->fs->Fsync(*shadow, data_only));
+  }
+  return Status::Ok();
+}
+
+Status Mux::Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
+                      bool keep_size) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
+  MuxInode& inode = *ctx.file.inode;
+  if (length == 0) {
+    return InvalidArgumentError("zero-length fallocate");
+  }
+  std::lock_guard<std::mutex> file_lock(inode.mu);
+  // Preallocate on the fastest tier with room (preallocation exists to make
+  // later writes cheap, so it follows placement of hot data).
+  Status status = NoSpaceError("no tier accepted the fallocate");
+  for (const TierInfo& tier : ctx.tiers) {
+    auto shadow = ShadowHandleLocked(inode, tier, /*create=*/true);
+    if (!shadow.ok()) {
+      status = shadow.status();
+      continue;
+    }
+    status = tier.fs->Fallocate(*shadow, offset, length, keep_size);
+    if (status.ok()) {
+      const uint64_t first = offset / kBlockSize;
+      const uint64_t last = (offset + length - 1) / kBlockSize;
+      inode.blt->SetRange(first, last - first + 1, tier.id);
+      if (!keep_size && offset + length > inode.attrs.size()) {
+        inode.attrs.UpdateSize(offset + length, tier.id);
+      }
+      return Status::Ok();
+    }
+    if (status.code() != ErrorCode::kNoSpace) {
+      return status;
+    }
+  }
+  return status;
+}
+
+Status Mux::PunchHole(vfs::FileHandle handle, uint64_t offset,
+                      uint64_t length) {
+  ChargeDispatch();
+  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
+  MuxInode& inode = *ctx.file.inode;
+  if (offset % kBlockSize != 0 || length % kBlockSize != 0 || length == 0) {
+    return InvalidArgumentError("hole punch must be block aligned");
+  }
+  std::lock_guard<std::mutex> file_lock(inode.mu);
+  const uint64_t first = offset / kBlockSize;
+  const uint64_t count = length / kBlockSize;
+  for (const auto& run : inode.blt->Runs(first, count)) {
+    if (run.tier == kInvalidTier) {
+      continue;
+    }
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers, run.tier));
+    MUX_ASSIGN_OR_RETURN(vfs::FileHandle shadow,
+                         ShadowHandleLocked(inode, *tier, false));
+    MUX_RETURN_IF_ERROR(tier->fs->PunchHole(shadow,
+                                            run.first_block * kBlockSize,
+                                            run.count * kBlockSize));
+    if (cache_ != nullptr) {
+      for (uint64_t b = run.first_block; b < run.first_block + run.count;
+           ++b) {
+        cache_->InvalidateBlock(inode.ino, b);
+      }
+    }
+  }
+  if (inode.replicas != nullptr) {
+    for (const auto& rrun : inode.replicas->Runs(first, count)) {
+      if (rrun.tier == kInvalidTier) {
+        continue;
+      }
+      auto tier = FindTier(ctx.tiers, rrun.tier);
+      if (!tier.ok()) {
+        continue;
+      }
+      auto shadow = ShadowHandleLocked(inode, **tier, false);
+      if (shadow.ok()) {
+        (void)(*tier)->fs->PunchHole(*shadow, rrun.first_block * kBlockSize,
+                                     rrun.count * kBlockSize);
+      }
+    }
+    inode.replicas->ClearRange(first, count);
+  }
+  inode.blt->ClearRange(first, count);
+  inode.occ.NoteWrite(first, count);
+  return Status::Ok();
+}
+
+// ---- migration (OCC Synchronizer + Policy Runner) -----------------------------------
+
+std::vector<BlockLookupTable::Run> Mux::PendingRunsLocked(
+    const MuxInode& inode, uint64_t first_block, uint64_t count, TierId to,
+    TierId only_from) const {
+  std::vector<BlockLookupTable::Run> pending;
+  for (const auto& run : inode.blt->Runs(first_block, count)) {
+    if (run.tier == kInvalidTier || run.tier == to) {
+      continue;
+    }
+    if (only_from != kInvalidTier && run.tier != only_from) {
+      continue;
+    }
+    pending.push_back(run);
+  }
+  return pending;
+}
+
+Status Mux::CopyRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
+                     const std::vector<BlockLookupTable::Run>& runs,
+                     TierId to) {
+  MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
+  std::vector<uint8_t> buf;
+  for (const auto& run : runs) {
+    MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
+    // Shadow handles were opened by the caller while the lock was held.
+    auto src_it = inode.shadows.find(src->id);
+    auto dst_it = inode.shadows.find(dst->id);
+    if (src_it == inode.shadows.end() || dst_it == inode.shadows.end()) {
+      return InternalError("migration shadows not open");
+    }
+    // Stream in 1 MiB slices.
+    constexpr uint64_t kSlice = 256;  // blocks
+    for (uint64_t done = 0; done < run.count; done += kSlice) {
+      const uint64_t blocks = std::min(kSlice, run.count - done);
+      const uint64_t off = (run.first_block + done) * kBlockSize;
+      buf.resize(blocks * kBlockSize);
+      MUX_ASSIGN_OR_RETURN(
+          uint64_t got, src->fs->Read(src_it->second, off, buf.size(),
+                                      buf.data()));
+      if (got < buf.size()) {
+        std::memset(buf.data() + got, 0, buf.size() - got);
+      }
+      MUX_RETURN_IF_ERROR(
+          dst->fs->Write(dst_it->second, off, buf.data(), buf.size())
+              .status());
+    }
+  }
+  return Status::Ok();
+}
+
+Status Mux::CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
+                       const std::vector<BlockLookupTable::Run>& runs,
+                       TierId to, const std::vector<uint64_t>& skip_blocks) {
+  uint64_t committed = 0;
+  for (const auto& run : runs) {
+    // Split the run at skipped (conflicted) blocks; commit the clean pieces.
+    uint64_t piece_start = run.first_block;
+    const uint64_t run_end = run.first_block + run.count;
+    auto flush_piece = [&](uint64_t start, uint64_t end) -> Status {
+      if (start >= end) {
+        return Status::Ok();
+      }
+      inode.blt->SetRange(start, end - start, to);
+      if (inode.replicas != nullptr) {
+        // A replica on the destination tier collapses into the primary.
+        for (const auto& rrun : inode.replicas->Runs(start, end - start)) {
+          if (rrun.tier == to) {
+            inode.replicas->ClearRange(rrun.first_block, rrun.count);
+          }
+        }
+      }
+      committed += end - start;
+      MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
+      auto src_it = inode.shadows.find(src->id);
+      if (src_it != inode.shadows.end()) {
+        (void)src->fs->PunchHole(src_it->second, start * kBlockSize,
+                                 (end - start) * kBlockSize);
+      }
+      return Status::Ok();
+    };
+    for (uint64_t b = run.first_block; b < run_end; ++b) {
+      if (std::binary_search(skip_blocks.begin(), skip_blocks.end(), b)) {
+        MUX_RETURN_IF_ERROR(flush_piece(piece_start, b));
+        piece_start = b + 1;
+      }
+    }
+    MUX_RETURN_IF_ERROR(flush_piece(piece_start, run_end));
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  stats_.migrated_blocks += committed;
+  return Status::Ok();
+}
+
+Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
+                                 uint64_t first_block, uint64_t count,
+                                 TierId to, TierId only_from) {
+  std::vector<TierInfo> tiers;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    tiers = tiers_;
+  }
+  MUX_RETURN_IF_ERROR(FindTier(tiers, to).status());
+
+  int attempt = 0;
+  std::vector<BlockLookupTable::Run> pending;
+  uint64_t v1 = 0;
+  {
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    pending = PendingRunsLocked(*inode, first_block, count, to, only_from);
+    if (pending.empty()) {
+      return Status::Ok();
+    }
+    v1 = inode->occ.BeginPass();
+    // Open every shadow the copy phase will need while the lock is held.
+    MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
+    MUX_RETURN_IF_ERROR(
+        ShadowHandleLocked(*inode, *dst, /*create=*/true).status());
+    for (const auto& run : pending) {
+      MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
+      MUX_RETURN_IF_ERROR(
+          ShadowHandleLocked(*inode, *src, /*create=*/false).status());
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.migration_passes++;
+  }
+
+  while (true) {
+    // Copy phase: user writes keep flowing (§2.4 — "minimizing the impact
+    // of conflict checking on the critical path").
+    Status copy_status = CopyRuns(*inode, tiers, pending, to);
+    if (copy_status.ok()) {
+      // The copies must be durable on the destination before the commit
+      // publishes them and the source holes are punched — otherwise a crash
+      // after commit could lose the only current version.
+      MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
+      auto dst_handle = inode->shadows.find(to);
+      if (dst_handle != inode->shadows.end()) {
+        copy_status = dst->fs->Fsync(dst_handle->second, /*data_only=*/true);
+      }
+    }
+    if (!copy_status.ok()) {
+      std::lock_guard<std::mutex> file_lock(inode->mu);
+      inode->occ.AbortPass();
+      return copy_status;
+    }
+
+    // Validate-and-commit phase (short critical section).
+    std::unique_lock<std::mutex> file_lock(inode->mu);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.occ.passes++;
+    }
+    auto result = inode->occ.ValidateAndEnd(v1, first_block, count);
+    if (result.clean) {
+      MUX_RETURN_IF_ERROR(CommitRuns(*inode, tiers, pending, to, {}));
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.occ.clean_commits++;
+      return Status::Ok();
+    }
+
+    // Conflicts: commit the untouched blocks, retry the dirty ones.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.occ.conflicts++;
+      stats_.occ.retried_blocks += result.conflicted.size();
+    }
+    std::sort(result.conflicted.begin(), result.conflicted.end());
+    MUX_RETURN_IF_ERROR(
+        CommitRuns(*inode, tiers, pending, to, result.conflicted));
+
+    // Rebuild the pending set from the conflicted blocks' current homes.
+    pending.clear();
+    for (uint64_t block : result.conflicted) {
+      auto runs = PendingRunsLocked(*inode, block, 1, to, kInvalidTier);
+      pending.insert(pending.end(), runs.begin(), runs.end());
+    }
+    if (pending.empty()) {
+      return Status::Ok();
+    }
+
+    attempt++;
+    if (attempt > OccState::kMaxRetries) {
+      // Lock-based fallback: copy while holding the file lock — writers
+      // stall, but the migration is guaranteed to finish (§2.4: "Mux will
+      // resort to a lock-based migration").
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        stats_.occ.lock_fallbacks++;
+      }
+      MUX_RETURN_IF_ERROR(CopyRuns(*inode, tiers, pending, to));
+      MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
+      auto dst_handle = inode->shadows.find(to);
+      if (dst_handle != inode->shadows.end()) {
+        MUX_RETURN_IF_ERROR(
+            dst->fs->Fsync(dst_handle->second, /*data_only=*/true));
+      }
+      MUX_RETURN_IF_ERROR(CommitRuns(*inode, tiers, pending, to, {}));
+      return Status::Ok();
+    }
+    v1 = inode->occ.BeginPass();
+    // Make sure shadows for any new source tiers are open.
+    for (const auto& run : pending) {
+      MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
+      MUX_RETURN_IF_ERROR(
+          ShadowHandleLocked(*inode, *src, /*create=*/false).status());
+    }
+    file_lock.unlock();
+  }
+}
+
+Status Mux::MigrateFile(const std::string& path, TierId to, TierId from) {
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  if (inode->type != vfs::FileType::kRegular) {
+    return IsDirError(path);
+  }
+  uint64_t blocks = 0;
+  {
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
+  }
+  if (blocks == 0) {
+    return Status::Ok();
+  }
+  return MigrateRangeInternal(inode, 0, blocks, to, from);
+}
+
+Status Mux::MigrateRange(const std::string& path, uint64_t first_block,
+                         uint64_t count, TierId to) {
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  if (inode->type != vfs::FileType::kRegular) {
+    return IsDirError(path);
+  }
+  return MigrateRangeInternal(inode, first_block, count, to, kInvalidTier);
+}
+
+Status Mux::RunPolicyMigrations() {
+  TieringView view;
+  std::vector<MigrationTask> tasks;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    view.tiers = TierUsagesLocked();
+    view.now = clock_->Now();
+    for (const auto& [ino, inode] : inodes_) {
+      if (inode->type != vfs::FileType::kRegular) {
+        continue;
+      }
+      std::lock_guard<std::mutex> file_lock(inode->mu);
+      FileView fv;
+      fv.path = inode->path;
+      fv.size = inode->attrs.size();
+      fv.last_access = inode->last_access;
+      fv.temperature = Decay(inode->temperature,
+                             view.now - inode->last_access);
+      for (const TierInfo& tier : tiers_) {
+        const uint64_t blocks = inode->blt->BlocksOnTier(tier.id);
+        if (blocks > 0) {
+          fv.blocks_per_tier[tier.id] = blocks;
+        }
+      }
+      view.files.push_back(std::move(fv));
+    }
+    tasks = policy_->PlanMigrations(view);
+  }
+
+  if (tasks.empty()) {
+    return Status::Ok();
+  }
+
+  // Dispatch the plan through the I/O scheduler (§4): per-tier queues,
+  // cost-estimated ordering, and priorities — promotions toward the fastest
+  // tier dispatch before demotions, so a hot file waiting to come up is not
+  // stuck behind bulk evictions.
+  IoScheduler scheduler(SchedAlgo::kCostBased, clock_);
+  TierId fastest = kInvalidTier;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    for (const TierInfo& tier : tiers_) {
+      scheduler.RegisterTier(tier);
+    }
+    fastest = FastestTierLocked();
+  }
+  for (const MigrationTask& task : tasks) {
+    IoRequest request;
+    request.tier = task.to;
+    request.is_write = true;
+    request.offset = task.first_block * kBlockSize;
+    // Estimate the moved volume for the cost-based order.
+    uint64_t bytes = task.count * kBlockSize;
+    if (task.count == 0) {
+      std::lock_guard<std::mutex> lock(ns_mu_);
+      auto inode = ResolveLocked(task.path);
+      if (inode.ok()) {
+        bytes = (*inode)->attrs.size();
+      }
+    }
+    request.bytes = bytes;
+    request.priority = task.to == fastest ? 0 : 1;  // promotions first
+    request.execute = [this, task]() -> Status {
+      Status status =
+          task.count == 0
+              ? MigrateFile(task.path, task.to, task.from)
+              : MigrateRange(task.path, task.first_block, task.count,
+                             task.to);
+      if (status.code() == ErrorCode::kNotFound) {
+        // The file vanished since planning; nothing to do.
+        return Status::Ok();
+      }
+      return status;
+    };
+    MUX_RETURN_IF_ERROR(scheduler.Submit(std::move(request)));
+  }
+  return scheduler.RunAll().status();
+}
+
+void Mux::StartBackgroundMigration(uint32_t interval_ms) {
+  bool expected = false;
+  if (!migration_running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  migration_thread_ = std::thread([this, interval_ms] {
+    while (migration_running_.load(std::memory_order_relaxed)) {
+      Status status = RunPolicyMigrations();
+      if (!status.ok()) {
+        MUX_LOG(kWarning) << "background migration: " << status;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  });
+}
+
+void Mux::StopBackgroundMigration() {
+  if (migration_running_.exchange(false) && migration_thread_.joinable()) {
+    migration_thread_.join();
+  }
+}
+
+// ---- bookkeeping ------------------------------------------------------------------
+
+MuxSnapshot Mux::BuildSnapshotLocked() const {
+  MuxSnapshot snapshot;
+  for (const auto& [ino, inode] : inodes_) {
+    if (ino == kRootIno) {
+      continue;
+    }
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    FileSnapshot file;
+    file.path = inode->path;
+    file.is_directory = inode->type == vfs::FileType::kDirectory;
+    file.size = inode->attrs.size();
+    file.mtime = inode->attrs.mtime();
+    file.atime = inode->attrs.atime();
+    file.ctime = inode->attrs.ctime();
+    file.mode = inode->attrs.mode();
+    file.occ_version = inode->occ.version();
+    for (int a = 0; a < kAttrCount; ++a) {
+      file.attr_owners[a] = inode->attrs.Owner(static_cast<Attr>(a));
+    }
+    if (inode->blt != nullptr) {
+      file.runs = inode->blt->AllRuns();
+    }
+    if (inode->replicas != nullptr) {
+      file.replica_runs = inode->replicas->AllRuns();
+    }
+    snapshot.files.push_back(std::move(file));
+  }
+  // Parents before children so recovery can link as it goes.
+  std::sort(snapshot.files.begin(), snapshot.files.end(),
+            [](const FileSnapshot& a, const FileSnapshot& b) {
+              return a.path < b.path;
+            });
+  return snapshot;
+}
+
+Status Mux::Checkpoint() {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (tiers_.empty()) {
+    return InternalError("no tiers registered");
+  }
+  const MuxSnapshot snapshot = BuildSnapshotLocked();
+  MUX_ASSIGN_OR_RETURN(const TierInfo* fastest,
+                       FindTier(tiers_, FastestTierLocked()));
+  return SaveSnapshot(fastest->fs, options_.meta_path, snapshot);
+}
+
+Status Mux::Recover() {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (tiers_.empty()) {
+    return InternalError("no tiers registered");
+  }
+  MUX_ASSIGN_OR_RETURN(const TierInfo* fastest,
+                       FindTier(tiers_, FastestTierLocked()));
+  MUX_ASSIGN_OR_RETURN(MuxSnapshot snapshot,
+                       LoadSnapshot(fastest->fs, options_.meta_path));
+
+  // Reset the namespace to just the root.
+  inodes_.clear();
+  open_files_.clear();
+  auto root = std::make_shared<MuxInode>();
+  root->ino = kRootIno;
+  root->type = vfs::FileType::kDirectory;
+  root->path = "/";
+  inodes_.emplace(kRootIno, root);
+  next_ino_ = 2;
+
+  for (const FileSnapshot& file : snapshot.files) {
+    auto parent = ResolveDirLocked(vfs::Dirname(file.path));
+    if (!parent.ok()) {
+      return CorruptionError("snapshot parent missing for " + file.path);
+    }
+    auto inode = std::make_shared<MuxInode>();
+    inode->ino = next_ino_++;
+    inode->type = file.is_directory ? vfs::FileType::kDirectory
+                                    : vfs::FileType::kRegular;
+    inode->path = file.path;
+    inode->attrs.set_ctime(file.ctime);
+    const TierId size_owner = file.attr_owners[static_cast<int>(Attr::kSize)];
+    inode->attrs.UpdateSize(file.size, size_owner);
+    inode->attrs.UpdateMtime(file.mtime,
+                             file.attr_owners[static_cast<int>(Attr::kMtime)]);
+    inode->attrs.UpdateAtime(file.atime,
+                             file.attr_owners[static_cast<int>(Attr::kAtime)]);
+    inode->attrs.UpdateMode(file.mode,
+                            file.attr_owners[static_cast<int>(Attr::kMode)]);
+    inode->occ.RestoreVersion(file.occ_version);
+    if (!file.is_directory) {
+      inode->blt = MakeBlt(options_.blt_kind);
+      for (const auto& run : file.runs) {
+        inode->blt->SetRange(run.first_block, run.count, run.tier);
+        inode->touched_tiers.insert(run.tier);
+      }
+      if (!file.replica_runs.empty()) {
+        inode->replicas = MakeBlt(options_.blt_kind);
+        for (const auto& run : file.replica_runs) {
+          inode->replicas->SetRange(run.first_block, run.count, run.tier);
+          inode->touched_tiers.insert(run.tier);
+        }
+      }
+    }
+    (*parent)->children.emplace(vfs::Basename(file.path), inode->ino);
+    inodes_.emplace(inode->ino, std::move(inode));
+  }
+  return Status::Ok();
+}
+
+// ---- introspection -------------------------------------------------------------------
+
+MuxStats Mux::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+ScmCacheStats Mux::CacheStats() const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  if (cache_ == nullptr) {
+    return ScmCacheStats{};
+  }
+  return cache_->stats();
+}
+
+Result<std::map<TierId, uint64_t>> Mux::FileTierBreakdown(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::map<TierId, uint64_t> breakdown;
+  if (inode->blt != nullptr) {
+    for (const TierInfo& tier : tiers_) {
+      const uint64_t blocks = inode->blt->BlocksOnTier(tier.id);
+      if (blocks > 0) {
+        breakdown[tier.id] = blocks;
+      }
+    }
+  }
+  return breakdown;
+}
+
+uint64_t Mux::BltMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  uint64_t total = 0;
+  for (const auto& [ino, inode] : inodes_) {
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    if (inode->blt != nullptr) {
+      total += inode->blt->MemoryBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace mux::core

@@ -1,0 +1,24 @@
+// Shared internals of the two Mux translation units (mux.cc, mux_data.cc).
+#ifndef MUX_CORE_MUX_INTERNAL_H_
+#define MUX_CORE_MUX_INTERNAL_H_
+
+#include <cmath>
+
+#include "src/common/clock.h"
+#include "src/vfs/types.h"
+
+namespace mux::core::internal {
+
+inline constexpr vfs::InodeNum kRootIno = 1;
+
+// File temperature decays by half every simulated second.
+inline double Decay(double temperature, SimTime dt_ns) {
+  if (dt_ns == 0) {
+    return temperature;
+  }
+  return temperature * std::pow(0.5, static_cast<double>(dt_ns) / 1e9);
+}
+
+}  // namespace mux::core::internal
+
+#endif  // MUX_CORE_MUX_INTERNAL_H_

@@ -1,0 +1,328 @@
+// Cross-tier block replication (§4 "Crash Consistency").
+//
+// The paper notes that composing file systems opens "the opportunity for
+// data replication across devices" as a path to stronger crash-consistency
+// guarantees. This module implements that extension:
+//
+//  * ReplicateRange mirrors blocks onto a second tier, through the same
+//    shadow-file mechanism the primary copies use (same path, same offsets).
+//  * Writes update primary and replica synchronously (both file systems see
+//    the bytes before the call returns), so either copy is current.
+//  * Reads are served from the FASTER of the two copies — a replica on PM of
+//    HDD-resident data doubles as a read accelerator — and fail over to the
+//    surviving copy when a device errors out.
+//  * Migration of the primary leaves replicas in place; if the primary lands
+//    on the replica's tier the replica entry dissolves (one physical copy).
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/core/mux.h"
+#include "src/core/mux_internal.h"
+
+namespace mux::core {
+
+Status Mux::ReadWithReplicaLocked(MuxInode& inode,
+                                  const std::vector<TierInfo>& tiers,
+                                  TierId primary_tier, uint64_t offset,
+                                  uint64_t length, uint8_t* out) {
+  // Pick the faster copy first.
+  TierId replica_tier = kInvalidTier;
+  if (inode.replicas != nullptr) {
+    replica_tier = inode.replicas->Lookup(offset / kBlockSize);
+    if (replica_tier == primary_tier) {
+      replica_tier = kInvalidTier;
+    }
+  }
+  TierId order[2] = {primary_tier, replica_tier};
+  if (replica_tier != kInvalidTier) {
+    auto primary = FindTier(tiers, primary_tier);
+    auto replica = FindTier(tiers, replica_tier);
+    if (primary.ok() && replica.ok() &&
+        (*replica)->speed_rank < (*primary)->speed_rank) {
+      std::swap(order[0], order[1]);
+    }
+  }
+
+  Status last = NotFoundError("no copy available");
+  for (TierId tier_id : order) {
+    if (tier_id == kInvalidTier) {
+      continue;
+    }
+    auto tier = FindTier(tiers, tier_id);
+    if (!tier.ok()) {
+      last = tier.status();
+      continue;
+    }
+    auto shadow = ShadowHandleLocked(inode, **tier, /*create=*/false);
+    if (!shadow.ok()) {
+      last = shadow.status();
+      continue;
+    }
+    auto got = (*tier)->fs->Read(*shadow, offset, length, out);
+    if (got.ok()) {
+      if (*got < length) {
+        std::memset(out + *got, 0, length - *got);
+      }
+      return Status::Ok();
+    }
+    last = got.status();
+    MUX_LOG(kWarning) << "mux: copy on tier " << tier_id << " unreadable ("
+                      << last << "), trying the other copy";
+  }
+  return last;
+}
+
+Status Mux::UpdateReplicasLocked(MuxInode& inode,
+                                 const std::vector<TierInfo>& tiers,
+                                 uint64_t offset, const uint8_t* data,
+                                 uint64_t length, TierId primary_tier) {
+  if (inode.replicas == nullptr || length == 0) {
+    return Status::Ok();
+  }
+  const uint64_t first_block = offset / kBlockSize;
+  const uint64_t last_block = (offset + length - 1) / kBlockSize;
+  for (const auto& run :
+       inode.replicas->Runs(first_block, last_block - first_block + 1)) {
+    if (run.tier == kInvalidTier) {
+      continue;
+    }
+    const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
+    const uint64_t run_hi =
+        std::min(offset + length, (run.first_block + run.count) * kBlockSize);
+    if (run.tier == primary_tier) {
+      // Primary and replica collapsed onto one tier: the mirror entry no
+      // longer buys anything; dissolve it.
+      inode.replicas->ClearRange(run_lo / kBlockSize,
+                                 (run_hi - 1) / kBlockSize - run_lo / kBlockSize +
+                                     1);
+      continue;
+    }
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(tiers, run.tier));
+    MUX_ASSIGN_OR_RETURN(vfs::FileHandle shadow,
+                         ShadowHandleLocked(inode, *tier, /*create=*/true));
+    MUX_RETURN_IF_ERROR(
+        tier->fs->Write(shadow, run_lo, data + (run_lo - offset),
+                        run_hi - run_lo)
+            .status());
+  }
+  return Status::Ok();
+}
+
+Status Mux::ReplicateRange(const std::string& path, uint64_t first_block,
+                           uint64_t count, TierId replica_tier) {
+  std::shared_ptr<MuxInode> inode;
+  std::vector<TierInfo> tiers;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+    tiers = tiers_;
+  }
+  if (inode->type != vfs::FileType::kRegular) {
+    return IsDirError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(const TierInfo* replica, FindTier(tiers, replica_tier));
+
+  std::lock_guard<std::mutex> file_lock(inode->mu);
+  if (inode->replicas == nullptr) {
+    inode->replicas = MakeBlt(options_.blt_kind);
+  }
+  MUX_ASSIGN_OR_RETURN(vfs::FileHandle replica_shadow,
+                       ShadowHandleLocked(*inode, *replica, /*create=*/true));
+  std::vector<uint8_t> buf;
+  for (const auto& run : inode->blt->Runs(first_block, count)) {
+    if (run.tier == kInvalidTier) {
+      continue;  // holes have no content to mirror
+    }
+    if (run.tier == replica_tier) {
+      continue;  // the primary already lives there
+    }
+    MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
+    MUX_ASSIGN_OR_RETURN(vfs::FileHandle src_shadow,
+                         ShadowHandleLocked(*inode, *src, /*create=*/false));
+    constexpr uint64_t kSlice = 256;  // 1 MiB copies
+    for (uint64_t done = 0; done < run.count; done += kSlice) {
+      const uint64_t blocks = std::min(kSlice, run.count - done);
+      const uint64_t off = (run.first_block + done) * kBlockSize;
+      buf.resize(blocks * kBlockSize);
+      MUX_ASSIGN_OR_RETURN(uint64_t got, src->fs->Read(src_shadow, off,
+                                                       buf.size(), buf.data()));
+      if (got < buf.size()) {
+        std::memset(buf.data() + got, 0, buf.size() - got);
+      }
+      MUX_RETURN_IF_ERROR(
+          replica->fs->Write(replica_shadow, off, buf.data(), buf.size())
+              .status());
+    }
+    inode->replicas->SetRange(run.first_block, run.count, replica_tier);
+  }
+  // The mirror is only a crash-consistency improvement once durable.
+  return replica->fs->Fsync(replica_shadow, /*data_only=*/true);
+}
+
+Status Mux::ReplicateFile(const std::string& path, TierId replica_tier) {
+  uint64_t blocks = 0;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+    if (inode->type != vfs::FileType::kRegular) {
+      return IsDirError(path);
+    }
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
+  }
+  if (blocks == 0) {
+    return Status::Ok();
+  }
+  return ReplicateRange(path, 0, blocks, replica_tier);
+}
+
+Status Mux::DropReplicas(const std::string& path) {
+  std::shared_ptr<MuxInode> inode;
+  std::vector<TierInfo> tiers;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+    tiers = tiers_;
+  }
+  std::lock_guard<std::mutex> file_lock(inode->mu);
+  if (inode->replicas == nullptr) {
+    return Status::Ok();
+  }
+  for (const auto& run : inode->replicas->AllRuns()) {
+    auto tier = FindTier(tiers, run.tier);
+    if (!tier.ok()) {
+      continue;
+    }
+    auto shadow = ShadowHandleLocked(*inode, **tier, /*create=*/false);
+    if (!shadow.ok()) {
+      continue;
+    }
+    // Free the mirror space — but never punch blocks the primary owns on
+    // that tier.
+    uint64_t piece_start = run.first_block;
+    auto flush = [&](uint64_t start, uint64_t end) {
+      if (start < end) {
+        (void)(*tier)->fs->PunchHole(*shadow, start * kBlockSize,
+                                     (end - start) * kBlockSize);
+      }
+    };
+    for (uint64_t b = run.first_block; b < run.first_block + run.count; ++b) {
+      if (inode->blt->Lookup(b) == run.tier) {
+        flush(piece_start, b);
+        piece_start = b + 1;
+      }
+    }
+    flush(piece_start, run.first_block + run.count);
+  }
+  inode->replicas.reset();
+  return Status::Ok();
+}
+
+Result<std::map<TierId, uint64_t>> Mux::ReplicaBreakdown(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::map<TierId, uint64_t> breakdown;
+  if (inode->replicas != nullptr) {
+    for (const TierInfo& tier : tiers_) {
+      const uint64_t blocks = inode->replicas->BlocksOnTier(tier.id);
+      if (blocks > 0) {
+        breakdown[tier.id] = blocks;
+      }
+    }
+  }
+  return breakdown;
+}
+
+
+
+// ---- consistency scrub -------------------------------------------------------
+
+Result<Mux::ScrubReport> Mux::Scrub() {
+  std::vector<std::shared_ptr<MuxInode>> files;
+  std::vector<TierInfo> tiers;
+  {
+    std::lock_guard<std::mutex> lock(ns_mu_);
+    tiers = tiers_;
+    for (const auto& [ino, inode] : inodes_) {
+      if (inode->type == vfs::FileType::kRegular) {
+        files.push_back(inode);
+      }
+    }
+  }
+
+  ScrubReport report;
+  std::vector<uint8_t> primary_buf(kBlockSize);
+  std::vector<uint8_t> replica_buf(kBlockSize);
+  for (const auto& inode : files) {
+    std::lock_guard<std::mutex> file_lock(inode->mu);
+    report.files_checked++;
+    const uint64_t size_blocks =
+        (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
+    for (const auto& run : inode->blt->AllRuns()) {
+      report.blocks_checked += run.count;
+      // 1. No mapping may extend past the logical size.
+      if (run.first_block + run.count > size_blocks) {
+        report.size_inconsistencies++;
+      }
+      // 2. The tier the BLT names must hold a shadow file.
+      auto tier = FindTier(tiers, run.tier);
+      if (!tier.ok() || !(*tier)->fs->Stat(inode->path).ok()) {
+        report.missing_shadows++;
+        continue;
+      }
+      // 3. Replica bytes must equal primary bytes.
+      if (inode->replicas == nullptr) {
+        continue;
+      }
+      for (const auto& rrun : inode->replicas->Runs(run.first_block,
+                                                    run.count)) {
+        if (rrun.tier == kInvalidTier || rrun.tier == run.tier) {
+          continue;
+        }
+        auto replica_tier = FindTier(tiers, rrun.tier);
+        if (!replica_tier.ok()) {
+          report.missing_shadows++;
+          continue;
+        }
+        auto primary_shadow = ShadowHandleLocked(*inode, **tier, false);
+        auto replica_shadow =
+            ShadowHandleLocked(*inode, **replica_tier, false);
+        if (!primary_shadow.ok() || !replica_shadow.ok()) {
+          report.missing_shadows++;
+          continue;
+        }
+        for (uint64_t block = rrun.first_block;
+             block < rrun.first_block + rrun.count; ++block) {
+          auto primary_read =
+              (*tier)->fs->Read(*primary_shadow, block * kBlockSize,
+                                kBlockSize, primary_buf.data());
+          auto replica_read = (*replica_tier)
+                                  ->fs->Read(*replica_shadow,
+                                             block * kBlockSize, kBlockSize,
+                                             replica_buf.data());
+          if (!primary_read.ok() || !replica_read.ok()) {
+            report.replica_mismatches++;
+            continue;
+          }
+          if (*primary_read < kBlockSize) {
+            std::memset(primary_buf.data() + *primary_read, 0,
+                        kBlockSize - *primary_read);
+          }
+          if (*replica_read < kBlockSize) {
+            std::memset(replica_buf.data() + *replica_read, 0,
+                        kBlockSize - *replica_read);
+          }
+          if (primary_buf != replica_buf) {
+            report.replica_mismatches++;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mux::core

@@ -1,0 +1,112 @@
+// OCC Synchronizer state (§2.4).
+//
+// Data movement must not race with user writes, but there is no lock shared
+// by the underlying file systems. The insight: migration does not change
+// content, so it succeeds iff the content stayed unchanged while it copied.
+//
+// Per file:
+//  * `version` — bumped by every committed user write,
+//  * `migrating` — set while a migration pass is copying,
+//  * `dirty_blocks` — blocks written while `migrating` was set.
+//
+// Protocol (driven by the MigrationEngine):
+//   1. BeginPass(): record v1 = version, set migrating, clear dirty set.
+//   2. copy blocks (no lock held; writers keep running).
+//   3. Validate(range): under the file lock, if version == v1 commit all;
+//      otherwise commit only blocks not in dirty_blocks and return the
+//      conflicted ones for retry.
+//   4. After kMaxRetries failed passes the engine falls back to lock-based
+//      migration (holding the file write lock during the copy).
+//
+// All methods must be called with the owning file's lock held EXCEPT where
+// noted; the version counter itself is atomic so writers can bump it without
+// extending their critical section.
+#ifndef MUX_CORE_OCC_H_
+#define MUX_CORE_OCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace mux::core {
+
+struct OccStats {
+  uint64_t passes = 0;
+  uint64_t clean_commits = 0;
+  uint64_t conflicts = 0;
+  uint64_t retried_blocks = 0;
+  uint64_t lock_fallbacks = 0;
+};
+
+class OccState {
+ public:
+  static constexpr int kMaxRetries = 3;
+
+  // -- writer side (file lock held) ----------------------------------------
+  // Records a committed write over [first_block, first_block+count).
+  void NoteWrite(uint64_t first_block, uint64_t count) {
+    version_.fetch_add(1, std::memory_order_release);
+    if (migrating_) {
+      for (uint64_t b = first_block; b < first_block + count; ++b) {
+        dirty_blocks_.insert(b);
+      }
+    }
+  }
+
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  bool migrating() const { return migrating_; }
+
+  // Restores the counter from a bookkeeper snapshot (mount time only).
+  void RestoreVersion(uint64_t v) {
+    version_.store(v, std::memory_order_release);
+  }
+
+  // -- migration side -------------------------------------------------------
+  // File lock held. Returns the version snapshot v1.
+  uint64_t BeginPass() {
+    migrating_ = true;
+    dirty_blocks_.clear();
+    return version();
+  }
+
+  // File lock held. Given the snapshot and the migrated range, splits the
+  // range into committable blocks and conflicted blocks and ends the pass.
+  struct ValidateResult {
+    bool clean = false;                     // no conflicting writes at all
+    std::vector<uint64_t> conflicted;       // blocks to retry
+  };
+  ValidateResult ValidateAndEnd(uint64_t v1, uint64_t first_block,
+                                uint64_t count) {
+    ValidateResult result;
+    if (version() == v1) {
+      result.clean = true;
+    } else {
+      for (uint64_t b = first_block; b < first_block + count; ++b) {
+        if (dirty_blocks_.contains(b)) {
+          result.conflicted.push_back(b);
+        }
+      }
+      result.clean = result.conflicted.empty();
+    }
+    migrating_ = false;
+    dirty_blocks_.clear();
+    return result;
+  }
+
+  void AbortPass() {
+    migrating_ = false;
+    dirty_blocks_.clear();
+  }
+
+ private:
+  std::atomic<uint64_t> version_{0};
+  bool migrating_ = false;
+  std::set<uint64_t> dirty_blocks_;
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_OCC_H_

@@ -1,0 +1,361 @@
+// Built-in tiering policies and the policy registry.
+#include <algorithm>
+
+#include "src/core/policy.h"
+#include "src/vfs/path.h"
+
+namespace mux::core {
+
+PolicyRegistry& PolicyRegistry::Global() {
+  static PolicyRegistry* registry = new PolicyRegistry();
+  return *registry;
+}
+
+Status PolicyRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  if (!inserted) {
+    return ExistsError("policy already registered: " + name);
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<TieringPolicy>> PolicyRegistry::Create(
+    const std::string& name, const std::string& args) {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return NotFoundError("unknown policy: " + name);
+    }
+    factory = it->second;
+  }
+  return factory(args);
+}
+
+std::vector<std::string> PolicyRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+namespace {
+
+// Fastest tier whose free space can absorb `need` bytes plus slack.
+TierId FastestWithSpace(const std::vector<TierUsage>& tiers, uint64_t need) {
+  for (const TierUsage& tier : tiers) {
+    if (tier.free_bytes > need + tier.capacity_bytes / 64) {
+      return tier.id;
+    }
+  }
+  return tiers.empty() ? kInvalidTier : tiers.back().id;
+}
+
+// ---- LRU demote/promote (the paper's evaluation policy, §3.1) -------------
+// "a simple LRU policy that evicts cold data to the slower device if no
+// space is left on faster devices, and promotes data back upon access."
+class LruPolicy : public TieringPolicy {
+ public:
+  LruPolicy(double high, double low, SimTime promote_window)
+      : high_(high), low_(low), promote_window_(promote_window) {}
+
+  std::string_view Name() const override { return "lru"; }
+
+  TierId PlaceWrite(const PlacementContext& ctx) override {
+    return FastestWithSpace(*ctx.tiers, ctx.io_size);
+  }
+
+  std::vector<MigrationTask> PlanMigrations(const TieringView& view) override {
+    std::vector<MigrationTask> tasks;
+    // Demotion: per over-watermark tier, evict coldest files downward.
+    for (size_t t = 0; t < view.tiers.size(); ++t) {
+      const TierUsage& tier = view.tiers[t];
+      if (tier.UsedFraction() <= high_ || t + 1 >= view.tiers.size()) {
+        continue;
+      }
+      const TierId below = view.tiers[t + 1].id;
+      // Coldest first.
+      std::vector<const FileView*> on_tier;
+      for (const FileView& file : view.files) {
+        auto it = file.blocks_per_tier.find(tier.id);
+        if (it != file.blocks_per_tier.end() && it->second > 0) {
+          on_tier.push_back(&file);
+        }
+      }
+      std::sort(on_tier.begin(), on_tier.end(),
+                [](const FileView* a, const FileView* b) {
+                  return a->last_access < b->last_access;
+                });
+      uint64_t to_free =
+          static_cast<uint64_t>((tier.UsedFraction() - low_) *
+                                static_cast<double>(tier.capacity_bytes));
+      for (const FileView* file : on_tier) {
+        if (to_free == 0) {
+          break;
+        }
+        tasks.push_back(MigrationTask{file->path, tier.id, below, 0, 0});
+        const uint64_t bytes = file->blocks_per_tier.at(tier.id) * 4096;
+        to_free -= std::min(to_free, bytes);
+      }
+    }
+    // Promotion: recently accessed files with blocks below a tier that has
+    // room move back up.
+    if (!view.tiers.empty()) {
+      const TierUsage& fastest = view.tiers.front();
+      if (fastest.UsedFraction() < low_) {
+        for (const FileView& file : view.files) {
+          if (view.now - file.last_access > promote_window_) {
+            continue;
+          }
+          for (const auto& [tier_id, blocks] : file.blocks_per_tier) {
+            if (tier_id != fastest.id && blocks > 0) {
+              tasks.push_back(
+                  MigrationTask{file.path, tier_id, fastest.id, 0, 0});
+            }
+          }
+        }
+      }
+    }
+    return tasks;
+  }
+
+ private:
+  const double high_;
+  const double low_;
+  const SimTime promote_window_;
+};
+
+// ---- TPFS-style placement ---------------------------------------------------
+// "the data placement policy of TPFS can be simply implemented by a function
+// that returns different device IDs based on the I/O size, synchronicity,
+// and access history" (§2.1).
+class TpfsPolicy : public TieringPolicy {
+ public:
+  TpfsPolicy(uint64_t small_io, uint64_t large_io, double hot_threshold)
+      : small_io_(small_io), large_io_(large_io),
+        hot_threshold_(hot_threshold) {}
+
+  std::string_view Name() const override { return "tpfs"; }
+
+  TierId PlaceWrite(const PlacementContext& ctx) override {
+    const auto& tiers = *ctx.tiers;
+    if (tiers.empty()) {
+      return kInvalidTier;
+    }
+    // Rank selection: sync/small/hot data to PM, large streaming writes to
+    // the slow device, the rest to the middle.
+    size_t rank;
+    if (ctx.is_sync || ctx.io_size <= small_io_ ||
+        ctx.temperature >= hot_threshold_) {
+      rank = 0;
+    } else if (ctx.io_size >= large_io_) {
+      rank = tiers.size() - 1;
+    } else {
+      rank = tiers.size() / 2;
+    }
+    // Fall downward if the chosen tier is out of space.
+    for (size_t i = rank; i < tiers.size(); ++i) {
+      if (tiers[i].free_bytes > ctx.io_size + tiers[i].capacity_bytes / 64) {
+        return tiers[i].id;
+      }
+    }
+    return tiers.back().id;
+  }
+
+  std::vector<MigrationTask> PlanMigrations(const TieringView& view) override {
+    // TPFS is placement-driven; keep a safety demotion for full fast tiers.
+    std::vector<MigrationTask> tasks;
+    for (size_t t = 0; t + 1 < view.tiers.size(); ++t) {
+      const TierUsage& tier = view.tiers[t];
+      if (tier.UsedFraction() <= 0.95) {
+        continue;
+      }
+      for (const FileView& file : view.files) {
+        auto it = file.blocks_per_tier.find(tier.id);
+        if (it != file.blocks_per_tier.end() && it->second > 0 &&
+            file.temperature < hot_threshold_) {
+          tasks.push_back(MigrationTask{file.path, tier.id,
+                                        view.tiers[t + 1].id, 0, 0});
+        }
+      }
+    }
+    return tasks;
+  }
+
+ private:
+  const uint64_t small_io_;
+  const uint64_t large_io_;
+  const double hot_threshold_;
+};
+
+// ---- Hot/cold classification ------------------------------------------------
+class HotColdPolicy : public TieringPolicy {
+ public:
+  HotColdPolicy(double hot, double cold) : hot_(hot), cold_(cold) {}
+
+  std::string_view Name() const override { return "hotcold"; }
+
+  TierId PlaceWrite(const PlacementContext& ctx) override {
+    const auto& tiers = *ctx.tiers;
+    if (tiers.empty()) {
+      return kInvalidTier;
+    }
+    if (ctx.temperature >= hot_) {
+      return FastestWithSpace(tiers, ctx.io_size);
+    }
+    if (ctx.temperature <= cold_) {
+      return tiers.back().id;
+    }
+    return tiers[tiers.size() / 2].id;
+  }
+
+  std::vector<MigrationTask> PlanMigrations(const TieringView& view) override {
+    std::vector<MigrationTask> tasks;
+    if (view.tiers.size() < 2) {
+      return tasks;
+    }
+    const TierId fastest = view.tiers.front().id;
+    const TierId slowest = view.tiers.back().id;
+    for (const FileView& file : view.files) {
+      if (file.temperature >= hot_) {
+        // Everything not already on the fastest tier moves up.
+        for (const auto& [tier_id, blocks] : file.blocks_per_tier) {
+          if (tier_id != fastest && blocks > 0) {
+            tasks.push_back(MigrationTask{file.path, tier_id, fastest, 0, 0});
+          }
+        }
+      } else if (file.temperature <= cold_) {
+        for (const auto& [tier_id, blocks] : file.blocks_per_tier) {
+          if (tier_id != slowest && blocks > 0) {
+            tasks.push_back(MigrationTask{file.path, tier_id, slowest, 0, 0});
+          }
+        }
+      }
+    }
+    return tasks;
+  }
+
+ private:
+  const double hot_;
+  const double cold_;
+};
+
+// ---- Static pinning ----------------------------------------------------------
+class PinPolicy : public TieringPolicy {
+ public:
+  explicit PinPolicy(const std::string& rules) {
+    // "prefix=tier_name,prefix=tier_name"
+    size_t pos = 0;
+    while (pos < rules.size()) {
+      const size_t comma = rules.find(',', pos);
+      const std::string rule =
+          rules.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+      const size_t eq = rule.find('=');
+      if (eq != std::string::npos) {
+        rules_.emplace_back(rule.substr(0, eq), rule.substr(eq + 1));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+  }
+
+  std::string_view Name() const override { return "pin"; }
+
+  TierId PlaceWrite(const PlacementContext& ctx) override {
+    for (const auto& [prefix, tier_name] : rules_) {
+      if (vfs::PathHasPrefix(std::string(ctx.path), prefix)) {
+        for (const TierUsage& tier : *ctx.tiers) {
+          if (tier.name == tier_name) {
+            return tier.id;
+          }
+        }
+      }
+    }
+    return FastestWithSpace(*ctx.tiers, ctx.io_size);
+  }
+
+  std::vector<MigrationTask> PlanMigrations(const TieringView& view) override {
+    // Pins are absolute: move misplaced blocks to their pinned tier.
+    std::vector<MigrationTask> tasks;
+    for (const FileView& file : view.files) {
+      TierId pinned = kInvalidTier;
+      for (const auto& [prefix, tier_name] : rules_) {
+        if (vfs::PathHasPrefix(file.path, prefix)) {
+          for (const TierUsage& tier : view.tiers) {
+            if (tier.name == tier_name) {
+              pinned = tier.id;
+            }
+          }
+          break;
+        }
+      }
+      if (pinned == kInvalidTier) {
+        continue;
+      }
+      for (const auto& [tier_id, blocks] : file.blocks_per_tier) {
+        if (tier_id != pinned && blocks > 0) {
+          tasks.push_back(MigrationTask{file.path, tier_id, pinned, 0, 0});
+        }
+      }
+    }
+    return tasks;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> rules_;
+};
+
+// Registers the built-ins exactly once, on first registry use.
+struct BuiltinRegistrar {
+  BuiltinRegistrar() {
+    auto& registry = PolicyRegistry::Global();
+    (void)registry.Register("lru", [](const std::string&) {
+      return MakeLruPolicy();
+    });
+    (void)registry.Register("tpfs", [](const std::string&) {
+      return MakeTpfsPolicy();
+    });
+    (void)registry.Register("hotcold", [](const std::string&) {
+      return MakeHotColdPolicy();
+    });
+    (void)registry.Register("pin", [](const std::string& args) {
+      return MakePinPolicy(args);
+    });
+  }
+};
+const BuiltinRegistrar g_builtin_registrar;
+
+}  // namespace
+
+std::unique_ptr<TieringPolicy> MakeLruPolicy(double high_watermark,
+                                             double low_watermark,
+                                             SimTime promote_window_ns) {
+  return std::make_unique<LruPolicy>(high_watermark, low_watermark,
+                                     promote_window_ns);
+}
+
+std::unique_ptr<TieringPolicy> MakeTpfsPolicy(uint64_t small_io_bytes,
+                                              uint64_t large_io_bytes,
+                                              double hot_threshold) {
+  return std::make_unique<TpfsPolicy>(small_io_bytes, large_io_bytes,
+                                      hot_threshold);
+}
+
+std::unique_ptr<TieringPolicy> MakeHotColdPolicy(double hot_threshold,
+                                                 double cold_threshold) {
+  return std::make_unique<HotColdPolicy>(hot_threshold, cold_threshold);
+}
+
+std::unique_ptr<TieringPolicy> MakePinPolicy(const std::string& rules) {
+  return std::make_unique<PinPolicy>(rules);
+}
+
+}  // namespace mux::core

@@ -1,0 +1,133 @@
+// User-defined tiering policies (§2.1).
+//
+// Mux decouples tiering policy from mechanism: a policy decides (a) where a
+// newly written block goes and (b) which blocks should migrate, and Mux
+// executes those decisions. The paper loads policies as kernel modules or
+// eBPF programs; the user-space analogue is a registry of named factories —
+// applications register a factory at runtime and select policies by name,
+// without touching Mux itself.
+//
+// "All the placement and migration policies in existing tiered file systems
+// can be expressed using simple functions" — the built-ins reproduce the
+// paper's evaluation policy (LRU demote/promote) plus TPFS-style placement,
+// hot/cold classification, and static pinning. See policies.cc.
+#ifndef MUX_CORE_POLICY_H_
+#define MUX_CORE_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/core/tier.h"
+
+namespace mux::core {
+
+// Per-tier occupancy snapshot handed to policies.
+struct TierUsage {
+  TierId id = kInvalidTier;
+  std::string name;
+  uint32_t speed_rank = 0;  // 0 = fastest
+  device::DeviceKind kind = device::DeviceKind::kGeneric;
+  uint64_t capacity_bytes = 0;
+  uint64_t free_bytes = 0;
+
+  double UsedFraction() const {
+    if (capacity_bytes == 0) {
+      return 0.0;
+    }
+    return 1.0 - static_cast<double>(free_bytes) /
+                     static_cast<double>(capacity_bytes);
+  }
+};
+
+// Context for one placement decision.
+struct PlacementContext {
+  std::string_view path;
+  uint64_t io_size = 0;         // bytes of this write
+  bool is_sync = false;         // caller will fsync soon / O_SYNC-like
+  uint64_t file_size = 0;       // current logical size
+  uint64_t block_index = 0;     // first block being placed
+  double temperature = 0.0;     // decayed access frequency
+  const std::vector<TierUsage>* tiers = nullptr;  // sorted by speed_rank
+};
+
+// Per-file summary for migration planning.
+struct FileView {
+  std::string path;
+  uint64_t size = 0;
+  SimTime last_access = 0;
+  double temperature = 0.0;
+  // tier -> blocks currently stored there.
+  std::map<TierId, uint64_t> blocks_per_tier;
+};
+
+struct TieringView {
+  std::vector<TierUsage> tiers;  // sorted by speed_rank
+  std::vector<FileView> files;
+  SimTime now = 0;
+};
+
+// One unit of planned data movement.
+struct MigrationTask {
+  std::string path;
+  TierId from = kInvalidTier;  // move only blocks currently on `from`
+  TierId to = kInvalidTier;
+  // 0 count = whole file.
+  uint64_t first_block = 0;
+  uint64_t count = 0;
+};
+
+class TieringPolicy {
+ public:
+  virtual ~TieringPolicy() = default;
+  virtual std::string_view Name() const = 0;
+  // Tier for newly allocated blocks of a write.
+  virtual TierId PlaceWrite(const PlacementContext& ctx) = 0;
+  // Migration plan for one background round.
+  virtual std::vector<MigrationTask> PlanMigrations(
+      const TieringView& view) = 0;
+};
+
+// Runtime policy registry (the kernel-module/eBPF loading point).
+class PolicyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<TieringPolicy>(const std::string& args)>;
+
+  static PolicyRegistry& Global();
+
+  Status Register(const std::string& name, Factory factory);
+  Result<std::unique_ptr<TieringPolicy>> Create(const std::string& name,
+                                                const std::string& args = "");
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+// Built-in policy constructors (also registered in the global registry under
+// the names "lru", "tpfs", "hotcold", "pin").
+std::unique_ptr<TieringPolicy> MakeLruPolicy(double high_watermark = 0.9,
+                                             double low_watermark = 0.7,
+                                             SimTime promote_window_ns =
+                                                 1'000'000'000);
+std::unique_ptr<TieringPolicy> MakeTpfsPolicy(uint64_t small_io_bytes = 256 * 1024,
+                                              uint64_t large_io_bytes =
+                                                  4 * 1024 * 1024,
+                                              double hot_threshold = 4.0);
+std::unique_ptr<TieringPolicy> MakeHotColdPolicy(double hot_threshold = 8.0,
+                                                 double cold_threshold = 1.0);
+// rules: "prefix=tier_name,prefix=tier_name"; unmatched paths use the
+// fastest tier with space.
+std::unique_ptr<TieringPolicy> MakePinPolicy(const std::string& rules);
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_POLICY_H_

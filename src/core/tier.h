@@ -1,0 +1,30 @@
+// Tier registry types: what Mux knows about each underlying file system.
+#ifndef MUX_CORE_TIER_H_
+#define MUX_CORE_TIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/device/device_profile.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::core {
+
+using TierId = uint32_t;
+inline constexpr TierId kInvalidTier = UINT32_MAX;
+
+// A registered tier: a device-specific file system plus the device profile
+// Mux's policies and scheduler reason about. Registration is the paper's
+// "mount the new file system and register it with Mux" (§2.1).
+struct TierInfo {
+  TierId id = kInvalidTier;
+  std::string name;                 // e.g. "pm", "ssd", "hdd"
+  vfs::FileSystem* fs = nullptr;    // not owned
+  device::DeviceProfile profile;
+  // Policy-facing ordering: lower rank = faster tier.
+  uint32_t speed_rank = 0;
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_TIER_H_

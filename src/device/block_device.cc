@@ -1,0 +1,195 @@
+#include "src/device/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mux::device {
+
+BlockDevice::BlockDevice(DeviceProfile profile, SimClock* clock)
+    : profile_(std::move(profile)), clock_(clock) {
+  durable_.resize(profile_.capacity_bytes, 0);
+}
+
+Status BlockDevice::CheckRange(uint64_t lba, uint32_t count) const {
+  if (count == 0) {
+    return InvalidArgumentError("zero-length transfer");
+  }
+  if (lba + count > capacity_blocks() || lba + count < lba) {
+    return OutOfRangeError("block range beyond device capacity");
+  }
+  return Status::Ok();
+}
+
+uint64_t BlockDevice::SeekCost(uint64_t lba) const {
+  if (profile_.full_seek_ns == 0) {
+    return 0;
+  }
+  if (lba == last_lba_) {
+    return 0;  // sequential: head already there
+  }
+  const uint64_t distance = lba > last_lba_ ? lba - last_lba_ : last_lba_ - lba;
+  const uint64_t span = std::max<uint64_t>(capacity_blocks(), 1);
+  // Seek time grows sublinearly with distance (settle time dominates short
+  // seeks); a simple sqrt model captures that.
+  const double frac = static_cast<double>(distance) / static_cast<double>(span);
+  const double scaled = 0.25 + 0.75 * frac;  // min seek = quarter stroke cost
+  return static_cast<uint64_t>(static_cast<double>(profile_.full_seek_ns) *
+                               scaled * (frac < 1e-9 ? 0.0 : 1.0));
+}
+
+Status BlockDevice::ReadBlocks(uint64_t lba, uint32_t count, uint8_t* out) {
+  MUX_RETURN_IF_ERROR(CheckRange(lba, count));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fail_reads_) {
+    return IoError("injected read fault (device offline)");
+  }
+  const uint64_t bytes = static_cast<uint64_t>(count) * block_size();
+  const uint64_t seek = SeekCost(lba);
+  if (seek > 0) {
+    stats_.seeks++;
+  }
+  // Seek-model devices stream sequential blocks: once the head is
+  // positioned, continuing from last_lba_ pays bandwidth only (no
+  // rotational latency per block).
+  const bool streaming = profile_.full_seek_ns > 0 && lba == last_lba_;
+  const uint64_t cost = seek + (streaming ? 0 : profile_.read_latency_ns) +
+                        static_cast<uint64_t>(static_cast<double>(bytes) /
+                                              profile_.read_bw_bytes_per_ns);
+  clock_->Advance(cost);
+  stats_.busy_ns += cost;
+  stats_.read_ops++;
+  stats_.bytes_read += bytes;
+
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t block = lba + i;
+    uint8_t* dst = out + static_cast<uint64_t>(i) * block_size();
+    if (crash_sim_) {
+      auto it = cache_.find(block);
+      if (it != cache_.end()) {
+        std::memcpy(dst, it->second.data(), block_size());
+        continue;
+      }
+    }
+    std::memcpy(dst, durable_.data() + block * block_size(), block_size());
+  }
+  last_lba_ = lba + count;
+  return Status::Ok();
+}
+
+Status BlockDevice::WriteBlocks(uint64_t lba, uint32_t count,
+                                const uint8_t* data) {
+  MUX_RETURN_IF_ERROR(CheckRange(lba, count));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writes_until_fault_ >= 0) {
+    if (writes_until_fault_ == 0) {
+      return IoError("injected write fault");
+    }
+    writes_until_fault_--;
+  }
+  const uint64_t bytes = static_cast<uint64_t>(count) * block_size();
+  const uint64_t seek = SeekCost(lba);
+  if (seek > 0) {
+    stats_.seeks++;
+  }
+  const bool streaming = profile_.full_seek_ns > 0 && lba == last_lba_;
+  const uint64_t cost = seek + (streaming ? 0 : profile_.write_latency_ns) +
+                        static_cast<uint64_t>(static_cast<double>(bytes) /
+                                              profile_.write_bw_bytes_per_ns);
+  clock_->Advance(cost);
+  stats_.busy_ns += cost;
+  stats_.write_ops++;
+  stats_.bytes_written += bytes;
+
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t block = lba + i;
+    const uint8_t* src = data + static_cast<uint64_t>(i) * block_size();
+    if (crash_sim_) {
+      auto& slot = cache_[block];
+      slot.assign(src, src + block_size());
+    } else {
+      std::memcpy(durable_.data() + block * block_size(), src, block_size());
+    }
+  }
+  last_lba_ = lba + count;
+  return Status::Ok();
+}
+
+Status BlockDevice::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writes_until_fault_ == 0) {
+    return IoError("injected flush fault");
+  }
+  stats_.flushes++;
+  if (crash_sim_ && !cache_.empty()) {
+    // Charge the writeback of the cached blocks.
+    const uint64_t bytes = cache_.size() * block_size();
+    const uint64_t cost = profile_.EstimateWriteNs(bytes);
+    clock_->Advance(cost);
+    stats_.busy_ns += cost;
+    for (const auto& [block, content] : cache_) {
+      std::memcpy(durable_.data() + block * block_size(), content.data(),
+                  block_size());
+    }
+    cache_.clear();
+  } else {
+    clock_->Advance(profile_.write_latency_ns);
+    stats_.busy_ns += profile_.write_latency_ns;
+  }
+  return Status::Ok();
+}
+
+void BlockDevice::EnableCrashSim(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crash_sim_ && !enabled) {
+    // Turning the cache off implies writing it back.
+    for (const auto& [block, content] : cache_) {
+      std::memcpy(durable_.data() + block * block_size(), content.data(),
+                  block_size());
+    }
+    cache_.clear();
+  }
+  crash_sim_ = enabled;
+}
+
+void BlockDevice::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+void BlockDevice::CrashTorn(Rng& rng, double survive_prob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [block, content] : cache_) {
+    if (rng.NextDouble() < survive_prob) {
+      std::memcpy(durable_.data() + block * block_size(), content.data(),
+                  block_size());
+    }
+  }
+  cache_.clear();
+}
+
+void BlockDevice::FailAfterWrites(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writes_until_fault_ = n;
+}
+
+void BlockDevice::FailReads(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_reads_ = enabled;
+}
+
+size_t BlockDevice::DirtyBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+DeviceStats BlockDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BlockDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = DeviceStats{};
+}
+
+}  // namespace mux::device

@@ -1,0 +1,100 @@
+// Simulated block device with a volatile write cache and crash injection.
+//
+// The device is memory-backed. Every operation charges simulated time to the
+// shared SimClock according to the DeviceProfile: fixed per-op latency, a
+// bandwidth term, and (for HDDs) a seek cost proportional to LBA distance
+// from the previous access.
+//
+// Crash simulation: with EnableCrashSim(true), writes land in a volatile
+// overlay (the "disk write cache"); Flush() makes them durable. Crash()
+// discards the overlay — or, with CrashTorn(), makes an arbitrary subset
+// durable first, modelling reordered cache writeback. File-system recovery
+// tests are built on this.
+#ifndef MUX_DEVICE_BLOCK_DEVICE_H_
+#define MUX_DEVICE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/device/device_profile.h"
+
+namespace mux::device {
+
+struct DeviceStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t flushes = 0;
+  uint64_t seeks = 0;
+  SimTime busy_ns = 0;
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(DeviceProfile profile, SimClock* clock);
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  const DeviceProfile& profile() const { return profile_; }
+  uint32_t block_size() const { return profile_.block_size; }
+  uint64_t capacity_blocks() const { return profile_.capacity_blocks(); }
+
+  // Transfers `count` blocks starting at `lba`. `out`/`data` must hold
+  // count * block_size bytes.
+  Status ReadBlocks(uint64_t lba, uint32_t count, uint8_t* out);
+  Status WriteBlocks(uint64_t lba, uint32_t count, const uint8_t* data);
+
+  // Makes all cached writes durable.
+  Status Flush();
+
+  // --- Crash simulation -----------------------------------------------
+  void EnableCrashSim(bool enabled);
+  bool crash_sim_enabled() const { return crash_sim_; }
+  // Power loss: unflushed writes are gone.
+  void Crash();
+  // Power loss with partial writeback: each cached block independently
+  // becomes durable with probability `survive_prob`.
+  void CrashTorn(Rng& rng, double survive_prob);
+  // Number of blocks currently sitting in the volatile cache.
+  size_t DirtyBlocks() const;
+
+  // Fault injection: the next `n` write operations succeed, then every
+  // write (and flush) fails with kIoError until the limit is cleared with a
+  // negative value. Combined with Crash(), this produces every possible
+  // mid-operation power-loss point for recovery tests.
+  void FailAfterWrites(int64_t n);
+  // Fault injection: every read fails with kIoError while enabled (a dead
+  // device; used by the replication failover tests).
+  void FailReads(bool enabled);
+
+  DeviceStats stats() const;
+  void ResetStats();
+
+ private:
+  uint64_t SeekCost(uint64_t lba) const;
+  Status CheckRange(uint64_t lba, uint32_t count) const;
+
+  const DeviceProfile profile_;
+  SimClock* const clock_;
+
+  mutable std::mutex mu_;
+  std::vector<uint8_t> durable_;
+  // Volatile write cache: lba -> block content not yet durable.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> cache_;
+  bool crash_sim_ = false;
+  bool fail_reads_ = false;
+  int64_t writes_until_fault_ = -1;  // <0 means no fault injection
+  uint64_t last_lba_ = 0;            // head position for the seek model
+  DeviceStats stats_;
+};
+
+}  // namespace mux::device
+
+#endif  // MUX_DEVICE_BLOCK_DEVICE_H_

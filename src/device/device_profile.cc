@@ -1,0 +1,89 @@
+#include "src/device/device_profile.h"
+
+namespace mux::device {
+
+std::string_view DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kPm:
+      return "PM";
+    case DeviceKind::kSsd:
+      return "SSD";
+    case DeviceKind::kHdd:
+      return "HDD";
+    case DeviceKind::kGeneric:
+      return "RAM";
+  }
+  return "?";
+}
+
+uint64_t DeviceProfile::EstimateReadNs(uint64_t bytes) const {
+  return read_latency_ns +
+         static_cast<uint64_t>(static_cast<double>(bytes) / read_bw_bytes_per_ns);
+}
+
+uint64_t DeviceProfile::EstimateWriteNs(uint64_t bytes) const {
+  return write_latency_ns +
+         static_cast<uint64_t>(static_cast<double>(bytes) / write_bw_bytes_per_ns);
+}
+
+DeviceProfile DeviceProfile::OptanePm(uint64_t capacity_bytes) {
+  DeviceProfile p;
+  p.kind = DeviceKind::kPm;
+  p.name = "optane-pmem-200";
+  p.capacity_bytes = capacity_bytes;
+  p.block_size = 4096;  // PM file systems still allocate in 4K pages.
+  p.read_latency_ns = 170;          // media read latency (first access)
+  p.write_latency_ns = 90;          // store into WPQ
+  p.read_bw_bytes_per_ns = 6.6;     // ~6.6 GB/s per DIMM set
+  p.write_bw_bytes_per_ns = 2.3;    // ~2.3 GB/s
+  p.persist_latency_ns = 100;       // CLWB + fence amortized per line
+  p.byte_addressable = true;
+  p.queue_depth = 8;
+  return p;
+}
+
+DeviceProfile DeviceProfile::OptaneSsd(uint64_t capacity_bytes) {
+  DeviceProfile p;
+  p.kind = DeviceKind::kSsd;
+  p.name = "optane-ssd-p4800x";
+  p.capacity_bytes = capacity_bytes;
+  p.block_size = 4096;
+  p.read_latency_ns = 10'000;       // ~10us
+  p.write_latency_ns = 10'000;
+  p.read_bw_bytes_per_ns = 2.4;     // 2.4 GB/s
+  p.write_bw_bytes_per_ns = 2.0;    // 2.0 GB/s
+  p.byte_addressable = false;
+  p.queue_depth = 16;
+  return p;
+}
+
+DeviceProfile DeviceProfile::ExosHdd(uint64_t capacity_bytes) {
+  DeviceProfile p;
+  p.kind = DeviceKind::kHdd;
+  p.name = "exos-x18";
+  p.capacity_bytes = capacity_bytes;
+  p.block_size = 4096;
+  p.read_latency_ns = 2'000'000;    // ~half a rotation at 7200rpm
+  p.write_latency_ns = 2'000'000;
+  p.read_bw_bytes_per_ns = 0.27;    // 270 MB/s sustained
+  p.write_bw_bytes_per_ns = 0.27;
+  p.full_seek_ns = 8'000'000;       // 8ms full stroke
+  p.byte_addressable = false;
+  p.queue_depth = 1;
+  return p;
+}
+
+DeviceProfile DeviceProfile::TestRam(uint64_t capacity_bytes) {
+  DeviceProfile p;
+  p.kind = DeviceKind::kGeneric;
+  p.name = "test-ram";
+  p.capacity_bytes = capacity_bytes;
+  p.block_size = 4096;
+  p.read_bw_bytes_per_ns = 1000.0;
+  p.write_bw_bytes_per_ns = 1000.0;
+  p.byte_addressable = true;
+  p.queue_depth = 32;
+  return p;
+}
+
+}  // namespace mux::device

@@ -1,0 +1,69 @@
+// Device performance profiles.
+//
+// A profile captures everything the simulator and Mux's I/O scheduler need
+// to know about a device: capacity, access granularity, and the latency /
+// bandwidth model. Presets approximate the paper's testbed (Optane PMem 200,
+// Optane SSD DC P4800X, Seagate Exos X18); see DESIGN.md for the
+// substitution rationale.
+#ifndef MUX_DEVICE_DEVICE_PROFILE_H_
+#define MUX_DEVICE_DEVICE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mux::device {
+
+enum class DeviceKind : uint8_t {
+  kPm,       // byte-addressable persistent memory
+  kSsd,      // block device, no seek penalty, deep queue
+  kHdd,      // block device, seek-dominated, single queue
+  kGeneric,  // memory-backed test device
+};
+
+std::string_view DeviceKindName(DeviceKind kind);
+
+struct DeviceProfile {
+  DeviceKind kind = DeviceKind::kGeneric;
+  std::string name;
+  uint64_t capacity_bytes = 0;
+  uint32_t block_size = 4096;
+
+  // Fixed per-operation latency in simulated ns (command overhead, media
+  // access for the first byte).
+  uint64_t read_latency_ns = 0;
+  uint64_t write_latency_ns = 0;
+
+  // Streaming bandwidth in bytes per simulated ns (1.0 == 1 GB/s ~= 0.93GiB/s).
+  double read_bw_bytes_per_ns = 1.0;
+  double write_bw_bytes_per_ns = 1.0;
+
+  // HDD only: cost of a full-stroke seek; actual seeks scale with LBA
+  // distance. Sequential access pays no seek.
+  uint64_t full_seek_ns = 0;
+
+  // PM only: cost of persisting one cache line (CLFLUSH/CLWB + fence share).
+  uint64_t persist_latency_ns = 0;
+
+  bool byte_addressable = false;
+
+  // Concurrent commands the device can usefully service; consumed by Mux's
+  // I/O scheduler.
+  uint32_t queue_depth = 1;
+
+  uint64_t capacity_blocks() const { return capacity_bytes / block_size; }
+
+  // Estimated service time for a transfer of `bytes` (no seek component).
+  uint64_t EstimateReadNs(uint64_t bytes) const;
+  uint64_t EstimateWriteNs(uint64_t bytes) const;
+
+  // Presets approximating the paper's testbed devices.
+  static DeviceProfile OptanePm(uint64_t capacity_bytes);
+  static DeviceProfile OptaneSsd(uint64_t capacity_bytes);
+  static DeviceProfile ExosHdd(uint64_t capacity_bytes);
+  // Zero-latency memory device for unit tests.
+  static DeviceProfile TestRam(uint64_t capacity_bytes);
+};
+
+}  // namespace mux::device
+
+#endif  // MUX_DEVICE_DEVICE_PROFILE_H_

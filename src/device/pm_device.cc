@@ -1,0 +1,141 @@
+#include "src/device/pm_device.h"
+
+#include <cstring>
+
+namespace mux::device {
+
+PmDevice::PmDevice(DeviceProfile profile, SimClock* clock)
+    : profile_(std::move(profile)), clock_(clock) {
+  memory_.resize(profile_.capacity_bytes, 0);
+}
+
+Status PmDevice::CheckRange(uint64_t offset, uint64_t n) const {
+  if (offset + n > capacity() || offset + n < offset) {
+    return OutOfRangeError("PM access beyond capacity");
+  }
+  return Status::Ok();
+}
+
+Status PmDevice::Load(uint64_t offset, uint64_t n, uint8_t* out) {
+  MUX_RETURN_IF_ERROR(CheckRange(offset, n));
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t cost = profile_.EstimateReadNs(n);
+  clock_->Advance(cost);
+  stats_.busy_ns += cost;
+  stats_.read_ops++;
+  stats_.bytes_read += n;
+  std::memcpy(out, memory_.data() + offset, n);
+  return Status::Ok();
+}
+
+Status PmDevice::Store(uint64_t offset, uint64_t n, const uint8_t* data) {
+  MUX_RETURN_IF_ERROR(CheckRange(offset, n));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stores_until_fault_ >= 0) {
+    if (stores_until_fault_ == 0) {
+      return IoError("injected PM store fault");
+    }
+    stores_until_fault_--;
+  }
+  const uint64_t cost = profile_.EstimateWriteNs(n);
+  clock_->Advance(cost);
+  stats_.busy_ns += cost;
+  stats_.write_ops++;
+  stats_.bytes_written += n;
+  if (crash_sim_) {
+    const uint64_t first = offset / kLineSize;
+    const uint64_t last = (offset + n - 1) / kLineSize;
+    for (uint64_t line = first; line <= last; ++line) {
+      if (!preimages_.contains(line)) {
+        const uint64_t base = line * kLineSize;
+        const uint64_t len = std::min(kLineSize, capacity() - base);
+        preimages_.emplace(
+            line, std::vector<uint8_t>(memory_.begin() + base,
+                                       memory_.begin() + base + len));
+      }
+    }
+  }
+  std::memcpy(memory_.data() + offset, data, n);
+  return Status::Ok();
+}
+
+Status PmDevice::Persist(uint64_t offset, uint64_t n) {
+  if (n == 0) {
+    return Status::Ok();
+  }
+  MUX_RETURN_IF_ERROR(CheckRange(offset, n));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stores_until_fault_ == 0) {
+    return IoError("injected PM persist fault");
+  }
+  const uint64_t first = offset / kLineSize;
+  const uint64_t last = (offset + n - 1) / kLineSize;
+  const uint64_t lines = last - first + 1;
+  const uint64_t cost = profile_.persist_latency_ns * lines;
+  clock_->Advance(cost);
+  stats_.busy_ns += cost;
+  stats_.flushes++;
+  if (crash_sim_) {
+    for (uint64_t line = first; line <= last; ++line) {
+      preimages_.erase(line);
+    }
+  }
+  return Status::Ok();
+}
+
+void PmDevice::ChargeDaxRead(uint64_t bytes) {
+  const uint64_t cost = profile_.EstimateReadNs(bytes);
+  clock_->Advance(cost);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.busy_ns += cost;
+  stats_.read_ops++;
+  stats_.bytes_read += bytes;
+}
+
+void PmDevice::ChargeDaxWrite(uint64_t bytes) {
+  const uint64_t cost = profile_.EstimateWriteNs(bytes);
+  clock_->Advance(cost);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.busy_ns += cost;
+  stats_.write_ops++;
+  stats_.bytes_written += bytes;
+}
+
+void PmDevice::FailAfterStores(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_until_fault_ = n;
+}
+
+void PmDevice::EnableCrashSim(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_sim_ = enabled;
+  if (!enabled) {
+    preimages_.clear();
+  }
+}
+
+void PmDevice::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [line, preimage] : preimages_) {
+    std::memcpy(memory_.data() + line * kLineSize, preimage.data(),
+                preimage.size());
+  }
+  preimages_.clear();
+}
+
+size_t PmDevice::UnpersistedLines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return preimages_.size();
+}
+
+DeviceStats PmDevice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PmDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = DeviceStats{};
+}
+
+}  // namespace mux::device

@@ -1,0 +1,82 @@
+// Simulated byte-addressable persistent memory.
+//
+// Load/Store move bytes at cache-line granularity cost; Persist models
+// CLWB + SFENCE making stored lines durable. DaxBase() exposes the backing
+// memory directly — the DAX path NOVA-like file systems and Mux's SCM cache
+// use for zero-copy access (reads through DAX still charge media latency via
+// ChargeDaxRead, mirroring how real PM loads stall the CPU).
+//
+// Crash simulation: stores record a pre-image per 256-byte line until the
+// line is persisted; Crash() rolls unpersisted lines back. This models the
+// visibility/durability gap that NOVA's persist barriers exist to close.
+#ifndef MUX_DEVICE_PM_DEVICE_H_
+#define MUX_DEVICE_PM_DEVICE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/device/block_device.h"
+#include "src/device/device_profile.h"
+
+namespace mux::device {
+
+class PmDevice {
+ public:
+  static constexpr uint64_t kLineSize = 256;  // Optane media access size
+
+  PmDevice(DeviceProfile profile, SimClock* clock);
+
+  PmDevice(const PmDevice&) = delete;
+  PmDevice& operator=(const PmDevice&) = delete;
+
+  const DeviceProfile& profile() const { return profile_; }
+  uint64_t capacity() const { return profile_.capacity_bytes; }
+
+  Status Load(uint64_t offset, uint64_t n, uint8_t* out);
+  Status Store(uint64_t offset, uint64_t n, const uint8_t* data);
+  // Makes [offset, offset+n) durable (CLWB of the covered lines + fence).
+  Status Persist(uint64_t offset, uint64_t n);
+
+  // Direct access to the backing memory. Callers that read through this
+  // pointer should call ChargeDaxRead to account media time.
+  uint8_t* DaxBase() { return memory_.data(); }
+  const uint8_t* DaxBase() const { return memory_.data(); }
+  void ChargeDaxRead(uint64_t bytes);
+  void ChargeDaxWrite(uint64_t bytes);
+
+  // --- Crash simulation -----------------------------------------------
+  void EnableCrashSim(bool enabled);
+  // Rolls back every store that was not followed by a Persist.
+  void Crash();
+  size_t UnpersistedLines() const;
+  // Fault injection: the next `n` Store operations succeed, then every
+  // Store and Persist fails with kIoError until cleared with a negative
+  // value. Sweeping the cutoff visits every possible power-loss point of a
+  // multi-store PM update.
+  void FailAfterStores(int64_t n);
+
+  DeviceStats stats() const;
+  void ResetStats();
+
+ private:
+  Status CheckRange(uint64_t offset, uint64_t n) const;
+
+  const DeviceProfile profile_;
+  SimClock* const clock_;
+
+  mutable std::mutex mu_;
+  std::vector<uint8_t> memory_;
+  // line index -> pre-image of the line before the first unpersisted store.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> preimages_;
+  bool crash_sim_ = false;
+  int64_t stores_until_fault_ = -1;  // <0 means no fault injection
+  DeviceStats stats_;
+};
+
+}  // namespace mux::device
+
+#endif  // MUX_DEVICE_PM_DEVICE_H_

@@ -1,0 +1,1279 @@
+#include "src/fs/extlite/extlite.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/encoding.h"
+#include "src/common/logging.h"
+#include "src/vfs/path.h"
+
+namespace mux::fs {
+
+using ext::DentryOffsets;
+using ext::InodeOffsets;
+using ext::SuperOffsets;
+using ext::kBlockSize;
+using ext::kDentrySize;
+using ext::kDirectPointers;
+using ext::kDoubleIndirectFirst;
+using ext::kInodeSlotSize;
+using ext::kInodesPerBlock;
+using ext::kPointersPerBlock;
+using ext::kRootIno;
+using ext::kSingleIndirectFirst;
+
+class ExtLite::CacheStore : public BackingStore {
+ public:
+  explicit CacheStore(ExtLite* fs) : fs_(fs) {}
+
+  Status LoadPage(vfs::InodeNum ino, uint64_t page, uint8_t* out) override {
+    const MemInode& inode = fs_->inodes_[ino];
+    const uint64_t disk = fs_->LookupBlockLocked(inode, page);
+    if (disk == 0) {
+      std::memset(out, 0, kBlockSize);
+      return Status::Ok();
+    }
+    return fs_->device_->ReadBlocks(disk, 1, out);
+  }
+
+  Status StorePage(vfs::InodeNum ino, uint64_t page,
+                   const uint8_t* data) override {
+    return StorePages(ino, page, 1, data);
+  }
+
+  // Delayed allocation + clustered writeback: blocks are chosen here, next
+  // to the previous file block when possible, and contiguous disk runs go
+  // out as single multi-block writes — what keeps an HDD streaming.
+  Status StorePages(vfs::InodeNum ino, uint64_t first_page, uint64_t count,
+                    const uint8_t* data) override {
+    MemInode& inode = fs_->inodes_[ino];
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t page = first_page + i;
+      if (fs_->LookupBlockLocked(inode, page) != 0) {
+        continue;
+      }
+      uint64_t near_block = 0;
+      if (page > 0) {
+        near_block = fs_->LookupBlockLocked(inode, page - 1);
+      }
+      const uint32_t hint =
+          near_block != 0
+              ? fs_->GroupOf(near_block)
+              : fs_->GroupOf(fs_->InodeTableBlockOf(ino));
+      MUX_ASSIGN_OR_RETURN(
+          uint64_t disk,
+          fs_->AllocBlockLocked(hint, near_block ? near_block + 1 : 0));
+      MUX_RETURN_IF_ERROR(fs_->MapBlockLocked(inode, page, disk));
+      if (inode.delalloc.erase(page) > 0) {
+        fs_->delalloc_reserved_--;
+      }
+      inode.meta_dirty = true;
+    }
+    uint64_t i = 0;
+    while (i < count) {
+      const uint64_t disk = fs_->LookupBlockLocked(inode, first_page + i);
+      uint64_t run = 1;
+      while (i + run < count &&
+             fs_->LookupBlockLocked(inode, first_page + i + run) ==
+                 disk + run) {
+        ++run;
+      }
+      MUX_RETURN_IF_ERROR(fs_->device_->WriteBlocks(
+          disk, static_cast<uint32_t>(run), data + i * kBlockSize));
+      i += run;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  ExtLite* const fs_;
+};
+
+ExtLite::ExtLite(device::BlockDevice* device, SimClock* clock)
+    : ExtLite(device, clock, Options()) {}
+
+ExtLite::ExtLite(device::BlockDevice* device, SimClock* clock, Options options)
+    : device_(device), clock_(clock), options_(options) {
+  total_blocks_ = device_->capacity_blocks();
+  groups_first_ = ext::kJournalFirstBlock + options_.journal_blocks;
+  MUX_CHECK(total_blocks_ > groups_first_ + options_.group_count * 8)
+      << "device too small for extlite";
+  group_blocks_ = (total_blocks_ - groups_first_) / options_.group_count;
+  inode_blocks_per_group_ =
+      options_.inode_blocks_per_group != 0
+          ? options_.inode_blocks_per_group
+          : std::max<uint64_t>(1, group_blocks_ / 256);
+  max_inodes_ =
+      options_.group_count * inode_blocks_per_group_ * kInodesPerBlock;
+  journal_ = std::make_unique<Journal>(device_, ext::kJournalFirstBlock,
+                                       options_.journal_blocks);
+  cache_store_ = std::make_unique<CacheStore>(this);
+  cache_ = std::make_unique<PageCache>(cache_store_.get(), clock_,
+                                       options_.page_cache_pages);
+}
+
+ExtLite::~ExtLite() {
+  if (mounted_) {
+    (void)Sync();
+  }
+}
+
+// ---- geometry ---------------------------------------------------------------
+
+uint64_t ExtLite::GroupFirstBlock(uint32_t group) const {
+  return groups_first_ + static_cast<uint64_t>(group) * group_blocks_;
+}
+uint32_t ExtLite::GroupOf(uint64_t disk_block) const {
+  return static_cast<uint32_t>(
+      std::min<uint64_t>((disk_block - groups_first_) / group_blocks_,
+                         options_.group_count - 1));
+}
+uint64_t ExtLite::BitmapBlockOfGroup(uint32_t group) const {
+  return GroupFirstBlock(group);
+}
+uint64_t ExtLite::InodeBitmapBlockOfGroup(uint32_t group) const {
+  return GroupFirstBlock(group) + 1;
+}
+uint64_t ExtLite::InodeTableBlockOf(vfs::InodeNum ino) const {
+  const uint64_t inodes_per_group = inode_blocks_per_group_ * kInodesPerBlock;
+  const uint32_t group = static_cast<uint32_t>(ino / inodes_per_group);
+  const uint64_t within = ino % inodes_per_group;
+  return GroupFirstBlock(group) + 2 + within / kInodesPerBlock;
+}
+
+// ---- bitmaps / allocation ------------------------------------------------------
+
+Result<uint64_t> ExtLite::AllocBlockLocked(uint32_t group_hint,
+                                           uint64_t near_block) {
+  for (uint32_t i = 0; i < options_.group_count; ++i) {
+    const uint32_t group = (group_hint + i) % options_.group_count;
+    auto& bitmap = block_bitmaps_[group];
+    const uint64_t first = GroupFirstBlock(group);
+    // Start scanning at the locality hint when it lies in this group.
+    uint64_t start_bit = 0;
+    if (near_block >= first && near_block < first + group_blocks_) {
+      start_bit = near_block - first;
+    }
+    for (uint64_t pass = 0; pass < 2; ++pass) {
+      const uint64_t begin = pass == 0 ? start_bit : 0;
+      const uint64_t end = pass == 0 ? group_blocks_ : start_bit;
+      for (uint64_t bit = begin; bit < end; ++bit) {
+        if ((bitmap[bit / 8] & (1u << (bit % 8))) == 0) {
+          bitmap[bit / 8] |= 1u << (bit % 8);
+          dirty_bitmap_blocks_.insert(BitmapBlockOfGroup(group));
+          free_blocks_--;
+          return first + bit;
+        }
+      }
+    }
+  }
+  return NoSpaceError("extlite device full");
+}
+
+Status ExtLite::FreeBlockLocked(uint64_t disk_block) {
+  const uint32_t group = GroupOf(disk_block);
+  const uint64_t bit = disk_block - GroupFirstBlock(group);
+  auto& bitmap = block_bitmaps_[group];
+  if ((bitmap[bit / 8] & (1u << (bit % 8))) == 0) {
+    return InternalError("extlite double block free");
+  }
+  bitmap[bit / 8] &= ~(1u << (bit % 8));
+  dirty_bitmap_blocks_.insert(BitmapBlockOfGroup(group));
+  free_blocks_++;
+  return Status::Ok();
+}
+
+Result<vfs::InodeNum> ExtLite::AllocInodeNumLocked() {
+  const uint64_t inodes_per_group = inode_blocks_per_group_ * kInodesPerBlock;
+  for (uint32_t group = 0; group < options_.group_count; ++group) {
+    auto& bitmap = inode_bitmaps_[group];
+    for (uint64_t bit = 0; bit < inodes_per_group; ++bit) {
+      const vfs::InodeNum ino = group * inodes_per_group + bit;
+      if (ino == 0) {
+        continue;  // inode 0 stays unused
+      }
+      if ((bitmap[bit / 8] & (1u << (bit % 8))) == 0) {
+        bitmap[bit / 8] |= 1u << (bit % 8);
+        dirty_bitmap_blocks_.insert(InodeBitmapBlockOfGroup(group));
+        return ino;
+      }
+    }
+  }
+  return NoSpaceError("extlite inode table full");
+}
+
+void ExtLite::FreeInodeNumLocked(vfs::InodeNum ino) {
+  const uint64_t inodes_per_group = inode_blocks_per_group_ * kInodesPerBlock;
+  const uint32_t group = static_cast<uint32_t>(ino / inodes_per_group);
+  const uint64_t bit = ino % inodes_per_group;
+  inode_bitmaps_[group][bit / 8] &= ~(1u << (bit % 8));
+  dirty_bitmap_blocks_.insert(InodeBitmapBlockOfGroup(group));
+}
+
+// ---- block mapping --------------------------------------------------------------
+
+uint64_t ExtLite::LookupBlockLocked(const MemInode& inode,
+                                    uint64_t file_block) const {
+  auto it = inode.mapping.find(file_block);
+  return it == inode.mapping.end() ? 0 : it->second;
+}
+
+Status ExtLite::TouchTreeLocked(MemInode& inode, uint64_t file_block) {
+  inode.meta_dirty = true;
+  if (file_block < kSingleIndirectFirst) {
+    return Status::Ok();  // direct pointer: lives in the inode slot
+  }
+  if (file_block < kDoubleIndirectFirst) {
+    if (inode.single_ind == 0) {
+      MUX_ASSIGN_OR_RETURN(inode.single_ind,
+                           AllocBlockLocked(GroupOf(InodeTableBlockOf(inode.ino)),
+                                            0));
+    }
+    inode.dirty_tree_blocks.insert(inode.single_ind);
+    return Status::Ok();
+  }
+  if (file_block >= ext::kMaxFileBlocks) {
+    return NoSpaceError("file exceeds maximum mapped size");
+  }
+  if (inode.double_ind == 0) {
+    MUX_ASSIGN_OR_RETURN(inode.double_ind,
+                         AllocBlockLocked(GroupOf(InodeTableBlockOf(inode.ino)),
+                                          0));
+  }
+  const uint64_t child = (file_block - kDoubleIndirectFirst) / kPointersPerBlock;
+  auto it = inode.dbl_children.find(child);
+  if (it == inode.dbl_children.end()) {
+    MUX_ASSIGN_OR_RETURN(uint64_t blk,
+                         AllocBlockLocked(GroupOf(inode.double_ind), 0));
+    inode.dbl_children.emplace(child, blk);
+    inode.dirty_tree_blocks.insert(inode.double_ind);
+    inode.dirty_tree_blocks.insert(blk);
+  } else {
+    inode.dirty_tree_blocks.insert(it->second);
+  }
+  return Status::Ok();
+}
+
+Status ExtLite::MapBlockLocked(MemInode& inode, uint64_t file_block,
+                               uint64_t disk_block) {
+  MUX_RETURN_IF_ERROR(TouchTreeLocked(inode, file_block));
+  inode.mapping[file_block] = disk_block;
+  return Status::Ok();
+}
+
+Status ExtLite::UnmapFromLocked(MemInode& inode, uint64_t first_dead_block) {
+  for (auto it = inode.mapping.lower_bound(first_dead_block);
+       it != inode.mapping.end();) {
+    if (inode.type == vfs::FileType::kDirectory) {
+      pending_revokes_.insert(it->second);  // dir data is journaled
+      deferred_frees_.push_back(it->second);
+    } else {
+      MUX_RETURN_IF_ERROR(FreeBlockLocked(it->second));
+    }
+    it = inode.mapping.erase(it);
+  }
+  inode.meta_dirty = true;
+
+  // Prune now-empty indirect blocks.
+  if (inode.single_ind != 0 &&
+      inode.mapping.lower_bound(kSingleIndirectFirst) ==
+          inode.mapping.lower_bound(kDoubleIndirectFirst)) {
+    inode.dirty_tree_blocks.erase(inode.single_ind);
+    pending_revokes_.insert(inode.single_ind);
+    deferred_frees_.push_back(inode.single_ind);
+    inode.single_ind = 0;
+  } else if (inode.single_ind != 0) {
+    inode.dirty_tree_blocks.insert(inode.single_ind);
+  }
+  for (auto it = inode.dbl_children.begin(); it != inode.dbl_children.end();) {
+    const uint64_t child_first =
+        kDoubleIndirectFirst + it->first * kPointersPerBlock;
+    auto lo = inode.mapping.lower_bound(child_first);
+    if (lo == inode.mapping.end() ||
+        lo->first >= child_first + kPointersPerBlock) {
+      inode.dirty_tree_blocks.erase(it->second);
+      pending_revokes_.insert(it->second);
+      deferred_frees_.push_back(it->second);
+      it = inode.dbl_children.erase(it);
+      if (inode.double_ind != 0) {
+        inode.dirty_tree_blocks.insert(inode.double_ind);
+      }
+    } else {
+      inode.dirty_tree_blocks.insert(it->second);
+      ++it;
+    }
+  }
+  if (inode.double_ind != 0 && inode.dbl_children.empty()) {
+    inode.dirty_tree_blocks.erase(inode.double_ind);
+    pending_revokes_.insert(inode.double_ind);
+    deferred_frees_.push_back(inode.double_ind);
+    inode.double_ind = 0;
+  }
+  return Status::Ok();
+}
+
+// ---- persistence -------------------------------------------------------------------
+
+void ExtLite::SerializeInodeBlockLocked(uint64_t table_block,
+                                        uint8_t* out) const {
+  std::memset(out, 0, kBlockSize);
+  // Which inodes live in this table block?
+  const uint64_t inodes_per_group = inode_blocks_per_group_ * kInodesPerBlock;
+  // Find the group by scanning geometry (table blocks are per group).
+  for (uint32_t group = 0; group < options_.group_count; ++group) {
+    const uint64_t table_first = GroupFirstBlock(group) + 2;
+    if (table_block < table_first ||
+        table_block >= table_first + inode_blocks_per_group_) {
+      continue;
+    }
+    const uint64_t first_ino = group * inodes_per_group +
+                               (table_block - table_first) * kInodesPerBlock;
+    for (uint64_t i = 0; i < kInodesPerBlock; ++i) {
+      const uint64_t ino = first_ino + i;
+      if (ino >= inodes_.size() || !inodes_[ino].valid) {
+        continue;
+      }
+      const MemInode& inode = inodes_[ino];
+      uint8_t* slot = out + i * kInodeSlotSize;
+      slot[InodeOffsets::kValid] = 1;
+      slot[InodeOffsets::kType] =
+          inode.type == vfs::FileType::kDirectory ? 1 : 0;
+      Put32(slot + InodeOffsets::kMode, inode.mode);
+      Put64(slot + InodeOffsets::kSize, inode.size);
+      Put64(slot + InodeOffsets::kAtime, inode.atime);
+      Put64(slot + InodeOffsets::kMtime, inode.mtime);
+      Put64(slot + InodeOffsets::kCtime, inode.ctime);
+      for (uint64_t d = 0; d < kDirectPointers; ++d) {
+        auto it = inode.mapping.find(d);
+        Put64(slot + InodeOffsets::kDirect + d * 8,
+              it == inode.mapping.end() ? 0 : it->second);
+      }
+      Put64(slot + InodeOffsets::kSingleInd, inode.single_ind);
+      Put64(slot + InodeOffsets::kDoubleInd, inode.double_ind);
+    }
+    return;
+  }
+}
+
+void ExtLite::SerializeTreeBlockLocked(const MemInode& inode,
+                                       uint64_t tree_block,
+                                       uint8_t* out) const {
+  std::memset(out, 0, kBlockSize);
+  if (tree_block == inode.single_ind) {
+    for (uint64_t i = 0; i < kPointersPerBlock; ++i) {
+      auto it = inode.mapping.find(kSingleIndirectFirst + i);
+      Put64(out + i * 8, it == inode.mapping.end() ? 0 : it->second);
+    }
+    return;
+  }
+  if (tree_block == inode.double_ind) {
+    for (const auto& [child, blk] : inode.dbl_children) {
+      Put64(out + child * 8, blk);
+    }
+    return;
+  }
+  for (const auto& [child, blk] : inode.dbl_children) {
+    if (blk != tree_block) {
+      continue;
+    }
+    const uint64_t first = kDoubleIndirectFirst + child * kPointersPerBlock;
+    for (uint64_t i = 0; i < kPointersPerBlock; ++i) {
+      auto it = inode.mapping.find(first + i);
+      Put64(out + i * 8, it == inode.mapping.end() ? 0 : it->second);
+    }
+    return;
+  }
+}
+
+Status ExtLite::LogInodeLocked(Journal::Tx* tx, MemInode& inode) {
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t tree_block : inode.dirty_tree_blocks) {
+    SerializeTreeBlockLocked(inode, tree_block, block.data());
+    tx->LogBlock(tree_block, block.data(), kBlockSize);
+  }
+  SerializeInodeBlockLocked(InodeTableBlockOf(inode.ino), block.data());
+  tx->LogBlock(InodeTableBlockOf(inode.ino), block.data(), kBlockSize);
+  return Status::Ok();
+}
+
+void ExtLite::LogBitmapsLocked(Journal::Tx* tx) {
+  std::vector<uint8_t> block(kBlockSize, 0);
+  for (uint64_t bitmap_block : dirty_bitmap_blocks_) {
+    // Identify which bitmap this is.
+    for (uint32_t group = 0; group < options_.group_count; ++group) {
+      if (bitmap_block == BitmapBlockOfGroup(group)) {
+        std::memset(block.data(), 0, kBlockSize);
+        std::memcpy(block.data(), block_bitmaps_[group].data(),
+                    std::min<size_t>(block_bitmaps_[group].size(),
+                                     kBlockSize));
+        tx->LogBlock(bitmap_block, block.data(), kBlockSize);
+        break;
+      }
+      if (bitmap_block == InodeBitmapBlockOfGroup(group)) {
+        std::memset(block.data(), 0, kBlockSize);
+        std::memcpy(block.data(), inode_bitmaps_[group].data(),
+                    std::min<size_t>(inode_bitmaps_[group].size(),
+                                     kBlockSize));
+        tx->LogBlock(bitmap_block, block.data(), kBlockSize);
+        break;
+      }
+    }
+  }
+}
+
+Status ExtLite::CommitLocked(std::vector<vfs::InodeNum> inos) {
+  // Common case: everything fits one transaction.
+  uint64_t blocks_needed = dirty_bitmap_blocks_.size();
+  for (vfs::InodeNum ino : inos) {
+    blocks_needed += 1 + inodes_[ino].dirty_tree_blocks.size();
+  }
+  if (blocks_needed <= journal_->MaxTxBlocks()) {
+    auto tx = journal_->Begin();
+    LogBitmapsLocked(tx.get());
+    for (vfs::InodeNum ino : inos) {
+      MUX_RETURN_IF_ERROR(LogInodeLocked(tx.get(), inodes_[ino]));
+    }
+    for (uint64_t revoked : pending_revokes_) {
+      tx->RevokeBlock(revoked);
+    }
+    MUX_RETURN_IF_ERROR(journal_->Commit(std::move(tx)));
+    pending_revokes_.clear();
+    for (uint64_t block : deferred_frees_) {
+      MUX_RETURN_IF_ERROR(FreeBlockLocked(block));
+    }
+    deferred_frees_.clear();
+  } else {
+    // Staged: bitmaps + revokes first (a crash can only leak, never
+    // corrupt), then per-inode transactions.
+    auto tx = journal_->Begin();
+    LogBitmapsLocked(tx.get());
+    for (uint64_t revoked : pending_revokes_) {
+      tx->RevokeBlock(revoked);
+    }
+    MUX_RETURN_IF_ERROR(journal_->Commit(std::move(tx)));
+    pending_revokes_.clear();
+    for (uint64_t block : deferred_frees_) {
+      MUX_RETURN_IF_ERROR(FreeBlockLocked(block));
+    }
+    deferred_frees_.clear();
+    for (vfs::InodeNum ino : inos) {
+      MemInode& inode = inodes_[ino];
+      // Split oversized tree-block sets.
+      std::vector<uint64_t> tree(inode.dirty_tree_blocks.begin(),
+                                 inode.dirty_tree_blocks.end());
+      const uint64_t chunk = journal_->MaxTxBlocks() - 1;
+      for (size_t i = 0; i < tree.size(); i += chunk) {
+        auto part = journal_->Begin();
+        std::vector<uint8_t> block(kBlockSize);
+        for (size_t j = i; j < std::min(tree.size(), i + chunk); ++j) {
+          SerializeTreeBlockLocked(inode, tree[j], block.data());
+          part->LogBlock(tree[j], block.data(), kBlockSize);
+        }
+        MUX_RETURN_IF_ERROR(journal_->Commit(std::move(part)));
+      }
+      auto last = journal_->Begin();
+      std::vector<uint8_t> block(kBlockSize);
+      SerializeInodeBlockLocked(InodeTableBlockOf(ino), block.data());
+      last->LogBlock(InodeTableBlockOf(ino), block.data(), kBlockSize);
+      MUX_RETURN_IF_ERROR(journal_->Commit(std::move(last)));
+    }
+  }
+  dirty_bitmap_blocks_.clear();
+  for (vfs::InodeNum ino : inos) {
+    inodes_[ino].dirty_tree_blocks.clear();
+    inodes_[ino].meta_dirty = false;
+  }
+  return Status::Ok();
+}
+
+// ---- directories -----------------------------------------------------------------
+
+Status ExtLite::WriteDirLocked(MemInode& dir) {
+  const uint64_t bytes = dir.children.size() * kDentrySize;
+  const uint64_t blocks = (bytes + kBlockSize - 1) / kBlockSize;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    if (LookupBlockLocked(dir, b) == 0) {
+      MUX_ASSIGN_OR_RETURN(
+          uint64_t disk,
+          AllocBlockLocked(GroupOf(InodeTableBlockOf(dir.ino)), 0));
+      MUX_RETURN_IF_ERROR(MapBlockLocked(dir, b, disk));
+    }
+  }
+  MUX_RETURN_IF_ERROR(UnmapFromLocked(dir, blocks));
+
+  auto tx = journal_->Begin();
+  std::vector<uint8_t> block(kBlockSize, 0);
+  uint64_t b = 0;
+  size_t in_block = 0;
+  for (const auto& [name, ino] : dir.children) {
+    uint8_t* rec = block.data() + in_block * kDentrySize;
+    Put64(rec + DentryOffsets::kIno, ino);
+    rec[DentryOffsets::kNameLen] = static_cast<uint8_t>(name.size());
+    std::memcpy(rec + DentryOffsets::kName, name.data(), name.size());
+    if (++in_block == kBlockSize / kDentrySize) {
+      tx->LogBlock(LookupBlockLocked(dir, b), block.data(), kBlockSize);
+      std::memset(block.data(), 0, kBlockSize);
+      in_block = 0;
+      ++b;
+    }
+  }
+  if (in_block > 0) {
+    tx->LogBlock(LookupBlockLocked(dir, b), block.data(), kBlockSize);
+  }
+  dir.size = bytes;
+  dir.mtime = TruncTime(clock_->Now());
+  LogBitmapsLocked(tx.get());
+  MUX_RETURN_IF_ERROR(LogInodeLocked(tx.get(), dir));
+  for (uint64_t revoked : pending_revokes_) {
+    tx->RevokeBlock(revoked);
+  }
+  MUX_RETURN_IF_ERROR(journal_->Commit(std::move(tx)));
+  pending_revokes_.clear();
+  for (uint64_t block : deferred_frees_) {
+    MUX_RETURN_IF_ERROR(FreeBlockLocked(block));
+  }
+  deferred_frees_.clear();
+  dirty_bitmap_blocks_.clear();
+  dir.dirty_tree_blocks.clear();
+  dir.meta_dirty = false;
+  return Status::Ok();
+}
+
+Status ExtLite::LoadDirLocked(MemInode& dir) {
+  dir.children.clear();
+  const uint64_t blocks = (dir.size + kBlockSize - 1) / kBlockSize;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const uint64_t disk = LookupBlockLocked(dir, b);
+    if (disk == 0) {
+      return CorruptionError("directory data block missing");
+    }
+    MUX_RETURN_IF_ERROR(device_->ReadBlocks(disk, 1, block.data()));
+    for (size_t i = 0; i < kBlockSize / kDentrySize; ++i) {
+      const uint8_t* rec = block.data() + i * kDentrySize;
+      const vfs::InodeNum ino = Get64(rec + DentryOffsets::kIno);
+      if (ino == 0) {
+        continue;
+      }
+      const uint8_t name_len = rec[DentryOffsets::kNameLen];
+      if (name_len == 0 || name_len > ext::kMaxNameLen) {
+        return CorruptionError("bad dentry name length");
+      }
+      dir.children.emplace(
+          std::string(
+              reinterpret_cast<const char*>(rec + DentryOffsets::kName),
+              name_len),
+          ino);
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- format / mount ------------------------------------------------------------
+
+Status ExtLite::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inodes_.assign(max_inodes_, MemInode{});
+  open_files_.clear();
+  dirty_bitmap_blocks_.clear();
+
+  std::vector<uint8_t> super(kBlockSize, 0);
+  Put32(super.data() + SuperOffsets::kMagic, ext::kSuperMagic);
+  Put64(super.data() + SuperOffsets::kTotalBlocks, total_blocks_);
+  Put64(super.data() + SuperOffsets::kJournalBlocks, options_.journal_blocks);
+  Put32(super.data() + SuperOffsets::kGroupCount, options_.group_count);
+  Put32(super.data() + SuperOffsets::kGroupBlocks,
+        static_cast<uint32_t>(group_blocks_));
+  Put32(super.data() + SuperOffsets::kInodeBlocksPerGroup,
+        static_cast<uint32_t>(inode_blocks_per_group_));
+  Put32(super.data() + SuperOffsets::kCrc,
+        Crc32c(super.data(), SuperOffsets::kCrc));
+  MUX_RETURN_IF_ERROR(device_->WriteBlocks(ext::kSuperBlock, 1, super.data()));
+  MUX_RETURN_IF_ERROR(journal_->Format());
+
+  // Initialize bitmaps: metadata blocks (bitmaps + inode table) are in use.
+  block_bitmaps_.assign(options_.group_count,
+                        std::vector<uint8_t>((group_blocks_ + 7) / 8, 0));
+  inode_bitmaps_.assign(
+      options_.group_count,
+      std::vector<uint8_t>(
+          (inode_blocks_per_group_ * kInodesPerBlock + 7) / 8, 0));
+  free_blocks_ = 0;
+  std::vector<uint8_t> zero(kBlockSize, 0);
+  for (uint32_t group = 0; group < options_.group_count; ++group) {
+    const uint64_t meta = 2 + inode_blocks_per_group_;
+    for (uint64_t bit = 0; bit < meta; ++bit) {
+      block_bitmaps_[group][bit / 8] |= 1u << (bit % 8);
+    }
+    free_blocks_ += group_blocks_ - meta;
+    dirty_bitmap_blocks_.insert(BitmapBlockOfGroup(group));
+    dirty_bitmap_blocks_.insert(InodeBitmapBlockOfGroup(group));
+    // Zero the inode table.
+    for (uint64_t b = 0; b < inode_blocks_per_group_; ++b) {
+      MUX_RETURN_IF_ERROR(
+          device_->WriteBlocks(GroupFirstBlock(group) + 2 + b, 1,
+                               zero.data()));
+    }
+  }
+  // Account the tail remainder lost to integer division.
+  MUX_RETURN_IF_ERROR(device_->Flush());
+
+  // Root inode: mark used in the inode bitmap, build, commit.
+  inode_bitmaps_[0][kRootIno / 8] |= 1u << (kRootIno % 8);
+  MemInode& root = inodes_[kRootIno];
+  root.ino = kRootIno;
+  root.valid = true;
+  root.type = vfs::FileType::kDirectory;
+  root.mode = 0755;
+  root.ctime = root.mtime = root.atime = TruncTime(clock_->Now());
+  root.meta_dirty = true;
+  MUX_RETURN_IF_ERROR(CommitLocked({kRootIno}));
+  mounted_ = true;
+  return Status::Ok();
+}
+
+Status ExtLite::LoadInodeTreeLocked(MemInode& inode) {
+  std::vector<uint8_t> block(kBlockSize);
+  if (inode.single_ind != 0) {
+    MUX_RETURN_IF_ERROR(device_->ReadBlocks(inode.single_ind, 1, block.data()));
+    for (uint64_t i = 0; i < kPointersPerBlock; ++i) {
+      const uint64_t ptr = Get64(block.data() + i * 8);
+      if (ptr != 0) {
+        inode.mapping[kSingleIndirectFirst + i] = ptr;
+      }
+    }
+  }
+  if (inode.double_ind != 0) {
+    MUX_RETURN_IF_ERROR(device_->ReadBlocks(inode.double_ind, 1, block.data()));
+    std::vector<std::pair<uint64_t, uint64_t>> children;
+    for (uint64_t c = 0; c < kPointersPerBlock; ++c) {
+      const uint64_t child_block = Get64(block.data() + c * 8);
+      if (child_block != 0) {
+        children.emplace_back(c, child_block);
+      }
+    }
+    std::vector<uint8_t> child(kBlockSize);
+    for (const auto& [c, child_block] : children) {
+      inode.dbl_children.emplace(c, child_block);
+      MUX_RETURN_IF_ERROR(device_->ReadBlocks(child_block, 1, child.data()));
+      const uint64_t first = kDoubleIndirectFirst + c * kPointersPerBlock;
+      for (uint64_t i = 0; i < kPointersPerBlock; ++i) {
+        const uint64_t ptr = Get64(child.data() + i * 8);
+        if (ptr != 0) {
+          inode.mapping[first + i] = ptr;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ExtLite::Mount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_->Reset();  // a fresh mount must not serve pre-mount cache pages
+  std::vector<uint8_t> super(kBlockSize);
+  MUX_RETURN_IF_ERROR(device_->ReadBlocks(ext::kSuperBlock, 1, super.data()));
+  if (Get32(super.data() + SuperOffsets::kMagic) != ext::kSuperMagic) {
+    return CorruptionError("extlite superblock magic mismatch");
+  }
+  if (Get32(super.data() + SuperOffsets::kCrc) !=
+      Crc32c(super.data(), SuperOffsets::kCrc)) {
+    return CorruptionError("extlite superblock checksum mismatch");
+  }
+  if (Get64(super.data() + SuperOffsets::kTotalBlocks) != total_blocks_ ||
+      Get64(super.data() + SuperOffsets::kJournalBlocks) !=
+          options_.journal_blocks ||
+      Get32(super.data() + SuperOffsets::kGroupCount) !=
+          options_.group_count ||
+      Get32(super.data() + SuperOffsets::kGroupBlocks) != group_blocks_ ||
+      Get32(super.data() + SuperOffsets::kInodeBlocksPerGroup) !=
+          inode_blocks_per_group_) {
+    return CorruptionError("extlite geometry mismatch");
+  }
+
+  MUX_RETURN_IF_ERROR(journal_->Recover());
+
+  inodes_.assign(max_inodes_, MemInode{});
+  open_files_.clear();
+  dirty_bitmap_blocks_.clear();
+  block_bitmaps_.assign(options_.group_count,
+                        std::vector<uint8_t>((group_blocks_ + 7) / 8, 0));
+  inode_bitmaps_.assign(
+      options_.group_count,
+      std::vector<uint8_t>(
+          (inode_blocks_per_group_ * kInodesPerBlock + 7) / 8, 0));
+  free_blocks_ = 0;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint32_t group = 0; group < options_.group_count; ++group) {
+    MUX_RETURN_IF_ERROR(
+        device_->ReadBlocks(BitmapBlockOfGroup(group), 1, block.data()));
+    std::memcpy(block_bitmaps_[group].data(), block.data(),
+                block_bitmaps_[group].size());
+    MUX_RETURN_IF_ERROR(
+        device_->ReadBlocks(InodeBitmapBlockOfGroup(group), 1, block.data()));
+    std::memcpy(inode_bitmaps_[group].data(), block.data(),
+                inode_bitmaps_[group].size());
+    for (uint64_t bit = 0; bit < group_blocks_; ++bit) {
+      if ((block_bitmaps_[group][bit / 8] & (1u << (bit % 8))) == 0) {
+        free_blocks_++;
+      }
+    }
+  }
+
+  const uint64_t inodes_per_group = inode_blocks_per_group_ * kInodesPerBlock;
+  for (vfs::InodeNum ino = kRootIno; ino < max_inodes_; ++ino) {
+    const uint32_t group = static_cast<uint32_t>(ino / inodes_per_group);
+    const uint64_t bit = ino % inodes_per_group;
+    if ((inode_bitmaps_[group][bit / 8] & (1u << (bit % 8))) == 0) {
+      continue;
+    }
+    MUX_RETURN_IF_ERROR(
+        device_->ReadBlocks(InodeTableBlockOf(ino), 1, block.data()));
+    const uint8_t* slot =
+        block.data() + (ino % kInodesPerBlock) * kInodeSlotSize;
+    if (slot[InodeOffsets::kValid] != 1) {
+      // Bitmap says used but the slot is invalid: a leak from a staged
+      // commit crash. Reclaim it.
+      FreeInodeNumLocked(ino);
+      continue;
+    }
+    MemInode& inode = inodes_[ino];
+    inode.ino = ino;
+    inode.valid = true;
+    inode.type = slot[InodeOffsets::kType] == 1 ? vfs::FileType::kDirectory
+                                                : vfs::FileType::kRegular;
+    inode.mode = Get32(slot + InodeOffsets::kMode);
+    inode.size = Get64(slot + InodeOffsets::kSize);
+    inode.atime = Get64(slot + InodeOffsets::kAtime);
+    inode.mtime = Get64(slot + InodeOffsets::kMtime);
+    inode.ctime = Get64(slot + InodeOffsets::kCtime);
+    for (uint64_t d = 0; d < kDirectPointers; ++d) {
+      const uint64_t ptr = Get64(slot + InodeOffsets::kDirect + d * 8);
+      if (ptr != 0) {
+        inode.mapping[d] = ptr;
+      }
+    }
+    inode.single_ind = Get64(slot + InodeOffsets::kSingleInd);
+    inode.double_ind = Get64(slot + InodeOffsets::kDoubleInd);
+    MUX_RETURN_IF_ERROR(LoadInodeTreeLocked(inode));
+  }
+  if (!inodes_[kRootIno].valid) {
+    return CorruptionError("extlite root inode missing");
+  }
+  for (MemInode& inode : inodes_) {
+    if (inode.valid && inode.type == vfs::FileType::kDirectory) {
+      MUX_RETURN_IF_ERROR(LoadDirLocked(inode));
+    }
+  }
+  mounted_ = true;
+  return Status::Ok();
+}
+
+// ---- namespace helpers ------------------------------------------------------------
+
+Result<ExtLite::MemInode*> ExtLite::ResolveLocked(const std::string& path) {
+  if (!vfs::IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  MemInode* cur = &inodes_[kRootIno];
+  for (const auto& part : vfs::SplitPath(path)) {
+    if (cur->type != vfs::FileType::kDirectory) {
+      return NotDirError(path);
+    }
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) {
+      return NotFoundError(path);
+    }
+    if (it->second >= inodes_.size() || !inodes_[it->second].valid) {
+      return CorruptionError("dentry points to invalid inode");
+    }
+    cur = &inodes_[it->second];
+  }
+  return cur;
+}
+
+Result<ExtLite::MemInode*> ExtLite::ResolveDirLocked(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  return node;
+}
+
+Result<ExtLite::MemInode*> ExtLite::HandleInodeLocked(vfs::FileHandle handle,
+                                                      uint32_t needed_flags) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return BadHandleError("unknown handle");
+  }
+  if ((it->second.flags & needed_flags) != needed_flags) {
+    return PermissionError("handle lacks required access mode");
+  }
+  MemInode& inode = inodes_[it->second.ino];
+  if (!inode.valid) {
+    return BadHandleError("file was removed");
+  }
+  return &inode;
+}
+
+Result<ExtLite::MemInode*> ExtLite::AllocInodeLocked(vfs::FileType type,
+                                                     uint32_t mode) {
+  MUX_ASSIGN_OR_RETURN(vfs::InodeNum ino, AllocInodeNumLocked());
+  MemInode& inode = inodes_[ino];
+  inode = MemInode{};
+  inode.ino = ino;
+  inode.valid = true;
+  inode.type = type;
+  inode.mode = mode;
+  inode.ctime = inode.mtime = inode.atime = TruncTime(clock_->Now());
+  inode.meta_dirty = true;
+  return &inode;
+}
+
+Status ExtLite::RemoveInodeLocked(MemInode& inode) {
+  cache_->InvalidateInode(inode.ino);
+  delalloc_reserved_ -= inode.delalloc.size();
+  inode.delalloc.clear();
+  MUX_RETURN_IF_ERROR(UnmapFromLocked(inode, 0));
+  FreeInodeNumLocked(inode.ino);
+  inode = MemInode{};
+  return Status::Ok();
+}
+
+// ---- public API ----------------------------------------------------------------------
+
+Result<vfs::FileHandle> ExtLite::Open(const std::string& path, uint32_t flags,
+                                      uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto resolved = ResolveLocked(path);
+  MemInode* node = nullptr;
+  if (resolved.ok()) {
+    if ((flags & vfs::OpenFlags::kExclusive) &&
+        (flags & vfs::OpenFlags::kCreate)) {
+      return ExistsError(path);
+    }
+    node = *resolved;
+    if (node->type == vfs::FileType::kDirectory) {
+      return IsDirError(path);
+    }
+    if (flags & vfs::OpenFlags::kTruncate) {
+      MUX_RETURN_IF_ERROR(TruncateLocked(*node, 0));
+    }
+  } else if (resolved.status().code() == ErrorCode::kNotFound &&
+             (flags & vfs::OpenFlags::kCreate)) {
+    const std::string name = vfs::Basename(path);
+    if (name.size() > ext::kMaxNameLen) {
+      return InvalidArgumentError("name too long: " + name);
+    }
+    MUX_ASSIGN_OR_RETURN(MemInode * parent,
+                         ResolveDirLocked(vfs::Dirname(path)));
+    MUX_ASSIGN_OR_RETURN(node, AllocInodeLocked(vfs::FileType::kRegular, mode));
+    parent->children.emplace(name, node->ino);
+    MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+    MUX_RETURN_IF_ERROR(CommitLocked({node->ino}));
+  } else {
+    return resolved.status();
+  }
+  const vfs::FileHandle handle = next_handle_++;
+  open_files_.emplace(handle, OpenFile{node->ino, flags, UINT64_MAX});
+  return handle;
+}
+
+Status ExtLite::Close(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(handle) == 0) {
+    return BadHandleError("close of unknown handle");
+  }
+  return Status::Ok();
+}
+
+Status ExtLite::Mkdir(const std::string& path, uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!vfs::IsValidPath(path) || vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("invalid mkdir path: " + path);
+  }
+  if (ResolveLocked(path).ok()) {
+    return ExistsError(path);
+  }
+  const std::string name = vfs::Basename(path);
+  if (name.size() > ext::kMaxNameLen) {
+    return InvalidArgumentError("name too long: " + name);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       AllocInodeLocked(vfs::FileType::kDirectory, mode));
+  parent->children.emplace(name, node->ino);
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+  return CommitLocked({node->ino});
+}
+
+Status ExtLite::Rmdir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("cannot remove root");
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  if (!node->children.empty()) {
+    return NotEmptyError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  const vfs::InodeNum dead_ino = node->ino;
+  parent->children.erase(vfs::Basename(path));
+  MUX_RETURN_IF_ERROR(RemoveInodeLocked(*node));
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+  return CommitLocked({dead_ino});
+}
+
+Status ExtLite::Unlink(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type == vfs::FileType::kDirectory) {
+    return IsDirError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  const vfs::InodeNum dead_ino = node->ino;
+  parent->children.erase(vfs::Basename(path));
+  MUX_RETURN_IF_ERROR(RemoveInodeLocked(*node));
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+  return CommitLocked({dead_ino});
+}
+
+Status ExtLite::Rename(const std::string& from, const std::string& to) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(from));
+  if (!vfs::IsValidPath(to)) {
+    return InvalidArgumentError("invalid rename target: " + to);
+  }
+  if (vfs::PathHasPrefix(to, from) &&
+      vfs::NormalizePath(to) != vfs::NormalizePath(from)) {
+    return InvalidArgumentError("cannot rename a directory into itself");
+  }
+  const std::string dst_name = vfs::Basename(to);
+  if (dst_name.size() > ext::kMaxNameLen) {
+    return InvalidArgumentError("name too long: " + dst_name);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * src_dir, ResolveDirLocked(vfs::Dirname(from)));
+  MUX_ASSIGN_OR_RETURN(MemInode * dst_dir, ResolveDirLocked(vfs::Dirname(to)));
+
+  std::vector<vfs::InodeNum> extra;
+  auto existing = dst_dir->children.find(dst_name);
+  if (existing != dst_dir->children.end()) {
+    MemInode& target = inodes_[existing->second];
+    if (target.type == vfs::FileType::kDirectory && !target.children.empty()) {
+      return NotEmptyError(to);
+    }
+    extra.push_back(target.ino);
+    dst_dir->children.erase(existing);
+    MUX_RETURN_IF_ERROR(RemoveInodeLocked(target));
+  }
+  dst_dir->children[dst_name] = node->ino;
+  src_dir->children.erase(vfs::Basename(from));
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*dst_dir));
+  if (src_dir != dst_dir) {
+    MUX_RETURN_IF_ERROR(WriteDirLocked(*src_dir));
+  }
+  if (!extra.empty()) {
+    MUX_RETURN_IF_ERROR(CommitLocked(std::move(extra)));
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FileStat> ExtLite::Stat(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  st.allocated_bytes = node->mapping.size() * kBlockSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Result<std::vector<vfs::DirEntry>> ExtLite::ReadDir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * dir, ResolveDirLocked(path));
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(dir->children.size());
+  for (const auto& [name, ino] : dir->children) {
+    entries.push_back(vfs::DirEntry{name, inodes_[ino].type, ino});
+  }
+  return entries;
+}
+
+Result<uint64_t> ExtLite::Read(vfs::FileHandle handle, uint64_t offset,
+                               uint64_t length, uint8_t* out) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kRead));
+  if (offset >= node->size) {
+    return uint64_t{0};
+  }
+  const uint64_t n = std::min(length, node->size - offset);
+
+  OpenFile& of = open_files_.find(handle)->second;
+  const uint64_t first_page = offset / kBlockSize;
+  if (of.last_read_page != UINT64_MAX && first_page == of.last_read_page + 1 &&
+      options_.readahead_pages > 0) {
+    const uint64_t max_page = (node->size - 1) / kBlockSize;
+    const uint64_t ra_count = std::min<uint64_t>(
+        options_.readahead_pages,
+        max_page >= first_page ? max_page - first_page + 1 : 0);
+    if (ra_count > 0) {
+      MUX_RETURN_IF_ERROR(cache_->ReadAhead(node->ino, first_page, ra_count));
+    }
+  }
+
+  uint64_t done = 0;
+  while (done < n) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kBlockSize;
+    const uint64_t in_page = pos % kBlockSize;
+    const uint64_t chunk = std::min(n - done, kBlockSize - in_page);
+    MUX_RETURN_IF_ERROR(
+        cache_->ReadThrough(node->ino, page, in_page, chunk, out + done));
+    done += chunk;
+  }
+  of.last_read_page = (offset + n - 1) / kBlockSize;
+  node->atime = TruncTime(clock_->Now());
+  return n;
+}
+
+Result<uint64_t> ExtLite::Write(vfs::FileHandle handle, uint64_t offset,
+                                const uint8_t* data, uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return uint64_t{0};
+  }
+  // Delayed allocation: reserve space now, pick blocks at writeback.
+  for (uint64_t page = offset / kBlockSize;
+       page <= (offset + length - 1) / kBlockSize; ++page) {
+    if (LookupBlockLocked(*node, page) != 0 ||
+        node->delalloc.contains(page)) {
+      continue;
+    }
+    if (delalloc_reserved_ + 1 > free_blocks_) {
+      return NoSpaceError("extlite device full (delalloc reservation)");
+    }
+    node->delalloc.insert(page);
+    delalloc_reserved_++;
+  }
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kBlockSize;
+    const uint64_t in_page = pos % kBlockSize;
+    const uint64_t chunk = std::min(length - done, kBlockSize - in_page);
+    MUX_RETURN_IF_ERROR(
+        cache_->WriteThrough(node->ino, page, in_page, chunk, data + done));
+    done += chunk;
+  }
+  node->size = std::max(node->size, offset + length);
+  node->mtime = TruncTime(clock_->Now());
+  node->meta_dirty = true;
+  return length;
+}
+
+Status ExtLite::TruncateLocked(MemInode& inode, uint64_t new_size) {
+  if (new_size < inode.size) {
+    const uint64_t first_dead = (new_size + kBlockSize - 1) / kBlockSize;
+    cache_->InvalidateFrom(inode.ino, first_dead);
+    for (auto it = inode.delalloc.lower_bound(first_dead);
+         it != inode.delalloc.end();) {
+      it = inode.delalloc.erase(it);
+      delalloc_reserved_--;
+    }
+    if (new_size % kBlockSize != 0 &&
+        (LookupBlockLocked(inode, new_size / kBlockSize) != 0 ||
+         cache_->Resident(inode.ino, new_size / kBlockSize))) {
+      std::vector<uint8_t> zeros(kBlockSize - new_size % kBlockSize, 0);
+      MUX_RETURN_IF_ERROR(cache_->WriteThrough(inode.ino,
+                                               new_size / kBlockSize,
+                                               new_size % kBlockSize,
+                                               zeros.size(), zeros.data()));
+    }
+    MUX_RETURN_IF_ERROR(UnmapFromLocked(inode, first_dead));
+    inode.size = new_size;
+    inode.mtime = TruncTime(clock_->Now());
+    return CommitLocked({inode.ino});
+  }
+  inode.size = new_size;
+  inode.mtime = TruncTime(clock_->Now());
+  inode.meta_dirty = true;
+  return Status::Ok();
+}
+
+Status ExtLite::Truncate(vfs::FileHandle handle, uint64_t new_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  return TruncateLocked(*node, new_size);
+}
+
+Status ExtLite::Fsync(vfs::FileHandle handle, bool data_only) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  // Ordered mode: data first, then the metadata commit.
+  MUX_RETURN_IF_ERROR(cache_->FlushInode(node->ino));
+  MUX_RETURN_IF_ERROR(device_->Flush());
+  if (node->meta_dirty) {
+    MUX_RETURN_IF_ERROR(CommitLocked({node->ino}));
+  }
+  return Status::Ok();
+}
+
+Status ExtLite::Fallocate(vfs::FileHandle handle, uint64_t offset,
+                          uint64_t length, bool keep_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return InvalidArgumentError("zero-length fallocate");
+  }
+  std::vector<uint8_t> zeros(kBlockSize, 0);
+  uint64_t last_disk = 0;
+  for (uint64_t page = offset / kBlockSize;
+       page <= (offset + length - 1) / kBlockSize; ++page) {
+    if (LookupBlockLocked(*node, page) != 0) {
+      continue;
+    }
+    const uint32_t hint = last_disk != 0
+                              ? GroupOf(last_disk)
+                              : GroupOf(InodeTableBlockOf(node->ino));
+    MUX_ASSIGN_OR_RETURN(uint64_t disk,
+                         AllocBlockLocked(hint, last_disk ? last_disk + 1 : 0));
+    MUX_RETURN_IF_ERROR(device_->WriteBlocks(disk, 1, zeros.data()));
+    MUX_RETURN_IF_ERROR(MapBlockLocked(*node, page, disk));
+    if (node->delalloc.erase(page) > 0) {
+      delalloc_reserved_--;
+    }
+    last_disk = disk;
+  }
+  if (!keep_size) {
+    node->size = std::max(node->size, offset + length);
+  }
+  node->meta_dirty = true;
+  return CommitLocked({node->ino});
+}
+
+Status ExtLite::PunchHole(vfs::FileHandle handle, uint64_t offset,
+                          uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (offset % kBlockSize != 0 || length % kBlockSize != 0 || length == 0) {
+    return InvalidArgumentError("hole punch must be block aligned");
+  }
+  const uint64_t first = offset / kBlockSize;
+  const uint64_t last = first + length / kBlockSize;  // exclusive
+  cache_->InvalidateRange(node->ino, first, length / kBlockSize);
+  for (auto it = node->delalloc.lower_bound(first);
+       it != node->delalloc.end() && *it < last;) {
+    it = node->delalloc.erase(it);
+    delalloc_reserved_--;
+  }
+  for (auto it = node->mapping.lower_bound(first);
+       it != node->mapping.end() && it->first < last;) {
+    MUX_RETURN_IF_ERROR(FreeBlockLocked(it->second));
+    MUX_RETURN_IF_ERROR(TouchTreeLocked(*node, it->first));
+    it = node->mapping.erase(it);
+  }
+  node->mtime = TruncTime(clock_->Now());
+  node->meta_dirty = true;
+  return CommitLocked({node->ino});
+}
+
+Result<vfs::FileStat> ExtLite::FStat(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  st.allocated_bytes = node->mapping.size() * kBlockSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Status ExtLite::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  if (update.atime) {
+    node->atime = TruncTime(*update.atime);
+  }
+  if (update.mtime) {
+    node->mtime = TruncTime(*update.mtime);
+  }
+  if (update.mode) {
+    node->mode = *update.mode;
+  }
+  if (!update.empty()) {
+    node->meta_dirty = true;
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FsStats> ExtLite::StatFs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  vfs::FsStats st;
+  st.capacity_bytes =
+      (group_blocks_ - 2 - inode_blocks_per_group_) * options_.group_count *
+      kBlockSize;
+  st.free_bytes = (free_blocks_ - std::min(free_blocks_, delalloc_reserved_)) *
+                  kBlockSize;
+  st.total_inodes = max_inodes_;
+  uint64_t used = 0;
+  for (const MemInode& inode : inodes_) {
+    used += inode.valid ? 1 : 0;
+  }
+  st.free_inodes = max_inodes_ - used;
+  return st;
+}
+
+Status ExtLite::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_RETURN_IF_ERROR(cache_->FlushAll());
+  MUX_RETURN_IF_ERROR(device_->Flush());
+  std::vector<vfs::InodeNum> dirty;
+  for (const MemInode& inode : inodes_) {
+    if (inode.valid && inode.meta_dirty) {
+      dirty.push_back(inode.ino);
+    }
+  }
+  if (!dirty.empty() || !dirty_bitmap_blocks_.empty() ||
+      !pending_revokes_.empty()) {
+    MUX_RETURN_IF_ERROR(CommitLocked(std::move(dirty)));
+  }
+  // Clean sync: push journaled metadata home.
+  return journal_->Checkpoint();
+}
+
+}  // namespace mux::fs

@@ -1,0 +1,200 @@
+// extlite — an ext4-like block-mapped journaling file system for HDDs.
+//
+// Compared to xfslite this is the classic design: block groups with
+// persistent block/inode bitmaps, 12 direct + single/double indirect block
+// pointers, ordered-mode metadata journaling, and an aggressive sequential
+// readahead window (HDDs love sequential I/O and hate seeks). Like modern
+// ext4, writes use delayed allocation: space is reserved at write time and
+// concrete blocks are chosen at writeback, so flushes allocate in file order
+// and stream to the disk instead of seeking.
+#ifndef MUX_FS_EXTLITE_EXTLITE_H_
+#define MUX_FS_EXTLITE_EXTLITE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/device/block_device.h"
+#include "src/fs/extlite/layout.h"
+#include "src/fs/fscommon/journal.h"
+#include "src/fs/fscommon/page_cache.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::fs {
+
+class ExtLite : public vfs::FileSystem {
+ public:
+  struct Options {
+    uint64_t journal_blocks = 128;
+    uint32_t group_count = 8;
+    uint64_t inode_blocks_per_group = 0;  // 0: group_blocks/256 (>= 1)
+    uint64_t page_cache_pages = 4096;
+    SimTime op_software_ns = 400;
+    uint32_t readahead_pages = 32;
+  };
+
+  ExtLite(device::BlockDevice* device, SimClock* clock, Options options);
+  ExtLite(device::BlockDevice* device, SimClock* clock);
+  ~ExtLite() override;
+
+  Status Format();
+  Status Mount();
+
+  std::string_view Name() const override { return "extlite"; }
+  SimTime TimestampGranularityNs() const override {
+    return ext::kTimestampGranularityNs;
+  }
+
+  Result<vfs::FileHandle> Open(const std::string& path, uint32_t flags,
+                               uint32_t mode = 0644) override;
+  Status Close(vfs::FileHandle handle) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<vfs::FileStat> Stat(const std::string& path) override;
+  Result<std::vector<vfs::DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<uint64_t> Read(vfs::FileHandle handle, uint64_t offset,
+                        uint64_t length, uint8_t* out) override;
+  Result<uint64_t> Write(vfs::FileHandle handle, uint64_t offset,
+                         const uint8_t* data, uint64_t length) override;
+  Status Truncate(vfs::FileHandle handle, uint64_t new_size) override;
+  Status Fsync(vfs::FileHandle handle, bool data_only) override;
+  Status Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
+                   bool keep_size) override;
+  Status PunchHole(vfs::FileHandle handle, uint64_t offset,
+                   uint64_t length) override;
+  Result<vfs::FileStat> FStat(vfs::FileHandle handle) override;
+  Status SetAttr(vfs::FileHandle handle,
+                 const vfs::AttrUpdate& update) override;
+
+  Result<vfs::FsStats> StatFs() override;
+  Status Sync() override;
+
+  PageCacheStats CacheStats() const { return cache_->stats(); }
+
+ private:
+  struct MemInode {
+    vfs::InodeNum ino = vfs::kInvalidInode;
+    bool valid = false;
+    vfs::FileType type = vfs::FileType::kRegular;
+    uint32_t mode = 0644;
+    uint64_t size = 0;
+    SimTime atime = 0;  // stored truncated to seconds
+    SimTime mtime = 0;
+    SimTime ctime = 0;
+    // DRAM truth for lookups: file block -> disk block.
+    std::map<uint64_t, uint64_t> mapping;
+    // Mapping-tree metadata block locations (0 = absent).
+    uint64_t single_ind = 0;
+    uint64_t double_ind = 0;
+    // child index (0..511) -> disk block of the second-level pointer block
+    std::map<uint64_t, uint64_t> dbl_children;
+    std::map<std::string, vfs::InodeNum> children;  // directories
+    // Pages written into the cache but not yet assigned a disk block
+    // (delayed allocation; resolved at writeback).
+    std::set<uint64_t> delalloc;
+    bool meta_dirty = false;
+    // Mapping-tree blocks whose serialized content changed since the last
+    // journal commit (subset of {single_ind, double_ind, dbl_children}).
+    std::set<uint64_t> dirty_tree_blocks;
+  };
+
+  struct OpenFile {
+    vfs::InodeNum ino = vfs::kInvalidInode;
+    uint32_t flags = 0;
+    uint64_t last_read_page = UINT64_MAX;
+  };
+
+  class CacheStore;
+
+  SimTime TruncTime(SimTime t) const {
+    return t - t % ext::kTimestampGranularityNs;
+  }
+
+  // --- geometry ---------------------------------------------------------
+  uint64_t GroupFirstBlock(uint32_t group) const;
+  uint32_t GroupOf(uint64_t disk_block) const;
+  uint64_t InodeTableBlockOf(vfs::InodeNum ino) const;
+
+  // --- bitmaps / allocation (mu_ held) -----------------------------------
+  Result<uint64_t> AllocBlockLocked(uint32_t group_hint, uint64_t near_block);
+  Status FreeBlockLocked(uint64_t disk_block);
+  Result<vfs::InodeNum> AllocInodeNumLocked();
+  void FreeInodeNumLocked(vfs::InodeNum ino);
+  uint64_t BitmapBlockOfGroup(uint32_t group) const;
+  uint64_t InodeBitmapBlockOfGroup(uint32_t group) const;
+
+  // --- block mapping (mu_ held) -------------------------------------------
+  uint64_t LookupBlockLocked(const MemInode& inode, uint64_t file_block) const;
+  Status MapBlockLocked(MemInode& inode, uint64_t file_block,
+                        uint64_t disk_block);
+  // Marks the tree block covering `file_block` dirty (allocating indirect
+  // blocks as needed).
+  Status TouchTreeLocked(MemInode& inode, uint64_t file_block);
+  Status UnmapFromLocked(MemInode& inode, uint64_t first_dead_block);
+
+  // --- persistence (mu_ held) ----------------------------------------------
+  void SerializeInodeBlockLocked(uint64_t table_block, uint8_t* out) const;
+  void SerializeTreeBlockLocked(const MemInode& inode, uint64_t tree_block,
+                                uint8_t* out) const;
+  Status LogInodeLocked(Journal::Tx* tx, MemInode& inode);
+  void LogBitmapsLocked(Journal::Tx* tx);
+  Status CommitLocked(std::vector<vfs::InodeNum> inos);
+
+  // --- directories (mu_ held) ------------------------------------------------
+  Status WriteDirLocked(MemInode& dir);
+  Status LoadDirLocked(MemInode& dir);
+
+  // --- namespace (mu_ held) ----------------------------------------------------
+  Result<MemInode*> ResolveLocked(const std::string& path);
+  Result<MemInode*> ResolveDirLocked(const std::string& path);
+  Result<MemInode*> HandleInodeLocked(vfs::FileHandle handle,
+                                      uint32_t needed_flags);
+  Result<MemInode*> AllocInodeLocked(vfs::FileType type, uint32_t mode);
+  Status RemoveInodeLocked(MemInode& inode);
+  Status TruncateLocked(MemInode& inode, uint64_t new_size);
+  Status LoadInodeTreeLocked(MemInode& inode);
+
+  void ChargeOp() const { clock_->Advance(options_.op_software_ns); }
+
+  device::BlockDevice* const device_;
+  SimClock* const clock_;
+  const Options options_;
+
+  uint64_t total_blocks_ = 0;
+  uint64_t groups_first_ = 0;
+  uint64_t group_blocks_ = 0;
+  uint64_t inode_blocks_per_group_ = 0;
+  uint64_t max_inodes_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<MemInode> inodes_;
+  std::unordered_map<vfs::FileHandle, OpenFile> open_files_;
+  // DRAM bitmaps, one bit per block within the group (bit set = in use).
+  std::vector<std::vector<uint8_t>> block_bitmaps_;
+  std::vector<std::vector<uint8_t>> inode_bitmaps_;
+  std::set<uint64_t> dirty_bitmap_blocks_;  // device block numbers
+  // Freed journaled blocks (tree blocks, directory data) awaiting a revoke
+  // record in the next commit. Their bitmap bits clear only after the
+  // revoke is durable (JBD2 defers freed-block reuse the same way).
+  std::set<uint64_t> pending_revokes_;
+  std::vector<uint64_t> deferred_frees_;
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<CacheStore> cache_store_;
+  std::unique_ptr<PageCache> cache_;
+  vfs::FileHandle next_handle_ = 1;
+  uint64_t free_blocks_ = 0;
+  uint64_t delalloc_reserved_ = 0;  // pages promised to delalloc writes
+  bool mounted_ = false;
+};
+
+}  // namespace mux::fs
+
+#endif  // MUX_FS_EXTLITE_EXTLITE_H_

@@ -1,0 +1,85 @@
+// On-device layout of extlite (ext4-like block-mapped journaling FS).
+//
+// Block map (4 KiB blocks):
+//   block 0                  superblock
+//   blocks 1 .. 1+J          journal
+//   then `group_count` block groups, each:
+//     +0                     block bitmap (1 block, covers the group)
+//     +1                     inode bitmap (1 block)
+//     +2 .. +2+T             inode table (16 slots of 256 B per block)
+//     +2+T ..                data blocks
+//
+// Files use the classic ext2/3 block map: 12 direct pointers, one single-
+// indirect block (512 pointers) and one double-indirect block. Metadata
+// (inode slots, bitmaps, indirect blocks) commits through the JBD journal in
+// ordered mode: file data is written in place and flushed *before* the
+// metadata transaction commits.
+//
+// Timestamps are stored with 1-second granularity — deliberately coarser
+// than novafs/xfslite, to exercise the "feature imparity" problem the paper
+// discusses in §4 (cf. FAT's 2-second timestamps).
+#ifndef MUX_FS_EXTLITE_LAYOUT_H_
+#define MUX_FS_EXTLITE_LAYOUT_H_
+
+#include <cstdint>
+
+namespace mux::fs::ext {
+
+inline constexpr uint64_t kBlockSize = 4096;
+inline constexpr uint32_t kSuperMagic = 0x45585431;  // "EXT1"
+
+inline constexpr uint64_t kSuperBlock = 0;
+inline constexpr uint64_t kJournalFirstBlock = 1;
+
+inline constexpr uint64_t kInodeSlotSize = 256;
+inline constexpr uint64_t kInodesPerBlock = kBlockSize / kInodeSlotSize;
+
+inline constexpr uint32_t kDirectPointers = 12;
+inline constexpr uint64_t kPointersPerBlock = kBlockSize / 8;
+
+// file-block thresholds of the mapping tree
+inline constexpr uint64_t kSingleIndirectFirst = kDirectPointers;
+inline constexpr uint64_t kDoubleIndirectFirst =
+    kSingleIndirectFirst + kPointersPerBlock;
+inline constexpr uint64_t kMaxFileBlocks =
+    kDoubleIndirectFirst + kPointersPerBlock * kPointersPerBlock;
+
+struct SuperOffsets {
+  static constexpr uint64_t kMagic = 0;          // u32
+  static constexpr uint64_t kTotalBlocks = 8;    // u64
+  static constexpr uint64_t kJournalBlocks = 16; // u64
+  static constexpr uint64_t kGroupCount = 24;    // u32
+  static constexpr uint64_t kGroupBlocks = 28;   // u32 blocks per group
+  static constexpr uint64_t kInodeBlocksPerGroup = 32;  // u32
+  static constexpr uint64_t kCrc = 36;           // u32
+};
+
+struct InodeOffsets {
+  static constexpr uint64_t kValid = 0;     // u8
+  static constexpr uint64_t kType = 1;      // u8
+  static constexpr uint64_t kMode = 4;      // u32
+  static constexpr uint64_t kSize = 8;      // u64
+  static constexpr uint64_t kAtime = 16;    // u64 (seconds)
+  static constexpr uint64_t kMtime = 24;    // u64 (seconds)
+  static constexpr uint64_t kCtime = 32;    // u64 (seconds)
+  static constexpr uint64_t kDirect = 40;   // 12 x u64
+  static constexpr uint64_t kSingleInd = 136;  // u64
+  static constexpr uint64_t kDoubleInd = 144;  // u64
+};
+
+// Directory entries: same 64-byte record as xfslite.
+struct DentryOffsets {
+  static constexpr uint64_t kIno = 0;
+  static constexpr uint64_t kNameLen = 8;
+  static constexpr uint64_t kName = 9;
+};
+inline constexpr uint64_t kDentrySize = 64;
+inline constexpr uint64_t kMaxNameLen = kDentrySize - DentryOffsets::kName;
+
+inline constexpr uint64_t kRootIno = 1;
+
+inline constexpr uint64_t kTimestampGranularityNs = 1'000'000'000;
+
+}  // namespace mux::fs::ext
+
+#endif  // MUX_FS_EXTLITE_LAYOUT_H_

@@ -1,0 +1,147 @@
+#include "src/fs/fscommon/extent_allocator.h"
+
+namespace mux::fs {
+
+ExtentAllocator::ExtentAllocator(uint64_t start, uint64_t length) {
+  if (length > 0) {
+    Insert(start, length);
+  }
+}
+
+void ExtentAllocator::Insert(uint64_t start, uint64_t len) {
+  by_start_.emplace(start, len);
+  by_len_.insert(LenKey{len, start});
+  free_units_ += len;
+}
+
+void ExtentAllocator::Remove(uint64_t start, uint64_t len) {
+  by_start_.erase(start);
+  by_len_.erase(LenKey{len, start});
+  free_units_ -= len;
+}
+
+void ExtentAllocator::Carve(uint64_t extent_start, uint64_t extent_len,
+                            uint64_t start, uint64_t count) {
+  Remove(extent_start, extent_len);
+  if (start > extent_start) {
+    Insert(extent_start, start - extent_start);
+  }
+  const uint64_t end = start + count;
+  const uint64_t extent_end = extent_start + extent_len;
+  if (extent_end > end) {
+    Insert(end, extent_end - end);
+  }
+}
+
+Result<uint64_t> ExtentAllocator::AllocContiguous(uint64_t count) {
+  if (count == 0) {
+    return InvalidArgumentError("zero-length allocation");
+  }
+  auto it = by_len_.lower_bound(LenKey{count, 0});  // best fit
+  if (it == by_len_.end()) {
+    return NoSpaceError("no contiguous extent of requested size");
+  }
+  const uint64_t start = it->start;
+  Carve(start, it->len, start, count);
+  return start;
+}
+
+Result<uint64_t> ExtentAllocator::AllocNear(uint64_t target, uint64_t count) {
+  if (count == 0) {
+    return InvalidArgumentError("zero-length allocation");
+  }
+  // Prefer the extent containing the target itself (exact locality).
+  {
+    auto it = by_start_.upper_bound(target);
+    if (it != by_start_.begin()) {
+      --it;
+      if (it->first <= target && target + count <= it->first + it->second) {
+        Carve(it->first, it->second, target, count);
+        return target;
+      }
+    }
+  }
+  // Then the first free extent after the target that fits.
+  for (auto it = by_start_.lower_bound(target); it != by_start_.end(); ++it) {
+    if (it->second >= count) {
+      const uint64_t start = it->first;
+      Carve(start, it->second, start, count);
+      return start;
+    }
+  }
+  return AllocContiguous(count);
+}
+
+Result<std::pair<uint64_t, uint64_t>> ExtentAllocator::AllocUpTo(
+    uint64_t count) {
+  if (count == 0) {
+    return InvalidArgumentError("zero-length allocation");
+  }
+  if (by_len_.empty()) {
+    return NoSpaceError("allocator empty");
+  }
+  // Largest extent; trim to `count`.
+  auto it = std::prev(by_len_.end());
+  const uint64_t start = it->start;
+  const uint64_t len = std::min(it->len, count);
+  Carve(start, it->len, start, len);
+  return std::make_pair(start, len);
+}
+
+Status ExtentAllocator::Free(uint64_t start, uint64_t count) {
+  if (count == 0) {
+    return Status::Ok();
+  }
+  // Find neighbours for coalescing; also detect double frees.
+  auto next = by_start_.lower_bound(start);
+  if (next != by_start_.end() && next->first < start + count) {
+    return InvalidArgumentError("double free (overlaps following extent)");
+  }
+  uint64_t new_start = start;
+  uint64_t new_len = count;
+  if (next != by_start_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > start) {
+      return InvalidArgumentError("double free (overlaps preceding extent)");
+    }
+    if (prev->first + prev->second == start) {
+      new_start = prev->first;
+      new_len += prev->second;
+      Remove(prev->first, prev->second);
+      next = by_start_.lower_bound(start);  // iterator invalidated
+    }
+  }
+  if (next != by_start_.end() && next->first == start + count) {
+    new_len += next->second;
+    Remove(next->first, next->second);
+  }
+  Insert(new_start, new_len);
+  return Status::Ok();
+}
+
+Status ExtentAllocator::Reserve(uint64_t start, uint64_t count) {
+  if (count == 0) {
+    return Status::Ok();
+  }
+  auto it = by_start_.upper_bound(start);
+  if (it == by_start_.begin()) {
+    return InvalidArgumentError("reserve outside free space");
+  }
+  --it;
+  const uint64_t extent_start = it->first;
+  const uint64_t extent_len = it->second;
+  if (start < extent_start || start + count > extent_start + extent_len) {
+    return InvalidArgumentError("reserve range not entirely free");
+  }
+  Carve(extent_start, extent_len, start, count);
+  return Status::Ok();
+}
+
+uint64_t ExtentAllocator::LargestExtent() const {
+  if (by_len_.empty()) {
+    return 0;
+  }
+  return std::prev(by_len_.end())->len;
+}
+
+}  // namespace mux::fs

@@ -1,0 +1,69 @@
+// Extent-based free-space allocator (DRAM structure).
+//
+// Tracks free space as extents (start, length) with two indexes, the way
+// XFS's per-AG bnobt/cntbt pair does: by start offset (for merge on free and
+// near-target allocation) and by length (for best-fit contiguous
+// allocation). novafs rebuilds one from its logs at recovery; xfslite keeps
+// one per allocation group.
+#ifndef MUX_FS_FSCOMMON_EXTENT_ALLOCATOR_H_
+#define MUX_FS_FSCOMMON_EXTENT_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace mux::fs {
+
+class ExtentAllocator {
+ public:
+  ExtentAllocator() = default;
+  // Starts with [start, start+length) free.
+  ExtentAllocator(uint64_t start, uint64_t length);
+
+  // Allocates `count` contiguous units; best-fit by length. Returns the
+  // first unit.
+  Result<uint64_t> AllocContiguous(uint64_t count);
+  // Allocates `count` contiguous units at or after `target` if possible,
+  // falling back to best-fit anywhere (locality-seeking allocation).
+  Result<uint64_t> AllocNear(uint64_t target, uint64_t count);
+  // Allocates up to `count` units which need not be contiguous; returns
+  // (start, len) of one extent of length <= count. Callers loop.
+  Result<std::pair<uint64_t, uint64_t>> AllocUpTo(uint64_t count);
+
+  Status Free(uint64_t start, uint64_t count);
+  // Removes [start, start+count) from the free pool (used when rebuilding
+  // state at recovery: mark blocks referenced by metadata as in use).
+  Status Reserve(uint64_t start, uint64_t count);
+
+  uint64_t FreeUnits() const { return free_units_; }
+  // Largest single free extent (0 when empty).
+  uint64_t LargestExtent() const;
+  size_t FragmentCount() const { return by_start_.size(); }
+
+ private:
+  struct LenKey {
+    uint64_t len;
+    uint64_t start;
+    bool operator<(const LenKey& other) const {
+      return len != other.len ? len < other.len : start < other.start;
+    }
+  };
+
+  void Insert(uint64_t start, uint64_t len);
+  void Remove(uint64_t start, uint64_t len);
+  // Carves [start, start+count) out of the free extent beginning at
+  // `extent_start`.
+  void Carve(uint64_t extent_start, uint64_t extent_len, uint64_t start,
+             uint64_t count);
+
+  std::map<uint64_t, uint64_t> by_start_;  // start -> len
+  std::set<LenKey> by_len_;
+  uint64_t free_units_ = 0;
+};
+
+}  // namespace mux::fs
+
+#endif  // MUX_FS_FSCOMMON_EXTENT_ALLOCATOR_H_

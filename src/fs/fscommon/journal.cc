@@ -1,0 +1,322 @@
+#include "src/fs/fscommon/journal.h"
+
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/encoding.h"
+#include "src/common/logging.h"
+
+namespace mux::fs {
+
+// Block layouts (little endian, block_size bytes, zero padded):
+//   superblock: magic(4) type(4) tail_seq(8) crc(4)
+//       tail_seq = sequence number of the first transaction that might need
+//       replay; everything below it has been checkpointed.
+//   descriptor: magic(4) type(4) seq(8) count(4) crc(4) revoke_count(4)
+//       targets(count * 8) revoked(revoke_count * 8)
+//       followed by `count` raw data blocks in journal order
+//   commit:     magic(4) type(4) seq(8) count(4) crc(4)
+//       where crc covers targets + revoked + all data block contents
+namespace {
+constexpr size_t kHdrMagic = 0;
+constexpr size_t kHdrType = 4;
+constexpr size_t kHdrSeq = 8;
+constexpr size_t kHdrCount = 16;
+constexpr size_t kHdrCrc = 20;
+constexpr size_t kHdrRevokes = 24;
+constexpr size_t kHdrEnd = 28;
+}  // namespace
+
+void Journal::Tx::LogBlock(uint64_t home_block, const uint8_t* data,
+                           uint32_t len) {
+  auto& slot = blocks_[home_block];
+  slot.assign(data, data + len);
+}
+
+Journal::Journal(device::BlockDevice* device, uint64_t start_block,
+                 uint64_t num_blocks)
+    : device_(device),
+      start_block_(start_block),
+      num_blocks_(num_blocks),
+      block_size_(device->block_size()) {
+  MUX_CHECK(num_blocks >= 4) << "journal too small: " << num_blocks;
+}
+
+Status Journal::WriteSuperblockLocked() {
+  std::vector<uint8_t> block(block_size_, 0);
+  Put32(block.data() + kHdrMagic, kMagic);
+  Put32(block.data() + kHdrType, kSuperblock);
+  Put64(block.data() + kHdrSeq, next_seq_);
+  Put32(block.data() + kHdrCrc, Crc32c(block.data(), kHdrCrc));
+  MUX_RETURN_IF_ERROR(device_->WriteBlocks(start_block_, 1, block.data()));
+  return device_->Flush();
+}
+
+Status Journal::ReadSuperblockLocked(uint64_t* next_seq) {
+  std::vector<uint8_t> block(block_size_, 0);
+  MUX_RETURN_IF_ERROR(device_->ReadBlocks(start_block_, 1, block.data()));
+  if (Get32(block.data() + kHdrMagic) != kMagic ||
+      Get32(block.data() + kHdrType) != kSuperblock) {
+    return CorruptionError("journal superblock missing");
+  }
+  if (Get32(block.data() + kHdrCrc) != Crc32c(block.data(), kHdrCrc)) {
+    return CorruptionError("journal superblock checksum mismatch");
+  }
+  *next_seq = Get64(block.data() + kHdrSeq);
+  return Status::Ok();
+}
+
+Status Journal::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 1;
+  head_ = 1;
+  pending_home_.clear();
+  return WriteSuperblockLocked();
+}
+
+Status Journal::CheckpointLocked() {
+  if (pending_home_.empty()) {
+    head_ = 1;
+    return Status::Ok();
+  }
+  // Batched, block-sorted home writes (pending_home_ is an ordered map), so
+  // on a disk the checkpoint sweeps the platter once instead of seeking per
+  // commit. Contiguous runs go out as single writes.
+  auto it = pending_home_.begin();
+  std::vector<uint8_t> buf;
+  while (it != pending_home_.end()) {
+    const uint64_t first = it->first;
+    buf.assign(it->second.begin(), it->second.end());
+    buf.resize(block_size_, 0);
+    auto next = std::next(it);
+    uint64_t run = 1;
+    while (next != pending_home_.end() && next->first == first + run) {
+      const size_t old_size = buf.size();
+      buf.resize(old_size + block_size_, 0);
+      std::memcpy(buf.data() + old_size, next->second.data(),
+                  std::min<size_t>(next->second.size(), block_size_));
+      ++run;
+      ++next;
+    }
+    MUX_RETURN_IF_ERROR(device_->WriteBlocks(
+        first, static_cast<uint32_t>(run), buf.data()));
+    stats_.checkpointed_blocks += run;
+    it = next;
+  }
+  MUX_RETURN_IF_ERROR(device_->Flush());
+  pending_home_.clear();
+  head_ = 1;
+  stats_.checkpoints++;
+  // Retire the replayed window: recovery starts at next_seq_ from now on.
+  return WriteSuperblockLocked();
+}
+
+Status Journal::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status Journal::AppendTxLocked(
+    const std::map<uint64_t, std::vector<uint8_t>>& blocks,
+    const std::vector<uint64_t>& revokes) {
+  const uint64_t count = blocks.size();
+  const uint64_t revoke_count = revokes.size();
+  if (kHdrEnd + (count + revoke_count) * 8 > block_size_) {
+    return InternalError("descriptor overflow (caller must split)");
+  }
+  // Out of journal area? Drain it first.
+  if (head_ + count + 2 > num_blocks_) {
+    MUX_RETURN_IF_ERROR(CheckpointLocked());
+  }
+
+  // 1. Descriptor + data blocks, appended at the head.
+  std::vector<uint8_t> descriptor(block_size_, 0);
+  Put32(descriptor.data() + kHdrMagic, kMagic);
+  Put32(descriptor.data() + kHdrType, kDescriptor);
+  Put64(descriptor.data() + kHdrSeq, next_seq_);
+  Put32(descriptor.data() + kHdrCount, static_cast<uint32_t>(count));
+  Put32(descriptor.data() + kHdrRevokes, static_cast<uint32_t>(revoke_count));
+  size_t pos = kHdrEnd;
+  for (const auto& [home, data] : blocks) {
+    Put64(descriptor.data() + pos, home);
+    pos += 8;
+  }
+  for (uint64_t revoked : revokes) {
+    Put64(descriptor.data() + pos, revoked);
+    pos += 8;
+  }
+  uint32_t crc = Crc32c(descriptor.data() + kHdrEnd,
+                        (count + revoke_count) * 8, 0);
+
+  uint64_t journal_block = start_block_ + head_;
+  MUX_RETURN_IF_ERROR(
+      device_->WriteBlocks(journal_block, 1, descriptor.data()));
+  journal_block++;
+
+  std::vector<uint8_t> padded(block_size_, 0);
+  for (const auto& [home, data] : blocks) {
+    std::memset(padded.data(), 0, block_size_);
+    std::memcpy(padded.data(), data.data(),
+                std::min<size_t>(data.size(), block_size_));
+    crc = Crc32c(padded.data(), block_size_, crc);
+    MUX_RETURN_IF_ERROR(device_->WriteBlocks(journal_block, 1, padded.data()));
+    journal_block++;
+  }
+  // Barrier: the transaction body must be durable before the commit record.
+  MUX_RETURN_IF_ERROR(device_->Flush());
+
+  // 2. Commit block.
+  std::vector<uint8_t> commit(block_size_, 0);
+  Put32(commit.data() + kHdrMagic, kMagic);
+  Put32(commit.data() + kHdrType, kCommit);
+  Put64(commit.data() + kHdrSeq, next_seq_);
+  Put32(commit.data() + kHdrCount, static_cast<uint32_t>(count));
+  Put32(commit.data() + kHdrCrc, crc);
+  MUX_RETURN_IF_ERROR(device_->WriteBlocks(journal_block, 1, commit.data()));
+  MUX_RETURN_IF_ERROR(device_->Flush());
+
+  // 3. Absorb into the pending checkpoint set (newest wins per home block;
+  //    revoked blocks must never be checkpointed).
+  for (const auto& [home, data] : blocks) {
+    pending_home_[home] = data;
+  }
+  for (uint64_t revoked : revokes) {
+    pending_home_.erase(revoked);
+  }
+  head_ += count + 2;
+  next_seq_++;
+  stats_.commits++;
+  stats_.blocks_logged += count;
+  return Status::Ok();
+}
+
+Status Journal::Commit(std::unique_ptr<Tx> tx) {
+  if (tx == nullptr || (tx->blocks_.empty() && tx->revokes_.empty())) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A block both re-logged and revoked in one transaction was freed and
+  // reused as metadata again: the new journaled content wins.
+  for (const auto& [home, data] : tx->blocks_) {
+    tx->revokes_.erase(home);
+  }
+  const uint64_t count = tx->blocks_.size();
+  if (count > MaxTxBlocks()) {
+    return NoSpaceError("transaction exceeds journal capacity");
+  }
+  const size_t slots = (block_size_ - kHdrEnd) / 8;
+  if (count > slots) {
+    return NoSpaceError("too many blocks for one descriptor");
+  }
+  // Oversized revoke sets spill into preliminary revoke-only transactions.
+  std::vector<uint64_t> revokes(tx->revokes_.begin(), tx->revokes_.end());
+  while (count + revokes.size() > slots) {
+    const size_t spill = std::min(revokes.size(), slots);
+    std::vector<uint64_t> batch(revokes.end() - spill, revokes.end());
+    revokes.resize(revokes.size() - spill);
+    MUX_RETURN_IF_ERROR(AppendTxLocked({}, batch));
+  }
+  return AppendTxLocked(tx->blocks_, revokes);
+}
+
+Status Journal::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t expected_seq = 0;
+  MUX_RETURN_IF_ERROR(ReadSuperblockLocked(&expected_seq));
+
+  // Scan forward from the start of the journal area, collecting consecutive
+  // committed transactions with the expected sequence numbers.
+  struct ReplayTx {
+    uint64_t seq = 0;
+    std::vector<uint64_t> homes;
+    std::vector<std::vector<uint8_t>> contents;
+  };
+  std::vector<ReplayTx> replay;
+  std::map<uint64_t, uint64_t> revoked_at;  // home block -> latest revoke seq
+  uint64_t scan = 1;
+  std::vector<uint8_t> descriptor(block_size_, 0);
+  std::vector<uint8_t> commit(block_size_, 0);
+  while (scan + 1 <= num_blocks_) {
+    MUX_RETURN_IF_ERROR(
+        device_->ReadBlocks(start_block_ + scan, 1, descriptor.data()));
+    const bool descriptor_ok =
+        Get32(descriptor.data() + kHdrMagic) == kMagic &&
+        Get32(descriptor.data() + kHdrType) == kDescriptor &&
+        Get64(descriptor.data() + kHdrSeq) == expected_seq;
+    if (!descriptor_ok) {
+      break;
+    }
+    const uint32_t count = Get32(descriptor.data() + kHdrCount);
+    const uint32_t revoke_count = Get32(descriptor.data() + kHdrRevokes);
+    if (count > MaxTxBlocks() ||
+        kHdrEnd + (static_cast<size_t>(count) + revoke_count) * 8 >
+            block_size_ ||
+        scan + count + 2 > num_blocks_) {
+      break;  // garbage descriptor: treat as end of committed history
+    }
+    MUX_RETURN_IF_ERROR(device_->ReadBlocks(start_block_ + scan + count + 1,
+                                            1, commit.data()));
+    const bool commit_ok = Get32(commit.data() + kHdrMagic) == kMagic &&
+                           Get32(commit.data() + kHdrType) == kCommit &&
+                           Get64(commit.data() + kHdrSeq) == expected_seq &&
+                           Get32(commit.data() + kHdrCount) == count;
+    if (!commit_ok) {
+      break;  // torn transaction: discard it and everything after
+    }
+    uint32_t crc = Crc32c(descriptor.data() + kHdrEnd,
+                          (static_cast<size_t>(count) + revoke_count) * 8, 0);
+    ReplayTx tx;
+    tx.seq = expected_seq;
+    tx.homes.reserve(count);
+    tx.contents.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      tx.homes.push_back(Get64(descriptor.data() + kHdrEnd + i * 8));
+      std::vector<uint8_t> content(block_size_, 0);
+      MUX_RETURN_IF_ERROR(device_->ReadBlocks(start_block_ + scan + 1 + i, 1,
+                                              content.data()));
+      crc = Crc32c(content.data(), block_size_, crc);
+      tx.contents.push_back(std::move(content));
+    }
+    if (crc != Get32(commit.data() + kHdrCrc)) {
+      break;  // body corrupted: the commit record lies, discard
+    }
+    for (uint32_t r = 0; r < revoke_count; ++r) {
+      const uint64_t revoked = Get64(descriptor.data() + kHdrEnd +
+                                     (static_cast<size_t>(count) + r) * 8);
+      revoked_at[revoked] = expected_seq;
+    }
+    replay.push_back(std::move(tx));
+    scan += count + 2;
+    expected_seq++;
+  }
+
+  // Re-apply in order (idempotent; later transactions overwrite earlier).
+  // A home write is suppressed when a same-or-later revoke covers the block
+  // — the block was freed and possibly reused for unjournaled data.
+  for (const ReplayTx& tx : replay) {
+    for (size_t i = 0; i < tx.homes.size(); ++i) {
+      auto revoked = revoked_at.find(tx.homes[i]);
+      if (revoked != revoked_at.end() && revoked->second >= tx.seq) {
+        continue;
+      }
+      MUX_RETURN_IF_ERROR(
+          device_->WriteBlocks(tx.homes[i], 1, tx.contents[i].data()));
+    }
+    stats_.replayed_txs++;
+  }
+  if (!replay.empty()) {
+    MUX_RETURN_IF_ERROR(device_->Flush());
+  }
+
+  next_seq_ = expected_seq;
+  head_ = 1;
+  pending_home_.clear();
+  return WriteSuperblockLocked();
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mux::fs

@@ -1,0 +1,125 @@
+// JBD2-style metadata journal used by xfslite and extlite.
+//
+// The journal occupies a fixed block range of the device. A transaction is
+// written as: descriptor block (list of home block numbers), the data blocks
+// themselves, then — after a device flush — a commit block whose CRC covers
+// the whole transaction.
+//
+// Checkpointing is LAZY, as in real JBD2: Commit() only appends to the
+// journal area (sequential writes near the journal — cheap even on a disk);
+// the logged blocks reach their home locations later, in one batched,
+// block-sorted pass, when Checkpoint() is called explicitly (fs Sync,
+// unmount) or when the journal area fills. Until then the journal is the
+// authority: Recover() replays every committed-but-not-checkpointed
+// transaction in sequence order.
+//
+// Crash safety contract (exercised by journal_test.cc and the FS crash
+// tests): a transaction is all-or-nothing. If the crash hits before the
+// commit block is durable the transaction is ignored on replay; after, it is
+// re-applied idempotently.
+//
+// Ordered data mode (extlite) is a caller-side protocol: write file data
+// home and flush *before* committing the metadata transaction.
+#ifndef MUX_FS_FSCOMMON_JOURNAL_H_
+#define MUX_FS_FSCOMMON_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/device/block_device.h"
+
+namespace mux::fs {
+
+struct JournalStats {
+  uint64_t commits = 0;
+  uint64_t blocks_logged = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpointed_blocks = 0;
+  uint64_t replayed_txs = 0;
+};
+
+class Journal {
+ public:
+  // A transaction under construction. Logging the same home block twice
+  // keeps the latest content.
+  class Tx {
+   public:
+    void LogBlock(uint64_t home_block, const uint8_t* data, uint32_t len);
+    // Declares that `home_block` was freed and any journaled content for it
+    // is dead (JBD2 revoke records). Without this, a lazy checkpoint or a
+    // replay could resurrect stale metadata over a reallocated block.
+    void RevokeBlock(uint64_t home_block) { revokes_.insert(home_block); }
+    size_t BlockCount() const { return blocks_.size(); }
+    size_t RevokeCount() const { return revokes_.size(); }
+
+   private:
+    friend class Journal;
+    std::map<uint64_t, std::vector<uint8_t>> blocks_;
+    std::set<uint64_t> revokes_;
+  };
+
+  // The journal uses blocks [start_block, start_block + num_blocks) of
+  // `device`. num_blocks must be >= 4 (superblock + descriptor + 1 data +
+  // commit).
+  Journal(device::BlockDevice* device, uint64_t start_block,
+          uint64_t num_blocks);
+
+  // Writes a fresh journal superblock. Destroys any previous journal state.
+  Status Format();
+
+  // Replays committed-but-not-checkpointed transactions. Call on mount.
+  Status Recover();
+
+  std::unique_ptr<Tx> Begin() const { return std::make_unique<Tx>(); }
+
+  // Appends the transaction to the journal area and makes it durable.
+  // Checkpointing is deferred; Commit may trigger one only when the journal
+  // area is out of space. Oversized revoke sets are split into preliminary
+  // revoke-only transactions automatically. Empty transactions are a no-op.
+  Status Commit(std::unique_ptr<Tx> tx);
+
+  // Writes every committed transaction's blocks to their home locations
+  // (batched, sorted by block number), then resets the journal tail.
+  Status Checkpoint();
+
+  JournalStats stats() const;
+
+  // Max home blocks a single transaction can hold.
+  uint64_t MaxTxBlocks() const { return num_blocks_ - 3; }
+
+ private:
+  static constexpr uint32_t kMagic = 0x4a424431;  // "JBD1"
+  enum BlockType : uint32_t {
+    kSuperblock = 0,
+    kDescriptor = 1,
+    kCommit = 2,
+  };
+
+  Status WriteSuperblockLocked();
+  Status ReadSuperblockLocked(uint64_t* next_seq);
+  Status CheckpointLocked();
+  // Appends one transaction record; blocks/revokes must fit one descriptor.
+  Status AppendTxLocked(const std::map<uint64_t, std::vector<uint8_t>>& blocks,
+                        const std::vector<uint64_t>& revokes);
+
+  device::BlockDevice* const device_;
+  const uint64_t start_block_;
+  const uint64_t num_blocks_;
+  const uint32_t block_size_;
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 1;   // sequence number of the next transaction
+  uint64_t head_ = 1;       // next free journal-area block (relative)
+  // Committed but not yet checkpointed: newest content per home block.
+  std::map<uint64_t, std::vector<uint8_t>> pending_home_;
+  JournalStats stats_;
+};
+
+}  // namespace mux::fs
+
+#endif  // MUX_FS_FSCOMMON_JOURNAL_H_

@@ -1,0 +1,209 @@
+#include "src/fs/fscommon/page_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mux::fs {
+
+PageCache::PageCache(BackingStore* store, SimClock* clock,
+                     uint64_t capacity_pages, SimTime hit_cost_ns)
+    : store_(store),
+      clock_(clock),
+      capacity_pages_(std::max<uint64_t>(capacity_pages, 1)),
+      hit_cost_ns_(hit_cost_ns) {}
+
+void PageCache::TouchLocked(const Key& key, Page& page) {
+  lru_.erase(page.lru_pos);
+  lru_.push_front(key);
+  page.lru_pos = lru_.begin();
+}
+
+Status PageCache::EvictOneLocked() {
+  if (lru_.empty()) {
+    return InternalError("page cache eviction with no pages");
+  }
+  const Key victim = lru_.back();
+  auto it = pages_.find(victim);
+  if (it == pages_.end()) {
+    return InternalError("LRU list out of sync with page map");
+  }
+  if (it->second.dirty) {
+    MUX_RETURN_IF_ERROR(
+        store_->StorePage(victim.ino, victim.page, it->second.data.data()));
+    stats_.writebacks++;
+  }
+  lru_.pop_back();
+  pages_.erase(it);
+  stats_.evictions++;
+  return Status::Ok();
+}
+
+Result<PageCache::Page*> PageCache::GetPageLocked(const Key& key, bool load) {
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    stats_.hits++;
+    clock_->Advance(hit_cost_ns_);
+    TouchLocked(key, it->second);
+    return &it->second;
+  }
+  stats_.misses++;
+  while (pages_.size() >= capacity_pages_) {
+    MUX_RETURN_IF_ERROR(EvictOneLocked());
+  }
+  Page page;
+  page.data.assign(kPageSize, 0);
+  if (load) {
+    MUX_RETURN_IF_ERROR(store_->LoadPage(key.ino, key.page, page.data.data()));
+  }
+  lru_.push_front(key);
+  page.lru_pos = lru_.begin();
+  auto [inserted, ok] = pages_.emplace(key, std::move(page));
+  (void)ok;
+  return &inserted->second;
+}
+
+Status PageCache::ReadThrough(vfs::InodeNum ino, uint64_t page,
+                              uint64_t offset_in_page, uint64_t n,
+                              uint8_t* out) {
+  if (offset_in_page + n > kPageSize) {
+    return InvalidArgumentError("page read crosses page boundary");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Page * p, GetPageLocked(Key{ino, page}, /*load=*/true));
+  std::memcpy(out, p->data.data() + offset_in_page, n);
+  return Status::Ok();
+}
+
+Status PageCache::WriteThrough(vfs::InodeNum ino, uint64_t page,
+                               uint64_t offset_in_page, uint64_t n,
+                               const uint8_t* data) {
+  if (offset_in_page + n > kPageSize) {
+    return InvalidArgumentError("page write crosses page boundary");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A full-page overwrite needs no load; partial writes must merge with the
+  // on-device content.
+  const bool full = offset_in_page == 0 && n == kPageSize;
+  MUX_ASSIGN_OR_RETURN(Page * p, GetPageLocked(Key{ino, page}, !full));
+  std::memcpy(p->data.data() + offset_in_page, data, n);
+  p->dirty = true;
+  return Status::Ok();
+}
+
+Status PageCache::ReadAhead(vfs::InodeNum ino, uint64_t page, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t i = 0; i < count; ++i) {
+    MUX_RETURN_IF_ERROR(
+        GetPageLocked(Key{ino, page + i}, /*load=*/true).status());
+  }
+  return Status::Ok();
+}
+
+Status BackingStore::StorePages(vfs::InodeNum ino, uint64_t first_page,
+                                uint64_t count, const uint8_t* data) {
+  for (uint64_t i = 0; i < count; ++i) {
+    MUX_RETURN_IF_ERROR(
+        StorePage(ino, first_page + i, data + i * kPageSize));
+  }
+  return Status::Ok();
+}
+
+Status PageCache::FlushKeysLocked(std::vector<Key>& dirty) {
+  // Flush in file order and cluster consecutive pages into one StorePages
+  // call: sequential writeback is what lets delayed allocation build large
+  // extents, and clustering is what turns it into large device I/Os.
+  std::sort(dirty.begin(), dirty.end(), [](const Key& a, const Key& b) {
+    return a.ino != b.ino ? a.ino < b.ino : a.page < b.page;
+  });
+  constexpr size_t kMaxClusterPages = 256;  // 1 MiB writeback chunks
+  std::vector<uint8_t> cluster;
+  size_t i = 0;
+  while (i < dirty.size()) {
+    size_t run = 1;
+    while (i + run < dirty.size() && run < kMaxClusterPages &&
+           dirty[i + run].ino == dirty[i].ino &&
+           dirty[i + run].page == dirty[i].page + run) {
+      ++run;
+    }
+    cluster.resize(run * kPageSize);
+    for (size_t j = 0; j < run; ++j) {
+      std::memcpy(cluster.data() + j * kPageSize,
+                  pages_.at(dirty[i + j]).data.data(), kPageSize);
+    }
+    MUX_RETURN_IF_ERROR(store_->StorePages(dirty[i].ino, dirty[i].page, run,
+                                           cluster.data()));
+    for (size_t j = 0; j < run; ++j) {
+      pages_.at(dirty[i + j]).dirty = false;
+      stats_.writebacks++;
+    }
+    i += run;
+  }
+  return Status::Ok();
+}
+
+Status PageCache::FlushInode(vfs::InodeNum ino) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Key> dirty;
+  for (const auto& [key, page] : pages_) {
+    if (key.ino == ino && page.dirty) {
+      dirty.push_back(key);
+    }
+  }
+  return FlushKeysLocked(dirty);
+}
+
+Status PageCache::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Key> dirty;
+  for (const auto& [key, page] : pages_) {
+    if (page.dirty) {
+      dirty.push_back(key);
+    }
+  }
+  return FlushKeysLocked(dirty);
+}
+
+void PageCache::InvalidateInode(vfs::InodeNum ino) {
+  InvalidateFrom(ino, 0);
+}
+
+void PageCache::InvalidateFrom(vfs::InodeNum ino, uint64_t first_page) {
+  InvalidateRange(ino, first_page, UINT64_MAX - first_page);
+}
+
+void PageCache::InvalidateRange(vfs::InodeNum ino, uint64_t first_page,
+                                uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (it->first.ino == ino && it->first.page >= first_page &&
+        it->first.page - first_page < count) {
+      lru_.erase(it->second.lru_pos);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.clear();
+  lru_.clear();
+}
+
+bool PageCache::Resident(vfs::InodeNum ino, uint64_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.contains(Key{ino, page});
+}
+
+PageCacheStats PageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t PageCache::ResidentPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+}  // namespace mux::fs

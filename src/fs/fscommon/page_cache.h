@@ -1,0 +1,134 @@
+// DRAM page cache shared by the block-device file systems (xfslite, extlite).
+//
+// Per the paper (§2.5) each device-specific file system keeps its own DRAM
+// page cache that cannot be shared across devices — one of Mux's motivations
+// for adding an SCM-level shared cache above them.
+//
+// Pages are keyed by (inode, page index). Eviction is LRU; dirty pages are
+// written back through the BackingStore the file system registers. Writeback
+// order is where delayed allocation happens in xfslite: the store callback
+// allocates extents at flush time.
+#ifndef MUX_FS_FSCOMMON_PAGE_CACHE_H_
+#define MUX_FS_FSCOMMON_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/vfs/types.h"
+
+namespace mux::fs {
+
+inline constexpr uint64_t kPageSize = 4096;
+
+// How a cached page reaches and leaves the device.
+class BackingStore {
+ public:
+  virtual ~BackingStore() = default;
+  // Fills `out` (kPageSize bytes) with the page's on-device content; pages
+  // never written return zeros (holes).
+  virtual Status LoadPage(vfs::InodeNum ino, uint64_t page, uint8_t* out) = 0;
+  // Persists a dirty page. May allocate on-device space (delayed allocation).
+  virtual Status StorePage(vfs::InodeNum ino, uint64_t page,
+                           const uint8_t* data) = 0;
+  // Persists `count` consecutive pages ([first_page, first_page+count),
+  // `data` holds count * kPageSize bytes). Clustered writeback: block-device
+  // file systems override this to issue multi-block I/Os instead of paying
+  // per-command latency once per page.
+  virtual Status StorePages(vfs::InodeNum ino, uint64_t first_page,
+                            uint64_t count, const uint8_t* data);
+};
+
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+};
+
+class PageCache {
+ public:
+  // `capacity_pages` bounds DRAM use. `hit_cost_ns` models the CPU cost of a
+  // cache-hit lookup+copy and is charged to `clock`.
+  PageCache(BackingStore* store, SimClock* clock, uint64_t capacity_pages,
+            SimTime hit_cost_ns = 250);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  // Copies [offset_in_page, offset_in_page+n) of the page into `out`.
+  Status ReadThrough(vfs::InodeNum ino, uint64_t page, uint64_t offset_in_page,
+                     uint64_t n, uint8_t* out);
+  // Updates the page in cache (loading it first for partial writes) and
+  // marks it dirty.
+  Status WriteThrough(vfs::InodeNum ino, uint64_t page,
+                      uint64_t offset_in_page, uint64_t n,
+                      const uint8_t* data);
+
+  // Pre-populates `count` pages starting at `page` (sequential readahead).
+  Status ReadAhead(vfs::InodeNum ino, uint64_t page, uint64_t count);
+
+  // Writes back all dirty pages of one inode / all inodes.
+  Status FlushInode(vfs::InodeNum ino);
+  Status FlushAll();
+  // Drops all pages of an inode (after truncate/unlink). Dirty pages are
+  // discarded — callers flush first if the data must survive.
+  void InvalidateInode(vfs::InodeNum ino);
+  // Drops pages at and after `first_page` (for truncate).
+  void InvalidateFrom(vfs::InodeNum ino, uint64_t first_page);
+  // Drops pages in [first_page, first_page + count) (for hole punching).
+  void InvalidateRange(vfs::InodeNum ino, uint64_t first_page,
+                       uint64_t count);
+  // True when the page is resident (regardless of dirtiness).
+  bool Resident(vfs::InodeNum ino, uint64_t page) const;
+  // Drops every page (dirty pages are discarded); used at (re)mount.
+  void Reset();
+
+  PageCacheStats stats() const;
+  uint64_t ResidentPages() const;
+
+ private:
+  struct Key {
+    vfs::InodeNum ino;
+    uint64_t page;
+    bool operator==(const Key& other) const {
+      return ino == other.ino && page == other.page;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.ino * 0x9e3779b97f4a7c15ULL ^ k.page);
+    }
+  };
+  struct Page {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  // All require mu_ held.
+  Result<Page*> GetPageLocked(const Key& key, bool load);
+  Status EvictOneLocked();
+  void TouchLocked(const Key& key, Page& page);
+  Status FlushKeysLocked(std::vector<Key>& dirty);
+
+  BackingStore* const store_;
+  SimClock* const clock_;
+  const uint64_t capacity_pages_;
+  const SimTime hit_cost_ns_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Page, KeyHash> pages_;
+  std::list<Key> lru_;  // front = most recent
+  PageCacheStats stats_;
+};
+
+}  // namespace mux::fs
+
+#endif  // MUX_FS_FSCOMMON_PAGE_CACHE_H_

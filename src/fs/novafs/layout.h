@@ -1,0 +1,124 @@
+// On-PM layout of novafs (NOVA-like log-structured PM file system).
+//
+// PM space (4 KiB pages):
+//   page 0                      superblock
+//   page 1                      rename journal (one record)
+//   pages 2 .. 2+inode_pages    inode table (32 slots of 128 B per page)
+//   remaining pages             shared pool for log pages and data pages
+//
+// Per-inode log: a chain of log pages. Each log page starts with a 64 B
+// header {next_page}; the rest holds 64 B entries. The inode slot stores the
+// chain head and the persistent tail (page, offset); advancing the tail is
+// the commit point of every operation — entries beyond the tail are ignored
+// at recovery, which is what makes single-file operations atomic.
+#ifndef MUX_FS_NOVAFS_LAYOUT_H_
+#define MUX_FS_NOVAFS_LAYOUT_H_
+
+#include <cstdint>
+
+namespace mux::fs::nova {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint32_t kSuperMagic = 0x4e4f5641;  // "NOVA"
+
+inline constexpr uint64_t kSuperPage = 0;
+inline constexpr uint64_t kJournalPage = 1;
+inline constexpr uint64_t kInodeTableFirstPage = 2;
+
+inline constexpr uint64_t kInodeSlotSize = 128;
+inline constexpr uint64_t kInodesPerPage = kPageSize / kInodeSlotSize;
+
+inline constexpr uint64_t kLogEntrySize = 64;
+inline constexpr uint64_t kLogHeaderSize = 64;
+inline constexpr uint64_t kEntriesPerLogPage =
+    (kPageSize - kLogHeaderSize) / kLogEntrySize;
+
+// Superblock fields (offsets within page 0).
+struct SuperOffsets {
+  static constexpr uint64_t kMagic = 0;        // u32
+  static constexpr uint64_t kTotalPages = 8;   // u64
+  static constexpr uint64_t kInodePages = 16;  // u64
+  static constexpr uint64_t kCrc = 24;         // u32
+};
+
+// Inode slot fields (offsets within the 128 B slot).
+struct InodeOffsets {
+  static constexpr uint64_t kValid = 0;        // u8: 0 free, 1 live
+  static constexpr uint64_t kType = 1;         // u8: 0 regular, 1 directory
+  static constexpr uint64_t kMode = 4;         // u32
+  static constexpr uint64_t kLogHead = 8;      // u64 PM page (0 = none)
+  static constexpr uint64_t kTailPage = 16;    // u64 PM page
+  static constexpr uint64_t kTailOff = 24;     // u32 byte offset in page
+  static constexpr uint64_t kCtime = 32;       // u64
+};
+
+// Log entry types.
+enum class EntryType : uint8_t {
+  kInvalid = 0,
+  kWrite = 1,       // data pages committed into the file
+  kAttr = 2,        // size / times / mode update
+  kDentryAdd = 3,   // directory logs only
+  kDentryDel = 4,
+  kHole = 5,        // range deallocated (same layout as kWrite, pm_page = 0)
+};
+
+// kWrite entry layout (64 B):
+//   type(1) pad(3) num_pages(4) file_page(8) pm_page(8) size_after(8)
+//   mtime(8) crc(4)
+struct WriteEntryOffsets {
+  static constexpr uint64_t kType = 0;
+  static constexpr uint64_t kNumPages = 4;
+  static constexpr uint64_t kFilePage = 8;
+  static constexpr uint64_t kPmPage = 16;
+  static constexpr uint64_t kSizeAfter = 24;
+  static constexpr uint64_t kMtime = 32;
+  static constexpr uint64_t kCrc = 40;
+};
+
+// kAttr entry layout (64 B):
+//   type(1) flags(1) pad(2) mode(4) size(8) mtime(8) atime(8) crc(4)
+struct AttrEntryOffsets {
+  static constexpr uint64_t kType = 0;
+  static constexpr uint64_t kFlags = 1;  // bit0 size, bit1 mtime, bit2 atime, bit3 mode
+  static constexpr uint64_t kMode = 4;
+  static constexpr uint64_t kSize = 8;
+  static constexpr uint64_t kMtime = 16;
+  static constexpr uint64_t kAtime = 24;
+  static constexpr uint64_t kCrc = 32;
+};
+
+inline constexpr uint8_t kAttrHasSize = 1u << 0;
+inline constexpr uint8_t kAttrHasMtime = 1u << 1;
+inline constexpr uint8_t kAttrHasAtime = 1u << 2;
+inline constexpr uint8_t kAttrHasMode = 1u << 3;
+
+// kDentryAdd / kDentryDel layout (64 B):
+//   type(1) name_len(1) pad(2) crc(4) ino(8) name(up to 48)
+struct DentryEntryOffsets {
+  static constexpr uint64_t kType = 0;
+  static constexpr uint64_t kNameLen = 1;
+  static constexpr uint64_t kCrc = 4;
+  static constexpr uint64_t kIno = 8;
+  static constexpr uint64_t kName = 16;
+};
+inline constexpr uint64_t kMaxNameLen = kLogEntrySize - DentryEntryOffsets::kName;
+
+// Rename journal record (page 1):
+//   valid(1) pad(7) src_dir(8) dst_dir(8) ino(8) src_len(1) dst_len(1)
+//   pad(6) src_name(64) dst_name(64)
+struct RenameJournalOffsets {
+  static constexpr uint64_t kValid = 0;
+  static constexpr uint64_t kSrcDir = 8;
+  static constexpr uint64_t kDstDir = 16;
+  static constexpr uint64_t kIno = 24;
+  static constexpr uint64_t kSrcLen = 32;
+  static constexpr uint64_t kDstLen = 33;
+  static constexpr uint64_t kSrcName = 40;
+  static constexpr uint64_t kDstName = 104;
+};
+
+inline constexpr uint64_t kRootIno = 1;
+
+}  // namespace mux::fs::nova
+
+#endif  // MUX_FS_NOVAFS_LAYOUT_H_

@@ -1,0 +1,1091 @@
+#include "src/fs/novafs/novafs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/encoding.h"
+#include "src/common/logging.h"
+
+namespace mux::fs {
+
+using nova::AttrEntryOffsets;
+using nova::DentryEntryOffsets;
+using nova::EntryType;
+using nova::InodeOffsets;
+using nova::RenameJournalOffsets;
+using nova::SuperOffsets;
+using nova::WriteEntryOffsets;
+using nova::kEntriesPerLogPage;
+using nova::kInodeSlotSize;
+using nova::kInodesPerPage;
+using nova::kLogEntrySize;
+using nova::kLogHeaderSize;
+using nova::kPageSize;
+using nova::kRootIno;
+
+namespace {
+
+// Entry CRC covers the first 40 bytes (everything before the widest crc
+// field position used by any type is within this prefix for write entries;
+// attr and dentry entries place their crc differently, so each helper
+// computes over its own payload).
+uint32_t WriteEntryCrc(const uint8_t* entry) {
+  return Crc32c(entry, WriteEntryOffsets::kCrc);
+}
+uint32_t AttrEntryCrc(const uint8_t* entry) {
+  return Crc32c(entry, AttrEntryOffsets::kCrc);
+}
+uint32_t DentryCrc(const uint8_t* entry) {
+  // Covers type/name_len + ino + name, skipping the crc field itself.
+  uint32_t crc = Crc32c(entry, DentryEntryOffsets::kCrc);
+  return Crc32c(entry + DentryEntryOffsets::kIno,
+                kLogEntrySize - DentryEntryOffsets::kIno, crc);
+}
+
+}  // namespace
+
+NovaFs::NovaFs(device::PmDevice* pm, SimClock* clock)
+    : NovaFs(pm, clock, Options()) {}
+
+NovaFs::NovaFs(device::PmDevice* pm, SimClock* clock, Options options)
+    : pm_(pm), clock_(clock), options_(options) {
+  total_pages_ = pm_->capacity() / kPageSize;
+  inode_pages_ = options_.inode_table_pages != 0
+                     ? options_.inode_table_pages
+                     : std::max<uint64_t>(1, total_pages_ / 256);
+  max_inodes_ = inode_pages_ * kInodesPerPage;
+  pool_first_page_ = nova::kInodeTableFirstPage + inode_pages_;
+  MUX_CHECK(pool_first_page_ < total_pages_)
+      << "PM device too small for novafs";
+}
+
+uint64_t NovaFs::SlotAddr(vfs::InodeNum ino) const {
+  return nova::kInodeTableFirstPage * kPageSize + ino * kInodeSlotSize;
+}
+
+Status NovaFs::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inodes_.clear();
+  open_files_.clear();
+  data_pages_used_ = 0;
+  allocator_ = ExtentAllocator(pool_first_page_,
+                               total_pages_ - pool_first_page_);
+
+  // Superblock.
+  std::vector<uint8_t> super(kPageSize, 0);
+  Put32(super.data() + SuperOffsets::kMagic, nova::kSuperMagic);
+  Put64(super.data() + SuperOffsets::kTotalPages, total_pages_);
+  Put64(super.data() + SuperOffsets::kInodePages, inode_pages_);
+  Put32(super.data() + SuperOffsets::kCrc,
+        Crc32c(super.data(), SuperOffsets::kCrc));
+  MUX_RETURN_IF_ERROR(pm_->Store(0, kPageSize, super.data()));
+  MUX_RETURN_IF_ERROR(pm_->Persist(0, kPageSize));
+
+  // Clear rename journal + inode table.
+  std::vector<uint8_t> zero(kPageSize, 0);
+  for (uint64_t p = nova::kJournalPage; p < pool_first_page_; ++p) {
+    MUX_RETURN_IF_ERROR(pm_->Store(p * kPageSize, kPageSize, zero.data()));
+    MUX_RETURN_IF_ERROR(pm_->Persist(p * kPageSize, kPageSize));
+  }
+
+  // Root directory.
+  MemInode root;
+  root.ino = kRootIno;
+  root.type = vfs::FileType::kDirectory;
+  root.mode = 0755;
+  root.ctime = root.mtime = root.atime = clock_->Now();
+  MUX_RETURN_IF_ERROR(PersistInodeSlotLocked(root));
+  inodes_.emplace(kRootIno, std::move(root));
+  return Status::Ok();
+}
+
+Status NovaFs::PersistInodeSlotLocked(const MemInode& inode) {
+  uint8_t slot[kInodeSlotSize] = {0};
+  slot[InodeOffsets::kValid] = 1;
+  slot[InodeOffsets::kType] =
+      inode.type == vfs::FileType::kDirectory ? 1 : 0;
+  Put32(slot + InodeOffsets::kMode, inode.mode);
+  Put64(slot + InodeOffsets::kLogHead, inode.log_head);
+  Put64(slot + InodeOffsets::kTailPage, inode.tail_page);
+  Put32(slot + InodeOffsets::kTailOff, inode.tail_off);
+  Put64(slot + InodeOffsets::kCtime, inode.ctime);
+  const uint64_t addr = SlotAddr(inode.ino);
+  MUX_RETURN_IF_ERROR(pm_->Store(addr, kInodeSlotSize, slot));
+  return pm_->Persist(addr, kInodeSlotSize);
+}
+
+Status NovaFs::InvalidateInodeSlotLocked(vfs::InodeNum ino) {
+  const uint8_t zero = 0;
+  const uint64_t addr = SlotAddr(ino) + InodeOffsets::kValid;
+  MUX_RETURN_IF_ERROR(pm_->Store(addr, 1, &zero));
+  return pm_->Persist(addr, 1);
+}
+
+Status NovaFs::AppendEntryLocked(MemInode& inode, const uint8_t* entry) {
+  // Ensure the log exists and the tail page has room.
+  if (inode.log_head == 0) {
+    MUX_ASSIGN_OR_RETURN(uint64_t page, allocator_.AllocContiguous(1));
+    uint8_t header[kLogHeaderSize] = {0};
+    MUX_RETURN_IF_ERROR(pm_->Store(page * kPageSize, sizeof(header), header));
+    MUX_RETURN_IF_ERROR(pm_->Persist(page * kPageSize, sizeof(header)));
+    inode.log_head = page;
+    inode.tail_page = page;
+    inode.tail_off = kLogHeaderSize;
+    inode.log_pages.push_back(page);
+    MUX_RETURN_IF_ERROR(PersistInodeSlotLocked(inode));
+  } else if (inode.tail_off + kLogEntrySize > kPageSize) {
+    MUX_ASSIGN_OR_RETURN(uint64_t page, allocator_.AllocContiguous(1));
+    uint8_t header[kLogHeaderSize] = {0};
+    MUX_RETURN_IF_ERROR(pm_->Store(page * kPageSize, sizeof(header), header));
+    MUX_RETURN_IF_ERROR(pm_->Persist(page * kPageSize, sizeof(header)));
+    // Link from the full page; the tail still points into the old page so a
+    // crash here leaves the new page invisible.
+    uint8_t next[8];
+    Put64(next, page);
+    MUX_RETURN_IF_ERROR(
+        pm_->Store(inode.tail_page * kPageSize, sizeof(next), next));
+    MUX_RETURN_IF_ERROR(
+        pm_->Persist(inode.tail_page * kPageSize, sizeof(next)));
+    inode.tail_page = page;
+    inode.tail_off = kLogHeaderSize;
+    inode.log_pages.push_back(page);
+  }
+
+  // Write the entry, then advance the persistent tail (commit point).
+  const uint64_t addr = inode.tail_page * kPageSize + inode.tail_off;
+  MUX_RETURN_IF_ERROR(pm_->Store(addr, kLogEntrySize, entry));
+  MUX_RETURN_IF_ERROR(pm_->Persist(addr, kLogEntrySize));
+  inode.tail_off += kLogEntrySize;
+  return PersistInodeSlotLocked(inode);
+}
+
+Status NovaFs::AppendAttrEntryLocked(MemInode& inode, uint8_t flags) {
+  uint8_t entry[kLogEntrySize] = {0};
+  entry[AttrEntryOffsets::kType] = static_cast<uint8_t>(EntryType::kAttr);
+  entry[AttrEntryOffsets::kFlags] = flags;
+  Put32(entry + AttrEntryOffsets::kMode, inode.mode);
+  Put64(entry + AttrEntryOffsets::kSize, inode.size);
+  Put64(entry + AttrEntryOffsets::kMtime, inode.mtime);
+  Put64(entry + AttrEntryOffsets::kAtime, inode.atime);
+  Put32(entry + AttrEntryOffsets::kCrc, AttrEntryCrc(entry));
+  return AppendEntryLocked(inode, entry);
+}
+
+Status NovaFs::AppendDentryLocked(MemInode& dir, EntryType type,
+                                  const std::string& name,
+                                  vfs::InodeNum child) {
+  if (name.size() > nova::kMaxNameLen) {
+    return InvalidArgumentError("name too long: " + name);
+  }
+  uint8_t entry[kLogEntrySize] = {0};
+  entry[DentryEntryOffsets::kType] = static_cast<uint8_t>(type);
+  entry[DentryEntryOffsets::kNameLen] = static_cast<uint8_t>(name.size());
+  Put64(entry + DentryEntryOffsets::kIno, child);
+  std::memcpy(entry + DentryEntryOffsets::kName, name.data(), name.size());
+  Put32(entry + DentryEntryOffsets::kCrc, DentryCrc(entry));
+  return AppendEntryLocked(dir, entry);
+}
+
+Status NovaFs::AppendWriteEntryLocked(MemInode& inode, uint64_t file_page,
+                                      uint64_t pm_page, uint32_t num_pages,
+                                      uint64_t size_after) {
+  uint8_t entry[kLogEntrySize] = {0};
+  entry[WriteEntryOffsets::kType] = static_cast<uint8_t>(EntryType::kWrite);
+  Put32(entry + WriteEntryOffsets::kNumPages, num_pages);
+  Put64(entry + WriteEntryOffsets::kFilePage, file_page);
+  Put64(entry + WriteEntryOffsets::kPmPage, pm_page);
+  Put64(entry + WriteEntryOffsets::kSizeAfter, size_after);
+  Put64(entry + WriteEntryOffsets::kMtime, inode.mtime);
+  Put32(entry + WriteEntryOffsets::kCrc, WriteEntryCrc(entry));
+  return AppendEntryLocked(inode, entry);
+}
+
+// ---- Namespace helpers --------------------------------------------------
+
+Result<NovaFs::MemInode*> NovaFs::ResolveLocked(const std::string& path) {
+  if (!vfs::IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  MemInode* cur = &inodes_.at(kRootIno);
+  for (const auto& part : vfs::SplitPath(path)) {
+    if (cur->type != vfs::FileType::kDirectory) {
+      return NotDirError(path);
+    }
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) {
+      return NotFoundError(path);
+    }
+    auto node = inodes_.find(it->second);
+    if (node == inodes_.end()) {
+      return CorruptionError("dentry points to missing inode");
+    }
+    cur = &node->second;
+  }
+  return cur;
+}
+
+Result<NovaFs::MemInode*> NovaFs::ResolveDirLocked(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  return node;
+}
+
+Result<NovaFs::MemInode*> NovaFs::HandleInodeLocked(vfs::FileHandle handle,
+                                                    uint32_t needed_flags) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return BadHandleError("unknown handle");
+  }
+  if ((it->second.flags & needed_flags) != needed_flags) {
+    return PermissionError("handle lacks required access mode");
+  }
+  auto node = inodes_.find(it->second.ino);
+  if (node == inodes_.end()) {
+    return BadHandleError("file was removed");
+  }
+  return &node->second;
+}
+
+Result<NovaFs::MemInode*> NovaFs::CreateInodeLocked(vfs::FileType type,
+                                                    uint32_t mode) {
+  vfs::InodeNum ino = vfs::kInvalidInode;
+  if (!free_inos_.empty()) {
+    ino = free_inos_.back();
+    free_inos_.pop_back();
+  } else {
+    for (vfs::InodeNum candidate = kRootIno + 1; candidate < max_inodes_;
+         ++candidate) {
+      if (!inodes_.contains(candidate)) {
+        ino = candidate;
+        break;
+      }
+    }
+  }
+  if (ino == vfs::kInvalidInode) {
+    return NoSpaceError("inode table full");
+  }
+  MemInode node;
+  node.ino = ino;
+  node.type = type;
+  node.mode = mode;
+  node.ctime = node.mtime = node.atime = clock_->Now();
+  MUX_RETURN_IF_ERROR(PersistInodeSlotLocked(node));
+  auto [it, inserted] = inodes_.emplace(ino, std::move(node));
+  (void)inserted;
+  return &it->second;
+}
+
+Status NovaFs::FreeInodeLocked(MemInode& inode) {
+  MUX_RETURN_IF_ERROR(InvalidateInodeSlotLocked(inode.ino));
+  for (const auto& [file_page, pm_page] : inode.pages) {
+    MUX_RETURN_IF_ERROR(allocator_.Free(pm_page, 1));
+    data_pages_used_--;
+  }
+  for (uint64_t page : inode.log_pages) {
+    MUX_RETURN_IF_ERROR(allocator_.Free(page, 1));
+  }
+  free_inos_.push_back(inode.ino);
+  inodes_.erase(inode.ino);
+  return Status::Ok();
+}
+
+// ---- Public API ----------------------------------------------------------
+
+Result<vfs::FileHandle> NovaFs::Open(const std::string& path, uint32_t flags,
+                                     uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto resolved = ResolveLocked(path);
+  MemInode* node = nullptr;
+  if (resolved.ok()) {
+    if ((flags & vfs::OpenFlags::kExclusive) &&
+        (flags & vfs::OpenFlags::kCreate)) {
+      return ExistsError(path);
+    }
+    node = *resolved;
+    if (node->type == vfs::FileType::kDirectory) {
+      return IsDirError(path);
+    }
+    if (flags & vfs::OpenFlags::kTruncate) {
+      MUX_RETURN_IF_ERROR(TruncateLocked(*node, 0));
+    }
+  } else if (resolved.status().code() == ErrorCode::kNotFound &&
+             (flags & vfs::OpenFlags::kCreate)) {
+    MUX_ASSIGN_OR_RETURN(MemInode * parent,
+                         ResolveDirLocked(vfs::Dirname(path)));
+    const vfs::InodeNum parent_ino = parent->ino;
+    MUX_ASSIGN_OR_RETURN(node,
+                         CreateInodeLocked(vfs::FileType::kRegular, mode));
+    // Re-fetch: CreateInodeLocked may rehash inodes_.
+    MemInode& parent_ref = inodes_.at(parent_ino);
+    MUX_RETURN_IF_ERROR(AppendDentryLocked(parent_ref, EntryType::kDentryAdd,
+                                           vfs::Basename(path), node->ino));
+    parent_ref.children.emplace(vfs::Basename(path), node->ino);
+    parent_ref.mtime = clock_->Now();
+  } else {
+    return resolved.status();
+  }
+  const vfs::FileHandle handle = next_handle_++;
+  open_files_.emplace(handle, OpenFile{node->ino, flags});
+  return handle;
+}
+
+Status NovaFs::Close(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(handle) == 0) {
+    return BadHandleError("close of unknown handle");
+  }
+  return Status::Ok();
+}
+
+Status NovaFs::Mkdir(const std::string& path, uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!vfs::IsValidPath(path) || vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("invalid mkdir path: " + path);
+  }
+  if (ResolveLocked(path).ok()) {
+    return ExistsError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  const vfs::InodeNum parent_ino = parent->ino;
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       CreateInodeLocked(vfs::FileType::kDirectory, mode));
+  MemInode& parent_ref = inodes_.at(parent_ino);
+  MUX_RETURN_IF_ERROR(AppendDentryLocked(parent_ref, EntryType::kDentryAdd,
+                                         vfs::Basename(path), node->ino));
+  parent_ref.children.emplace(vfs::Basename(path), node->ino);
+  parent_ref.mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Status NovaFs::Rmdir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("cannot remove root");
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  if (!node->children.empty()) {
+    return NotEmptyError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  MUX_RETURN_IF_ERROR(AppendDentryLocked(*parent, EntryType::kDentryDel,
+                                         vfs::Basename(path), node->ino));
+  parent->children.erase(vfs::Basename(path));
+  parent->mtime = clock_->Now();
+  return FreeInodeLocked(*node);
+}
+
+Status NovaFs::Unlink(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type == vfs::FileType::kDirectory) {
+    return IsDirError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  MUX_RETURN_IF_ERROR(AppendDentryLocked(*parent, EntryType::kDentryDel,
+                                         vfs::Basename(path), node->ino));
+  parent->children.erase(vfs::Basename(path));
+  parent->mtime = clock_->Now();
+  return FreeInodeLocked(*node);
+}
+
+Status NovaFs::Rename(const std::string& from, const std::string& to) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(from));
+  if (!vfs::IsValidPath(to)) {
+    return InvalidArgumentError("invalid rename target: " + to);
+  }
+  if (vfs::PathHasPrefix(to, from) &&
+      vfs::NormalizePath(to) != vfs::NormalizePath(from)) {
+    return InvalidArgumentError("cannot rename a directory into itself");
+  }
+  const std::string src_name = vfs::Basename(from);
+  const std::string dst_name = vfs::Basename(to);
+  if (src_name.size() > nova::kMaxNameLen ||
+      dst_name.size() > nova::kMaxNameLen || src_name.size() > 63 ||
+      dst_name.size() > 63) {
+    return InvalidArgumentError("name too long");
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * src_dir, ResolveDirLocked(vfs::Dirname(from)));
+  MUX_ASSIGN_OR_RETURN(MemInode * dst_dir, ResolveDirLocked(vfs::Dirname(to)));
+
+  // Replaced target (if any) must be removable.
+  MemInode* replaced = nullptr;
+  auto existing = dst_dir->children.find(dst_name);
+  if (existing != dst_dir->children.end()) {
+    auto it = inodes_.find(existing->second);
+    if (it != inodes_.end()) {
+      replaced = &it->second;
+      if (replaced->type == vfs::FileType::kDirectory &&
+          !replaced->children.empty()) {
+        return NotEmptyError(to);
+      }
+    }
+  }
+
+  // Journal the rename so a crash mid-way can be redone.
+  uint8_t record[kPageSize] = {0};
+  Put64(record + RenameJournalOffsets::kSrcDir, src_dir->ino);
+  Put64(record + RenameJournalOffsets::kDstDir, dst_dir->ino);
+  Put64(record + RenameJournalOffsets::kIno, node->ino);
+  record[RenameJournalOffsets::kSrcLen] =
+      static_cast<uint8_t>(src_name.size());
+  record[RenameJournalOffsets::kDstLen] =
+      static_cast<uint8_t>(dst_name.size());
+  std::memcpy(record + RenameJournalOffsets::kSrcName, src_name.data(),
+              src_name.size());
+  std::memcpy(record + RenameJournalOffsets::kDstName, dst_name.data(),
+              dst_name.size());
+  const uint64_t journal_addr = nova::kJournalPage * kPageSize;
+  MUX_RETURN_IF_ERROR(pm_->Store(journal_addr + 8, kPageSize - 8,
+                                 record + 8));
+  MUX_RETURN_IF_ERROR(pm_->Persist(journal_addr + 8, kPageSize - 8));
+  const uint8_t valid = 1;
+  MUX_RETURN_IF_ERROR(pm_->Store(journal_addr, 1, &valid));
+  MUX_RETURN_IF_ERROR(pm_->Persist(journal_addr, 1));
+
+  // Apply: replace target, add to destination, remove from source.
+  if (replaced != nullptr) {
+    MUX_RETURN_IF_ERROR(AppendDentryLocked(*dst_dir, EntryType::kDentryDel,
+                                           dst_name, replaced->ino));
+    dst_dir->children.erase(dst_name);
+    MUX_RETURN_IF_ERROR(FreeInodeLocked(*replaced));
+  }
+  MUX_RETURN_IF_ERROR(
+      AppendDentryLocked(*dst_dir, EntryType::kDentryAdd, dst_name, node->ino));
+  dst_dir->children[dst_name] = node->ino;
+  dst_dir->mtime = clock_->Now();
+  MUX_RETURN_IF_ERROR(
+      AppendDentryLocked(*src_dir, EntryType::kDentryDel, src_name, node->ino));
+  src_dir->children.erase(src_name);
+  src_dir->mtime = clock_->Now();
+
+  // Retire the journal record.
+  const uint8_t invalid = 0;
+  MUX_RETURN_IF_ERROR(pm_->Store(journal_addr, 1, &invalid));
+  return pm_->Persist(journal_addr, 1);
+}
+
+Result<vfs::FileStat> NovaFs::Stat(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  st.allocated_bytes = node->pages.size() * kPageSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Result<std::vector<vfs::DirEntry>> NovaFs::ReadDir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * dir, ResolveDirLocked(path));
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(dir->children.size());
+  for (const auto& [name, ino] : dir->children) {
+    auto it = inodes_.find(ino);
+    if (it == inodes_.end()) {
+      continue;
+    }
+    entries.push_back(vfs::DirEntry{name, it->second.type, ino});
+  }
+  return entries;
+}
+
+Result<uint64_t> NovaFs::Read(vfs::FileHandle handle, uint64_t offset,
+                              uint64_t length, uint8_t* out) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kRead));
+  if (offset >= node->size) {
+    return uint64_t{0};
+  }
+  const uint64_t n = std::min(length, node->size - offset);
+  uint64_t done = 0;
+  while (done < n) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kPageSize;
+    const uint64_t in_page = pos % kPageSize;
+    const uint64_t chunk = std::min(n - done, kPageSize - in_page);
+    auto it = node->pages.find(page);
+    if (it == node->pages.end()) {
+      std::memset(out + done, 0, chunk);  // hole
+    } else {
+      MUX_RETURN_IF_ERROR(
+          pm_->Load(it->second * kPageSize + in_page, chunk, out + done));
+    }
+    done += chunk;
+  }
+  node->atime = clock_->Now();  // kept in DRAM; logged lazily (relatime-like)
+  return n;
+}
+
+Result<uint64_t> NovaFs::Write(vfs::FileHandle handle, uint64_t offset,
+                               const uint8_t* data, uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return uint64_t{0};
+  }
+  const uint64_t first_page = offset / kPageSize;
+  const uint64_t last_page = (offset + length - 1) / kPageSize;
+  const uint64_t num_pages = last_page - first_page + 1;
+  const uint64_t size_after = std::max(node->size, offset + length);
+
+  // COW: stage every affected page into freshly allocated PM pages. Try for
+  // one contiguous run (single log entry, single extent).
+  auto alloc = allocator_.AllocContiguous(num_pages);
+  std::vector<uint64_t> new_pages(num_pages);
+  if (alloc.ok()) {
+    for (uint64_t i = 0; i < num_pages; ++i) {
+      new_pages[i] = *alloc + i;
+    }
+  } else {
+    for (uint64_t i = 0; i < num_pages; ++i) {
+      auto one = allocator_.AllocContiguous(1);
+      if (!one.ok()) {
+        for (uint64_t j = 0; j < i; ++j) {
+          (void)allocator_.Free(new_pages[j], 1);
+        }
+        return one.status();
+      }
+      new_pages[i] = *one;
+    }
+  }
+
+  std::vector<uint8_t> staging(kPageSize);
+  uint64_t done = 0;
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    const uint64_t file_page = first_page + i;
+    const uint64_t page_start = file_page * kPageSize;
+    const uint64_t copy_from = std::max(offset, page_start);
+    const uint64_t copy_to = std::min(offset + length, page_start + kPageSize);
+    const bool full_page = copy_from == page_start &&
+                           copy_to == page_start + kPageSize;
+    auto old_it = node->pages.find(file_page);
+    if (!full_page) {
+      if (old_it != node->pages.end()) {
+        MUX_RETURN_IF_ERROR(pm_->Load(old_it->second * kPageSize, kPageSize,
+                                      staging.data()));
+      } else {
+        std::memset(staging.data(), 0, kPageSize);
+      }
+    }
+    std::memcpy(staging.data() + (copy_from - page_start), data + done,
+                copy_to - copy_from);
+    done += copy_to - copy_from;
+    MUX_RETURN_IF_ERROR(
+        pm_->Store(new_pages[i] * kPageSize, kPageSize, staging.data()));
+    MUX_RETURN_IF_ERROR(pm_->Persist(new_pages[i] * kPageSize, kPageSize));
+  }
+
+  // Commit via log entries: one per contiguous (file_page, pm_page) run.
+  node->mtime = clock_->Now();
+  uint64_t run_start = 0;
+  for (uint64_t i = 1; i <= num_pages; ++i) {
+    const bool run_breaks =
+        i == num_pages || new_pages[i] != new_pages[i - 1] + 1;
+    if (run_breaks) {
+      MUX_RETURN_IF_ERROR(AppendWriteEntryLocked(
+          *node, first_page + run_start, new_pages[run_start],
+          static_cast<uint32_t>(i - run_start), size_after));
+      run_start = i;
+    }
+  }
+
+  // Retire replaced pages and install the new mapping.
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    const uint64_t file_page = first_page + i;
+    auto old_it = node->pages.find(file_page);
+    if (old_it != node->pages.end()) {
+      MUX_RETURN_IF_ERROR(allocator_.Free(old_it->second, 1));
+      old_it->second = new_pages[i];
+    } else {
+      node->pages.emplace(file_page, new_pages[i]);
+      data_pages_used_++;
+    }
+  }
+  node->size = size_after;
+  return length;
+}
+
+Status NovaFs::TruncateLocked(MemInode& inode, uint64_t new_size) {
+  if (new_size < inode.size) {
+    // Zero the retained tail in place so a later re-extension reads zeros.
+    // (NOVA proper would COW the page; the in-place zeroing trades a minor
+    // crash-window deviation for simplicity — the bytes being zeroed are
+    // semantically deleted either way.)
+    if (new_size % kPageSize != 0) {
+      auto it = inode.pages.find(new_size / kPageSize);
+      if (it != inode.pages.end()) {
+        const uint64_t in_page = new_size % kPageSize;
+        std::vector<uint8_t> zeros(kPageSize - in_page, 0);
+        MUX_RETURN_IF_ERROR(pm_->Store(it->second * kPageSize + in_page,
+                                       zeros.size(), zeros.data()));
+        MUX_RETURN_IF_ERROR(pm_->Persist(it->second * kPageSize + in_page,
+                                         zeros.size()));
+      }
+    }
+    const uint64_t first_dead = (new_size + kPageSize - 1) / kPageSize;
+    for (auto it = inode.pages.lower_bound(first_dead);
+         it != inode.pages.end();) {
+      MUX_RETURN_IF_ERROR(allocator_.Free(it->second, 1));
+      data_pages_used_--;
+      it = inode.pages.erase(it);
+    }
+  }
+  inode.size = new_size;
+  inode.mtime = clock_->Now();
+  return AppendAttrEntryLocked(inode, nova::kAttrHasSize |
+                                          nova::kAttrHasMtime);
+}
+
+Status NovaFs::Truncate(vfs::FileHandle handle, uint64_t new_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  return TruncateLocked(*node, new_size);
+}
+
+Status NovaFs::Fsync(vfs::FileHandle handle, bool data_only) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Data and metadata are already persistent; only the DRAM-cached atime is
+  // flushed opportunistically here.
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  if (!data_only) {
+    return AppendAttrEntryLocked(*node,
+                                 nova::kAttrHasAtime | nova::kAttrHasMtime);
+  }
+  return Status::Ok();
+}
+
+Status NovaFs::Fallocate(vfs::FileHandle handle, uint64_t offset,
+                         uint64_t length, bool keep_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return InvalidArgumentError("zero-length fallocate");
+  }
+  const uint64_t first_page = offset / kPageSize;
+  const uint64_t last_page = (offset + length - 1) / kPageSize;
+
+  // Collect missing runs and allocate each contiguously (a fully missing
+  // range gets one extent — what Mux's DAX cache file relies on).
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  uint64_t run_begin = first_page;
+  while (run_begin <= last_page) {
+    while (run_begin <= last_page && node->pages.contains(run_begin)) {
+      ++run_begin;
+    }
+    if (run_begin > last_page) {
+      break;
+    }
+    uint64_t run_end = run_begin;
+    while (run_end + 1 <= last_page && !node->pages.contains(run_end + 1)) {
+      ++run_end;
+    }
+    const uint64_t count = run_end - run_begin + 1;
+    MUX_ASSIGN_OR_RETURN(uint64_t pm_start, allocator_.AllocContiguous(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      MUX_RETURN_IF_ERROR(
+          pm_->Store((pm_start + i) * kPageSize, kPageSize, zeros.data()));
+      MUX_RETURN_IF_ERROR(pm_->Persist((pm_start + i) * kPageSize, kPageSize));
+      node->pages.emplace(run_begin + i, pm_start + i);
+      data_pages_used_++;
+    }
+    const uint64_t size_after =
+        keep_size ? node->size
+                  : std::max(node->size, (run_end + 1) * kPageSize);
+    MUX_RETURN_IF_ERROR(AppendWriteEntryLocked(
+        *node, run_begin, pm_start, static_cast<uint32_t>(count), size_after));
+    run_begin = run_end + 1;
+  }
+  if (!keep_size && offset + length > node->size) {
+    node->size = offset + length;
+    MUX_RETURN_IF_ERROR(AppendAttrEntryLocked(*node, nova::kAttrHasSize));
+  }
+  return Status::Ok();
+}
+
+Status NovaFs::PunchHole(vfs::FileHandle handle, uint64_t offset,
+                         uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (offset % kPageSize != 0 || length % kPageSize != 0 || length == 0) {
+    return InvalidArgumentError("hole punch must be page aligned");
+  }
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = offset / kPageSize + length / kPageSize;
+  // Commit the hole in the log first, then reclaim the pages.
+  uint8_t entry[kLogEntrySize] = {0};
+  entry[WriteEntryOffsets::kType] = static_cast<uint8_t>(EntryType::kHole);
+  Put32(entry + WriteEntryOffsets::kNumPages,
+        static_cast<uint32_t>(last - first));
+  Put64(entry + WriteEntryOffsets::kFilePage, first);
+  Put64(entry + WriteEntryOffsets::kSizeAfter, node->size);
+  Put64(entry + WriteEntryOffsets::kMtime, clock_->Now());
+  Put32(entry + WriteEntryOffsets::kCrc, WriteEntryCrc(entry));
+  MUX_RETURN_IF_ERROR(AppendEntryLocked(*node, entry));
+  for (auto it = node->pages.lower_bound(first);
+       it != node->pages.end() && it->first < last;) {
+    MUX_RETURN_IF_ERROR(allocator_.Free(it->second, 1));
+    data_pages_used_--;
+    it = node->pages.erase(it);
+  }
+  node->mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Result<vfs::FileStat> NovaFs::FStat(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  st.allocated_bytes = node->pages.size() * kPageSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Status NovaFs::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  uint8_t flags = 0;
+  if (update.atime) {
+    node->atime = *update.atime;
+    flags |= nova::kAttrHasAtime;
+  }
+  if (update.mtime) {
+    node->mtime = *update.mtime;
+    flags |= nova::kAttrHasMtime;
+  }
+  if (update.mode) {
+    node->mode = *update.mode;
+    flags |= nova::kAttrHasMode;
+  }
+  if (flags == 0) {
+    return Status::Ok();
+  }
+  return AppendAttrEntryLocked(*node, flags);
+}
+
+Result<vfs::FsStats> NovaFs::StatFs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  vfs::FsStats st;
+  st.capacity_bytes = (total_pages_ - pool_first_page_) * kPageSize;
+  st.free_bytes = allocator_.FreeUnits() * kPageSize;
+  st.total_inodes = max_inodes_;
+  st.free_inodes = max_inodes_ - inodes_.size();
+  return st;
+}
+
+Status NovaFs::Sync() { return Status::Ok(); }
+
+Result<vfs::DaxMapping> NovaFs::DaxMap(vfs::FileHandle handle, uint64_t offset,
+                                       uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  if (length == 0) {
+    return InvalidArgumentError("zero-length DAX mapping");
+  }
+  const uint64_t first_page = offset / kPageSize;
+  const uint64_t last_page = (offset + length - 1) / kPageSize;
+  auto it = node->pages.find(first_page);
+  if (it == node->pages.end()) {
+    return NotFoundError("DAX range not allocated (fallocate first)");
+  }
+  const uint64_t pm_first = it->second;
+  for (uint64_t page = first_page + 1; page <= last_page; ++page) {
+    auto next = node->pages.find(page);
+    if (next == node->pages.end() ||
+        next->second != pm_first + (page - first_page)) {
+      return NotSupportedError("DAX range not physically contiguous");
+    }
+  }
+  vfs::DaxMapping mapping;
+  mapping.data = pm_->DaxBase() + pm_first * kPageSize + offset % kPageSize;
+  mapping.length = length;
+  return mapping;
+}
+
+uint64_t NovaFs::FreeDataPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocator_.FreeUnits();
+}
+
+// ---- Mount / recovery ----------------------------------------------------
+
+Status NovaFs::Mount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inodes_.clear();
+  open_files_.clear();
+  free_inos_.clear();
+  data_pages_used_ = 0;
+  allocator_ = ExtentAllocator(pool_first_page_,
+                               total_pages_ - pool_first_page_);
+
+  std::vector<uint8_t> super(kPageSize);
+  MUX_RETURN_IF_ERROR(pm_->Load(0, kPageSize, super.data()));
+  if (Get32(super.data() + SuperOffsets::kMagic) != nova::kSuperMagic) {
+    return CorruptionError("novafs superblock magic mismatch");
+  }
+  if (Get32(super.data() + SuperOffsets::kCrc) !=
+      Crc32c(super.data(), SuperOffsets::kCrc)) {
+    return CorruptionError("novafs superblock checksum mismatch");
+  }
+  if (Get64(super.data() + SuperOffsets::kTotalPages) != total_pages_ ||
+      Get64(super.data() + SuperOffsets::kInodePages) != inode_pages_) {
+    return CorruptionError("novafs geometry mismatch");
+  }
+
+  // Pass 1: rebuild every valid inode from its log.
+  std::vector<uint8_t> slot(kInodeSlotSize);
+  for (vfs::InodeNum ino = kRootIno; ino < max_inodes_; ++ino) {
+    MUX_RETURN_IF_ERROR(pm_->Load(SlotAddr(ino), kInodeSlotSize, slot.data()));
+    if (slot[InodeOffsets::kValid] != 1) {
+      continue;
+    }
+    MUX_RETURN_IF_ERROR(RecoverInodeLocked(ino, slot.data()));
+  }
+  if (!inodes_.contains(kRootIno)) {
+    return CorruptionError("novafs root inode missing");
+  }
+
+  // Pass 2: redo an interrupted rename, then reclaim orphans.
+  MUX_RETURN_IF_ERROR(ReplayRenameJournalLocked());
+  MUX_RETURN_IF_ERROR(OrphanScanLocked());
+  return Status::Ok();
+}
+
+Status NovaFs::RecoverInodeLocked(vfs::InodeNum ino, const uint8_t* slot) {
+  MemInode node;
+  node.ino = ino;
+  node.type = slot[InodeOffsets::kType] == 1 ? vfs::FileType::kDirectory
+                                             : vfs::FileType::kRegular;
+  node.mode = Get32(slot + InodeOffsets::kMode);
+  node.ctime = Get64(slot + InodeOffsets::kCtime);
+  node.atime = node.mtime = node.ctime;
+  node.log_head = Get64(slot + InodeOffsets::kLogHead);
+  node.tail_page = Get64(slot + InodeOffsets::kTailPage);
+  node.tail_off = Get32(slot + InodeOffsets::kTailOff);
+
+  // The log walk only rebuilds the DRAM index; allocator reservations happen
+  // afterwards from the *final* mapping. (Reserving inside the walk would
+  // race with pages that one inode's history freed and another inode's
+  // history reused — replay order across inodes is arbitrary.)
+  std::vector<uint8_t> page(kPageSize);
+  uint64_t cur_page = node.log_head;
+  while (cur_page != 0) {
+    node.log_pages.push_back(cur_page);
+    MUX_RETURN_IF_ERROR(pm_->Load(cur_page * kPageSize, kPageSize,
+                                  page.data()));
+    const uint64_t end_off =
+        cur_page == node.tail_page ? node.tail_off : kPageSize;
+    for (uint64_t off = kLogHeaderSize; off + kLogEntrySize <= end_off;
+         off += kLogEntrySize) {
+      const uint8_t* entry = page.data() + off;
+      const auto type = static_cast<EntryType>(entry[0]);
+      switch (type) {
+        case EntryType::kWrite: {
+          if (Get32(entry + WriteEntryOffsets::kCrc) != WriteEntryCrc(entry)) {
+            return CorruptionError("write entry checksum mismatch");
+          }
+          const uint64_t file_page = Get64(entry + WriteEntryOffsets::kFilePage);
+          const uint64_t pm_page = Get64(entry + WriteEntryOffsets::kPmPage);
+          const uint32_t count = Get32(entry + WriteEntryOffsets::kNumPages);
+          for (uint32_t i = 0; i < count; ++i) {
+            node.pages[file_page + i] = pm_page + i;
+          }
+          node.size = Get64(entry + WriteEntryOffsets::kSizeAfter);
+          node.mtime = Get64(entry + WriteEntryOffsets::kMtime);
+          break;
+        }
+        case EntryType::kAttr: {
+          if (Get32(entry + AttrEntryOffsets::kCrc) != AttrEntryCrc(entry)) {
+            return CorruptionError("attr entry checksum mismatch");
+          }
+          const uint8_t flags = entry[AttrEntryOffsets::kFlags];
+          if (flags & nova::kAttrHasSize) {
+            const uint64_t new_size = Get64(entry + AttrEntryOffsets::kSize);
+            if (new_size < node.size) {
+              const uint64_t first_dead =
+                  (new_size + kPageSize - 1) / kPageSize;
+              node.pages.erase(node.pages.lower_bound(first_dead),
+                               node.pages.end());
+            }
+            node.size = new_size;
+          }
+          if (flags & nova::kAttrHasMtime) {
+            node.mtime = Get64(entry + AttrEntryOffsets::kMtime);
+          }
+          if (flags & nova::kAttrHasAtime) {
+            node.atime = Get64(entry + AttrEntryOffsets::kAtime);
+          }
+          if (flags & nova::kAttrHasMode) {
+            node.mode = Get32(entry + AttrEntryOffsets::kMode);
+          }
+          break;
+        }
+        case EntryType::kHole: {
+          if (Get32(entry + WriteEntryOffsets::kCrc) != WriteEntryCrc(entry)) {
+            return CorruptionError("hole entry checksum mismatch");
+          }
+          const uint64_t file_page = Get64(entry + WriteEntryOffsets::kFilePage);
+          const uint32_t count = Get32(entry + WriteEntryOffsets::kNumPages);
+          node.pages.erase(node.pages.lower_bound(file_page),
+                           node.pages.lower_bound(file_page + count));
+          node.mtime = Get64(entry + WriteEntryOffsets::kMtime);
+          break;
+        }
+        case EntryType::kDentryAdd:
+        case EntryType::kDentryDel: {
+          if (Get32(entry + DentryEntryOffsets::kCrc) != DentryCrc(entry)) {
+            return CorruptionError("dentry checksum mismatch");
+          }
+          const uint8_t name_len = entry[DentryEntryOffsets::kNameLen];
+          std::string name(
+              reinterpret_cast<const char*>(entry + DentryEntryOffsets::kName),
+              name_len);
+          const vfs::InodeNum child = Get64(entry + DentryEntryOffsets::kIno);
+          if (type == EntryType::kDentryAdd) {
+            node.children[name] = child;
+          } else {
+            node.children.erase(name);
+          }
+          break;
+        }
+        case EntryType::kInvalid:
+          return CorruptionError("invalid log entry before tail");
+      }
+    }
+    if (cur_page == node.tail_page) {
+      break;
+    }
+    cur_page = Get64(page.data());  // header.next
+  }
+  // Claim the final footprint: log chain + surviving data pages.
+  for (uint64_t log_page : node.log_pages) {
+    MUX_RETURN_IF_ERROR(allocator_.Reserve(log_page, 1));
+  }
+  for (const auto& [file_page, pm_page] : node.pages) {
+    MUX_RETURN_IF_ERROR(allocator_.Reserve(pm_page, 1));
+    data_pages_used_++;
+  }
+  inodes_.emplace(ino, std::move(node));
+  return Status::Ok();
+}
+
+Status NovaFs::ReplayRenameJournalLocked() {
+  std::vector<uint8_t> record(kPageSize);
+  const uint64_t journal_addr = nova::kJournalPage * kPageSize;
+  MUX_RETURN_IF_ERROR(pm_->Load(journal_addr, kPageSize, record.data()));
+  if (record[RenameJournalOffsets::kValid] != 1) {
+    return Status::Ok();
+  }
+  const vfs::InodeNum src_dir = Get64(record.data() + RenameJournalOffsets::kSrcDir);
+  const vfs::InodeNum dst_dir = Get64(record.data() + RenameJournalOffsets::kDstDir);
+  const vfs::InodeNum ino = Get64(record.data() + RenameJournalOffsets::kIno);
+  std::string src_name(
+      reinterpret_cast<const char*>(record.data() +
+                                    RenameJournalOffsets::kSrcName),
+      record[RenameJournalOffsets::kSrcLen]);
+  std::string dst_name(
+      reinterpret_cast<const char*>(record.data() +
+                                    RenameJournalOffsets::kDstName),
+      record[RenameJournalOffsets::kDstLen]);
+
+  auto src_it = inodes_.find(src_dir);
+  auto dst_it = inodes_.find(dst_dir);
+  if (src_it != inodes_.end() && dst_it != inodes_.end() &&
+      inodes_.contains(ino)) {
+    MemInode& src = src_it->second;
+    MemInode& dst = dst_it->second;
+    // Redo idempotently: ensure the destination mapping exists and the
+    // source mapping is gone.
+    auto dst_existing = dst.children.find(dst_name);
+    if (dst_existing == dst.children.end() || dst_existing->second != ino) {
+      if (dst_existing != dst.children.end()) {
+        MUX_RETURN_IF_ERROR(AppendDentryLocked(dst, EntryType::kDentryDel,
+                                               dst_name,
+                                               dst_existing->second));
+        dst.children.erase(dst_name);
+      }
+      MUX_RETURN_IF_ERROR(
+          AppendDentryLocked(dst, EntryType::kDentryAdd, dst_name, ino));
+      dst.children[dst_name] = ino;
+    }
+    auto src_existing = src.children.find(src_name);
+    if (src_existing != src.children.end() && src_existing->second == ino) {
+      MUX_RETURN_IF_ERROR(
+          AppendDentryLocked(src, EntryType::kDentryDel, src_name, ino));
+      src.children.erase(src_name);
+    }
+  }
+  const uint8_t invalid = 0;
+  MUX_RETURN_IF_ERROR(pm_->Store(journal_addr, 1, &invalid));
+  return pm_->Persist(journal_addr, 1);
+}
+
+Status NovaFs::OrphanScanLocked() {
+  std::unordered_map<vfs::InodeNum, uint32_t> refs;
+  for (const auto& [ino, inode] : inodes_) {
+    if (inode.type == vfs::FileType::kDirectory) {
+      for (const auto& [name, child] : inode.children) {
+        refs[child]++;
+      }
+    }
+  }
+  std::vector<vfs::InodeNum> orphans;
+  for (const auto& [ino, inode] : inodes_) {
+    if (ino != kRootIno && refs[ino] == 0) {
+      orphans.push_back(ino);
+    }
+  }
+  for (vfs::InodeNum ino : orphans) {
+    MUX_LOG(kInfo) << "novafs: reclaiming orphan inode " << ino;
+    MUX_RETURN_IF_ERROR(FreeInodeLocked(inodes_.at(ino)));
+  }
+  // Rebuild the free-inode list.
+  for (vfs::InodeNum ino = kRootIno + 1; ino < max_inodes_; ++ino) {
+    if (!inodes_.contains(ino)) {
+      free_inos_.push_back(ino);
+    }
+  }
+  std::reverse(free_inos_.begin(), free_inos_.end());  // allocate low first
+  return Status::Ok();
+}
+
+}  // namespace mux::fs

@@ -1,0 +1,167 @@
+// novafs — a NOVA-like log-structured file system for persistent memory.
+//
+// Design points carried over from NOVA (FAST '16), the properties the paper
+// credits for Mux's PM win over Strata (§3.1):
+//  * Data goes straight to PM data pages via DAX-style stores followed by
+//    persist barriers (CLWB+fence) — no DRAM page cache, no double write.
+//  * Every inode has its own log; operations append an entry and then
+//    atomically advance the persistent log tail, which is the commit point.
+//  * Writes are copy-on-write: new data pages are populated and persisted
+//    before the log entry that makes them visible.
+//  * Recovery replays per-inode logs up to the recorded tails; allocator
+//    state is rebuilt in DRAM (never persisted). An orphan scan reclaims
+//    inodes that lost their last directory reference mid-crash.
+//  * Cross-directory renames go through a one-record journal page.
+//
+// fsync is a no-op for data (everything is durable at write return), which
+// is exactly the behaviour that makes PM file systems fast.
+#ifndef MUX_FS_NOVAFS_NOVAFS_H_
+#define MUX_FS_NOVAFS_NOVAFS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/device/pm_device.h"
+#include "src/fs/fscommon/extent_allocator.h"
+#include "src/fs/novafs/layout.h"
+#include "src/vfs/file_system.h"
+#include "src/vfs/path.h"
+
+namespace mux::fs {
+
+class NovaFs : public vfs::FileSystem {
+ public:
+  struct Options {
+    // Pages reserved for inode slots; 0 picks total_pages/256 (>= 1).
+    uint64_t inode_table_pages = 0;
+    // Modelled CPU cost of one VFS call into this FS (path/index work).
+    SimTime op_software_ns = 300;
+  };
+
+  NovaFs(device::PmDevice* pm, SimClock* clock, Options options);
+  NovaFs(device::PmDevice* pm, SimClock* clock);
+
+  // Initializes an empty file system (destroys existing content).
+  Status Format();
+  // Recovers state from PM after a restart or crash.
+  Status Mount();
+
+  std::string_view Name() const override { return "novafs"; }
+
+  Result<vfs::FileHandle> Open(const std::string& path, uint32_t flags,
+                               uint32_t mode = 0644) override;
+  Status Close(vfs::FileHandle handle) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<vfs::FileStat> Stat(const std::string& path) override;
+  Result<std::vector<vfs::DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<uint64_t> Read(vfs::FileHandle handle, uint64_t offset,
+                        uint64_t length, uint8_t* out) override;
+  Result<uint64_t> Write(vfs::FileHandle handle, uint64_t offset,
+                         const uint8_t* data, uint64_t length) override;
+  Status Truncate(vfs::FileHandle handle, uint64_t new_size) override;
+  Status Fsync(vfs::FileHandle handle, bool data_only) override;
+  Status Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
+                   bool keep_size) override;
+  Status PunchHole(vfs::FileHandle handle, uint64_t offset,
+                   uint64_t length) override;
+  Result<vfs::FileStat> FStat(vfs::FileHandle handle) override;
+  Status SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) override;
+
+  Result<vfs::FsStats> StatFs() override;
+  Status Sync() override;
+
+  bool SupportsDax() const override { return true; }
+  Result<vfs::DaxMapping> DaxMap(vfs::FileHandle handle, uint64_t offset,
+                                 uint64_t length) override;
+  void ChargeDax(uint64_t bytes, bool is_write) override {
+    if (is_write) {
+      pm_->ChargeDaxWrite(bytes);
+    } else {
+      pm_->ChargeDaxRead(bytes);
+    }
+  }
+
+  // Test/diagnostic accessors.
+  uint64_t FreeDataPages() const;
+
+ private:
+  struct MemInode {
+    vfs::InodeNum ino = vfs::kInvalidInode;
+    vfs::FileType type = vfs::FileType::kRegular;
+    uint32_t mode = 0644;
+    uint64_t size = 0;
+    SimTime atime = 0;
+    SimTime mtime = 0;
+    SimTime ctime = 0;
+    // Regular: file page index -> PM page number.
+    std::map<uint64_t, uint64_t> pages;
+    // Directory: name -> ino.
+    std::map<std::string, vfs::InodeNum> children;
+    // Log chain state.
+    uint64_t log_head = 0;
+    uint64_t tail_page = 0;
+    uint32_t tail_off = 0;
+    std::vector<uint64_t> log_pages;  // for reclamation
+  };
+
+  struct OpenFile {
+    vfs::InodeNum ino = vfs::kInvalidInode;
+    uint32_t flags = 0;
+  };
+
+  // --- PM primitives (mu_ held) ---------------------------------------
+  uint64_t SlotAddr(vfs::InodeNum ino) const;
+  Status PersistInodeSlotLocked(const MemInode& inode);
+  Status InvalidateInodeSlotLocked(vfs::InodeNum ino);
+  Status AppendEntryLocked(MemInode& inode, const uint8_t* entry);
+  Status AppendAttrEntryLocked(MemInode& inode, uint8_t flags);
+  Status AppendDentryLocked(MemInode& dir, nova::EntryType type,
+                            const std::string& name, vfs::InodeNum child);
+  Status AppendWriteEntryLocked(MemInode& inode, uint64_t file_page,
+                                uint64_t pm_page, uint32_t num_pages,
+                                uint64_t size_after);
+
+  // --- Namespace helpers (mu_ held) ------------------------------------
+  Result<MemInode*> ResolveLocked(const std::string& path);
+  Result<MemInode*> ResolveDirLocked(const std::string& path);
+  Result<MemInode*> HandleInodeLocked(vfs::FileHandle handle,
+                                      uint32_t needed_flags);
+  Result<MemInode*> CreateInodeLocked(vfs::FileType type, uint32_t mode);
+  Status FreeInodeLocked(MemInode& inode);
+  Status TruncateLocked(MemInode& inode, uint64_t new_size);
+
+  // --- Mount-time recovery (mu_ held) -----------------------------------
+  Status RecoverInodeLocked(vfs::InodeNum ino, const uint8_t* slot);
+  Status ReplayRenameJournalLocked();
+  Status OrphanScanLocked();
+
+  void ChargeOp() const { clock_->Advance(options_.op_software_ns); }
+
+  device::PmDevice* const pm_;
+  SimClock* const clock_;
+  const Options options_;
+  uint64_t total_pages_ = 0;
+  uint64_t inode_pages_ = 0;
+  uint64_t max_inodes_ = 0;
+  uint64_t pool_first_page_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<vfs::InodeNum, MemInode> inodes_;
+  std::unordered_map<vfs::FileHandle, OpenFile> open_files_;
+  ExtentAllocator allocator_;  // PM pool pages (log + data)
+  std::vector<vfs::InodeNum> free_inos_;
+  vfs::FileHandle next_handle_ = 1;
+  uint64_t data_pages_used_ = 0;
+};
+
+}  // namespace mux::fs
+
+#endif  // MUX_FS_NOVAFS_NOVAFS_H_

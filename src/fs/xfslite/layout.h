@@ -1,0 +1,81 @@
+// On-device layout of xfslite (XFS-like extent-based journaling FS).
+//
+// Block map (4 KiB blocks):
+//   block 0                      superblock
+//   blocks 1 .. 1+J              journal (JBD-style, fscommon/journal)
+//   blocks 1+J .. 1+J+I          inode table (16 slots of 256 B per block)
+//   remainder                    data, divided into allocation groups
+//
+// Inodes hold up to kInlineExtents extents inline; larger files spill into
+// a chain of overflow blocks of extents (the flat stand-in for XFS's extent
+// B+tree). Directory content lives in data blocks like
+// file content (64 B dentry records) and all metadata updates go through the
+// journal. Free space is tracked per allocation group with the dual-index
+// ExtentAllocator (XFS's bnobt/cntbt equivalent), rebuilt at mount by
+// scanning the inode table.
+#ifndef MUX_FS_XFSLITE_LAYOUT_H_
+#define MUX_FS_XFSLITE_LAYOUT_H_
+
+#include <cstdint>
+
+namespace mux::fs::xfs {
+
+inline constexpr uint64_t kBlockSize = 4096;
+inline constexpr uint32_t kSuperMagic = 0x58465331;  // "XFS1"
+
+inline constexpr uint64_t kSuperBlock = 0;
+inline constexpr uint64_t kJournalFirstBlock = 1;
+
+inline constexpr uint64_t kInodeSlotSize = 256;
+inline constexpr uint64_t kInodesPerBlock = kBlockSize / kInodeSlotSize;
+
+// Extent record: file_block(8) disk_block(8) len(4) = 20 bytes.
+inline constexpr uint64_t kExtentRecordSize = 20;
+inline constexpr uint32_t kInlineExtents = 8;
+// Overflow chain block: next(8) count(8) extents...
+inline constexpr uint64_t kOverflowHeader = 16;
+inline constexpr uint32_t kOverflowPerBlock =
+    static_cast<uint32_t>((kBlockSize - kOverflowHeader) / kExtentRecordSize);
+// Sanity bound on the chain length (caps per-file extents at ~26k).
+inline constexpr uint32_t kMaxOverflowBlocks = 128;
+inline constexpr uint32_t kMaxExtents =
+    kInlineExtents + kOverflowPerBlock * kMaxOverflowBlocks;
+
+struct SuperOffsets {
+  static constexpr uint64_t kMagic = 0;          // u32
+  static constexpr uint64_t kTotalBlocks = 8;    // u64
+  static constexpr uint64_t kJournalBlocks = 16; // u64
+  static constexpr uint64_t kInodeBlocks = 24;   // u64
+  static constexpr uint64_t kAgCount = 32;       // u32
+  static constexpr uint64_t kCrc = 36;           // u32
+};
+
+// Inode slot layout (offsets inside the 256 B slot).
+struct InodeOffsets {
+  static constexpr uint64_t kValid = 0;         // u8
+  static constexpr uint64_t kType = 1;          // u8 (0 file, 1 dir)
+  static constexpr uint64_t kExtentCount = 2;   // u16 (capped by kMaxExtents)
+  static constexpr uint64_t kMode = 4;          // u32
+  static constexpr uint64_t kSize = 8;          // u64
+  static constexpr uint64_t kAtime = 16;        // u64
+  static constexpr uint64_t kMtime = 24;        // u64
+  static constexpr uint64_t kCtime = 32;        // u64
+  static constexpr uint64_t kOverflowBlock = 40;  // u64 (0 = none)
+  static constexpr uint64_t kAgHint = 48;       // u32
+  static constexpr uint64_t kExtents = 56;      // inline extent records
+};
+
+// Directory entry record inside directory data blocks (64 B).
+struct DentryOffsets {
+  static constexpr uint64_t kIno = 0;       // u64 (0 = empty slot)
+  static constexpr uint64_t kNameLen = 8;   // u8
+  static constexpr uint64_t kName = 9;      // up to 55 bytes
+};
+inline constexpr uint64_t kDentrySize = 64;
+inline constexpr uint64_t kMaxNameLen = kDentrySize - DentryOffsets::kName;
+
+inline constexpr uint64_t kRootIno = 1;
+
+}  // namespace mux::fs::xfs
+
+#endif  // MUX_FS_XFSLITE_LAYOUT_H_

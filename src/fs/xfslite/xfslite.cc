@@ -1,0 +1,1204 @@
+#include "src/fs/xfslite/xfslite.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/checksum.h"
+#include "src/common/encoding.h"
+#include "src/common/logging.h"
+#include "src/vfs/path.h"
+
+namespace mux::fs {
+
+using xfs::DentryOffsets;
+using xfs::InodeOffsets;
+using xfs::SuperOffsets;
+using xfs::kBlockSize;
+using xfs::kDentrySize;
+using xfs::kExtentRecordSize;
+using xfs::kInlineExtents;
+using xfs::kInodeSlotSize;
+using xfs::kInodesPerBlock;
+using xfs::kMaxExtents;
+using xfs::kMaxOverflowBlocks;
+using xfs::kOverflowHeader;
+using xfs::kOverflowPerBlock;
+using xfs::kRootIno;
+
+// BackingStore bridge. All PageCache traffic originates while mu_ is held,
+// so these callbacks run under the file-system lock and may touch inode
+// state directly. StorePage is where delayed allocation happens.
+class XfsLite::CacheStore : public BackingStore {
+ public:
+  explicit CacheStore(XfsLite* fs) : fs_(fs) {}
+
+  Status LoadPage(vfs::InodeNum ino, uint64_t page, uint8_t* out) override {
+    MemInode& inode = fs_->inodes_[ino];
+    const uint64_t disk = fs_->LookupBlockLocked(inode, page);
+    if (disk == 0) {
+      std::memset(out, 0, kBlockSize);  // hole
+      return Status::Ok();
+    }
+    return fs_->device_->ReadBlocks(disk, 1, out);
+  }
+
+  Status StorePage(vfs::InodeNum ino, uint64_t page,
+                   const uint8_t* data) override {
+    return StorePages(ino, page, 1, data);
+  }
+
+  // Clustered writeback: allocate any missing mappings (delayed allocation)
+  // and issue one device write per contiguous disk run.
+  Status StorePages(vfs::InodeNum ino, uint64_t first_page, uint64_t count,
+                    const uint8_t* data) override {
+    MemInode& inode = fs_->inodes_[ino];
+    for (uint64_t i = 0; i < count; ++i) {
+      if (fs_->LookupBlockLocked(inode, first_page + i) == 0) {
+        MUX_ASSIGN_OR_RETURN(uint64_t disk,
+                             fs_->AllocBlockLocked(inode, first_page + i));
+        MUX_RETURN_IF_ERROR(
+            fs_->InsertMappingLocked(inode, first_page + i, disk));
+        inode.meta_dirty = true;
+      }
+    }
+    uint64_t i = 0;
+    while (i < count) {
+      const uint64_t disk = fs_->LookupBlockLocked(inode, first_page + i);
+      uint64_t run = 1;
+      while (i + run < count &&
+             fs_->LookupBlockLocked(inode, first_page + i + run) ==
+                 disk + run) {
+        ++run;
+      }
+      MUX_RETURN_IF_ERROR(fs_->device_->WriteBlocks(
+          disk, static_cast<uint32_t>(run), data + i * kBlockSize));
+      i += run;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  XfsLite* const fs_;
+};
+
+XfsLite::XfsLite(device::BlockDevice* device, SimClock* clock)
+    : XfsLite(device, clock, Options()) {}
+
+XfsLite::XfsLite(device::BlockDevice* device, SimClock* clock, Options options)
+    : device_(device), clock_(clock), options_(options) {
+  total_blocks_ = device_->capacity_blocks();
+  inode_table_blocks_ = options_.inode_table_blocks != 0
+                            ? options_.inode_table_blocks
+                            : std::max<uint64_t>(1, total_blocks_ / 512);
+  inode_table_first_ = xfs::kJournalFirstBlock + options_.journal_blocks;
+  max_inodes_ = inode_table_blocks_ * kInodesPerBlock;
+  data_first_ = inode_table_first_ + inode_table_blocks_;
+  MUX_CHECK(data_first_ + options_.ag_count <= total_blocks_)
+      << "device too small for xfslite";
+  ag_size_ = (total_blocks_ - data_first_) / options_.ag_count;
+  journal_ = std::make_unique<Journal>(device_, xfs::kJournalFirstBlock,
+                                       options_.journal_blocks);
+  cache_store_ = std::make_unique<CacheStore>(this);
+  cache_ = std::make_unique<PageCache>(cache_store_.get(), clock_,
+                                       options_.page_cache_pages);
+}
+
+XfsLite::~XfsLite() {
+  if (mounted_) {
+    (void)Sync();
+  }
+}
+
+// ---- extent map helpers ---------------------------------------------------
+
+uint64_t XfsLite::LookupBlockLocked(const MemInode& inode,
+                                    uint64_t file_block) const {
+  // Last extent whose file_block <= target.
+  auto it = std::upper_bound(
+      inode.extents.begin(), inode.extents.end(), file_block,
+      [](uint64_t v, const Extent& e) { return v < e.file_block; });
+  if (it == inode.extents.begin()) {
+    return 0;
+  }
+  --it;
+  if (file_block < it->file_end()) {
+    return it->disk_block + (file_block - it->file_block);
+  }
+  return 0;
+}
+
+Status XfsLite::InsertMappingLocked(MemInode& inode, uint64_t file_block,
+                                    uint64_t disk_block) {
+  auto it = std::upper_bound(
+      inode.extents.begin(), inode.extents.end(), file_block,
+      [](uint64_t v, const Extent& e) { return v < e.file_block; });
+  // Try to extend the preceding extent.
+  if (it != inode.extents.begin()) {
+    auto prev = std::prev(it);
+    if (prev->file_end() == file_block &&
+        prev->disk_block + prev->length == disk_block) {
+      prev->length++;
+      // Possibly merge with the following extent.
+      if (it != inode.extents.end() && prev->file_end() == it->file_block &&
+          prev->disk_block + prev->length == it->disk_block) {
+        prev->length += it->length;
+        inode.extents.erase(it);
+      }
+      return Status::Ok();
+    }
+    if (file_block < prev->file_end()) {
+      return InternalError("mapping already present");
+    }
+  }
+  // Try to prepend to the following extent.
+  if (it != inode.extents.end() && it->file_block == file_block + 1 &&
+      it->disk_block == disk_block + 1) {
+    it->file_block--;
+    it->disk_block--;
+    it->length++;
+    return Status::Ok();
+  }
+  if (inode.extents.size() >= kMaxExtents) {
+    return NoSpaceError("file exceeds extent limit (fragmentation)");
+  }
+  inode.extents.insert(it, Extent{file_block, disk_block, 1});
+  return Status::Ok();
+}
+
+void XfsLite::NoteFreedLocked(const MemInode& inode, uint64_t disk_block,
+                              uint64_t count) {
+  if (inode.type != vfs::FileType::kDirectory) {
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    pending_revokes_.insert(disk_block + i);
+  }
+  deferred_frees_.emplace_back(disk_block, count);
+}
+
+Status XfsLite::FreeExtentsFromLocked(MemInode& inode,
+                                      uint64_t first_dead_block) {
+  for (auto it = inode.extents.begin(); it != inode.extents.end();) {
+    if (it->file_end() <= first_dead_block) {
+      ++it;
+      continue;
+    }
+    const bool deferred = inode.type == vfs::FileType::kDirectory;
+    if (it->file_block >= first_dead_block) {
+      if (deferred) {
+        NoteFreedLocked(inode, it->disk_block, it->length);
+      } else {
+        MUX_RETURN_IF_ERROR(FreeDiskRunLocked(it->disk_block, it->length));
+      }
+      it = inode.extents.erase(it);
+    } else {
+      const uint64_t keep = first_dead_block - it->file_block;
+      if (deferred) {
+        NoteFreedLocked(inode, it->disk_block + keep, it->length - keep);
+      } else {
+        MUX_RETURN_IF_ERROR(
+            FreeDiskRunLocked(it->disk_block + keep, it->length - keep));
+      }
+      it->length = static_cast<uint32_t>(keep);
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+Status XfsLite::FreeExtentsInRangeLocked(MemInode& inode, uint64_t first,
+                                         uint64_t count) {
+  const uint64_t last = first + count;  // exclusive
+  std::vector<Extent> rebuilt;
+  rebuilt.reserve(inode.extents.size() + 1);
+  for (const Extent& e : inode.extents) {
+    const uint64_t lo = std::max(e.file_block, first);
+    const uint64_t hi = std::min(e.file_end(), last);
+    if (lo >= hi) {
+      rebuilt.push_back(e);
+      continue;
+    }
+    if (e.file_block < lo) {
+      rebuilt.push_back(Extent{e.file_block, e.disk_block,
+                               static_cast<uint32_t>(lo - e.file_block)});
+    }
+    if (inode.type == vfs::FileType::kDirectory) {
+      NoteFreedLocked(inode, e.disk_block + (lo - e.file_block), hi - lo);
+    } else {
+      MUX_RETURN_IF_ERROR(
+          FreeDiskRunLocked(e.disk_block + (lo - e.file_block), hi - lo));
+    }
+    if (hi < e.file_end()) {
+      rebuilt.push_back(Extent{hi, e.disk_block + (hi - e.file_block),
+                               static_cast<uint32_t>(e.file_end() - hi)});
+    }
+  }
+  if (rebuilt.size() > kMaxExtents) {
+    return NoSpaceError("hole punch exceeds extent limit");
+  }
+  inode.extents = std::move(rebuilt);
+  inode.meta_dirty = true;
+  return Status::Ok();
+}
+
+// ---- allocation ------------------------------------------------------------
+
+uint32_t XfsLite::AgOf(uint64_t disk_block) const {
+  const uint64_t idx = (disk_block - data_first_) / ag_size_;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(idx, options_.ag_count - 1));
+}
+
+Result<uint64_t> XfsLite::AllocBlockLocked(MemInode& inode,
+                                           uint64_t file_block) {
+  // Locality: try right after the disk block of the previous file block.
+  if (file_block > 0) {
+    const uint64_t prev = LookupBlockLocked(inode, file_block - 1);
+    if (prev != 0) {
+      auto near = ags_[AgOf(prev)].AllocNear(prev + 1, 1);
+      if (near.ok()) {
+        return *near;
+      }
+    }
+  }
+  // Otherwise the inode's AG, then round-robin over the rest.
+  for (uint32_t i = 0; i < options_.ag_count; ++i) {
+    const uint32_t ag = (inode.ag_hint + i) % options_.ag_count;
+    auto r = ags_[ag].AllocContiguous(1);
+    if (r.ok()) {
+      return *r;
+    }
+  }
+  return NoSpaceError("all allocation groups full");
+}
+
+Status XfsLite::FreeDiskRunLocked(uint64_t disk_block, uint64_t count) {
+  // A run may span AG boundaries (rare); split it.
+  while (count > 0) {
+    const uint32_t ag = AgOf(disk_block);
+    const uint64_t ag_end = ag + 1 == options_.ag_count
+                                ? total_blocks_
+                                : data_first_ + (ag + 1) * ag_size_;
+    const uint64_t here = std::min(count, ag_end - disk_block);
+    MUX_RETURN_IF_ERROR(ags_[ag].Free(disk_block, here));
+    disk_block += here;
+    count -= here;
+  }
+  return Status::Ok();
+}
+
+// ---- inode persistence ------------------------------------------------------
+
+uint64_t XfsLite::InodeTableBlockOf(vfs::InodeNum ino) const {
+  return inode_table_first_ + ino / kInodesPerBlock;
+}
+
+void XfsLite::SerializeInodeBlockLocked(uint64_t table_block,
+                                        uint8_t* out) const {
+  std::memset(out, 0, kBlockSize);
+  const uint64_t first_ino = (table_block - inode_table_first_) *
+                             kInodesPerBlock;
+  for (uint64_t i = 0; i < kInodesPerBlock; ++i) {
+    const uint64_t ino = first_ino + i;
+    if (ino >= inodes_.size() || !inodes_[ino].valid) {
+      continue;
+    }
+    const MemInode& inode = inodes_[ino];
+    uint8_t* slot = out + i * kInodeSlotSize;
+    slot[InodeOffsets::kValid] = 1;
+    slot[InodeOffsets::kType] =
+        inode.type == vfs::FileType::kDirectory ? 1 : 0;
+    Put16(slot + InodeOffsets::kExtentCount,
+          static_cast<uint16_t>(inode.extents.size()));
+    Put32(slot + InodeOffsets::kMode, inode.mode);
+    Put64(slot + InodeOffsets::kSize, inode.size);
+    Put64(slot + InodeOffsets::kAtime, inode.atime);
+    Put64(slot + InodeOffsets::kMtime, inode.mtime);
+    Put64(slot + InodeOffsets::kCtime, inode.ctime);
+    Put64(slot + InodeOffsets::kOverflowBlock,
+          inode.overflow_chain.empty() ? 0 : inode.overflow_chain.front());
+    Put32(slot + InodeOffsets::kAgHint, inode.ag_hint);
+    const size_t inline_count =
+        std::min<size_t>(inode.extents.size(), kInlineExtents);
+    for (size_t e = 0; e < inline_count; ++e) {
+      uint8_t* rec = slot + InodeOffsets::kExtents + e * kExtentRecordSize;
+      Put64(rec, inode.extents[e].file_block);
+      Put64(rec + 8, inode.extents[e].disk_block);
+      Put32(rec + 16, inode.extents[e].length);
+    }
+  }
+}
+
+void XfsLite::SerializeOverflowLocked(const MemInode& inode,
+                                      size_t chain_index,
+                                      uint8_t* out) const {
+  std::memset(out, 0, kBlockSize);
+  const size_t spill =
+      inode.extents.size() > kInlineExtents
+          ? inode.extents.size() - kInlineExtents
+          : 0;
+  const size_t first = chain_index * kOverflowPerBlock;
+  const size_t here = std::min<size_t>(kOverflowPerBlock,
+                                       spill > first ? spill - first : 0);
+  Put64(out, chain_index + 1 < inode.overflow_chain.size()
+                 ? inode.overflow_chain[chain_index + 1]
+                 : 0);
+  Put64(out + 8, here);
+  for (size_t e = 0; e < here; ++e) {
+    uint8_t* rec = out + kOverflowHeader + e * kExtentRecordSize;
+    const Extent& ext = inode.extents[kInlineExtents + first + e];
+    Put64(rec, ext.file_block);
+    Put64(rec + 8, ext.disk_block);
+    Put32(rec + 16, ext.length);
+  }
+}
+
+Status XfsLite::LogInodeLocked(Journal::Tx* tx, MemInode& inode) {
+  // Size the overflow chain to the spill (grow and shrink as needed).
+  const size_t spill = inode.extents.size() > kInlineExtents
+                           ? inode.extents.size() - kInlineExtents
+                           : 0;
+  const size_t chain_needed = (spill + kOverflowPerBlock - 1) /
+                              kOverflowPerBlock;
+  if (chain_needed > kMaxOverflowBlocks) {
+    return NoSpaceError("file exceeds extent limit (fragmentation)");
+  }
+  while (inode.overflow_chain.size() < chain_needed) {
+    MUX_ASSIGN_OR_RETURN(uint64_t blk,
+                         ags_[inode.ag_hint % options_.ag_count]
+                             .AllocContiguous(1));
+    inode.overflow_chain.push_back(blk);
+  }
+  while (inode.overflow_chain.size() > chain_needed) {
+    tx->RevokeBlock(inode.overflow_chain.back());
+    deferred_frees_.emplace_back(inode.overflow_chain.back(), 1);
+    inode.overflow_chain.pop_back();
+  }
+  std::vector<uint8_t> block(kBlockSize);
+  SerializeInodeBlockLocked(InodeTableBlockOf(inode.ino), block.data());
+  tx->LogBlock(InodeTableBlockOf(inode.ino), block.data(), kBlockSize);
+  for (size_t i = 0; i < inode.overflow_chain.size(); ++i) {
+    SerializeOverflowLocked(inode, i, block.data());
+    tx->LogBlock(inode.overflow_chain[i], block.data(), kBlockSize);
+  }
+  return Status::Ok();
+}
+
+Status XfsLite::CommitInodesLocked(std::vector<vfs::InodeNum> inos) {
+  auto tx = journal_->Begin();
+  for (vfs::InodeNum ino : inos) {
+    MUX_RETURN_IF_ERROR(LogInodeLocked(tx.get(), inodes_[ino]));
+  }
+  for (uint64_t revoked : pending_revokes_) {
+    tx->RevokeBlock(revoked);
+  }
+  MUX_RETURN_IF_ERROR(journal_->Commit(std::move(tx)));
+  pending_revokes_.clear();
+  // Revokes are durable: the freed blocks may now be reused.
+  for (const auto& [block, count] : deferred_frees_) {
+    MUX_RETURN_IF_ERROR(FreeDiskRunLocked(block, count));
+  }
+  deferred_frees_.clear();
+  for (vfs::InodeNum ino : inos) {
+    inodes_[ino].meta_dirty = false;
+  }
+  return Status::Ok();
+}
+
+// ---- directories ------------------------------------------------------------
+
+Status XfsLite::WriteDirLocked(MemInode& dir) {
+  // Serialize all dentries, (re)allocate data blocks eagerly, and journal
+  // both the dir data blocks and the dir inode in one transaction.
+  const uint64_t bytes = dir.children.size() * kDentrySize;
+  const uint64_t blocks = (bytes + kBlockSize - 1) / kBlockSize;
+
+  // Grow the mapping if needed.
+  for (uint64_t b = 0; b < blocks; ++b) {
+    if (LookupBlockLocked(dir, b) == 0) {
+      MUX_ASSIGN_OR_RETURN(uint64_t disk, AllocBlockLocked(dir, b));
+      MUX_RETURN_IF_ERROR(InsertMappingLocked(dir, b, disk));
+    }
+  }
+  // Shrink if the directory lost blocks.
+  MUX_RETURN_IF_ERROR(FreeExtentsFromLocked(dir, blocks));
+
+  auto tx = journal_->Begin();
+  std::vector<uint8_t> block(kBlockSize, 0);
+  uint64_t b = 0;
+  size_t in_block = 0;
+  std::memset(block.data(), 0, kBlockSize);
+  for (const auto& [name, ino] : dir.children) {
+    uint8_t* rec = block.data() + in_block * kDentrySize;
+    Put64(rec + DentryOffsets::kIno, ino);
+    rec[DentryOffsets::kNameLen] = static_cast<uint8_t>(name.size());
+    std::memcpy(rec + DentryOffsets::kName, name.data(), name.size());
+    if (++in_block == kBlockSize / kDentrySize) {
+      tx->LogBlock(LookupBlockLocked(dir, b), block.data(), kBlockSize);
+      std::memset(block.data(), 0, kBlockSize);
+      in_block = 0;
+      ++b;
+    }
+  }
+  if (in_block > 0) {
+    tx->LogBlock(LookupBlockLocked(dir, b), block.data(), kBlockSize);
+  }
+  dir.size = bytes;
+  dir.mtime = clock_->Now();
+  MUX_RETURN_IF_ERROR(LogInodeLocked(tx.get(), dir));
+  for (uint64_t revoked : pending_revokes_) {
+    tx->RevokeBlock(revoked);
+  }
+  MUX_RETURN_IF_ERROR(journal_->Commit(std::move(tx)));
+  pending_revokes_.clear();
+  for (const auto& [block, count] : deferred_frees_) {
+    MUX_RETURN_IF_ERROR(FreeDiskRunLocked(block, count));
+  }
+  deferred_frees_.clear();
+  dir.meta_dirty = false;
+  return Status::Ok();
+}
+
+Status XfsLite::LoadDirLocked(MemInode& dir) {
+  dir.children.clear();
+  const uint64_t blocks = (dir.size + kBlockSize - 1) / kBlockSize;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const uint64_t disk = LookupBlockLocked(dir, b);
+    if (disk == 0) {
+      return CorruptionError("directory data block missing");
+    }
+    MUX_RETURN_IF_ERROR(device_->ReadBlocks(disk, 1, block.data()));
+    for (size_t i = 0; i < kBlockSize / kDentrySize; ++i) {
+      const uint8_t* rec = block.data() + i * kDentrySize;
+      const vfs::InodeNum ino = Get64(rec + DentryOffsets::kIno);
+      if (ino == 0) {
+        continue;
+      }
+      const uint8_t name_len = rec[DentryOffsets::kNameLen];
+      if (name_len == 0 || name_len > xfs::kMaxNameLen) {
+        return CorruptionError("bad dentry name length");
+      }
+      dir.children.emplace(
+          std::string(reinterpret_cast<const char*>(rec + DentryOffsets::kName),
+                      name_len),
+          ino);
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- format / mount ---------------------------------------------------------
+
+Status XfsLite::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inodes_.assign(max_inodes_, MemInode{});
+  open_files_.clear();
+  ags_.clear();
+  for (uint32_t ag = 0; ag < options_.ag_count; ++ag) {
+    const uint64_t start = data_first_ + static_cast<uint64_t>(ag) * ag_size_;
+    const uint64_t len =
+        ag + 1 == options_.ag_count ? total_blocks_ - start : ag_size_;
+    ags_.emplace_back(start, len);
+  }
+
+  std::vector<uint8_t> super(kBlockSize, 0);
+  Put32(super.data() + SuperOffsets::kMagic, xfs::kSuperMagic);
+  Put64(super.data() + SuperOffsets::kTotalBlocks, total_blocks_);
+  Put64(super.data() + SuperOffsets::kJournalBlocks, options_.journal_blocks);
+  Put64(super.data() + SuperOffsets::kInodeBlocks, inode_table_blocks_);
+  Put32(super.data() + SuperOffsets::kAgCount, options_.ag_count);
+  Put32(super.data() + SuperOffsets::kCrc,
+        Crc32c(super.data(), SuperOffsets::kCrc));
+  MUX_RETURN_IF_ERROR(device_->WriteBlocks(xfs::kSuperBlock, 1, super.data()));
+
+  MUX_RETURN_IF_ERROR(journal_->Format());
+
+  // Zero the inode table.
+  std::vector<uint8_t> zero(kBlockSize, 0);
+  for (uint64_t b = 0; b < inode_table_blocks_; ++b) {
+    MUX_RETURN_IF_ERROR(
+        device_->WriteBlocks(inode_table_first_ + b, 1, zero.data()));
+  }
+  MUX_RETURN_IF_ERROR(device_->Flush());
+
+  // Root directory.
+  MemInode& root = inodes_[kRootIno];
+  root.ino = kRootIno;
+  root.valid = true;
+  root.type = vfs::FileType::kDirectory;
+  root.mode = 0755;
+  root.ctime = root.mtime = root.atime = clock_->Now();
+  MUX_RETURN_IF_ERROR(CommitInodesLocked({kRootIno}));
+  mounted_ = true;
+  return Status::Ok();
+}
+
+Status XfsLite::Mount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_->Reset();  // a fresh mount must not serve pre-mount cache pages
+  std::vector<uint8_t> super(kBlockSize);
+  MUX_RETURN_IF_ERROR(device_->ReadBlocks(xfs::kSuperBlock, 1, super.data()));
+  if (Get32(super.data() + SuperOffsets::kMagic) != xfs::kSuperMagic) {
+    return CorruptionError("xfslite superblock magic mismatch");
+  }
+  if (Get32(super.data() + SuperOffsets::kCrc) !=
+      Crc32c(super.data(), SuperOffsets::kCrc)) {
+    return CorruptionError("xfslite superblock checksum mismatch");
+  }
+  if (Get64(super.data() + SuperOffsets::kTotalBlocks) != total_blocks_ ||
+      Get64(super.data() + SuperOffsets::kJournalBlocks) !=
+          options_.journal_blocks ||
+      Get64(super.data() + SuperOffsets::kInodeBlocks) !=
+          inode_table_blocks_ ||
+      Get32(super.data() + SuperOffsets::kAgCount) != options_.ag_count) {
+    return CorruptionError("xfslite geometry mismatch");
+  }
+
+  MUX_RETURN_IF_ERROR(journal_->Recover());
+
+  inodes_.assign(max_inodes_, MemInode{});
+  open_files_.clear();
+  ags_.clear();
+  for (uint32_t ag = 0; ag < options_.ag_count; ++ag) {
+    const uint64_t start = data_first_ + static_cast<uint64_t>(ag) * ag_size_;
+    const uint64_t len =
+        ag + 1 == options_.ag_count ? total_blocks_ - start : ag_size_;
+    ags_.emplace_back(start, len);
+  }
+
+  std::vector<uint8_t> block(kBlockSize);
+  std::vector<uint8_t> overflow(kBlockSize);
+  for (uint64_t b = 0; b < inode_table_blocks_; ++b) {
+    MUX_RETURN_IF_ERROR(
+        device_->ReadBlocks(inode_table_first_ + b, 1, block.data()));
+    for (uint64_t i = 0; i < kInodesPerBlock; ++i) {
+      const uint8_t* slot = block.data() + i * kInodeSlotSize;
+      if (slot[InodeOffsets::kValid] != 1) {
+        continue;
+      }
+      const vfs::InodeNum ino = b * kInodesPerBlock + i;
+      MemInode& inode = inodes_[ino];
+      inode.ino = ino;
+      inode.valid = true;
+      inode.type = slot[InodeOffsets::kType] == 1 ? vfs::FileType::kDirectory
+                                                  : vfs::FileType::kRegular;
+      inode.mode = Get32(slot + InodeOffsets::kMode);
+      inode.size = Get64(slot + InodeOffsets::kSize);
+      inode.atime = Get64(slot + InodeOffsets::kAtime);
+      inode.mtime = Get64(slot + InodeOffsets::kMtime);
+      inode.ctime = Get64(slot + InodeOffsets::kCtime);
+      const uint64_t first_overflow =
+          Get64(slot + InodeOffsets::kOverflowBlock);
+      inode.ag_hint = Get32(slot + InodeOffsets::kAgHint);
+      const uint16_t extent_count = Get16(slot + InodeOffsets::kExtentCount);
+      const size_t inline_count =
+          std::min<size_t>(extent_count, kInlineExtents);
+      for (size_t e = 0; e < inline_count; ++e) {
+        const uint8_t* rec =
+            slot + InodeOffsets::kExtents + e * kExtentRecordSize;
+        inode.extents.push_back(
+            Extent{Get64(rec), Get64(rec + 8), Get32(rec + 16)});
+      }
+      if (extent_count > kInlineExtents) {
+        if (first_overflow == 0) {
+          return CorruptionError("spilled inode without overflow chain");
+        }
+        uint64_t next = first_overflow;
+        uint64_t remaining = extent_count - kInlineExtents;
+        while (next != 0) {
+          if (inode.overflow_chain.size() >= kMaxOverflowBlocks) {
+            return CorruptionError("overflow chain too long");
+          }
+          inode.overflow_chain.push_back(next);
+          MUX_RETURN_IF_ERROR(device_->ReadBlocks(next, 1, overflow.data()));
+          next = Get64(overflow.data());
+          const uint64_t here = Get64(overflow.data() + 8);
+          if (here > kOverflowPerBlock || here > remaining) {
+            return CorruptionError("overflow extent count mismatch");
+          }
+          for (uint64_t e = 0; e < here; ++e) {
+            const uint8_t* rec =
+                overflow.data() + kOverflowHeader + e * kExtentRecordSize;
+            inode.extents.push_back(
+                Extent{Get64(rec), Get64(rec + 8), Get32(rec + 16)});
+          }
+          remaining -= here;
+        }
+        if (remaining != 0) {
+          return CorruptionError("overflow chain truncated");
+        }
+      }
+      // Claim disk space.
+      for (const Extent& ext : inode.extents) {
+        uint64_t disk = ext.disk_block;
+        uint64_t count = ext.length;
+        while (count > 0) {
+          const uint32_t ag = AgOf(disk);
+          const uint64_t ag_end = ag + 1 == options_.ag_count
+                                      ? total_blocks_
+                                      : data_first_ + (ag + 1) * ag_size_;
+          const uint64_t here = std::min(count, ag_end - disk);
+          MUX_RETURN_IF_ERROR(ags_[ag].Reserve(disk, here));
+          disk += here;
+          count -= here;
+        }
+      }
+      for (uint64_t chain_block : inode.overflow_chain) {
+        MUX_RETURN_IF_ERROR(ags_[AgOf(chain_block)].Reserve(chain_block, 1));
+      }
+    }
+  }
+  if (!inodes_[kRootIno].valid) {
+    return CorruptionError("xfslite root inode missing");
+  }
+  for (MemInode& inode : inodes_) {
+    if (inode.valid && inode.type == vfs::FileType::kDirectory) {
+      MUX_RETURN_IF_ERROR(LoadDirLocked(inode));
+    }
+  }
+  mounted_ = true;
+  return Status::Ok();
+}
+
+// ---- namespace helpers -------------------------------------------------------
+
+Result<XfsLite::MemInode*> XfsLite::ResolveLocked(const std::string& path) {
+  if (!vfs::IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  MemInode* cur = &inodes_[kRootIno];
+  for (const auto& part : vfs::SplitPath(path)) {
+    if (cur->type != vfs::FileType::kDirectory) {
+      return NotDirError(path);
+    }
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) {
+      return NotFoundError(path);
+    }
+    if (it->second >= inodes_.size() || !inodes_[it->second].valid) {
+      return CorruptionError("dentry points to invalid inode");
+    }
+    cur = &inodes_[it->second];
+  }
+  return cur;
+}
+
+Result<XfsLite::MemInode*> XfsLite::ResolveDirLocked(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  return node;
+}
+
+Result<XfsLite::MemInode*> XfsLite::HandleInodeLocked(vfs::FileHandle handle,
+                                                      uint32_t needed_flags) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return BadHandleError("unknown handle");
+  }
+  if ((it->second.flags & needed_flags) != needed_flags) {
+    return PermissionError("handle lacks required access mode");
+  }
+  MemInode& inode = inodes_[it->second.ino];
+  if (!inode.valid) {
+    return BadHandleError("file was removed");
+  }
+  return &inode;
+}
+
+Result<XfsLite::MemInode*> XfsLite::AllocInodeLocked(vfs::FileType type,
+                                                     uint32_t mode) {
+  for (vfs::InodeNum ino = kRootIno; ino < max_inodes_; ++ino) {
+    if (!inodes_[ino].valid) {
+      MemInode& inode = inodes_[ino];
+      inode = MemInode{};
+      inode.ino = ino;
+      inode.valid = true;
+      inode.type = type;
+      inode.mode = mode;
+      inode.ag_hint = next_ag_++ % options_.ag_count;
+      inode.ctime = inode.mtime = inode.atime = clock_->Now();
+      inode.meta_dirty = true;
+      return &inode;
+    }
+  }
+  return NoSpaceError("inode table full");
+}
+
+Status XfsLite::RemoveInodeLocked(MemInode& inode) {
+  cache_->InvalidateInode(inode.ino);
+  MUX_RETURN_IF_ERROR(FreeExtentsFromLocked(inode, 0));
+  for (uint64_t chain_block : inode.overflow_chain) {
+    pending_revokes_.insert(chain_block);  // chain blocks are journaled
+    deferred_frees_.emplace_back(chain_block, 1);
+  }
+  inode = MemInode{};
+  return Status::Ok();
+}
+
+// ---- public API ---------------------------------------------------------------
+
+Result<vfs::FileHandle> XfsLite::Open(const std::string& path, uint32_t flags,
+                                      uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto resolved = ResolveLocked(path);
+  MemInode* node = nullptr;
+  if (resolved.ok()) {
+    if ((flags & vfs::OpenFlags::kExclusive) &&
+        (flags & vfs::OpenFlags::kCreate)) {
+      return ExistsError(path);
+    }
+    node = *resolved;
+    if (node->type == vfs::FileType::kDirectory) {
+      return IsDirError(path);
+    }
+    if (flags & vfs::OpenFlags::kTruncate) {
+      MUX_RETURN_IF_ERROR(TruncateLocked(*node, 0));
+    }
+  } else if (resolved.status().code() == ErrorCode::kNotFound &&
+             (flags & vfs::OpenFlags::kCreate)) {
+    const std::string name = vfs::Basename(path);
+    if (name.size() > xfs::kMaxNameLen) {
+      return InvalidArgumentError("name too long: " + name);
+    }
+    MUX_ASSIGN_OR_RETURN(MemInode * parent,
+                         ResolveDirLocked(vfs::Dirname(path)));
+    MUX_ASSIGN_OR_RETURN(node, AllocInodeLocked(vfs::FileType::kRegular, mode));
+    parent->children.emplace(name, node->ino);
+    // One journaled transaction covers the new inode and the parent update.
+    MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+    MUX_RETURN_IF_ERROR(CommitInodesLocked({node->ino}));
+  } else {
+    return resolved.status();
+  }
+  const vfs::FileHandle handle = next_handle_++;
+  open_files_.emplace(handle, OpenFile{node->ino, flags, UINT64_MAX});
+  return handle;
+}
+
+Status XfsLite::Close(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(handle) == 0) {
+    return BadHandleError("close of unknown handle");
+  }
+  return Status::Ok();
+}
+
+Status XfsLite::Mkdir(const std::string& path, uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!vfs::IsValidPath(path) || vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("invalid mkdir path: " + path);
+  }
+  if (ResolveLocked(path).ok()) {
+    return ExistsError(path);
+  }
+  const std::string name = vfs::Basename(path);
+  if (name.size() > xfs::kMaxNameLen) {
+    return InvalidArgumentError("name too long: " + name);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       AllocInodeLocked(vfs::FileType::kDirectory, mode));
+  parent->children.emplace(name, node->ino);
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+  return CommitInodesLocked({node->ino});
+}
+
+Status XfsLite::Rmdir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("cannot remove root");
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  if (!node->children.empty()) {
+    return NotEmptyError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  const vfs::InodeNum dead_ino = node->ino;
+  parent->children.erase(vfs::Basename(path));
+  MUX_RETURN_IF_ERROR(RemoveInodeLocked(*node));
+  // Journal the freed inode slot together with the parent update.
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+  return CommitInodesLocked({dead_ino});
+}
+
+Status XfsLite::Unlink(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  if (node->type == vfs::FileType::kDirectory) {
+    return IsDirError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  const vfs::InodeNum dead_ino = node->ino;
+  parent->children.erase(vfs::Basename(path));
+  MUX_RETURN_IF_ERROR(RemoveInodeLocked(*node));
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*parent));
+  return CommitInodesLocked({dead_ino});
+}
+
+Status XfsLite::Rename(const std::string& from, const std::string& to) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(from));
+  if (!vfs::IsValidPath(to)) {
+    return InvalidArgumentError("invalid rename target: " + to);
+  }
+  if (vfs::PathHasPrefix(to, from) &&
+      vfs::NormalizePath(to) != vfs::NormalizePath(from)) {
+    return InvalidArgumentError("cannot rename a directory into itself");
+  }
+  const std::string dst_name = vfs::Basename(to);
+  if (dst_name.size() > xfs::kMaxNameLen) {
+    return InvalidArgumentError("name too long: " + dst_name);
+  }
+  MUX_ASSIGN_OR_RETURN(MemInode * src_dir, ResolveDirLocked(vfs::Dirname(from)));
+  MUX_ASSIGN_OR_RETURN(MemInode * dst_dir, ResolveDirLocked(vfs::Dirname(to)));
+
+  std::vector<vfs::InodeNum> extra_inodes;
+  auto existing = dst_dir->children.find(dst_name);
+  if (existing != dst_dir->children.end()) {
+    MemInode& target = inodes_[existing->second];
+    if (target.type == vfs::FileType::kDirectory && !target.children.empty()) {
+      return NotEmptyError(to);
+    }
+    extra_inodes.push_back(target.ino);
+    dst_dir->children.erase(existing);
+    MUX_RETURN_IF_ERROR(RemoveInodeLocked(target));
+  }
+  dst_dir->children[dst_name] = node->ino;
+  src_dir->children.erase(vfs::Basename(from));
+  // Both directory updates must land; WriteDirLocked commits one tx per dir
+  // (two txs: a crash between them can leave the file visible in both — the
+  // same window ext4 has without the rename-dance; acceptable here).
+  MUX_RETURN_IF_ERROR(WriteDirLocked(*dst_dir));
+  if (src_dir != dst_dir) {
+    MUX_RETURN_IF_ERROR(WriteDirLocked(*src_dir));
+  }
+  if (!extra_inodes.empty()) {
+    MUX_RETURN_IF_ERROR(CommitInodesLocked(std::move(extra_inodes)));
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FileStat> XfsLite::Stat(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, ResolveLocked(path));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  uint64_t blocks = 0;
+  for (const Extent& e : node->extents) {
+    blocks += e.length;
+  }
+  st.allocated_bytes = blocks * kBlockSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Result<std::vector<vfs::DirEntry>> XfsLite::ReadDir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * dir, ResolveDirLocked(path));
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(dir->children.size());
+  for (const auto& [name, ino] : dir->children) {
+    entries.push_back(vfs::DirEntry{name, inodes_[ino].type, ino});
+  }
+  return entries;
+}
+
+Result<uint64_t> XfsLite::Read(vfs::FileHandle handle, uint64_t offset,
+                               uint64_t length, uint8_t* out) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kRead));
+  if (offset >= node->size) {
+    return uint64_t{0};
+  }
+  const uint64_t n = std::min(length, node->size - offset);
+
+  // Sequential readahead.
+  OpenFile& of = open_files_.find(handle)->second;
+  const uint64_t first_page = offset / kBlockSize;
+  if (of.last_read_page != UINT64_MAX && first_page == of.last_read_page + 1 &&
+      options_.readahead_pages > 0) {
+    const uint64_t max_page = (node->size - 1) / kBlockSize;
+    const uint64_t ra_count = std::min<uint64_t>(
+        options_.readahead_pages,
+        max_page >= first_page ? max_page - first_page + 1 : 0);
+    if (ra_count > 0) {
+      MUX_RETURN_IF_ERROR(cache_->ReadAhead(node->ino, first_page, ra_count));
+    }
+  }
+
+  uint64_t done = 0;
+  while (done < n) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kBlockSize;
+    const uint64_t in_page = pos % kBlockSize;
+    const uint64_t chunk = std::min(n - done, kBlockSize - in_page);
+    MUX_RETURN_IF_ERROR(
+        cache_->ReadThrough(node->ino, page, in_page, chunk, out + done));
+    done += chunk;
+  }
+  of.last_read_page = (offset + n - 1) / kBlockSize;
+  node->atime = clock_->Now();
+  return n;
+}
+
+Result<uint64_t> XfsLite::Write(vfs::FileHandle handle, uint64_t offset,
+                                const uint8_t* data, uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return uint64_t{0};
+  }
+  // Space check: delayed allocation must not overcommit what the device can
+  // hold (a real FS reserves "delalloc" space at write time the same way).
+  uint64_t free_blocks = 0;
+  for (const auto& ag : ags_) {
+    free_blocks += ag.FreeUnits();
+  }
+  uint64_t new_pages = 0;
+  for (uint64_t page = offset / kBlockSize;
+       page <= (offset + length - 1) / kBlockSize; ++page) {
+    if (LookupBlockLocked(*node, page) == 0) {
+      ++new_pages;
+    }
+  }
+  if (new_pages > free_blocks) {
+    return NoSpaceError("xfslite device full");
+  }
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kBlockSize;
+    const uint64_t in_page = pos % kBlockSize;
+    const uint64_t chunk = std::min(length - done, kBlockSize - in_page);
+    MUX_RETURN_IF_ERROR(
+        cache_->WriteThrough(node->ino, page, in_page, chunk, data + done));
+    done += chunk;
+  }
+  node->size = std::max(node->size, offset + length);
+  node->mtime = clock_->Now();
+  node->meta_dirty = true;
+  return length;
+}
+
+Status XfsLite::TruncateLocked(MemInode& inode, uint64_t new_size) {
+  if (new_size < inode.size) {
+    const uint64_t first_dead = (new_size + kBlockSize - 1) / kBlockSize;
+    cache_->InvalidateFrom(inode.ino, first_dead);
+    // Zero the tail of the boundary page so re-extension reads zeros. The
+    // page may exist only in cache (delayed allocation), only on disk, or
+    // both — the cache write-through handles every case.
+    if (new_size % kBlockSize != 0 &&
+        (LookupBlockLocked(inode, new_size / kBlockSize) != 0 ||
+         cache_->Resident(inode.ino, new_size / kBlockSize))) {
+      std::vector<uint8_t> zeros(kBlockSize - new_size % kBlockSize, 0);
+      MUX_RETURN_IF_ERROR(cache_->WriteThrough(inode.ino,
+                                               new_size / kBlockSize,
+                                               new_size % kBlockSize,
+                                               zeros.size(), zeros.data()));
+    }
+    MUX_RETURN_IF_ERROR(FreeExtentsFromLocked(inode, first_dead));
+    inode.size = new_size;
+    inode.mtime = clock_->Now();
+    // Freeing must be journaled before the blocks can be reused (see
+    // DESIGN.md on delayed allocation vs. eager free).
+    return CommitInodesLocked({inode.ino});
+  }
+  inode.size = new_size;
+  inode.mtime = clock_->Now();
+  inode.meta_dirty = true;
+  return Status::Ok();
+}
+
+Status XfsLite::Truncate(vfs::FileHandle handle, uint64_t new_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  return TruncateLocked(*node, new_size);
+}
+
+Status XfsLite::FsyncInodeLocked(MemInode& inode, bool data_only) {
+  // Ordered mode: data reaches the device before the metadata commit.
+  MUX_RETURN_IF_ERROR(cache_->FlushInode(inode.ino));
+  MUX_RETURN_IF_ERROR(device_->Flush());
+  if (inode.meta_dirty && !data_only) {
+    MUX_RETURN_IF_ERROR(CommitInodesLocked({inode.ino}));
+  } else if (inode.meta_dirty) {
+    // fdatasync still must publish size/extent changes needed to read the
+    // data back; sizes are metadata, so commit those too.
+    MUX_RETURN_IF_ERROR(CommitInodesLocked({inode.ino}));
+  }
+  return Status::Ok();
+}
+
+Status XfsLite::Fsync(vfs::FileHandle handle, bool data_only) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  return FsyncInodeLocked(*node, data_only);
+}
+
+Status XfsLite::Fallocate(vfs::FileHandle handle, uint64_t offset,
+                          uint64_t length, bool keep_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return InvalidArgumentError("zero-length fallocate");
+  }
+  const uint64_t first = offset / kBlockSize;
+  const uint64_t last = (offset + length - 1) / kBlockSize;
+  std::vector<uint8_t> zeros(kBlockSize, 0);
+  for (uint64_t page = first; page <= last; ++page) {
+    if (LookupBlockLocked(*node, page) != 0) {
+      continue;
+    }
+    MUX_ASSIGN_OR_RETURN(uint64_t disk, AllocBlockLocked(*node, page));
+    // Zero on-disk content: preallocated blocks must read as zeros even if
+    // they held old data.
+    MUX_RETURN_IF_ERROR(device_->WriteBlocks(disk, 1, zeros.data()));
+    MUX_RETURN_IF_ERROR(InsertMappingLocked(*node, page, disk));
+  }
+  if (!keep_size) {
+    node->size = std::max(node->size, offset + length);
+  }
+  node->meta_dirty = true;
+  return CommitInodesLocked({node->ino});
+}
+
+Status XfsLite::PunchHole(vfs::FileHandle handle, uint64_t offset,
+                          uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (offset % kBlockSize != 0 || length % kBlockSize != 0 || length == 0) {
+    return InvalidArgumentError("hole punch must be block aligned");
+  }
+  const uint64_t first = offset / kBlockSize;
+  const uint64_t count = length / kBlockSize;
+  // Dirty cached pages in the hole must not resurface at writeback.
+  cache_->InvalidateRange(node->ino, first, count);
+  MUX_RETURN_IF_ERROR(FreeExtentsInRangeLocked(*node, first, count));
+  node->mtime = clock_->Now();
+  // Freed blocks must be journaled before reuse (same rule as truncate).
+  return CommitInodesLocked({node->ino});
+}
+
+Result<vfs::FileStat> XfsLite::FStat(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  uint64_t blocks = 0;
+  for (const Extent& e : node->extents) {
+    blocks += e.length;
+  }
+  st.allocated_bytes = blocks * kBlockSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Status XfsLite::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(MemInode * node, HandleInodeLocked(handle, 0));
+  if (update.atime) {
+    node->atime = *update.atime;
+  }
+  if (update.mtime) {
+    node->mtime = *update.mtime;
+  }
+  if (update.mode) {
+    node->mode = *update.mode;
+  }
+  if (!update.empty()) {
+    node->meta_dirty = true;
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FsStats> XfsLite::StatFs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  vfs::FsStats st;
+  st.capacity_bytes = (total_blocks_ - data_first_) * kBlockSize;
+  uint64_t free_blocks = 0;
+  for (const auto& ag : ags_) {
+    free_blocks += ag.FreeUnits();
+  }
+  st.free_bytes = free_blocks * kBlockSize;
+  st.total_inodes = max_inodes_;
+  uint64_t used_inodes = 0;
+  for (const MemInode& inode : inodes_) {
+    used_inodes += inode.valid ? 1 : 0;
+  }
+  st.free_inodes = max_inodes_ - used_inodes;
+  return st;
+}
+
+Status XfsLite::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_RETURN_IF_ERROR(cache_->FlushAll());
+  MUX_RETURN_IF_ERROR(device_->Flush());
+  std::vector<vfs::InodeNum> dirty;
+  for (const MemInode& inode : inodes_) {
+    if (inode.valid && inode.meta_dirty) {
+      dirty.push_back(inode.ino);
+    }
+  }
+  // Chunk commits to respect journal capacity.
+  const uint64_t chunk = journal_->MaxTxBlocks() / 2;
+  for (size_t i = 0; i < dirty.size(); i += chunk) {
+    std::vector<vfs::InodeNum> batch(
+        dirty.begin() + i,
+        dirty.begin() + std::min(dirty.size(), i + chunk));
+    MUX_RETURN_IF_ERROR(CommitInodesLocked(std::move(batch)));
+  }
+  if (!pending_revokes_.empty()) {
+    MUX_RETURN_IF_ERROR(CommitInodesLocked({}));
+  }
+  // Clean sync: push journaled metadata home so the on-device image is
+  // self-contained even without a replay.
+  return journal_->Checkpoint();
+}
+
+uint64_t XfsLite::ExtentCountOf(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto node = ResolveLocked(path);
+  if (!node.ok()) {
+    return 0;
+  }
+  return (*node)->extents.size();
+}
+
+}  // namespace mux::fs

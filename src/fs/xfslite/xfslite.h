@@ -1,0 +1,199 @@
+// xfslite — an XFS-like extent-based journaling file system for SSDs.
+//
+// Design points carried over from XFS (USENIX '96), the properties the paper
+// leans on when it picks XFS as the SSD tier:
+//  * Extent-based mapping: contiguous file ranges map to contiguous disk
+//    ranges, found by binary search.
+//  * Allocation groups: free space is split into AGs, each with a dual-index
+//    free-extent structure (by-start / by-size, the bnobt/cntbt analogue);
+//    files stick to an AG for locality until it fills.
+//  * Delayed allocation: buffered writes accumulate in the DRAM page cache;
+//    disk extents are only allocated at writeback, producing large
+//    contiguous extents for sequential writes.
+//  * Metadata journaling: inode and directory updates are committed through
+//    a JBD-style journal; data writeback happens before the metadata commit
+//    (ordered semantics), so fsync is crash-consistent.
+#ifndef MUX_FS_XFSLITE_XFSLITE_H_
+#define MUX_FS_XFSLITE_XFSLITE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/device/block_device.h"
+#include "src/fs/fscommon/extent_allocator.h"
+#include "src/fs/fscommon/journal.h"
+#include "src/fs/fscommon/page_cache.h"
+#include "src/fs/xfslite/layout.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::fs {
+
+class XfsLite : public vfs::FileSystem {
+ public:
+  struct Options {
+    uint64_t journal_blocks = 256;
+    uint64_t inode_table_blocks = 0;  // 0: total_blocks/512 (>= 1)
+    uint32_t ag_count = 4;
+    uint64_t page_cache_pages = 4096;  // 16 MiB default
+    SimTime op_software_ns = 350;
+    uint32_t readahead_pages = 8;
+  };
+
+  XfsLite(device::BlockDevice* device, SimClock* clock, Options options);
+  XfsLite(device::BlockDevice* device, SimClock* clock);
+  ~XfsLite() override;
+
+  Status Format();
+  Status Mount();
+
+  std::string_view Name() const override { return "xfslite"; }
+
+  Result<vfs::FileHandle> Open(const std::string& path, uint32_t flags,
+                               uint32_t mode = 0644) override;
+  Status Close(vfs::FileHandle handle) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<vfs::FileStat> Stat(const std::string& path) override;
+  Result<std::vector<vfs::DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<uint64_t> Read(vfs::FileHandle handle, uint64_t offset,
+                        uint64_t length, uint8_t* out) override;
+  Result<uint64_t> Write(vfs::FileHandle handle, uint64_t offset,
+                         const uint8_t* data, uint64_t length) override;
+  Status Truncate(vfs::FileHandle handle, uint64_t new_size) override;
+  Status Fsync(vfs::FileHandle handle, bool data_only) override;
+  Status Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
+                   bool keep_size) override;
+  Status PunchHole(vfs::FileHandle handle, uint64_t offset,
+                   uint64_t length) override;
+  Result<vfs::FileStat> FStat(vfs::FileHandle handle) override;
+  Status SetAttr(vfs::FileHandle handle,
+                 const vfs::AttrUpdate& update) override;
+
+  Result<vfs::FsStats> StatFs() override;
+  Status Sync() override;
+
+  // Diagnostics.
+  PageCacheStats CacheStats() const { return cache_->stats(); }
+  JournalStats GetJournalStats() const { return journal_->stats(); }
+  uint64_t ExtentCountOf(const std::string& path);
+
+ private:
+  struct Extent {
+    uint64_t file_block = 0;
+    uint64_t disk_block = 0;
+    uint32_t length = 0;  // blocks
+    uint64_t file_end() const { return file_block + length; }
+  };
+
+  struct MemInode {
+    vfs::InodeNum ino = vfs::kInvalidInode;
+    bool valid = false;
+    vfs::FileType type = vfs::FileType::kRegular;
+    uint32_t mode = 0644;
+    uint64_t size = 0;
+    SimTime atime = 0;
+    SimTime mtime = 0;
+    SimTime ctime = 0;
+    uint32_t ag_hint = 0;
+    std::vector<uint64_t> overflow_chain;  // allocated lazily on spill
+    std::vector<Extent> extents;  // sorted by file_block, non-overlapping
+    // Directories: DRAM view of dentry records (rebuilt at mount).
+    std::map<std::string, vfs::InodeNum> children;
+    bool meta_dirty = false;  // DRAM inode differs from on-disk copy
+  };
+
+  struct OpenFile {
+    vfs::InodeNum ino = vfs::kInvalidInode;
+    uint32_t flags = 0;
+    uint64_t last_read_page = UINT64_MAX;  // sequential-read detector
+  };
+
+  // BackingStore bridge for the page cache.
+  class CacheStore;
+
+  // --- extent map helpers (mu_ held) -----------------------------------
+  // Disk block for a file block, or 0 when in a hole.
+  uint64_t LookupBlockLocked(const MemInode& inode, uint64_t file_block) const;
+  // Inserts a single-block mapping, merging with neighbours.
+  Status InsertMappingLocked(MemInode& inode, uint64_t file_block,
+                             uint64_t disk_block);
+  // Both collect freed blocks into pending_revokes_ when the inode is a
+  // directory (directory data blocks are journaled and must be revoked on
+  // free; plain file data never enters the journal).
+  Status FreeExtentsFromLocked(MemInode& inode, uint64_t first_dead_block);
+  Status FreeExtentsInRangeLocked(MemInode& inode, uint64_t first,
+                                  uint64_t count);
+  void NoteFreedLocked(const MemInode& inode, uint64_t disk_block,
+                       uint64_t count);
+
+  // --- allocation (mu_ held) -------------------------------------------
+  Result<uint64_t> AllocBlockLocked(MemInode& inode, uint64_t file_block);
+  uint32_t AgOf(uint64_t disk_block) const;
+  Status FreeDiskRunLocked(uint64_t disk_block, uint64_t count);
+
+  // --- inode persistence (mu_ held) -------------------------------------
+  uint64_t InodeTableBlockOf(vfs::InodeNum ino) const;
+  void SerializeInodeBlockLocked(uint64_t table_block, uint8_t* out) const;
+  void SerializeOverflowLocked(const MemInode& inode, size_t chain_index,
+                               uint8_t* out) const;
+  // Journals the inode (and its overflow chain when present) in `tx`.
+  Status LogInodeLocked(Journal::Tx* tx, MemInode& inode);
+  Status CommitInodesLocked(std::vector<vfs::InodeNum> inos);
+
+  // --- directories (mu_ held) -------------------------------------------
+  Status WriteDirLocked(MemInode& dir);  // serializes children -> data blocks
+  Status LoadDirLocked(MemInode& dir);
+
+  // --- namespace (mu_ held) ---------------------------------------------
+  Result<MemInode*> ResolveLocked(const std::string& path);
+  Result<MemInode*> ResolveDirLocked(const std::string& path);
+  Result<MemInode*> HandleInodeLocked(vfs::FileHandle handle,
+                                      uint32_t needed_flags);
+  Result<MemInode*> AllocInodeLocked(vfs::FileType type, uint32_t mode);
+  Status RemoveInodeLocked(MemInode& inode);
+  Status TruncateLocked(MemInode& inode, uint64_t new_size);
+  Status FsyncInodeLocked(MemInode& inode, bool data_only);
+
+  void ChargeOp() const { clock_->Advance(options_.op_software_ns); }
+
+  device::BlockDevice* const device_;
+  SimClock* const clock_;
+  const Options options_;
+
+  uint64_t total_blocks_ = 0;
+  uint64_t inode_table_first_ = 0;
+  uint64_t inode_table_blocks_ = 0;
+  uint64_t max_inodes_ = 0;
+  uint64_t data_first_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<MemInode> inodes_;  // indexed by ino; slot 0 unused
+  std::unordered_map<vfs::FileHandle, OpenFile> open_files_;
+  std::vector<ExtentAllocator> ags_;
+  uint64_t ag_size_ = 0;
+  uint32_t next_ag_ = 0;  // round-robin inode placement
+  std::unique_ptr<Journal> journal_;
+  std::unique_ptr<CacheStore> cache_store_;
+  std::unique_ptr<PageCache> cache_;
+  // Freed journaled blocks awaiting a revoke record in the next commit.
+  // Their allocator space is released only after the revoke is durable
+  // (JBD2 defers freed-block reuse the same way), so a crash can never
+  // replay stale journal content over a reused block.
+  std::set<uint64_t> pending_revokes_;
+  std::vector<std::pair<uint64_t, uint64_t>> deferred_frees_;  // (block, n)
+  vfs::FileHandle next_handle_ = 1;
+  bool mounted_ = false;
+};
+
+}  // namespace mux::fs
+
+#endif  // MUX_FS_XFSLITE_XFSLITE_H_

@@ -1,0 +1,809 @@
+#include "src/strata/strata.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/vfs/path.h"
+
+namespace mux::strata {
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kPm:
+      return "PM";
+    case Tier::kSsd:
+      return "SSD";
+    case Tier::kHdd:
+      return "HDD";
+  }
+  return "?";
+}
+
+StrataFs::StrataFs(device::PmDevice* pm, device::BlockDevice* ssd,
+                   device::BlockDevice* hdd, SimClock* clock)
+    : StrataFs(pm, ssd, hdd, clock, Options()) {}
+
+StrataFs::StrataFs(device::PmDevice* pm, device::BlockDevice* ssd,
+                   device::BlockDevice* hdd, SimClock* clock, Options options)
+    : pm_(pm), ssd_(ssd), hdd_(hdd), clock_(clock), options_(options) {
+  pm_pages_ = pm_->capacity() / kPageSize;
+  log_pages_ = std::max<uint64_t>(
+      8, static_cast<uint64_t>(static_cast<double>(pm_pages_) *
+                               options_.log_fraction));
+}
+
+Status StrataFs::Format() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inodes_.clear();
+  open_files_.clear();
+  file_locks_.clear();
+  pm_alloc_ = fs::ExtentAllocator(0, pm_pages_);
+  ssd_alloc_ = fs::ExtentAllocator(0, ssd_->capacity_blocks());
+  hdd_alloc_ = fs::ExtentAllocator(0, hdd_->capacity_blocks());
+  log_pages_used_ = 0;
+  stats_ = StrataStats{};
+
+  Inode root;
+  root.ino = 1;
+  root.type = vfs::FileType::kDirectory;
+  root.mode = 0755;
+  root.ctime = root.mtime = root.atime = clock_->Now();
+  inodes_.emplace(root.ino, std::move(root));
+  return Status::Ok();
+}
+
+// ---- internals -------------------------------------------------------------
+
+Result<StrataFs::Inode*> StrataFs::ResolveLocked(const std::string& path) {
+  if (!vfs::IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  Inode* cur = &inodes_.at(1);
+  for (const auto& part : vfs::SplitPath(path)) {
+    if (cur->type != vfs::FileType::kDirectory) {
+      return NotDirError(path);
+    }
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) {
+      return NotFoundError(path);
+    }
+    cur = &inodes_.at(it->second);
+  }
+  return cur;
+}
+
+Result<StrataFs::Inode*> StrataFs::ResolveDirLocked(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(Inode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  return node;
+}
+
+Result<StrataFs::Inode*> StrataFs::HandleInodeLocked(vfs::FileHandle handle,
+                                                     uint32_t needed_flags) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return BadHandleError("unknown handle");
+  }
+  if ((it->second.flags & needed_flags) != needed_flags) {
+    return PermissionError("handle lacks required access mode");
+  }
+  auto node = inodes_.find(it->second.ino);
+  if (node == inodes_.end()) {
+    return BadHandleError("file was removed");
+  }
+  return &node->second;
+}
+
+Result<uint64_t> StrataFs::AllocOnTierLocked(Tier tier) {
+  switch (tier) {
+    case Tier::kPm:
+      return pm_alloc_.AllocContiguous(1);
+    case Tier::kSsd:
+      return ssd_alloc_.AllocContiguous(1);
+    case Tier::kHdd:
+      return hdd_alloc_.AllocContiguous(1);
+  }
+  return InternalError("bad tier");
+}
+
+Status StrataFs::FreeOnTierLocked(Tier tier, uint64_t block) {
+  switch (tier) {
+    case Tier::kPm:
+      return pm_alloc_.Free(block, 1);
+    case Tier::kSsd:
+      return ssd_alloc_.Free(block, 1);
+    case Tier::kHdd:
+      return hdd_alloc_.Free(block, 1);
+  }
+  return InternalError("bad tier");
+}
+
+Status StrataFs::DropBlockLocked(Inode& inode, uint64_t file_page) {
+  auto log_it = inode.in_log.find(file_page);
+  if (log_it != inode.in_log.end()) {
+    MUX_RETURN_IF_ERROR(pm_alloc_.Free(log_it->second, 1));
+    log_pages_used_--;
+    inode.in_log.erase(log_it);
+  }
+  auto tree_it = inode.tree.find(file_page);
+  if (tree_it != inode.tree.end()) {
+    MUX_RETURN_IF_ERROR(
+        FreeOnTierLocked(tree_it->second.tier, tree_it->second.block));
+    inode.tree.erase(tree_it);
+  }
+  return Status::Ok();
+}
+
+Status StrataFs::AppendLogBlockLocked(Inode& inode, uint64_t file_page,
+                                      const uint8_t* data) {
+  // The log budget bounds undigested data; hitting it forces a synchronous
+  // digest (Strata's digest stall).
+  if (log_pages_used_ >= log_pages_) {
+    MUX_RETURN_IF_ERROR(DigestAllLocked());
+  }
+  auto page = pm_alloc_.AllocContiguous(1);
+  if (!page.ok()) {
+    MUX_RETURN_IF_ERROR(DigestAllLocked());
+    MUX_ASSIGN_OR_RETURN(page, pm_alloc_.AllocContiguous(1));
+  }
+  // Record header (metadata describing the write) + payload, both persisted
+  // — the paper's write-amplification point: this happens even when the
+  // data's final home is PM itself.
+  clock_->Advance(options_.log_record_ns);
+  const uint64_t addr = *page * kPageSize;
+  MUX_RETURN_IF_ERROR(pm_->Store(addr, kLogRecordHeader, data));  // header
+  MUX_RETURN_IF_ERROR(pm_->Store(addr, kPageSize, data));         // payload
+  MUX_RETURN_IF_ERROR(pm_->Persist(addr, kPageSize));
+  log_pages_used_++;
+  stats_.log_appends++;
+  stats_.log_bytes += kPageSize + kLogRecordHeader;
+
+  // Newest version wins; retire any older log copy of the same page.
+  auto old = inode.in_log.find(file_page);
+  if (old != inode.in_log.end()) {
+    MUX_RETURN_IF_ERROR(pm_alloc_.Free(old->second, 1));
+    log_pages_used_--;
+    old->second = *page;
+  } else {
+    inode.in_log.emplace(file_page, *page);
+  }
+
+  // Digest watermark.
+  if (static_cast<double>(log_pages_used_) >
+      options_.digest_watermark * static_cast<double>(log_pages_)) {
+    MUX_RETURN_IF_ERROR(DigestAllLocked());
+  }
+  return Status::Ok();
+}
+
+Status StrataFs::DigestInodeLocked(Inode& inode) {
+  if (inode.in_log.empty()) {
+    return Status::Ok();
+  }
+  // The per-file lock is held for the whole digest of this inode — the
+  // extent tree is "partially locked" and readers of unrelated blocks wait.
+  std::mutex* file_lock = nullptr;
+  auto lock_it = file_locks_.find(inode.ino);
+  if (lock_it != file_locks_.end()) {
+    file_lock = lock_it->second.get();
+  }
+  if (file_lock != nullptr) {
+    file_lock->lock();
+    stats_.lock_acquisitions++;
+  }
+
+  // Digest in file order, coalescing contiguous target allocations into
+  // batched device writes up to Strata's digest granularity.
+  constexpr uint64_t kDigestBatchBlocks = 64;  // 256 KiB
+  std::vector<uint8_t> buf(kDigestBatchBlocks * kPageSize);
+  Status s = Status::Ok();
+  for (auto it = inode.in_log.begin(); s.ok() && it != inode.in_log.end();) {
+    const uint64_t file_page = it->first;
+    const uint64_t log_page = it->second;
+    clock_->Advance(options_.digest_block_ns);
+
+    // Retire the old committed block, if any.
+    auto tree_it = inode.tree.find(file_page);
+    if (tree_it != inode.tree.end()) {
+      s = FreeOnTierLocked(tree_it->second.tier, tree_it->second.block);
+      if (!s.ok()) {
+        break;
+      }
+      inode.tree.erase(tree_it);
+    }
+
+    if (inode.target == Tier::kPm) {
+      // Metadata-only digest: the log page is adopted as the file block
+      // (Strata's NVM fast path); the page just moves out of the log budget.
+      inode.tree[file_page] = BlockLoc{Tier::kPm, log_page};
+      log_pages_used_--;
+      it = inode.in_log.erase(it);
+      stats_.digested_blocks++;
+      continue;
+    }
+
+    // Gather a batch: consecutive file pages whose target allocations come
+    // out contiguous.
+    auto target_block = AllocOnTierLocked(inode.target);
+    if (!target_block.ok()) {
+      s = target_block.status();
+      break;
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> batch;  // (file_page, log_page)
+    batch.emplace_back(file_page, log_page);
+    auto probe = std::next(it);
+    while (batch.size() < kDigestBatchBlocks && probe != inode.in_log.end() &&
+           probe->first == batch.back().first + 1 &&
+           !inode.tree.contains(probe->first)) {
+      auto next_block = AllocOnTierLocked(inode.target);
+      if (!next_block.ok() ||
+          *next_block != *target_block + batch.size()) {
+        if (next_block.ok()) {
+          // Non-contiguous: return it and stop the batch.
+          s = FreeOnTierLocked(inode.target, *next_block);
+          if (!s.ok()) {
+            break;
+          }
+        }
+        break;
+      }
+      clock_->Advance(options_.digest_block_ns);
+      batch.emplace_back(probe->first, probe->second);
+      ++probe;
+    }
+    if (!s.ok()) {
+      break;
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      s = pm_->Load(batch[i].second * kPageSize, kPageSize,
+                    buf.data() + i * kPageSize);
+      if (!s.ok()) {
+        break;
+      }
+    }
+    if (!s.ok()) {
+      break;
+    }
+    s = inode.target == Tier::kSsd
+            ? ssd_->WriteBlocks(*target_block,
+                                static_cast<uint32_t>(batch.size()),
+                                buf.data())
+            : hdd_->WriteBlocks(*target_block,
+                                static_cast<uint32_t>(batch.size()),
+                                buf.data());
+    if (!s.ok()) {
+      break;
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      inode.tree[batch[i].first] =
+          BlockLoc{inode.target, *target_block + i};
+      s = pm_alloc_.Free(batch[i].second, 1);
+      if (!s.ok()) {
+        break;
+      }
+      log_pages_used_--;
+      stats_.digested_blocks++;
+    }
+    if (!s.ok()) {
+      break;
+    }
+    it = inode.in_log.erase(it, probe);
+  }
+  if (!s.ok()) {
+    if (file_lock != nullptr) {
+      file_lock->unlock();
+    }
+    return s;
+  }
+  if (file_lock != nullptr) {
+    file_lock->unlock();
+  }
+  stats_.digests++;
+  return Status::Ok();
+}
+
+Status StrataFs::DigestAllLocked() {
+  for (auto& [ino, inode] : inodes_) {
+    MUX_RETURN_IF_ERROR(DigestInodeLocked(inode));
+  }
+  return Status::Ok();
+}
+
+Status StrataFs::ReadBlockLocked(const Inode& inode, uint64_t file_page,
+                                 uint8_t* out) {
+  auto log_it = inode.in_log.find(file_page);
+  if (log_it != inode.in_log.end()) {
+    return pm_->Load(log_it->second * kPageSize, kPageSize, out);
+  }
+  auto tree_it = inode.tree.find(file_page);
+  if (tree_it == inode.tree.end()) {
+    std::memset(out, 0, kPageSize);
+    return Status::Ok();
+  }
+  switch (tree_it->second.tier) {
+    case Tier::kPm:
+      return pm_->Load(tree_it->second.block * kPageSize, kPageSize, out);
+    case Tier::kSsd:
+      return ssd_->ReadBlocks(tree_it->second.block, 1, out);
+    case Tier::kHdd:
+      return hdd_->ReadBlocks(tree_it->second.block, 1, out);
+  }
+  return InternalError("bad tier in extent tree");
+}
+
+Status StrataFs::FreeInodeLocked(Inode& inode) {
+  while (!inode.in_log.empty() || !inode.tree.empty()) {
+    const uint64_t page = !inode.in_log.empty() ? inode.in_log.begin()->first
+                                                : inode.tree.begin()->first;
+    MUX_RETURN_IF_ERROR(DropBlockLocked(inode, page));
+  }
+  file_locks_.erase(inode.ino);
+  inodes_.erase(inode.ino);
+  return Status::Ok();
+}
+
+// ---- tiering controls ----------------------------------------------------------
+
+Status StrataFs::SetFileTier(const std::string& path, Tier tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, ResolveLocked(path));
+  node->target = tier;
+  return Status::Ok();
+}
+
+bool StrataFs::SupportsMigration(Tier from, Tier to) {
+  // The static routing table (Fig. 3a): only these two paths are wired.
+  return from == Tier::kPm && (to == Tier::kSsd || to == Tier::kHdd);
+}
+
+Status StrataFs::MigrateFile(const std::string& path, Tier from, Tier to) {
+  if (!SupportsMigration(from, to)) {
+    return NotSupportedError(
+        std::string("strata has no migration path ") +
+        std::string(TierName(from)) + "->" + std::string(TierName(to)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, ResolveLocked(path));
+  // Everything must be digested before the tree can be rewritten.
+  MUX_RETURN_IF_ERROR(DigestInodeLocked(*node));
+
+  auto& lock_slot = file_locks_[node->ino];
+  if (lock_slot == nullptr) {
+    lock_slot = std::make_unique<std::mutex>();
+  }
+  std::vector<uint8_t> buf(kPageSize);
+  for (auto& [file_page, loc] : node->tree) {
+    if (loc.tier != from) {
+      continue;
+    }
+    // Lock-based migration: the file lock is taken per block, and the block
+    // is copied while it is held.
+    lock_slot->lock();
+    stats_.lock_acquisitions++;
+    clock_->Advance(options_.migrate_block_ns);
+    auto target_block = AllocOnTierLocked(to);
+    Status s = target_block.status();
+    if (s.ok()) {
+      s = pm_->Load(loc.block * kPageSize, kPageSize, buf.data());
+    }
+    if (s.ok()) {
+      s = to == Tier::kSsd ? ssd_->WriteBlocks(*target_block, 1, buf.data())
+                           : hdd_->WriteBlocks(*target_block, 1, buf.data());
+    }
+    if (s.ok()) {
+      // PM blocks adopted from the log live in the log allocator.
+      s = pm_alloc_.Free(loc.block, 1);
+    }
+    if (s.ok()) {
+      loc = BlockLoc{to, *target_block};
+      stats_.migrated_blocks++;
+    }
+    lock_slot->unlock();
+    MUX_RETURN_IF_ERROR(s);
+  }
+  return Status::Ok();
+}
+
+Status StrataFs::DigestAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DigestAllLocked();
+}
+
+StrataStats StrataFs::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t StrataFs::LogBytesUsed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_pages_used_ * kPageSize;
+}
+
+// ---- vfs::FileSystem -------------------------------------------------------------
+
+Result<vfs::FileHandle> StrataFs::Open(const std::string& path, uint32_t flags,
+                                       uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto resolved = ResolveLocked(path);
+  Inode* node = nullptr;
+  if (resolved.ok()) {
+    if ((flags & vfs::OpenFlags::kExclusive) &&
+        (flags & vfs::OpenFlags::kCreate)) {
+      return ExistsError(path);
+    }
+    node = *resolved;
+    if (node->type == vfs::FileType::kDirectory) {
+      return IsDirError(path);
+    }
+    if (flags & vfs::OpenFlags::kTruncate) {
+      while (!node->in_log.empty() || !node->tree.empty()) {
+        const uint64_t page = !node->in_log.empty()
+                                  ? node->in_log.begin()->first
+                                  : node->tree.begin()->first;
+        MUX_RETURN_IF_ERROR(DropBlockLocked(*node, page));
+      }
+      node->size = 0;
+      node->mtime = clock_->Now();
+    }
+  } else if (resolved.status().code() == ErrorCode::kNotFound &&
+             (flags & vfs::OpenFlags::kCreate)) {
+    MUX_ASSIGN_OR_RETURN(Inode * parent,
+                         ResolveDirLocked(vfs::Dirname(path)));
+    const vfs::InodeNum parent_ino = parent->ino;
+    Inode inode;
+    inode.ino = next_ino_++;
+    inode.type = vfs::FileType::kRegular;
+    inode.mode = mode;
+    inode.ctime = inode.mtime = inode.atime = clock_->Now();
+    const vfs::InodeNum ino = inode.ino;
+    inodes_.emplace(ino, std::move(inode));
+    file_locks_.emplace(ino, std::make_unique<std::mutex>());
+    Inode& parent_ref = inodes_.at(parent_ino);
+    parent_ref.children.emplace(vfs::Basename(path), ino);
+    parent_ref.mtime = clock_->Now();
+    node = &inodes_.at(ino);
+  } else {
+    return resolved.status();
+  }
+  const vfs::FileHandle handle = next_handle_++;
+  open_files_.emplace(handle, OpenFile{node->ino, flags});
+  return handle;
+}
+
+Status StrataFs::Close(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(handle) == 0) {
+    return BadHandleError("close of unknown handle");
+  }
+  return Status::Ok();
+}
+
+Status StrataFs::Mkdir(const std::string& path, uint32_t mode) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!vfs::IsValidPath(path) || vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("invalid mkdir path: " + path);
+  }
+  if (ResolveLocked(path).ok()) {
+    return ExistsError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  const vfs::InodeNum parent_ino = parent->ino;
+  Inode inode;
+  inode.ino = next_ino_++;
+  inode.type = vfs::FileType::kDirectory;
+  inode.mode = mode;
+  inode.ctime = inode.mtime = inode.atime = clock_->Now();
+  const vfs::InodeNum ino = inode.ino;
+  inodes_.emplace(ino, std::move(inode));
+  Inode& parent_ref = inodes_.at(parent_ino);
+  parent_ref.children.emplace(vfs::Basename(path), ino);
+  parent_ref.mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Status StrataFs::Rmdir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (vfs::NormalizePath(path) == "/") {
+    return InvalidArgumentError("cannot remove root");
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * node, ResolveLocked(path));
+  if (node->type != vfs::FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  if (!node->children.empty()) {
+    return NotEmptyError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  parent->children.erase(vfs::Basename(path));
+  parent->mtime = clock_->Now();
+  return FreeInodeLocked(*node);
+}
+
+Status StrataFs::Unlink(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, ResolveLocked(path));
+  if (node->type == vfs::FileType::kDirectory) {
+    return IsDirError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * parent, ResolveDirLocked(vfs::Dirname(path)));
+  parent->children.erase(vfs::Basename(path));
+  parent->mtime = clock_->Now();
+  return FreeInodeLocked(*node);
+}
+
+Status StrataFs::Rename(const std::string& from, const std::string& to) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, ResolveLocked(from));
+  if (!vfs::IsValidPath(to)) {
+    return InvalidArgumentError("invalid rename target: " + to);
+  }
+  if (vfs::PathHasPrefix(to, from) &&
+      vfs::NormalizePath(to) != vfs::NormalizePath(from)) {
+    return InvalidArgumentError("cannot rename a directory into itself");
+  }
+  auto existing = ResolveLocked(to);
+  if (existing.ok()) {
+    Inode* target = *existing;
+    if (target->type == vfs::FileType::kDirectory &&
+        !target->children.empty()) {
+      return NotEmptyError(to);
+    }
+    MUX_ASSIGN_OR_RETURN(Inode * to_parent, ResolveDirLocked(vfs::Dirname(to)));
+    to_parent->children.erase(vfs::Basename(to));
+    MUX_RETURN_IF_ERROR(FreeInodeLocked(*target));
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * from_parent,
+                       ResolveDirLocked(vfs::Dirname(from)));
+  from_parent->children.erase(vfs::Basename(from));
+  from_parent->mtime = clock_->Now();
+  MUX_ASSIGN_OR_RETURN(Inode * to_parent, ResolveDirLocked(vfs::Dirname(to)));
+  to_parent->children[vfs::Basename(to)] = node->ino;
+  to_parent->mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Result<vfs::FileStat> StrataFs::Stat(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, ResolveLocked(path));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  st.allocated_bytes = (node->tree.size() + node->in_log.size()) * kPageSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Result<std::vector<vfs::DirEntry>> StrataFs::ReadDir(const std::string& path) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * dir, ResolveDirLocked(path));
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(dir->children.size());
+  for (const auto& [name, ino] : dir->children) {
+    entries.push_back(vfs::DirEntry{name, inodes_.at(ino).type, ino});
+  }
+  return entries;
+}
+
+Result<uint64_t> StrataFs::Read(vfs::FileHandle handle, uint64_t offset,
+                                uint64_t length, uint8_t* out) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kRead));
+  if (offset >= node->size) {
+    return uint64_t{0};
+  }
+  const uint64_t n = std::min(length, node->size - offset);
+  std::vector<uint8_t> page_buf(kPageSize);
+  uint64_t done = 0;
+  while (done < n) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kPageSize;
+    const uint64_t in_page = pos % kPageSize;
+    const uint64_t chunk = std::min(n - done, kPageSize - in_page);
+    MUX_RETURN_IF_ERROR(ReadBlockLocked(*node, page, page_buf.data()));
+    std::memcpy(out + done, page_buf.data() + in_page, chunk);
+    done += chunk;
+  }
+  node->atime = clock_->Now();
+  return n;
+}
+
+Result<uint64_t> StrataFs::Write(vfs::FileHandle handle, uint64_t offset,
+                                 const uint8_t* data, uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return uint64_t{0};
+  }
+  std::vector<uint8_t> staging(kPageSize);
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kPageSize;
+    const uint64_t in_page = pos % kPageSize;
+    const uint64_t chunk = std::min(length - done, kPageSize - in_page);
+    if (chunk < kPageSize) {
+      // Partial page: read-modify-write through the log.
+      MUX_RETURN_IF_ERROR(ReadBlockLocked(*node, page, staging.data()));
+      std::memcpy(staging.data() + in_page, data + done, chunk);
+      MUX_RETURN_IF_ERROR(AppendLogBlockLocked(*node, page, staging.data()));
+    } else {
+      MUX_RETURN_IF_ERROR(AppendLogBlockLocked(*node, page, data + done));
+    }
+    done += chunk;
+  }
+  node->size = std::max(node->size, offset + length);
+  node->mtime = clock_->Now();
+  return length;
+}
+
+Status StrataFs::Truncate(vfs::FileHandle handle, uint64_t new_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (new_size < node->size) {
+    const uint64_t first_dead = (new_size + kPageSize - 1) / kPageSize;
+    std::vector<uint64_t> dead;
+    for (const auto& [page, loc] : node->tree) {
+      if (page >= first_dead) {
+        dead.push_back(page);
+      }
+    }
+    for (const auto& [page, log_page] : node->in_log) {
+      if (page >= first_dead) {
+        dead.push_back(page);
+      }
+    }
+    for (uint64_t page : dead) {
+      MUX_RETURN_IF_ERROR(DropBlockLocked(*node, page));
+    }
+    // Zero the retained tail through the write path.
+    if (new_size % kPageSize != 0 &&
+        (node->tree.contains(new_size / kPageSize) ||
+         node->in_log.contains(new_size / kPageSize))) {
+      std::vector<uint8_t> staging(kPageSize);
+      MUX_RETURN_IF_ERROR(
+          ReadBlockLocked(*node, new_size / kPageSize, staging.data()));
+      std::memset(staging.data() + new_size % kPageSize, 0,
+                  kPageSize - new_size % kPageSize);
+      MUX_RETURN_IF_ERROR(
+          AppendLogBlockLocked(*node, new_size / kPageSize, staging.data()));
+    }
+  }
+  node->size = new_size;
+  node->mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Status StrataFs::Fsync(vfs::FileHandle handle, bool data_only) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  // The log is persisted at write time; fsync has nothing to flush.
+  return HandleInodeLocked(handle, 0).status();
+}
+
+Status StrataFs::Fallocate(vfs::FileHandle handle, uint64_t offset,
+                           uint64_t length, bool keep_size) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (length == 0) {
+    return InvalidArgumentError("zero-length fallocate");
+  }
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + length - 1) / kPageSize;
+  for (uint64_t page = first; page <= last; ++page) {
+    if (node->tree.contains(page) || node->in_log.contains(page)) {
+      continue;
+    }
+    MUX_RETURN_IF_ERROR(AppendLogBlockLocked(*node, page, zeros.data()));
+  }
+  if (!keep_size) {
+    node->size = std::max(node->size, offset + length);
+  }
+  return Status::Ok();
+}
+
+Status StrataFs::PunchHole(vfs::FileHandle handle, uint64_t offset,
+                           uint64_t length) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, vfs::OpenFlags::kWrite));
+  if (offset % kPageSize != 0 || length % kPageSize != 0 || length == 0) {
+    return InvalidArgumentError("hole punch must be block aligned");
+  }
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = first + length / kPageSize;
+  std::vector<uint64_t> dead;
+  for (const auto& [page, loc] : node->tree) {
+    if (page >= first && page < last) {
+      dead.push_back(page);
+    }
+  }
+  for (const auto& [page, log_page] : node->in_log) {
+    if (page >= first && page < last) {
+      dead.push_back(page);
+    }
+  }
+  for (uint64_t page : dead) {
+    MUX_RETURN_IF_ERROR(DropBlockLocked(*node, page));
+  }
+  node->mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Result<vfs::FileStat> StrataFs::FStat(vfs::FileHandle handle) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, HandleInodeLocked(handle, 0));
+  vfs::FileStat st;
+  st.ino = node->ino;
+  st.type = node->type;
+  st.size = node->size;
+  st.allocated_bytes = (node->tree.size() + node->in_log.size()) * kPageSize;
+  st.atime = node->atime;
+  st.mtime = node->mtime;
+  st.ctime = node->ctime;
+  st.mode = node->mode;
+  return st;
+}
+
+Status StrataFs::SetAttr(vfs::FileHandle handle,
+                         const vfs::AttrUpdate& update) {
+  ChargeOp();
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, HandleInodeLocked(handle, 0));
+  if (update.atime) {
+    node->atime = *update.atime;
+  }
+  if (update.mtime) {
+    node->mtime = *update.mtime;
+  }
+  if (update.mode) {
+    node->mode = *update.mode;
+  }
+  return Status::Ok();
+}
+
+Result<vfs::FsStats> StrataFs::StatFs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  vfs::FsStats st;
+  st.capacity_bytes = pm_pages_ * kPageSize +
+                      ssd_->profile().capacity_bytes +
+                      hdd_->profile().capacity_bytes;
+  st.free_bytes = (pm_alloc_.FreeUnits() + ssd_alloc_.FreeUnits() +
+                   hdd_alloc_.FreeUnits()) *
+                  kPageSize;
+  st.total_inodes = 1u << 20;
+  st.free_inodes = st.total_inodes - inodes_.size();
+  return st;
+}
+
+Status StrataFs::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DigestAllLocked();
+}
+
+}  // namespace mux::strata

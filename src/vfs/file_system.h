@@ -1,0 +1,98 @@
+// The VFS interface.
+//
+// Every file system in this repository — the three device-specific file
+// systems (novafs, xfslite, extlite), the in-memory reference MemFs, the
+// Strata baseline, and Mux itself — implements this interface. That is the
+// paper's central structural idea: Mux sits *between* two instances of the
+// same interface, receiving VFS calls from above and issuing VFS calls to
+// the device-specific file systems below ("calls the same VFS function that
+// invokes it, but with different file handles, lengths, and offsets", §2.1).
+//
+// Conventions:
+//  * Paths are absolute within the file system ("/dir/file").
+//  * Files are sparse: writes at any offset succeed, holes read as zeros,
+//    and allocated_bytes tracks real disk consumption. Mux depends on this
+//    to preserve a block's file offset across tiers (§2.2).
+//  * Read returns the number of bytes read; reads beyond EOF return short
+//    counts (possibly 0).
+//  * No exceptions: everything fallible returns Status / Result<T>.
+//  * Implementations must be thread-safe.
+#ifndef MUX_VFS_FILE_SYSTEM_H_
+#define MUX_VFS_FILE_SYSTEM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/vfs/types.h"
+
+namespace mux::vfs {
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  // ---- Namespace operations ------------------------------------------
+  virtual Result<FileHandle> Open(const std::string& path, uint32_t flags,
+                                  uint32_t mode = 0644) = 0;
+  virtual Status Close(FileHandle handle) = 0;
+  virtual Status Mkdir(const std::string& path, uint32_t mode = 0755) = 0;
+  virtual Status Rmdir(const std::string& path) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Result<FileStat> Stat(const std::string& path) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(const std::string& path) = 0;
+
+  // ---- Handle operations ---------------------------------------------
+  virtual Result<uint64_t> Read(FileHandle handle, uint64_t offset,
+                                uint64_t length, uint8_t* out) = 0;
+  virtual Result<uint64_t> Write(FileHandle handle, uint64_t offset,
+                                 const uint8_t* data, uint64_t length) = 0;
+  virtual Status Truncate(FileHandle handle, uint64_t new_size) = 0;
+  virtual Status Fsync(FileHandle handle, bool data_only) = 0;
+  // Preallocates [offset, offset+length); with keep_size the logical size is
+  // unchanged (used by Mux to preallocate the SCM cache file, §2.5).
+  virtual Status Fallocate(FileHandle handle, uint64_t offset, uint64_t length,
+                           bool keep_size) = 0;
+  // Deallocates the blocks fully contained in [offset, offset+length); the
+  // range reads back as zeros and stops consuming space. Mux punches holes
+  // into the migration source after a block moves tiers — this is what makes
+  // demotion actually relieve pressure on the fast device. Offset and length
+  // must be block aligned.
+  virtual Status PunchHole(FileHandle handle, uint64_t offset,
+                           uint64_t length) {
+    return NotSupportedError("hole punching not supported");
+  }
+  virtual Result<FileStat> FStat(FileHandle handle) = 0;
+  virtual Status SetAttr(FileHandle handle, const AttrUpdate& update) = 0;
+
+  // ---- File-system-wide operations -----------------------------------
+  virtual Result<FsStats> StatFs() = 0;
+  // Flushes everything; called before unmount / tier removal.
+  virtual Status Sync() = 0;
+
+  // ---- Optional capabilities -----------------------------------------
+  // Granularity of stored timestamps in ns (feature imparity, paper §4:
+  // e.g. FAT records 2-second timestamps). 1 = full nanosecond fidelity.
+  virtual SimTime TimestampGranularityNs() const { return 1; }
+
+  // Direct access mapping for byte-addressable media; only PM-backed file
+  // systems support it.
+  virtual Result<DaxMapping> DaxMap(FileHandle handle, uint64_t offset,
+                                    uint64_t length) {
+    return NotSupportedError("DAX not supported by this file system");
+  }
+  virtual bool SupportsDax() const { return false; }
+  // Accounts simulated media time for direct loads/stores a caller performed
+  // through a DaxMap pointer (real PM stalls the CPU on media access; the
+  // simulation charges it explicitly).
+  virtual void ChargeDax(uint64_t bytes, bool is_write) {}
+};
+
+}  // namespace mux::vfs
+
+#endif  // MUX_VFS_FILE_SYSTEM_H_

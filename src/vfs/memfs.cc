@@ -1,0 +1,394 @@
+#include "src/vfs/memfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mux::vfs {
+
+MemFs::MemFs(SimClock* clock, uint64_t capacity_bytes)
+    : clock_(clock), capacity_bytes_(capacity_bytes) {
+  Inode root;
+  root.ino = 1;
+  root.type = FileType::kDirectory;
+  root.mode = 0755;
+  root.ctime = root.mtime = root.atime = clock_->Now();
+  inodes_.emplace(root.ino, std::move(root));
+}
+
+Result<MemFs::Inode*> MemFs::GetLocked(InodeNum ino) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) {
+    return InternalError("dangling inode reference");
+  }
+  return &it->second;
+}
+
+Result<InodeNum> MemFs::ResolveLocked(const std::string& path) {
+  if (!IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  InodeNum cur = 1;
+  for (const auto& part : SplitPath(path)) {
+    MUX_ASSIGN_OR_RETURN(Inode * node, GetLocked(cur));
+    if (node->type != FileType::kDirectory) {
+      return NotDirError(path);
+    }
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      return NotFoundError(path);
+    }
+    cur = it->second;
+  }
+  return cur;
+}
+
+Result<MemFs::Inode*> MemFs::ResolveDirLocked(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(InodeNum ino, ResolveLocked(path));
+  MUX_ASSIGN_OR_RETURN(Inode * node, GetLocked(ino));
+  if (node->type != FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  return node;
+}
+
+Result<MemFs::Inode*> MemFs::HandleInodeLocked(FileHandle handle,
+                                               uint32_t needed_flags) {
+  auto it = open_files_.find(handle);
+  if (it == open_files_.end()) {
+    return BadHandleError("unknown handle");
+  }
+  if ((it->second.flags & needed_flags) != needed_flags) {
+    return PermissionError("handle lacks required access mode");
+  }
+  return GetLocked(it->second.ino);
+}
+
+FileStat MemFs::StatForLocked(const Inode& inode) const {
+  FileStat st;
+  st.ino = inode.ino;
+  st.type = inode.type;
+  st.size = inode.size;
+  st.allocated_bytes = inode.pages.size() * kPageSize;
+  st.atime = inode.atime;
+  st.mtime = inode.mtime;
+  st.ctime = inode.ctime;
+  st.mode = inode.mode;
+  return st;
+}
+
+Result<FileHandle> MemFs::Open(const std::string& path, uint32_t flags,
+                               uint32_t mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  auto resolved = ResolveLocked(path);
+  InodeNum ino = kInvalidInode;
+  if (resolved.ok()) {
+    if ((flags & OpenFlags::kExclusive) && (flags & OpenFlags::kCreate)) {
+      return ExistsError(path);
+    }
+    ino = *resolved;
+    MUX_ASSIGN_OR_RETURN(Inode * node, GetLocked(ino));
+    if (node->type == FileType::kDirectory) {
+      return IsDirError(path);
+    }
+    if (flags & OpenFlags::kTruncate) {
+      allocated_pages_ -= node->pages.size();
+      node->pages.clear();
+      node->size = 0;
+      node->mtime = clock_->Now();
+    }
+  } else if (resolved.status().code() == ErrorCode::kNotFound &&
+             (flags & OpenFlags::kCreate)) {
+    MUX_ASSIGN_OR_RETURN(Inode * parent, ResolveDirLocked(Dirname(path)));
+    Inode node;
+    node.ino = next_ino_++;
+    node.type = FileType::kRegular;
+    node.mode = mode;
+    node.ctime = node.mtime = node.atime = clock_->Now();
+    ino = node.ino;
+    parent->children.emplace(Basename(path), ino);
+    parent->mtime = clock_->Now();
+    inodes_.emplace(ino, std::move(node));
+  } else {
+    return resolved.status();
+  }
+  const FileHandle handle = next_handle_++;
+  open_files_.emplace(handle, OpenFile{ino, flags});
+  return handle;
+}
+
+Status MemFs::Close(FileHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_files_.erase(handle) == 0) {
+    return BadHandleError("close of unknown handle");
+  }
+  return Status::Ok();
+}
+
+Status MemFs::Mkdir(const std::string& path, uint32_t mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsValidPath(path) || path == "/") {
+    return InvalidArgumentError("invalid mkdir path: " + path);
+  }
+  if (ResolveLocked(path).ok()) {
+    return ExistsError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * parent, ResolveDirLocked(Dirname(path)));
+  Inode node;
+  node.ino = next_ino_++;
+  node.type = FileType::kDirectory;
+  node.mode = mode;
+  node.ctime = node.mtime = node.atime = clock_->Now();
+  parent->children.emplace(Basename(path), node.ino);
+  parent->mtime = clock_->Now();
+  inodes_.emplace(node.ino, std::move(node));
+  return Status::Ok();
+}
+
+Status MemFs::Rmdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (NormalizePath(path) == "/") {
+    return InvalidArgumentError("cannot remove root");
+  }
+  MUX_ASSIGN_OR_RETURN(InodeNum ino, ResolveLocked(path));
+  MUX_ASSIGN_OR_RETURN(Inode * node, GetLocked(ino));
+  if (node->type != FileType::kDirectory) {
+    return NotDirError(path);
+  }
+  if (!node->children.empty()) {
+    return NotEmptyError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * parent, ResolveDirLocked(Dirname(path)));
+  parent->children.erase(Basename(path));
+  parent->mtime = clock_->Now();
+  inodes_.erase(ino);
+  return Status::Ok();
+}
+
+Status MemFs::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(InodeNum ino, ResolveLocked(path));
+  MUX_ASSIGN_OR_RETURN(Inode * node, GetLocked(ino));
+  if (node->type == FileType::kDirectory) {
+    return IsDirError(path);
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * parent, ResolveDirLocked(Dirname(path)));
+  parent->children.erase(Basename(path));
+  parent->mtime = clock_->Now();
+  allocated_pages_ -= node->pages.size();
+  inodes_.erase(ino);
+  // Open handles to the inode keep working in POSIX; for simplicity (and
+  // because every caller in this repo closes before unlinking) the handles
+  // are left dangling and report errors on use.
+  return Status::Ok();
+}
+
+Status MemFs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(InodeNum ino, ResolveLocked(from));
+  if (!IsValidPath(to)) {
+    return InvalidArgumentError("invalid rename target: " + to);
+  }
+  if (PathHasPrefix(to, from) && NormalizePath(to) != NormalizePath(from)) {
+    return InvalidArgumentError("cannot rename a directory into itself");
+  }
+  auto existing = ResolveLocked(to);
+  if (existing.ok()) {
+    MUX_ASSIGN_OR_RETURN(Inode * target, GetLocked(*existing));
+    if (target->type == FileType::kDirectory) {
+      if (!target->children.empty()) {
+        return NotEmptyError(to);
+      }
+    }
+    MUX_ASSIGN_OR_RETURN(Inode * to_parent, ResolveDirLocked(Dirname(to)));
+    to_parent->children.erase(Basename(to));
+    allocated_pages_ -= target->pages.size();
+    inodes_.erase(*existing);
+  }
+  MUX_ASSIGN_OR_RETURN(Inode * from_parent, ResolveDirLocked(Dirname(from)));
+  from_parent->children.erase(Basename(from));
+  from_parent->mtime = clock_->Now();
+  MUX_ASSIGN_OR_RETURN(Inode * to_parent, ResolveDirLocked(Dirname(to)));
+  to_parent->children[Basename(to)] = ino;
+  to_parent->mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Result<FileStat> MemFs::Stat(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(InodeNum ino, ResolveLocked(path));
+  MUX_ASSIGN_OR_RETURN(Inode * node, GetLocked(ino));
+  return StatForLocked(*node);
+}
+
+Result<std::vector<DirEntry>> MemFs::ReadDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * dir, ResolveDirLocked(path));
+  std::vector<DirEntry> entries;
+  entries.reserve(dir->children.size());
+  for (const auto& [name, child_ino] : dir->children) {
+    MUX_ASSIGN_OR_RETURN(Inode * child, GetLocked(child_ino));
+    entries.push_back(DirEntry{name, child->type, child_ino});
+  }
+  return entries;
+}
+
+Result<uint64_t> MemFs::Read(FileHandle handle, uint64_t offset,
+                             uint64_t length, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, HandleInodeLocked(handle, OpenFlags::kRead));
+  if (offset >= node->size) {
+    return uint64_t{0};
+  }
+  const uint64_t n = std::min(length, node->size - offset);
+  uint64_t done = 0;
+  while (done < n) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kPageSize;
+    const uint64_t in_page = pos % kPageSize;
+    const uint64_t chunk = std::min(n - done, kPageSize - in_page);
+    auto it = node->pages.find(page);
+    if (it == node->pages.end()) {
+      std::memset(out + done, 0, chunk);  // hole
+    } else {
+      std::memcpy(out + done, it->second.data() + in_page, chunk);
+    }
+    done += chunk;
+  }
+  node->atime = clock_->Now();
+  return n;
+}
+
+Result<uint64_t> MemFs::Write(FileHandle handle, uint64_t offset,
+                              const uint8_t* data, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, OpenFlags::kWrite));
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t pos = offset + done;
+    const uint64_t page = pos / kPageSize;
+    const uint64_t in_page = pos % kPageSize;
+    const uint64_t chunk = std::min(length - done, kPageSize - in_page);
+    auto it = node->pages.find(page);
+    if (it == node->pages.end()) {
+      if ((allocated_pages_ + 1) * kPageSize > capacity_bytes_) {
+        return NoSpaceError("memfs capacity exhausted");
+      }
+      it = node->pages.emplace(page, std::vector<uint8_t>(kPageSize, 0)).first;
+      allocated_pages_++;
+    }
+    std::memcpy(it->second.data() + in_page, data + done, chunk);
+    done += chunk;
+  }
+  node->size = std::max(node->size, offset + length);
+  node->mtime = clock_->Now();
+  return length;
+}
+
+Status MemFs::Truncate(FileHandle handle, uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, OpenFlags::kWrite));
+  if (new_size < node->size) {
+    const uint64_t first_dead_page = (new_size + kPageSize - 1) / kPageSize;
+    for (auto it = node->pages.lower_bound(first_dead_page);
+         it != node->pages.end();) {
+      it = node->pages.erase(it);
+      allocated_pages_--;
+    }
+    // Zero the tail of the last surviving page so re-extension reads zeros.
+    if (new_size % kPageSize != 0) {
+      auto it = node->pages.find(new_size / kPageSize);
+      if (it != node->pages.end()) {
+        std::memset(it->second.data() + new_size % kPageSize, 0,
+                    kPageSize - new_size % kPageSize);
+      }
+    }
+  }
+  node->size = new_size;
+  node->mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Status MemFs::Fsync(FileHandle handle, bool data_only) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HandleInodeLocked(handle, 0).status();
+}
+
+Status MemFs::Fallocate(FileHandle handle, uint64_t offset, uint64_t length,
+                        bool keep_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, OpenFlags::kWrite));
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + length + kPageSize - 1) / kPageSize;
+  for (uint64_t page = first; page < last; ++page) {
+    if (!node->pages.contains(page)) {
+      if ((allocated_pages_ + 1) * kPageSize > capacity_bytes_) {
+        return NoSpaceError("memfs capacity exhausted");
+      }
+      node->pages.emplace(page, std::vector<uint8_t>(kPageSize, 0));
+      allocated_pages_++;
+    }
+  }
+  if (!keep_size) {
+    node->size = std::max(node->size, offset + length);
+  }
+  return Status::Ok();
+}
+
+Status MemFs::PunchHole(FileHandle handle, uint64_t offset, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node,
+                       HandleInodeLocked(handle, OpenFlags::kWrite));
+  if (offset % kPageSize != 0 || length % kPageSize != 0 || length == 0) {
+    return InvalidArgumentError("hole punch must be block aligned");
+  }
+  const uint64_t first = offset / kPageSize;
+  const uint64_t last = (offset + length) / kPageSize;
+  for (auto it = node->pages.lower_bound(first);
+       it != node->pages.end() && it->first < last;) {
+    it = node->pages.erase(it);
+    allocated_pages_--;
+  }
+  node->mtime = clock_->Now();
+  return Status::Ok();
+}
+
+Result<FileStat> MemFs::FStat(FileHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, HandleInodeLocked(handle, 0));
+  return StatForLocked(*node);
+}
+
+Status MemFs::SetAttr(FileHandle handle, const AttrUpdate& update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MUX_ASSIGN_OR_RETURN(Inode * node, HandleInodeLocked(handle, 0));
+  if (update.atime) {
+    node->atime = *update.atime;
+  }
+  if (update.mtime) {
+    node->mtime = *update.mtime;
+  }
+  if (update.mode) {
+    node->mode = *update.mode;
+  }
+  return Status::Ok();
+}
+
+Result<FsStats> MemFs::StatFs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FsStats st;
+  st.capacity_bytes = capacity_bytes_;
+  st.free_bytes = capacity_bytes_ - allocated_pages_ * kPageSize;
+  st.total_inodes = 1u << 20;
+  st.free_inodes = st.total_inodes - inodes_.size();
+  return st;
+}
+
+Status MemFs::Sync() { return Status::Ok(); }
+
+}  // namespace mux::vfs

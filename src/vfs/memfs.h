@@ -1,0 +1,105 @@
+// MemFs: a plain in-memory file system.
+//
+// Two jobs in this repository:
+//  1. Oracle for property-based tests — random operation sequences are
+//     applied to both a real file system (or the whole Mux stack) and a
+//     MemFs; results must agree.
+//  2. A fourth pluggable tier demonstrating Mux's extensibility claim: any
+//     FileSystem can be registered, not just the three built-in ones.
+//
+// Data is stored as sparse 4K pages, so allocated_bytes reflects real
+// consumption just like the device-backed file systems. MemFs charges no
+// simulated time.
+#ifndef MUX_VFS_MEMFS_H_
+#define MUX_VFS_MEMFS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/vfs/file_system.h"
+#include "src/vfs/path.h"
+
+namespace mux::vfs {
+
+class MemFs : public FileSystem {
+ public:
+  // `clock` supplies timestamps; capacity bounds StatFs and allocation.
+  explicit MemFs(SimClock* clock,
+                 uint64_t capacity_bytes = 1ULL << 40);
+
+  std::string_view Name() const override { return "memfs"; }
+
+  Result<FileHandle> Open(const std::string& path, uint32_t flags,
+                          uint32_t mode = 0644) override;
+  Status Close(FileHandle handle) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileStat> Stat(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<uint64_t> Read(FileHandle handle, uint64_t offset, uint64_t length,
+                        uint8_t* out) override;
+  Result<uint64_t> Write(FileHandle handle, uint64_t offset,
+                         const uint8_t* data, uint64_t length) override;
+  Status Truncate(FileHandle handle, uint64_t new_size) override;
+  Status Fsync(FileHandle handle, bool data_only) override;
+  Status Fallocate(FileHandle handle, uint64_t offset, uint64_t length,
+                   bool keep_size) override;
+  Status PunchHole(FileHandle handle, uint64_t offset,
+                   uint64_t length) override;
+  Result<FileStat> FStat(FileHandle handle) override;
+  Status SetAttr(FileHandle handle, const AttrUpdate& update) override;
+
+  Result<FsStats> StatFs() override;
+  Status Sync() override;
+
+ private:
+  static constexpr uint64_t kPageSize = 4096;
+
+  struct Inode {
+    InodeNum ino = kInvalidInode;
+    FileType type = FileType::kRegular;
+    uint64_t size = 0;
+    SimTime atime = 0;
+    SimTime mtime = 0;
+    SimTime ctime = 0;
+    uint32_t mode = 0644;
+    // Regular files: sparse pages, page index -> content.
+    std::map<uint64_t, std::vector<uint8_t>> pages;
+    // Directories: name -> child inode.
+    std::map<std::string, InodeNum> children;
+  };
+
+  struct OpenFile {
+    InodeNum ino = kInvalidInode;
+    uint32_t flags = 0;
+  };
+
+  // All helpers require mu_ held.
+  Result<InodeNum> ResolveLocked(const std::string& path);
+  Result<Inode*> ResolveDirLocked(const std::string& path);
+  Result<Inode*> GetLocked(InodeNum ino);
+  Result<Inode*> HandleInodeLocked(FileHandle handle, uint32_t needed_flags);
+  FileStat StatForLocked(const Inode& inode) const;
+  uint64_t AllocatedBytesLocked() const;
+
+  SimClock* const clock_;
+  const uint64_t capacity_bytes_;
+
+  std::mutex mu_;
+  std::unordered_map<InodeNum, Inode> inodes_;
+  std::unordered_map<FileHandle, OpenFile> open_files_;
+  InodeNum next_ino_ = 2;  // 1 is the root
+  FileHandle next_handle_ = 1;
+  uint64_t allocated_pages_ = 0;
+};
+
+}  // namespace mux::vfs
+
+#endif  // MUX_VFS_MEMFS_H_

@@ -1,0 +1,95 @@
+#include "src/vfs/path.h"
+
+namespace mux::vfs {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      parts.emplace_back(path.substr(start, i - start));
+    }
+  }
+  return parts;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::string out = "/";
+  for (const auto& part : SplitPath(path)) {
+    if (out.back() != '/') {
+      out += '/';
+    }
+    out += part;
+  }
+  return out;
+}
+
+std::string Dirname(std::string_view path) {
+  auto parts = SplitPath(path);
+  if (parts.size() <= 1) {
+    return "/";
+  }
+  std::string out;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Basename(std::string_view path) {
+  auto parts = SplitPath(path);
+  if (parts.empty()) {
+    return "";
+  }
+  return parts.back();
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  while (!out.empty() && out.back() == '/') {
+    out.pop_back();
+  }
+  out += '/';
+  size_t start = 0;
+  while (start < name.size() && name[start] == '/') {
+    ++start;
+  }
+  out += name.substr(start);
+  return out;
+}
+
+bool PathHasPrefix(std::string_view path, std::string_view prefix) {
+  const std::string norm_path = NormalizePath(path);
+  const std::string norm_prefix = NormalizePath(prefix);
+  if (norm_prefix == "/") {
+    return true;
+  }
+  if (norm_path == norm_prefix) {
+    return true;
+  }
+  return norm_path.size() > norm_prefix.size() &&
+         norm_path.compare(0, norm_prefix.size(), norm_prefix) == 0 &&
+         norm_path[norm_prefix.size()] == '/';
+}
+
+bool IsValidPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return false;
+  }
+  for (const auto& part : SplitPath(path)) {
+    if (part == "." || part == "..") {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mux::vfs

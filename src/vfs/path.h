@@ -1,0 +1,36 @@
+// Path manipulation helpers shared by all file systems.
+#ifndef MUX_VFS_PATH_H_
+#define MUX_VFS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mux::vfs {
+
+// Splits "/a/b/c" into {"a", "b", "c"}. Empty components are dropped.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// Collapses duplicate slashes and trailing slashes: "//a//b/" -> "/a/b".
+// The root stays "/".
+std::string NormalizePath(std::string_view path);
+
+// "/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/".
+std::string Dirname(std::string_view path);
+
+// "/a/b/c" -> "c"; "/" -> "".
+std::string Basename(std::string_view path);
+
+// Joins with exactly one slash: ("/a", "b") -> "/a/b".
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+// True if `path` is `prefix` or lives under it ("/a/b" under "/a").
+bool PathHasPrefix(std::string_view path, std::string_view prefix);
+
+// Validates an absolute path: must start with '/', no empty or "."/".."
+// components.
+bool IsValidPath(std::string_view path);
+
+}  // namespace mux::vfs
+
+#endif  // MUX_VFS_PATH_H_

@@ -1,0 +1,81 @@
+// Shared VFS value types: handles, stat structures, directory entries.
+#ifndef MUX_VFS_TYPES_H_
+#define MUX_VFS_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace mux::vfs {
+
+// Opaque per-file-system open-file identifier.
+using FileHandle = uint64_t;
+using InodeNum = uint64_t;
+
+constexpr InodeNum kInvalidInode = 0;
+
+// Open flags (combinable).
+struct OpenFlags {
+  static constexpr uint32_t kRead = 1u << 0;
+  static constexpr uint32_t kWrite = 1u << 1;
+  static constexpr uint32_t kCreate = 1u << 2;
+  static constexpr uint32_t kTruncate = 1u << 3;
+  static constexpr uint32_t kExclusive = 1u << 4;
+  // O_SYNC-like hint: the caller needs durability promptly. Tiering policies
+  // use it for placement (e.g. TPFS routes small sync writes to PM).
+  static constexpr uint32_t kSync = 1u << 5;
+
+  static constexpr uint32_t kReadWrite = kRead | kWrite;
+  static constexpr uint32_t kCreateRw = kRead | kWrite | kCreate;
+};
+
+enum class FileType : uint8_t {
+  kRegular,
+  kDirectory,
+};
+
+struct FileStat {
+  InodeNum ino = kInvalidInode;
+  FileType type = FileType::kRegular;
+  uint64_t size = 0;             // logical size in bytes
+  uint64_t allocated_bytes = 0;  // disk consumption (sparse-aware)
+  SimTime atime = 0;
+  SimTime mtime = 0;
+  SimTime ctime = 0;
+  uint32_t mode = 0644;
+  uint32_t nlink = 1;
+};
+
+struct DirEntry {
+  std::string name;
+  FileType type = FileType::kRegular;
+  InodeNum ino = kInvalidInode;
+};
+
+struct FsStats {
+  uint64_t capacity_bytes = 0;
+  uint64_t free_bytes = 0;
+  uint64_t total_inodes = 0;
+  uint64_t free_inodes = 0;
+};
+
+// Partial metadata update (used by Mux's lazy attribute synchronization).
+struct AttrUpdate {
+  std::optional<SimTime> atime;
+  std::optional<SimTime> mtime;
+  std::optional<uint32_t> mode;
+
+  bool empty() const { return !atime && !mtime && !mode; }
+};
+
+// A direct-access window into PM-backed file data (DAX).
+struct DaxMapping {
+  uint8_t* data = nullptr;
+  uint64_t length = 0;
+};
+
+}  // namespace mux::vfs
+
+#endif  // MUX_VFS_TYPES_H_

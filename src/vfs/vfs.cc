@@ -1,0 +1,172 @@
+#include "src/vfs/vfs.h"
+
+#include <algorithm>
+
+#include "src/vfs/path.h"
+
+namespace mux::vfs {
+
+Status Vfs::Mount(const std::string& mount_point, FileSystem* fs) {
+  if (fs == nullptr) {
+    return InvalidArgumentError("null file system");
+  }
+  if (!IsValidPath(mount_point)) {
+    return InvalidArgumentError("invalid mount point: " + mount_point);
+  }
+  const std::string norm = NormalizePath(mount_point);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& m : mounts_) {
+    if (m.mount_point == norm) {
+      return ExistsError("mount point in use: " + norm);
+    }
+  }
+  mounts_.push_back(Mounted{norm, fs});
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const Mounted& a, const Mounted& b) {
+              return a.mount_point.size() > b.mount_point.size();
+            });
+  return Status::Ok();
+}
+
+Status Vfs::Unmount(const std::string& mount_point) {
+  const std::string norm = NormalizePath(mount_point);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = mounts_.begin(); it != mounts_.end(); ++it) {
+    if (it->mount_point == norm) {
+      for (const auto& [h, routed] : handles_) {
+        if (routed.fs == it->fs) {
+          return BusyError("open handles on " + norm);
+        }
+      }
+      mounts_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("not mounted: " + norm);
+}
+
+std::vector<std::string> Vfs::MountPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(mounts_.size());
+  for (const auto& m : mounts_) {
+    out.push_back(m.mount_point);
+  }
+  return out;
+}
+
+Result<std::pair<FileSystem*, std::string>> Vfs::Route(
+    const std::string& path) const {
+  if (!IsValidPath(path)) {
+    return InvalidArgumentError("invalid path: " + path);
+  }
+  const std::string norm = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& m : mounts_) {  // sorted longest-first
+    if (PathHasPrefix(norm, m.mount_point)) {
+      std::string inner = norm.substr(m.mount_point.size());
+      if (inner.empty()) {
+        inner = "/";
+      }
+      return std::make_pair(m.fs, inner);
+    }
+  }
+  return NotFoundError("no file system mounted for " + norm);
+}
+
+Result<Vfs::RoutedHandle> Vfs::Lookup(FileHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return BadHandleError("unknown vfs handle");
+  }
+  return it->second;
+}
+
+Result<FileHandle> Vfs::Open(const std::string& path, uint32_t flags,
+                             uint32_t mode) {
+  MUX_ASSIGN_OR_RETURN(auto routed, Route(path));
+  MUX_ASSIGN_OR_RETURN(FileHandle fs_handle,
+                       routed.first->Open(routed.second, flags, mode));
+  std::lock_guard<std::mutex> lock(mu_);
+  const FileHandle handle = next_handle_++;
+  handles_.emplace(handle, RoutedHandle{routed.first, fs_handle});
+  return handle;
+}
+
+Status Vfs::Close(FileHandle handle) {
+  RoutedHandle routed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handles_.find(handle);
+    if (it == handles_.end()) {
+      return BadHandleError("unknown vfs handle");
+    }
+    routed = it->second;
+    handles_.erase(it);
+  }
+  return routed.fs->Close(routed.fs_handle);
+}
+
+Status Vfs::Mkdir(const std::string& path, uint32_t mode) {
+  MUX_ASSIGN_OR_RETURN(auto routed, Route(path));
+  return routed.first->Mkdir(routed.second, mode);
+}
+
+Status Vfs::Rmdir(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(auto routed, Route(path));
+  return routed.first->Rmdir(routed.second);
+}
+
+Status Vfs::Unlink(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(auto routed, Route(path));
+  return routed.first->Unlink(routed.second);
+}
+
+Status Vfs::Rename(const std::string& from, const std::string& to) {
+  MUX_ASSIGN_OR_RETURN(auto routed_from, Route(from));
+  MUX_ASSIGN_OR_RETURN(auto routed_to, Route(to));
+  if (routed_from.first != routed_to.first) {
+    return NotSupportedError("cross-mount rename (EXDEV)");
+  }
+  return routed_from.first->Rename(routed_from.second, routed_to.second);
+}
+
+Result<FileStat> Vfs::Stat(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(auto routed, Route(path));
+  return routed.first->Stat(routed.second);
+}
+
+Result<std::vector<DirEntry>> Vfs::ReadDir(const std::string& path) {
+  MUX_ASSIGN_OR_RETURN(auto routed, Route(path));
+  return routed.first->ReadDir(routed.second);
+}
+
+Result<uint64_t> Vfs::Read(FileHandle handle, uint64_t offset, uint64_t length,
+                           uint8_t* out) {
+  MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
+  return routed.fs->Read(routed.fs_handle, offset, length, out);
+}
+
+Result<uint64_t> Vfs::Write(FileHandle handle, uint64_t offset,
+                            const uint8_t* data, uint64_t length) {
+  MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
+  return routed.fs->Write(routed.fs_handle, offset, data, length);
+}
+
+Status Vfs::Truncate(FileHandle handle, uint64_t new_size) {
+  MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
+  return routed.fs->Truncate(routed.fs_handle, new_size);
+}
+
+Status Vfs::Fsync(FileHandle handle, bool data_only) {
+  MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
+  return routed.fs->Fsync(routed.fs_handle, data_only);
+}
+
+Result<FileStat> Vfs::FStat(FileHandle handle) {
+  MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
+  return routed.fs->FStat(routed.fs_handle);
+}
+
+}  // namespace mux::vfs

@@ -1,0 +1,75 @@
+// The VFS mount router.
+//
+// Applications talk to a Vfs; file systems (including Mux, which is "a
+// standalone file system" from the OS's point of view, §2.1) are mounted at
+// mount points and calls are routed by longest-prefix match. In the tiered
+// setup the underlying device-specific file systems are mounted at
+// /mnt/<tier> and Mux itself at /mux — exactly Figure 1(b)'s stack.
+#ifndef MUX_VFS_VFS_H_
+#define MUX_VFS_VFS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/vfs/file_system.h"
+
+namespace mux::vfs {
+
+class Vfs {
+ public:
+  Vfs() = default;
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  // Mounts `fs` (not owned) at `mount_point` (e.g. "/mnt/pm"). Nested mount
+  // points are allowed; the longest matching prefix wins.
+  Status Mount(const std::string& mount_point, FileSystem* fs);
+  Status Unmount(const std::string& mount_point);
+  std::vector<std::string> MountPoints() const;
+
+  // ---- Application-facing file API (global paths) ---------------------
+  Result<FileHandle> Open(const std::string& path, uint32_t flags,
+                          uint32_t mode = 0644);
+  Status Close(FileHandle handle);
+  Status Mkdir(const std::string& path, uint32_t mode = 0755);
+  Status Rmdir(const std::string& path);
+  Status Unlink(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  Result<FileStat> Stat(const std::string& path);
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path);
+
+  Result<uint64_t> Read(FileHandle handle, uint64_t offset, uint64_t length,
+                        uint8_t* out);
+  Result<uint64_t> Write(FileHandle handle, uint64_t offset,
+                         const uint8_t* data, uint64_t length);
+  Status Truncate(FileHandle handle, uint64_t new_size);
+  Status Fsync(FileHandle handle, bool data_only = false);
+  Result<FileStat> FStat(FileHandle handle);
+
+ private:
+  struct Mounted {
+    std::string mount_point;  // normalized
+    FileSystem* fs = nullptr;
+  };
+  struct RoutedHandle {
+    FileSystem* fs = nullptr;
+    FileHandle fs_handle = 0;
+  };
+
+  // Returns the owning file system and the path inside it.
+  Result<std::pair<FileSystem*, std::string>> Route(
+      const std::string& path) const;
+  Result<RoutedHandle> Lookup(FileHandle handle) const;
+
+  mutable std::mutex mu_;
+  std::vector<Mounted> mounts_;  // sorted by descending prefix length
+  std::unordered_map<FileHandle, RoutedHandle> handles_;
+  FileHandle next_handle_ = 1;
+};
+
+}  // namespace mux::vfs
+
+#endif  // MUX_VFS_VFS_H_

@@ -1,0 +1,194 @@
+// Tests for both BlockLookupTable implementations, run as one parameterized
+// suite since they must behave identically.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/core/block_lookup_table.h"
+
+namespace mux::core {
+namespace {
+
+class BltTest : public ::testing::TestWithParam<BltKind> {
+ protected:
+  void SetUp() override { blt_ = MakeBlt(GetParam()); }
+  std::unique_ptr<BlockLookupTable> blt_;
+};
+
+TEST_P(BltTest, EmptyIsAllHoles) {
+  EXPECT_EQ(blt_->Lookup(0), kInvalidTier);
+  EXPECT_EQ(blt_->Lookup(1000), kInvalidTier);
+  EXPECT_EQ(blt_->TotalBlocks(), 0u);
+  auto runs = blt_->Runs(0, 10);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].tier, kInvalidTier);
+  EXPECT_EQ(runs[0].count, 10u);
+}
+
+TEST_P(BltTest, SetAndLookup) {
+  blt_->SetRange(10, 5, 2);
+  EXPECT_EQ(blt_->Lookup(9), kInvalidTier);
+  EXPECT_EQ(blt_->Lookup(10), 2u);
+  EXPECT_EQ(blt_->Lookup(14), 2u);
+  EXPECT_EQ(blt_->Lookup(15), kInvalidTier);
+  EXPECT_EQ(blt_->TotalBlocks(), 5u);
+  EXPECT_EQ(blt_->BlocksOnTier(2), 5u);
+  EXPECT_EQ(blt_->BlocksOnTier(1), 0u);
+}
+
+TEST_P(BltTest, OverwriteChangesTier) {
+  blt_->SetRange(0, 10, 1);
+  blt_->SetRange(3, 4, 2);
+  EXPECT_EQ(blt_->Lookup(2), 1u);
+  EXPECT_EQ(blt_->Lookup(3), 2u);
+  EXPECT_EQ(blt_->Lookup(6), 2u);
+  EXPECT_EQ(blt_->Lookup(7), 1u);
+  EXPECT_EQ(blt_->BlocksOnTier(1), 6u);
+  EXPECT_EQ(blt_->BlocksOnTier(2), 4u);
+  EXPECT_EQ(blt_->TotalBlocks(), 10u);
+}
+
+TEST_P(BltTest, RunsSplitCorrectly) {
+  blt_->SetRange(0, 4, 0);
+  blt_->SetRange(4, 4, 1);
+  // hole at 8..9
+  blt_->SetRange(10, 2, 0);
+  auto runs = blt_->Runs(0, 12);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].tier, 0u);
+  EXPECT_EQ(runs[0].count, 4u);
+  EXPECT_EQ(runs[1].tier, 1u);
+  EXPECT_EQ(runs[1].count, 4u);
+  EXPECT_EQ(runs[2].tier, kInvalidTier);
+  EXPECT_EQ(runs[2].count, 2u);
+  EXPECT_EQ(runs[3].tier, 0u);
+  EXPECT_EQ(runs[3].count, 2u);
+}
+
+TEST_P(BltTest, RunsRespectWindow) {
+  blt_->SetRange(0, 100, 3);
+  auto runs = blt_->Runs(10, 5);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].first_block, 10u);
+  EXPECT_EQ(runs[0].count, 5u);
+  EXPECT_EQ(runs[0].tier, 3u);
+}
+
+TEST_P(BltTest, AdjacentSameTierMergesInRuns) {
+  blt_->SetRange(0, 4, 1);
+  blt_->SetRange(4, 4, 1);
+  auto runs = blt_->Runs(0, 8);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].count, 8u);
+}
+
+TEST_P(BltTest, ClearRangePunchesHole) {
+  blt_->SetRange(0, 10, 1);
+  blt_->ClearRange(3, 4);
+  EXPECT_EQ(blt_->Lookup(2), 1u);
+  EXPECT_EQ(blt_->Lookup(3), kInvalidTier);
+  EXPECT_EQ(blt_->Lookup(6), kInvalidTier);
+  EXPECT_EQ(blt_->Lookup(7), 1u);
+  EXPECT_EQ(blt_->TotalBlocks(), 6u);
+}
+
+TEST_P(BltTest, TruncateFromDropsTail) {
+  blt_->SetRange(0, 20, 1);
+  blt_->TruncateFrom(5);
+  EXPECT_EQ(blt_->Lookup(4), 1u);
+  EXPECT_EQ(blt_->Lookup(5), kInvalidTier);
+  EXPECT_EQ(blt_->TotalBlocks(), 5u);
+}
+
+TEST_P(BltTest, AllRunsEnumerates) {
+  blt_->SetRange(0, 2, 0);
+  blt_->SetRange(5, 3, 1);
+  auto runs = blt_->AllRuns();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].first_block, 0u);
+  EXPECT_EQ(runs[0].count, 2u);
+  EXPECT_EQ(runs[1].first_block, 5u);
+  EXPECT_EQ(runs[1].count, 3u);
+}
+
+TEST_P(BltTest, SparseFarBlock) {
+  blt_->SetRange(1'000'000, 1, 2);
+  EXPECT_EQ(blt_->Lookup(1'000'000), 2u);
+  EXPECT_EQ(blt_->Lookup(999'999), kInvalidTier);
+  EXPECT_EQ(blt_->TotalBlocks(), 1u);
+}
+
+// Property: both implementations must agree with each other under random
+// operations.
+TEST(BltCrossCheck, ImplementationsAgree) {
+  auto tree = MakeBlt(BltKind::kExtentTree);
+  auto array = MakeBlt(BltKind::kByteArray);
+  Rng rng(99);
+  constexpr uint64_t kSpace = 2048;
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t first = rng.Below(kSpace);
+    const uint64_t count = 1 + rng.Below(64);
+    switch (rng.Below(3)) {
+      case 0: {
+        const TierId tier = static_cast<TierId>(rng.Below(3));
+        tree->SetRange(first, count, tier);
+        array->SetRange(first, count, tier);
+        break;
+      }
+      case 1:
+        tree->ClearRange(first, count);
+        array->ClearRange(first, count);
+        break;
+      case 2: {
+        const uint64_t probe = rng.Below(kSpace + 64);
+        ASSERT_EQ(tree->Lookup(probe), array->Lookup(probe)) << step;
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(tree->TotalBlocks(), array->TotalBlocks());
+  for (TierId tier = 0; tier < 3; ++tier) {
+    ASSERT_EQ(tree->BlocksOnTier(tier), array->BlocksOnTier(tier));
+  }
+  // Runs over the whole space must match exactly.
+  const auto tree_runs = tree->Runs(0, kSpace + 64);
+  const auto array_runs = array->Runs(0, kSpace + 64);
+  ASSERT_EQ(tree_runs.size(), array_runs.size());
+  for (size_t i = 0; i < tree_runs.size(); ++i) {
+    EXPECT_EQ(tree_runs[i].first_block, array_runs[i].first_block) << i;
+    EXPECT_EQ(tree_runs[i].count, array_runs[i].count) << i;
+    EXPECT_EQ(tree_runs[i].tier, array_runs[i].tier) << i;
+  }
+}
+
+// The paper's §2.3 space claim: one byte per 4 KB block ⇒ < 0.025% overhead.
+TEST(BltSpace, ByteArrayMatchesPaperClaim) {
+  auto blt = MakeBlt(BltKind::kByteArray);
+  const uint64_t file_blocks = 256 * 1024;  // 1 GiB of 4K blocks
+  blt->SetRange(0, file_blocks, 0);
+  const double overhead = static_cast<double>(blt->MemoryBytes()) /
+                          static_cast<double>(file_blocks * 4096);
+  EXPECT_LT(overhead, 0.00025);
+}
+
+// The extent tree must be far smaller for contiguous files.
+TEST(BltSpace, ExtentTreeCompactForContiguousFiles) {
+  auto tree = MakeBlt(BltKind::kExtentTree);
+  auto array = MakeBlt(BltKind::kByteArray);
+  tree->SetRange(0, 256 * 1024, 0);
+  array->SetRange(0, 256 * 1024, 0);
+  EXPECT_LT(tree->MemoryBytes() * 100, array->MemoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BltTest,
+                         ::testing::Values(BltKind::kExtentTree,
+                                           BltKind::kByteArray),
+                         [](const ::testing::TestParamInfo<BltKind>& info) {
+                           return info.param == BltKind::kExtentTree
+                                      ? "ExtentTree"
+                                      : "ByteArray";
+                         });
+
+}  // namespace
+}  // namespace mux::core

@@ -1,0 +1,232 @@
+// Tests for src/common: Status/Result, SimClock, Rng, Histogram.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace mux {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such file: /a");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such file: /a");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such file: /a");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(ExistsError("").code(), ErrorCode::kExists);
+  EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NoSpaceError("").code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(NotDirError("").code(), ErrorCode::kNotDir);
+  EXPECT_EQ(IsDirError("").code(), ErrorCode::kIsDir);
+  EXPECT_EQ(NotEmptyError("").code(), ErrorCode::kNotEmpty);
+  EXPECT_EQ(BadHandleError("").code(), ErrorCode::kBadHandle);
+  EXPECT_EQ(IoError("").code(), ErrorCode::kIoError);
+  EXPECT_EQ(NotSupportedError("").code(), ErrorCode::kNotSupported);
+  EXPECT_EQ(BusyError("").code(), ErrorCode::kBusy);
+  EXPECT_EQ(PermissionError("").code(), ErrorCode::kPermission);
+  EXPECT_EQ(OutOfRangeError("").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(CorruptionError("").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(ConflictError("").code(), ErrorCode::kConflict);
+  EXPECT_EQ(InternalError("").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return IoError("disk on fire"); };
+  auto wrapper = [&]() -> Status {
+    MUX_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), ErrorCode::kIoError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto makes = []() -> Result<std::string> { return std::string("hello"); };
+  auto wrapper = [&]() -> Result<size_t> {
+    MUX_ASSIGN_OR_RETURN(std::string s, makes());
+    return s.size();
+  };
+  auto r = wrapper();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<std::string> { return IoError("nope"); };
+  auto wrapper = [&]() -> Result<size_t> {
+    MUX_ASSIGN_OR_RETURN(std::string s, fails());
+    return s.size();
+  };
+  EXPECT_EQ(wrapper().status().code(), ErrorCode::kIoError);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance(100);
+  clock.Advance(250);
+  EXPECT_EQ(clock.Now(), 350u);
+  clock.Reset();
+  EXPECT_EQ(clock.Now(), 0u);
+}
+
+TEST(SimClockTest, ConcurrentAdvanceIsLossless) {
+  SimClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kIters; ++i) {
+        clock.Advance(3);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(clock.Now(), static_cast<SimTime>(kThreads) * kIters * 3);
+}
+
+TEST(SimClockTest, TimerMeasuresElapsed) {
+  SimClock clock;
+  SimTimer timer(clock);
+  clock.Advance(500);
+  EXPECT_EQ(timer.Elapsed(), 500u);
+  timer.Restart();
+  EXPECT_EQ(timer.Elapsed(), 0u);
+}
+
+TEST(SimClockTest, ThroughputHelper) {
+  // 1 MiB in 1 ms == 1024 MB/s.
+  EXPECT_NEAR(ThroughputMBps(1 << 20, 1'000'000), 1000.0, 30.0);
+  EXPECT_EQ(ThroughputMBps(123, 0), 0.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, FillCoversBuffer) {
+  Rng rng(9);
+  std::vector<uint8_t> buf(37, 0);
+  rng.Fill(buf.data(), buf.size());
+  int nonzero = 0;
+  for (uint8_t b : buf) {
+    nonzero += b != 0;
+  }
+  EXPECT_GT(nonzero, 20);  // all-zero output would mean Fill is broken
+}
+
+TEST(ZipfianTest, SkewsTowardsHead) {
+  ZipfianGenerator gen(1000, 0.99, 3);
+  uint64_t head_hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = gen.Next();
+    EXPECT_LT(v, 1000u);
+    if (v < 10) {
+      head_hits++;
+    }
+  }
+  // With theta=0.99 the top-1% of keys should draw far more than 1% of
+  // accesses.
+  EXPECT_GT(head_hits, kSamples / 10);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v : {100, 200, 300, 400, 500}) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 500u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 300.0);
+  EXPECT_GT(h.Percentile(99), 250.0);
+  EXPECT_LE(h.Percentile(99), 500.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace mux

@@ -1,0 +1,502 @@
+// Unit tests for the smaller Mux core components: metadata affinity, OCC
+// state machine, policies, MGLRU, I/O scheduler, bookkeeper serialization.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/core/bookkeeper.h"
+#include "src/core/io_scheduler.h"
+#include "src/core/metadata.h"
+#include "src/core/mglru.h"
+#include "src/core/occ.h"
+#include "src/core/policy.h"
+
+namespace mux::core {
+namespace {
+
+// ---- CollectiveInode / affinity ------------------------------------------------
+
+TEST(CollectiveInodeTest, OwnersFollowUpdates) {
+  CollectiveInode inode;
+  EXPECT_EQ(inode.Owner(Attr::kSize), kInvalidTier);
+  inode.UpdateSize(100, 1);
+  EXPECT_EQ(inode.size(), 100u);
+  EXPECT_EQ(inode.Owner(Attr::kSize), 1u);
+  inode.UpdateSize(200, 2);
+  EXPECT_EQ(inode.Owner(Attr::kSize), 2u);
+  // Other owners untouched.
+  EXPECT_EQ(inode.Owner(Attr::kMtime), kInvalidTier);
+}
+
+TEST(CollectiveInodeTest, DirtyTracking) {
+  CollectiveInode inode;
+  EXPECT_FALSE(inode.Dirty(Attr::kAtime));
+  inode.UpdateAtime(5, 0);
+  EXPECT_TRUE(inode.Dirty(Attr::kAtime));
+  inode.ClearDirty();
+  EXPECT_FALSE(inode.Dirty(Attr::kAtime));
+}
+
+TEST(CollectiveInodeTest, TimestampNormalization) {
+  // Feature imparity: a 1-second-granularity FS (extlite) stores truncated
+  // stamps; normalization reproduces what it can represent.
+  EXPECT_EQ(CollectiveInode::Normalize(1'700'000'123, 1), 1'700'000'123u);
+  EXPECT_EQ(CollectiveInode::Normalize(1'999'999'999, 1'000'000'000),
+            1'000'000'000u);
+}
+
+// ---- OCC state machine ------------------------------------------------------------
+
+TEST(OccTest, CleanPassCommits) {
+  OccState occ;
+  const uint64_t v1 = occ.BeginPass();
+  EXPECT_TRUE(occ.migrating());
+  auto result = occ.ValidateAndEnd(v1, 0, 100);
+  EXPECT_TRUE(result.clean);
+  EXPECT_TRUE(result.conflicted.empty());
+  EXPECT_FALSE(occ.migrating());
+}
+
+TEST(OccTest, WriteDuringPassConflictsOnlyOverlap) {
+  OccState occ;
+  const uint64_t v1 = occ.BeginPass();
+  occ.NoteWrite(10, 5);   // inside the migrated range
+  occ.NoteWrite(200, 3);  // outside
+  auto result = occ.ValidateAndEnd(v1, 0, 100);
+  EXPECT_FALSE(result.clean);
+  EXPECT_EQ(result.conflicted, (std::vector<uint64_t>{10, 11, 12, 13, 14}));
+}
+
+TEST(OccTest, WriteOutsideRangeIsCleanCommit) {
+  OccState occ;
+  const uint64_t v1 = occ.BeginPass();
+  occ.NoteWrite(500, 1);
+  auto result = occ.ValidateAndEnd(v1, 0, 100);
+  // Version changed but no overlapping dirty block: still committable.
+  EXPECT_TRUE(result.clean);
+}
+
+TEST(OccTest, WritesOutsidePassAreNotRecorded) {
+  OccState occ;
+  occ.NoteWrite(1, 1);  // before any pass
+  const uint64_t v1 = occ.BeginPass();
+  auto result = occ.ValidateAndEnd(v1, 0, 100);
+  EXPECT_TRUE(result.clean);
+}
+
+TEST(OccTest, VersionMonotonic) {
+  OccState occ;
+  const uint64_t v0 = occ.version();
+  occ.NoteWrite(0, 1);
+  occ.NoteWrite(0, 1);
+  EXPECT_EQ(occ.version(), v0 + 2);
+}
+
+// ---- policies --------------------------------------------------------------------
+
+std::vector<TierUsage> ThreeTiers(uint64_t pm_free, uint64_t ssd_free,
+                                  uint64_t hdd_free) {
+  std::vector<TierUsage> tiers(3);
+  tiers[0] = TierUsage{0, "pm", 0, device::DeviceKind::kPm, 1 << 30, pm_free};
+  tiers[1] =
+      TierUsage{1, "ssd", 1, device::DeviceKind::kSsd, 4ULL << 30, ssd_free};
+  tiers[2] =
+      TierUsage{2, "hdd", 2, device::DeviceKind::kHdd, 16ULL << 30, hdd_free};
+  return tiers;
+}
+
+TEST(PolicyRegistryTest, BuiltinsPresent) {
+  auto names = PolicyRegistry::Global().Names();
+  const std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.contains("lru"));
+  EXPECT_TRUE(set.contains("tpfs"));
+  EXPECT_TRUE(set.contains("hotcold"));
+  EXPECT_TRUE(set.contains("pin"));
+  EXPECT_FALSE(PolicyRegistry::Global().Create("no-such-policy").ok());
+}
+
+TEST(PolicyRegistryTest, UserRegistrationWorks) {
+  // The "eBPF/kernel module" analogue: a user plugs in a policy at runtime.
+  class NullPolicy : public TieringPolicy {
+   public:
+    std::string_view Name() const override { return "null"; }
+    TierId PlaceWrite(const PlacementContext&) override { return 0; }
+    std::vector<MigrationTask> PlanMigrations(const TieringView&) override {
+      return {};
+    }
+  };
+  ASSERT_TRUE(PolicyRegistry::Global()
+                  .Register("test-null", [](const std::string&) {
+                    return std::make_unique<NullPolicy>();
+                  })
+                  .ok());
+  auto policy = PolicyRegistry::Global().Create("test-null");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ((*policy)->Name(), "null");
+  // Double registration rejected.
+  EXPECT_EQ(PolicyRegistry::Global()
+                .Register("test-null", [](const std::string&) {
+                  return std::make_unique<NullPolicy>();
+                })
+                .code(),
+            ErrorCode::kExists);
+}
+
+TEST(LruPolicyTest, PlacesOnFastestWithSpace) {
+  auto policy = MakeLruPolicy();
+  auto tiers = ThreeTiers(512 << 20, 2ULL << 30, 8ULL << 30);
+  PlacementContext ctx;
+  ctx.io_size = 4096;
+  ctx.tiers = &tiers;
+  EXPECT_EQ(policy->PlaceWrite(ctx), 0u);
+  // PM full -> SSD.
+  tiers[0].free_bytes = 0;
+  EXPECT_EQ(policy->PlaceWrite(ctx), 1u);
+}
+
+TEST(LruPolicyTest, DemotesColdestWhenOverWatermark) {
+  auto policy = MakeLruPolicy(0.9, 0.7);
+  TieringView view;
+  view.tiers = ThreeTiers(/*pm_free=*/1 << 20, 2ULL << 30, 8ULL << 30);
+  view.now = 10'000'000'000;
+  FileView cold;
+  cold.path = "/cold";
+  cold.last_access = 1'000'000'000;
+  cold.blocks_per_tier[0] = 1000;
+  FileView hot;
+  hot.path = "/hot";
+  hot.last_access = 9'900'000'000;
+  hot.blocks_per_tier[0] = 1000;
+  view.files = {hot, cold};
+  auto tasks = policy->PlanMigrations(view);
+  ASSERT_FALSE(tasks.empty());
+  EXPECT_EQ(tasks[0].path, "/cold");  // coldest demoted first
+  EXPECT_EQ(tasks[0].from, 0u);
+  EXPECT_EQ(tasks[0].to, 1u);
+}
+
+TEST(LruPolicyTest, PromotesRecentlyAccessed) {
+  auto policy = MakeLruPolicy(0.9, 0.7, /*promote_window_ns=*/1'000'000'000);
+  TieringView view;
+  view.tiers = ThreeTiers(900 << 20, 2ULL << 30, 8ULL << 30);  // PM has room
+  view.now = 10'000'000'000;
+  FileView recent;
+  recent.path = "/hot";
+  recent.last_access = view.now - 500'000'000;  // within the window
+  recent.blocks_per_tier[2] = 64;
+  view.files = {recent};
+  auto tasks = policy->PlanMigrations(view);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].to, 0u);
+  EXPECT_EQ(tasks[0].from, 2u);
+}
+
+TEST(TpfsPolicyTest, RoutesBySizeAndSync) {
+  auto policy = MakeTpfsPolicy(/*small=*/256 * 1024, /*large=*/4 << 20, 4.0);
+  auto tiers = ThreeTiers(512 << 20, 2ULL << 30, 8ULL << 30);
+  PlacementContext ctx;
+  ctx.tiers = &tiers;
+  ctx.io_size = 4096;  // small -> PM
+  EXPECT_EQ(policy->PlaceWrite(ctx), 0u);
+  ctx.io_size = 16 << 20;  // large -> HDD
+  EXPECT_EQ(policy->PlaceWrite(ctx), 2u);
+  ctx.io_size = 1 << 20;  // medium -> middle tier
+  EXPECT_EQ(policy->PlaceWrite(ctx), 1u);
+  // Sync overrides size.
+  ctx.io_size = 16 << 20;
+  ctx.is_sync = true;
+  EXPECT_EQ(policy->PlaceWrite(ctx), 0u);
+  // Hot history overrides size.
+  ctx.is_sync = false;
+  ctx.temperature = 100.0;
+  EXPECT_EQ(policy->PlaceWrite(ctx), 0u);
+}
+
+TEST(HotColdPolicyTest, ClassifiesByTemperature) {
+  auto policy = MakeHotColdPolicy(8.0, 1.0);
+  auto tiers = ThreeTiers(512 << 20, 2ULL << 30, 8ULL << 30);
+  PlacementContext ctx;
+  ctx.tiers = &tiers;
+  ctx.io_size = 4096;
+  ctx.temperature = 20.0;
+  EXPECT_EQ(policy->PlaceWrite(ctx), 0u);
+  ctx.temperature = 0.1;
+  EXPECT_EQ(policy->PlaceWrite(ctx), 2u);
+  ctx.temperature = 4.0;
+  EXPECT_EQ(policy->PlaceWrite(ctx), 1u);
+}
+
+TEST(PinPolicyTest, ParsesRulesAndPins) {
+  auto policy = MakePinPolicy("/logs=hdd,/db=pm");
+  auto tiers = ThreeTiers(512 << 20, 2ULL << 30, 8ULL << 30);
+  PlacementContext ctx;
+  ctx.tiers = &tiers;
+  ctx.io_size = 4096;
+  ctx.path = "/logs/app.log";
+  EXPECT_EQ(policy->PlaceWrite(ctx), 2u);
+  ctx.path = "/db/table";
+  EXPECT_EQ(policy->PlaceWrite(ctx), 0u);
+  ctx.path = "/other";
+  EXPECT_EQ(policy->PlaceWrite(ctx), 0u);  // default: fastest with space
+}
+
+// ---- MGLRU -----------------------------------------------------------------------
+
+TEST(MglruTest, EvictsColdKeepsHot) {
+  MglruPolicy policy;
+  for (uint32_t slot = 0; slot < 8; ++slot) {
+    policy.Inserted(slot);
+  }
+  // Heat slots 0..3.
+  for (uint32_t slot = 0; slot < 4; ++slot) {
+    policy.Touched(slot);
+  }
+  // Evict 4: all victims must come from the cold half.
+  std::set<uint32_t> victims;
+  for (int i = 0; i < 4; ++i) {
+    auto victim = policy.Evict();
+    ASSERT_TRUE(victim.ok());
+    victims.insert(*victim);
+  }
+  for (uint32_t slot = 0; slot < 4; ++slot) {
+    EXPECT_FALSE(victims.contains(slot)) << "hot slot evicted: " << slot;
+  }
+  EXPECT_EQ(policy.Size(), 4u);
+}
+
+TEST(MglruTest, RemovedEntriesAreGone) {
+  MglruPolicy policy;
+  policy.Inserted(1);
+  policy.Inserted(2);
+  policy.Removed(1);
+  auto victim = policy.Evict();
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(*victim, 2u);
+  EXPECT_FALSE(policy.Evict().ok());
+}
+
+TEST(PlainLruTest, EvictsLeastRecentlyUsed) {
+  PlainLruPolicy policy;
+  policy.Inserted(1);
+  policy.Inserted(2);
+  policy.Inserted(3);
+  policy.Touched(1);  // 2 is now LRU
+  auto victim = policy.Evict();
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(*victim, 2u);
+}
+
+TEST(MglruVsLru, MglruResistsScan) {
+  // A hot working set + one scan pass: MGLRU's access bits protect the hot
+  // set; plain LRU lets the scan flush it.
+  constexpr uint32_t kCap = 64;
+  constexpr uint32_t kHot = 32;
+  auto run = [&](ReplacementPolicy& policy) {
+    std::set<uint32_t> resident;
+    auto access = [&](uint32_t key) {
+      if (resident.contains(key)) {
+        policy.Touched(key);
+        return;
+      }
+      if (resident.size() >= kCap) {
+        auto victim = policy.Evict();
+        if (victim.ok()) {
+          resident.erase(*victim);
+        }
+      }
+      policy.Inserted(key);
+      resident.insert(key);
+    };
+    // Build and reinforce a hot set.
+    for (int round = 0; round < 8; ++round) {
+      for (uint32_t key = 0; key < kHot; ++key) {
+        access(key);
+      }
+    }
+    // One cold scan of 3x capacity.
+    for (uint32_t key = 1000; key < 1000 + 3 * kCap; ++key) {
+      access(key);
+    }
+    // How much of the hot set survived?
+    uint32_t survivors = 0;
+    for (uint32_t key = 0; key < kHot; ++key) {
+      survivors += resident.contains(key) ? 1 : 0;
+    }
+    return survivors;
+  };
+  MglruPolicy mglru;
+  PlainLruPolicy lru;
+  const uint32_t mglru_survivors = run(mglru);
+  const uint32_t lru_survivors = run(lru);
+  EXPECT_GT(mglru_survivors, lru_survivors);
+  EXPECT_EQ(lru_survivors, 0u);  // classic LRU scan pollution
+}
+
+// ---- I/O scheduler ------------------------------------------------------------------
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  TierInfo MakeTier(TierId id, device::DeviceProfile profile) {
+    TierInfo tier;
+    tier.id = id;
+    tier.profile = std::move(profile);
+    return tier;
+  }
+  SimClock clock_;
+};
+
+TEST_F(SchedulerTest, FifoPreservesOrder) {
+  IoScheduler sched(SchedAlgo::kFifo, &clock_);
+  sched.RegisterTier(MakeTier(0, device::DeviceProfile::OptaneSsd(1 << 20)));
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(sched
+                    .Submit(IoRequest{0, false, 0, 4096, 1,
+                                      [&order, i] {
+                                        order.push_back(i);
+                                        return Status::Ok();
+                                      }})
+                    .ok());
+  }
+  auto ran = sched.RunAll();
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(*ran, 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(SchedulerTest, PriorityBeatsOrder) {
+  IoScheduler sched(SchedAlgo::kFifo, &clock_);
+  sched.RegisterTier(MakeTier(0, device::DeviceProfile::OptaneSsd(1 << 20)));
+  std::vector<int> order;
+  auto push = [&](int id, int priority) {
+    ASSERT_TRUE(sched
+                    .Submit(IoRequest{0, false, 0, 4096, priority,
+                                      [&order, id] {
+                                        order.push_back(id);
+                                        return Status::Ok();
+                                      }})
+                    .ok());
+  };
+  push(0, 5);
+  push(1, 0);  // high priority
+  push(2, 5);
+  ASSERT_TRUE(sched.RunAll().ok());
+  EXPECT_EQ(order[0], 1);
+}
+
+TEST_F(SchedulerTest, CostBasedRunsShortJobsFirst) {
+  IoScheduler sched(SchedAlgo::kCostBased, &clock_);
+  sched.RegisterTier(MakeTier(0, device::DeviceProfile::OptaneSsd(1 << 20)));
+  std::vector<int> order;
+  auto push = [&](int id, uint64_t bytes) {
+    ASSERT_TRUE(sched
+                    .Submit(IoRequest{0, false, 0, bytes, 1,
+                                      [&order, id] {
+                                        order.push_back(id);
+                                        return Status::Ok();
+                                      }})
+                    .ok());
+  };
+  push(0, 1 << 20);
+  push(1, 4096);
+  push(2, 64 << 10);
+  ASSERT_TRUE(sched.RunAll().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST_F(SchedulerTest, ElevatorSortsByOffset) {
+  IoScheduler sched(SchedAlgo::kElevator, &clock_);
+  sched.RegisterTier(MakeTier(0, device::DeviceProfile::ExosHdd(64 << 20)));
+  std::vector<uint64_t> offsets;
+  auto push = [&](uint64_t offset) {
+    ASSERT_TRUE(sched
+                    .Submit(IoRequest{0, false, offset, 4096, 1,
+                                      [&offsets, offset] {
+                                        offsets.push_back(offset);
+                                        return Status::Ok();
+                                      }})
+                    .ok());
+  };
+  push(9 << 20);
+  push(1 << 20);
+  push(5 << 20);
+  ASSERT_TRUE(sched.RunAll().ok());
+  EXPECT_EQ(offsets, (std::vector<uint64_t>{1 << 20, 5 << 20, 9 << 20}));
+}
+
+TEST_F(SchedulerTest, UnregisteredTierRejected) {
+  IoScheduler sched(SchedAlgo::kFifo, &clock_);
+  EXPECT_EQ(sched.Submit(IoRequest{7, false, 0, 1, 1,
+                                   [] { return Status::Ok(); }})
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(SchedulerTest, FailuresSurfaceAndCount) {
+  IoScheduler sched(SchedAlgo::kFifo, &clock_);
+  sched.RegisterTier(MakeTier(0, device::DeviceProfile::OptaneSsd(1 << 20)));
+  ASSERT_TRUE(sched
+                  .Submit(IoRequest{0, true, 0, 4096, 1,
+                                    [] { return IoError("boom"); }})
+                  .ok());
+  auto ran = sched.RunAll();
+  EXPECT_FALSE(ran.ok());
+  EXPECT_EQ(sched.stats().failures, 1u);
+}
+
+// ---- bookkeeper serialization -------------------------------------------------------
+
+TEST(BookkeeperTest, EncodeDecodeRoundTrip) {
+  MuxSnapshot snapshot;
+  FileSnapshot dir;
+  dir.path = "/d";
+  dir.is_directory = true;
+  dir.mode = 0755;
+  snapshot.files.push_back(dir);
+  FileSnapshot file;
+  file.path = "/d/f";
+  file.size = 123456;
+  file.mtime = 111;
+  file.atime = 222;
+  file.ctime = 333;
+  file.mode = 0600;
+  file.occ_version = 42;
+  file.attr_owners = {0, 1, 2, 0};
+  file.runs.push_back(BlockLookupTable::Run{0, 10, 0});
+  file.runs.push_back(BlockLookupTable::Run{10, 20, 2});
+  snapshot.files.push_back(file);
+
+  auto bytes = EncodeSnapshot(snapshot);
+  auto decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->files.size(), 2u);
+  EXPECT_EQ(decoded->files[0].path, "/d");
+  EXPECT_TRUE(decoded->files[0].is_directory);
+  const FileSnapshot& f = decoded->files[1];
+  EXPECT_EQ(f.path, "/d/f");
+  EXPECT_EQ(f.size, 123456u);
+  EXPECT_EQ(f.occ_version, 42u);
+  EXPECT_EQ(f.attr_owners[1], 1u);
+  ASSERT_EQ(f.runs.size(), 2u);
+  EXPECT_EQ(f.runs[1].first_block, 10u);
+  EXPECT_EQ(f.runs[1].tier, 2u);
+}
+
+TEST(BookkeeperTest, CorruptionDetected) {
+  MuxSnapshot snapshot;
+  FileSnapshot file;
+  file.path = "/f";
+  snapshot.files.push_back(file);
+  auto bytes = EncodeSnapshot(snapshot);
+  bytes[bytes.size() - 1] ^= 0xff;
+  EXPECT_EQ(DecodeSnapshot(bytes).status().code(), ErrorCode::kCorruption);
+  // Truncation detected too.
+  auto bytes2 = EncodeSnapshot(snapshot);
+  bytes2.resize(bytes2.size() / 2);
+  EXPECT_EQ(DecodeSnapshot(bytes2).status().code(), ErrorCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace mux::core

@@ -1,0 +1,336 @@
+// Tests for the simulated devices: latency model, crash cache, PM persist.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/device/block_device.h"
+#include "src/device/device_profile.h"
+#include "src/device/pm_device.h"
+
+namespace mux::device {
+namespace {
+
+constexpr uint64_t kMiB = 1ULL << 20;
+
+std::vector<uint8_t> Pattern(size_t n, uint8_t seed) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<uint8_t>(seed + i);
+  }
+  return v;
+}
+
+TEST(DeviceProfileTest, PresetsAreSane) {
+  auto pm = DeviceProfile::OptanePm(16 * kMiB);
+  auto ssd = DeviceProfile::OptaneSsd(16 * kMiB);
+  auto hdd = DeviceProfile::ExosHdd(16 * kMiB);
+  EXPECT_TRUE(pm.byte_addressable);
+  EXPECT_FALSE(ssd.byte_addressable);
+  // The latency hierarchy the whole paper is about: PM << SSD << HDD.
+  EXPECT_LT(pm.read_latency_ns, ssd.read_latency_ns);
+  EXPECT_LT(ssd.read_latency_ns, hdd.read_latency_ns);
+  EXPECT_EQ(pm.capacity_blocks(), 16 * kMiB / 4096);
+}
+
+TEST(DeviceProfileTest, EstimateScalesWithSize) {
+  auto ssd = DeviceProfile::OptaneSsd(16 * kMiB);
+  EXPECT_GT(ssd.EstimateReadNs(1 * kMiB), ssd.EstimateReadNs(4096));
+  // Fixed latency dominates small transfers.
+  EXPECT_GE(ssd.EstimateReadNs(1), ssd.read_latency_ns);
+}
+
+TEST(BlockDeviceTest, WriteThenReadRoundTrips) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  auto data = Pattern(4096 * 3, 7);
+  ASSERT_TRUE(dev.WriteBlocks(10, 3, data.data()).ok());
+  std::vector<uint8_t> out(4096 * 3, 0);
+  ASSERT_TRUE(dev.ReadBlocks(10, 3, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlockDeviceTest, RejectsOutOfRange) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(1 * kMiB), &clock);  // 256 blocks
+  std::vector<uint8_t> buf(4096);
+  EXPECT_EQ(dev.ReadBlocks(256, 1, buf.data()).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.WriteBlocks(255, 2, buf.data()).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.ReadBlocks(0, 0, buf.data()).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(BlockDeviceTest, ChargesSimulatedTime) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::OptaneSsd(16 * kMiB), &clock);
+  std::vector<uint8_t> buf(4096);
+  const SimTime before = clock.Now();
+  ASSERT_TRUE(dev.ReadBlocks(0, 1, buf.data()).ok());
+  EXPECT_GT(clock.Now(), before);
+  // At least the fixed per-op latency must have elapsed.
+  EXPECT_GE(clock.Now() - before, dev.profile().read_latency_ns);
+}
+
+TEST(BlockDeviceTest, HddChargesSeeks) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::ExosHdd(64 * kMiB), &clock);
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(dev.ReadBlocks(0, 1, buf.data()).ok());
+  const SimTime sequential_start = clock.Now();
+  ASSERT_TRUE(dev.ReadBlocks(1, 1, buf.data()).ok());  // sequential: no seek
+  const SimTime sequential_cost = clock.Now() - sequential_start;
+
+  const SimTime random_start = clock.Now();
+  ASSERT_TRUE(dev.ReadBlocks(16000, 1, buf.data()).ok());  // long seek
+  const SimTime random_cost = clock.Now() - random_start;
+  EXPECT_GT(random_cost, sequential_cost);
+  EXPECT_GE(dev.stats().seeks, 1u);
+}
+
+TEST(BlockDeviceTest, SsdHasNoSeekPenalty) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::OptaneSsd(64 * kMiB), &clock);
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(dev.ReadBlocks(0, 1, buf.data()).ok());
+  const SimTime t0 = clock.Now();
+  ASSERT_TRUE(dev.ReadBlocks(1, 1, buf.data()).ok());
+  const SimTime seq = clock.Now() - t0;
+  const SimTime t1 = clock.Now();
+  ASSERT_TRUE(dev.ReadBlocks(9000, 1, buf.data()).ok());
+  const SimTime rnd = clock.Now() - t1;
+  EXPECT_EQ(seq, rnd);
+}
+
+TEST(BlockDeviceTest, StatsAccumulate) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  std::vector<uint8_t> buf(4096 * 2);
+  ASSERT_TRUE(dev.WriteBlocks(0, 2, buf.data()).ok());
+  ASSERT_TRUE(dev.ReadBlocks(0, 1, buf.data()).ok());
+  auto stats = dev.stats();
+  EXPECT_EQ(stats.write_ops, 1u);
+  EXPECT_EQ(stats.read_ops, 1u);
+  EXPECT_EQ(stats.bytes_written, 8192u);
+  EXPECT_EQ(stats.bytes_read, 4096u);
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().read_ops, 0u);
+}
+
+TEST(BlockDeviceCrashTest, UnflushedWritesAreLost) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  dev.EnableCrashSim(true);
+  auto data = Pattern(4096, 3);
+  ASSERT_TRUE(dev.WriteBlocks(5, 1, data.data()).ok());
+  EXPECT_EQ(dev.DirtyBlocks(), 1u);
+
+  // Before the crash, reads see the cached write.
+  std::vector<uint8_t> out(4096, 0xff);
+  ASSERT_TRUE(dev.ReadBlocks(5, 1, out.data()).ok());
+  EXPECT_EQ(out, data);
+
+  dev.Crash();
+  ASSERT_TRUE(dev.ReadBlocks(5, 1, out.data()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(4096, 0));  // back to zeros
+}
+
+TEST(BlockDeviceCrashTest, FlushMakesWritesDurable) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  dev.EnableCrashSim(true);
+  auto data = Pattern(4096, 9);
+  ASSERT_TRUE(dev.WriteBlocks(7, 1, data.data()).ok());
+  ASSERT_TRUE(dev.Flush().ok());
+  EXPECT_EQ(dev.DirtyBlocks(), 0u);
+  dev.Crash();
+  std::vector<uint8_t> out(4096, 0);
+  ASSERT_TRUE(dev.ReadBlocks(7, 1, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BlockDeviceCrashTest, TornCrashPersistsSubset) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  dev.EnableCrashSim(true);
+  auto data = Pattern(4096, 1);
+  for (uint64_t lba = 0; lba < 64; ++lba) {
+    ASSERT_TRUE(dev.WriteBlocks(lba, 1, data.data()).ok());
+  }
+  Rng rng(11);
+  dev.CrashTorn(rng, 0.5);
+  int survived = 0;
+  std::vector<uint8_t> out(4096);
+  for (uint64_t lba = 0; lba < 64; ++lba) {
+    ASSERT_TRUE(dev.ReadBlocks(lba, 1, out.data()).ok());
+    if (out == data) {
+      survived++;
+    }
+  }
+  EXPECT_GT(survived, 0);
+  EXPECT_LT(survived, 64);
+}
+
+TEST(BlockDeviceCrashTest, DisablingCrashSimFlushes) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  dev.EnableCrashSim(true);
+  auto data = Pattern(4096, 2);
+  ASSERT_TRUE(dev.WriteBlocks(1, 1, data.data()).ok());
+  dev.EnableCrashSim(false);
+  dev.Crash();  // no-op now
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(dev.ReadBlocks(1, 1, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(PmDeviceTest, LoadStoreRoundTrips) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  auto data = Pattern(1000, 5);
+  ASSERT_TRUE(pm.Store(123, data.size(), data.data()).ok());
+  std::vector<uint8_t> out(1000);
+  ASSERT_TRUE(pm.Load(123, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(PmDeviceTest, ByteGranularityAccess) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  uint8_t b = 0x5a;
+  ASSERT_TRUE(pm.Store(4097, 1, &b).ok());  // unaligned single byte
+  uint8_t out = 0;
+  ASSERT_TRUE(pm.Load(4097, 1, &out).ok());
+  EXPECT_EQ(out, 0x5a);
+}
+
+TEST(PmDeviceTest, RejectsOutOfRange) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(1 * kMiB), &clock);
+  uint8_t b = 0;
+  EXPECT_EQ(pm.Store(kMiB, 1, &b).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(pm.Load(kMiB - 1, 2, &b).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(PmDeviceTest, DaxSeesStores) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  auto data = Pattern(64, 8);
+  ASSERT_TRUE(pm.Store(100, data.size(), data.data()).ok());
+  EXPECT_EQ(std::memcmp(pm.DaxBase() + 100, data.data(), data.size()), 0);
+}
+
+TEST(PmDeviceCrashTest, UnpersistedStoresRollBack) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  // Establish a persisted baseline.
+  auto base = Pattern(512, 1);
+  ASSERT_TRUE(pm.Store(0, base.size(), base.data()).ok());
+  ASSERT_TRUE(pm.Persist(0, base.size()).ok());
+
+  pm.EnableCrashSim(true);
+  auto update = Pattern(512, 99);
+  ASSERT_TRUE(pm.Store(0, update.size(), update.data()).ok());
+  EXPECT_GT(pm.UnpersistedLines(), 0u);
+  pm.Crash();
+
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(pm.Load(0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, base);  // rolled back to the persisted image
+}
+
+TEST(PmDeviceCrashTest, PersistedStoresSurvive) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  pm.EnableCrashSim(true);
+  auto data = Pattern(300, 4);
+  ASSERT_TRUE(pm.Store(1000, data.size(), data.data()).ok());
+  ASSERT_TRUE(pm.Persist(1000, data.size()).ok());
+  EXPECT_EQ(pm.UnpersistedLines(), 0u);
+  pm.Crash();
+  std::vector<uint8_t> out(300);
+  ASSERT_TRUE(pm.Load(1000, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(PmDeviceCrashTest, PartialPersistSplitsFate) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  pm.EnableCrashSim(true);
+  // Two stores to distinct lines; persist only the first.
+  auto a = Pattern(PmDevice::kLineSize, 1);
+  auto b = Pattern(PmDevice::kLineSize, 2);
+  ASSERT_TRUE(pm.Store(0, a.size(), a.data()).ok());
+  ASSERT_TRUE(pm.Store(PmDevice::kLineSize, b.size(), b.data()).ok());
+  ASSERT_TRUE(pm.Persist(0, PmDevice::kLineSize).ok());
+  pm.Crash();
+  std::vector<uint8_t> out(PmDevice::kLineSize);
+  ASSERT_TRUE(pm.Load(0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(pm.Load(PmDevice::kLineSize, out.size(), out.data()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(PmDevice::kLineSize, 0));
+}
+
+TEST(PmDeviceTest, PersistChargesPerLine) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  const SimTime t0 = clock.Now();
+  ASSERT_TRUE(pm.Persist(0, 4 * PmDevice::kLineSize).ok());
+  const SimTime four_lines = clock.Now() - t0;
+  const SimTime t1 = clock.Now();
+  ASSERT_TRUE(pm.Persist(0, 1).ok());
+  const SimTime one_line = clock.Now() - t1;
+  EXPECT_EQ(four_lines, 4 * one_line);
+}
+
+TEST(PmDeviceTest, DaxChargeAccounting) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  const SimTime t0 = clock.Now();
+  pm.ChargeDaxRead(4096);
+  EXPECT_GT(clock.Now(), t0);
+  EXPECT_EQ(pm.stats().bytes_read, 4096u);
+}
+
+TEST(BlockDeviceFaultTest, FailReadsInjectsErrors) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(dev.WriteBlocks(0, 1, buf.data()).ok());
+  dev.FailReads(true);
+  EXPECT_EQ(dev.ReadBlocks(0, 1, buf.data()).code(), ErrorCode::kIoError);
+  EXPECT_TRUE(dev.WriteBlocks(0, 1, buf.data()).ok());  // writes unaffected
+  dev.FailReads(false);
+  EXPECT_TRUE(dev.ReadBlocks(0, 1, buf.data()).ok());
+}
+
+TEST(BlockDeviceFaultTest, FailAfterWritesCountsDown) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::TestRam(16 * kMiB), &clock);
+  std::vector<uint8_t> buf(4096);
+  dev.FailAfterWrites(2);
+  EXPECT_TRUE(dev.WriteBlocks(0, 1, buf.data()).ok());
+  EXPECT_TRUE(dev.WriteBlocks(1, 1, buf.data()).ok());
+  EXPECT_EQ(dev.WriteBlocks(2, 1, buf.data()).code(), ErrorCode::kIoError);
+  EXPECT_EQ(dev.Flush().code(), ErrorCode::kIoError);
+  dev.FailAfterWrites(-1);
+  EXPECT_TRUE(dev.WriteBlocks(2, 1, buf.data()).ok());
+}
+
+TEST(PmDeviceFaultTest, FailAfterStoresCountsDown) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  uint8_t byte = 1;
+  pm.FailAfterStores(1);
+  EXPECT_TRUE(pm.Store(0, 1, &byte).ok());
+  EXPECT_EQ(pm.Store(1, 1, &byte).code(), ErrorCode::kIoError);
+  EXPECT_EQ(pm.Persist(0, 1).code(), ErrorCode::kIoError);
+  pm.FailAfterStores(-1);
+  EXPECT_TRUE(pm.Store(1, 1, &byte).ok());
+  EXPECT_TRUE(pm.Persist(0, 1).ok());
+}
+
+}  // namespace
+}  // namespace mux::device

@@ -1,0 +1,115 @@
+// Tests for the dual-index extent allocator.
+#include <gtest/gtest.h>
+
+#include "src/fs/fscommon/extent_allocator.h"
+
+namespace mux::fs {
+namespace {
+
+TEST(ExtentAllocatorTest, AllocAndFreeRoundTrip) {
+  ExtentAllocator alloc(100, 1000);
+  EXPECT_EQ(alloc.FreeUnits(), 1000u);
+  auto a = alloc.AllocContiguous(10);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GE(*a, 100u);
+  EXPECT_EQ(alloc.FreeUnits(), 990u);
+  ASSERT_TRUE(alloc.Free(*a, 10).ok());
+  EXPECT_EQ(alloc.FreeUnits(), 1000u);
+  EXPECT_EQ(alloc.FragmentCount(), 1u);  // coalesced back into one extent
+}
+
+TEST(ExtentAllocatorTest, BestFitPrefersSmallestSufficientExtent) {
+  ExtentAllocator alloc;
+  ASSERT_TRUE(alloc.Free(0, 100).ok());
+  ASSERT_TRUE(alloc.Free(1000, 10).ok());
+  // Request of 10 should come from the exact-fit extent at 1000.
+  auto a = alloc.AllocContiguous(10);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 1000u);
+}
+
+TEST(ExtentAllocatorTest, ExhaustionReturnsNoSpace) {
+  ExtentAllocator alloc(0, 16);
+  auto a = alloc.AllocContiguous(17);
+  EXPECT_EQ(a.status().code(), ErrorCode::kNoSpace);
+  ASSERT_TRUE(alloc.AllocContiguous(16).ok());
+  EXPECT_EQ(alloc.AllocContiguous(1).status().code(), ErrorCode::kNoSpace);
+}
+
+TEST(ExtentAllocatorTest, FreeCoalescesBothSides) {
+  ExtentAllocator alloc(0, 30);
+  auto a = alloc.AllocContiguous(10);
+  auto b = alloc.AllocContiguous(10);
+  auto c = alloc.AllocContiguous(10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(alloc.Free(*a, 10).ok());
+  ASSERT_TRUE(alloc.Free(*c, 10).ok());
+  EXPECT_EQ(alloc.FragmentCount(), 2u);
+  ASSERT_TRUE(alloc.Free(*b, 10).ok());
+  EXPECT_EQ(alloc.FragmentCount(), 1u);
+  EXPECT_EQ(alloc.LargestExtent(), 30u);
+}
+
+TEST(ExtentAllocatorTest, DoubleFreeDetected) {
+  ExtentAllocator alloc(0, 100);
+  auto a = alloc.AllocContiguous(10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a, 10).ok());
+  EXPECT_EQ(alloc.Free(*a, 10).code(), ErrorCode::kInvalidArgument);
+  // Overlapping partial free also detected.
+  auto b = alloc.AllocContiguous(10);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(alloc.Free(*b + 5, 5).ok());
+  EXPECT_EQ(alloc.Free(*b, 10).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ExtentAllocatorTest, ReserveCarvesRange) {
+  ExtentAllocator alloc(0, 100);
+  ASSERT_TRUE(alloc.Reserve(40, 20).ok());
+  EXPECT_EQ(alloc.FreeUnits(), 80u);
+  EXPECT_EQ(alloc.FragmentCount(), 2u);
+  // Reserving something already in use fails.
+  EXPECT_EQ(alloc.Reserve(45, 5).code(), ErrorCode::kInvalidArgument);
+  // Allocations avoid the reserved hole.
+  auto a = alloc.AllocContiguous(50);
+  EXPECT_EQ(a.status().code(), ErrorCode::kNoSpace);  // 40 + 40 split
+  ASSERT_TRUE(alloc.AllocContiguous(40).ok());
+}
+
+TEST(ExtentAllocatorTest, AllocNearPrefersTarget) {
+  ExtentAllocator alloc(0, 1000);
+  // Carve a hole so free space is [0,500) and [600,1000).
+  ASSERT_TRUE(alloc.Reserve(500, 100).ok());
+  auto a = alloc.AllocNear(600, 10);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 600u);
+  // Target inside an extent: allocation starts exactly at the target.
+  auto b = alloc.AllocNear(100, 10);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 100u);
+}
+
+TEST(ExtentAllocatorTest, AllocUpToReturnsPartialExtents) {
+  ExtentAllocator alloc(0, 30);
+  ASSERT_TRUE(alloc.Reserve(10, 10).ok());  // free: [0,10) and [20,30)
+  auto r = alloc.AllocUpTo(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->second, 10u);
+  auto r2 = alloc.AllocUpTo(100);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->second, 10u);
+  EXPECT_EQ(alloc.AllocUpTo(1).status().code(), ErrorCode::kNoSpace);
+}
+
+TEST(ExtentAllocatorTest, ZeroLengthRejected) {
+  ExtentAllocator alloc(0, 10);
+  EXPECT_EQ(alloc.AllocContiguous(0).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(alloc.Free(5, 0).ok());      // no-op
+  EXPECT_TRUE(alloc.Reserve(5, 0).ok());   // no-op
+}
+
+}  // namespace
+}  // namespace mux::fs

@@ -1,0 +1,298 @@
+// extlite-specific tests: block-map tree (direct/indirect/double-indirect),
+// bitmap persistence, ordered journaling, remount, crash sweeps, timestamp
+// granularity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/device/block_device.h"
+#include "src/fs/extlite/extlite.h"
+
+namespace mux::fs {
+namespace {
+
+using vfs::OpenFlags;
+
+constexpr uint64_t kDevSize = 256ULL << 20;  // roomy: double-indirect tests
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+class ExtLiteTest : public ::testing::Test {
+ protected:
+  ExtLiteTest()
+      : dev_(device::DeviceProfile::ExosHdd(kDevSize), &clock_),
+        fs_(&dev_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+
+  SimClock clock_;
+  device::BlockDevice dev_;
+  ExtLite fs_;
+};
+
+TEST_F(ExtLiteTest, TimestampGranularityIsOneSecond) {
+  EXPECT_EQ(fs_.TimestampGranularityNs(), 1'000'000'000u);
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  clock_.Advance(1'500'000'000);  // 1.5s
+  uint8_t b = 1;
+  ASSERT_TRUE(fs_.Write(*h, 0, &b, 1).ok());
+  auto st = fs_.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->mtime % 1'000'000'000, 0u) << "mtime not second-aligned";
+}
+
+TEST_F(ExtLiteTest, SmallFileUsesDirectPointersOnly) {
+  auto h = fs_.Open("/small", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(12 * 4096, 1);  // exactly the 12 direct blocks
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+
+  ExtLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/small", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(remounted.Read(*h2, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ExtLiteTest, MediumFileUsesSingleIndirect) {
+  auto h = fs_.Open("/medium", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  // 100 blocks: 12 direct + 88 through the single-indirect block.
+  auto data = Pattern(100 * 4096, 2);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+
+  ExtLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/medium", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(data.size());
+  auto r = remounted.Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ExtLiteTest, LargeFileUsesDoubleIndirect) {
+  auto h = fs_.Open("/large", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  // 600 blocks: 12 direct + 512 single-indirect + 76 double-indirect.
+  const size_t blocks = 600;
+  auto data = Pattern(64 * 1024, 3);
+  for (size_t b = 0; b < blocks; b += 16) {
+    ASSERT_TRUE(
+        fs_.Write(*h, static_cast<uint64_t>(b) * 4096, data.data(), data.size())
+            .ok());
+  }
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+
+  ExtLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/large", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(data.size());
+  for (size_t b = 0; b < blocks; b += 16) {
+    auto r = remounted.Read(*h2, static_cast<uint64_t>(b) * 4096, out.size(),
+                            out.data());
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(out, data) << "block " << b;
+  }
+}
+
+TEST_F(ExtLiteTest, SparseFileAcrossIndirectBoundaries) {
+  auto h = fs_.Open("/sparse", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  // One block in each mapping region: direct, single-ind, double-ind.
+  const uint64_t offsets[] = {0, 100ull * 4096, 2000ull * 4096};
+  for (uint64_t off : offsets) {
+    auto data = Pattern(4096, off);
+    ASSERT_TRUE(fs_.Write(*h, off, data.data(), data.size()).ok());
+  }
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  auto st = fs_.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->allocated_bytes, 3u * 4096);  // holes cost nothing
+
+  ExtLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/sparse", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  for (uint64_t off : offsets) {
+    auto expected = Pattern(4096, off);
+    std::vector<uint8_t> out(4096);
+    ASSERT_TRUE(remounted.Read(*h2, off, 4096, out.data()).ok());
+    ASSERT_EQ(out, expected) << off;
+  }
+  // Holes read zero.
+  std::vector<uint8_t> hole(4096);
+  ASSERT_TRUE(remounted.Read(*h2, 50ull * 4096, 4096, hole.data()).ok());
+  EXPECT_EQ(hole, std::vector<uint8_t>(4096, 0));
+}
+
+TEST_F(ExtLiteTest, TruncatePrunesIndirectTree) {
+  auto h = fs_.Open("/prune", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(600 * 4096, 4);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  auto st_before = fs_.StatFs();
+  ASSERT_TRUE(st_before.ok());
+
+  ASSERT_TRUE(fs_.Truncate(*h, 4096).ok());
+  auto st_after = fs_.StatFs();
+  ASSERT_TRUE(st_after.ok());
+  // 599 data blocks + indirect tree blocks come back.
+  EXPECT_GT(st_after->free_bytes, st_before->free_bytes + 598 * 4096);
+
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  ExtLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto st = remounted.Stat("/prune");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 4096u);
+}
+
+TEST_F(ExtLiteTest, BitmapsSurviveRemount) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(50 * 4096, 5);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  auto before = fs_.StatFs();
+  ASSERT_TRUE(before.ok());
+
+  ExtLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto after = remounted.StatFs();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->free_bytes, before->free_bytes);
+  EXPECT_EQ(after->free_inodes, before->free_inodes);
+}
+
+TEST_F(ExtLiteTest, CrashBeforeFsyncLosesDataKeepsConsistency) {
+  dev_.EnableCrashSim(true);
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  auto data = Pattern(64 * 1024, 6);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  dev_.Crash();
+  dev_.EnableCrashSim(false);
+
+  ExtLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto st = remounted.Stat("/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 0u);
+}
+
+class ExtCrashSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ExtCrashSweep, MountAlwaysSucceedsAndBaselineSurvives) {
+  SimClock clock;
+  device::BlockDevice dev(device::DeviceProfile::ExosHdd(kDevSize), &clock);
+  ExtLite fs(&dev, &clock);
+  ASSERT_TRUE(fs.Format().ok());
+
+  auto h = fs.Open("/base", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto base = Pattern(100 * 4096, 7);  // spans into the indirect tree
+  ASSERT_TRUE(fs.Write(*h, 0, base.data(), base.size()).ok());
+  ASSERT_TRUE(fs.Fsync(*h, false).ok());
+  ASSERT_TRUE(fs.Close(*h).ok());
+
+  dev.EnableCrashSim(true);
+  dev.FailAfterWrites(GetParam());
+  auto h2 = fs.Open("/victim", OpenFlags::kCreateRw);
+  if (h2.ok()) {
+    auto data = Pattern(200 * 4096, 8);
+    (void)fs.Write(*h2, 0, data.data(), data.size());
+    (void)fs.Fsync(*h2, false);
+    (void)fs.Truncate(*h2, 4096);
+  }
+  (void)fs.Mkdir("/dir");
+  dev.FailAfterWrites(-1);
+  dev.Crash();
+  dev.EnableCrashSim(false);
+
+  ExtLite remounted(&dev, &clock);
+  ASSERT_TRUE(remounted.Mount().ok()) << "cutoff " << GetParam();
+  auto h3 = remounted.Open("/base", OpenFlags::kRead);
+  ASSERT_TRUE(h3.ok()) << "cutoff " << GetParam();
+  std::vector<uint8_t> out(base.size());
+  auto r = remounted.Read(*h3, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, base.size()) << "cutoff " << GetParam();
+  EXPECT_EQ(out, base) << "cutoff " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, ExtCrashSweep,
+                         ::testing::Values(0, 1, 2, 4, 7, 11, 16, 22, 40, 80));
+
+TEST_F(ExtLiteTest, HddReadaheadMakesSequentialCheap) {
+  auto h = fs_.Open("/seq", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(128 * 4096, 9);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  ASSERT_TRUE(fs_.Sync().ok());
+
+  ExtLite cold(&dev_, &clock_);
+  ASSERT_TRUE(cold.Mount().ok());
+  auto h2 = cold.Open("/seq", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(4096);
+  // Prime the sequential detector, then measure per-read cost.
+  ASSERT_TRUE(cold.Read(*h2, 0, 4096, out.data()).ok());
+  ASSERT_TRUE(cold.Read(*h2, 4096, 4096, out.data()).ok());
+  const SimTime t0 = clock_.Now();
+  constexpr int kReads = 30;
+  for (int i = 2; i < 2 + kReads; ++i) {
+    ASSERT_TRUE(
+        cold.Read(*h2, static_cast<uint64_t>(i) * 4096, 4096, out.data()).ok());
+  }
+  const SimTime per_read = (clock_.Now() - t0) / kReads;
+  // Without readahead every 4K read would pay ~2ms rotational latency.
+  // With a 32-page window most reads are cache hits.
+  EXPECT_LT(per_read, 1'000'000u);  // < 1ms average
+}
+
+TEST_F(ExtLiteTest, MountRejectsForeignContent) {
+  SimClock clock;
+  device::BlockDevice blank(device::DeviceProfile::ExosHdd(16 << 20), &clock);
+  ExtLite never_formatted(&blank, &clock);
+  EXPECT_EQ(never_formatted.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(ExtLiteTest, InodeExhaustionSurfaces) {
+  // Use a tiny FS with very few inodes.
+  SimClock clock;
+  device::BlockDevice dev(device::DeviceProfile::ExosHdd(32 << 20), &clock);
+  ExtLite::Options opts;
+  opts.group_count = 2;
+  opts.inode_blocks_per_group = 1;  // 16 inodes per group
+  ExtLite small(&dev, &clock, opts);
+  ASSERT_TRUE(small.Format().ok());
+  Status last = Status::Ok();
+  for (int i = 0; i < 64 && last.ok(); ++i) {
+    last = small.Open("/f" + std::to_string(i), OpenFlags::kCreateRw).status();
+  }
+  EXPECT_EQ(last.code(), ErrorCode::kNoSpace);
+}
+
+}  // namespace
+}  // namespace mux::fs

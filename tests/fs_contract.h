@@ -1,0 +1,55 @@
+// Generic file-system contract test suite.
+//
+// Every FileSystem implementation in the repository — MemFs, NovaFs,
+// XfsLite, ExtLite, StrataFs and Mux itself — is instantiated against this
+// battery. The paper's whole premise is that heterogeneous file systems are
+// interchangeable behind the VFS interface; this suite is what makes that
+// interchangeability checkable.
+#ifndef MUX_TESTS_FS_CONTRACT_H_
+#define MUX_TESTS_FS_CONTRACT_H_
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::testing {
+
+// Owns a file system plus whatever devices/substrate it needs.
+class FsFixture {
+ public:
+  virtual ~FsFixture() = default;
+  virtual vfs::FileSystem* fs() = 0;
+  virtual SimClock* clock() = 0;
+};
+
+struct FsContractParam {
+  std::string name;
+  std::function<std::unique_ptr<FsFixture>()> make;
+};
+
+inline std::string FsContractParamName(
+    const ::testing::TestParamInfo<FsContractParam>& info) {
+  return info.param.name;
+}
+
+class FsContractTest : public ::testing::TestWithParam<FsContractParam> {
+ protected:
+  void SetUp() override {
+    fixture_ = GetParam().make();
+    fs_ = fixture_->fs();
+    clock_ = fixture_->clock();
+  }
+
+  std::unique_ptr<FsFixture> fixture_;
+  vfs::FileSystem* fs_ = nullptr;
+  SimClock* clock_ = nullptr;
+};
+
+}  // namespace mux::testing
+
+#endif  // MUX_TESTS_FS_CONTRACT_H_

@@ -1,0 +1,560 @@
+// The generic FileSystem contract battery plus a randomized-oracle property
+// test. Instantiated for every file system in the repository; new file
+// systems only add a registration block at the bottom.
+#include "tests/fs_contract.h"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/device/block_device.h"
+#include "src/device/pm_device.h"
+#include "src/fs/extlite/extlite.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/fs/xfslite/xfslite.h"
+#include "src/strata/strata.h"
+#include "tests/mux_rig.h"
+#include "src/vfs/memfs.h"
+#include "src/vfs/path.h"
+
+namespace mux::testing {
+namespace {
+
+using vfs::OpenFlags;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+TEST_P(FsContractTest, CreateWriteReadBack) {
+  auto h = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok()) << h.status();
+  auto data = Pattern(10000, 1);
+  auto w = fs_->Write(*h, 0, data.data(), data.size());
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ(*w, data.size());
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_->Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, data.size());
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(fs_->Close(*h).ok());
+}
+
+TEST_P(FsContractTest, PersistsAcrossHandles) {
+  auto h1 = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h1.ok());
+  auto data = Pattern(5000, 2);
+  ASSERT_TRUE(fs_->Write(*h1, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_->Close(*h1).ok());
+  auto h2 = fs_->Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_->Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(FsContractTest, UnalignedOffsets) {
+  auto h = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(9000, 3);
+  // Write at an offset that is not page aligned and spans pages.
+  ASSERT_TRUE(fs_->Write(*h, 4095, data.data(), data.size()).ok());
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_->Read(*h, 4095, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, out.size());
+  EXPECT_EQ(out, data);
+  // The first 4095 bytes are a hole.
+  std::vector<uint8_t> head(4095);
+  ASSERT_TRUE(fs_->Read(*h, 0, head.size(), head.data()).ok());
+  EXPECT_EQ(head, std::vector<uint8_t>(4095, 0));
+}
+
+TEST_P(FsContractTest, OverwriteMiddle) {
+  auto h = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto base = Pattern(16384, 4);
+  ASSERT_TRUE(fs_->Write(*h, 0, base.data(), base.size()).ok());
+  auto patch = Pattern(100, 5);
+  ASSERT_TRUE(fs_->Write(*h, 6000, patch.data(), patch.size()).ok());
+  std::vector<uint8_t> expected = base;
+  std::copy(patch.begin(), patch.end(), expected.begin() + 6000);
+  std::vector<uint8_t> out(base.size());
+  ASSERT_TRUE(fs_->Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, expected);
+  auto st = fs_->FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, base.size());  // overwrite does not grow the file
+}
+
+TEST_P(FsContractTest, SparseFilePreservesOffsets) {
+  // The paper's §2.2 mechanism: a block written at offset X must read back
+  // at offset X even when everything before it is a hole, and disk
+  // consumption must reflect only the written block.
+  auto h = fs_->Open("/sparse", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4096, 6);
+  const uint64_t far_offset = 10 * 1024 * 1024;  // 10 MiB
+  ASSERT_TRUE(fs_->Write(*h, far_offset, data.data(), data.size()).ok());
+  auto st = fs_->FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, far_offset + data.size());
+  EXPECT_LT(st->allocated_bytes, far_offset / 2)
+      << "file system does not store holes sparsely";
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(fs_->Read(*h, far_offset, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(FsContractTest, ReadShortAtEof) {
+  auto h = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(100, 7);
+  ASSERT_TRUE(fs_->Write(*h, 0, data.data(), data.size()).ok());
+  std::vector<uint8_t> out(200);
+  auto r = fs_->Read(*h, 50, 200, out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 50u);
+  auto r2 = fs_->Read(*h, 1000, 10, out.data());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 0u);
+}
+
+TEST_P(FsContractTest, TruncateShrinkGrow) {
+  auto h = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(10000, 8);
+  ASSERT_TRUE(fs_->Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_->Truncate(*h, 3000).ok());
+  auto st = fs_->FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 3000u);
+  ASSERT_TRUE(fs_->Truncate(*h, 10000).ok());
+  std::vector<uint8_t> out(10000);
+  ASSERT_TRUE(fs_->Read(*h, 0, out.size(), out.data()).ok());
+  for (size_t i = 0; i < 3000; ++i) {
+    ASSERT_EQ(out[i], data[i]) << i;
+  }
+  for (size_t i = 3000; i < 10000; ++i) {
+    ASSERT_EQ(out[i], 0) << "stale data after shrink+grow at " << i;
+  }
+}
+
+TEST_P(FsContractTest, DirectoryLifecycle) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->Mkdir("/d/e").ok());
+  ASSERT_TRUE(fs_->Open("/d/f", OpenFlags::kCreateRw).ok());
+  auto entries = fs_->ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(fs_->Rmdir("/d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs_->Unlink("/d/f").ok());
+  ASSERT_TRUE(fs_->Rmdir("/d/e").ok());
+  ASSERT_TRUE(fs_->Rmdir("/d").ok());
+  EXPECT_EQ(fs_->Stat("/d").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_P(FsContractTest, NamespaceErrors) {
+  EXPECT_EQ(fs_->Open("/nope", OpenFlags::kRead).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(fs_->Mkdir("/a/b").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  EXPECT_EQ(fs_->Mkdir("/a").code(), ErrorCode::kExists);
+  EXPECT_EQ(fs_->Open("/a", OpenFlags::kRead).status().code(),
+            ErrorCode::kIsDir);
+  EXPECT_EQ(fs_->Unlink("/a").code(), ErrorCode::kIsDir);
+  ASSERT_TRUE(fs_->Open("/a/f", OpenFlags::kCreateRw).ok());
+  EXPECT_EQ(fs_->Rmdir("/a/f").code(), ErrorCode::kNotDir);
+  EXPECT_EQ(fs_->Open("/a/f/x", OpenFlags::kCreateRw).status().code(),
+            ErrorCode::kNotDir);
+}
+
+TEST_P(FsContractTest, RenameFileAndDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/d1").ok());
+  ASSERT_TRUE(fs_->Mkdir("/d2").ok());
+  auto h = fs_->Open("/d1/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(2000, 9);
+  ASSERT_TRUE(fs_->Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_->Close(*h).ok());
+  ASSERT_TRUE(fs_->Rename("/d1/f", "/d2/g").ok());
+  EXPECT_EQ(fs_->Stat("/d1/f").status().code(), ErrorCode::kNotFound);
+  auto h2 = fs_->Open("/d2/g", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(fs_->Read(*h2, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(fs_->Close(*h2).ok());
+  // Directory rename.
+  ASSERT_TRUE(fs_->Rename("/d2", "/d3").ok());
+  EXPECT_TRUE(fs_->Stat("/d3/g").ok());
+}
+
+TEST_P(FsContractTest, RenameReplacesExistingFile) {
+  auto a = fs_->Open("/a", OpenFlags::kCreateRw);
+  auto b = fs_->Open("/b", OpenFlags::kCreateRw);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  uint8_t x = 7;
+  ASSERT_TRUE(fs_->Write(*a, 0, &x, 1).ok());
+  ASSERT_TRUE(fs_->Close(*a).ok());
+  ASSERT_TRUE(fs_->Close(*b).ok());
+  ASSERT_TRUE(fs_->Rename("/a", "/b").ok());
+  auto st = fs_->Stat("/b");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1u);
+  EXPECT_EQ(fs_->Stat("/a").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_P(FsContractTest, UnlinkReleasesSpace) {
+  auto before = fs_->StatFs();
+  ASSERT_TRUE(before.ok());
+  auto h = fs_->Open("/big", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(1 << 20, 10);
+  ASSERT_TRUE(fs_->Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_->Close(*h).ok());
+  auto during = fs_->StatFs();
+  ASSERT_TRUE(during.ok());
+  EXPECT_LT(during->free_bytes, before->free_bytes);
+  ASSERT_TRUE(fs_->Unlink("/big").ok());
+  auto after = fs_->StatFs();
+  ASSERT_TRUE(after.ok());
+  // Allow for metadata overhead (logs, journals) but the megabyte of data
+  // must come back.
+  EXPECT_GT(after->free_bytes + (64 << 10), before->free_bytes);
+}
+
+TEST_P(FsContractTest, FsyncAndReadBack) {
+  auto h = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(30000, 11);
+  ASSERT_TRUE(fs_->Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_->Fsync(*h, /*data_only=*/false).ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(fs_->Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(FsContractTest, TimestampsBehave) {
+  auto h = fs_->Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto st0 = fs_->FStat(*h);
+  ASSERT_TRUE(st0.ok());
+  clock_->Advance(1'000'000'000);
+  uint8_t b = 1;
+  ASSERT_TRUE(fs_->Write(*h, 0, &b, 1).ok());
+  auto st1 = fs_->FStat(*h);
+  ASSERT_TRUE(st1.ok());
+  EXPECT_GE(st1->mtime, st0->mtime + 1'000'000'000 -
+                            fs_->TimestampGranularityNs());
+}
+
+TEST_P(FsContractTest, DeepPathsWork) {
+  std::string path;
+  for (int depth = 0; depth < 8; ++depth) {
+    path += "/dir" + std::to_string(depth);
+    ASSERT_TRUE(fs_->Mkdir(path).ok());
+  }
+  auto h = fs_->Open(path + "/leaf", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 0x5c;
+  ASSERT_TRUE(fs_->Write(*h, 0, &b, 1).ok());
+  auto st = fs_->Stat(path + "/leaf");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1u);
+}
+
+TEST_P(FsContractTest, ManyFilesInOneDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/many").ok());
+  constexpr int kFiles = 100;
+  for (int i = 0; i < kFiles; ++i) {
+    auto h = fs_->Open("/many/file" + std::to_string(i), OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok()) << i << ": " << h.status();
+    const uint8_t b = static_cast<uint8_t>(i);
+    ASSERT_TRUE(fs_->Write(*h, 0, &b, 1).ok());
+    ASSERT_TRUE(fs_->Close(*h).ok());
+  }
+  auto entries = fs_->ReadDir("/many");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<size_t>(kFiles));
+  for (int i = 0; i < kFiles; ++i) {
+    auto h = fs_->Open("/many/file" + std::to_string(i), OpenFlags::kRead);
+    ASSERT_TRUE(h.ok());
+    uint8_t out = 0xff;
+    ASSERT_TRUE(fs_->Read(*h, 0, 1, &out).ok());
+    EXPECT_EQ(out, static_cast<uint8_t>(i));
+    ASSERT_TRUE(fs_->Close(*h).ok());
+  }
+}
+
+TEST_P(FsContractTest, FallocatePreallocates) {
+  auto h = fs_->Open("/pre", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_->Fallocate(*h, 0, 64 * 1024, /*keep_size=*/true).ok());
+  auto st = fs_->FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 0u);
+  EXPECT_GE(st->allocated_bytes, 64u * 1024);
+}
+
+TEST_P(FsContractTest, PunchHoleDeallocatesAndZeroes) {
+  auto h = fs_->Open("/holey", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(16 * 4096, 21);
+  ASSERT_TRUE(fs_->Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_->Fsync(*h, false).ok());
+  auto st_before = fs_->FStat(*h);
+  ASSERT_TRUE(st_before.ok());
+
+  // Punch out blocks 4..7.
+  auto punch = fs_->PunchHole(*h, 4 * 4096, 4 * 4096);
+  ASSERT_TRUE(punch.ok()) << punch;
+  auto st_after = fs_->FStat(*h);
+  ASSERT_TRUE(st_after.ok());
+  EXPECT_EQ(st_after->size, st_before->size);  // size unchanged
+  EXPECT_LE(st_after->allocated_bytes + 4 * 4096, st_before->allocated_bytes);
+
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_->Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const bool in_hole = i >= 4 * 4096 && i < 8 * 4096;
+    ASSERT_EQ(out[i], in_hole ? 0 : data[i]) << i;
+  }
+  // Unaligned punches are rejected.
+  EXPECT_EQ(fs_->PunchHole(*h, 100, 4096).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_P(FsContractTest, StatFsTracksUsage) {
+  auto st = fs_->StatFs();
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(st->capacity_bytes, 0u);
+  EXPECT_LE(st->free_bytes, st->capacity_bytes);
+}
+
+// ---- Randomized oracle property test --------------------------------------
+// Applies a random operation sequence to the FS under test and to MemFs;
+// final file contents, sizes, and directory listings must agree.
+TEST_P(FsContractTest, RandomOpsMatchOracle) {
+  SimClock oracle_clock;
+  vfs::MemFs oracle(&oracle_clock);
+  Rng rng(0xc0ffee);
+
+  const std::vector<std::string> files = {"/p0", "/p1", "/p2", "/p3"};
+  constexpr uint64_t kMaxFile = 256 * 1024;
+
+  for (int step = 0; step < 400; ++step) {
+    const std::string& path = files[rng.Below(files.size())];
+    switch (rng.Below(5)) {
+      case 0: {  // write
+        const uint64_t offset = rng.Below(kMaxFile);
+        const uint64_t len = 1 + rng.Below(16 * 1024);
+        auto data = Pattern(len, rng.Next());
+        auto h1 = fs_->Open(path, OpenFlags::kCreateRw);
+        auto h2 = oracle.Open(path, OpenFlags::kCreateRw);
+        ASSERT_TRUE(h1.ok()) << h1.status();
+        ASSERT_TRUE(h2.ok());
+        auto w1 = fs_->Write(*h1, offset, data.data(), len);
+        auto w2 = oracle.Write(*h2, offset, data.data(), len);
+        ASSERT_EQ(w1.ok(), w2.ok()) << step;
+        ASSERT_TRUE(fs_->Close(*h1).ok());
+        ASSERT_TRUE(oracle.Close(*h2).ok());
+        break;
+      }
+      case 1: {  // truncate
+        const uint64_t size = rng.Below(kMaxFile);
+        auto h1 = fs_->Open(path, OpenFlags::kCreateRw);
+        auto h2 = oracle.Open(path, OpenFlags::kCreateRw);
+        ASSERT_TRUE(h1.ok());
+        ASSERT_TRUE(h2.ok());
+        ASSERT_TRUE(fs_->Truncate(*h1, size).ok());
+        ASSERT_TRUE(oracle.Truncate(*h2, size).ok());
+        ASSERT_TRUE(fs_->Close(*h1).ok());
+        ASSERT_TRUE(oracle.Close(*h2).ok());
+        break;
+      }
+      case 2: {  // unlink
+        Status s1 = fs_->Unlink(path);
+        Status s2 = oracle.Unlink(path);
+        ASSERT_EQ(s1.code(), s2.code()) << step << " " << s1;
+        break;
+      }
+      case 3: {  // rename to a rotated name
+        const std::string& to = files[rng.Below(files.size())];
+        if (to == path) {
+          break;
+        }
+        Status s1 = fs_->Rename(path, to);
+        Status s2 = oracle.Rename(path, to);
+        ASSERT_EQ(s1.code(), s2.code()) << step << " " << s1;
+        break;
+      }
+      case 4: {  // random read compare
+        auto h1 = fs_->Open(path, OpenFlags::kRead);
+        auto h2 = oracle.Open(path, OpenFlags::kRead);
+        ASSERT_EQ(h1.ok(), h2.ok());
+        if (!h1.ok()) {
+          break;
+        }
+        const uint64_t offset = rng.Below(kMaxFile);
+        const uint64_t len = 1 + rng.Below(8 * 1024);
+        std::vector<uint8_t> o1(len, 0xAA);
+        std::vector<uint8_t> o2(len, 0xBB);
+        auto r1 = fs_->Read(*h1, offset, len, o1.data());
+        auto r2 = oracle.Read(*h2, offset, len, o2.data());
+        ASSERT_TRUE(r1.ok());
+        ASSERT_TRUE(r2.ok());
+        ASSERT_EQ(*r1, *r2) << step;
+        o1.resize(*r1);
+        o2.resize(*r2);
+        ASSERT_EQ(o1, o2) << step;
+        ASSERT_TRUE(fs_->Close(*h1).ok());
+        ASSERT_TRUE(oracle.Close(*h2).ok());
+        break;
+      }
+    }
+  }
+
+  // Final sweep: every oracle file must match byte for byte.
+  for (const auto& path : files) {
+    auto st2 = oracle.Stat(path);
+    auto st1 = fs_->Stat(path);
+    ASSERT_EQ(st1.ok(), st2.ok()) << path;
+    if (!st2.ok()) {
+      continue;
+    }
+    EXPECT_EQ(st1->size, st2->size) << path;
+    auto h1 = fs_->Open(path, OpenFlags::kRead);
+    auto h2 = oracle.Open(path, OpenFlags::kRead);
+    ASSERT_TRUE(h1.ok());
+    ASSERT_TRUE(h2.ok());
+    std::vector<uint8_t> o1(st2->size);
+    std::vector<uint8_t> o2(st2->size);
+    if (st2->size > 0) {
+      ASSERT_TRUE(fs_->Read(*h1, 0, o1.size(), o1.data()).ok());
+      ASSERT_TRUE(oracle.Read(*h2, 0, o2.size(), o2.data()).ok());
+    }
+    EXPECT_EQ(o1, o2) << path;
+  }
+}
+
+// ---- Fixture registrations -------------------------------------------------
+
+class MemFsFixture : public FsFixture {
+ public:
+  MemFsFixture() : fs_(&clock_) {}
+  vfs::FileSystem* fs() override { return &fs_; }
+  SimClock* clock() override { return &clock_; }
+
+ private:
+  SimClock clock_;
+  vfs::MemFs fs_;
+};
+
+class NovaFsFixture : public FsFixture {
+ public:
+  NovaFsFixture()
+      : pm_(device::DeviceProfile::OptanePm(64ULL << 20), &clock_),
+        fs_(&pm_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+  vfs::FileSystem* fs() override { return &fs_; }
+  SimClock* clock() override { return &clock_; }
+
+ private:
+  SimClock clock_;
+  device::PmDevice pm_;
+  fs::NovaFs fs_;
+};
+
+class XfsLiteFixture : public FsFixture {
+ public:
+  XfsLiteFixture()
+      : dev_(device::DeviceProfile::OptaneSsd(64ULL << 20), &clock_),
+        fs_(&dev_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+  vfs::FileSystem* fs() override { return &fs_; }
+  SimClock* clock() override { return &clock_; }
+
+ private:
+  SimClock clock_;
+  device::BlockDevice dev_;
+  fs::XfsLite fs_;
+};
+
+class ExtLiteFixture : public FsFixture {
+ public:
+  ExtLiteFixture()
+      : dev_(device::DeviceProfile::ExosHdd(64ULL << 20), &clock_),
+        fs_(&dev_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+  vfs::FileSystem* fs() override { return &fs_; }
+  SimClock* clock() override { return &clock_; }
+
+ private:
+  SimClock clock_;
+  device::BlockDevice dev_;
+  fs::ExtLite fs_;
+};
+
+class StrataFixture : public FsFixture {
+ public:
+  StrataFixture()
+      : pm_(device::DeviceProfile::OptanePm(32ULL << 20), &clock_),
+        ssd_(device::DeviceProfile::OptaneSsd(64ULL << 20), &clock_),
+        hdd_(device::DeviceProfile::ExosHdd(64ULL << 20), &clock_),
+        fs_(&pm_, &ssd_, &hdd_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+  vfs::FileSystem* fs() override { return &fs_; }
+  SimClock* clock() override { return &clock_; }
+
+ private:
+  SimClock clock_;
+  device::PmDevice pm_;
+  device::BlockDevice ssd_;
+  device::BlockDevice hdd_;
+  strata::StrataFs fs_;
+};
+
+// The headline fixture: Mux composing all three device-specific file
+// systems must satisfy the same VFS contract as any single file system.
+class MuxFixture : public FsFixture {
+ public:
+  vfs::FileSystem* fs() override { return &rig_.mux(); }
+  SimClock* clock() override { return &rig_.clock(); }
+
+ private:
+  MuxRig rig_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFileSystems, FsContractTest,
+    ::testing::Values(
+        FsContractParam{"MemFs",
+                        [] { return std::make_unique<MemFsFixture>(); }},
+        FsContractParam{"NovaFs",
+                        [] { return std::make_unique<NovaFsFixture>(); }},
+        FsContractParam{"XfsLite",
+                        [] { return std::make_unique<XfsLiteFixture>(); }},
+        FsContractParam{"ExtLite",
+                        [] { return std::make_unique<ExtLiteFixture>(); }},
+        FsContractParam{"Strata",
+                        [] { return std::make_unique<StrataFixture>(); }},
+        FsContractParam{"Mux",
+                        [] { return std::make_unique<MuxFixture>(); }}),
+    FsContractParamName);
+
+}  // namespace
+}  // namespace mux::testing

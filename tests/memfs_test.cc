@@ -1,0 +1,253 @@
+// Tests for MemFs — also the template for the generic file-system contract
+// tests that every FS implementation must pass (see fs_contract_test.cc).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/vfs/memfs.h"
+
+namespace mux::vfs {
+namespace {
+
+class MemFsTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  MemFs fs_{&clock_, 64ULL << 20};
+};
+
+TEST_F(MemFsTest, CreateWriteReadBack) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw, 0644);
+  ASSERT_TRUE(h.ok()) << h.status();
+  const char msg[] = "hello tiered storage";
+  ASSERT_TRUE(fs_.Write(*h, 0, reinterpret_cast<const uint8_t*>(msg),
+                        sizeof(msg)).ok());
+  std::vector<uint8_t> out(sizeof(msg));
+  auto n = fs_.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, sizeof(msg));
+  EXPECT_EQ(std::memcmp(out.data(), msg, sizeof(msg)), 0);
+  EXPECT_TRUE(fs_.Close(*h).ok());
+}
+
+TEST_F(MemFsTest, OpenMissingFails) {
+  auto h = fs_.Open("/missing", OpenFlags::kRead);
+  EXPECT_EQ(h.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MemFsTest, ExclusiveCreateFailsOnExisting) {
+  ASSERT_TRUE(fs_.Open("/f", OpenFlags::kCreateRw).ok());
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw | OpenFlags::kExclusive);
+  EXPECT_EQ(h.status().code(), ErrorCode::kExists);
+}
+
+TEST_F(MemFsTest, TruncateOnOpenClearsContent) {
+  auto h1 = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h1.ok());
+  uint8_t b = 0xaa;
+  ASSERT_TRUE(fs_.Write(*h1, 0, &b, 1).ok());
+  ASSERT_TRUE(fs_.Close(*h1).ok());
+  auto h2 = fs_.Open("/f", OpenFlags::kReadWrite | OpenFlags::kTruncate);
+  ASSERT_TRUE(h2.ok());
+  auto st = fs_.FStat(*h2);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 0u);
+}
+
+TEST_F(MemFsTest, SparseWriteCreatesHole) {
+  auto h = fs_.Open("/sparse", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 0x77;
+  // Write a single byte at 1 MiB.
+  ASSERT_TRUE(fs_.Write(*h, 1 << 20, &b, 1).ok());
+  auto st = fs_.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, (1u << 20) + 1);
+  // Only one 4K page is allocated — the rest is hole.
+  EXPECT_EQ(st->allocated_bytes, 4096u);
+  // Hole reads as zeros.
+  std::vector<uint8_t> out(16);
+  auto n = fs_.Read(*h, 1000, out.size(), out.data());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, out.size());
+  EXPECT_EQ(out, std::vector<uint8_t>(16, 0));
+}
+
+TEST_F(MemFsTest, ReadPastEofIsShort) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t buf[10] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ASSERT_TRUE(fs_.Write(*h, 0, buf, 10).ok());
+  std::vector<uint8_t> out(20);
+  auto n = fs_.Read(*h, 5, 20, out.data());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  auto n2 = fs_.Read(*h, 100, 20, out.data());
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 0u);
+}
+
+TEST_F(MemFsTest, TruncateShrinkAndReextendReadsZeros) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  std::vector<uint8_t> data(8192, 0xbb);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Truncate(*h, 100).ok());
+  ASSERT_TRUE(fs_.Truncate(*h, 8192).ok());
+  std::vector<uint8_t> out(8192);
+  auto n = fs_.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 8192u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i], 0xbb) << i;
+  }
+  for (size_t i = 100; i < 8192; ++i) {
+    ASSERT_EQ(out[i], 0) << i;
+  }
+}
+
+TEST_F(MemFsTest, MkdirAndReadDir) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Mkdir("/d/sub").ok());
+  ASSERT_TRUE(fs_.Open("/d/file", OpenFlags::kCreateRw).ok());
+  auto entries = fs_.ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "file");
+  EXPECT_EQ((*entries)[0].type, FileType::kRegular);
+  EXPECT_EQ((*entries)[1].name, "sub");
+  EXPECT_EQ((*entries)[1].type, FileType::kDirectory);
+}
+
+TEST_F(MemFsTest, MkdirExistingFails) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_EQ(fs_.Mkdir("/d").code(), ErrorCode::kExists);
+}
+
+TEST_F(MemFsTest, MkdirMissingParentFails) {
+  EXPECT_EQ(fs_.Mkdir("/no/such").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MemFsTest, RmdirOnlyEmpty) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Open("/d/f", OpenFlags::kCreateRw).ok());
+  EXPECT_EQ(fs_.Rmdir("/d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs_.Unlink("/d/f").ok());
+  EXPECT_TRUE(fs_.Rmdir("/d").ok());
+  EXPECT_EQ(fs_.Stat("/d").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(MemFsTest, UnlinkFreesSpace) {
+  auto before = fs_.StatFs();
+  ASSERT_TRUE(before.ok());
+  auto h = fs_.Open("/big", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  std::vector<uint8_t> data(1 << 20, 1);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+  auto during = fs_.StatFs();
+  ASSERT_TRUE(during.ok());
+  EXPECT_LT(during->free_bytes, before->free_bytes);
+  ASSERT_TRUE(fs_.Unlink("/big").ok());
+  auto after = fs_.StatFs();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->free_bytes, before->free_bytes);
+}
+
+TEST_F(MemFsTest, RenameMovesFile) {
+  auto h = fs_.Open("/a", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 42;
+  ASSERT_TRUE(fs_.Write(*h, 0, &b, 1).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Rename("/a", "/d/b").ok());
+  EXPECT_EQ(fs_.Stat("/a").status().code(), ErrorCode::kNotFound);
+  auto st = fs_.Stat("/d/b");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1u);
+}
+
+TEST_F(MemFsTest, RenameReplacesTarget) {
+  auto a = fs_.Open("/a", OpenFlags::kCreateRw);
+  auto b = fs_.Open("/b", OpenFlags::kCreateRw);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  uint8_t x = 1;
+  ASSERT_TRUE(fs_.Write(*a, 0, &x, 1).ok());
+  ASSERT_TRUE(fs_.Close(*a).ok());
+  ASSERT_TRUE(fs_.Close(*b).ok());
+  ASSERT_TRUE(fs_.Rename("/a", "/b").ok());
+  auto st = fs_.Stat("/b");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1u);
+}
+
+TEST_F(MemFsTest, TimestampsAdvance) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto st0 = fs_.FStat(*h);
+  ASSERT_TRUE(st0.ok());
+  clock_.Advance(1000);
+  uint8_t b = 1;
+  ASSERT_TRUE(fs_.Write(*h, 0, &b, 1).ok());
+  auto st1 = fs_.FStat(*h);
+  ASSERT_TRUE(st1.ok());
+  EXPECT_GT(st1->mtime, st0->mtime);
+  clock_.Advance(1000);
+  uint8_t out = 0;
+  ASSERT_TRUE(fs_.Read(*h, 0, 1, &out).ok());
+  auto st2 = fs_.FStat(*h);
+  ASSERT_TRUE(st2.ok());
+  EXPECT_GT(st2->atime, st1->atime);
+}
+
+TEST_F(MemFsTest, SetAttrUpdatesTimes) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  AttrUpdate update;
+  update.mtime = 12345;
+  update.mode = 0600;
+  ASSERT_TRUE(fs_.SetAttr(*h, update).ok());
+  auto st = fs_.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->mtime, 12345u);
+  EXPECT_EQ(st->mode, 0600u);
+}
+
+TEST_F(MemFsTest, FallocateKeepSize) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.Fallocate(*h, 0, 1 << 20, /*keep_size=*/true).ok());
+  auto st = fs_.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 0u);
+  EXPECT_EQ(st->allocated_bytes, 1u << 20);
+}
+
+TEST_F(MemFsTest, NoSpaceReported) {
+  MemFs tiny(&clock_, 16 * 4096);
+  auto h = tiny.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  std::vector<uint8_t> data(17 * 4096, 1);
+  auto n = tiny.Write(*h, 0, data.data(), data.size());
+  EXPECT_EQ(n.status().code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(MemFsTest, WriteWithoutWriteFlagFails) {
+  ASSERT_TRUE(fs_.Open("/f", OpenFlags::kCreateRw).ok());
+  auto h = fs_.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 1;
+  EXPECT_EQ(fs_.Write(*h, 0, &b, 1).status().code(), ErrorCode::kPermission);
+}
+
+TEST_F(MemFsTest, BadHandleRejected) {
+  uint8_t b;
+  EXPECT_EQ(fs_.Read(999, 0, 1, &b).status().code(), ErrorCode::kBadHandle);
+  EXPECT_EQ(fs_.Close(999).code(), ErrorCode::kBadHandle);
+}
+
+}  // namespace
+}  // namespace mux::vfs

@@ -1,0 +1,409 @@
+// Extended Mux battery: configuration variants, metadata edge cases,
+// namespace operations over spanning files, bookkeeper round trips under
+// churn, and the randomized ops+migration oracle property test.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/vfs/memfs.h"
+#include "tests/mux_rig.h"
+
+namespace mux::testing {
+namespace {
+
+using core::BltKind;
+using core::Mux;
+using vfs::OpenFlags;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+TEST(MuxExtendedTest, ByteArrayBltWorksEndToEnd) {
+  Mux::Options options;
+  options.blt_kind = BltKind::kByteArray;
+  MuxRig rig(std::move(options));
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(24 * 4096, 1);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.MigrateRange("/f", 8, 8, rig.ssd_tier()).ok());
+  ASSERT_TRUE(mux.MigrateRange("/f", 16, 8, rig.hdd_tier()).ok());
+  std::vector<uint8_t> out(data.size());
+  auto r = mux.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+  // The byte-array BLT reports per-tier accounting identically.
+  auto breakdown = mux.FileTierBreakdown("/f");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ((*breakdown)[rig.pm_tier()], 8u);
+  EXPECT_EQ((*breakdown)[rig.ssd_tier()], 8u);
+  EXPECT_EQ((*breakdown)[rig.hdd_tier()], 8u);
+  EXPECT_GT(mux.BltMemoryBytes(), 0u);
+}
+
+TEST(MuxExtendedTest, SetAttrPropagatesLazilyToShadows) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4096, 2);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+
+  vfs::AttrUpdate update;
+  update.mode = 0600;
+  update.mtime = 42'000'000'000;
+  ASSERT_TRUE(mux.SetAttr(*h, update).ok());
+  auto st = mux.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->mode, 0600u);
+  EXPECT_EQ(st->mtime, 42'000'000'000u);
+  // Lazy sync pushed the values to the PM shadow too.
+  auto shadow = rig.novafs().Stat("/f");
+  ASSERT_TRUE(shadow.ok());
+  EXPECT_EQ(shadow->mode, 0600u);
+  EXPECT_EQ(shadow->mtime, 42'000'000'000u);
+}
+
+TEST(MuxExtendedTest, DirectoryRenameMovesSpanningSubtree) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  ASSERT_TRUE(mux.Mkdir("/proj").ok());
+  ASSERT_TRUE(mux.Mkdir("/proj/sub").ok());
+  auto h = mux.Open("/proj/sub/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 3);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  // Spread the file over two tiers, then rename the whole directory.
+  ASSERT_TRUE(mux.MigrateRange("/proj/sub/f", 4, 4, rig.hdd_tier()).ok());
+  ASSERT_TRUE(mux.Close(*h).ok());
+  ASSERT_TRUE(mux.Rename("/proj", "/renamed").ok());
+
+  EXPECT_EQ(mux.Stat("/proj/sub/f").status().code(), ErrorCode::kNotFound);
+  auto h2 = mux.Open("/renamed/sub/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok()) << h2.status();
+  std::vector<uint8_t> out(data.size());
+  auto r = mux.Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+  // Both shadow file systems followed the rename.
+  EXPECT_TRUE(rig.novafs().Stat("/renamed/sub/f").ok());
+  EXPECT_TRUE(rig.extlite().Stat("/renamed/sub/f").ok());
+  EXPECT_FALSE(rig.novafs().Stat("/proj/sub/f").ok());
+}
+
+TEST(MuxExtendedTest, PunchHoleAcrossTiers) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/holey", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(12 * 4096, 4);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.MigrateRange("/holey", 6, 6, rig.ssd_tier()).ok());
+  // Punch a hole straddling the PM/SSD boundary.
+  ASSERT_TRUE(mux.PunchHole(*h, 4 * 4096, 4 * 4096).ok());
+  auto breakdown = mux.FileTierBreakdown("/holey");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ((*breakdown)[rig.pm_tier()], 4u);
+  EXPECT_EQ((*breakdown)[rig.ssd_tier()], 4u);
+  std::vector<uint8_t> out(data.size());
+  auto r = mux.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const bool hole = i >= 4 * 4096 && i < 8 * 4096;
+    ASSERT_EQ(out[i], hole ? 0 : data[i]) << i;
+  }
+}
+
+TEST(MuxExtendedTest, CheckpointAfterChurnRecoversExactly) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  // Build, delete, rename, migrate — then checkpoint and remount.
+  ASSERT_TRUE(mux.Mkdir("/a").ok());
+  ASSERT_TRUE(mux.Mkdir("/b").ok());
+  for (int i = 0; i < 8; ++i) {
+    auto h = mux.Open("/a/f" + std::to_string(i), OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok());
+    auto data = Pattern(4096 * (i + 1), i);
+    ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+    ASSERT_TRUE(mux.Close(*h).ok());
+  }
+  ASSERT_TRUE(mux.Unlink("/a/f0").ok());
+  ASSERT_TRUE(mux.Rename("/a/f1", "/b/g").ok());
+  ASSERT_TRUE(mux.MigrateFile("/a/f2", rig.hdd_tier()).ok());
+  ASSERT_TRUE(mux.MigrateRange("/a/f3", 0, 2, rig.ssd_tier()).ok());
+  ASSERT_TRUE(mux.Checkpoint().ok());
+
+  ASSERT_TRUE(rig.Remount().ok());
+  auto& mux2 = rig.mux();
+  EXPECT_EQ(mux2.Stat("/a/f0").status().code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(mux2.Stat("/b/g").ok());
+  auto f2 = mux2.FileTierBreakdown("/a/f2");
+  ASSERT_TRUE(f2.ok());
+  EXPECT_TRUE(f2->contains(rig.hdd_tier()));
+  // All surviving files read back correctly.
+  for (int i = 2; i < 8; ++i) {
+    auto h = mux2.Open("/a/f" + std::to_string(i), OpenFlags::kRead);
+    ASSERT_TRUE(h.ok()) << i;
+    auto expected = Pattern(4096 * (i + 1), i);
+    std::vector<uint8_t> out(expected.size());
+    auto r = mux2.Read(*h, 0, out.size(), out.data());
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(out, expected) << i;
+  }
+}
+
+TEST(MuxExtendedTest, RecoverWithoutCheckpointFails) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  EXPECT_EQ(rig.Remount().code(), ErrorCode::kNotFound);
+}
+
+TEST(MuxExtendedTest, RemoveTierErrorPaths) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  EXPECT_EQ(mux.RemoveTier("nope").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(mux.RemoveTier("ssd").ok());
+  ASSERT_TRUE(mux.RemoveTier("hdd").ok());
+  // The last tier cannot be removed.
+  EXPECT_EQ(mux.RemoveTier("pm").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MuxExtendedTest, SwitchPolicyAtRuntime) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  EXPECT_EQ(mux.PolicyName(), "lru");
+  ASSERT_TRUE(mux.SetPolicyByName("tpfs").ok());
+  EXPECT_EQ(mux.PolicyName(), "tpfs");
+  EXPECT_EQ(mux.SetPolicyByName("no-such").code(), ErrorCode::kNotFound);
+  // Large async writes route per the new policy (TPFS: large -> slowest).
+  auto h = mux.Open("/big", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 << 20, 5);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  auto breakdown = mux.FileTierBreakdown("/big");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_TRUE(breakdown->contains(rig.hdd_tier()));
+}
+
+TEST(MuxExtendedTest, MigrateErrorPaths) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  EXPECT_EQ(mux.MigrateFile("/missing", rig.ssd_tier()).code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(mux.Mkdir("/d").ok());
+  EXPECT_EQ(mux.MigrateFile("/d", rig.ssd_tier()).code(), ErrorCode::kIsDir);
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 1;
+  ASSERT_TRUE(mux.Write(*h, 0, &b, 1).ok());
+  EXPECT_EQ(mux.MigrateFile("/f", 777).code(), ErrorCode::kNotFound);
+  // Migrating to the tier the data already lives on is a clean no-op.
+  EXPECT_TRUE(mux.MigrateFile("/f", rig.pm_tier()).ok());
+}
+
+TEST(MuxExtendedTest, SizeAffinityFollowsTailOwner) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4 * 4096, 6);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  // Truncate into the middle, then append: size must stay exact throughout
+  // even as the tail block changes tiers.
+  ASSERT_TRUE(mux.Truncate(*h, 2 * 4096 + 100).ok());
+  auto st = mux.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 2u * 4096 + 100);
+  ASSERT_TRUE(mux.MigrateFile("/f", rig.hdd_tier()).ok());
+  auto tail = Pattern(4096, 7);
+  ASSERT_TRUE(mux.Write(*h, 2 * 4096 + 100, tail.data(), tail.size()).ok());
+  st = mux.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 3u * 4096 + 100);
+  // Readback across the truncate boundary: old prefix, zeros were never
+  // exposed, new tail.
+  std::vector<uint8_t> out(st->size);
+  auto r = mux.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < 2 * 4096 + 100; ++i) {
+    ASSERT_EQ(out[i], data[i]) << i;
+  }
+  for (size_t i = 0; i < tail.size(); ++i) {
+    ASSERT_EQ(out[2 * 4096 + 100 + i], tail[i]) << i;
+  }
+}
+
+TEST(MuxExtendedTest, FsyncSurvivesUnderlyingCrash) {
+  // End-to-end crash consistency through the whole stack: fsync through Mux,
+  // crash the SSD device, remount xfslite, recover Mux — data intact.
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  rig.ssd_dev().EnableCrashSim(true);
+
+  auto h = mux.Open("/durable", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(64 * 1024, 8);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.MigrateFile("/durable", rig.ssd_tier()).ok());
+  ASSERT_TRUE(mux.Fsync(*h, false).ok());
+  ASSERT_TRUE(mux.Checkpoint().ok());
+  ASSERT_TRUE(mux.Close(*h).ok());
+
+  rig.ssd_dev().Crash();
+  rig.ssd_dev().EnableCrashSim(false);
+  ASSERT_TRUE(rig.xfslite().Mount().ok());
+  ASSERT_TRUE(rig.Remount().ok());
+
+  auto& mux2 = rig.mux();
+  auto h2 = mux2.Open("/durable", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok()) << h2.status();
+  std::vector<uint8_t> out(data.size());
+  auto r = mux2.Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+// ---- randomized oracle property: ops + migrations --------------------------
+// Random file operations interleaved with random block-range migrations; the
+// oracle (MemFs) sees only the file operations. Contents must match at every
+// read and at the end — migrations must be perfectly transparent.
+class MuxMigrationOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MuxMigrationOracle, MigrationsAreTransparent) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  SimClock oracle_clock;
+  vfs::MemFs oracle(&oracle_clock);
+  Rng rng(GetParam());
+
+  const core::TierId tiers[3] = {rig.pm_tier(), rig.ssd_tier(),
+                                 rig.hdd_tier()};
+  const std::vector<std::string> files = {"/x", "/y"};
+  constexpr uint64_t kMaxFile = 96 * 4096;
+
+  for (int step = 0; step < 300; ++step) {
+    const std::string& path = files[rng.Below(files.size())];
+    switch (rng.Below(6)) {
+      case 0:
+      case 1: {  // write
+        const uint64_t offset = rng.Below(kMaxFile);
+        const uint64_t len = 1 + rng.Below(8 * 4096);
+        auto data = Pattern(len, rng.Next());
+        auto h1 = mux.Open(path, OpenFlags::kCreateRw);
+        auto h2 = oracle.Open(path, OpenFlags::kCreateRw);
+        ASSERT_TRUE(h1.ok());
+        ASSERT_TRUE(h2.ok());
+        ASSERT_TRUE(mux.Write(*h1, offset, data.data(), len).ok());
+        ASSERT_TRUE(oracle.Write(*h2, offset, data.data(), len).ok());
+        ASSERT_TRUE(mux.Close(*h1).ok());
+        ASSERT_TRUE(oracle.Close(*h2).ok());
+        break;
+      }
+      case 2: {  // migrate a random range to a random tier
+        const uint64_t first = rng.Below(kMaxFile / 4096);
+        const uint64_t count = 1 + rng.Below(32);
+        const core::TierId to = tiers[rng.Below(3)];
+        Status s = mux.MigrateRange(path, first, count, to);
+        ASSERT_TRUE(s.ok() || s.code() == ErrorCode::kNotFound) << s;
+        break;
+      }
+      case 3: {  // truncate
+        const uint64_t size = rng.Below(kMaxFile);
+        auto h1 = mux.Open(path, OpenFlags::kCreateRw);
+        auto h2 = oracle.Open(path, OpenFlags::kCreateRw);
+        ASSERT_TRUE(h1.ok());
+        ASSERT_TRUE(h2.ok());
+        ASSERT_TRUE(mux.Truncate(*h1, size).ok());
+        ASSERT_TRUE(oracle.Truncate(*h2, size).ok());
+        ASSERT_TRUE(mux.Close(*h1).ok());
+        ASSERT_TRUE(oracle.Close(*h2).ok());
+        break;
+      }
+      case 4: {  // punch a hole (aligned)
+        const uint64_t first = rng.Below(kMaxFile / 4096);
+        const uint64_t count = 1 + rng.Below(8);
+        auto h1 = mux.Open(path, OpenFlags::kCreateRw);
+        auto h2 = oracle.Open(path, OpenFlags::kCreateRw);
+        if (!h1.ok() || !h2.ok()) {
+          break;
+        }
+        Status s1 = mux.PunchHole(*h1, first * 4096, count * 4096);
+        Status s2 = oracle.PunchHole(*h2, first * 4096, count * 4096);
+        ASSERT_EQ(s1.code(), s2.code()) << step;
+        ASSERT_TRUE(mux.Close(*h1).ok());
+        ASSERT_TRUE(oracle.Close(*h2).ok());
+        break;
+      }
+      case 5: {  // read compare
+        auto h1 = mux.Open(path, OpenFlags::kRead);
+        auto h2 = oracle.Open(path, OpenFlags::kRead);
+        ASSERT_EQ(h1.ok(), h2.ok());
+        if (!h1.ok()) {
+          break;
+        }
+        const uint64_t offset = rng.Below(kMaxFile);
+        const uint64_t len = 1 + rng.Below(4 * 4096);
+        std::vector<uint8_t> o1(len, 0xAA);
+        std::vector<uint8_t> o2(len, 0xBB);
+        auto r1 = mux.Read(*h1, offset, len, o1.data());
+        auto r2 = oracle.Read(*h2, offset, len, o2.data());
+        ASSERT_TRUE(r1.ok());
+        ASSERT_TRUE(r2.ok());
+        ASSERT_EQ(*r1, *r2) << "step " << step;
+        o1.resize(*r1);
+        o2.resize(*r2);
+        ASSERT_EQ(o1, o2) << "step " << step;
+        ASSERT_TRUE(mux.Close(*h1).ok());
+        ASSERT_TRUE(oracle.Close(*h2).ok());
+        break;
+      }
+    }
+  }
+
+  // Final byte-for-byte sweep.
+  for (const auto& path : files) {
+    auto st2 = oracle.Stat(path);
+    auto st1 = mux.Stat(path);
+    ASSERT_EQ(st1.ok(), st2.ok()) << path;
+    if (!st2.ok()) {
+      continue;
+    }
+    ASSERT_EQ(st1->size, st2->size) << path;
+    if (st2->size == 0) {
+      continue;
+    }
+    auto h1 = mux.Open(path, OpenFlags::kRead);
+    auto h2 = oracle.Open(path, OpenFlags::kRead);
+    ASSERT_TRUE(h1.ok());
+    ASSERT_TRUE(h2.ok());
+    std::vector<uint8_t> o1(st2->size);
+    std::vector<uint8_t> o2(st2->size);
+    ASSERT_TRUE(mux.Read(*h1, 0, o1.size(), o1.data()).ok());
+    ASSERT_TRUE(oracle.Read(*h2, 0, o2.size(), o2.data()).ok());
+    ASSERT_EQ(o1, o2) << path << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MuxMigrationOracle,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace mux::testing

@@ -1,0 +1,310 @@
+// Tests for cross-tier block replication (the §4 crash-consistency
+// extension): mirroring, synchronous write propagation, fastest-copy reads,
+// device-failure failover, interaction with truncate/punch/migration, and
+// bookkeeper persistence.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/random.h"
+#include "tests/mux_rig.h"
+
+namespace mux::testing {
+namespace {
+
+using vfs::OpenFlags;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+class MuxReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rig_.ok());
+    auto h = rig_.mux().Open("/r", OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok());
+    handle_ = *h;
+    data_ = Pattern(32 * 4096, 1);
+    ASSERT_TRUE(rig_.mux().Write(handle_, 0, data_.data(), data_.size()).ok());
+  }
+
+  MuxRig rig_;
+  vfs::FileHandle handle_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+TEST_F(MuxReplicationTest, ReplicateCreatesMirror) {
+  auto& mux = rig_.mux();
+  // Primary on PM; mirror on HDD.
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  auto replicas = mux.ReplicaBreakdown("/r");
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_EQ((*replicas)[rig_.hdd_tier()], 32u);
+  // The mirror is a real shadow file on extlite with the same bytes.
+  auto shadow = rig_.extlite().Open("/r", OpenFlags::kRead);
+  ASSERT_TRUE(shadow.ok());
+  std::vector<uint8_t> out(data_.size());
+  auto r = rig_.extlite().Read(*shadow, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data_);
+}
+
+TEST_F(MuxReplicationTest, WritesUpdateBothCopies) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.ssd_tier()).ok());
+  auto patch = Pattern(10000, 2);
+  ASSERT_TRUE(mux.Write(handle_, 5000, patch.data(), patch.size()).ok());
+  std::copy(patch.begin(), patch.end(), data_.begin() + 5000);
+
+  // Both physical copies carry the update.
+  for (vfs::FileSystem* fs :
+       {static_cast<vfs::FileSystem*>(&rig_.novafs()),
+        static_cast<vfs::FileSystem*>(&rig_.xfslite())}) {
+    auto shadow = fs->Open("/r", OpenFlags::kRead);
+    ASSERT_TRUE(shadow.ok());
+    std::vector<uint8_t> out(data_.size());
+    auto r = fs->Read(*shadow, 0, out.size(), out.data());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(out, data_) << fs->Name();
+  }
+}
+
+TEST_F(MuxReplicationTest, ReadsPreferTheFasterCopy) {
+  auto& mux = rig_.mux();
+  // Move the primary to HDD, then mirror back onto PM.
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.hdd_tier()).ok());
+  const auto hdd_reads_before_replica = rig_.hdd_dev().stats().read_ops;
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.pm_tier()).ok());
+
+  // Reads now come from the PM mirror, not the HDD primary.
+  const auto hdd_reads_before = rig_.hdd_dev().stats().read_ops;
+  const auto pm_reads_before = rig_.pm_dev().stats().read_ops;
+  std::vector<uint8_t> out(data_.size());
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data_);
+  EXPECT_EQ(rig_.hdd_dev().stats().read_ops, hdd_reads_before);
+  EXPECT_GT(rig_.pm_dev().stats().read_ops, pm_reads_before);
+  (void)hdd_reads_before_replica;
+}
+
+TEST_F(MuxReplicationTest, FailoverWhenPrimaryDies) {
+  auto& mux = rig_.mux();
+  // Primary on SSD, mirror on HDD.
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.ssd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+
+  // The SSD dies.
+  rig_.ssd_dev().FailReads(true);
+  std::vector<uint8_t> out(data_.size());
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(out, data_);
+  rig_.ssd_dev().FailReads(false);
+}
+
+TEST_F(MuxReplicationTest, FailoverWhenReplicaDies) {
+  auto& mux = rig_.mux();
+  // Primary on HDD, (preferred) mirror on SSD — then the SSD dies and reads
+  // must fall back to the slower primary.
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.hdd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.ssd_tier()).ok());
+  rig_.ssd_dev().FailReads(true);
+  std::vector<uint8_t> out(data_.size());
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(out, data_);
+  rig_.ssd_dev().FailReads(false);
+}
+
+TEST_F(MuxReplicationTest, NoReplicaMeansFailureSurfaces) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.ssd_tier()).ok());
+  // Remount xfslite so its DRAM page cache cannot mask the dead device.
+  ASSERT_TRUE(rig_.xfslite().Mount().ok());
+  rig_.ssd_dev().FailReads(true);
+  std::vector<uint8_t> out(4096);
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  EXPECT_FALSE(r.ok());
+  rig_.ssd_dev().FailReads(false);
+}
+
+TEST_F(MuxReplicationTest, DropReplicasFreesMirrorSpace) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.ssd_tier()).ok());
+  auto before = rig_.extlite().StatFs();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  auto during = rig_.extlite().StatFs();
+  ASSERT_TRUE(during.ok());
+  EXPECT_LT(during->free_bytes, before->free_bytes);
+  ASSERT_TRUE(mux.DropReplicas("/r").ok());
+  auto replicas = mux.ReplicaBreakdown("/r");
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_TRUE(replicas->empty());
+  auto after = rig_.extlite().StatFs();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->free_bytes, during->free_bytes);
+  // Data still intact from the primary.
+  std::vector<uint8_t> out(data_.size());
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data_);
+}
+
+TEST_F(MuxReplicationTest, TruncateShrinksReplicas) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  ASSERT_TRUE(mux.Truncate(handle_, 8 * 4096).ok());
+  auto replicas = mux.ReplicaBreakdown("/r");
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_EQ((*replicas)[rig_.hdd_tier()], 8u);
+  // Grow again and verify zero-fill through the replica-aware read path.
+  ASSERT_TRUE(mux.Truncate(handle_, 16 * 4096).ok());
+  std::vector<uint8_t> out(16 * 4096);
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 8 * 4096; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 0) << i;
+  }
+}
+
+TEST_F(MuxReplicationTest, PunchHoleClearsReplicas) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  ASSERT_TRUE(mux.PunchHole(handle_, 4 * 4096, 8 * 4096).ok());
+  auto replicas = mux.ReplicaBreakdown("/r");
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_EQ((*replicas)[rig_.hdd_tier()], 24u);
+  std::vector<uint8_t> out(data_.size());
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    const bool hole = i >= 4 * 4096 && i < 12 * 4096;
+    ASSERT_EQ(out[i], hole ? 0 : data_[i]) << i;
+  }
+}
+
+TEST_F(MuxReplicationTest, MigrationOntoReplicaTierCollapses) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.ssd_tier()).ok());
+  // Migrate the primary onto the mirror's tier: one physical copy remains.
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.ssd_tier()).ok());
+  auto replicas = mux.ReplicaBreakdown("/r");
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_TRUE(replicas->empty());
+  auto primary = mux.FileTierBreakdown("/r");
+  ASSERT_TRUE(primary.ok());
+  EXPECT_EQ((*primary)[rig_.ssd_tier()], 32u);
+  std::vector<uint8_t> out(data_.size());
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data_);
+}
+
+TEST_F(MuxReplicationTest, ReplicasSurviveCheckpointRecover) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.hdd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.pm_tier()).ok());
+  ASSERT_TRUE(mux.Close(handle_).ok());
+  ASSERT_TRUE(mux.Checkpoint().ok());
+
+  ASSERT_TRUE(rig_.Remount().ok());
+  auto& mux2 = rig_.mux();
+  auto replicas = mux2.ReplicaBreakdown("/r");
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_EQ((*replicas)[rig_.pm_tier()], 32u);
+  // Failover still works after recovery.
+  rig_.hdd_dev().FailReads(true);
+  auto h = mux2.Open("/r", OpenFlags::kRead);
+  ASSERT_TRUE(h.ok());
+  std::vector<uint8_t> out(data_.size());
+  auto r = mux2.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(out, data_);
+  rig_.hdd_dev().FailReads(false);
+}
+
+TEST_F(MuxReplicationTest, PartialRangeReplication) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.hdd_tier()).ok());
+  // Mirror only the hot prefix onto PM.
+  ASSERT_TRUE(mux.ReplicateRange("/r", 0, 8, rig_.pm_tier()).ok());
+  auto replicas = mux.ReplicaBreakdown("/r");
+  ASSERT_TRUE(replicas.ok());
+  EXPECT_EQ((*replicas)[rig_.pm_tier()], 8u);
+  // A read spanning the replicated and unreplicated halves merges correctly.
+  std::vector<uint8_t> out(16 * 4096);
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::memcmp(out.data(), data_.data(), out.size()), 0);
+}
+
+TEST_F(MuxReplicationTest, ReplicationOracleUnderChurn) {
+  // Random writes over a partially replicated file must keep both copies
+  // coherent — verified by reading with each device alternately dead.
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.ssd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t offset = rng.Below(data_.size() - 1);
+    const uint64_t len = 1 + rng.Below(8000);
+    auto patch = Pattern(len, rng.Next());
+    const uint64_t n = std::min<uint64_t>(len, data_.size() - offset);
+    ASSERT_TRUE(mux.Write(handle_, offset, patch.data(), n).ok());
+    std::copy(patch.begin(), patch.begin() + n, data_.begin() + offset);
+  }
+  for (device::BlockDevice* dead : {&rig_.ssd_dev(), &rig_.hdd_dev()}) {
+    dead->FailReads(true);
+    std::vector<uint8_t> out(data_.size());
+    auto r = mux.Read(handle_, 0, out.size(), out.data());
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(out, data_);
+    dead->FailReads(false);
+  }
+}
+
+TEST_F(MuxReplicationTest, ScrubReportsCleanStack) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateRange("/r", 8, 8, rig_.ssd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  auto report = mux.Scrub();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->Clean());
+  EXPECT_EQ(report->files_checked, 1u);
+  EXPECT_GE(report->blocks_checked, 32u);
+}
+
+TEST_F(MuxReplicationTest, ScrubDetectsDivergedReplica) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  // Corrupt the mirror behind Mux's back by writing to the shadow directly.
+  auto shadow = rig_.extlite().Open("/r", OpenFlags::kReadWrite);
+  ASSERT_TRUE(shadow.ok());
+  auto garbage = Pattern(4096, 99);
+  ASSERT_TRUE(
+      rig_.extlite().Write(*shadow, 4 * 4096, garbage.data(), 4096).ok());
+  auto report = mux.Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->Clean());
+  EXPECT_GE(report->replica_mismatches, 1u);
+}
+
+TEST_F(MuxReplicationTest, ScrubDetectsMissingShadow) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.ssd_tier()).ok());
+  // Delete the shadow behind Mux's back.
+  ASSERT_TRUE(rig_.xfslite().Unlink("/r").ok());
+  auto report = mux.Scrub();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->missing_shadows, 1u);
+}
+
+}  // namespace
+}  // namespace mux::testing

@@ -1,0 +1,112 @@
+// Full-stack Mux test rig: PM + SSD + HDD devices, novafs/xfslite/extlite on
+// top, Mux composing them — Figure 1(b) in miniature. Shared by the Mux
+// tests, the examples, and (with bigger devices) the benchmarks.
+#ifndef MUX_TESTS_MUX_RIG_H_
+#define MUX_TESTS_MUX_RIG_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/core/mux.h"
+#include "src/device/block_device.h"
+#include "src/device/pm_device.h"
+#include "src/fs/extlite/extlite.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/fs/xfslite/xfslite.h"
+
+namespace mux::testing {
+
+struct MuxRigSizes {
+  uint64_t pm_bytes = 64ULL << 20;
+  uint64_t ssd_bytes = 128ULL << 20;
+  uint64_t hdd_bytes = 256ULL << 20;
+  // DRAM page-cache sizing of the block-device file systems (pages).
+  uint64_t xfslite_cache_pages = 4096;
+  uint64_t extlite_cache_pages = 4096;
+};
+
+inline fs::XfsLite::Options XfsOptionsFor(const MuxRigSizes& sizes) {
+  fs::XfsLite::Options options;
+  options.page_cache_pages = sizes.xfslite_cache_pages;
+  return options;
+}
+
+inline fs::ExtLite::Options ExtOptionsFor(const MuxRigSizes& sizes) {
+  fs::ExtLite::Options options;
+  options.page_cache_pages = sizes.extlite_cache_pages;
+  return options;
+}
+
+class MuxRig {
+ public:
+  using Sizes = MuxRigSizes;
+
+  MuxRig() : MuxRig(core::Mux::Options(), Sizes()) {}
+  explicit MuxRig(core::Mux::Options options)
+      : MuxRig(std::move(options), Sizes()) {}
+  explicit MuxRig(Sizes sizes) : MuxRig(core::Mux::Options(), sizes) {}
+
+  MuxRig(core::Mux::Options options, Sizes sizes)
+      : pm_dev_(device::DeviceProfile::OptanePm(sizes.pm_bytes), &clock_),
+        ssd_dev_(device::DeviceProfile::OptaneSsd(sizes.ssd_bytes), &clock_),
+        hdd_dev_(device::DeviceProfile::ExosHdd(sizes.hdd_bytes), &clock_),
+        novafs_(&pm_dev_, &clock_),
+        xfslite_(&ssd_dev_, &clock_, XfsOptionsFor(sizes)),
+        extlite_(&hdd_dev_, &clock_, ExtOptionsFor(sizes)),
+        mux_(std::make_unique<core::Mux>(&clock_, std::move(options))) {
+    format_ok_ = novafs_.Format().ok() && xfslite_.Format().ok() &&
+                 extlite_.Format().ok();
+    auto pm = mux_->AddTier("pm", &novafs_, pm_dev_.profile());
+    auto ssd = mux_->AddTier("ssd", &xfslite_, ssd_dev_.profile());
+    auto hdd = mux_->AddTier("hdd", &extlite_, hdd_dev_.profile());
+    format_ok_ = format_ok_ && pm.ok() && ssd.ok() && hdd.ok();
+    pm_tier_ = pm.value_or(core::kInvalidTier);
+    ssd_tier_ = ssd.value_or(core::kInvalidTier);
+    hdd_tier_ = hdd.value_or(core::kInvalidTier);
+  }
+
+  bool ok() const { return format_ok_; }
+  core::Mux& mux() { return *mux_; }
+  SimClock& clock() { return clock_; }
+  fs::NovaFs& novafs() { return novafs_; }
+  fs::XfsLite& xfslite() { return xfslite_; }
+  fs::ExtLite& extlite() { return extlite_; }
+  device::PmDevice& pm_dev() { return pm_dev_; }
+  device::BlockDevice& ssd_dev() { return ssd_dev_; }
+  device::BlockDevice& hdd_dev() { return hdd_dev_; }
+  core::TierId pm_tier() const { return pm_tier_; }
+  core::TierId ssd_tier() const { return ssd_tier_; }
+  core::TierId hdd_tier() const { return hdd_tier_; }
+
+  // Rebuilds Mux over the same (already formatted) file systems, as after a
+  // restart, and recovers from the checkpoint.
+  Status Remount() {
+    mux_ = std::make_unique<core::Mux>(&clock_);
+    MUX_RETURN_IF_ERROR(
+        mux_->AddTier("pm", &novafs_, pm_dev_.profile()).status());
+    MUX_RETURN_IF_ERROR(
+        mux_->AddTier("ssd", &xfslite_, ssd_dev_.profile()).status());
+    MUX_RETURN_IF_ERROR(
+        mux_->AddTier("hdd", &extlite_, hdd_dev_.profile()).status());
+    return mux_->Recover();
+  }
+
+ private:
+  SimClock clock_;
+  device::PmDevice pm_dev_;
+  device::BlockDevice ssd_dev_;
+  device::BlockDevice hdd_dev_;
+  fs::NovaFs novafs_;
+  fs::XfsLite xfslite_;
+  fs::ExtLite extlite_;
+  std::unique_ptr<core::Mux> mux_;
+  core::TierId pm_tier_ = core::kInvalidTier;
+  core::TierId ssd_tier_ = core::kInvalidTier;
+  core::TierId hdd_tier_ = core::kInvalidTier;
+  bool format_ok_ = false;
+};
+
+}  // namespace mux::testing
+
+#endif  // MUX_TESTS_MUX_RIG_H_

@@ -1,0 +1,334 @@
+// novafs-specific tests: persistence, recovery, crash atomicity, DAX.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/device/pm_device.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/vfs/memfs.h"
+
+namespace mux::fs {
+namespace {
+
+using vfs::OpenFlags;
+
+constexpr uint64_t kPmSize = 64ULL << 20;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+class NovaFsTest : public ::testing::Test {
+ protected:
+  NovaFsTest()
+      : pm_(device::DeviceProfile::OptanePm(kPmSize), &clock_),
+        fs_(&pm_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+
+  SimClock clock_;
+  device::PmDevice pm_;
+  NovaFs fs_;
+};
+
+TEST_F(NovaFsTest, SurvivesRemount) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  auto h = fs_.Open("/d/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(20000, 1);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+
+  // A brand-new NovaFs over the same PM must recover everything.
+  NovaFs remounted(&pm_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/d/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok()) << h2.status();
+  std::vector<uint8_t> out(data.size());
+  auto r = remounted.Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+  auto st = remounted.Stat("/d/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, data.size());
+}
+
+TEST_F(NovaFsTest, RemountPreservesComplexTree) {
+  for (int d = 0; d < 4; ++d) {
+    const std::string dir = "/dir" + std::to_string(d);
+    ASSERT_TRUE(fs_.Mkdir(dir).ok());
+    for (int f = 0; f < 8; ++f) {
+      auto h = fs_.Open(dir + "/f" + std::to_string(f), OpenFlags::kCreateRw);
+      ASSERT_TRUE(h.ok());
+      auto data = Pattern(1000 * (f + 1), d * 10 + f);
+      ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+      ASSERT_TRUE(fs_.Close(*h).ok());
+    }
+  }
+  ASSERT_TRUE(fs_.Unlink("/dir0/f0").ok());
+  ASSERT_TRUE(fs_.Rename("/dir1/f1", "/dir2/moved").ok());
+
+  NovaFs remounted(&pm_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  EXPECT_EQ(remounted.Stat("/dir0/f0").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(remounted.Stat("/dir1/f1").status().code(), ErrorCode::kNotFound);
+  auto st = remounted.Stat("/dir2/moved");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 2000u);
+  auto entries = remounted.ReadDir("/dir2");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 9u);  // 8 originals + moved
+}
+
+TEST_F(NovaFsTest, RemountAfterOverwritesKeepsLatest) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  for (int round = 0; round < 10; ++round) {
+    auto data = Pattern(8192, round);
+    ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  }
+  auto final_data = Pattern(8192, 9);
+  ASSERT_TRUE(fs_.Close(*h).ok());
+
+  NovaFs remounted(&pm_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(8192);
+  ASSERT_TRUE(remounted.Read(*h2, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, final_data);
+}
+
+TEST_F(NovaFsTest, CowDoesNotLeakPages) {
+  // Touch the root log first so its (permanent) log page is not counted as
+  // a leak.
+  auto warm = fs_.Open("/warm", OpenFlags::kCreateRw);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(fs_.Close(*warm).ok());
+  ASSERT_TRUE(fs_.Unlink("/warm").ok());
+  const uint64_t free_before = fs_.FreeDataPages();
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4096, 0);
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  }
+  ASSERT_TRUE(fs_.Close(*h).ok());
+  ASSERT_TRUE(fs_.Unlink("/f").ok());
+  // All data pages and log pages must be back; 50 overwrites of one page
+  // must not consume 50 pages.
+  EXPECT_EQ(fs_.FreeDataPages(), free_before);
+}
+
+TEST_F(NovaFsTest, WriteIsAtomicUnderCrash) {
+  // A crash at an arbitrary point during Write must leave the file either
+  // entirely old or entirely new after recovery — NOVA's log-tail commit.
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto old_data = Pattern(12288, 1);
+  ASSERT_TRUE(fs_.Write(*h, 0, old_data.data(), old_data.size()).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+
+  pm_.EnableCrashSim(true);
+  auto h2 = fs_.Open("/f", OpenFlags::kReadWrite);
+  ASSERT_TRUE(h2.ok());
+  auto new_data = Pattern(12288, 2);
+  ASSERT_TRUE(fs_.Write(*h2, 0, new_data.data(), new_data.size()).ok());
+  // Crash with all post-baseline unpersisted stores rolled back. Because
+  // novafs persists every store before the commit tail advance, everything
+  // is durable and the write must survive.
+  pm_.Crash();
+  pm_.EnableCrashSim(false);
+
+  NovaFs remounted(&pm_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h3 = remounted.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(h3.ok());
+  std::vector<uint8_t> out(new_data.size());
+  ASSERT_TRUE(remounted.Read(*h3, 0, out.size(), out.data()).ok());
+  EXPECT_TRUE(out == new_data || out == old_data);
+  EXPECT_EQ(out, new_data);  // all stores persisted -> new data committed
+}
+
+TEST_F(NovaFsTest, OrphanInodeReclaimedAtMount) {
+  // Simulate a crash between inode-slot creation and the parent dentry
+  // append: craft the state by creating a file and then surgically removing
+  // its dentry is hard from outside, so approximate with rename-journal
+  // replay coverage below and check the orphan scan through the public
+  // interface: create, unlink keeps no orphans.
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+  ASSERT_TRUE(fs_.Unlink("/f").ok());
+  NovaFs remounted(&pm_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto st = remounted.StatFs();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->free_inodes, st->total_inodes - 1);  // only root
+}
+
+TEST_F(NovaFsTest, DaxMapOnFallocatedFile) {
+  auto h = fs_.Open("/cache", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.Fallocate(*h, 0, 1 << 20, /*keep_size=*/false).ok());
+  auto mapping = fs_.DaxMap(*h, 0, 1 << 20);
+  ASSERT_TRUE(mapping.ok()) << mapping.status();
+  ASSERT_NE(mapping->data, nullptr);
+  EXPECT_EQ(mapping->length, 1u << 20);
+
+  // Writes through the mapping are visible through the read path.
+  std::memset(mapping->data, 0x7e, 4096);
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(fs_.Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(4096, 0x7e));
+}
+
+TEST_F(NovaFsTest, DaxMapRejectsUnallocatedRange) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(fs_.DaxMap(*h, 0, 4096).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NovaFsTest, FsyncIsCheapOnPm) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4096, 3);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  const SimTime t0 = clock_.Now();
+  ASSERT_TRUE(fs_.Fsync(*h, /*data_only=*/true).ok());
+  // Data-only fsync does no device work at all: NOVA's data is durable at
+  // write return.
+  EXPECT_LT(clock_.Now() - t0, 1000u);
+}
+
+TEST_F(NovaFsTest, NoSpaceSurfacesCleanly) {
+  SimClock clock;
+  device::PmDevice small_pm(device::DeviceProfile::OptanePm(1 << 20), &clock);
+  NovaFs small(&small_pm, &clock);
+  ASSERT_TRUE(small.Format().ok());
+  auto h = small.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  std::vector<uint8_t> big(2 << 20, 1);
+  auto w = small.Write(*h, 0, big.data(), big.size());
+  EXPECT_EQ(w.status().code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(NovaFsTest, RenameJournalReplayIdempotent) {
+  ASSERT_TRUE(fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(fs_.Mkdir("/b").ok());
+  auto h = fs_.Open("/a/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t byte = 1;
+  ASSERT_TRUE(fs_.Write(*h, 0, &byte, 1).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+  ASSERT_TRUE(fs_.Rename("/a/f", "/b/g").ok());
+
+  // Remount twice; the tree must be stable.
+  for (int round = 0; round < 2; ++round) {
+    NovaFs remounted(&pm_, &clock_);
+    ASSERT_TRUE(remounted.Mount().ok());
+    EXPECT_EQ(remounted.Stat("/a/f").status().code(), ErrorCode::kNotFound);
+    EXPECT_TRUE(remounted.Stat("/b/g").ok());
+  }
+}
+
+TEST_F(NovaFsTest, MountRejectsForeignContent) {
+  SimClock clock;
+  device::PmDevice blank(device::DeviceProfile::OptanePm(8 << 20), &clock);
+  NovaFs never_formatted(&blank, &clock);
+  EXPECT_EQ(never_formatted.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(NovaFsTest, LogSpansMultiplePages) {
+  // More log entries than fit one 4K log page (63) on a single file.
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 0;
+  for (int i = 0; i < 200; ++i) {
+    b = static_cast<uint8_t>(i);
+    ASSERT_TRUE(fs_.Write(*h, static_cast<uint64_t>(i) * 4096, &b, 1).ok());
+  }
+  ASSERT_TRUE(fs_.Close(*h).ok());
+  NovaFs remounted(&pm_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  for (int i = 0; i < 200; ++i) {
+    uint8_t out = 0xff;
+    ASSERT_TRUE(
+        remounted.Read(*h2, static_cast<uint64_t>(i) * 4096, 1, &out).ok());
+    ASSERT_EQ(out, static_cast<uint8_t>(i)) << i;
+  }
+}
+
+// Parameterized crash sweep: randomized write workload, crash (rolling back
+// unpersisted lines), remount, verify no corruption and no data loss for
+// data written before the crash-sim window.
+class NovaCrashSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NovaCrashSweep, RecoversConsistently) {
+  SimClock clock;
+  device::PmDevice pm(device::DeviceProfile::OptanePm(kPmSize), &clock);
+  NovaFs fs(&pm, &clock);
+  ASSERT_TRUE(fs.Format().ok());
+
+  // Durable baseline.
+  auto h = fs.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto baseline = Pattern(64 * 1024, 7);
+  ASSERT_TRUE(fs.Write(*h, 0, baseline.data(), baseline.size()).ok());
+
+  // Random writes in the crash window.
+  pm.EnableCrashSim(true);
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t offset = rng.Below(64 * 1024);
+    const uint64_t len = 1 + rng.Below(8 * 1024);
+    auto data = Pattern(len, rng.Next());
+    ASSERT_TRUE(fs.Write(*h, offset, data.data(), len).ok());
+  }
+  pm.Crash();
+  pm.EnableCrashSim(false);
+
+  NovaFs remounted(&pm, &clock);
+  ASSERT_TRUE(remounted.Mount().ok()) << "seed " << GetParam();
+  auto h2 = remounted.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  auto st = remounted.FStat(*h2);
+  ASSERT_TRUE(st.ok());
+  EXPECT_GE(st->size, baseline.size());
+  std::vector<uint8_t> out(st->size);
+  auto r = remounted.Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, out.size());
+  // novafs persists every store before the tail commit, so nothing in the
+  // crash window is actually lost: the file must reflect all 20 writes.
+  // (The stronger property — prefix durability — is checked by re-running
+  // the same write sequence on an oracle.)
+  vfs::MemFs oracle(&clock);
+  auto oh = oracle.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(oh.ok());
+  ASSERT_TRUE(oracle.Write(*oh, 0, baseline.data(), baseline.size()).ok());
+  Rng rng2(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t offset = rng2.Below(64 * 1024);
+    const uint64_t len = 1 + rng2.Below(8 * 1024);
+    auto data = Pattern(len, rng2.Next());
+    ASSERT_TRUE(oracle.Write(*oh, offset, data.data(), len).ok());
+  }
+  std::vector<uint8_t> expected(out.size());
+  ASSERT_TRUE(oracle.Read(*oh, 0, expected.size(), expected.data()).ok());
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NovaCrashSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mux::fs

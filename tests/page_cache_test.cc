@@ -1,0 +1,178 @@
+// Tests for the shared DRAM page cache.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/fs/fscommon/page_cache.h"
+
+namespace mux::fs {
+namespace {
+
+// A backing store over a std::map so tests can observe load/store traffic.
+class FakeStore : public BackingStore {
+ public:
+  Status LoadPage(vfs::InodeNum ino, uint64_t page, uint8_t* out) override {
+    loads++;
+    auto it = pages_.find({ino, page});
+    if (it == pages_.end()) {
+      std::memset(out, 0, kPageSize);
+    } else {
+      std::memcpy(out, it->second.data(), kPageSize);
+    }
+    return Status::Ok();
+  }
+
+  Status StorePage(vfs::InodeNum ino, uint64_t page,
+                   const uint8_t* data) override {
+    stores++;
+    if (fail_stores) {
+      return IoError("injected store failure");
+    }
+    pages_[{ino, page}].assign(data, data + kPageSize);
+    return Status::Ok();
+  }
+
+  std::map<std::pair<vfs::InodeNum, uint64_t>, std::vector<uint8_t>> pages_;
+  int loads = 0;
+  int stores = 0;
+  bool fail_stores = false;
+};
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  FakeStore store_;
+  PageCache cache_{&store_, &clock_, /*capacity_pages=*/4};
+};
+
+TEST_F(PageCacheTest, ReadMissLoadsThenHits) {
+  uint8_t buf[16];
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 0, sizeof(buf), buf).ok());
+  EXPECT_EQ(store_.loads, 1);
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 100, sizeof(buf), buf).ok());
+  EXPECT_EQ(store_.loads, 1);  // second read hits
+  auto stats = cache_.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(PageCacheTest, WriteThenReadBack) {
+  const uint8_t data[] = {1, 2, 3, 4};
+  ASSERT_TRUE(cache_.WriteThrough(1, 5, 10, sizeof(data), data).ok());
+  uint8_t out[4] = {0};
+  ASSERT_TRUE(cache_.ReadThrough(1, 5, 10, sizeof(out), out).ok());
+  EXPECT_EQ(std::memcmp(out, data, 4), 0);
+  // Dirty data has not reached the store yet (write-back, not write-through).
+  EXPECT_EQ(store_.stores, 0);
+}
+
+TEST_F(PageCacheTest, FullPageWriteSkipsLoad) {
+  std::vector<uint8_t> page(kPageSize, 0xee);
+  ASSERT_TRUE(cache_.WriteThrough(1, 0, 0, kPageSize, page.data()).ok());
+  EXPECT_EQ(store_.loads, 0);
+  // Partial write to a new page must load for merge.
+  ASSERT_TRUE(cache_.WriteThrough(1, 1, 7, 3, page.data()).ok());
+  EXPECT_EQ(store_.loads, 1);
+}
+
+TEST_F(PageCacheTest, FlushWritesDirtyPages) {
+  const uint8_t b = 0x42;
+  ASSERT_TRUE(cache_.WriteThrough(1, 0, 0, 1, &b).ok());
+  ASSERT_TRUE(cache_.WriteThrough(2, 0, 0, 1, &b).ok());
+  ASSERT_TRUE(cache_.FlushInode(1).ok());
+  EXPECT_EQ(store_.stores, 1);
+  ASSERT_TRUE(cache_.FlushAll().ok());
+  EXPECT_EQ(store_.stores, 2);
+  // A second flush is a no-op: nothing dirty.
+  ASSERT_TRUE(cache_.FlushAll().ok());
+  EXPECT_EQ(store_.stores, 2);
+}
+
+TEST_F(PageCacheTest, EvictionWritesBackDirtyVictim) {
+  const uint8_t b = 1;
+  // Fill capacity (4 pages) with dirty pages, then touch a 5th.
+  for (uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(cache_.WriteThrough(1, p, 0, 1, &b).ok());
+  }
+  ASSERT_TRUE(cache_.WriteThrough(1, 4, 0, 1, &b).ok());
+  EXPECT_EQ(store_.stores, 1);  // LRU victim (page 0) written back
+  EXPECT_EQ(cache_.ResidentPages(), 4u);
+  EXPECT_EQ(cache_.stats().evictions, 1u);
+  // Reading page 0 again reloads the written-back content.
+  uint8_t out = 0;
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 0, 1, &out).ok());
+  EXPECT_EQ(out, 1);
+}
+
+TEST_F(PageCacheTest, LruOrderRespectsAccess) {
+  const uint8_t b = 1;
+  for (uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(cache_.WriteThrough(1, p, 0, 1, &b).ok());
+  }
+  // Touch page 0 so page 1 becomes LRU.
+  uint8_t out;
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 0, 1, &out).ok());
+  ASSERT_TRUE(cache_.WriteThrough(1, 9, 0, 1, &b).ok());  // evicts page 1
+  // Page 0 is still resident (no load needed).
+  const int loads_before = store_.loads;
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 0, 1, &out).ok());
+  EXPECT_EQ(store_.loads, loads_before);
+  // Page 1 is gone (load needed).
+  ASSERT_TRUE(cache_.ReadThrough(1, 1, 0, 1, &out).ok());
+  EXPECT_EQ(store_.loads, loads_before + 1);
+}
+
+TEST_F(PageCacheTest, ReadAheadPopulates) {
+  ASSERT_TRUE(cache_.ReadAhead(3, 0, 3).ok());
+  EXPECT_EQ(store_.loads, 3);
+  uint8_t out;
+  ASSERT_TRUE(cache_.ReadThrough(3, 1, 0, 1, &out).ok());
+  EXPECT_EQ(store_.loads, 3);  // hit
+}
+
+TEST_F(PageCacheTest, InvalidateDropsDirtyData) {
+  const uint8_t b = 9;
+  ASSERT_TRUE(cache_.WriteThrough(1, 0, 0, 1, &b).ok());
+  cache_.InvalidateInode(1);
+  EXPECT_EQ(cache_.ResidentPages(), 0u);
+  uint8_t out = 0xff;
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 0, 1, &out).ok());
+  EXPECT_EQ(out, 0);  // store never saw the write
+}
+
+TEST_F(PageCacheTest, InvalidateFromKeepsEarlierPages) {
+  const uint8_t b = 9;
+  ASSERT_TRUE(cache_.WriteThrough(1, 0, 0, 1, &b).ok());
+  ASSERT_TRUE(cache_.WriteThrough(1, 3, 0, 1, &b).ok());
+  cache_.InvalidateFrom(1, 2);
+  EXPECT_EQ(cache_.ResidentPages(), 1u);
+}
+
+TEST_F(PageCacheTest, CrossPageAccessRejected) {
+  uint8_t buf[8];
+  EXPECT_EQ(cache_.ReadThrough(1, 0, kPageSize - 4, 8, buf).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(cache_.WriteThrough(1, 0, kPageSize, 1, buf).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(PageCacheTest, StoreFailureSurfaces) {
+  const uint8_t b = 1;
+  ASSERT_TRUE(cache_.WriteThrough(1, 0, 0, 1, &b).ok());
+  store_.fail_stores = true;
+  EXPECT_EQ(cache_.FlushAll().code(), ErrorCode::kIoError);
+}
+
+TEST_F(PageCacheTest, HitChargesCpuTime) {
+  uint8_t out;
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 0, 1, &out).ok());
+  const SimTime t0 = clock_.Now();
+  ASSERT_TRUE(cache_.ReadThrough(1, 0, 0, 1, &out).ok());
+  EXPECT_GT(clock_.Now(), t0);
+}
+
+}  // namespace
+}  // namespace mux::fs

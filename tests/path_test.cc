@@ -1,0 +1,61 @@
+// Tests for VFS path utilities.
+#include <gtest/gtest.h>
+
+#include "src/vfs/path.h"
+
+namespace mux::vfs {
+namespace {
+
+TEST(PathTest, SplitBasic) {
+  EXPECT_EQ(SplitPath("/a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitPath("/"), std::vector<std::string>{});
+  EXPECT_EQ(SplitPath("//a///b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitPath(""), std::vector<std::string>{});
+}
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(NormalizePath("//a//b/"), "/a/b");
+  EXPECT_EQ(NormalizePath("/"), "/");
+  EXPECT_EQ(NormalizePath("/a"), "/a");
+  EXPECT_EQ(NormalizePath(""), "/");
+}
+
+TEST(PathTest, Dirname) {
+  EXPECT_EQ(Dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(Dirname("/a"), "/");
+  EXPECT_EQ(Dirname("/"), "/");
+}
+
+TEST(PathTest, Basename) {
+  EXPECT_EQ(Basename("/a/b/c"), "c");
+  EXPECT_EQ(Basename("/a"), "a");
+  EXPECT_EQ(Basename("/"), "");
+}
+
+TEST(PathTest, Join) {
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a/", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/a", "/b"), "/a/b");
+  EXPECT_EQ(JoinPath("/", "b"), "/b");
+}
+
+TEST(PathTest, HasPrefix) {
+  EXPECT_TRUE(PathHasPrefix("/a/b", "/a"));
+  EXPECT_TRUE(PathHasPrefix("/a", "/a"));
+  EXPECT_TRUE(PathHasPrefix("/a/b", "/"));
+  EXPECT_FALSE(PathHasPrefix("/ab", "/a"));
+  EXPECT_FALSE(PathHasPrefix("/a", "/a/b"));
+}
+
+TEST(PathTest, Validity) {
+  EXPECT_TRUE(IsValidPath("/"));
+  EXPECT_TRUE(IsValidPath("/a/b"));
+  EXPECT_FALSE(IsValidPath("a/b"));
+  EXPECT_FALSE(IsValidPath(""));
+  EXPECT_FALSE(IsValidPath("/a/../b"));
+  EXPECT_FALSE(IsValidPath("/./a"));
+}
+
+}  // namespace
+}  // namespace mux::vfs

@@ -1,0 +1,181 @@
+// Strata baseline tests: log-then-digest behaviour, static routing,
+// lock-based migration, tier accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/device/block_device.h"
+#include "src/device/pm_device.h"
+#include "src/strata/strata.h"
+
+namespace mux::strata {
+namespace {
+
+using vfs::OpenFlags;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+class StrataTest : public ::testing::Test {
+ protected:
+  StrataTest()
+      : pm_(device::DeviceProfile::OptanePm(32ULL << 20), &clock_),
+        ssd_(device::DeviceProfile::OptaneSsd(64ULL << 20), &clock_),
+        hdd_(device::DeviceProfile::ExosHdd(128ULL << 20), &clock_),
+        fs_(&pm_, &ssd_, &hdd_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+
+  SimClock clock_;
+  device::PmDevice pm_;
+  device::BlockDevice ssd_;
+  device::BlockDevice hdd_;
+  StrataFs fs_;
+};
+
+TEST_F(StrataTest, EveryWriteGoesThroughTheLog) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(16 * 4096, 1);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  auto stats = fs_.stats();
+  EXPECT_EQ(stats.log_appends, 16u);
+  // Write amplification: logged bytes exceed payload (record headers).
+  EXPECT_GT(stats.log_bytes, data.size());
+}
+
+TEST_F(StrataTest, ReadsSeeUndigestedLogData) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(10000, 2);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  // No digest yet.
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(StrataTest, DigestMovesDataToTargetTier) {
+  auto h = fs_.Open("/ssd_file", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.SetFileTier("/ssd_file", Tier::kSsd).ok());
+  auto data = Pattern(8 * 4096, 3);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  const auto ssd_before = ssd_.stats().write_ops;
+  ASSERT_TRUE(fs_.DigestAll().ok());
+  EXPECT_GT(ssd_.stats().write_ops, ssd_before);  // data landed on SSD
+  EXPECT_EQ(fs_.LogBytesUsed(), 0u);              // log drained
+  // Content still correct after digest.
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(StrataTest, PmDigestIsMetadataOnly) {
+  auto h = fs_.Open("/pm_file", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 4);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  const auto pm_writes_before = pm_.stats().bytes_written;
+  ASSERT_TRUE(fs_.DigestAll().ok());
+  // Adoption, not copy: no new PM data writes during digest.
+  EXPECT_EQ(pm_.stats().bytes_written, pm_writes_before);
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(StrataTest, StaticRoutingTable) {
+  // Only PM->SSD and PM->HDD are wired (Figure 3a).
+  EXPECT_TRUE(StrataFs::SupportsMigration(Tier::kPm, Tier::kSsd));
+  EXPECT_TRUE(StrataFs::SupportsMigration(Tier::kPm, Tier::kHdd));
+  EXPECT_FALSE(StrataFs::SupportsMigration(Tier::kSsd, Tier::kHdd));
+  EXPECT_FALSE(StrataFs::SupportsMigration(Tier::kSsd, Tier::kPm));
+  EXPECT_FALSE(StrataFs::SupportsMigration(Tier::kHdd, Tier::kPm));
+  EXPECT_FALSE(StrataFs::SupportsMigration(Tier::kHdd, Tier::kSsd));
+}
+
+TEST_F(StrataTest, UnsupportedMigrationFails) {
+  ASSERT_TRUE(fs_.Open("/f", OpenFlags::kCreateRw).ok());
+  EXPECT_EQ(fs_.MigrateFile("/f", Tier::kSsd, Tier::kPm).code(),
+            ErrorCode::kNotSupported);
+  EXPECT_EQ(fs_.MigrateFile("/f", Tier::kHdd, Tier::kSsd).code(),
+            ErrorCode::kNotSupported);
+}
+
+TEST_F(StrataTest, SupportedMigrationMovesBlocks) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(32 * 4096, 5);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.DigestAll().ok());  // data now on PM
+
+  const auto ssd_before = ssd_.stats().write_ops;
+  ASSERT_TRUE(fs_.MigrateFile("/f", Tier::kPm, Tier::kSsd).ok());
+  EXPECT_GE(ssd_.stats().write_ops - ssd_before, 32u);
+  EXPECT_EQ(fs_.stats().migrated_blocks, 32u);
+  // Lock-based migration took the file lock per block.
+  EXPECT_GE(fs_.stats().lock_acquisitions, 32u);
+  // Data unchanged.
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(StrataTest, LogWatermarkTriggersDigest) {
+  // Write more than the digest watermark of the log; digest must fire by
+  // itself and keep the log bounded.
+  auto h = fs_.Open("/big", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.SetFileTier("/big", Tier::kSsd).ok());
+  auto data = Pattern(1 << 20, 6);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(fs_.Write(*h, static_cast<uint64_t>(i) << 20, data.data(),
+                          data.size()).ok());
+  }
+  EXPECT_GT(fs_.stats().digests, 0u);
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_.Read(*h, 5ull << 20, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(StrataTest, OverwritesReclaimLogSpace) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4096, 7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  }
+  // 100 overwrites of one block must not pin 100 log pages.
+  EXPECT_LE(fs_.LogBytesUsed(), 2u * 4096);
+}
+
+TEST_F(StrataTest, TruncateAndSparseBehave) {
+  auto h = fs_.Open("/sparse", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4096, 8);
+  ASSERT_TRUE(fs_.Write(*h, 1 << 20, data.data(), data.size()).ok());
+  auto st = fs_.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, (1u << 20) + 4096);
+  EXPECT_EQ(st->allocated_bytes, 4096u);
+  ASSERT_TRUE(fs_.Truncate(*h, 100).ok());
+  auto st2 = fs_.FStat(*h);
+  ASSERT_TRUE(st2.ok());
+  EXPECT_EQ(st2->size, 100u);
+  EXPECT_EQ(st2->allocated_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mux::strata

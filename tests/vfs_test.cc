@@ -1,0 +1,119 @@
+// Tests for the Vfs mount router.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/vfs/memfs.h"
+#include "src/vfs/vfs.h"
+
+namespace mux::vfs {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(vfs_.Mount("/mnt/a", &a_).ok());
+    ASSERT_TRUE(vfs_.Mount("/mnt/b", &b_).ok());
+  }
+
+  SimClock clock_;
+  MemFs a_{&clock_};
+  MemFs b_{&clock_};
+  Vfs vfs_;
+};
+
+TEST_F(VfsTest, RoutesByMountPoint) {
+  auto h = vfs_.Open("/mnt/a/file", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t byte = 7;
+  ASSERT_TRUE(vfs_.Write(*h, 0, &byte, 1).ok());
+  ASSERT_TRUE(vfs_.Close(*h).ok());
+
+  // The file exists inside fs a_ at the stripped path.
+  auto st = a_.Stat("/file");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 1u);
+  // And not in b_.
+  EXPECT_EQ(b_.Stat("/file").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(VfsTest, LongestPrefixWins) {
+  MemFs nested(&clock_);
+  ASSERT_TRUE(vfs_.Mount("/mnt/a/nested", &nested).ok());
+  ASSERT_TRUE(vfs_.Mkdir("/mnt/a/nested/dir").ok());
+  EXPECT_TRUE(nested.Stat("/dir").ok());
+  EXPECT_FALSE(a_.Stat("/nested/dir").ok());
+}
+
+TEST_F(VfsTest, UnmountedPathFails) {
+  auto h = vfs_.Open("/elsewhere/f", OpenFlags::kCreateRw);
+  EXPECT_EQ(h.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(VfsTest, DuplicateMountRejected) {
+  MemFs other(&clock_);
+  EXPECT_EQ(vfs_.Mount("/mnt/a", &other).code(), ErrorCode::kExists);
+}
+
+TEST_F(VfsTest, UnmountWithOpenHandlesBusy) {
+  auto h = vfs_.Open("/mnt/a/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(vfs_.Unmount("/mnt/a").code(), ErrorCode::kBusy);
+  ASSERT_TRUE(vfs_.Close(*h).ok());
+  EXPECT_TRUE(vfs_.Unmount("/mnt/a").ok());
+  EXPECT_EQ(vfs_.Open("/mnt/a/f", OpenFlags::kRead).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(VfsTest, CrossMountRenameRejected) {
+  ASSERT_TRUE(vfs_.Open("/mnt/a/f", OpenFlags::kCreateRw).ok());
+  EXPECT_EQ(vfs_.Rename("/mnt/a/f", "/mnt/b/f").code(),
+            ErrorCode::kNotSupported);
+  EXPECT_TRUE(vfs_.Rename("/mnt/a/f", "/mnt/a/g").ok());
+}
+
+TEST_F(VfsTest, ReadWriteThroughRouter) {
+  auto h = vfs_.Open("/mnt/b/data", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  const char msg[] = "routed";
+  ASSERT_TRUE(
+      vfs_.Write(*h, 10, reinterpret_cast<const uint8_t*>(msg), 6).ok());
+  uint8_t out[6];
+  auto n = vfs_.Read(*h, 10, 6, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 6u);
+  EXPECT_EQ(std::memcmp(out, msg, 6), 0);
+  auto st = vfs_.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 16u);
+  EXPECT_TRUE(vfs_.Fsync(*h).ok());
+  EXPECT_TRUE(vfs_.Truncate(*h, 4).ok());
+}
+
+TEST_F(VfsTest, MountPointsListed) {
+  auto points = vfs_.MountPoints();
+  ASSERT_EQ(points.size(), 2u);
+}
+
+TEST_F(VfsTest, StatAndReadDirRouted) {
+  ASSERT_TRUE(vfs_.Mkdir("/mnt/a/d").ok());
+  ASSERT_TRUE(vfs_.Open("/mnt/a/d/f", OpenFlags::kCreateRw).ok());
+  auto entries = vfs_.ReadDir("/mnt/a/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "f");
+  EXPECT_TRUE(vfs_.Stat("/mnt/a/d/f").ok());
+  EXPECT_TRUE(vfs_.Unlink("/mnt/a/d/f").ok());
+  EXPECT_TRUE(vfs_.Rmdir("/mnt/a/d").ok());
+}
+
+TEST_F(VfsTest, MountRootAccess) {
+  // Stat of the mount point itself resolves to the FS root.
+  auto st = vfs_.Stat("/mnt/a");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->type, FileType::kDirectory);
+}
+
+}  // namespace
+}  // namespace mux::vfs

@@ -1,0 +1,263 @@
+// xfslite-specific tests: delayed allocation / extent behaviour, journaled
+// crash consistency, remount, readahead.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/device/block_device.h"
+#include "src/fs/xfslite/xfslite.h"
+
+namespace mux::fs {
+namespace {
+
+using vfs::OpenFlags;
+
+constexpr uint64_t kDevSize = 64ULL << 20;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+class XfsLiteTest : public ::testing::Test {
+ protected:
+  XfsLiteTest()
+      : dev_(device::DeviceProfile::OptaneSsd(kDevSize), &clock_),
+        fs_(&dev_, &clock_) {
+    EXPECT_TRUE(fs_.Format().ok());
+  }
+
+  SimClock clock_;
+  device::BlockDevice dev_;
+  XfsLite fs_;
+};
+
+TEST_F(XfsLiteTest, DelayedAllocationBatchesExtents) {
+  auto h = fs_.Open("/seq", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  // 64 sequential 4K writes, then one fsync. Delayed allocation must place
+  // them in very few extents (ideally one).
+  auto data = Pattern(4096, 1);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        fs_.Write(*h, static_cast<uint64_t>(i) * 4096, data.data(), 4096).ok());
+  }
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  EXPECT_LE(fs_.ExtentCountOf("/seq"), 2u);
+}
+
+TEST_F(XfsLiteTest, WritesAreBufferedUntilFsync) {
+  auto h = fs_.Open("/buf", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto before = dev_.stats().write_ops;
+  auto data = Pattern(16384, 2);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  // No data writes hit the device yet (page cache absorbs them).
+  EXPECT_EQ(dev_.stats().write_ops, before);
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  EXPECT_GT(dev_.stats().write_ops, before);
+}
+
+TEST_F(XfsLiteTest, SurvivesRemountAfterSync) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  auto h = fs_.Open("/d/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(100000, 3);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Close(*h).ok());
+  ASSERT_TRUE(fs_.Sync().ok());
+
+  XfsLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/d/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok()) << h2.status();
+  std::vector<uint8_t> out(data.size());
+  auto r = remounted.Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(XfsLiteTest, LargeFileSpillsToOverflowExtents) {
+  auto h = fs_.Open("/frag", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4096, 4);
+  // Interleave writes to two files to force fragmentation beyond the inline
+  // extent count.
+  auto h2 = fs_.Open("/other", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h2.ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        fs_.Write(*h, static_cast<uint64_t>(i) * 4096, data.data(), 4096).ok());
+    ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+    ASSERT_TRUE(fs_.Write(*h2, static_cast<uint64_t>(i) * 4096, data.data(),
+                          4096).ok());
+    ASSERT_TRUE(fs_.Fsync(*h2, false).ok());
+  }
+  ASSERT_TRUE(fs_.Sync().ok());
+  // Remount and verify both files.
+  XfsLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  for (const char* path : {"/frag", "/other"}) {
+    auto rh = remounted.Open(path, OpenFlags::kRead);
+    ASSERT_TRUE(rh.ok());
+    for (int i = 0; i < 32; ++i) {
+      std::vector<uint8_t> out(4096);
+      auto r = remounted.Read(*rh, static_cast<uint64_t>(i) * 4096, 4096,
+                              out.data());
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(out, data) << path << " page " << i;
+    }
+  }
+}
+
+TEST_F(XfsLiteTest, CrashBeforeFsyncLosesDataButStaysConsistent) {
+  dev_.EnableCrashSim(true);
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());  // file creation durable
+  auto data = Pattern(32768, 5);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  // No fsync: the write sits in the page cache. Crash.
+  dev_.Crash();
+  dev_.EnableCrashSim(false);
+
+  XfsLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto st = remounted.Stat("/f");
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->size, 0u);  // data lost, metadata consistent
+}
+
+TEST_F(XfsLiteTest, CrashAfterFsyncKeepsData) {
+  dev_.EnableCrashSim(true);
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(32768, 6);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+  dev_.Crash();
+  dev_.EnableCrashSim(false);
+
+  XfsLite remounted(&dev_, &clock_);
+  ASSERT_TRUE(remounted.Mount().ok());
+  auto h2 = remounted.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(data.size());
+  auto r = remounted.Read(*h2, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data.size());
+  EXPECT_EQ(out, data);
+}
+
+// Crash sweep over fault-injection cutoffs during a metadata-heavy workload:
+// whatever the crash point, mount must succeed and the tree must be one of
+// the journal-consistent states.
+class XfsCrashSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(XfsCrashSweep, MountAlwaysSucceeds) {
+  SimClock clock;
+  device::BlockDevice dev(device::DeviceProfile::OptaneSsd(kDevSize), &clock);
+  XfsLite fs(&dev, &clock);
+  ASSERT_TRUE(fs.Format().ok());
+
+  // Durable baseline.
+  auto h = fs.Open("/keep", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto keep_data = Pattern(8192, 7);
+  ASSERT_TRUE(fs.Write(*h, 0, keep_data.data(), keep_data.size()).ok());
+  ASSERT_TRUE(fs.Fsync(*h, false).ok());
+  ASSERT_TRUE(fs.Close(*h).ok());
+
+  // Crash window: metadata churn with fault injection.
+  dev.EnableCrashSim(true);
+  dev.FailAfterWrites(GetParam());
+  (void)fs.Mkdir("/dir");
+  auto h2 = fs.Open("/dir/new", OpenFlags::kCreateRw);
+  if (h2.ok()) {
+    auto data = Pattern(16384, 8);
+    (void)fs.Write(*h2, 0, data.data(), data.size());
+    (void)fs.Fsync(*h2, false);
+  }
+  (void)fs.Rename("/keep", "/dir/kept");
+  dev.FailAfterWrites(-1);
+  dev.Crash();
+  dev.EnableCrashSim(false);
+
+  XfsLite remounted(&dev, &clock);
+  ASSERT_TRUE(remounted.Mount().ok()) << "cutoff " << GetParam();
+  // /keep must exist at exactly one of its two names, with intact content.
+  auto at_old = remounted.Stat("/keep");
+  auto at_new = remounted.Stat("/dir/kept");
+  ASSERT_TRUE(at_old.ok() || at_new.ok()) << "cutoff " << GetParam();
+  const std::string path = at_new.ok() ? "/dir/kept" : "/keep";
+  auto h3 = remounted.Open(path, OpenFlags::kRead);
+  ASSERT_TRUE(h3.ok());
+  std::vector<uint8_t> out(keep_data.size());
+  auto r = remounted.Read(*h3, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, keep_data.size()) << "cutoff " << GetParam();
+  EXPECT_EQ(out, keep_data) << "cutoff " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, XfsCrashSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 12, 17, 23, 30));
+
+TEST_F(XfsLiteTest, ReadaheadKicksInForSequentialReads) {
+  auto h = fs_.Open("/ra", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(64 * 4096, 9);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+
+  // Remount so the cache is cold.
+  ASSERT_TRUE(fs_.Sync().ok());
+  XfsLite cold(&dev_, &clock_);
+  ASSERT_TRUE(cold.Mount().ok());
+  auto h2 = cold.Open("/ra", OpenFlags::kRead);
+  ASSERT_TRUE(h2.ok());
+  std::vector<uint8_t> out(4096);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        cold.Read(*h2, static_cast<uint64_t>(i) * 4096, 4096, out.data()).ok());
+  }
+  auto stats = cold.CacheStats();
+  // Readahead converts most sequential accesses into hits.
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST_F(XfsLiteTest, JournalStatsAdvance) {
+  ASSERT_TRUE(fs_.Mkdir("/j").ok());
+  auto stats = fs_.GetJournalStats();
+  EXPECT_GT(stats.commits, 0u);
+  EXPECT_GT(stats.blocks_logged, 0u);
+}
+
+TEST_F(XfsLiteTest, UnlinkedSpaceIsReusable) {
+  for (int round = 0; round < 8; ++round) {
+    auto h = fs_.Open("/cycle", OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok());
+    std::vector<uint8_t> data(8 << 20, static_cast<uint8_t>(round));
+    ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+    ASSERT_TRUE(fs_.Fsync(*h, false).ok());
+    ASSERT_TRUE(fs_.Close(*h).ok());
+    ASSERT_TRUE(fs_.Unlink("/cycle").ok());
+  }
+  // 8 rounds of 8 MiB on a 64 MiB device only works if space is recycled.
+  auto st = fs_.StatFs();
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(st->free_bytes, st->capacity_bytes / 2);
+}
+
+TEST_F(XfsLiteTest, MountRejectsForeignContent) {
+  SimClock clock;
+  device::BlockDevice blank(device::DeviceProfile::OptaneSsd(8 << 20), &clock);
+  XfsLite never_formatted(&blank, &clock);
+  EXPECT_EQ(never_formatted.Mount().code(), ErrorCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace mux::fs
