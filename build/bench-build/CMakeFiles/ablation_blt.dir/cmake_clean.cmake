@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_blt"
+  "../bench/ablation_blt.pdb"
+  "CMakeFiles/ablation_blt.dir/ablation_blt.cc.o"
+  "CMakeFiles/ablation_blt.dir/ablation_blt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

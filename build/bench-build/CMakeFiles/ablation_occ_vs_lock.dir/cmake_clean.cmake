@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_occ_vs_lock"
+  "../bench/ablation_occ_vs_lock.pdb"
+  "CMakeFiles/ablation_occ_vs_lock.dir/ablation_occ_vs_lock.cc.o"
+  "CMakeFiles/ablation_occ_vs_lock.dir/ablation_occ_vs_lock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_occ_vs_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_occ_vs_lock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_migration_matrix"
+  "../bench/fig3a_migration_matrix.pdb"
+  "CMakeFiles/fig3a_migration_matrix.dir/fig3a_migration_matrix.cc.o"
+  "CMakeFiles/fig3a_migration_matrix.dir/fig3a_migration_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_migration_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

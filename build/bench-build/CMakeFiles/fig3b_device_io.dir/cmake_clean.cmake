@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_device_io"
+  "../bench/fig3b_device_io.pdb"
+  "CMakeFiles/fig3b_device_io.dir/fig3b_device_io.cc.o"
+  "CMakeFiles/fig3b_device_io.dir/fig3b_device_io.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_device_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_device_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_read_latency"
+  "../bench/overhead_read_latency.pdb"
+  "CMakeFiles/overhead_read_latency.dir/overhead_read_latency.cc.o"
+  "CMakeFiles/overhead_read_latency.dir/overhead_read_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

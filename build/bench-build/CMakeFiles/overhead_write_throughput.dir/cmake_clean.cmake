@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_write_throughput"
+  "../bench/overhead_write_throughput.pdb"
+  "CMakeFiles/overhead_write_throughput.dir/overhead_write_throughput.cc.o"
+  "CMakeFiles/overhead_write_throughput.dir/overhead_write_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_write_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotplug_tiers.dir/hotplug_tiers.cpp.o"
+  "CMakeFiles/hotplug_tiers.dir/hotplug_tiers.cpp.o.d"
+  "hotplug_tiers"
+  "hotplug_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotplug_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_kvstore.dir/tiered_kvstore.cpp.o"
+  "CMakeFiles/tiered_kvstore.dir/tiered_kvstore.cpp.o.d"
+  "tiered_kvstore"
+  "tiered_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

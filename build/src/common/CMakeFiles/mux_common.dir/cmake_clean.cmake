@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_common.dir/clock.cc.o"
+  "CMakeFiles/mux_common.dir/clock.cc.o.d"
+  "CMakeFiles/mux_common.dir/histogram.cc.o"
+  "CMakeFiles/mux_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mux_common.dir/logging.cc.o"
+  "CMakeFiles/mux_common.dir/logging.cc.o.d"
+  "CMakeFiles/mux_common.dir/status.cc.o"
+  "CMakeFiles/mux_common.dir/status.cc.o.d"
+  "libmux_common.a"
+  "libmux_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_lookup_table.cc" "src/core/CMakeFiles/mux_core.dir/block_lookup_table.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/block_lookup_table.cc.o.d"
+  "/root/repo/src/core/bookkeeper.cc" "src/core/CMakeFiles/mux_core.dir/bookkeeper.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/bookkeeper.cc.o.d"
+  "/root/repo/src/core/cache_controller.cc" "src/core/CMakeFiles/mux_core.dir/cache_controller.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/cache_controller.cc.o.d"
+  "/root/repo/src/core/io_scheduler.cc" "src/core/CMakeFiles/mux_core.dir/io_scheduler.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/io_scheduler.cc.o.d"
+  "/root/repo/src/core/mglru.cc" "src/core/CMakeFiles/mux_core.dir/mglru.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/mglru.cc.o.d"
+  "/root/repo/src/core/mux.cc" "src/core/CMakeFiles/mux_core.dir/mux.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/mux.cc.o.d"
+  "/root/repo/src/core/mux_data.cc" "src/core/CMakeFiles/mux_core.dir/mux_data.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/mux_data.cc.o.d"
+  "/root/repo/src/core/mux_replication.cc" "src/core/CMakeFiles/mux_core.dir/mux_replication.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/mux_replication.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/mux_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/mux_core.dir/policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/fscommon/CMakeFiles/mux_fscommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mux_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mux_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

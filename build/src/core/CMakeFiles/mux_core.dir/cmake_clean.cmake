@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_core.dir/block_lookup_table.cc.o"
+  "CMakeFiles/mux_core.dir/block_lookup_table.cc.o.d"
+  "CMakeFiles/mux_core.dir/bookkeeper.cc.o"
+  "CMakeFiles/mux_core.dir/bookkeeper.cc.o.d"
+  "CMakeFiles/mux_core.dir/cache_controller.cc.o"
+  "CMakeFiles/mux_core.dir/cache_controller.cc.o.d"
+  "CMakeFiles/mux_core.dir/io_scheduler.cc.o"
+  "CMakeFiles/mux_core.dir/io_scheduler.cc.o.d"
+  "CMakeFiles/mux_core.dir/mglru.cc.o"
+  "CMakeFiles/mux_core.dir/mglru.cc.o.d"
+  "CMakeFiles/mux_core.dir/mux.cc.o"
+  "CMakeFiles/mux_core.dir/mux.cc.o.d"
+  "CMakeFiles/mux_core.dir/mux_data.cc.o"
+  "CMakeFiles/mux_core.dir/mux_data.cc.o.d"
+  "CMakeFiles/mux_core.dir/mux_replication.cc.o"
+  "CMakeFiles/mux_core.dir/mux_replication.cc.o.d"
+  "CMakeFiles/mux_core.dir/policies.cc.o"
+  "CMakeFiles/mux_core.dir/policies.cc.o.d"
+  "libmux_core.a"
+  "libmux_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

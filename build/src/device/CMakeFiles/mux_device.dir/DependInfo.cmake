@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/block_device.cc" "src/device/CMakeFiles/mux_device.dir/block_device.cc.o" "gcc" "src/device/CMakeFiles/mux_device.dir/block_device.cc.o.d"
+  "/root/repo/src/device/device_profile.cc" "src/device/CMakeFiles/mux_device.dir/device_profile.cc.o" "gcc" "src/device/CMakeFiles/mux_device.dir/device_profile.cc.o.d"
+  "/root/repo/src/device/pm_device.cc" "src/device/CMakeFiles/mux_device.dir/pm_device.cc.o" "gcc" "src/device/CMakeFiles/mux_device.dir/pm_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

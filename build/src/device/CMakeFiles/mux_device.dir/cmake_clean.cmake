@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_device.dir/block_device.cc.o"
+  "CMakeFiles/mux_device.dir/block_device.cc.o.d"
+  "CMakeFiles/mux_device.dir/device_profile.cc.o"
+  "CMakeFiles/mux_device.dir/device_profile.cc.o.d"
+  "CMakeFiles/mux_device.dir/pm_device.cc.o"
+  "CMakeFiles/mux_device.dir/pm_device.cc.o.d"
+  "libmux_device.a"
+  "libmux_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_extlite.dir/extlite.cc.o"
+  "CMakeFiles/mux_extlite.dir/extlite.cc.o.d"
+  "libmux_extlite.a"
+  "libmux_extlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_extlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fscommon/extent_allocator.cc" "src/fs/fscommon/CMakeFiles/mux_fscommon.dir/extent_allocator.cc.o" "gcc" "src/fs/fscommon/CMakeFiles/mux_fscommon.dir/extent_allocator.cc.o.d"
+  "/root/repo/src/fs/fscommon/journal.cc" "src/fs/fscommon/CMakeFiles/mux_fscommon.dir/journal.cc.o" "gcc" "src/fs/fscommon/CMakeFiles/mux_fscommon.dir/journal.cc.o.d"
+  "/root/repo/src/fs/fscommon/page_cache.cc" "src/fs/fscommon/CMakeFiles/mux_fscommon.dir/page_cache.cc.o" "gcc" "src/fs/fscommon/CMakeFiles/mux_fscommon.dir/page_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mux_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mux_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mux_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_fscommon.dir/extent_allocator.cc.o"
+  "CMakeFiles/mux_fscommon.dir/extent_allocator.cc.o.d"
+  "CMakeFiles/mux_fscommon.dir/journal.cc.o"
+  "CMakeFiles/mux_fscommon.dir/journal.cc.o.d"
+  "CMakeFiles/mux_fscommon.dir/page_cache.cc.o"
+  "CMakeFiles/mux_fscommon.dir/page_cache.cc.o.d"
+  "libmux_fscommon.a"
+  "libmux_fscommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_fscommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/novafs/novafs.cc" "src/fs/novafs/CMakeFiles/mux_novafs.dir/novafs.cc.o" "gcc" "src/fs/novafs/CMakeFiles/mux_novafs.dir/novafs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/fscommon/CMakeFiles/mux_fscommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mux_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mux_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mux_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_novafs.dir/novafs.cc.o"
+  "CMakeFiles/mux_novafs.dir/novafs.cc.o.d"
+  "libmux_novafs.a"
+  "libmux_novafs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_novafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

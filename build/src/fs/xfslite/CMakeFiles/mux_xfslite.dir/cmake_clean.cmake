@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_xfslite.dir/xfslite.cc.o"
+  "CMakeFiles/mux_xfslite.dir/xfslite.cc.o.d"
+  "libmux_xfslite.a"
+  "libmux_xfslite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_xfslite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mux_xfslite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_strata.dir/strata.cc.o"
+  "CMakeFiles/mux_strata.dir/strata.cc.o.d"
+  "libmux_strata.a"
+  "libmux_strata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_strata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_vfs.dir/memfs.cc.o"
+  "CMakeFiles/mux_vfs.dir/memfs.cc.o.d"
+  "CMakeFiles/mux_vfs.dir/path.cc.o"
+  "CMakeFiles/mux_vfs.dir/path.cc.o.d"
+  "CMakeFiles/mux_vfs.dir/vfs.cc.o"
+  "CMakeFiles/mux_vfs.dir/vfs.cc.o.d"
+  "libmux_vfs.a"
+  "libmux_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mux_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mux_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mux_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/fscommon/CMakeFiles/mux_fscommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/novafs/CMakeFiles/mux_novafs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/xfslite/CMakeFiles/mux_xfslite.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/extlite/CMakeFiles/mux_extlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/strata/CMakeFiles/mux_strata.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mux_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extlite_test.dir/extlite_test.cc.o"
+  "CMakeFiles/extlite_test.dir/extlite_test.cc.o.d"
+  "extlite_test"
+  "extlite_test.pdb"
+  "extlite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extlite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

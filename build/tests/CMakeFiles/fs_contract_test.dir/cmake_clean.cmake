@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_contract_test.dir/fs_contract_test.cc.o"
+  "CMakeFiles/fs_contract_test.dir/fs_contract_test.cc.o.d"
+  "fs_contract_test"
+  "fs_contract_test.pdb"
+  "fs_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_extended_test.dir/mux_extended_test.cc.o"
+  "CMakeFiles/mux_extended_test.dir/mux_extended_test.cc.o.d"
+  "mux_extended_test"
+  "mux_extended_test.pdb"
+  "mux_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

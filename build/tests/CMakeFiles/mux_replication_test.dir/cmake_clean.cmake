@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_replication_test.dir/mux_replication_test.cc.o"
+  "CMakeFiles/mux_replication_test.dir/mux_replication_test.cc.o.d"
+  "mux_replication_test"
+  "mux_replication_test.pdb"
+  "mux_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

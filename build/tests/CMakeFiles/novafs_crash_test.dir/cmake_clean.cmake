@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novafs_crash_test.dir/novafs_crash_test.cc.o"
+  "CMakeFiles/novafs_crash_test.dir/novafs_crash_test.cc.o.d"
+  "novafs_crash_test"
+  "novafs_crash_test.pdb"
+  "novafs_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novafs_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

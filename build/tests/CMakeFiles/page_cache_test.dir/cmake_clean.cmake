@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_cache_test.dir/page_cache_test.cc.o"
+  "CMakeFiles/page_cache_test.dir/page_cache_test.cc.o.d"
+  "page_cache_test"
+  "page_cache_test.pdb"
+  "page_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfslite_test.dir/xfslite_test.cc.o"
+  "CMakeFiles/xfslite_test.dir/xfslite_test.cc.o.d"
+  "xfslite_test"
+  "xfslite_test.pdb"
+  "xfslite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfslite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

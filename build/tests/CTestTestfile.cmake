@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/path_test[1]_include.cmake")
+include("/root/repo/build/tests/memfs_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/page_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/extent_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/novafs_test[1]_include.cmake")
+include("/root/repo/build/tests/xfslite_test[1]_include.cmake")
+include("/root/repo/build/tests/extlite_test[1]_include.cmake")
+include("/root/repo/build/tests/strata_test[1]_include.cmake")
+include("/root/repo/build/tests/blt_test[1]_include.cmake")
+include("/root/repo/build/tests/core_units_test[1]_include.cmake")
+include("/root/repo/build/tests/mux_test[1]_include.cmake")
+include("/root/repo/build/tests/mux_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/mux_replication_test[1]_include.cmake")
+include("/root/repo/build/tests/novafs_crash_test[1]_include.cmake")
