@@ -1,0 +1,171 @@
+// Failure-hardening ablation: what fault tolerance costs and what it buys.
+//
+// The migration engine retries transient destination faults (EIO/ENOSPC)
+// with capped attempts and the policy runner completes non-faulted tasks
+// while recording the rest. This bench sweeps a per-write EIO probability
+// on the destination tier and reports how round time, retry absorption and
+// task failures move; a final scenario pins the destination at ENOSPC to
+// show partial progress instead of an aborted round.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/vfs/fault_injecting_fs.h"
+#include "tests/mux_rig.h"
+
+namespace mux::bench {
+namespace {
+
+using testing::ExtOptionsFor;
+using testing::XfsOptionsFor;
+using vfs::FaultInjectingFs;
+using vfs::FaultOp;
+
+constexpr int kFiles = 16;
+constexpr uint64_t kFileBytes = 64 * 4096;
+
+// MuxRig with every tier file system behind a fault-injecting decorator.
+class FaultBenchRig {
+ public:
+  FaultBenchRig()
+      : pm_dev_(device::DeviceProfile::OptanePm(sizes_.pm_bytes), &clock_),
+        ssd_dev_(device::DeviceProfile::OptaneSsd(sizes_.ssd_bytes), &clock_),
+        hdd_dev_(device::DeviceProfile::ExosHdd(sizes_.hdd_bytes), &clock_),
+        novafs_(&pm_dev_, &clock_),
+        xfslite_(&ssd_dev_, &clock_, XfsOptionsFor(sizes_)),
+        extlite_(&hdd_dev_, &clock_, ExtOptionsFor(sizes_)),
+        pm_(&novafs_, 101),
+        ssd_(&xfslite_, 102),
+        hdd_(&extlite_, 103),
+        mux_(std::make_unique<core::Mux>(&clock_)) {
+    ok_ = novafs_.Format().ok() && xfslite_.Format().ok() &&
+          extlite_.Format().ok();
+    auto pm = mux_->AddTier("pm", &pm_, pm_dev_.profile());
+    auto ssd = mux_->AddTier("ssd", &ssd_, ssd_dev_.profile());
+    auto hdd = mux_->AddTier("hdd", &hdd_, hdd_dev_.profile());
+    ok_ = ok_ && pm.ok() && ssd.ok() && hdd.ok();
+    ssd_tier_ = ssd.value_or(core::kInvalidTier);
+  }
+
+  bool ok() const { return ok_; }
+  core::Mux& mux() { return *mux_; }
+  SimClock& clock() { return clock_; }
+  FaultInjectingFs& ssd() { return ssd_; }
+  core::TierId ssd_tier() const { return ssd_tier_; }
+
+ private:
+  testing::MuxRigSizes sizes_;
+  SimClock clock_;
+  device::PmDevice pm_dev_;
+  device::BlockDevice ssd_dev_;
+  device::BlockDevice hdd_dev_;
+  fs::NovaFs novafs_;
+  fs::XfsLite xfslite_;
+  fs::ExtLite extlite_;
+  FaultInjectingFs pm_;
+  FaultInjectingFs ssd_;
+  FaultInjectingFs hdd_;
+  std::unique_ptr<core::Mux> mux_;
+  core::TierId ssd_tier_ = core::kInvalidTier;
+  bool ok_ = false;
+};
+
+struct RoundResult {
+  double round_ms = 0.0;
+  uint64_t failures = 0;
+  uint64_t injected = 0;
+  uint64_t clean = 0;  // files fully on the destination tier afterwards
+};
+
+// Seeds /mig/0../N-1 on PM, arms the fault, runs one pin-policy round.
+bool RunRound(double eio_probability, uint64_t write_budget, bool cap_budget,
+              RoundResult* out) {
+  FaultBenchRig rig;
+  if (!rig.ok()) {
+    return false;
+  }
+  auto& mux = rig.mux();
+  if (!mux.Mkdir("/mig").ok()) {
+    return false;
+  }
+  for (int i = 0; i < kFiles; ++i) {
+    auto h = mux.Open("/mig/" + std::to_string(i), vfs::OpenFlags::kCreateRw);
+    if (!h.ok() ||
+        !SequentialWrite(mux, *h, kFileBytes, kFileBytes, 100 + i).ok() ||
+        !mux.Close(*h).ok()) {
+      return false;
+    }
+  }
+  if (!mux.SetPolicyByName("pin", "/mig=ssd").ok()) {
+    return false;
+  }
+  if (eio_probability > 0.0) {
+    rig.ssd().SetErrorProbability(FaultOp::kWrite, eio_probability);
+  }
+  if (cap_budget) {
+    rig.ssd().SetWriteByteBudget(write_budget);
+  }
+
+  SimTimer timer(rig.clock());
+  (void)mux.RunPolicyMigrations();
+  out->round_ms = static_cast<double>(timer.Elapsed()) / 1e6;
+  out->failures = mux.LastMigrationRoundStats().failures;
+  out->injected = rig.ssd().fault_stats().injected;
+  out->clean = 0;
+  for (int i = 0; i < kFiles; ++i) {
+    auto breakdown = mux.FileTierBreakdown("/mig/" + std::to_string(i));
+    if (breakdown.ok() && breakdown->size() == 1 &&
+        breakdown->begin()->first == rig.ssd_tier() &&
+        breakdown->begin()->second == kFileBytes / 4096) {
+      out->clean++;
+    }
+  }
+  return true;
+}
+
+int Run() {
+  PrintHeader("Ablation: migration under injected tier faults");
+  std::printf("  %d files x %llu KiB, pin policy PM -> SSD, one round\n\n",
+              kFiles, static_cast<unsigned long long>(kFileBytes >> 10));
+  std::printf("  %-28s %10s %9s %9s %10s\n", "destination fault", "round ms",
+              "injected", "failed", "migrated");
+
+  const double probabilities[] = {0.0, 0.05, 0.2, 0.5};
+  for (double p : probabilities) {
+    RoundResult r;
+    if (!RunRound(p, 0, false, &r)) {
+      return 1;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "EIO p=%.3f per write", p);
+    std::printf("  %-28s %10.2f %9llu %9llu %7llu/%d\n", label, r.round_ms,
+                static_cast<unsigned long long>(r.injected),
+                static_cast<unsigned long long>(r.failures),
+                static_cast<unsigned long long>(r.clean), kFiles);
+  }
+
+  // Destination runs out of space halfway through the round: the tasks that
+  // fit complete, the rest are recorded as failures — no aborted round.
+  {
+    RoundResult r;
+    if (!RunRound(0.0, kFiles / 2 * kFileBytes, true, &r)) {
+      return 1;
+    }
+    std::printf("  %-28s %10.2f %9llu %9llu %7llu/%d\n",
+                "ENOSPC after 50% budget", r.round_ms,
+                static_cast<unsigned long long>(r.injected),
+                static_cast<unsigned long long>(r.failures),
+                static_cast<unsigned long long>(r.clean), kFiles);
+  }
+
+  std::printf(
+      "\n  (Transient faults are absorbed by capped OCC retries at a small\n"
+      "   round-time cost; persistent ENOSPC degrades to partial progress\n"
+      "   with the shortfall reported in SchedulerStats, never a torn BLT.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mux::bench
+
+int main() { return mux::bench::Run(); }

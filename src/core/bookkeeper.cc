@@ -10,7 +10,7 @@ namespace mux::core {
 namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x4d555853;  // "MUXS"
-constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kSnapshotVersion = 3;  // v3: + temperature, last_access
 
 void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
   uint8_t buf[4];
@@ -76,6 +76,11 @@ std::vector<uint8_t> EncodeSnapshot(const MuxSnapshot& snapshot) {
     AppendU64(body, file.ctime);
     AppendU32(body, file.mode);
     AppendU64(body, file.occ_version);
+    uint64_t temp_bits = 0;
+    static_assert(sizeof(temp_bits) == sizeof(file.temperature));
+    std::memcpy(&temp_bits, &file.temperature, sizeof(temp_bits));
+    AppendU64(body, temp_bits);
+    AppendU64(body, file.last_access);
     for (TierId owner : file.attr_owners) {
       AppendU32(body, owner);
     }
@@ -141,6 +146,11 @@ Result<MuxSnapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes) {
         !reader.ReadU32(&file.mode) || !reader.ReadU64(&file.occ_version)) {
       return CorruptionError("mux snapshot file record malformed");
     }
+    uint64_t temp_bits = 0;
+    if (!reader.ReadU64(&temp_bits) || !reader.ReadU64(&file.last_access)) {
+      return CorruptionError("mux snapshot heat state malformed");
+    }
+    std::memcpy(&file.temperature, &temp_bits, sizeof(temp_bits));
     file.is_directory = is_dir != 0;
     for (size_t a = 0; a < file.attr_owners.size(); ++a) {
       uint32_t owner = 0;

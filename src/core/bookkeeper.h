@@ -29,6 +29,10 @@ struct FileSnapshot {
   SimTime ctime = 0;
   uint32_t mode = 0644;
   uint64_t occ_version = 0;
+  // Policy heat state: without these every file looks ice-cold after a
+  // recovery and temperature-driven policies immediately misplace data.
+  double temperature = 0.0;
+  SimTime last_access = 0;
   std::array<TierId, kAttrCount> attr_owners{};
   std::vector<BlockLookupTable::Run> runs;
   std::vector<BlockLookupTable::Run> replica_runs;  // §4 replication mirrors

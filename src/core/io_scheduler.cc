@@ -147,6 +147,8 @@ Result<bool> IoScheduler::RunOne(TierId tier) {
   if (!status.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.failures++;
+    stats_.failed_tiers[tier]++;
+    stats_.last_error = status;
     return status;
   }
   return true;
@@ -167,8 +169,14 @@ Result<uint64_t> IoScheduler::RunAll() {
       }
     }
     for (TierId tier : tiers) {
-      MUX_ASSIGN_OR_RETURN(bool ran, RunOne(tier));
-      if (ran) {
+      auto ran = RunOne(tier);
+      if (!ran.ok()) {
+        // The request was consumed and its failure recorded in stats_;
+        // keep draining so one bad tier cannot starve the others' work.
+        progress = true;
+        continue;
+      }
+      if (*ran) {
         executed++;
         progress = true;
       }

@@ -49,6 +49,11 @@ struct SchedulerStats {
   uint64_t dispatched = 0;
   uint64_t failures = 0;
   SimTime est_cost_dispatched_ns = 0;
+  // Failure detail: how many dispatches failed per tier, and the most
+  // recent failure's status. A faulting tier shows up here instead of
+  // aborting the whole batch (see RunAll).
+  std::map<TierId, uint64_t> failed_tiers;
+  Status last_error;
 };
 
 class IoScheduler {
@@ -62,7 +67,10 @@ class IoScheduler {
 
   // Dispatches every queued request per the algorithm; per-tier queues run
   // round-robin so one busy tier cannot starve the others. Returns the
-  // number executed; the first failure aborts and surfaces.
+  // number that executed successfully. A request whose execute() fails does
+  // NOT abort the batch: the remaining requests still dispatch, and the
+  // failure is recorded in SchedulerStats (failures / failed_tiers /
+  // last_error) for the caller to inspect.
   Result<uint64_t> RunAll();
   // Dispatches at most one request from the given tier.
   Result<bool> RunOne(TierId tier);

@@ -52,6 +52,9 @@ struct MuxStats {
   uint64_t split_segments = 0;   // extra per-tier pieces beyond 1 per call
   uint64_t migration_passes = 0;
   uint64_t migrated_blocks = 0;
+  // Policy migration tasks that failed against a faulted tier (the round
+  // itself keeps going; see RunPolicyMigrations).
+  uint64_t migration_task_failures = 0;
   OccStats occ;
 };
 
@@ -89,8 +92,15 @@ class Mux : public vfs::FileSystem {
   Status SetPolicyByName(const std::string& name,
                          const std::string& args = "");
   std::string_view PolicyName() const;
-  // One synchronous round of policy-driven migration.
+  // One synchronous round of policy-driven migration. Tasks that fail
+  // against a misbehaving tier (ENOSPC/EIO after the capped per-task
+  // retries) are recorded — see LastMigrationRoundStats() and
+  // MuxStats::migration_task_failures — but do not stop the other tasks or
+  // fail the round.
   Status RunPolicyMigrations();
+  // Scheduler stats of the most recent policy migration round (failures,
+  // failed_tiers, last_error).
+  SchedulerStats LastMigrationRoundStats() const;
   // Background migration thread (real thread; interval is wall time).
   void StartBackgroundMigration(uint32_t interval_ms = 10);
   void StopBackgroundMigration();
@@ -149,6 +159,12 @@ class Mux : public vfs::FileSystem {
   // ---- Introspection ---------------------------------------------------------
   MuxStats stats() const;
   ScmCacheStats CacheStats() const;
+  // Policy heat state for one file (persisted across Checkpoint/Recover).
+  struct FileHeat {
+    double temperature = 0.0;
+    SimTime last_access = 0;
+  };
+  Result<FileHeat> Heat(const std::string& path) const;
   // Blocks per tier for one file (Figure 2's "user view" of distribution).
   Result<std::map<TierId, uint64_t>> FileTierBreakdown(
       const std::string& path) const;
@@ -299,6 +315,7 @@ class Mux : public vfs::FileSystem {
 
   mutable std::mutex stats_mu_;
   MuxStats stats_;
+  SchedulerStats last_round_sched_stats_;
 
   std::thread migration_thread_;
   std::atomic<bool> migration_running_{false};

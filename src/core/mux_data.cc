@@ -339,6 +339,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
 
 Status Mux::TruncateLocked(MuxInode& inode, uint64_t new_size,
                            const std::vector<TierInfo>& tiers) {
+  const uint64_t old_size = inode.attrs.size();
   // Every tier that holds part of the file truncates its shadow; sparse
   // offsets keep this a single call per tier.
   for (const TierId tier_id : inode.touched_tiers) {
@@ -366,6 +367,17 @@ Status Mux::TruncateLocked(MuxInode& inode, uint64_t new_size,
   inode.attrs.UpdateSize(new_size, owner);
   inode.attrs.UpdateMtime(clock_->Now(), owner);
   clock_->Advance(options_.costs.affinity_update_ns);
+
+  // OCC: every block the truncate changed is dirty — the whole range between
+  // the old and new sizes, not just the block at the new EOF. A migration
+  // pass in flight would otherwise validate clean for blocks past the new
+  // size and CommitRuns would re-insert mappings beyond it (exactly the
+  // size_inconsistencies Scrub() flags).
+  const uint64_t hi = std::max(old_size, new_size);
+  const uint64_t last_affected = hi == 0 ? 0 : (hi - 1) / kBlockSize;
+  const uint64_t first_affected =
+      std::min(std::min(old_size, new_size) / kBlockSize, last_affected);
+  inode.occ.NoteWrite(first_affected, last_affected - first_affected + 1);
   return Status::Ok();
 }
 
@@ -374,9 +386,7 @@ Status Mux::Truncate(vfs::FileHandle handle, uint64_t new_size) {
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
   MuxInode& inode = *ctx.file.inode;
   std::lock_guard<std::mutex> file_lock(inode.mu);
-  MUX_RETURN_IF_ERROR(TruncateLocked(inode, new_size, ctx.tiers));
-  inode.occ.NoteWrite(new_size / kBlockSize, 1);
-  return Status::Ok();
+  return TruncateLocked(inode, new_size, ctx.tiers);
 }
 
 Status Mux::Fsync(vfs::FileHandle handle, bool data_only) {
@@ -419,7 +429,39 @@ Status Mux::Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
     if (status.ok()) {
       const uint64_t first = offset / kBlockSize;
       const uint64_t last = (offset + length - 1) / kBlockSize;
-      inode.blt->SetRange(first, last - first + 1, tier.id);
+      // Only holes become preallocated blocks. Blocks that already hold
+      // data keep their mapping — remapping them here would make them read
+      // the zero-filled preallocation instead of the real bytes — and where
+      // the preallocation overlaps live data homed on another tier, it is
+      // punched back out so it never consumes space.
+      for (const auto& run : inode.blt->Runs(first, last - first + 1)) {
+        if (run.tier == kInvalidTier) {
+          inode.blt->SetRange(run.first_block, run.count, tier.id);
+          inode.occ.NoteWrite(run.first_block, run.count);
+          continue;
+        }
+        if (run.tier == tier.id) {
+          continue;  // live data already on the preallocation tier
+        }
+        // Punch block-by-block groups, skipping blocks whose replica lives
+        // on this tier (the replica bytes share the shadow).
+        uint64_t piece = run.first_block;
+        auto flush = [&](uint64_t end) {
+          if (piece < end) {
+            (void)tier.fs->PunchHole(*shadow, piece * kBlockSize,
+                                     (end - piece) * kBlockSize);
+          }
+        };
+        for (uint64_t b = run.first_block; b < run.first_block + run.count;
+             ++b) {
+          if (inode.replicas != nullptr &&
+              inode.replicas->Lookup(b) == tier.id) {
+            flush(b);
+            piece = b + 1;
+          }
+        }
+        flush(run.first_block + run.count);
+      }
       if (!keep_size && offset + length > inode.attrs.size()) {
         inode.attrs.UpdateSize(offset + length, tier.id);
       }
@@ -595,8 +637,8 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
     if (pending.empty()) {
       return Status::Ok();
     }
-    v1 = inode->occ.BeginPass();
-    // Open every shadow the copy phase will need while the lock is held.
+    // Open every shadow the copy phase will need while the lock is held —
+    // before BeginPass, so an open failure cannot leave a pass armed.
     MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
     MUX_RETURN_IF_ERROR(
         ShadowHandleLocked(*inode, *dst, /*create=*/true).status());
@@ -605,6 +647,7 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
       MUX_RETURN_IF_ERROR(
           ShadowHandleLocked(*inode, *src, /*create=*/false).status());
     }
+    v1 = inode->occ.BeginPass();
   }
 
   {
@@ -629,7 +672,33 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
     if (!copy_status.ok()) {
       std::lock_guard<std::mutex> file_lock(inode->mu);
       inode->occ.AbortPass();
-      return copy_status;
+      // Transient tier trouble — the destination filling up or a flaky
+      // device — is retried with the same capped attempt budget as OCC
+      // conflicts. The BLT has not been touched yet, so aborting here
+      // leaves Mux's metadata exactly as it was (Scrub stays clean).
+      const ErrorCode code = copy_status.code();
+      const bool transient =
+          code == ErrorCode::kNoSpace || code == ErrorCode::kIoError;
+      if (!transient || ++attempt > OccState::kMaxRetries) {
+        return copy_status;
+      }
+      // Re-snapshot the work: concurrent writes may have moved blocks while
+      // the failed copy ran. Shadows are (re)opened before the next pass is
+      // armed so a failure cannot leak the migrating flag.
+      pending = PendingRunsLocked(*inode, first_block, count, to, only_from);
+      if (pending.empty()) {
+        return Status::Ok();
+      }
+      for (const auto& run : pending) {
+        auto src = FindTier(tiers, run.tier);
+        Status open = src.ok()
+                          ? ShadowHandleLocked(*inode, **src, /*create=*/false)
+                                .status()
+                          : src.status();
+        MUX_RETURN_IF_ERROR(open);
+      }
+      v1 = inode->occ.BeginPass();
+      continue;
     }
 
     // Validate-and-commit phase (short critical section).
@@ -685,13 +754,14 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
       MUX_RETURN_IF_ERROR(CommitRuns(*inode, tiers, pending, to, {}));
       return Status::Ok();
     }
-    v1 = inode->occ.BeginPass();
-    // Make sure shadows for any new source tiers are open.
+    // Make sure shadows for any new source tiers are open before the next
+    // pass is armed (an open failure must not leak the migrating flag).
     for (const auto& run : pending) {
       MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
       MUX_RETURN_IF_ERROR(
           ShadowHandleLocked(*inode, *src, /*create=*/false).status());
     }
+    v1 = inode->occ.BeginPass();
     file_lock.unlock();
   }
 }
@@ -805,7 +875,28 @@ Status Mux::RunPolicyMigrations() {
     };
     MUX_RETURN_IF_ERROR(scheduler.Submit(std::move(request)));
   }
-  return scheduler.RunAll().status();
+
+  // Drain the whole plan: a task that fails against a faulted tier is
+  // recorded in the scheduler stats but does not stop the other tasks. The
+  // round as a whole still succeeds — per-task failures are degraded
+  // service, not a fatal error — and the stats are kept for introspection.
+  auto ran = scheduler.RunAll();
+  const SchedulerStats round = scheduler.stats();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.migration_task_failures += round.failures;
+    last_round_sched_stats_ = round;
+  }
+  if (round.failures > 0) {
+    MUX_LOG(kWarning) << "policy migration round: " << round.failures
+                      << " task(s) failed, last: " << round.last_error;
+  }
+  return ran.status();
+}
+
+SchedulerStats Mux::LastMigrationRoundStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_round_sched_stats_;
 }
 
 void Mux::StartBackgroundMigration(uint32_t interval_ms) {
@@ -848,6 +939,8 @@ MuxSnapshot Mux::BuildSnapshotLocked() const {
     file.ctime = inode->attrs.ctime();
     file.mode = inode->attrs.mode();
     file.occ_version = inode->occ.version();
+    file.temperature = inode->temperature;
+    file.last_access = inode->last_access;
     for (int a = 0; a < kAttrCount; ++a) {
       file.attr_owners[a] = inode->attrs.Owner(static_cast<Attr>(a));
     }
@@ -918,6 +1011,11 @@ Status Mux::Recover() {
     inode->attrs.UpdateMode(file.mode,
                             file.attr_owners[static_cast<int>(Attr::kMode)]);
     inode->occ.RestoreVersion(file.occ_version);
+    // Policy state survives recovery: without it every file looks ice-cold
+    // after a remount and LRU/temperature policies immediately misplace
+    // data.
+    inode->temperature = file.temperature;
+    inode->last_access = file.last_access;
     if (!file.is_directory) {
       inode->blt = MakeBlt(options_.blt_kind);
       for (const auto& run : file.runs) {
@@ -951,6 +1049,16 @@ ScmCacheStats Mux::CacheStats() const {
     return ScmCacheStats{};
   }
   return cache_->stats();
+}
+
+Result<Mux::FileHeat> Mux::Heat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+  std::lock_guard<std::mutex> file_lock(inode->mu);
+  FileHeat heat;
+  heat.temperature = inode->temperature;
+  heat.last_access = inode->last_access;
+  return heat;
 }
 
 Result<std::map<TierId, uint64_t>> Mux::FileTierBreakdown(

@@ -1,0 +1,277 @@
+#include "src/vfs/fault_injecting_fs.h"
+
+namespace mux::vfs {
+
+namespace {
+
+Status MakeFault(ErrorCode code, const char* what) {
+  if (code == ErrorCode::kNoSpace) {
+    return NoSpaceError(std::string("injected ENOSPC: ") + what);
+  }
+  return Status(code, std::string("injected fault: ") + what);
+}
+
+const char* OpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kOpen:
+      return "open";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kTruncate:
+      return "truncate";
+    case FaultOp::kFallocate:
+      return "fallocate";
+    case FaultOp::kPunchHole:
+      return "punch_hole";
+    case FaultOp::kFsync:
+      return "fsync";
+    case FaultOp::kMeta:
+      return "meta";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultInjectingFs::FaultInjectingFs(FileSystem* base, uint64_t seed)
+    : base_(base),
+      name_("fault(" + std::string(base->Name()) + ")"),
+      rng_(seed) {}
+
+void FaultInjectingFs::FailNth(FaultOp op, uint64_t nth, ErrorCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpFault& fault = faults_[static_cast<int>(op)];
+  fault.fail_at = nth == 0 ? 0 : fault.calls + nth;
+  fault.code = code;
+}
+
+void FaultInjectingFs::FailNext(FaultOp op, uint64_t count, ErrorCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpFault& fault = faults_[static_cast<int>(op)];
+  fault.fail_next = count;
+  fault.code = code;
+}
+
+void FaultInjectingFs::SetErrorProbability(FaultOp op, double p,
+                                           ErrorCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpFault& fault = faults_[static_cast<int>(op)];
+  fault.probability = p;
+  fault.code = code;
+}
+
+void FaultInjectingFs::SetWriteByteBudget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_budget_ = true;
+  budget_remaining_ = bytes;
+}
+
+void FaultInjectingFs::ClearWriteByteBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_budget_ = false;
+  budget_remaining_ = 0;
+}
+
+void FaultInjectingFs::KillDevice() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_ = true;
+}
+
+void FaultInjectingFs::Revive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_ = false;
+}
+
+bool FaultInjectingFs::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+void FaultInjectingFs::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (OpFault& fault : faults_) {
+    fault.fail_at = 0;
+    fault.fail_next = 0;
+    fault.probability = 0.0;
+  }
+  has_budget_ = false;
+  budget_remaining_ = 0;
+  dead_ = false;
+}
+
+void FaultInjectingFs::SetHook(FaultOp op, std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_[static_cast<int>(op)] = std::move(hook);
+}
+
+void FaultInjectingFs::ClearHook(FaultOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_[static_cast<int>(op)] = nullptr;
+}
+
+FaultStats FaultInjectingFs::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjectingFs::CountInjected(ErrorCode code) {
+  stats_.injected++;
+  if (code == ErrorCode::kNoSpace) {
+    stats_.injected_enospc++;
+  } else if (code == ErrorCode::kIoError) {
+    stats_.injected_eio++;
+  }
+}
+
+Status FaultInjectingFs::Enter(FaultOp op, uint64_t bytes) {
+  // Hooks run outside mu_ so they may reenter the file-system stack (tests
+  // use this to interleave a user op at an exact point inside a migration).
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = hooks_[static_cast<int>(op)];
+  }
+  if (hook) {
+    hook();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.ops++;
+  OpFault& fault = faults_[static_cast<int>(op)];
+  fault.calls++;
+  if (dead_) {
+    CountInjected(ErrorCode::kIoError);
+    return IoError(std::string("injected fault: device died (") + OpName(op) +
+                   ")");
+  }
+  if (fault.fail_at != 0 && fault.calls == fault.fail_at) {
+    fault.fail_at = 0;  // one-shot: recover after this failure
+    CountInjected(fault.code);
+    return MakeFault(fault.code, OpName(op));
+  }
+  if (fault.fail_next > 0) {
+    fault.fail_next--;
+    CountInjected(fault.code);
+    return MakeFault(fault.code, OpName(op));
+  }
+  if (fault.probability > 0.0 && rng_.NextDouble() < fault.probability) {
+    CountInjected(fault.code);
+    return MakeFault(fault.code, OpName(op));
+  }
+  if (has_budget_ && bytes > 0) {
+    if (bytes > budget_remaining_) {
+      CountInjected(ErrorCode::kNoSpace);
+      return NoSpaceError("injected ENOSPC: write byte budget exhausted");
+    }
+    budget_remaining_ -= bytes;
+  }
+  return Status::Ok();
+}
+
+Result<FileHandle> FaultInjectingFs::Open(const std::string& path,
+                                          uint32_t flags, uint32_t mode) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kOpen));
+  return base_->Open(path, flags, mode);
+}
+
+Status FaultInjectingFs::Close(FileHandle handle) {
+  // Close never faults: callers must always be able to release handles.
+  return base_->Close(handle);
+}
+
+Status FaultInjectingFs::Mkdir(const std::string& path, uint32_t mode) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->Mkdir(path, mode);
+}
+
+Status FaultInjectingFs::Rmdir(const std::string& path) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->Rmdir(path);
+}
+
+Status FaultInjectingFs::Unlink(const std::string& path) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->Unlink(path);
+}
+
+Status FaultInjectingFs::Rename(const std::string& from,
+                                const std::string& to) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->Rename(from, to);
+}
+
+Result<FileStat> FaultInjectingFs::Stat(const std::string& path) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->Stat(path);
+}
+
+Result<std::vector<DirEntry>> FaultInjectingFs::ReadDir(
+    const std::string& path) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->ReadDir(path);
+}
+
+Result<uint64_t> FaultInjectingFs::Read(FileHandle handle, uint64_t offset,
+                                        uint64_t length, uint8_t* out) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kRead));
+  return base_->Read(handle, offset, length, out);
+}
+
+Result<uint64_t> FaultInjectingFs::Write(FileHandle handle, uint64_t offset,
+                                         const uint8_t* data,
+                                         uint64_t length) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kWrite, length));
+  return base_->Write(handle, offset, data, length);
+}
+
+Status FaultInjectingFs::Truncate(FileHandle handle, uint64_t new_size) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kTruncate));
+  return base_->Truncate(handle, new_size);
+}
+
+Status FaultInjectingFs::Fsync(FileHandle handle, bool data_only) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kFsync));
+  return base_->Fsync(handle, data_only);
+}
+
+Status FaultInjectingFs::Fallocate(FileHandle handle, uint64_t offset,
+                                   uint64_t length, bool keep_size) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kFallocate, length));
+  return base_->Fallocate(handle, offset, length, keep_size);
+}
+
+Status FaultInjectingFs::PunchHole(FileHandle handle, uint64_t offset,
+                                   uint64_t length) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kPunchHole));
+  return base_->PunchHole(handle, offset, length);
+}
+
+Result<FileStat> FaultInjectingFs::FStat(FileHandle handle) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->FStat(handle);
+}
+
+Status FaultInjectingFs::SetAttr(FileHandle handle, const AttrUpdate& update) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->SetAttr(handle, update);
+}
+
+Result<FsStats> FaultInjectingFs::StatFs() {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kMeta));
+  return base_->StatFs();
+}
+
+Status FaultInjectingFs::Sync() {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kFsync));
+  return base_->Sync();
+}
+
+Result<DaxMapping> FaultInjectingFs::DaxMap(FileHandle handle, uint64_t offset,
+                                            uint64_t length) {
+  MUX_RETURN_IF_ERROR(Enter(FaultOp::kRead));
+  return base_->DaxMap(handle, offset, length);
+}
+
+}  // namespace mux::vfs

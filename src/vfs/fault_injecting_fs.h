@@ -1,0 +1,175 @@
+// FaultInjectingFs: a vfs::FileSystem decorator that injects deterministic,
+// seedable faults into any tier file system.
+//
+// The paper's robustness story (§4 "Crash Consistency", replication and
+// degraded-mode behaviour) only means something if the failure paths are
+// exercised. This wrapper sits between Mux and a device-specific file system
+// and makes a tier misbehave on demand:
+//
+//   * FailNth(op, n[, code])   — the n-th future call of that op class fails
+//                                once, then the tier recovers (n = 1 fails
+//                                the very next call).
+//   * FailNext(op, count)      — the next `count` calls fail, then recover.
+//   * SetErrorProbability(...) — every call of the class fails with
+//                                probability p, driven by a seeded RNG so a
+//                                given seed reproduces the exact fault
+//                                sequence.
+//   * SetWriteByteBudget(b)    — writes (and fallocates) succeed until the
+//                                cumulative written bytes exceed the budget;
+//                                after that they fail ENOSPC until the budget
+//                                is raised or cleared (a tier filling up).
+//   * KillDevice() / Revive()  — every operation fails EIO ("device died");
+//                                feeds Mux's replication failover.
+//   * SetHook(op, fn)          — runs fn before delegating each call of the
+//                                class; tests use this to interleave
+//                                operations at exact points (e.g. truncate a
+//                                file in the middle of a migration copy).
+//
+// All fault state is mutex-guarded; injection decisions are made before
+// delegation, so the wrapped file system never sees a faulted call.
+#ifndef MUX_VFS_FAULT_INJECTING_FS_H_
+#define MUX_VFS_FAULT_INJECTING_FS_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/vfs/file_system.h"
+
+namespace mux::vfs {
+
+// Operation classes faults are keyed on. kMeta covers the namespace and
+// attribute calls (Mkdir/Rmdir/Unlink/Rename/Stat/ReadDir/FStat/SetAttr/
+// StatFs); everything with its own failure semantics gets its own class.
+enum class FaultOp : int {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kTruncate,
+  kFallocate,
+  kPunchHole,
+  kFsync,
+  kMeta,
+};
+inline constexpr int kFaultOpCount = 8;
+
+struct FaultStats {
+  uint64_t ops = 0;             // calls seen (including faulted ones)
+  uint64_t injected = 0;        // total faults injected
+  uint64_t injected_eio = 0;    // ... of which EIO
+  uint64_t injected_enospc = 0; // ... of which ENOSPC
+};
+
+class FaultInjectingFs : public FileSystem {
+ public:
+  // Does not take ownership of `base`, matching how Mux borrows tier file
+  // systems.
+  explicit FaultInjectingFs(FileSystem* base, uint64_t seed = 1);
+
+  std::string_view Name() const override { return name_; }
+
+  // ---- fault programming ----------------------------------------------
+  // Fails the nth future call of `op` (1 = the very next call) once, then
+  // recovers. Replaces any previously scheduled nth-call fault for `op`.
+  void FailNth(FaultOp op, uint64_t nth, ErrorCode code = ErrorCode::kIoError);
+  // Fails the next `count` calls of `op`, then recovers.
+  void FailNext(FaultOp op, uint64_t count,
+                ErrorCode code = ErrorCode::kIoError);
+  // Every call of `op` fails with probability `p` (0 disables).
+  void SetErrorProbability(FaultOp op, double p,
+                           ErrorCode code = ErrorCode::kIoError);
+  // Writes/fallocates succeed until `bytes` cumulative bytes have been
+  // written through this wrapper, then fail ENOSPC.
+  void SetWriteByteBudget(uint64_t bytes);
+  void ClearWriteByteBudget();
+  // Device-died mode: everything fails EIO until Revive().
+  void KillDevice();
+  void Revive();
+  bool dead() const;
+  // Clears all programmed faults (budget, probabilities, scheduled
+  // failures, death) but not stats or hooks.
+  void ClearFaults();
+
+  // Test hook: runs before each call of `op` is delegated (outside the
+  // fault-state mutex, so the hook may reenter the file system stack).
+  void SetHook(FaultOp op, std::function<void()> hook);
+  void ClearHook(FaultOp op);
+
+  FaultStats fault_stats() const;
+
+  FileSystem* base() const { return base_; }
+
+  // ---- vfs::FileSystem -------------------------------------------------
+  Result<FileHandle> Open(const std::string& path, uint32_t flags,
+                          uint32_t mode = 0644) override;
+  Status Close(FileHandle handle) override;
+  Status Mkdir(const std::string& path, uint32_t mode = 0755) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<FileStat> Stat(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<uint64_t> Read(FileHandle handle, uint64_t offset, uint64_t length,
+                        uint8_t* out) override;
+  Result<uint64_t> Write(FileHandle handle, uint64_t offset,
+                         const uint8_t* data, uint64_t length) override;
+  Status Truncate(FileHandle handle, uint64_t new_size) override;
+  Status Fsync(FileHandle handle, bool data_only) override;
+  Status Fallocate(FileHandle handle, uint64_t offset, uint64_t length,
+                   bool keep_size) override;
+  Status PunchHole(FileHandle handle, uint64_t offset,
+                   uint64_t length) override;
+  Result<FileStat> FStat(FileHandle handle) override;
+  Status SetAttr(FileHandle handle, const AttrUpdate& update) override;
+
+  Result<FsStats> StatFs() override;
+  Status Sync() override;
+
+  SimTime TimestampGranularityNs() const override {
+    return base_->TimestampGranularityNs();
+  }
+  Result<DaxMapping> DaxMap(FileHandle handle, uint64_t offset,
+                            uint64_t length) override;
+  bool SupportsDax() const override { return base_->SupportsDax(); }
+  void ChargeDax(uint64_t bytes, bool is_write) override {
+    base_->ChargeDax(bytes, is_write);
+  }
+
+ private:
+  struct OpFault {
+    uint64_t calls = 0;      // calls of this class seen so far
+    uint64_t fail_at = 0;    // absolute call number to fail once (0 = none)
+    uint64_t fail_next = 0;  // remaining consecutive failures
+    double probability = 0.0;
+    ErrorCode code = ErrorCode::kIoError;
+  };
+
+  // Runs the hook, then decides whether this call faults. `bytes` is the
+  // write volume counted against the byte budget (0 for non-writes).
+  Status Enter(FaultOp op, uint64_t bytes = 0);
+  void CountInjected(ErrorCode code);  // mu_ held
+
+  FileSystem* const base_;
+  std::string name_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::array<OpFault, kFaultOpCount> faults_;
+  std::array<std::function<void()>, kFaultOpCount> hooks_;
+  bool has_budget_ = false;
+  uint64_t budget_remaining_ = 0;
+  bool dead_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace mux::vfs
+
+#endif  // MUX_VFS_FAULT_INJECTING_FS_H_

@@ -437,13 +437,31 @@ TEST_F(SchedulerTest, UnregisteredTierRejected) {
 TEST_F(SchedulerTest, FailuresSurfaceAndCount) {
   IoScheduler sched(SchedAlgo::kFifo, &clock_);
   sched.RegisterTier(MakeTier(0, device::DeviceProfile::OptaneSsd(1 << 20)));
+  sched.RegisterTier(MakeTier(1, device::DeviceProfile::OptaneSsd(1 << 20)));
   ASSERT_TRUE(sched
                   .Submit(IoRequest{0, true, 0, 4096, 1,
                                     [] { return IoError("boom"); }})
                   .ok());
+  bool other_ran = false;
+  ASSERT_TRUE(sched
+                  .Submit(IoRequest{1, true, 0, 4096, 1,
+                                    [&other_ran] {
+                                      other_ran = true;
+                                      return Status::Ok();
+                                    }})
+                  .ok());
+  // A failing request does not abort the batch: the other tier's request
+  // still dispatches, and the failure is recorded with per-tier detail.
   auto ran = sched.RunAll();
-  EXPECT_FALSE(ran.ok());
-  EXPECT_EQ(sched.stats().failures, 1u);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(*ran, 1u);
+  EXPECT_TRUE(other_ran);
+  EXPECT_EQ(sched.Pending(), 0u);
+  const SchedulerStats stats = sched.stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.failed_tiers.at(0), 1u);
+  EXPECT_EQ(stats.failed_tiers.count(1), 0u);
+  EXPECT_EQ(stats.last_error.code(), ErrorCode::kIoError);
 }
 
 // ---- bookkeeper serialization -------------------------------------------------------
@@ -463,6 +481,8 @@ TEST(BookkeeperTest, EncodeDecodeRoundTrip) {
   file.ctime = 333;
   file.mode = 0600;
   file.occ_version = 42;
+  file.temperature = 3.25;
+  file.last_access = 777;
   file.attr_owners = {0, 1, 2, 0};
   file.runs.push_back(BlockLookupTable::Run{0, 10, 0});
   file.runs.push_back(BlockLookupTable::Run{10, 20, 2});
@@ -478,6 +498,8 @@ TEST(BookkeeperTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(f.path, "/d/f");
   EXPECT_EQ(f.size, 123456u);
   EXPECT_EQ(f.occ_version, 42u);
+  EXPECT_DOUBLE_EQ(f.temperature, 3.25);
+  EXPECT_EQ(f.last_access, 777u);
   EXPECT_EQ(f.attr_owners[1], 1u);
   ASSERT_EQ(f.runs.size(), 2u);
   EXPECT_EQ(f.runs[1].first_block, 10u);

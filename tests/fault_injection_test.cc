@@ -1,0 +1,436 @@
+// Fault-injection battery: FaultInjectingFs unit behaviour, then the
+// failure-hardened paths it exists to exercise — OCC migration retrying
+// transient tier faults, clean aborts that leave the BLT untouched,
+// replication failover off a dead device, policy rounds that complete their
+// non-faulted tasks, and background migration that degrades instead of
+// crashing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/vfs/fault_injecting_fs.h"
+#include "src/vfs/memfs.h"
+#include "tests/mux_rig.h"
+
+namespace mux::testing {
+namespace {
+
+using core::Mux;
+using vfs::FaultInjectingFs;
+using vfs::FaultOp;
+using vfs::OpenFlags;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+// ---- wrapper unit behaviour -------------------------------------------------
+
+class FaultInjectingFsTest : public ::testing::Test {
+ protected:
+  FaultInjectingFsTest() : base_(&clock_), fs_(&base_, /*seed=*/7) {}
+
+  SimClock clock_;
+  vfs::MemFs base_;
+  FaultInjectingFs fs_;
+};
+
+TEST_F(FaultInjectingFsTest, DelegatesWhenNoFaultsProgrammed) {
+  EXPECT_EQ(fs_.Name(), "fault(memfs)");
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(5000, 1);
+  ASSERT_TRUE(fs_.Write(*h, 0, data.data(), data.size()).ok());
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(fs_.fault_stats().injected, 0u);
+}
+
+TEST_F(FaultInjectingFsTest, FailNthFailsOnceThenRecovers) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 0;
+  fs_.FailNth(FaultOp::kWrite, 2);
+  EXPECT_TRUE(fs_.Write(*h, 0, &b, 1).ok());               // 1st: fine
+  EXPECT_EQ(fs_.Write(*h, 0, &b, 1).status().code(),       // 2nd: EIO
+            ErrorCode::kIoError);
+  EXPECT_TRUE(fs_.Write(*h, 0, &b, 1).ok());               // recovered
+  EXPECT_EQ(fs_.fault_stats().injected_eio, 1u);
+}
+
+TEST_F(FaultInjectingFsTest, FailNextFailsRunThenRecovers) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 0;
+  fs_.FailNext(FaultOp::kWrite, 3, ErrorCode::kNoSpace);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fs_.Write(*h, 0, &b, 1).status().code(), ErrorCode::kNoSpace);
+  }
+  EXPECT_TRUE(fs_.Write(*h, 0, &b, 1).ok());
+  EXPECT_EQ(fs_.fault_stats().injected_enospc, 3u);
+}
+
+TEST_F(FaultInjectingFsTest, WriteByteBudgetEnforcesEnospc) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  std::vector<uint8_t> block(4096, 0xab);
+  fs_.SetWriteByteBudget(2 * 4096);
+  EXPECT_TRUE(fs_.Write(*h, 0, block.data(), block.size()).ok());
+  EXPECT_TRUE(fs_.Write(*h, 4096, block.data(), block.size()).ok());
+  EXPECT_EQ(fs_.Write(*h, 8192, block.data(), block.size()).status().code(),
+            ErrorCode::kNoSpace);
+  // Reads are never budget limited.
+  std::vector<uint8_t> out(4096);
+  EXPECT_TRUE(fs_.Read(*h, 0, out.size(), out.data()).ok());
+  // Raising the budget recovers the tier.
+  fs_.SetWriteByteBudget(1 << 20);
+  EXPECT_TRUE(fs_.Write(*h, 8192, block.data(), block.size()).ok());
+  fs_.ClearWriteByteBudget();
+}
+
+TEST_F(FaultInjectingFsTest, ProbabilityIsSeededAndDeterministic) {
+  auto run_sequence = [this](uint64_t seed) {
+    vfs::MemFs base(&clock_);
+    FaultInjectingFs fs(&base, seed);
+    auto h = fs.Open("/f", OpenFlags::kCreateRw);
+    EXPECT_TRUE(h.ok());
+    fs.SetErrorProbability(FaultOp::kWrite, 0.5);
+    uint8_t b = 0;
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(fs.Write(*h, 0, &b, 1).ok());
+    }
+    return outcomes;
+  };
+  const auto a = run_sequence(42);
+  const auto b = run_sequence(42);
+  const auto c = run_sequence(43);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fault sequence";
+  EXPECT_NE(a, c);
+  // p=0.5 over 64 ops: both outcomes occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(FaultInjectingFsTest, DeadDeviceFailsEverythingUntilRevived) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  uint8_t b = 0;
+  ASSERT_TRUE(fs_.Write(*h, 0, &b, 1).ok());
+  fs_.KillDevice();
+  EXPECT_TRUE(fs_.dead());
+  EXPECT_EQ(fs_.Open("/g", OpenFlags::kCreateRw).status().code(),
+            ErrorCode::kIoError);
+  EXPECT_EQ(fs_.Read(*h, 0, 1, &b).status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(fs_.Write(*h, 0, &b, 1).status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(fs_.Stat("/f").status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(fs_.Fsync(*h, true).code(), ErrorCode::kIoError);
+  // Close still works: callers must always be able to release handles.
+  EXPECT_TRUE(fs_.Close(*h).ok());
+  fs_.Revive();
+  EXPECT_FALSE(fs_.dead());
+  auto h2 = fs_.Open("/f", OpenFlags::kRead);
+  EXPECT_TRUE(h2.ok());
+}
+
+// ---- full-stack rig with every tier wrapped --------------------------------
+
+class FaultRig {
+ public:
+  FaultRig()
+      : pm_dev_(device::DeviceProfile::OptanePm(sizes_.pm_bytes), &clock_),
+        ssd_dev_(device::DeviceProfile::OptaneSsd(sizes_.ssd_bytes), &clock_),
+        hdd_dev_(device::DeviceProfile::ExosHdd(sizes_.hdd_bytes), &clock_),
+        novafs_(&pm_dev_, &clock_),
+        xfslite_(&ssd_dev_, &clock_, XfsOptionsFor(sizes_)),
+        extlite_(&hdd_dev_, &clock_, ExtOptionsFor(sizes_)),
+        pm_(&novafs_, 101),
+        ssd_(&xfslite_, 102),
+        hdd_(&extlite_, 103),
+        mux_(std::make_unique<core::Mux>(&clock_)) {
+    ok_ = novafs_.Format().ok() && xfslite_.Format().ok() &&
+          extlite_.Format().ok();
+    auto pm = mux_->AddTier("pm", &pm_, pm_dev_.profile());
+    auto ssd = mux_->AddTier("ssd", &ssd_, ssd_dev_.profile());
+    auto hdd = mux_->AddTier("hdd", &hdd_, hdd_dev_.profile());
+    ok_ = ok_ && pm.ok() && ssd.ok() && hdd.ok();
+    pm_tier_ = pm.value_or(core::kInvalidTier);
+    ssd_tier_ = ssd.value_or(core::kInvalidTier);
+    hdd_tier_ = hdd.value_or(core::kInvalidTier);
+  }
+
+  bool ok() const { return ok_; }
+  core::Mux& mux() { return *mux_; }
+  SimClock& clock() { return clock_; }
+  FaultInjectingFs& pm() { return pm_; }
+  FaultInjectingFs& ssd() { return ssd_; }
+  FaultInjectingFs& hdd() { return hdd_; }
+  core::TierId pm_tier() const { return pm_tier_; }
+  core::TierId ssd_tier() const { return ssd_tier_; }
+  core::TierId hdd_tier() const { return hdd_tier_; }
+
+ private:
+  MuxRigSizes sizes_;
+  SimClock clock_;
+  device::PmDevice pm_dev_;
+  device::BlockDevice ssd_dev_;
+  device::BlockDevice hdd_dev_;
+  fs::NovaFs novafs_;
+  fs::XfsLite xfslite_;
+  fs::ExtLite extlite_;
+  FaultInjectingFs pm_;
+  FaultInjectingFs ssd_;
+  FaultInjectingFs hdd_;
+  std::unique_ptr<core::Mux> mux_;
+  core::TierId pm_tier_ = core::kInvalidTier;
+  core::TierId ssd_tier_ = core::kInvalidTier;
+  core::TierId hdd_tier_ = core::kInvalidTier;
+  bool ok_ = false;
+};
+
+void ExpectClean(core::Mux& mux) {
+  auto scrub = mux.Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_TRUE(scrub->Clean())
+      << "missing=" << scrub->missing_shadows
+      << " size=" << scrub->size_inconsistencies
+      << " replicas=" << scrub->replica_mismatches;
+}
+
+// ---- migration under faults -------------------------------------------------
+
+TEST(FaultMigrationTest, TransientWriteFaultIsRetriedAndSucceeds) {
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 41);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+
+  // The very next write to the destination tier fails once, then recovers —
+  // the migration must absorb it within its capped retries.
+  rig.ssd().FailNth(FaultOp::kWrite, 1);
+  ASSERT_TRUE(mux.MigrateFile("/f", rig.ssd_tier()).ok());
+  EXPECT_EQ(rig.ssd().fault_stats().injected_eio, 1u);
+
+  auto breakdown = mux.FileTierBreakdown("/f");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ((*breakdown)[rig.ssd_tier()], 8u);
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(mux.Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+  ExpectClean(mux);
+}
+
+TEST(FaultMigrationTest, PersistentEnospcAbortsWithBltUntouched) {
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 42);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+
+  // Destination permanently out of space: the migration exhausts its
+  // retries and aborts — but Mux's metadata must be exactly as before.
+  rig.ssd().SetWriteByteBudget(0);
+  EXPECT_EQ(mux.MigrateFile("/f", rig.ssd_tier()).code(),
+            ErrorCode::kNoSpace);
+
+  auto breakdown = mux.FileTierBreakdown("/f");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ((*breakdown)[rig.pm_tier()], 8u);
+  EXPECT_EQ(breakdown->count(rig.ssd_tier()), 0u);
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(mux.Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+  rig.ssd().ClearWriteByteBudget();
+  ExpectClean(mux);
+
+  // The tier recovered; the same migration now goes through.
+  ASSERT_TRUE(mux.MigrateFile("/f", rig.ssd_tier()).ok());
+  ASSERT_TRUE(mux.Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+  ExpectClean(mux);
+}
+
+TEST(FaultMigrationTest, TruncateDuringMigrationStaysConsistent) {
+  // Regression for the stale-data-resurrection bug: Truncate used to mark
+  // only one block dirty, so an in-flight OCC pass committed mappings past
+  // the new EOF. The fault layer's write hook interleaves the truncate at
+  // the exact middle of the migration's copy phase, deterministically.
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 43);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+
+  std::atomic<bool> fired{false};
+  rig.ssd().SetHook(FaultOp::kWrite, [&] {
+    if (fired.exchange(true)) {
+      return;  // only the first copy write interleaves
+    }
+    // Runs while the migration copy phase holds no locks: a user shrinks
+    // the file under the pass.
+    EXPECT_TRUE(mux.Truncate(*h, 100).ok());
+  });
+  ASSERT_TRUE(mux.MigrateFile("/f", rig.ssd_tier()).ok());
+  rig.ssd().ClearHook(FaultOp::kWrite);
+  ASSERT_TRUE(fired.load());
+
+  auto st = mux.FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 100u);
+  std::vector<uint8_t> out(100);
+  auto r = mux.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 100u);
+  EXPECT_TRUE(std::memcmp(out.data(), data.data(), 100) == 0);
+  // The decisive check: no BLT mapping survived past the new EOF.
+  ExpectClean(mux);
+}
+
+// ---- replication failover ---------------------------------------------------
+
+TEST(FaultReplicationTest, ReadFailsOverWhenPrimaryDeviceDies) {
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/r", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 44);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  // Primary on PM, mirror on SSD.
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig.ssd_tier()).ok());
+
+  rig.pm().KillDevice();
+  std::vector<uint8_t> out(data.size());
+  auto r = mux.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok()) << "read must fail over to the surviving mirror: "
+                      << r.status();
+  EXPECT_EQ(out, data);
+
+  rig.pm().Revive();
+  ExpectClean(mux);
+}
+
+// ---- policy rounds and background migration under faults --------------------
+
+// The acceptance scenario: ENOSPC on one destination tier, EIO on one
+// source tier — the round completes every non-faulted task, the scheduler
+// stats carry the faulted ones, and the metadata stays clean.
+TEST(FaultPolicyTest, RoundCompletesNonFaultedTasks) {
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  ASSERT_TRUE(mux.Mkdir("/a").ok());
+  ASSERT_TRUE(mux.Mkdir("/b").ok());
+
+  auto write_file = [&](const std::string& path, uint64_t seed) {
+    auto h = mux.Open(path, OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok());
+    auto data = Pattern(4 * 4096, seed);
+    ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+    ASSERT_TRUE(mux.Close(*h).ok());
+  };
+  write_file("/a/to_ssd", 51);   // will be pinned to SSD (faulted dest)
+  write_file("/b/to_hdd", 52);   // will be pinned to HDD (healthy path)
+  write_file("/b/from_ssd", 53); // moved to SSD now, pinned to HDD later
+  ASSERT_TRUE(mux.MigrateFile("/b/from_ssd", rig.ssd_tier()).ok());
+
+  // Pin placement targets, then make the SSD tier misbehave both ways:
+  // writes die with ENOSPC (destination fault for /a/to_ssd) and reads die
+  // with EIO (source fault for /b/from_ssd).
+  ASSERT_TRUE(mux.SetPolicyByName("pin", "/a=ssd,/b=hdd").ok());
+  rig.ssd().SetWriteByteBudget(0);
+  rig.ssd().FailNext(FaultOp::kRead, 1000000);
+
+  ASSERT_TRUE(mux.RunPolicyMigrations().ok())
+      << "per-task faults must not fail the round";
+
+  const core::SchedulerStats round = mux.LastMigrationRoundStats();
+  EXPECT_EQ(round.submitted, 3u);
+  EXPECT_EQ(round.failures, 2u);
+  EXPECT_EQ(round.failed_tiers.at(rig.ssd_tier()), 1u);  // dest ENOSPC
+  EXPECT_EQ(round.failed_tiers.at(rig.hdd_tier()), 1u);  // source EIO
+  EXPECT_FALSE(round.last_error.ok());
+  EXPECT_EQ(mux.stats().migration_task_failures, 2u);
+
+  // The non-faulted task completed...
+  auto hdd_file = mux.FileTierBreakdown("/b/to_hdd");
+  ASSERT_TRUE(hdd_file.ok());
+  EXPECT_EQ((*hdd_file)[rig.hdd_tier()], 4u);
+  // ...and the faulted ones were left exactly where they were.
+  auto ssd_file = mux.FileTierBreakdown("/a/to_ssd");
+  ASSERT_TRUE(ssd_file.ok());
+  EXPECT_EQ((*ssd_file)[rig.pm_tier()], 4u);
+  auto src_file = mux.FileTierBreakdown("/b/from_ssd");
+  ASSERT_TRUE(src_file.ok());
+  EXPECT_EQ((*src_file)[rig.ssd_tier()], 4u);
+
+  rig.ssd().ClearFaults();
+  ExpectClean(mux);
+
+  // Once the tier recovers, the next round finishes the job.
+  ASSERT_TRUE(mux.RunPolicyMigrations().ok());
+  EXPECT_EQ(mux.LastMigrationRoundStats().failures, 0u);
+  ssd_file = mux.FileTierBreakdown("/a/to_ssd");
+  ASSERT_TRUE(ssd_file.ok());
+  EXPECT_EQ((*ssd_file)[rig.ssd_tier()], 4u);
+  src_file = mux.FileTierBreakdown("/b/from_ssd");
+  ASSERT_TRUE(src_file.ok());
+  EXPECT_EQ((*src_file)[rig.hdd_tier()], 4u);
+  ExpectClean(mux);
+}
+
+TEST(FaultPolicyTest, BackgroundMigrationDegradesGracefully) {
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  ASSERT_TRUE(mux.Mkdir("/a").ok());
+  auto h = mux.Open("/a/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4 * 4096, 61);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+
+  // Pin the file toward a tier that keeps failing; the background thread
+  // must log-and-skip every round, never crash, and never corrupt state.
+  ASSERT_TRUE(mux.SetPolicyByName("pin", "/a=ssd").ok());
+  rig.ssd().SetWriteByteBudget(0);
+  mux.StartBackgroundMigration(/*interval_ms=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Foreground service continues while the background thread churns.
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(mux.Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+
+  // The tier recovers mid-flight; a later round completes the migration.
+  rig.ssd().ClearWriteByteBudget();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  mux.StopBackgroundMigration();
+
+  EXPECT_GT(mux.stats().migration_task_failures, 0u);
+  auto breakdown = mux.FileTierBreakdown("/a/f");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ((*breakdown)[rig.ssd_tier()], 4u);
+  ASSERT_TRUE(mux.Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+  ExpectClean(mux);
+}
+
+}  // namespace
+}  // namespace mux::testing

@@ -304,6 +304,34 @@ TEST_P(FsContractTest, FallocatePreallocates) {
   EXPECT_GE(st->allocated_bytes, 64u * 1024);
 }
 
+TEST_P(FsContractTest, FallocateKeepsExistingData) {
+  // Preallocating over a range that already holds data must not change what
+  // reads back — fallocate reserves space, it never zeroes live bytes.
+  auto h = fs_->Open("/pre_live", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 22);
+  ASSERT_TRUE(fs_->Write(*h, 0, data.data(), data.size()).ok());
+
+  // Covers the live data entirely and extends past it.
+  ASSERT_TRUE(fs_->Fallocate(*h, 0, 16 * 4096, /*keep_size=*/true).ok());
+  auto st = fs_->FStat(*h);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, data.size());  // keep_size: logical size unchanged
+
+  std::vector<uint8_t> out(data.size());
+  auto r = fs_->Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data.size());
+  EXPECT_EQ(out, data) << "fallocate clobbered live data";
+
+  // A second, interior preallocation (fully inside live data) is a no-op
+  // for content too.
+  ASSERT_TRUE(fs_->Fallocate(*h, 2 * 4096, 4 * 4096, /*keep_size=*/true)
+                  .ok());
+  ASSERT_TRUE(fs_->Read(*h, 0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
 TEST_P(FsContractTest, PunchHoleDeallocatesAndZeroes) {
   auto h = fs_->Open("/holey", OpenFlags::kCreateRw);
   ASSERT_TRUE(h.ok());

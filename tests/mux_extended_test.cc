@@ -125,6 +125,79 @@ TEST(MuxExtendedTest, PunchHoleAcrossTiers) {
   }
 }
 
+TEST(MuxExtendedTest, FallocateOverMigratedDataKeepsIt) {
+  // Regression: Fallocate used to remap every block in its range to the
+  // preallocation tier, so data living on another tier silently started
+  // reading the zero-filled preallocated shadow.
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(8 * 4096, 31);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.MigrateFile("/f", rig.ssd_tier()).ok());
+
+  // Preallocate over the live data (homed on SSD) and two blocks past it;
+  // the preallocation lands on the fastest tier (PM).
+  ASSERT_TRUE(
+      mux.Fallocate(*h, 0, 10 * 4096, /*keep_size=*/false).ok());
+
+  std::vector<uint8_t> out(data.size());
+  auto r = mux.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data) << "fallocate clobbered migrated data";
+
+  // Live blocks stay on SSD; only the two new blocks are claimed on PM.
+  auto breakdown = mux.FileTierBreakdown("/f");
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ((*breakdown)[rig.ssd_tier()], 8u);
+  EXPECT_EQ((*breakdown)[rig.pm_tier()], 2u);
+
+  // The PM preallocation over the live range was punched back out, so the
+  // PM shadow consumes space only for the claimed tail blocks.
+  auto shadow_stat = rig.novafs().Stat("/f");
+  ASSERT_TRUE(shadow_stat.ok());
+  EXPECT_LE(shadow_stat->allocated_bytes, 3u * 4096);
+
+  auto scrub = mux.Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_TRUE(scrub->Clean())
+      << "missing=" << scrub->missing_shadows
+      << " size=" << scrub->size_inconsistencies
+      << " replicas=" << scrub->replica_mismatches;
+}
+
+TEST(MuxExtendedTest, RecoverRestoresPolicyHeat) {
+  // Regression: Recover() used to drop temperature/last_access, so every
+  // file looked ice-cold after a remount and heat-driven policies
+  // immediately misplaced data.
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/hot", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(4 * 4096, 32);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  std::vector<uint8_t> out(data.size());
+  rig.clock().Advance(1000000);
+  ASSERT_TRUE(mux.Read(*h, 0, out.size(), out.data()).ok());
+  ASSERT_TRUE(mux.Close(*h).ok());
+
+  auto before = mux.Heat("/hot");
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before->temperature, 0.0);
+  ASSERT_GT(before->last_access, 0u);
+
+  ASSERT_TRUE(mux.Checkpoint().ok());
+  ASSERT_TRUE(rig.Remount().ok());
+
+  auto after = rig.mux().Heat("/hot");
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->temperature, before->temperature);
+  EXPECT_EQ(after->last_access, before->last_access);
+}
+
 TEST(MuxExtendedTest, CheckpointAfterChurnRecoversExactly) {
   MuxRig rig;
   ASSERT_TRUE(rig.ok());
