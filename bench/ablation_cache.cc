@@ -82,6 +82,11 @@ CacheResult RunWorkload(CacheMode mode, bool with_scans) {
   const uint64_t lookups = stats.hits + stats.misses;
   result.hit_rate =
       lookups > 0 ? static_cast<double>(stats.hits) / lookups : 0.0;
+  const char* mode_name = mode == CacheMode::kOff
+                              ? "off"
+                              : mode == CacheMode::kLru ? "lru" : "mglru";
+  MaybeDumpMetrics(mux, std::string("ablation_cache.") + mode_name +
+                            (with_scans ? ".scans" : ""));
   return result;
 }
 

@@ -110,6 +110,12 @@ bool RunRound(double eio_probability, uint64_t write_budget, bool cap_budget,
   (void)mux.RunPolicyMigrations();
   out->round_ms = static_cast<double>(timer.Elapsed()) / 1e6;
   out->failures = mux.LastMigrationRoundStats().failures;
+  {
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "ablation_faults.p%.3f%s", eio_probability,
+                  cap_budget ? ".enospc" : "");
+    MaybeDumpMetrics(mux, tag);
+  }
   out->injected = rig.ssd().fault_stats().injected;
   out->clean = 0;
   for (int i = 0; i < kFiles; ++i) {

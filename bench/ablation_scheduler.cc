@@ -27,7 +27,9 @@ SchedResult RunAlgo(core::SchedAlgo algo) {
   SimClock clock;
   device::BlockDevice hdd(device::DeviceProfile::ExosHdd(512ULL << 20),
                           &clock);
-  core::IoScheduler sched(algo, &clock);
+  obs::MetricsRegistry metrics;
+  hdd.AttachObs(&metrics, nullptr, "hdd");
+  core::IoScheduler sched(algo, &clock, &metrics);
   core::TierInfo tier;
   tier.id = 0;
   tier.name = "hdd";
@@ -80,6 +82,11 @@ SchedResult RunAlgo(core::SchedAlgo algo) {
   result.completion_ns = timer.Elapsed();
   result.mean_finish_ns =
       dispatch_counter > 0 ? *finish_sum / dispatch_counter : 0;
+  const char* dump = std::getenv("MUX_METRICS_DUMP");
+  if (dump != nullptr && dump[0] != '\0') {
+    (void)metrics.DumpToFile(std::string(dump) + ".ablation_scheduler." +
+                             std::string(core::SchedAlgoName(algo)) + ".json");
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #define MUX_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +66,25 @@ inline Status SequentialWrite(vfs::FileSystem& fs, vfs::FileHandle handle,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Metrics dump hook: when the MUX_METRICS_DUMP environment variable is set,
+// writes the rig's full metrics JSON (Mux::MetricsReport) to
+// "<$MUX_METRICS_DUMP>.<tag>.json" — one file per bench scenario, so
+// ablation runs can be diffed offline. A no-op otherwise.
+inline void MaybeDumpMetrics(const core::Mux& mux, const std::string& tag) {
+  const char* base = std::getenv("MUX_METRICS_DUMP");
+  if (base == nullptr || base[0] == '\0') {
+    return;
+  }
+  const std::string path = std::string(base) + "." + tag + ".json";
+  Status status = mux.DumpMetrics(path);
+  if (status.ok()) {
+    std::fprintf(stderr, "[metrics] wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[metrics] dump to %s failed: %s\n", path.c_str(),
+                 status.message().c_str());
+  }
 }
 
 inline void PrintRow(const char* label, double value, const char* unit) {

@@ -68,7 +68,12 @@ double Histogram::Percentile(double p) const {
       const double hi = static_cast<double>(1ULL << std::min(i, 62));
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
-      return std::min(lo + frac * (hi - lo), static_cast<double>(max_));
+      // Bucket interpolation can undershoot the smallest recorded sample
+      // (e.g. p0 of one value in a [2^(i-1), 2^i) bucket) or overshoot the
+      // largest; clamp to the observed range.
+      return std::min(std::max(lo + frac * (hi - lo),
+                               static_cast<double>(min_)),
+                      static_cast<double>(max_));
     }
     seen = next;
   }

@@ -18,8 +18,17 @@ CacheController::CacheController(vfs::FileSystem* scm_fs, SimClock* clock,
 
 CacheController::~CacheController() {
   if (initialized_) {
+    // Release the DAX mapping before closing the file: leaking it leaves
+    // the PM file system believing a consumer still holds a pointer into
+    // the (now reusable) cache extent.
+    (void)scm_fs_->DaxUnmap(mapping_);
     (void)scm_fs_->Close(cache_handle_);
   }
+}
+
+void CacheController::SetObs(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
 }
 
 Status CacheController::Init() {
@@ -46,6 +55,7 @@ Status CacheController::Init() {
     return mapping.status();
   }
   dax_base_ = mapping->data;
+  mapping_ = *mapping;
   slot_owner_.assign(options_.capacity_blocks, Key{0, 0});
   free_slots_.clear();
   for (uint32_t slot = 0; slot < options_.capacity_blocks; ++slot) {
@@ -58,6 +68,7 @@ Status CacheController::Init() {
 bool CacheController::TryRead(uint64_t file_key, uint64_t block,
                               uint64_t offset_in_block, uint64_t n,
                               uint8_t* out) {
+  const SimTime start = clock_->Now();
   clock_->Advance(costs_.cache_lookup_ns);
   std::lock_guard<std::mutex> lock(mu_);
   if (!initialized_) {
@@ -66,12 +77,18 @@ bool CacheController::TryRead(uint64_t file_key, uint64_t block,
   auto it = index_.find(Key{file_key, block});
   if (it == index_.end()) {
     stats_.misses++;
+    if (metrics_ != nullptr) {
+      metrics_->Observe("cache.miss_ns", clock_->Now() - start);
+    }
     return false;
   }
   std::memcpy(out, SlotPtr(it->second) + offset_in_block, n);
   scm_fs_->ChargeDax(n, /*is_write=*/false);
   replacement_->Touched(it->second);
   stats_.hits++;
+  if (metrics_ != nullptr) {
+    metrics_->Observe("cache.hit_ns", clock_->Now() - start);
+  }
   return true;
 }
 
@@ -87,6 +104,7 @@ void CacheController::EvictOneLocked() {
 
 void CacheController::OnMiss(uint64_t file_key, uint64_t block,
                              const uint8_t* block_data) {
+  const SimTime start = clock_->Now();
   clock_->Advance(costs_.cache_admission_ns);
   std::lock_guard<std::mutex> lock(mu_);
   if (!initialized_) {
@@ -119,6 +137,9 @@ void CacheController::OnMiss(uint64_t file_key, uint64_t block,
   slot_owner_[slot] = key;
   replacement_->Inserted(slot);
   stats_.admissions++;
+  if (metrics_ != nullptr) {
+    metrics_->Observe("cache.admission_ns", clock_->Now() - start);
+  }
 }
 
 void CacheController::OnWrite(uint64_t file_key, uint64_t block,
@@ -139,7 +160,12 @@ void CacheController::OnWrite(uint64_t file_key, uint64_t block,
 
 void CacheController::InvalidateBlock(uint64_t file_key, uint64_t block) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(Key{file_key, block});
+  const Key key{file_key, block};
+  // The admission sketch must forget the block too: its counted misses
+  // refer to content that just changed, and carrying them over lets a
+  // single post-invalidation miss re-admit stale-history blocks early.
+  miss_counts_.erase(key);
+  auto it = index_.find(key);
   if (it == index_.end()) {
     return;
   }
@@ -151,6 +177,13 @@ void CacheController::InvalidateBlock(uint64_t file_key, uint64_t block) {
 
 void CacheController::InvalidateFile(uint64_t file_key) {
   std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = miss_counts_.begin(); it != miss_counts_.end();) {
+    if (it->first.file_key == file_key) {
+      it = miss_counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   for (auto it = index_.begin(); it != index_.end();) {
     if (it->first.file_key == file_key) {
       replacement_->Removed(it->second);

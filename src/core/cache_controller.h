@@ -29,6 +29,7 @@
 #include "src/common/clock.h"
 #include "src/core/cost_model.h"
 #include "src/core/mglru.h"
+#include "src/obs/metrics.h"
 #include "src/vfs/file_system.h"
 
 namespace mux::core {
@@ -80,6 +81,9 @@ class CacheController {
   size_t ResidentBlocks() const;
   std::string_view ReplacementName() const { return replacement_->Name(); }
 
+  // Optional: observe per-op latency into "cache.{hit,miss,admission}_ns".
+  void SetObs(obs::MetricsRegistry* metrics);
+
  private:
   struct Key {
     uint64_t file_key;
@@ -109,6 +113,8 @@ class CacheController {
   vfs::FileHandle cache_handle_ = 0;
   bool initialized_ = false;
   uint8_t* dax_base_ = nullptr;
+  vfs::DaxMapping mapping_;  // kept so the destructor can DaxUnmap it
+  obs::MetricsRegistry* metrics_ = nullptr;  // optional, not owned
   std::unique_ptr<ReplacementPolicy> replacement_;
   std::unordered_map<Key, uint32_t, KeyHash> index_;   // key -> slot
   std::vector<Key> slot_owner_;                        // slot -> key

@@ -16,8 +16,9 @@ std::string_view SchedAlgoName(SchedAlgo algo) {
   return "?";
 }
 
-IoScheduler::IoScheduler(SchedAlgo algo, SimClock* clock)
-    : algo_(algo), clock_(clock) {}
+IoScheduler::IoScheduler(SchedAlgo algo, SimClock* clock,
+                         obs::MetricsRegistry* metrics)
+    : algo_(algo), clock_(clock), metrics_(metrics) {}
 
 void IoScheduler::RegisterTier(const TierInfo& tier) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -51,6 +52,7 @@ Status IoScheduler::Submit(IoRequest request) {
   if (it == queues_.end()) {
     return NotFoundError("tier not registered with scheduler");
   }
+  request.enqueue_ns = clock_->Now();
   it->second.push_back(std::move(request));
   stats_.submitted++;
   return Status::Ok();
@@ -97,25 +99,32 @@ size_t IoScheduler::PickLocked(const std::deque<IoRequest>& queue,
     }
     case SchedAlgo::kElevator: {
       // Closest offset at or after the head position; wrap to the smallest.
+      // Explicit found/have_wrap flags instead of UINT64_MAX sentinels: a
+      // request sitting at offset UINT64_MAX can never win a strict `<`
+      // against the sentinel, so the sentinel version fell through to
+      // index 0 even when that request was ineligible (priority inversion).
       bool found = false;
-      uint64_t best_offset = UINT64_MAX;
+      uint64_t best_offset = 0;
+      bool have_wrap = false;
       size_t wrap = 0;
-      uint64_t wrap_offset = UINT64_MAX;
+      uint64_t wrap_offset = 0;
       for (size_t i = 0; i < queue.size(); ++i) {
         if (!eligible(queue[i])) {
           continue;
         }
         if (queue[i].offset >= head_position &&
-            queue[i].offset < best_offset) {
+            (!found || queue[i].offset < best_offset)) {
           best_offset = queue[i].offset;
           best = i;
           found = true;
         }
-        if (queue[i].offset < wrap_offset) {
+        if (!have_wrap || queue[i].offset < wrap_offset) {
           wrap_offset = queue[i].offset;
           wrap = i;
+          have_wrap = true;
         }
       }
+      // At least one request carries best_priority, so wrap is always set.
       return found ? best : wrap;
     }
   }
@@ -124,6 +133,7 @@ size_t IoScheduler::PickLocked(const std::deque<IoRequest>& queue,
 
 Result<bool> IoScheduler::RunOne(TierId tier) {
   IoRequest request;
+  SimTime est_cost = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = queues_.find(tier);
@@ -136,21 +146,33 @@ Result<bool> IoScheduler::RunOne(TierId tier) {
     const size_t idx = PickLocked(it->second, head_positions_[tier]);
     request = std::move(it->second[idx]);
     it->second.erase(it->second.begin() + static_cast<long>(idx));
-    head_positions_[tier] = request.offset + request.bytes;
     stats_.dispatched++;
     const auto& profile = profiles_.at(tier);
-    stats_.est_cost_dispatched_ns +=
-        request.is_write ? profile.EstimateWriteNs(request.bytes)
-                         : profile.EstimateReadNs(request.bytes);
+    est_cost = request.is_write ? profile.EstimateWriteNs(request.bytes)
+                                : profile.EstimateReadNs(request.bytes);
+    if (metrics_ != nullptr) {
+      metrics_->Observe("sched.queue_wait_ns",
+                        clock_->Now() - request.enqueue_ns);
+    }
   }
+  const SimTime service_start = clock_->Now();
   Status status = request.execute();
+  if (metrics_ != nullptr) {
+    metrics_->Observe("sched.service_ns", clock_->Now() - service_start);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   if (!status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    // A failed request did no media work: the elevator head has not moved
+    // and no estimated cost was actually dispatched. Updating those before
+    // execute() (as this used to) skewed head scheduling and the cost
+    // accounting on faulting tiers.
     stats_.failures++;
     stats_.failed_tiers[tier]++;
     stats_.last_error = status;
     return status;
   }
+  head_positions_[tier] = request.offset + request.bytes;
+  stats_.est_cost_dispatched_ns += est_cost;
   return true;
 }
 

@@ -28,6 +28,7 @@
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/core/tier.h"
+#include "src/obs/metrics.h"
 
 namespace mux::core {
 
@@ -42,6 +43,7 @@ struct IoRequest {
   uint64_t bytes = 0;
   int priority = 1;  // 0 = highest
   std::function<Status()> execute;
+  SimTime enqueue_ns = 0;  // stamped by Submit; feeds sched.queue_wait_ns
 };
 
 struct SchedulerStats {
@@ -58,7 +60,11 @@ struct SchedulerStats {
 
 class IoScheduler {
  public:
-  IoScheduler(SchedAlgo algo, SimClock* clock);
+  // `metrics` is optional; when set, every dispatch observes
+  // "sched.queue_wait_ns" (submit -> pick) and "sched.service_ns"
+  // (execute() duration) on the simulated clock.
+  IoScheduler(SchedAlgo algo, SimClock* clock,
+              obs::MetricsRegistry* metrics = nullptr);
 
   void RegisterTier(const TierInfo& tier);
 
@@ -89,6 +95,7 @@ class IoScheduler {
 
   const SchedAlgo algo_;
   SimClock* const clock_;
+  obs::MetricsRegistry* const metrics_;  // optional, not owned
 
   mutable std::mutex mu_;
   std::map<TierId, device::DeviceProfile> profiles_;

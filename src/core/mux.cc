@@ -17,7 +17,8 @@ using internal::kRootIno;
 Mux::Mux(SimClock* clock) : Mux(clock, Options()) {}
 
 Mux::Mux(SimClock* clock, Options options)
-    : clock_(clock), options_(std::move(options)) {
+    : clock_(clock), options_(std::move(options)),
+      trace_(options_.trace_capacity) {
   auto root = std::make_shared<MuxInode>();
   root->ino = kRootIno;
   root->type = vfs::FileType::kDirectory;
@@ -31,6 +32,19 @@ Mux::Mux(SimClock* clock, Options options)
   } else {
     policy_ = MakeLruPolicy();
   }
+}
+
+void Mux::RecordOp(const char* op, std::string_view hist, uint64_t bytes,
+                   SimTime start_ns) const {
+  const SimTime elapsed = clock_->Now() - start_ns;
+  metrics_.Observe(hist, elapsed);
+  obs::TraceEvent event;
+  event.layer = "mux";
+  event.op = op;
+  event.bytes = bytes;
+  event.start_ns = start_ns;
+  event.duration_ns = elapsed;
+  trace_.Record(std::move(event));
 }
 
 Mux::~Mux() {
@@ -69,6 +83,7 @@ Result<TierId> Mux::AddTier(const std::string& name, vfs::FileSystem* fs,
   if (options_.enable_scm_cache && cache_ == nullptr && fs->SupportsDax()) {
     cache_ = std::make_unique<CacheController>(fs, clock_, options_.costs,
                                                options_.cache);
+    cache_->SetObs(&metrics_);
     Status init = cache_->Init();
     if (!init.ok()) {
       MUX_LOG(kWarning) << "SCM cache init failed: " << init;
@@ -621,7 +636,7 @@ Status Mux::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
   if (update.mode) {
     inode.attrs.UpdateMode(*update.mode, owner);
   }
-  clock_->Advance(options_.costs.affinity_update_ns);
+  ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
   // Lazy sync: push the values to every shadow so non-owners don't drift.
   for (const TierInfo& tier : ctx.tiers) {
     auto it = inode.shadows.find(tier.id);

@@ -42,6 +42,8 @@
 #include "src/core/occ.h"
 #include "src/core/policy.h"
 #include "src/core/tier.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/vfs/file_system.h"
 
 namespace mux::core {
@@ -70,6 +72,8 @@ class Mux : public vfs::FileSystem {
     bool enable_scm_cache = false;
     CacheController::Options cache;
     std::string meta_path = "/.mux_meta";
+    // Capacity of the per-op trace ring buffer (oldest events overwritten).
+    size_t trace_capacity = 8192;
   };
 
   Mux(SimClock* clock, Options options);
@@ -155,6 +159,21 @@ class Mux : public vfs::FileSystem {
   // no mapping extends past the logical size, and every replica byte equals
   // its primary. Read-only; safe to run online.
   Result<ScrubReport> Scrub();
+
+  // ---- Observability (§3.2 software-overhead decomposition) -------------
+  // Always-on registry: software charges land in "mux.sw.<step>_ns"
+  // counters (+ "mux.sw.total_ns"), op latencies in "mux.<op>.latency_ns"
+  // histograms. Devices and the VFS share it via AttachObs/SetObs (see
+  // tests/mux_rig.h for the full wiring).
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::TraceBuffer& trace() const { return trace_; }
+  // JSON snapshot of every counter and histogram.
+  std::string MetricsReport() const { return metrics_.ToJson(); }
+  // Writes MetricsReport() to `path` on the host file system (the bench
+  // dump hook; see bench/bench_util.h MaybeDumpMetrics).
+  Status DumpMetrics(const std::string& path) const {
+    return metrics_.DumpToFile(path);
+  }
 
   // ---- Introspection ---------------------------------------------------------
   MuxStats stats() const;
@@ -298,10 +317,28 @@ class Mux : public vfs::FileSystem {
   // ---- bookkeeping ---------------------------------------------------------------
   MuxSnapshot BuildSnapshotLocked() const;  // ns_mu_ held
 
-  void ChargeDispatch() const { clock_->Advance(options_.costs.dispatch_ns); }
+  // Advances the simulated clock by `ns` of Mux software work and attributes
+  // it: `counter` is a full metric name like "mux.sw.dispatch_ns" (callers
+  // pass compile-time literals so the hot path never builds strings), and
+  // every charge also lands in "mux.sw.total_ns" — the numerator of the
+  // §3.2 software-overhead share.
+  void ChargeSw(std::string_view counter, SimTime ns) const {
+    clock_->Advance(ns);
+    metrics_.Add(counter, ns);
+    metrics_.Add("mux.sw.total_ns", ns);
+  }
+  void ChargeDispatch() const {
+    ChargeSw("mux.sw.dispatch_ns", options_.costs.dispatch_ns);
+  }
+  // Observes one completed top-level op into "mux.<op>.latency_ns" and the
+  // trace ring (layer "mux").
+  void RecordOp(const char* op, std::string_view hist, uint64_t bytes,
+                SimTime start_ns) const;
 
   SimClock* const clock_;
   const Options options_;
+  mutable obs::MetricsRegistry metrics_;
+  mutable obs::TraceBuffer trace_;
 
   mutable std::mutex ns_mu_;  // namespace, tiers, handles, policy pointer
   std::vector<TierInfo> tiers_;  // sorted by speed_rank (= insertion order)

@@ -28,11 +28,14 @@ Result<const TierInfo*> Mux::FindTier(const std::vector<TierInfo>& tiers,
 
 Result<uint64_t> Mux::Read(vfs::FileHandle handle, uint64_t offset,
                            uint64_t length, uint8_t* out) {
+  const SimTime start = clock_->Now();
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kRead));
   MuxInode& inode = *ctx.file.inode;
   std::lock_guard<std::mutex> file_lock(inode.mu);
-  return ReadLocked(inode, ctx, offset, length, out);
+  Result<uint64_t> result = ReadLocked(inode, ctx, offset, length, out);
+  RecordOp("read", "mux.read.latency_ns", result.ok() ? *result : 0, start);
+  return result;
 }
 
 Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
@@ -46,10 +49,10 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
   const uint64_t first_block = offset / kBlockSize;
   const uint64_t last_block = (offset + n - 1) / kBlockSize;
 
-  clock_->Advance(options_.costs.blt_lookup_ns);
+  ChargeSw("mux.sw.blt_ns", options_.costs.blt_lookup_ns);
   const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
   if (runs.size() > 1) {
-    clock_->Advance(options_.costs.split_segment_ns * (runs.size() - 1));
+    ChargeSw("mux.sw.split_ns", options_.costs.split_segment_ns * (runs.size() - 1));
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     stats_.split_segments += runs.size() - 1;
   }
@@ -132,7 +135,7 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
                           last_tier == kInvalidTier
                               ? inode.attrs.Owner(Attr::kAtime)
                               : last_tier);
-  clock_->Advance(options_.costs.affinity_update_ns);
+  ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
   Touch(inode);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -145,12 +148,16 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
 
 Result<uint64_t> Mux::Write(vfs::FileHandle handle, uint64_t offset,
                             const uint8_t* data, uint64_t length) {
+  const SimTime start = clock_->Now();
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
   MuxInode& inode = *ctx.file.inode;
   const bool is_sync = (ctx.file.flags & vfs::OpenFlags::kSync) != 0;
   std::lock_guard<std::mutex> file_lock(inode.mu);
-  return WriteLocked(inode, ctx, offset, data, length, is_sync);
+  Result<uint64_t> result =
+      WriteLocked(inode, ctx, offset, data, length, is_sync);
+  RecordOp("write", "mux.write.latency_ns", result.ok() ? *result : 0, start);
+  return result;
 }
 
 Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
@@ -162,10 +169,10 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   const uint64_t first_block = offset / kBlockSize;
   const uint64_t last_block = (offset + length - 1) / kBlockSize;
 
-  clock_->Advance(options_.costs.blt_lookup_ns);
+  ChargeSw("mux.sw.blt_ns", options_.costs.blt_lookup_ns);
   const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
   if (runs.size() > 1) {
-    clock_->Advance(options_.costs.split_segment_ns * (runs.size() - 1));
+    ChargeSw("mux.sw.split_ns", options_.costs.split_segment_ns * (runs.size() - 1));
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     stats_.split_segments += runs.size() - 1;
   }
@@ -316,7 +323,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   // OCC bookkeeping: every committed write bumps the version and, during a
   // migration pass, records its dirty blocks (§2.4).
   inode.occ.NoteWrite(first_block, last_block - first_block + 1);
-  clock_->Advance(options_.costs.occ_check_ns);
+  ChargeSw("mux.sw.occ_ns", options_.costs.occ_check_ns);
 
   // Metadata affinity (§2.3): the FS that allocated the last block of an
   // append owns the size; the FS that overwrote the last block owns mtime.
@@ -326,7 +333,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
     inode.attrs.UpdateSize(new_size, last_written_tier);
   }
   inode.attrs.UpdateMtime(now, last_written_tier);
-  clock_->Advance(options_.costs.affinity_update_ns);
+  ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
   Touch(inode);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -366,7 +373,7 @@ Status Mux::TruncateLocked(MuxInode& inode, uint64_t new_size,
   }
   inode.attrs.UpdateSize(new_size, owner);
   inode.attrs.UpdateMtime(clock_->Now(), owner);
-  clock_->Advance(options_.costs.affinity_update_ns);
+  ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
 
   // OCC: every block the truncate changed is dirty — the whole range between
   // the old and new sizes, not just the block at the new EOF. A migration
@@ -836,7 +843,7 @@ Status Mux::RunPolicyMigrations() {
   // cost-estimated ordering, and priorities — promotions toward the fastest
   // tier dispatch before demotions, so a hot file waiting to come up is not
   // stuck behind bulk evictions.
-  IoScheduler scheduler(SchedAlgo::kCostBased, clock_);
+  IoScheduler scheduler(SchedAlgo::kCostBased, clock_, &metrics_);
   TierId fastest = kInvalidTier;
   {
     std::lock_guard<std::mutex> lock(ns_mu_);

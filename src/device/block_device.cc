@@ -1,7 +1,9 @@
 #include "src/device/block_device.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <utility>
 
 namespace mux::device {
 
@@ -32,9 +34,43 @@ uint64_t BlockDevice::SeekCost(uint64_t lba) const {
   // Seek time grows sublinearly with distance (settle time dominates short
   // seeks); a simple sqrt model captures that.
   const double frac = static_cast<double>(distance) / static_cast<double>(span);
-  const double scaled = 0.25 + 0.75 * frac;  // min seek = quarter stroke cost
+  if (frac < 1e-9) {
+    return 0;
+  }
+  // min seek = quarter stroke cost
+  const double scaled = 0.25 + 0.75 * std::sqrt(frac);
   return static_cast<uint64_t>(static_cast<double>(profile_.full_seek_ns) *
-                               scaled * (frac < 1e-9 ? 0.0 : 1.0));
+                               scaled);
+}
+
+void BlockDevice::AttachObs(obs::MetricsRegistry* metrics,
+                            obs::TraceBuffer* trace, std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  trace_ = trace;
+  obs_label_ = std::move(label);
+  obs_media_counter_ = "device." + obs_label_ + ".media_ns";
+  obs_read_hist_ = "device." + obs_label_ + ".read_ns";
+  obs_write_hist_ = "device." + obs_label_ + ".write_ns";
+}
+
+void BlockDevice::RecordMediaLocked(const std::string& hist, const char* op,
+                                    uint64_t bytes, uint64_t cost) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(obs_media_counter_, cost);
+    if (!hist.empty()) {
+      metrics_->Observe(hist, cost);
+    }
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.layer = "device";
+    event.op = obs_label_ + "." + op;
+    event.bytes = bytes;
+    event.duration_ns = cost;
+    event.start_ns = clock_->Now() - cost;
+    trace_->Record(std::move(event));
+  }
 }
 
 Status BlockDevice::ReadBlocks(uint64_t lba, uint32_t count, uint8_t* out) {
@@ -59,6 +95,7 @@ Status BlockDevice::ReadBlocks(uint64_t lba, uint32_t count, uint8_t* out) {
   stats_.busy_ns += cost;
   stats_.read_ops++;
   stats_.bytes_read += bytes;
+  RecordMediaLocked(obs_read_hist_, "read", bytes, cost);
 
   for (uint32_t i = 0; i < count; ++i) {
     const uint64_t block = lba + i;
@@ -99,6 +136,7 @@ Status BlockDevice::WriteBlocks(uint64_t lba, uint32_t count,
   stats_.busy_ns += cost;
   stats_.write_ops++;
   stats_.bytes_written += bytes;
+  RecordMediaLocked(obs_write_hist_, "write", bytes, cost);
 
   for (uint32_t i = 0; i < count; ++i) {
     const uint64_t block = lba + i;
@@ -126,6 +164,7 @@ Status BlockDevice::Flush() {
     const uint64_t cost = profile_.EstimateWriteNs(bytes);
     clock_->Advance(cost);
     stats_.busy_ns += cost;
+    RecordMediaLocked(/*hist=*/"", "flush", bytes, cost);
     for (const auto& [block, content] : cache_) {
       std::memcpy(durable_.data() + block * block_size(), content.data(),
                   block_size());
@@ -134,6 +173,7 @@ Status BlockDevice::Flush() {
   } else {
     clock_->Advance(profile_.write_latency_ns);
     stats_.busy_ns += profile_.write_latency_ns;
+    RecordMediaLocked(/*hist=*/"", "flush", 0, profile_.write_latency_ns);
   }
   return Status::Ok();
 }

@@ -1,6 +1,7 @@
 #include "src/device/pm_device.h"
 
 #include <cstring>
+#include <utility>
 
 namespace mux::device {
 
@@ -24,6 +25,7 @@ Status PmDevice::Load(uint64_t offset, uint64_t n, uint8_t* out) {
   stats_.busy_ns += cost;
   stats_.read_ops++;
   stats_.bytes_read += n;
+  RecordMediaLocked(obs_read_hist_, "load", n, cost);
   std::memcpy(out, memory_.data() + offset, n);
   return Status::Ok();
 }
@@ -42,6 +44,7 @@ Status PmDevice::Store(uint64_t offset, uint64_t n, const uint8_t* data) {
   stats_.busy_ns += cost;
   stats_.write_ops++;
   stats_.bytes_written += n;
+  RecordMediaLocked(obs_write_hist_, "store", n, cost);
   if (crash_sim_) {
     const uint64_t first = offset / kLineSize;
     const uint64_t last = (offset + n - 1) / kLineSize;
@@ -75,6 +78,7 @@ Status PmDevice::Persist(uint64_t offset, uint64_t n) {
   clock_->Advance(cost);
   stats_.busy_ns += cost;
   stats_.flushes++;
+  RecordMediaLocked(/*hist=*/"", "persist", n, cost);
   if (crash_sim_) {
     for (uint64_t line = first; line <= last; ++line) {
       preimages_.erase(line);
@@ -90,6 +94,7 @@ void PmDevice::ChargeDaxRead(uint64_t bytes) {
   stats_.busy_ns += cost;
   stats_.read_ops++;
   stats_.bytes_read += bytes;
+  RecordMediaLocked(obs_read_hist_, "dax_read", bytes, cost);
 }
 
 void PmDevice::ChargeDaxWrite(uint64_t bytes) {
@@ -99,6 +104,37 @@ void PmDevice::ChargeDaxWrite(uint64_t bytes) {
   stats_.busy_ns += cost;
   stats_.write_ops++;
   stats_.bytes_written += bytes;
+  RecordMediaLocked(obs_write_hist_, "dax_write", bytes, cost);
+}
+
+void PmDevice::AttachObs(obs::MetricsRegistry* metrics,
+                         obs::TraceBuffer* trace, std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  trace_ = trace;
+  obs_label_ = std::move(label);
+  obs_media_counter_ = "device." + obs_label_ + ".media_ns";
+  obs_read_hist_ = "device." + obs_label_ + ".read_ns";
+  obs_write_hist_ = "device." + obs_label_ + ".write_ns";
+}
+
+void PmDevice::RecordMediaLocked(const std::string& hist, const char* op,
+                                 uint64_t bytes, uint64_t cost) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(obs_media_counter_, cost);
+    if (!hist.empty()) {
+      metrics_->Observe(hist, cost);
+    }
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.layer = "device";
+    event.op = obs_label_ + "." + op;
+    event.bytes = bytes;
+    event.duration_ns = cost;
+    event.start_ns = clock_->Now() - cost;
+    trace_->Record(std::move(event));
+  }
 }
 
 void PmDevice::FailAfterStores(int64_t n) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "src/common/status.h"
 #include "src/device/block_device.h"
 #include "src/device/device_profile.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace mux::device {
 
@@ -62,8 +65,17 @@ class PmDevice {
   DeviceStats stats() const;
   void ResetStats();
 
+  // Publishes per-op media time into the shared observability sinks (both
+  // optional): counter "device.<label>.media_ns", histograms
+  // "device.<label>.{read,write}_ns", and trace events (layer "device").
+  void AttachObs(obs::MetricsRegistry* metrics, obs::TraceBuffer* trace,
+                 std::string label);
+
  private:
   Status CheckRange(uint64_t offset, uint64_t n) const;
+  // Records one media operation of `cost` ns that just finished (mu_ held).
+  void RecordMediaLocked(const std::string& hist, const char* op,
+                         uint64_t bytes, uint64_t cost);
 
   const DeviceProfile profile_;
   SimClock* const clock_;
@@ -75,6 +87,13 @@ class PmDevice {
   bool crash_sim_ = false;
   int64_t stores_until_fault_ = -1;  // <0 means no fault injection
   DeviceStats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned
+  obs::TraceBuffer* trace_ = nullptr;        // not owned
+  std::string obs_label_;
+  std::string obs_media_counter_;  // precomputed metric names (hot path)
+  std::string obs_read_hist_;
+  std::string obs_write_hist_;
 };
 
 }  // namespace mux::device

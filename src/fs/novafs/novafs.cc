@@ -838,7 +838,25 @@ Result<vfs::DaxMapping> NovaFs::DaxMap(vfs::FileHandle handle, uint64_t offset,
   vfs::DaxMapping mapping;
   mapping.data = pm_->DaxBase() + pm_first * kPageSize + offset % kPageSize;
   mapping.length = length;
+  active_dax_mappings_++;
   return mapping;
+}
+
+Status NovaFs::DaxUnmap(const vfs::DaxMapping& mapping) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mapping.data == nullptr || mapping.length == 0) {
+    return InvalidArgumentError("not a live DAX mapping");
+  }
+  if (active_dax_mappings_ == 0) {
+    return InvalidArgumentError("DaxUnmap without matching DaxMap");
+  }
+  active_dax_mappings_--;
+  return Status::Ok();
+}
+
+uint64_t NovaFs::ActiveDaxMappings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_dax_mappings_;
 }
 
 uint64_t NovaFs::FreeDataPages() const {
@@ -854,6 +872,7 @@ Status NovaFs::Mount() {
   open_files_.clear();
   free_inos_.clear();
   data_pages_used_ = 0;
+  active_dax_mappings_ = 0;  // a remount invalidates outstanding mappings
   allocator_ = ExtentAllocator(pool_first_page_,
                                total_pages_ - pool_first_page_);
 

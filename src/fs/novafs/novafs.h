@@ -81,6 +81,7 @@ class NovaFs : public vfs::FileSystem {
   bool SupportsDax() const override { return true; }
   Result<vfs::DaxMapping> DaxMap(vfs::FileHandle handle, uint64_t offset,
                                  uint64_t length) override;
+  Status DaxUnmap(const vfs::DaxMapping& mapping) override;
   void ChargeDax(uint64_t bytes, bool is_write) override {
     if (is_write) {
       pm_->ChargeDaxWrite(bytes);
@@ -91,6 +92,9 @@ class NovaFs : public vfs::FileSystem {
 
   // Test/diagnostic accessors.
   uint64_t FreeDataPages() const;
+  // Mappings handed out by DaxMap that have not been DaxUnmap'ed yet. A
+  // nonzero value at teardown means a DAX consumer leaked its mapping.
+  uint64_t ActiveDaxMappings() const;
 
  private:
   struct MemInode {
@@ -160,6 +164,7 @@ class NovaFs : public vfs::FileSystem {
   std::vector<vfs::InodeNum> free_inos_;
   vfs::FileHandle next_handle_ = 1;
   uint64_t data_pages_used_ = 0;
+  uint64_t active_dax_mappings_ = 0;
 };
 
 }  // namespace mux::fs

@@ -1,0 +1,124 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mux::obs {
+
+void MetricsRegistry::Add(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::Observe(std::string_view name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  it->second.Add(value);
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram MetricsRegistry::HistogramValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram() : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, Histogram>> MetricsRegistry::Histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {histograms_.begin(), histograms_.end()};
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += '"';
+    out += name;
+    out += "\":";
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.1f,"
+                  "\"p50\":%.0f,\"p90\":%.0f,\"p99\":%.0f}",
+                  static_cast<unsigned long long>(hist.count()),
+                  static_cast<unsigned long long>(hist.min()),
+                  static_cast<unsigned long long>(hist.max()), hist.Mean(),
+                  hist.Percentile(50), hist.Percentile(90),
+                  hist.Percentile(99));
+    out += '"';
+    out += name;
+    out += "\":";
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+Status MetricsRegistry::DumpToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return IoError("cannot open metrics dump file: " + path);
+  }
+  out << ToJson() << '\n';
+  out.flush();
+  if (!out) {
+    return IoError("short write to metrics dump file: " + path);
+  }
+  return Status::Ok();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+SimTime ScopedTimer::Stop() {
+  if (stopped_ || clock_ == nullptr) {
+    return 0;
+  }
+  stopped_ = true;
+  const SimTime elapsed = clock_->Now() - start_;
+  if (registry_ != nullptr) {
+    registry_->Observe(name_, elapsed);
+  }
+  return elapsed;
+}
+
+}  // namespace mux::obs

@@ -1,0 +1,102 @@
+// Observability: the metrics registry (§3.2 measurement substrate).
+//
+// Every layer of the stack — Vfs, Mux, the I/O scheduler, the SCM cache
+// controller, and the simulated devices — records into one shared
+// MetricsRegistry: named monotonic counters (e.g. per-device media
+// nanoseconds) and named Histogram-backed latency distributions (e.g.
+// per-op end-to-end latency). Because all latencies are simulated time on
+// the shared SimClock, a request's total latency decomposes exactly into
+// software time (Mux/FS bookkeeping charged by the cost model) and media
+// time (what the devices charged) — the split the paper's §3.2 overhead
+// table is built on.
+//
+// Conventions used across the stack (see DESIGN.md "Observability"):
+//   device.<label>.media_ns   counter: simulated ns the device was busy
+//   device.<label>.read_ns    histogram: per-read media service time
+//   mux.sw.total_ns           counter: all Mux cost-model CPU charges
+//   mux.sw.<step>_ns          counter: one cost-model step (dispatch, blt…)
+//   mux.<op>.latency_ns       histogram: end-to-end op latency through Mux
+//   sched.queue_wait_ns       histogram: submit -> dispatch wait
+//   sched.service_ns          histogram: dispatch -> completion
+//   cache.{hit,miss,admission}_ns  histograms: SCM cache path latency
+#ifndef MUX_OBS_METRICS_H_
+#define MUX_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+
+namespace mux::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Adds `delta` to the named counter (created at zero on first use).
+  void Add(std::string_view name, uint64_t delta);
+  void Increment(std::string_view name) { Add(name, 1); }
+
+  // Records one sample into the named latency histogram.
+  void Observe(std::string_view name, uint64_t value);
+
+  // Current counter value; 0 if the counter was never touched.
+  uint64_t CounterValue(std::string_view name) const;
+  // Snapshot of the named histogram; empty histogram if never observed.
+  Histogram HistogramValue(std::string_view name) const;
+
+  // Sorted snapshots for reports.
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+  std::vector<std::pair<std::string, Histogram>> Histograms() const;
+
+  // JSON text export:
+  //   {"counters":{...},"histograms":{"name":{"count":..,"min":..,"max":..,
+  //    "mean":..,"p50":..,"p90":..,"p99":..},...}}
+  std::string ToJson() const;
+  // Writes ToJson() to a host file (real filesystem, not simulated).
+  Status DumpToFile(const std::string& path) const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Measures simulated elapsed time from construction until Stop()/destruction
+// and observes it into `name`. A null registry makes it a no-op, so call
+// sites need no branching.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, const SimClock* clock,
+              std::string_view name)
+      : registry_(registry), clock_(clock), name_(name),
+        start_(clock == nullptr ? 0 : clock->Now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { Stop(); }
+
+  // Records now - start (idempotent) and returns the elapsed time.
+  SimTime Stop();
+
+ private:
+  MetricsRegistry* const registry_;
+  const SimClock* const clock_;
+  const std::string_view name_;
+  const SimTime start_;
+  bool stopped_ = false;
+};
+
+}  // namespace mux::obs
+
+#endif  // MUX_OBS_METRICS_H_

@@ -1,0 +1,87 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace mux::obs {
+
+void TraceBuffer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    dropped_++;
+    recorded_++;
+    return;
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    dropped_++;
+  }
+  recorded_++;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceBuffer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"capacity\":%llu,\"recorded\":%llu,\"dropped\":%llu,"
+                "\"events\":[",
+                static_cast<unsigned long long>(capacity_),
+                static_cast<unsigned long long>(recorded_),
+                static_cast<unsigned long long>(dropped_));
+  std::string out = buf;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = ring_[(head_ + i) % ring_.size()];
+    if (i > 0) {
+      out += ',';
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"tier\":%lld,\"bytes\":%llu,\"start_ns\":%llu,"
+                  "\"dur_ns\":%llu}",
+                  e.tier == UINT32_MAX
+                      ? -1LL
+                      : static_cast<long long>(e.tier),
+                  static_cast<unsigned long long>(e.bytes),
+                  static_cast<unsigned long long>(e.start_ns),
+                  static_cast<unsigned long long>(e.duration_ns));
+    out += "{\"layer\":\"";
+    out += e.layer;
+    out += "\",\"op\":\"";
+    out += e.op;
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace mux::obs

@@ -1,0 +1,63 @@
+// Observability: bounded per-op trace ring buffer.
+//
+// Layers record one TraceEvent per operation (layer, op, tier, bytes,
+// start/duration in simulated ns). The buffer keeps the most recent
+// `capacity` events and counts what it overwrote, so a long benchmark can
+// still be inspected at the tail without unbounded memory. Events from
+// nested layers interleave in clock order: a Mux read's event brackets the
+// device events it caused, which is how a single request's latency is
+// attributed across software and media (DESIGN.md "Observability").
+#ifndef MUX_OBS_TRACE_H_
+#define MUX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace mux::obs {
+
+struct TraceEvent {
+  std::string layer;  // "vfs", "mux", "sched", "cache", "device"
+  std::string op;     // e.g. "read", "write", "migrate", "pm.read"
+  uint32_t tier = UINT32_MAX;  // TierId when known, UINT32_MAX otherwise
+  uint64_t bytes = 0;
+  SimTime start_ns = 0;
+  SimTime duration_ns = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity) : capacity_(capacity) {}
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void Record(TraceEvent event);
+
+  // Events currently retained, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  size_t capacity() const { return capacity_; }
+  // Total events ever recorded / overwritten by the ring.
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+  // {"capacity":N,"recorded":N,"dropped":N,"events":[{...},...]}
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  // index of the oldest event once the ring is full
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace mux::obs
+
+#endif  // MUX_OBS_TRACE_H_

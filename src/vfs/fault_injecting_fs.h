@@ -138,6 +138,9 @@ class FaultInjectingFs : public FileSystem {
   }
   Result<DaxMapping> DaxMap(FileHandle handle, uint64_t offset,
                             uint64_t length) override;
+  Status DaxUnmap(const DaxMapping& mapping) override {
+    return base_->DaxUnmap(mapping);
+  }
   bool SupportsDax() const override { return base_->SupportsDax(); }
   void ChargeDax(uint64_t bytes, bool is_write) override {
     base_->ChargeDax(bytes, is_write);

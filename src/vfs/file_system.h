@@ -86,6 +86,10 @@ class FileSystem {
                                     uint64_t length) {
     return NotSupportedError("DAX not supported by this file system");
   }
+  // Releases a mapping previously returned by DaxMap. File systems that
+  // track live mappings (novafs) override this; the default is a no-op so
+  // non-DAX file systems stay trivially correct.
+  virtual Status DaxUnmap(const DaxMapping& mapping) { return Status::Ok(); }
   virtual bool SupportsDax() const { return false; }
   // Accounts simulated media time for direct loads/stores a caller performed
   // through a DaxMap pointer (real PM stalls the CPU on media access; the

@@ -74,6 +74,34 @@ Result<std::pair<FileSystem*, std::string>> Vfs::Route(
   return NotFoundError("no file system mounted for " + norm);
 }
 
+void Vfs::SetObs(obs::MetricsRegistry* metrics, obs::TraceBuffer* trace,
+                 const SimClock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  trace_ = trace;
+  obs_clock_ = clock;
+}
+
+void Vfs::RecordOp(const char* op, uint64_t bytes, SimTime start_ns) const {
+  if (obs_clock_ == nullptr) {
+    return;
+  }
+  const SimTime now = obs_clock_->Now();
+  const SimTime elapsed = now - start_ns;
+  if (metrics_ != nullptr) {
+    metrics_->Observe(std::string("vfs.") + op + ".latency_ns", elapsed);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.layer = "vfs";
+    event.op = op;
+    event.bytes = bytes;
+    event.start_ns = start_ns;
+    event.duration_ns = elapsed;
+    trace_->Record(std::move(event));
+  }
+}
+
 Result<Vfs::RoutedHandle> Vfs::Lookup(FileHandle handle) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(handle);
@@ -85,16 +113,21 @@ Result<Vfs::RoutedHandle> Vfs::Lookup(FileHandle handle) const {
 
 Result<FileHandle> Vfs::Open(const std::string& path, uint32_t flags,
                              uint32_t mode) {
+  const SimTime start = obs_clock_ != nullptr ? obs_clock_->Now() : 0;
   MUX_ASSIGN_OR_RETURN(auto routed, Route(path));
   MUX_ASSIGN_OR_RETURN(FileHandle fs_handle,
                        routed.first->Open(routed.second, flags, mode));
-  std::lock_guard<std::mutex> lock(mu_);
-  const FileHandle handle = next_handle_++;
-  handles_.emplace(handle, RoutedHandle{routed.first, fs_handle});
-  return handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const FileHandle handle = next_handle_++;
+    handles_.emplace(handle, RoutedHandle{routed.first, fs_handle});
+    RecordOp("open", 0, start);
+    return handle;
+  }
 }
 
 Status Vfs::Close(FileHandle handle) {
+  const SimTime start = obs_clock_ != nullptr ? obs_clock_->Now() : 0;
   RoutedHandle routed;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -105,7 +138,9 @@ Status Vfs::Close(FileHandle handle) {
     routed = it->second;
     handles_.erase(it);
   }
-  return routed.fs->Close(routed.fs_handle);
+  Status status = routed.fs->Close(routed.fs_handle);
+  RecordOp("close", 0, start);
+  return status;
 }
 
 Status Vfs::Mkdir(const std::string& path, uint32_t mode) {
@@ -144,14 +179,20 @@ Result<std::vector<DirEntry>> Vfs::ReadDir(const std::string& path) {
 
 Result<uint64_t> Vfs::Read(FileHandle handle, uint64_t offset, uint64_t length,
                            uint8_t* out) {
+  const SimTime start = obs_clock_ != nullptr ? obs_clock_->Now() : 0;
   MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
-  return routed.fs->Read(routed.fs_handle, offset, length, out);
+  Result<uint64_t> result = routed.fs->Read(routed.fs_handle, offset, length, out);
+  RecordOp("read", result.ok() ? *result : 0, start);
+  return result;
 }
 
 Result<uint64_t> Vfs::Write(FileHandle handle, uint64_t offset,
                             const uint8_t* data, uint64_t length) {
+  const SimTime start = obs_clock_ != nullptr ? obs_clock_->Now() : 0;
   MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
-  return routed.fs->Write(routed.fs_handle, offset, data, length);
+  Result<uint64_t> result = routed.fs->Write(routed.fs_handle, offset, data, length);
+  RecordOp("write", result.ok() ? *result : 0, start);
+  return result;
 }
 
 Status Vfs::Truncate(FileHandle handle, uint64_t new_size) {
@@ -160,8 +201,11 @@ Status Vfs::Truncate(FileHandle handle, uint64_t new_size) {
 }
 
 Status Vfs::Fsync(FileHandle handle, bool data_only) {
+  const SimTime start = obs_clock_ != nullptr ? obs_clock_->Now() : 0;
   MUX_ASSIGN_OR_RETURN(RoutedHandle routed, Lookup(handle));
-  return routed.fs->Fsync(routed.fs_handle, data_only);
+  Status status = routed.fs->Fsync(routed.fs_handle, data_only);
+  RecordOp("fsync", 0, start);
+  return status;
 }
 
 Result<FileStat> Vfs::FStat(FileHandle handle) {

@@ -14,6 +14,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/vfs/file_system.h"
 
 namespace mux::vfs {
@@ -49,6 +52,13 @@ class Vfs {
   Status Fsync(FileHandle handle, bool data_only = false);
   Result<FileStat> FStat(FileHandle handle);
 
+  // Wires the VFS entry points into the shared observability sinks: each
+  // Open/Read/Write/Fsync/Close observes "vfs.<op>.latency_ns" (simulated
+  // time across the whole downstream stack) and records a trace event
+  // (layer "vfs"). All three pointers are optional; pass nullptr to detach.
+  void SetObs(obs::MetricsRegistry* metrics, obs::TraceBuffer* trace,
+              const SimClock* clock);
+
  private:
   struct Mounted {
     std::string mount_point;  // normalized
@@ -63,11 +73,18 @@ class Vfs {
   Result<std::pair<FileSystem*, std::string>> Route(
       const std::string& path) const;
   Result<RoutedHandle> Lookup(FileHandle handle) const;
+  // Records latency + trace for one completed entry point (no lock needed:
+  // the obs pointers are set once at wiring time).
+  void RecordOp(const char* op, uint64_t bytes, SimTime start_ns) const;
 
   mutable std::mutex mu_;
   std::vector<Mounted> mounts_;  // sorted by descending prefix length
   std::unordered_map<FileHandle, RoutedHandle> handles_;
   FileHandle next_handle_ = 1;
+
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned
+  obs::TraceBuffer* trace_ = nullptr;        // not owned
+  const SimClock* obs_clock_ = nullptr;      // not owned
 };
 
 }  // namespace mux::vfs

@@ -1,0 +1,158 @@
+// SCM cache controller tests: admission control, invalidation (including
+// the miss-sketch regression), DAX mapping lifetime, and the observability
+// hooks.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/cache_controller.h"
+#include "src/core/cost_model.h"
+#include "src/device/pm_device.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/obs/metrics.h"
+
+namespace mux::core {
+namespace {
+
+constexpr uint64_t kBlock = CacheController::kBlockSize;
+
+class CacheControllerTest : public ::testing::Test {
+ protected:
+  CacheControllerTest()
+      : pm_(device::DeviceProfile::OptanePm(64ULL << 20), &clock_),
+        novafs_(&pm_, &clock_) {
+    EXPECT_TRUE(novafs_.Format().ok());
+  }
+
+  static CacheController::Options SmallCache() {
+    CacheController::Options options;
+    options.capacity_blocks = 8;
+    options.admission_threshold = 2;
+    return options;
+  }
+
+  SimClock clock_;
+  device::PmDevice pm_;
+  fs::NovaFs novafs_;
+  CostModel costs_;
+};
+
+TEST_F(CacheControllerTest, AdmitsAfterThresholdMisses) {
+  CacheController cache(&novafs_, &clock_, costs_, SmallCache());
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0xAB);
+  std::vector<uint8_t> out(kBlock);
+
+  cache.OnMiss(1, 0, data.data());
+  EXPECT_EQ(cache.stats().admissions, 0u);
+  EXPECT_FALSE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+
+  cache.OnMiss(1, 0, data.data());
+  EXPECT_EQ(cache.stats().admissions, 1u);
+  ASSERT_TRUE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), kBlock), 0);
+}
+
+// Regression: InvalidateBlock used to bail out before touching the
+// admission sketch when the block was not resident, so the counted misses
+// of the *old* content survived and a single post-invalidation miss could
+// re-admit the block early.
+TEST_F(CacheControllerTest, InvalidateBlockForgetsAdmissionSketch) {
+  CacheController cache(&novafs_, &clock_, costs_, SmallCache());
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x11);
+
+  cache.OnMiss(1, 0, data.data());            // sketch count = 1
+  cache.InvalidateBlock(1, 0);                // content changed: forget it
+  cache.OnMiss(1, 0, data.data());            // must start over at 1
+  EXPECT_EQ(cache.stats().admissions, 0u);
+  cache.OnMiss(1, 0, data.data());            // now the threshold is met
+  EXPECT_EQ(cache.stats().admissions, 1u);
+}
+
+TEST_F(CacheControllerTest, InvalidateBlockDropsCachedCopy) {
+  CacheController cache(&novafs_, &clock_, costs_, SmallCache());
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x22);
+  std::vector<uint8_t> out(kBlock);
+
+  cache.OnMiss(1, 0, data.data());
+  cache.OnMiss(1, 0, data.data());
+  ASSERT_TRUE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+
+  cache.InvalidateBlock(1, 0);
+  EXPECT_FALSE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.ResidentBlocks(), 0u);
+}
+
+// Regression (file-granularity variant): InvalidateFile swept the resident
+// index but left the file's blocks in the miss sketch.
+TEST_F(CacheControllerTest, InvalidateFileForgetsSketchForAllBlocks) {
+  CacheController cache(&novafs_, &clock_, costs_, SmallCache());
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x33);
+
+  cache.OnMiss(7, 0, data.data());
+  cache.OnMiss(7, 1, data.data());
+  cache.OnMiss(8, 0, data.data());
+  cache.InvalidateFile(7);
+
+  cache.OnMiss(7, 0, data.data());  // starts over: no admission
+  cache.OnMiss(7, 1, data.data());
+  EXPECT_EQ(cache.stats().admissions, 0u);
+  cache.OnMiss(8, 0, data.data());  // file 8's sketch was untouched
+  EXPECT_EQ(cache.stats().admissions, 1u);
+}
+
+// Regression: the destructor used to close the cache file without
+// DaxUnmap'ing it, leaking the mapping the PM file system handed out.
+TEST_F(CacheControllerTest, DestructorReleasesDaxMapping) {
+  ASSERT_EQ(novafs_.ActiveDaxMappings(), 0u);
+  {
+    CacheController cache(&novafs_, &clock_, costs_, SmallCache());
+    ASSERT_TRUE(cache.Init().ok());
+    EXPECT_EQ(novafs_.ActiveDaxMappings(), 1u);
+  }
+  EXPECT_EQ(novafs_.ActiveDaxMappings(), 0u);
+}
+
+TEST_F(CacheControllerTest, WriteThroughUpdatesCachedCopy) {
+  CacheController cache(&novafs_, &clock_, costs_, SmallCache());
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x44);
+  std::vector<uint8_t> out(kBlock);
+
+  cache.OnMiss(1, 0, data.data());
+  cache.OnMiss(1, 0, data.data());
+  const uint8_t patch[4] = {9, 9, 9, 9};
+  cache.OnWrite(1, 0, 128, sizeof(patch), patch);
+  ASSERT_TRUE(cache.TryRead(1, 0, 128, sizeof(patch), out.data()));
+  EXPECT_EQ(std::memcmp(out.data(), patch, sizeof(patch)), 0);
+}
+
+TEST_F(CacheControllerTest, ObservesHitMissAdmissionLatency) {
+  CacheController cache(&novafs_, &clock_, costs_, SmallCache());
+  obs::MetricsRegistry metrics;
+  cache.SetObs(&metrics);
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x55);
+  std::vector<uint8_t> out(kBlock);
+
+  EXPECT_FALSE(cache.TryRead(1, 0, 0, kBlock, out.data()));  // miss
+  cache.OnMiss(1, 0, data.data());
+  cache.OnMiss(1, 0, data.data());                           // admission
+  ASSERT_TRUE(cache.TryRead(1, 0, 0, kBlock, out.data()));   // hit
+
+  EXPECT_EQ(metrics.HistogramValue("cache.miss_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("cache.admission_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("cache.hit_ns").count(), 1u);
+  // Every path at least pays the cache probe charge.
+  EXPECT_GE(metrics.HistogramValue("cache.hit_ns").min(),
+            static_cast<uint64_t>(costs_.cache_lookup_ns));
+}
+
+}  // namespace
+}  // namespace mux::core

@@ -1,6 +1,7 @@
 // Tests for the simulated devices: latency model, crash cache, PM persist.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -102,6 +103,89 @@ TEST(BlockDeviceTest, SsdHasNoSeekPenalty) {
   ASSERT_TRUE(dev.ReadBlocks(9000, 1, buf.data()).ok());
   const SimTime rnd = clock.Now() - t1;
   EXPECT_EQ(seq, rnd);
+}
+
+// Regression: seek cost used to scale linearly with LBA distance, so a
+// one-track hop cost nearly nothing. Real disks pay settle time on every
+// repositioning: the model is a quarter-stroke floor plus a sqrt term.
+TEST(BlockDeviceTest, SeekCostSqrtModelWithQuarterStrokeFloor) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::ExosHdd(256 * kMiB), &clock);
+  const DeviceProfile& profile = dev.profile();
+  const uint64_t span = dev.capacity_blocks();
+  std::vector<uint8_t> buf(4096);
+
+  uint64_t head = 0;  // mirrors the device's head position (lba + count)
+  auto seek_cost_to = [&](uint64_t lba) -> uint64_t {
+    const SimTime t0 = clock.Now();
+    EXPECT_TRUE(dev.ReadBlocks(lba, 1, buf.data()).ok());
+    head = lba + 1;
+    return (clock.Now() - t0) - profile.EstimateReadNs(4096);
+  };
+  auto model = [&](uint64_t distance) -> uint64_t {
+    const double frac =
+        static_cast<double>(distance) / static_cast<double>(span);
+    return static_cast<uint64_t>(static_cast<double>(profile.full_seek_ns) *
+                                 (0.25 + 0.75 * std::sqrt(frac)));
+  };
+
+  // A one-block hop still pays at least a quarter stroke.
+  const uint64_t short_seek = seek_cost_to(head + 1);
+  EXPECT_EQ(short_seek, model(1));
+  EXPECT_GE(short_seek, profile.full_seek_ns / 4);
+
+  // Quarter-span distance: sqrt makes it well past half of a full stroke
+  // (0.25 + 0.75 * 0.5), not the quarter a linear model would charge.
+  const uint64_t quarter_seek = seek_cost_to(head + span / 4);
+  EXPECT_EQ(quarter_seek, model(span / 4));
+  EXPECT_GT(quarter_seek, profile.full_seek_ns / 2);
+
+  // Sweeping back to LBA 0 approaches (and never exceeds) a full stroke.
+  const uint64_t distance = head;
+  const uint64_t long_seek = seek_cost_to(0);
+  EXPECT_EQ(long_seek, model(distance));
+  EXPECT_LE(long_seek, profile.full_seek_ns);
+  EXPECT_GT(long_seek, quarter_seek);
+}
+
+TEST(BlockDeviceObsTest, PublishesMediaTimeAndTrace) {
+  SimClock clock;
+  BlockDevice dev(DeviceProfile::OptaneSsd(16 * kMiB), &clock);
+  obs::MetricsRegistry metrics;
+  obs::TraceBuffer trace(16);
+  dev.AttachObs(&metrics, &trace, "ssd");
+  std::vector<uint8_t> buf(4096);
+  ASSERT_TRUE(dev.WriteBlocks(0, 1, buf.data()).ok());
+  ASSERT_TRUE(dev.ReadBlocks(0, 1, buf.data()).ok());
+
+  // Every nanosecond the device was busy is published as media time.
+  EXPECT_EQ(metrics.CounterValue("device.ssd.media_ns"), dev.stats().busy_ns);
+  EXPECT_EQ(metrics.HistogramValue("device.ssd.read_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("device.ssd.write_ns").count(), 1u);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].layer, "device");
+  EXPECT_EQ(events[0].op, "ssd.write");
+  EXPECT_EQ(events[0].bytes, 4096u);
+  EXPECT_EQ(events[1].op, "ssd.read");
+
+  // Detaching stops publication without disturbing the device.
+  dev.AttachObs(nullptr, nullptr, "");
+  ASSERT_TRUE(dev.ReadBlocks(0, 1, buf.data()).ok());
+  EXPECT_EQ(metrics.HistogramValue("device.ssd.read_ns").count(), 1u);
+}
+
+TEST(PmDeviceObsTest, PublishesMediaTime) {
+  SimClock clock;
+  PmDevice pm(DeviceProfile::OptanePm(16 * kMiB), &clock);
+  obs::MetricsRegistry metrics;
+  pm.AttachObs(&metrics, nullptr, "pm");
+  std::vector<uint8_t> buf(256);
+  ASSERT_TRUE(pm.Store(0, buf.size(), buf.data()).ok());
+  ASSERT_TRUE(pm.Load(0, buf.size(), buf.data()).ok());
+  EXPECT_GT(metrics.CounterValue("device.pm.media_ns"), 0u);
+  EXPECT_EQ(metrics.HistogramValue("device.pm.read_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("device.pm.write_ns").count(), 1u);
 }
 
 TEST(BlockDeviceTest, StatsAccumulate) {

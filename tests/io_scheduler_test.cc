@@ -1,0 +1,169 @@
+// IoScheduler unit + regression tests: elevator pick order, failure
+// accounting, and the observability hooks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/core/io_scheduler.h"
+#include "src/device/device_profile.h"
+#include "src/obs/metrics.h"
+
+namespace mux::core {
+namespace {
+
+constexpr uint64_t kMiB = 1ULL << 20;
+
+TierInfo HddTier(TierId id) {
+  TierInfo tier;
+  tier.id = id;
+  tier.name = "hdd";
+  tier.profile = device::DeviceProfile::ExosHdd(512 * kMiB);
+  return tier;
+}
+
+IoRequest MakeRequest(TierId tier, uint64_t offset, int priority, int id,
+                      std::vector<int>* order) {
+  IoRequest request;
+  request.tier = tier;
+  request.offset = offset;
+  request.bytes = 4096;
+  request.priority = priority;
+  request.execute = [order, id]() -> Status {
+    order->push_back(id);
+    return Status::Ok();
+  };
+  return request;
+}
+
+// Regression: an eligible request sitting at offset UINT64_MAX could never
+// win the old sentinel comparison (offset < UINT64_MAX is false), so the
+// pick fell through to index 0 — an *ineligible*, lower-priority request —
+// and the elevator inverted priorities.
+TEST(IoSchedulerElevatorTest, PriorityWinsAtMaxOffset) {
+  SimClock clock;
+  IoScheduler sched(SchedAlgo::kElevator, &clock);
+  sched.RegisterTier(HddTier(0));
+  std::vector<int> order;
+  ASSERT_TRUE(sched.Submit(MakeRequest(0, 0, /*priority=*/1, 1, &order)).ok());
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, UINT64_MAX, /*priority=*/0, 2, &order))
+          .ok());
+  ASSERT_TRUE(sched.RunAll().ok());
+  ASSERT_EQ(order.size(), 2u);
+  // Priority 0 dispatches first no matter where its offset lands.
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(IoSchedulerElevatorTest, SweepsAscendingFromHead) {
+  SimClock clock;
+  IoScheduler sched(SchedAlgo::kElevator, &clock);
+  sched.RegisterTier(HddTier(0));
+  std::vector<int> order;
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, 8 * 4096, /*priority=*/1, 1, &order)).ok());
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, 2 * 4096, /*priority=*/1, 2, &order)).ok());
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, 5 * 4096, /*priority=*/1, 3, &order)).ok());
+  ASSERT_TRUE(sched.RunAll().ok());
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(IoSchedulerElevatorTest, WrapsToSmallestEligibleOffset) {
+  SimClock clock;
+  IoScheduler sched(SchedAlgo::kElevator, &clock);
+  sched.RegisterTier(HddTier(0));
+  std::vector<int> order;
+  // Move the head to 8 * 4096 + 4096.
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, 8 * 4096, /*priority=*/1, 1, &order)).ok());
+  ASSERT_TRUE(sched.RunAll().ok());
+  // Everything now queued is behind the head: the sweep wraps to the
+  // smallest offset and ascends.
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, 4 * 4096, /*priority=*/1, 2, &order)).ok());
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, 1 * 4096, /*priority=*/1, 3, &order)).ok());
+  ASSERT_TRUE(sched.RunAll().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+// Regression: RunOne used to advance the elevator head and add the
+// estimated cost to est_cost_dispatched_ns *before* execute() ran, so a
+// failed request skewed both. A failed request did no media work.
+TEST(IoSchedulerTest, FailedDispatchDoesNotAccountCostOrMoveHead) {
+  SimClock clock;
+  IoScheduler sched(SchedAlgo::kElevator, &clock);
+  sched.RegisterTier(HddTier(0));
+
+  IoRequest bad;
+  bad.tier = 0;
+  bad.offset = 8 * 4096;
+  bad.bytes = 4096;
+  bad.execute = []() -> Status { return IoError("injected dispatch fault"); };
+  ASSERT_TRUE(sched.Submit(std::move(bad)).ok());
+  auto ran = sched.RunOne(0);
+  EXPECT_FALSE(ran.ok());
+
+  auto stats = sched.stats();
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.failed_tiers.at(0), 1u);
+  EXPECT_FALSE(stats.last_error.ok());
+  EXPECT_EQ(stats.est_cost_dispatched_ns, 0u);
+
+  // The head must still be at 0: a request at offset 0 dispatches before
+  // one beyond the failed request's range.
+  std::vector<int> order;
+  ASSERT_TRUE(
+      sched.Submit(MakeRequest(0, 16 * 4096, /*priority=*/1, 2, &order)).ok());
+  ASSERT_TRUE(sched.Submit(MakeRequest(0, 0, /*priority=*/1, 1, &order)).ok());
+  ASSERT_TRUE(sched.RunAll().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(IoSchedulerTest, SuccessfulDispatchAccountsEstimatedCost) {
+  SimClock clock;
+  IoScheduler sched(SchedAlgo::kFifo, &clock);
+  sched.RegisterTier(HddTier(0));
+  std::vector<int> order;
+  ASSERT_TRUE(sched.Submit(MakeRequest(0, 0, /*priority=*/1, 1, &order)).ok());
+  ASSERT_TRUE(sched.RunAll().ok());
+  auto stats = sched.stats();
+  EXPECT_EQ(stats.dispatched, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.est_cost_dispatched_ns, 0u);
+}
+
+TEST(IoSchedulerTest, ObservesQueueWaitAndServiceTime) {
+  SimClock clock;
+  obs::MetricsRegistry metrics;
+  IoScheduler sched(SchedAlgo::kFifo, &clock, &metrics);
+  sched.RegisterTier(HddTier(0));
+
+  IoRequest request;
+  request.tier = 0;
+  request.offset = 0;
+  request.bytes = 4096;
+  request.execute = [&clock]() -> Status {
+    clock.Advance(750);  // simulated service time
+    return Status::Ok();
+  };
+  ASSERT_TRUE(sched.Submit(std::move(request)).ok());
+  clock.Advance(500);  // the request waits in the queue
+  ASSERT_TRUE(sched.RunAll().ok());
+
+  const Histogram wait = metrics.HistogramValue("sched.queue_wait_ns");
+  ASSERT_EQ(wait.count(), 1u);
+  EXPECT_EQ(wait.max(), 500u);
+  const Histogram service = metrics.HistogramValue("sched.service_ns");
+  ASSERT_EQ(service.count(), 1u);
+  EXPECT_EQ(service.max(), 750u);
+}
+
+}  // namespace
+}  // namespace mux::core

@@ -64,7 +64,12 @@ class MuxRig {
     pm_tier_ = pm.value_or(core::kInvalidTier);
     ssd_tier_ = ssd.value_or(core::kInvalidTier);
     hdd_tier_ = hdd.value_or(core::kInvalidTier);
+    AttachObs();
   }
+
+  // Devices hold pointers into mux_'s metrics/trace; detach before members
+  // destruct (mux_ dies first) so late page-cache writeback can't dangle.
+  ~MuxRig() { DetachObs(); }
 
   bool ok() const { return format_ok_; }
   core::Mux& mux() { return *mux_; }
@@ -82,6 +87,7 @@ class MuxRig {
   // Rebuilds Mux over the same (already formatted) file systems, as after a
   // restart, and recovers from the checkpoint.
   Status Remount() {
+    DetachObs();  // the old Mux (and its registry) is about to be destroyed
     mux_ = std::make_unique<core::Mux>(&clock_);
     MUX_RETURN_IF_ERROR(
         mux_->AddTier("pm", &novafs_, pm_dev_.profile()).status());
@@ -89,10 +95,24 @@ class MuxRig {
         mux_->AddTier("ssd", &xfslite_, ssd_dev_.profile()).status());
     MUX_RETURN_IF_ERROR(
         mux_->AddTier("hdd", &extlite_, hdd_dev_.profile()).status());
+    AttachObs();
     return mux_->Recover();
   }
 
  private:
+  // Points every device at the (new) Mux instance's metrics/trace sinks so
+  // media time decomposes against Mux's software charges (§3.2).
+  void AttachObs() {
+    pm_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "pm");
+    ssd_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "ssd");
+    hdd_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "hdd");
+  }
+  void DetachObs() {
+    pm_dev_.AttachObs(nullptr, nullptr, "pm");
+    ssd_dev_.AttachObs(nullptr, nullptr, "ssd");
+    hdd_dev_.AttachObs(nullptr, nullptr, "hdd");
+  }
+
   SimClock clock_;
   device::PmDevice pm_dev_;
   device::BlockDevice ssd_dev_;

@@ -195,6 +195,33 @@ TEST_F(NovaFsTest, DaxMapRejectsUnallocatedRange) {
   EXPECT_EQ(fs_.DaxMap(*h, 0, 4096).status().code(), ErrorCode::kNotFound);
 }
 
+TEST_F(NovaFsTest, DaxUnmapBalancesActiveMappings) {
+  auto h = fs_.Open("/cache", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.Fallocate(*h, 0, 1 << 20, /*keep_size=*/false).ok());
+  EXPECT_EQ(fs_.ActiveDaxMappings(), 0u);
+  auto mapping = fs_.DaxMap(*h, 0, 1 << 20);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(fs_.ActiveDaxMappings(), 1u);
+  ASSERT_TRUE(fs_.DaxUnmap(*mapping).ok());
+  EXPECT_EQ(fs_.ActiveDaxMappings(), 0u);
+}
+
+TEST_F(NovaFsTest, DaxUnmapRejectsDeadOrUnmatchedMappings) {
+  // A mapping that was never handed out is rejected.
+  vfs::DaxMapping dead;
+  EXPECT_EQ(fs_.DaxUnmap(dead).code(), ErrorCode::kInvalidArgument);
+
+  auto h = fs_.Open("/cache", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(fs_.Fallocate(*h, 0, 4096, /*keep_size=*/false).ok());
+  auto mapping = fs_.DaxMap(*h, 0, 4096);
+  ASSERT_TRUE(mapping.ok());
+  ASSERT_TRUE(fs_.DaxUnmap(*mapping).ok());
+  // Unmapping twice has no matching DaxMap left to balance.
+  EXPECT_EQ(fs_.DaxUnmap(*mapping).code(), ErrorCode::kInvalidArgument);
+}
+
 TEST_F(NovaFsTest, FsyncIsCheapOnPm) {
   auto h = fs_.Open("/f", OpenFlags::kCreateRw);
   ASSERT_TRUE(h.ok());

@@ -1,0 +1,340 @@
+// Observability subsystem tests: MetricsRegistry, ScopedTimer, TraceBuffer,
+// Histogram percentile edge cases, the Vfs entry-point instrumentation, and
+// the end-to-end software/media decomposition through the full Mux stack.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/vfs/memfs.h"
+#include "src/vfs/types.h"
+#include "src/vfs/vfs.h"
+#include "tests/mux_rig.h"
+
+namespace mux {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::ScopedTimer;
+using obs::TraceBuffer;
+using obs::TraceEvent;
+
+std::string ReadHostFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- MetricsRegistry ----------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("never.touched"), 0u);
+  registry.Add("a.ns", 5);
+  registry.Add("a.ns", 7);
+  registry.Increment("b.ops");
+  EXPECT_EQ(registry.CounterValue("a.ns"), 12u);
+  EXPECT_EQ(registry.CounterValue("b.ops"), 1u);
+}
+
+TEST(MetricsRegistryTest, ObserveBuildsHistograms) {
+  MetricsRegistry registry;
+  registry.Observe("lat", 100);
+  registry.Observe("lat", 300);
+  registry.Observe("lat", 200);
+  const Histogram hist = registry.HistogramValue("lat");
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.min(), 100u);
+  EXPECT_EQ(hist.max(), 300u);
+  EXPECT_EQ(registry.HistogramValue("never.observed").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, SnapshotsAreSorted) {
+  MetricsRegistry registry;
+  registry.Add("b", 1);
+  registry.Add("a", 1);
+  registry.Add("c", 1);
+  const auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[1].first, "b");
+  EXPECT_EQ(counters[2].first, "c");
+}
+
+TEST(MetricsRegistryTest, ToJsonNamesEverything) {
+  MetricsRegistry registry;
+  registry.Add("device.pm.media_ns", 42);
+  registry.Observe("mux.read.latency_ns", 1000);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"device.pm.media_ns\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"mux.read.latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpToFileWritesJson) {
+  MetricsRegistry registry;
+  registry.Add("some.counter", 7);
+  const std::string path = ::testing::TempDir() + "/obs_metrics_dump.json";
+  ASSERT_TRUE(registry.DumpToFile(path).ok());
+  const std::string contents = ReadHostFile(path);
+  EXPECT_NE(contents.find("\"some.counter\":7"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistryTest, ResetClears) {
+  MetricsRegistry registry;
+  registry.Add("a", 1);
+  registry.Observe("h", 10);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue("a"), 0u);
+  EXPECT_TRUE(registry.Counters().empty());
+  EXPECT_EQ(registry.HistogramValue("h").count(), 0u);
+}
+
+// ---- ScopedTimer --------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsSimulatedElapsedOnDestruction) {
+  SimClock clock;
+  MetricsRegistry registry;
+  {
+    ScopedTimer timer(&registry, &clock, "op.ns");
+    clock.Advance(500);
+  }
+  const Histogram hist = registry.HistogramValue("op.ns");
+  ASSERT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.max(), 500u);
+}
+
+TEST(ScopedTimerTest, StopIsIdempotent) {
+  SimClock clock;
+  MetricsRegistry registry;
+  ScopedTimer timer(&registry, &clock, "op.ns");
+  clock.Advance(200);
+  EXPECT_EQ(timer.Stop(), 200u);
+  clock.Advance(999);
+  timer.Stop();  // second Stop (and the destructor) must not re-record
+  EXPECT_EQ(registry.HistogramValue("op.ns").count(), 1u);
+  EXPECT_EQ(registry.HistogramValue("op.ns").max(), 200u);
+}
+
+TEST(ScopedTimerTest, NullRegistryIsANoOp) {
+  SimClock clock;
+  ScopedTimer timer(nullptr, &clock, "op.ns");
+  clock.Advance(100);
+  EXPECT_EQ(timer.Stop(), 100u);  // still measures, just records nowhere
+}
+
+// ---- TraceBuffer --------------------------------------------------------
+
+TraceEvent Event(const char* op, SimTime start) {
+  TraceEvent event;
+  event.layer = "test";
+  event.op = op;
+  event.start_ns = start;
+  return event;
+}
+
+TEST(TraceBufferTest, RingKeepsMostRecent) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 6; ++i) {
+    buffer.Record(Event(std::to_string(i).c_str(), i));
+  }
+  EXPECT_EQ(buffer.recorded(), 6u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  const auto events = buffer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().op, "2");  // oldest retained
+  EXPECT_EQ(events.back().op, "5");   // newest
+}
+
+TEST(TraceBufferTest, ToJsonHasCountsAndEvents) {
+  TraceBuffer buffer(4);
+  TraceEvent event = Event("read", 10);
+  event.tier = 1;
+  event.bytes = 4096;
+  event.duration_ns = 99;
+  buffer.Record(event);
+  const std::string json = buffer.ToJson();
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+}
+
+TEST(TraceBufferTest, ClearEmptiesTheRing) {
+  TraceBuffer buffer(4);
+  buffer.Record(Event("x", 0));
+  buffer.Clear();
+  EXPECT_TRUE(buffer.Events().empty());
+}
+
+// ---- Histogram percentile edge cases ------------------------------------
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  Histogram hist;
+  EXPECT_EQ(hist.Percentile(50), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleValueEveryPercentile) {
+  Histogram hist;
+  hist.Add(1000);
+  // One sample in the [512, 1024) bucket: interpolation would undershoot at
+  // p0 and overshoot at p100 without the clamp to the observed range.
+  EXPECT_EQ(hist.Percentile(0), 1000.0);
+  EXPECT_EQ(hist.Percentile(50), 1000.0);
+  EXPECT_EQ(hist.Percentile(100), 1000.0);
+}
+
+TEST(HistogramPercentileTest, PercentilesClampToObservedRange) {
+  Histogram hist;
+  hist.Add(600);
+  hist.Add(1000);
+  EXPECT_EQ(hist.Percentile(0), 600.0);     // not the bucket floor (512)
+  EXPECT_EQ(hist.Percentile(100), 1000.0);  // not the bucket ceiling (1024)
+  const double p50 = hist.Percentile(50);
+  EXPECT_GE(p50, 600.0);
+  EXPECT_LE(p50, 1000.0);
+}
+
+TEST(HistogramPercentileTest, MergeThenPercentile) {
+  Histogram fast;
+  Histogram slow;
+  for (int i = 0; i < 10; ++i) {
+    fast.Add(100);
+    slow.Add(100000);
+  }
+  fast.Merge(slow);
+  EXPECT_EQ(fast.count(), 20u);
+  EXPECT_EQ(fast.Percentile(0), 100.0);
+  EXPECT_EQ(fast.Percentile(100), 100000.0);
+  EXPECT_LT(fast.Percentile(10), 1000.0);   // the fast half
+  EXPECT_GT(fast.Percentile(90), 50000.0);  // the slow half
+}
+
+// ---- Vfs entry-point instrumentation ------------------------------------
+
+TEST(VfsObsTest, RecordsPerOpLatencyAndTrace) {
+  SimClock clock;
+  vfs::MemFs memfs(&clock);
+  vfs::Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("/mnt/mem", &memfs).ok());
+  obs::MetricsRegistry metrics;
+  obs::TraceBuffer trace(64);
+  vfs.SetObs(&metrics, &trace, &clock);
+
+  auto handle = vfs.Open("/mnt/mem/f", vfs::OpenFlags::kCreateRw);
+  ASSERT_TRUE(handle.ok());
+  std::vector<uint8_t> data(4096, 0xCD);
+  ASSERT_TRUE(vfs.Write(*handle, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(vfs.Read(*handle, 0, data.size(), data.data()).ok());
+  ASSERT_TRUE(vfs.Fsync(*handle).ok());
+  ASSERT_TRUE(vfs.Close(*handle).ok());
+
+  EXPECT_EQ(metrics.HistogramValue("vfs.open.latency_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("vfs.write.latency_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("vfs.read.latency_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("vfs.fsync.latency_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("vfs.close.latency_ns").count(), 1u);
+
+  bool saw_write = false;
+  for (const auto& event : trace.Events()) {
+    EXPECT_EQ(event.layer, "vfs");
+    if (event.op == "write" && event.bytes == data.size()) {
+      saw_write = true;
+    }
+  }
+  EXPECT_TRUE(saw_write);
+}
+
+TEST(VfsObsTest, DetachStopsRecording) {
+  SimClock clock;
+  vfs::MemFs memfs(&clock);
+  vfs::Vfs vfs;
+  ASSERT_TRUE(vfs.Mount("/mnt/mem", &memfs).ok());
+  obs::MetricsRegistry metrics;
+  vfs.SetObs(&metrics, nullptr, &clock);
+  auto handle = vfs.Open("/mnt/mem/f", vfs::OpenFlags::kCreateRw);
+  ASSERT_TRUE(handle.ok());
+  vfs.SetObs(nullptr, nullptr, nullptr);
+  ASSERT_TRUE(vfs.Close(*handle).ok());
+  EXPECT_EQ(metrics.HistogramValue("vfs.open.latency_ns").count(), 1u);
+  EXPECT_EQ(metrics.HistogramValue("vfs.close.latency_ns").count(), 0u);
+}
+
+// ---- End-to-end through the full Mux stack ------------------------------
+
+TEST(MuxObsTest, DecomposesSoftwareAndMediaTime) {
+  testing::MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  auto handle = mux.Open("/f", vfs::OpenFlags::kCreateRw);
+  ASSERT_TRUE(handle.ok());
+  std::vector<uint8_t> data(256 * 1024, 0x5A);
+  ASSERT_TRUE(mux.Write(*handle, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.Fsync(*handle, false).ok());
+  std::vector<uint8_t> out(4096);
+  for (uint64_t off = 0; off < data.size(); off += 64 * 1024) {
+    ASSERT_TRUE(mux.Read(*handle, off, out.size(), out.data()).ok());
+  }
+
+  const auto& metrics = mux.metrics();
+  // Mux's own cost-model charges, decomposed per step.
+  EXPECT_GT(metrics.CounterValue("mux.sw.total_ns"), 0u);
+  EXPECT_GT(metrics.CounterValue("mux.sw.dispatch_ns"), 0u);
+  EXPECT_GT(metrics.CounterValue("mux.sw.blt_ns"), 0u);
+  // The devices published their media time into the same registry.
+  const uint64_t media = metrics.CounterValue("device.pm.media_ns") +
+                         metrics.CounterValue("device.ssd.media_ns") +
+                         metrics.CounterValue("device.hdd.media_ns");
+  EXPECT_GT(media, 0u);
+  // Per-op latency distributions cover the ops we issued.
+  EXPECT_GE(metrics.HistogramValue("mux.read.latency_ns").count(), 4u);
+  EXPECT_GE(metrics.HistogramValue("mux.write.latency_ns").count(), 1u);
+  // Software + media can never exceed total elapsed simulated time.
+  EXPECT_LE(metrics.CounterValue("mux.sw.total_ns") + media,
+            static_cast<uint64_t>(rig.clock().Now()));
+
+  // The trace interleaves mux-level ops with the device ops they caused.
+  bool saw_mux = false;
+  bool saw_device = false;
+  for (const auto& event : mux.trace().Events()) {
+    saw_mux = saw_mux || event.layer == "mux";
+    saw_device = saw_device || event.layer == "device";
+  }
+  EXPECT_GT(mux.trace().recorded(), 0u);
+  EXPECT_TRUE(saw_mux);
+  EXPECT_TRUE(saw_device);
+}
+
+TEST(MuxObsTest, MetricsReportAndDump) {
+  testing::MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto handle = mux.Open("/f", vfs::OpenFlags::kCreateRw);
+  ASSERT_TRUE(handle.ok());
+  std::vector<uint8_t> data(4096, 1);
+  ASSERT_TRUE(mux.Write(*handle, 0, data.data(), data.size()).ok());
+
+  const std::string report = mux.MetricsReport();
+  EXPECT_NE(report.find("mux.sw.total_ns"), std::string::npos);
+  EXPECT_NE(report.find("\"histograms\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/mux_obs_dump.json";
+  ASSERT_TRUE(mux.DumpMetrics(path).ok());
+  EXPECT_NE(ReadHostFile(path).find("mux.sw.total_ns"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mux
