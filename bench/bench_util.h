@@ -91,6 +91,66 @@ inline void PrintRow(const char* label, double value, const char* unit) {
   std::printf("  %-38s %12.2f %s\n", label, value, unit);
 }
 
+// Tiny structured-result emitter: benchmarks append named scalar results
+// grouped by scenario and dump one JSON file the analysis scripts (and CI)
+// can diff across runs. Insertion order is preserved; values print with
+// enough precision to round-trip doubles.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& scenario, const std::string& key, double value) {
+    for (auto& s : scenarios_) {
+      if (s.name == scenario) {
+        s.values.emplace_back(key, value);
+        return;
+      }
+    }
+    scenarios_.push_back({scenario, {{key, value}}});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n";
+    out += "  \"scenarios\": {\n";
+    for (size_t i = 0; i < scenarios_.size(); ++i) {
+      out += "    \"" + scenarios_[i].name + "\": {";
+      const auto& values = scenarios_[i].values;
+      for (size_t j = 0; j < values.size(); ++j) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", values[j].second);
+        out += "\n      \"" + values[j].first + "\": " + buf;
+        out += j + 1 < values.size() ? "," : "\n    ";
+      }
+      out += i + 1 < scenarios_.size() ? "},\n" : "}\n";
+    }
+    out += "  }\n}\n";
+    return out;
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (ok) {
+      std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  struct Scenario {
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::string bench_name_;
+  std::vector<Scenario> scenarios_;
+};
+
 }  // namespace mux::bench
 
 #endif  // MUX_BENCH_BENCH_UTIL_H_

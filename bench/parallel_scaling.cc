@@ -1,0 +1,184 @@
+// Parallel split-I/O dispatch scaling (ISSUE 3).
+//
+// Two experiments, both on the full Mux stack rig:
+//   1. split_read     — one file striped across PM/SSD/HDD (segment sizes
+//                       balanced inversely to tier speed so no single tier
+//                       dominates), read end-to-end in one call. Serial
+//                       dispatch charges the sum of the per-tier chains;
+//                       parallel dispatch charges the max. The ratio is the
+//                       headline number (acceptance: < 0.6).
+//   2. reader_scaling — N threads concurrently re-reading a PM-resident
+//                       file. Readers hold the inode lock shared and their
+//                       per-op time cursors overlap, so simulated elapsed
+//                       time should stay near the single-thread time as N
+//                       grows (ideal: flat).
+//
+// Results go to stdout and BENCH_parallel.json.
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace mux::bench {
+namespace {
+
+constexpr uint64_t kBlockSize = core::Mux::kBlockSize;
+constexpr uint64_t kMiB = 1ULL << 20;
+
+// Segment sizes chosen so each tier's chain costs a few ms: a balanced
+// split shows the overlap win; an equal split would be HDD-dominated and
+// hide it (see DESIGN.md "Concurrency model").
+constexpr uint64_t kPmBytes = 40 * kMiB;
+constexpr uint64_t kSsdBytes = 4 * kMiB;
+constexpr uint64_t kHddBytes = 768 * 1024;
+constexpr uint64_t kTotalBytes = kPmBytes + kSsdBytes + kHddBytes;
+
+// Builds the striped file and times one full-span read. Returns simulated ms.
+double SplitReadMs(bool parallel_dispatch) {
+  core::Mux::Options options;
+  options.parallel_dispatch = parallel_dispatch;
+  // Shrink the block FSes' DRAM page caches so the SSD/HDD segments actually
+  // hit media — with the default 16 MiB caches the freshly migrated segments
+  // would be read back from DRAM and the experiment would only measure PM.
+  MuxRigSizes sizes;
+  sizes.xfslite_cache_pages = 64;
+  sizes.extlite_cache_pages = 64;
+  MuxRig rig(options, sizes);
+  if (!rig.ok()) {
+    std::fprintf(stderr, "rig setup failed\n");
+    std::exit(1);
+  }
+  auto& mux = rig.mux();
+  auto handle = mux.Open("/split", vfs::OpenFlags::kCreateRw);
+  if (!handle.ok() ||
+      !SequentialWrite(mux, *handle, kTotalBytes, kMiB, /*seed=*/42).ok()) {
+    std::fprintf(stderr, "split file setup failed\n");
+    std::exit(1);
+  }
+  // Fresh writes land on the fastest tier; carve the tail out to SSD/HDD.
+  Status ssd = mux.MigrateRange("/split", kPmBytes / kBlockSize,
+                                kSsdBytes / kBlockSize, rig.ssd_tier());
+  Status hdd = mux.MigrateRange("/split", (kPmBytes + kSsdBytes) / kBlockSize,
+                                kHddBytes / kBlockSize, rig.hdd_tier());
+  if (!ssd.ok() || !hdd.ok()) {
+    std::fprintf(stderr, "migration failed\n");
+    std::exit(1);
+  }
+  std::vector<uint8_t> buf(kTotalBytes);
+  const SimTime start = rig.clock().Now();
+  auto got = mux.Read(*handle, 0, kTotalBytes, buf.data());
+  if (!got.ok() || *got != kTotalBytes) {
+    std::fprintf(stderr, "split read failed\n");
+    std::exit(1);
+  }
+  (void)mux.Close(*handle);
+  MaybeDumpMetrics(mux, parallel_dispatch ? "split_parallel" : "split_serial");
+  return NsToSeconds(rig.clock().Now() - start) * 1e3;
+}
+
+constexpr uint64_t kHotFileBytes = 48 * kMiB;
+
+// Times `threads` concurrent readers each reading the whole PM-resident file
+// in one call. One big op per reader is deliberate: the op spends several
+// milliseconds of *real* time inside the PM file system, so even on a single
+// core every reader has installed its per-op time cursor (all anchored at
+// the same origin) before the first one finishes, and the cursors merge via
+// CAS-max — the overlap being measured is structural, not a scheduling
+// accident. Returns simulated ms until the last reader finishes.
+double ConcurrentReadMs(MuxRig& rig, int threads) {
+  auto& mux = rig.mux();
+  // Start line: a common wall-clock deadline instead of a spin barrier. A
+  // spinner burns a whole scheduler slice before the next thread gets the
+  // CPU; sleepers all wake at the deadline, install their cursors within
+  // microseconds, and block on the PM file system's lock (yielding the CPU
+  // to the next reader).
+  const auto start_line =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  const SimTime start = rig.clock().Now();
+  std::vector<std::thread> readers;
+  readers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    readers.emplace_back([&mux, start_line] {
+      auto handle = mux.Open("/hot", vfs::OpenFlags::kRead);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "reader open failed\n");
+        std::exit(1);
+      }
+      std::vector<uint8_t> buf(kHotFileBytes);
+      std::this_thread::sleep_until(start_line);
+      auto got = mux.Read(*handle, 0, kHotFileBytes, buf.data());
+      if (!got.ok() || *got != kHotFileBytes) {
+        std::fprintf(stderr, "reader read failed\n");
+        std::exit(1);
+      }
+      (void)mux.Close(*handle);
+    });
+  }
+  for (auto& r : readers) {
+    r.join();
+  }
+  return NsToSeconds(rig.clock().Now() - start) * 1e3;
+}
+
+int Run() {
+  JsonReport report("parallel_scaling");
+
+  PrintHeader("Split read: serial vs parallel dispatch (PM 40M / SSD 4M / HDD 0.75M)");
+  const double serial_ms = SplitReadMs(/*parallel_dispatch=*/false);
+  const double parallel_ms = SplitReadMs(/*parallel_dispatch=*/true);
+  const double ratio = serial_ms > 0 ? parallel_ms / serial_ms : 0.0;
+  PrintRow("serial dispatch", serial_ms, "ms (simulated)");
+  PrintRow("parallel dispatch", parallel_ms, "ms (simulated)");
+  PrintRow("parallel / serial", ratio, "(acceptance: < 0.6)");
+  report.Add("split_read", "serial_ms", serial_ms);
+  report.Add("split_read", "parallel_ms", parallel_ms);
+  report.Add("split_read", "ratio", ratio);
+
+  PrintHeader("Concurrent readers of a PM-resident 48 MiB file");
+  MuxRig rig;
+  if (!rig.ok()) {
+    std::fprintf(stderr, "rig setup failed\n");
+    return 1;
+  }
+  {
+    auto handle = rig.mux().Open("/hot", vfs::OpenFlags::kCreateRw);
+    if (!handle.ok() ||
+        !SequentialWrite(rig.mux(), *handle, kHotFileBytes, kMiB, /*seed=*/7)
+             .ok()) {
+      std::fprintf(stderr, "hot file setup failed\n");
+      return 1;
+    }
+    (void)rig.mux().Close(*handle);
+  }
+  double one_thread_ms = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    const double ms = ConcurrentReadMs(rig, threads);
+    if (threads == 1) {
+      one_thread_ms = ms;
+    }
+    // Ideal concurrent-reader scaling is flat: N threads re-reading the same
+    // cached data take the same simulated time as one.
+    const double vs_ideal = one_thread_ms > 0 ? ms / one_thread_ms : 0.0;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d reader(s)", threads);
+    PrintRow(label, ms, "ms (simulated)");
+    char key[64];
+    std::snprintf(key, sizeof(key), "readers_%d_ms", threads);
+    report.Add("reader_scaling", key, ms);
+    std::snprintf(key, sizeof(key), "readers_%d_vs_ideal", threads);
+    report.Add("reader_scaling", key, vs_ideal);
+  }
+
+  if (!report.WriteTo("BENCH_parallel.json")) {
+    std::fprintf(stderr, "failed to write BENCH_parallel.json\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mux::bench
+
+int main() { return mux::bench::Run(); }

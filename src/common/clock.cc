@@ -1,4 +1,9 @@
 #include "src/common/clock.h"
 
-// SimClock is header-only today; this translation unit anchors the library
-// and keeps room for future vtable-carrying clock variants.
+namespace mux {
+
+// Per-thread top of the cursor stack (see ScopedTimeCursor). One variable
+// serves every SimClock instance; FindCursor() filters by clock identity.
+thread_local SimClock::Cursor* SimClock::tls_top_ = nullptr;
+
+}  // namespace mux

@@ -9,6 +9,19 @@
 // file systems, Mux). Threads advance it with atomic adds, so concurrent
 // stress tests remain safe; single-threaded benchmarks remain exactly
 // reproducible.
+//
+// Time cursors. A split request's segments execute on different devices
+// concurrently, so their latencies must overlap (max) rather than accumulate
+// (sum). ScopedTimeCursor gives the current thread a private view of the
+// clock: while installed, Now()/Advance() on that thread read and charge a
+// thread-local accumulator instead of the shared counter. When the cursor is
+// destroyed it merges — a nested cursor adds its elapsed time to the
+// enclosing cursor for the same clock, the outermost cursor pushes the shared
+// clock forward to `origin + local` with a monotonic CAS-max (AdvanceTo).
+// Executor workers instead call Release() to pop without merging and report
+// their elapsed time to the dispatcher, which charges the max over the
+// concurrent chains. A strictly single-threaded charge sequence produces
+// bit-identical clock values with or without cursors.
 #ifndef MUX_COMMON_CLOCK_H_
 #define MUX_COMMON_CLOCK_H_
 
@@ -20,23 +33,131 @@ namespace mux {
 // Nanoseconds of simulated time.
 using SimTime = uint64_t;
 
+class ScopedTimeCursor;
+
 class SimClock {
  public:
   SimClock() = default;
   SimClock(const SimClock&) = delete;
   SimClock& operator=(const SimClock&) = delete;
 
-  SimTime Now() const { return now_.load(std::memory_order_relaxed); }
+  // Current simulated time as seen by this thread: the innermost cursor view
+  // when one is installed for this clock, the shared counter otherwise.
+  SimTime Now() const {
+    if (const Cursor* c = FindCursor()) {
+      return c->origin + c->local;
+    }
+    return now_.load(std::memory_order_relaxed);
+  }
 
-  // Charges `ns` of elapsed simulated time and returns the new time.
+  // Charges `ns` of elapsed simulated time and returns the new time. With a
+  // cursor installed the charge lands in the cursor's private accumulator.
   SimTime Advance(SimTime ns) {
+    if (Cursor* c = FindCursor()) {
+      c->local += ns;
+      return c->origin + c->local;
+    }
     return now_.fetch_add(ns, std::memory_order_relaxed) + ns;
+  }
+
+  // Monotonically raises the shared counter to at least `target` and returns
+  // the resulting time. Never consults cursors: this is the merge primitive
+  // concurrent chains use to publish their private end times.
+  SimTime AdvanceTo(SimTime target) {
+    SimTime cur = now_.load(std::memory_order_relaxed);
+    while (cur < target &&
+           !now_.compare_exchange_weak(cur, target, std::memory_order_relaxed)) {
+    }
+    return cur < target ? target : cur;
   }
 
   void Reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
+  friend class ScopedTimeCursor;
+
+  // One stack frame of the per-thread cursor stack. Frames live inside
+  // ScopedTimeCursor objects (automatic storage), linked LIFO through prev.
+  struct Cursor {
+    const SimClock* clock = nullptr;
+    SimTime origin = 0;  // shared-clock (or parent-cursor) time at install
+    SimTime local = 0;   // simulated ns charged through this cursor
+    Cursor* prev = nullptr;
+  };
+
+  // Innermost cursor on this thread belonging to this clock, or nullptr.
+  // Cursors of unrelated clocks (common in tests running several rigs) are
+  // skipped.
+  Cursor* FindCursor() const {
+    for (Cursor* c = tls_top_; c != nullptr; c = c->prev) {
+      if (c->clock == this) {
+        return c;
+      }
+    }
+    return nullptr;
+  }
+
+  static thread_local Cursor* tls_top_;
   std::atomic<SimTime> now_{0};
+};
+
+// RAII installation of a private time cursor for `clock` on this thread.
+class ScopedTimeCursor {
+ public:
+  // Starts the cursor at the current (cursor-aware) time, so nesting works:
+  // a nested cursor begins where the enclosing one currently stands.
+  explicit ScopedTimeCursor(SimClock* clock)
+      : ScopedTimeCursor(clock, clock->Now()) {}
+
+  // Starts the cursor at an explicit origin — used by executor workers to
+  // continue a chain from the dispatcher's submit-time clock value.
+  ScopedTimeCursor(SimClock* clock, SimTime origin) : clock_(clock) {
+    frame_.clock = clock;
+    frame_.origin = origin;
+    frame_.prev = SimClock::tls_top_;
+    parent_ = clock->FindCursor();
+    SimClock::tls_top_ = &frame_;
+  }
+
+  ScopedTimeCursor(const ScopedTimeCursor&) = delete;
+  ScopedTimeCursor& operator=(const ScopedTimeCursor&) = delete;
+
+  ~ScopedTimeCursor() {
+    if (active_) {
+      Merge();
+    }
+  }
+
+  // Simulated ns charged through this cursor so far.
+  SimTime local() const { return frame_.local; }
+
+  // Pops the cursor without publishing its time anywhere; returns the
+  // accumulated charge. The caller owns merging (e.g. max over chains).
+  SimTime Release() {
+    Pop();
+    return frame_.local;
+  }
+
+ private:
+  void Merge() {
+    Pop();
+    if (parent_ != nullptr) {
+      parent_->local += frame_.local;
+    } else {
+      clock_->AdvanceTo(frame_.origin + frame_.local);
+    }
+  }
+
+  void Pop() {
+    // Scoped objects destruct in LIFO order, so this frame is the top.
+    SimClock::tls_top_ = frame_.prev;
+    active_ = false;
+  }
+
+  SimClock* clock_;
+  SimClock::Cursor frame_;
+  SimClock::Cursor* parent_ = nullptr;  // enclosing cursor for the same clock
+  bool active_ = true;
 };
 
 // A stopwatch over simulated time.

@@ -1,0 +1,124 @@
+#include "src/core/io_executor.h"
+
+#include <utility>
+
+namespace mux::core {
+
+IoExecutor::IoExecutor(SimClock* clock, int threads_per_tier)
+    : clock_(clock), threads_per_tier_(threads_per_tier < 1 ? 1 : threads_per_tier) {}
+
+IoExecutor::~IoExecutor() { Shutdown(); }
+
+void IoExecutor::AddTier(TierId tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = pools_[tier];
+  if (slot != nullptr) {
+    return;
+  }
+  slot = std::make_unique<TierPool>();
+  TierPool* pool = slot.get();
+  for (int i = 0; i < threads_per_tier_; ++i) {
+    pool->workers.emplace_back([this, pool] { WorkerLoop(pool); });
+  }
+}
+
+void IoExecutor::RemoveTier(TierId tier) {
+  std::unique_ptr<TierPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pools_.find(tier);
+    if (it == pools_.end()) {
+      return;
+    }
+    pool = std::move(it->second);
+    pools_.erase(it);
+  }
+  StopPool(pool.get());
+}
+
+void IoExecutor::Shutdown() {
+  std::map<TierId, std::unique_ptr<TierPool>> pools;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pools.swap(pools_);
+  }
+  for (auto& [tier, pool] : pools) {
+    StopPool(pool.get());
+  }
+}
+
+void IoExecutor::StopPool(TierPool* pool) {
+  {
+    std::lock_guard<std::mutex> lock(pool->mu);
+    pool->stop = true;
+  }
+  pool->cv.notify_all();
+  for (std::thread& t : pool->workers) {
+    t.join();
+  }
+  // Workers drain the queue before exiting, but belt-and-braces: complete
+  // anything that slipped in after the last drain, inline.
+  for (Job& job : pool->queue) {
+    job.done.set_value(RunJob(clock_, job.origin, job.fn));
+  }
+  pool->queue.clear();
+}
+
+IoCompletion IoExecutor::RunJob(SimClock* clock, SimTime origin,
+                                const std::function<Status()>& fn) {
+  ScopedTimeCursor cursor(clock, origin);
+  IoCompletion completion;
+  completion.status = fn();
+  completion.elapsed_ns = cursor.Release();
+  return completion;
+}
+
+void IoExecutor::WorkerLoop(TierPool* pool) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(pool->mu);
+      pool->cv.wait(lock, [pool] { return pool->stop || !pool->queue.empty(); });
+      if (pool->queue.empty()) {
+        return;  // stop requested and nothing left to drain
+      }
+      job = std::move(pool->queue.front());
+      pool->queue.pop_front();
+    }
+    job.done.set_value(RunJob(clock_, job.origin, job.fn));
+  }
+}
+
+std::future<IoCompletion> IoExecutor::Submit(TierId tier, SimTime origin,
+                                             std::function<Status()> fn) {
+  Job job;
+  job.origin = origin;
+  job.fn = std::move(fn);
+  std::future<IoCompletion> result = job.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pools_.find(tier);
+    if (it != pools_.end()) {
+      TierPool* pool = it->second.get();
+      {
+        std::lock_guard<std::mutex> pool_lock(pool->mu);
+        if (!pool->stop) {
+          pool->queue.push_back(std::move(job));
+          pool->cv.notify_one();
+          return result;
+        }
+      }
+    }
+  }
+  // No pool (unknown tier or shutting down): run inline with the same cursor
+  // discipline so accounting stays identical.
+  job.done.set_value(RunJob(clock_, origin, job.fn));
+  return result;
+}
+
+bool IoExecutor::HasPool(TierId tier) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pools_.count(tier) != 0;
+}
+
+}  // namespace mux::core

@@ -1,0 +1,95 @@
+// Per-tier worker pools for cross-tier parallel dispatch.
+//
+// Mux's split I/O turns one request into segments that land on different
+// devices; the executor lets those segments run concurrently, one small
+// worker pool per registered tier. A submitted job carries the dispatcher's
+// clock value as its chain origin: the worker installs a private time cursor
+// there (see ScopedTimeCursor), runs the closure, and reports the simulated
+// ns the chain consumed. The dispatcher joins the futures and charges the
+// *max* over the per-tier chains — concurrent chains overlap instead of
+// summing, which is the whole point of splitting across devices.
+//
+// Jobs submitted to an unknown tier (or after Stop) execute inline on the
+// caller's thread so shutdown never strands work.
+#ifndef MUX_CORE_IO_EXECUTOR_H_
+#define MUX_CORE_IO_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/tier.h"
+
+namespace mux::core {
+
+// Result of one executed chain: its status plus the simulated time the chain
+// consumed (private cursor charge, not yet merged into the shared clock).
+struct IoCompletion {
+  Status status;
+  SimTime elapsed_ns = 0;
+};
+
+class IoExecutor {
+ public:
+  // `threads_per_tier` workers are spawned lazily per AddTier call.
+  IoExecutor(SimClock* clock, int threads_per_tier);
+  ~IoExecutor();
+
+  IoExecutor(const IoExecutor&) = delete;
+  IoExecutor& operator=(const IoExecutor&) = delete;
+
+  // Registers a tier and spins up its worker pool. Idempotent.
+  void AddTier(TierId tier);
+
+  // Drains and joins the tier's pool. Subsequent submits run inline.
+  void RemoveTier(TierId tier);
+
+  // Stops every pool (called from the destructor as well).
+  void Shutdown();
+
+  // Schedules `fn` on `tier`'s pool. The worker installs a time cursor at
+  // `origin` so the chain's simulated charges stay private; the completion
+  // carries the accumulated ns. Falls back to inline execution (with the
+  // same cursor discipline) when the tier has no pool.
+  std::future<IoCompletion> Submit(TierId tier, SimTime origin,
+                                   std::function<Status()> fn);
+
+  bool HasPool(TierId tier) const;
+
+ private:
+  struct Job {
+    SimTime origin = 0;
+    std::function<Status()> fn;
+    std::promise<IoCompletion> done;
+  };
+
+  struct TierPool {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    std::vector<std::thread> workers;
+    bool stop = false;
+  };
+
+  static IoCompletion RunJob(SimClock* clock, SimTime origin,
+                             const std::function<Status()>& fn);
+  void WorkerLoop(TierPool* pool);
+  void StopPool(TierPool* pool);
+
+  SimClock* clock_;
+  const int threads_per_tier_;
+  mutable std::mutex mu_;  // guards pools_ map shape only
+  std::map<TierId, std::unique_ptr<TierPool>> pools_;
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_IO_EXECUTOR_H_

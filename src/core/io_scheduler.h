@@ -71,13 +71,22 @@ class IoScheduler {
   // Enqueues; execution happens at dispatch time.
   Status Submit(IoRequest request);
 
+  // How RunAll drains the per-tier queues.
+  //   kSerial   — round-robin across tiers on the calling thread (the
+  //               original behavior; simulated time sums across tiers).
+  //   kParallel — one drain thread per non-empty tier, each under a private
+  //               time cursor anchored at the drain start; the shared clock
+  //               advances by the *max* per-tier drain time, so independent
+  //               tiers overlap exactly as independent devices would.
+  enum class DrainMode { kSerial, kParallel };
+
   // Dispatches every queued request per the algorithm; per-tier queues run
   // round-robin so one busy tier cannot starve the others. Returns the
   // number that executed successfully. A request whose execute() fails does
   // NOT abort the batch: the remaining requests still dispatch, and the
   // failure is recorded in SchedulerStats (failures / failed_tiers /
   // last_error) for the caller to inspect.
-  Result<uint64_t> RunAll();
+  Result<uint64_t> RunAll(DrainMode mode = DrainMode::kSerial);
   // Dispatches at most one request from the given tier.
   Result<bool> RunOne(TierId tier);
 

@@ -32,6 +32,10 @@ Mux::Mux(SimClock* clock, Options options)
   } else {
     policy_ = MakeLruPolicy();
   }
+  if (options_.parallel_dispatch) {
+    executor_ =
+        std::make_unique<IoExecutor>(clock_, options_.io_threads_per_tier);
+  }
 }
 
 void Mux::RecordOp(const char* op, std::string_view hist, uint64_t bytes,
@@ -49,10 +53,14 @@ void Mux::RecordOp(const char* op, std::string_view hist, uint64_t bytes,
 
 Mux::~Mux() {
   StopBackgroundMigration();
+  // Quiesce the executor before tearing down state its workers reference.
+  if (executor_ != nullptr) {
+    executor_->Shutdown();
+  }
   // Close every shadow handle still open.
   std::lock_guard<std::mutex> lock(ns_mu_);
   for (auto& [ino, inode] : inodes_) {
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     (void)CloseShadowsLocked(*inode);
   }
 }
@@ -78,6 +86,9 @@ Result<TierId> Mux::AddTier(const std::string& name, vfs::FileSystem* fs,
   tier.speed_rank = static_cast<uint32_t>(tiers_.size());
   const TierId id = tier.id;
   tiers_.push_back(std::move(tier));
+  if (executor_ != nullptr) {
+    executor_->AddTier(id);
+  }
 
   // The SCM cache wants the (first) DAX-capable tier.
   if (options_.enable_scm_cache && cache_ == nullptr && fs->SupportsDax()) {
@@ -126,7 +137,7 @@ Status Mux::RemoveTier(const std::string& name) {
   for (const auto& inode : files) {
     uint64_t blocks = 0;
     {
-      std::lock_guard<std::mutex> file_lock(inode->mu);
+      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
       blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
       if (inode->blt->BlocksOnTier(removed) == 0) {
         continue;
@@ -137,10 +148,11 @@ Status Mux::RemoveTier(const std::string& name) {
   }
   std::lock_guard<std::mutex> lock(ns_mu_);
   for (const auto& [ino, inode] : inodes_) {
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     if (inode->blt != nullptr && inode->blt->BlocksOnTier(removed) != 0) {
       return BusyError("tier still holds data: " + name);
     }
+    std::lock_guard<std::mutex> shadow_lock(inode->shadow_mu);
     auto it = inode->shadows.find(removed);
     if (it != inode->shadows.end()) {
       for (const TierInfo& tier : tiers_) {
@@ -157,6 +169,9 @@ Status Mux::RemoveTier(const std::string& name) {
                                 return t.id == removed;
                               }),
                tiers_.end());
+  if (executor_ != nullptr) {
+    executor_->RemoveTier(removed);
+  }
   return Status::Ok();
 }
 
@@ -303,6 +318,11 @@ Status Mux::EnsureShadowDirs(const TierInfo& tier, const std::string& path) {
 Result<vfs::FileHandle> Mux::ShadowHandleLocked(MuxInode& inode,
                                                 const TierInfo& tier,
                                                 bool create) {
+  // shadow_mu (not inode.mu) owns the map: shared-lock readers open handles
+  // lazily and the migration copy phase reads them with no file lock, so
+  // every access funnels through here. Held across the underlying Open so
+  // two racing readers cannot double-open the same shadow.
+  std::lock_guard<std::mutex> shadow_lock(inode.shadow_mu);
   auto it = inode.shadows.find(tier.id);
   if (it != inode.shadows.end()) {
     return it->second;
@@ -324,6 +344,7 @@ Status Mux::CloseShadowsLocked(MuxInode& inode) {
   // by the caller is not needed here because the destructor and unlink paths
   // hold ns_mu_ as well. To stay safe, look up through the member directly —
   // every caller of this function holds ns_mu_.
+  std::lock_guard<std::mutex> shadow_lock(inode.shadow_mu);
   for (const auto& [tier_id, handle] : inode.shadows) {
     for (const TierInfo& tier : tiers_) {
       if (tier.id == tier_id) {
@@ -337,6 +358,9 @@ Status Mux::CloseShadowsLocked(MuxInode& inode) {
 
 void Mux::Touch(MuxInode& inode) {
   const SimTime now = clock_->Now();
+  // meta_mu: Touch runs under a merely-shared file lock on the read path, so
+  // two readers of one file can race here without it.
+  std::lock_guard<std::mutex> meta_lock(inode.meta_mu);
   inode.temperature = Decay(inode.temperature, now - inode.last_access) + 1.0;
   inode.last_access = now;
 }
@@ -362,7 +386,7 @@ Result<vfs::FileHandle> Mux::Open(const std::string& path, uint32_t flags,
       return IsDirError(path);
     }
     if (flags & vfs::OpenFlags::kTruncate) {
-      std::lock_guard<std::mutex> file_lock(inode->mu);
+      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
       MUX_RETURN_IF_ERROR(TruncateLocked(*inode, 0, tiers_));
     }
   } else if (resolved.status().code() == ErrorCode::kNotFound &&
@@ -454,7 +478,7 @@ Status Mux::Rmdir(const std::string& path) {
 
 Status Mux::UnlinkInodeLocked(const std::shared_ptr<MuxInode>& inode) {
   // ns_mu_ held. Drop shadows, shadow files, cache entries, namespace entry.
-  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
   MUX_RETURN_IF_ERROR(CloseShadowsLocked(*inode));
   for (const TierId tier_id : inode->touched_tiers) {
     for (const TierInfo& tier : tiers_) {
@@ -523,7 +547,7 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
   }
 
   {
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     MUX_RETURN_IF_ERROR(CloseShadowsLocked(*inode));
     // Rename the shadow on every tier that may hold it (file: touched
     // tiers; directory: any tier — shadow dirs are not tracked per tier).
@@ -552,7 +576,7 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
     for (auto& [ino, node] : inodes_) {
       if (node->ino != inode->ino &&
           vfs::PathHasPrefix(node->path, old_path)) {
-        std::lock_guard<std::mutex> file_lock(node->mu);
+        std::lock_guard<std::shared_mutex> file_lock(node->mu);
         // Shadow handles hold pre-rename paths on the underlying FSes; the
         // handles stay valid (handle-based I/O), but fresh opens need the
         // new path, so drop the cached ones.
@@ -568,18 +592,21 @@ Result<vfs::FileStat> Mux::Stat(const std::string& path) {
   ChargeDispatch();
   std::lock_guard<std::mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
   return StatForLocked(*inode);
 }
 
 vfs::FileStat Mux::StatForLocked(const MuxInode& inode) const {
-  // Served entirely from the collective inode — no fan-out (§2.3).
+  // Served entirely from the collective inode — no fan-out (§2.3). Callers
+  // hold at least a shared file lock; meta_mu keeps the atime read coherent
+  // against concurrent shared-lock readers updating it.
   vfs::FileStat st;
   st.ino = inode.ino;
   st.type = inode.type;
-  st.size = inode.attrs.size();
   st.allocated_bytes =
       inode.blt != nullptr ? inode.blt->TotalBlocks() * kBlockSize : 0;
+  std::lock_guard<std::mutex> meta_lock(inode.meta_mu);
+  st.size = inode.attrs.size();
   st.atime = inode.attrs.atime();
   st.mtime = inode.attrs.mtime();
   st.ctime = inode.attrs.ctime();
@@ -606,7 +633,7 @@ Result<std::vector<vfs::DirEntry>> Mux::ReadDir(const std::string& path) {
 Result<vfs::FileStat> Mux::FStat(vfs::FileHandle handle) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
-  std::lock_guard<std::mutex> file_lock(ctx.file.inode->mu);
+  std::shared_lock<std::shared_mutex> file_lock(ctx.file.inode->mu);
   return StatForLocked(*ctx.file.inode);
 }
 
@@ -614,7 +641,7 @@ Status Mux::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
   MuxInode& inode = *ctx.file.inode;
-  std::lock_guard<std::mutex> file_lock(inode.mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
   // The caller dictates values; ownership moves to the fastest tier that
   // holds part of the file (or the fastest overall for empty files).
   TierId owner = kInvalidTier;

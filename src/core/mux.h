@@ -23,10 +23,12 @@
 #define MUX_CORE_MUX_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -37,6 +39,7 @@
 #include "src/core/bookkeeper.h"
 #include "src/core/cache_controller.h"
 #include "src/core/cost_model.h"
+#include "src/core/io_executor.h"
 #include "src/core/io_scheduler.h"
 #include "src/core/metadata.h"
 #include "src/core/occ.h"
@@ -74,6 +77,18 @@ class Mux : public vfs::FileSystem {
     std::string meta_path = "/.mux_meta";
     // Capacity of the per-op trace ring buffer (oldest events overwritten).
     size_t trace_capacity = 8192;
+    // Cross-tier parallel dispatch: split-request segments on different
+    // tiers run on per-tier executor pools and their simulated latencies
+    // overlap (max over tiers) instead of accumulating. Single-tier requests
+    // always take the serial path, so disabling this only affects multi-tier
+    // splits.
+    bool parallel_dispatch = true;
+    // Worker threads per tier in the I/O executor (min 1).
+    int io_threads_per_tier = 2;
+    // Policy migration rounds drain the scheduler with one thread per tier
+    // (per-tier ordering preserved) so source reads overlap destination
+    // writes. Serial round-robin drain when false.
+    bool parallel_migration_drain = true;
   };
 
   Mux(SimClock* clock, Options options);
@@ -236,7 +251,22 @@ class Mux : public vfs::FileSystem {
     double temperature = 0.0;
     SimTime last_access = 0;
     uint32_t open_count = 0;
-    std::mutex mu;  // file lock: data path, BLT, attrs
+    // File lock: shared for Read/Stat/FStat, exclusive for anything that
+    // mutates the BLT, size, or shadow layout. See DESIGN.md "Concurrency
+    // model" for the full hierarchy (ns_mu_ -> migrate_mu -> mu ->
+    // shadow_mu/meta_mu).
+    std::shared_mutex mu;
+    // Guards `shadows` and `touched_tiers`: shared-lock readers lazily open
+    // shadow handles, and migration's copy phase reads handles with no file
+    // lock at all, so the map needs its own lock.
+    mutable std::mutex shadow_mu;
+    // Guards the fields shared-lock holders WRITE: atime (+ its owner),
+    // temperature, last_access. Exclusive holders exclude shared holders and
+    // may touch them lock-free, but take it anyway via Touch().
+    mutable std::mutex meta_mu;
+    // Serializes migration passes per inode: OccState has a single
+    // migrating/dirty set, so two concurrent passes would corrupt it.
+    std::mutex migrate_mu;
   };
 
   struct OpenFile {
@@ -276,6 +306,30 @@ class Mux : public vfs::FileSystem {
 
   // ---- data-path internals (inode.mu held) --------------------------------------
   void Touch(MuxInode& inode);
+  // One split-request segment bound for one tier. DispatchSegments groups
+  // jobs per tier (preserving submission order within a tier), fans the
+  // per-tier chains out to the executor, joins them, and charges the MAX of
+  // the chains' simulated times to the caller's clock/cursor — concurrent
+  // tiers overlap. Falls back to running the jobs serially in order (bit-
+  // identical to the pre-parallel code) when parallel dispatch is off, the
+  // executor is absent, or every job targets the same tier.
+  struct SegmentJob {
+    TierId tier = kInvalidTier;
+    std::function<Status()> fn;
+  };
+  Status DispatchSegments(std::vector<SegmentJob> jobs) const;
+  // Serves one mapped run of a read: SCM-cache path (with coalesced miss
+  // fill), plain shadow read, or replica-boundary split. Thread-safe under a
+  // shared inode lock; writes only its own disjoint slice of `out`.
+  Status ReadRunSegment(MuxInode& inode, const OpCtx& ctx,
+                        const TierInfo& tier, uint64_t run_lo, uint64_t run_hi,
+                        uint64_t offset, uint8_t* out);
+  // The SCM-cache read path for one run: probes the cache per block, then
+  // coalesces adjacent missed blocks into run-sized tier reads (split only
+  // at replica-coverage boundaries) and admits every block from that buffer.
+  Status CachedRunRead(MuxInode& inode, const OpCtx& ctx, const TierInfo& tier,
+                       uint64_t run_lo, uint64_t run_hi, uint64_t offset,
+                       uint8_t* out);
   // Reads [offset, offset+length) of one block from `primary_tier`,
   // preferring a faster replica and failing over to the other copy on I/O
   // error.
@@ -346,12 +400,25 @@ class Mux : public vfs::FileSystem {
   std::unordered_map<vfs::FileHandle, OpenFile> open_files_;
   std::unique_ptr<TieringPolicy> policy_;
   std::unique_ptr<CacheController> cache_;
+  std::unique_ptr<IoExecutor> executor_;  // created when parallel_dispatch
   TierId next_tier_id_ = 0;
   vfs::InodeNum next_ino_ = 2;
   vfs::FileHandle next_handle_ = 1;
 
+  // Hot-path counters are lock-free so concurrent readers never serialize on
+  // stats_mu_; the mutex remains only for the cold aggregates (OCC pass
+  // stats, last migration round) and for snapshot reads.
+  struct HotStats {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> split_segments{0};
+    std::atomic<uint64_t> migration_passes{0};
+    std::atomic<uint64_t> migrated_blocks{0};
+    std::atomic<uint64_t> migration_task_failures{0};
+  };
+  mutable HotStats hot_stats_;
   mutable std::mutex stats_mu_;
-  MuxStats stats_;
+  OccStats occ_stats_;
   SchedulerStats last_round_sched_stats_;
 
   std::thread migration_thread_;

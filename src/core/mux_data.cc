@@ -32,8 +32,18 @@ Result<uint64_t> Mux::Read(vfs::FileHandle handle, uint64_t offset,
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kRead));
   MuxInode& inode = *ctx.file.inode;
-  std::lock_guard<std::mutex> file_lock(inode.mu);
-  Result<uint64_t> result = ReadLocked(inode, ctx, offset, length, out);
+  Result<uint64_t> result = uint64_t{0};
+  {
+    // Shared: readers of one file proceed concurrently; writers/truncate/
+    // migration-commit take the exclusive side.
+    std::shared_lock<std::shared_mutex> file_lock(inode.mu);
+    // Per-op time cursor, installed AFTER the lock so ops that actually
+    // serialized on the file lock do not falsely overlap in simulated time.
+    // It merges (cursor destructs before the lock releases) via CAS-max, so
+    // concurrent readers' latencies overlap instead of summing.
+    ScopedTimeCursor op_cursor(clock_);
+    result = ReadLocked(inode, ctx, offset, length, out);
+  }
   RecordOp("read", "mux.read.latency_ns", result.ok() ? *result : 0, start);
   return result;
 }
@@ -53,12 +63,17 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
   const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
   if (runs.size() > 1) {
     ChargeSw("mux.sw.split_ns", options_.costs.split_segment_ns * (runs.size() - 1));
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.split_segments += runs.size() - 1;
+    hot_stats_.split_segments.fetch_add(runs.size() - 1,
+                                        std::memory_order_relaxed);
   }
 
+  // Split the request into per-run segment jobs; holes are served inline
+  // (memset costs no device time). Each job writes a disjoint slice of
+  // `out`, so the segments can run concurrently when they land on different
+  // tiers (DispatchSegments overlaps their simulated latencies).
   TierId last_tier = kInvalidTier;
-  std::vector<uint8_t> block_buf;
+  std::vector<SegmentJob> jobs;
+  jobs.reserve(runs.size());
   for (const auto& run : runs) {
     const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
     const uint64_t run_hi =
@@ -72,76 +87,182 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
     }
     MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers, run.tier));
     last_tier = run.tier;
-
-    // SCM cache path: only for blocks whose home is a slower tier.
-    const bool cacheable = cache_ != nullptr && tier->speed_rank > 0;
-    if (cacheable) {
-      if (block_buf.empty()) {
-        block_buf.resize(kBlockSize);
-      }
-      for (uint64_t pos = run_lo; pos < run_hi;) {
-        const uint64_t block = pos / kBlockSize;
-        const uint64_t in_block = pos % kBlockSize;
-        const uint64_t chunk = std::min(run_hi - pos, kBlockSize - in_block);
-        if (cache_->TryRead(inode.ino, block, in_block, chunk,
-                            out + (pos - offset))) {
-          pos += chunk;
-          continue;
-        }
-        MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers, run.tier,
-                                                  block * kBlockSize,
-                                                  kBlockSize,
-                                                  block_buf.data()));
-        std::memcpy(out + (pos - offset), block_buf.data() + in_block, chunk);
-        cache_->OnMiss(inode.ino, block, block_buf.data());
-        pos += chunk;
-      }
-      continue;
-    }
-
-    if (inode.replicas == nullptr) {
-      MUX_ASSIGN_OR_RETURN(vfs::FileHandle shadow,
-                           ShadowHandleLocked(inode, *tier, false));
-      MUX_ASSIGN_OR_RETURN(uint64_t got,
-                           tier->fs->Read(shadow, run_lo, run_hi - run_lo,
-                                          out + (run_lo - offset)));
-      if (got < run_hi - run_lo) {
-        // The shadow is shorter than the mapping implies (e.g. tail block
-        // of the file): the remainder reads as zeros.
-        std::memset(out + (run_lo - offset) + got, 0, run_hi - run_lo - got);
-      }
-    } else {
-      // Split at replica-coverage boundaries so each piece reads from its
-      // fastest available copy (and can fail over).
-      const uint64_t rb_first = run_lo / kBlockSize;
-      const uint64_t rb_last = (run_hi - 1) / kBlockSize;
-      for (const auto& rrun :
-           inode.replicas->Runs(rb_first, rb_last - rb_first + 1)) {
-        const uint64_t lo =
-            std::max(run_lo, rrun.first_block * kBlockSize);
-        const uint64_t hi = std::min(
-            run_hi, (rrun.first_block + rrun.count) * kBlockSize);
-        if (lo >= hi) {
-          continue;
-        }
-        MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(
-            inode, ctx.tiers, run.tier, lo, hi - lo, out + (lo - offset)));
-      }
-    }
+    jobs.push_back(SegmentJob{
+        run.tier, [this, &inode, &ctx, tier, run_lo, run_hi, offset,
+                   out]() -> Status {
+          return ReadRunSegment(inode, ctx, *tier, run_lo, run_hi, offset,
+                                out);
+        }});
   }
+  MUX_RETURN_IF_ERROR(DispatchSegments(std::move(jobs)));
 
   // atime affinity: the file system that fetched the last block (§2.3).
-  inode.attrs.UpdateAtime(clock_->Now(),
-                          last_tier == kInvalidTier
-                              ? inode.attrs.Owner(Attr::kAtime)
-                              : last_tier);
+  // meta_mu because concurrent shared-lock readers race on these fields.
+  {
+    std::lock_guard<std::mutex> meta_lock(inode.meta_mu);
+    inode.attrs.UpdateAtime(clock_->Now(),
+                            last_tier == kInvalidTier
+                                ? inode.attrs.Owner(Attr::kAtime)
+                                : last_tier);
+  }
   ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
   Touch(inode);
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.reads++;
-  }
+  hot_stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return n;
+}
+
+Status Mux::ReadRunSegment(MuxInode& inode, const OpCtx& ctx,
+                           const TierInfo& tier, uint64_t run_lo,
+                           uint64_t run_hi, uint64_t offset, uint8_t* out) {
+  // SCM cache path: only for blocks whose home is a slower tier.
+  if (cache_ != nullptr && tier.speed_rank > 0) {
+    return CachedRunRead(inode, ctx, tier, run_lo, run_hi, offset, out);
+  }
+
+  if (inode.replicas == nullptr) {
+    MUX_ASSIGN_OR_RETURN(vfs::FileHandle shadow,
+                         ShadowHandleLocked(inode, tier, false));
+    MUX_ASSIGN_OR_RETURN(uint64_t got,
+                         tier.fs->Read(shadow, run_lo, run_hi - run_lo,
+                                       out + (run_lo - offset)));
+    if (got < run_hi - run_lo) {
+      // The shadow is shorter than the mapping implies (e.g. tail block
+      // of the file): the remainder reads as zeros.
+      std::memset(out + (run_lo - offset) + got, 0, run_hi - run_lo - got);
+    }
+    return Status::Ok();
+  }
+
+  // Split at replica-coverage boundaries so each piece reads from its
+  // fastest available copy (and can fail over).
+  const uint64_t rb_first = run_lo / kBlockSize;
+  const uint64_t rb_last = (run_hi - 1) / kBlockSize;
+  for (const auto& rrun :
+       inode.replicas->Runs(rb_first, rb_last - rb_first + 1)) {
+    const uint64_t lo = std::max(run_lo, rrun.first_block * kBlockSize);
+    const uint64_t hi =
+        std::min(run_hi, (rrun.first_block + rrun.count) * kBlockSize);
+    if (lo >= hi) {
+      continue;
+    }
+    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers, tier.id, lo,
+                                              hi - lo, out + (lo - offset)));
+  }
+  return Status::Ok();
+}
+
+Status Mux::CachedRunRead(MuxInode& inode, const OpCtx& ctx,
+                          const TierInfo& tier, uint64_t run_lo,
+                          uint64_t run_hi, uint64_t offset, uint8_t* out) {
+  // Pass 1: probe the cache block by block; remember the misses.
+  std::vector<uint64_t> missed;
+  for (uint64_t pos = run_lo; pos < run_hi;) {
+    const uint64_t block = pos / kBlockSize;
+    const uint64_t in_block = pos % kBlockSize;
+    const uint64_t chunk = std::min(run_hi - pos, kBlockSize - in_block);
+    if (!cache_->TryRead(inode.ino, block, in_block, chunk,
+                         out + (pos - offset))) {
+      missed.push_back(block);
+    }
+    pos += chunk;
+  }
+  if (missed.empty()) {
+    return Status::Ok();
+  }
+
+  // Pass 2: coalesce adjacent missed blocks into one run-sized tier read
+  // (instead of one kBlockSize read per miss), admit every block from that
+  // buffer, and copy the requested slices out. Intervals split only where
+  // replica coverage changes, because ReadWithReplicaLocked serves a whole
+  // range from the one copy it picks for the first block.
+  metrics_.Add("mux.cache.missed_blocks", missed.size());
+  std::vector<uint8_t> buf;
+  size_t i = 0;
+  while (i < missed.size()) {
+    const uint64_t b0 = missed[i];
+    const TierId replica_home =
+        inode.replicas != nullptr ? inode.replicas->Lookup(b0) : kInvalidTier;
+    size_t j = i + 1;
+    while (j < missed.size() && missed[j] == missed[j - 1] + 1 &&
+           (inode.replicas == nullptr ||
+            inode.replicas->Lookup(missed[j]) == replica_home)) {
+      ++j;
+    }
+    const uint64_t blocks = missed[j - 1] - b0 + 1;
+    metrics_.Add("mux.cache.coalesced_reads", 1);
+    buf.resize(blocks * kBlockSize);
+    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers, tier.id,
+                                              b0 * kBlockSize,
+                                              blocks * kBlockSize,
+                                              buf.data()));
+    for (uint64_t b = b0; b < b0 + blocks; ++b) {
+      const uint8_t* block_bytes = buf.data() + (b - b0) * kBlockSize;
+      cache_->OnMiss(inode.ino, b, block_bytes);
+      const uint64_t lo = std::max(run_lo, b * kBlockSize);
+      const uint64_t hi = std::min(run_hi, (b + 1) * kBlockSize);
+      std::memcpy(out + (lo - offset), block_bytes + (lo - b * kBlockSize),
+                  hi - lo);
+    }
+    i = j;
+  }
+  return Status::Ok();
+}
+
+Status Mux::DispatchSegments(std::vector<SegmentJob> jobs) const {
+  if (jobs.empty()) {
+    return Status::Ok();
+  }
+  bool multi_tier = false;
+  for (const SegmentJob& job : jobs) {
+    multi_tier |= job.tier != jobs.front().tier;
+  }
+  if (!options_.parallel_dispatch || executor_ == nullptr || !multi_tier) {
+    // Serial dispatch: run in submission order on this thread. Charges go to
+    // the caller's cursor/clock exactly as the pre-parallel code did.
+    for (const SegmentJob& job : jobs) {
+      MUX_RETURN_IF_ERROR(job.fn());
+    }
+    return Status::Ok();
+  }
+
+  // Group jobs into per-tier chains (submission order preserved within a
+  // tier: chain latency = sum) and fan the chains out. Every chain starts at
+  // the same origin, so across tiers the latencies overlap: the join charges
+  // max-of-chains, the split request costs the slowest tier, not the sum.
+  const size_t segment_count = jobs.size();
+  std::map<TierId, std::vector<std::function<Status()>>> chains;
+  for (SegmentJob& job : jobs) {
+    chains[job.tier].push_back(std::move(job.fn));
+  }
+  const SimTime origin = clock_->Now();
+  std::vector<std::future<IoCompletion>> completions;
+  completions.reserve(chains.size());
+  for (auto& [tier, fns] : chains) {
+    completions.push_back(executor_->Submit(
+        tier, origin, [chain = std::move(fns)]() -> Status {
+          for (const auto& fn : chain) {
+            MUX_RETURN_IF_ERROR(fn());
+          }
+          return Status::Ok();
+        }));
+  }
+  Status status = Status::Ok();
+  SimTime max_ns = 0;
+  SimTime sum_ns = 0;
+  for (auto& completion : completions) {
+    IoCompletion done = completion.get();
+    if (status.ok() && !done.status.ok()) {
+      status = done.status;
+    }
+    max_ns = std::max(max_ns, done.elapsed_ns);
+    sum_ns += done.elapsed_ns;
+  }
+  clock_->Advance(max_ns);  // lands in the enclosing per-op cursor
+  metrics_.Add("mux.parallel.fanouts", 1);
+  metrics_.Add("mux.parallel.segments", segment_count);
+  metrics_.Add("mux.parallel.chain_max_ns", max_ns);
+  metrics_.Add("mux.parallel.chain_sum_ns", sum_ns);
+  return status;
 }
 
 // ---- write path -----------------------------------------------------------------
@@ -153,9 +274,15 @@ Result<uint64_t> Mux::Write(vfs::FileHandle handle, uint64_t offset,
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
   MuxInode& inode = *ctx.file.inode;
   const bool is_sync = (ctx.file.flags & vfs::OpenFlags::kSync) != 0;
-  std::lock_guard<std::mutex> file_lock(inode.mu);
-  Result<uint64_t> result =
-      WriteLocked(inode, ctx, offset, data, length, is_sync);
+  Result<uint64_t> result = uint64_t{0};
+  {
+    std::lock_guard<std::shared_mutex> file_lock(inode.mu);
+    // Cursor installed after lock acquisition (see Read): writers serialize
+    // on the exclusive lock, so their simulated times must chain, not
+    // overlap. The cursor merges before the lock is released.
+    ScopedTimeCursor op_cursor(clock_);
+    result = WriteLocked(inode, ctx, offset, data, length, is_sync);
+  }
   RecordOp("write", "mux.write.latency_ns", result.ok() ? *result : 0, start);
   return result;
 }
@@ -173,8 +300,8 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
   if (runs.size() > 1) {
     ChargeSw("mux.sw.split_ns", options_.costs.split_segment_ns * (runs.size() - 1));
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.split_segments += runs.size() - 1;
+    hot_stats_.split_segments.fetch_add(runs.size() - 1,
+                                        std::memory_order_relaxed);
   }
 
   // Placement granularity for new blocks: large appends are placed in
@@ -221,8 +348,71 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
               });
   }
 
+  // Parallel overwrite fast path: when every block is already mapped (no
+  // placement decisions, no occupancy feedback between chunks) and the write
+  // spans more than one tier, issue each segment's home-tier write through
+  // the executor so the per-tier device times overlap. The bookkeeping —
+  // ENOSPC fall-down, BLT commit, cache write-through, replica mirroring —
+  // stays in the serial loop below, which consumes the per-segment results.
+  std::vector<Status> parallel_status;
+  std::vector<char> parallel_open_failed;
+  bool parallel_attempted = false;
+  if (!has_hole && options_.parallel_dispatch && executor_ != nullptr &&
+      segments.size() > 1) {
+    bool multi_tier = false;
+    for (const auto& run : segments) {
+      multi_tier |= run.tier != segments.front().tier;
+    }
+    if (multi_tier) {
+      parallel_status.assign(segments.size(), Status::Ok());
+      parallel_open_failed.assign(segments.size(), 0);
+      std::vector<SegmentJob> jobs;
+      jobs.reserve(segments.size());
+      Status prep = Status::Ok();
+      for (size_t si = 0; si < segments.size(); ++si) {
+        const auto& run = segments[si];
+        const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
+        const uint64_t run_hi = std::min(
+            offset + length, (run.first_block + run.count) * kBlockSize);
+        auto tier_or = FindTier(ctx.tiers, run.tier);
+        if (!tier_or.ok()) {
+          prep = tier_or.status();
+          break;
+        }
+        const TierInfo* tier = *tier_or;
+        Status* slot = &parallel_status[si];
+        char* open_failed = &parallel_open_failed[si];
+        jobs.push_back(SegmentJob{
+            run.tier, [this, &inode, tier, run_lo, run_hi, offset, data, slot,
+                       open_failed]() -> Status {
+              // Exactly one attempt against the segment's home tier — the
+              // same first-candidate attempt the serial loop would make.
+              // Failures are reported through the slot (not the chain
+              // status) so sibling segments still run, mirroring the serial
+              // loop's per-segment fall-down.
+              auto shadow = ShadowHandleLocked(inode, *tier, /*create=*/true);
+              if (!shadow.ok()) {
+                *slot = shadow.status();
+                *open_failed = 1;
+                return Status::Ok();
+              }
+              *slot = tier->fs
+                          ->Write(*shadow, run_lo, data + (run_lo - offset),
+                                  run_hi - run_lo)
+                          .status();
+              return Status::Ok();
+            }});
+      }
+      if (prep.ok()) {
+        MUX_RETURN_IF_ERROR(DispatchSegments(std::move(jobs)));
+        parallel_attempted = true;
+      }
+    }
+  }
+
   TierId last_written_tier = kInvalidTier;
-  for (const auto& run : segments) {
+  for (size_t si = 0; si < segments.size(); ++si) {
+    const auto& run = segments[si];
     const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
     const uint64_t run_hi =
         std::min(offset + length, (run.first_block + run.count) * kBlockSize);
@@ -248,10 +438,28 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
     TierId actual = kInvalidTier;
     MUX_ASSIGN_OR_RETURN(const TierInfo* first_choice,
                          FindTier(ctx.tiers, target));
-    std::vector<const TierInfo*> candidates{first_choice};
-    for (const TierInfo& tier : ctx.tiers) {
-      if (tier.id != target) {
-        candidates.push_back(&tier);
+    std::vector<const TierInfo*> candidates;
+    if (parallel_attempted) {
+      // The home-tier attempt already ran on the executor; adopt its result
+      // and fall down the hierarchy under exactly the serial rules: retry
+      // other tiers after an open failure or ENOSPC, stop on a hard error.
+      write_status = parallel_status[si];
+      if (write_status.ok()) {
+        actual = target;
+      } else if (parallel_open_failed[si] != 0 ||
+                 write_status.code() == ErrorCode::kNoSpace) {
+        for (const TierInfo& tier : ctx.tiers) {
+          if (tier.id != target) {
+            candidates.push_back(&tier);
+          }
+        }
+      }
+    } else {
+      candidates.push_back(first_choice);
+      for (const TierInfo& tier : ctx.tiers) {
+        if (tier.id != target) {
+          candidates.push_back(&tier);
+        }
       }
     }
     for (const TierInfo* tier : candidates) {
@@ -335,10 +543,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   inode.attrs.UpdateMtime(now, last_written_tier);
   ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
   Touch(inode);
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.writes++;
-  }
+  hot_stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return length;
 }
 
@@ -392,7 +597,7 @@ Status Mux::Truncate(vfs::FileHandle handle, uint64_t new_size) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
   MuxInode& inode = *ctx.file.inode;
-  std::lock_guard<std::mutex> file_lock(inode.mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
   return TruncateLocked(inode, new_size, ctx.tiers);
 }
 
@@ -400,7 +605,7 @@ Status Mux::Fsync(vfs::FileHandle handle, bool data_only) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
   MuxInode& inode = *ctx.file.inode;
-  std::lock_guard<std::mutex> file_lock(inode.mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
   // Fan out to every file system responsible for part of the file and
   // synchronize on all completions (§4 "Crash Consistency").
   for (const TierId tier_id : inode.touched_tiers) {
@@ -422,7 +627,7 @@ Status Mux::Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
   if (length == 0) {
     return InvalidArgumentError("zero-length fallocate");
   }
-  std::lock_guard<std::mutex> file_lock(inode.mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
   // Preallocate on the fastest tier with room (preallocation exists to make
   // later writes cheap, so it follows placement of hot data).
   Status status = NoSpaceError("no tier accepted the fallocate");
@@ -489,7 +694,7 @@ Status Mux::PunchHole(vfs::FileHandle handle, uint64_t offset,
   if (offset % kBlockSize != 0 || length % kBlockSize != 0 || length == 0) {
     return InvalidArgumentError("hole punch must be block aligned");
   }
-  std::lock_guard<std::mutex> file_lock(inode.mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
   const uint64_t first = offset / kBlockSize;
   const uint64_t count = length / kBlockSize;
   for (const auto& run : inode.blt->Runs(first, count)) {
@@ -557,10 +762,20 @@ Status Mux::CopyRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
   for (const auto& run : runs) {
     MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
     // Shadow handles were opened by the caller while the lock was held.
-    auto src_it = inode.shadows.find(src->id);
-    auto dst_it = inode.shadows.find(dst->id);
-    if (src_it == inode.shadows.end() || dst_it == inode.shadows.end()) {
-      return InternalError("migration shadows not open");
+    // CopyRuns itself runs with NO file lock (writers keep flowing), and
+    // concurrent shared-lock readers insert into the map, so the lookup must
+    // take shadow_mu; the handles themselves stay valid once copied out.
+    vfs::FileHandle src_handle;
+    vfs::FileHandle dst_handle;
+    {
+      std::lock_guard<std::mutex> shadow_lock(inode.shadow_mu);
+      auto src_it = inode.shadows.find(src->id);
+      auto dst_it = inode.shadows.find(dst->id);
+      if (src_it == inode.shadows.end() || dst_it == inode.shadows.end()) {
+        return InternalError("migration shadows not open");
+      }
+      src_handle = src_it->second;
+      dst_handle = dst_it->second;
     }
     // Stream in 1 MiB slices.
     constexpr uint64_t kSlice = 256;  // blocks
@@ -569,13 +784,13 @@ Status Mux::CopyRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
       const uint64_t off = (run.first_block + done) * kBlockSize;
       buf.resize(blocks * kBlockSize);
       MUX_ASSIGN_OR_RETURN(
-          uint64_t got, src->fs->Read(src_it->second, off, buf.size(),
+          uint64_t got, src->fs->Read(src_handle, off, buf.size(),
                                       buf.data()));
       if (got < buf.size()) {
         std::memset(buf.data() + got, 0, buf.size() - got);
       }
       MUX_RETURN_IF_ERROR(
-          dst->fs->Write(dst_it->second, off, buf.data(), buf.size())
+          dst->fs->Write(dst_handle, off, buf.data(), buf.size())
               .status());
     }
   }
@@ -605,9 +820,18 @@ Status Mux::CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
       }
       committed += end - start;
       MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
-      auto src_it = inode.shadows.find(src->id);
-      if (src_it != inode.shadows.end()) {
-        (void)src->fs->PunchHole(src_it->second, start * kBlockSize,
+      vfs::FileHandle src_handle;
+      bool have_src = false;
+      {
+        std::lock_guard<std::mutex> shadow_lock(inode.shadow_mu);
+        auto src_it = inode.shadows.find(src->id);
+        if (src_it != inode.shadows.end()) {
+          src_handle = src_it->second;
+          have_src = true;
+        }
+      }
+      if (have_src) {
+        (void)src->fs->PunchHole(src_handle, start * kBlockSize,
                                  (end - start) * kBlockSize);
       }
       return Status::Ok();
@@ -620,8 +844,7 @@ Status Mux::CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
     }
     MUX_RETURN_IF_ERROR(flush_piece(piece_start, run_end));
   }
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  stats_.migrated_blocks += committed;
+  hot_stats_.migrated_blocks.fetch_add(committed, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -635,11 +858,17 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
   }
   MUX_RETURN_IF_ERROR(FindTier(tiers, to).status());
 
+  // One migration pass at a time per inode: OccState has a single
+  // migrating/dirty set, so two overlapping passes would corrupt each
+  // other's conflict tracking. Writers are NOT blocked by this — they take
+  // inode->mu, not migrate_mu.
+  std::lock_guard<std::mutex> migrate_lock(inode->migrate_mu);
+
   int attempt = 0;
   std::vector<BlockLookupTable::Run> pending;
   uint64_t v1 = 0;
   {
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     pending = PendingRunsLocked(*inode, first_block, count, to, only_from);
     if (pending.empty()) {
       return Status::Ok();
@@ -657,10 +886,7 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
     v1 = inode->occ.BeginPass();
   }
 
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.migration_passes++;
-  }
+  hot_stats_.migration_passes.fetch_add(1, std::memory_order_relaxed);
 
   while (true) {
     // Copy phase: user writes keep flowing (§2.4 — "minimizing the impact
@@ -671,13 +897,22 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
       // publishes them and the source holes are punched — otherwise a crash
       // after commit could lose the only current version.
       MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
-      auto dst_handle = inode->shadows.find(to);
-      if (dst_handle != inode->shadows.end()) {
-        copy_status = dst->fs->Fsync(dst_handle->second, /*data_only=*/true);
+      vfs::FileHandle dst_handle;
+      bool have_dst = false;
+      {
+        std::lock_guard<std::mutex> shadow_lock(inode->shadow_mu);
+        auto it = inode->shadows.find(to);
+        if (it != inode->shadows.end()) {
+          dst_handle = it->second;
+          have_dst = true;
+        }
+      }
+      if (have_dst) {
+        copy_status = dst->fs->Fsync(dst_handle, /*data_only=*/true);
       }
     }
     if (!copy_status.ok()) {
-      std::lock_guard<std::mutex> file_lock(inode->mu);
+      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
       inode->occ.AbortPass();
       // Transient tier trouble — the destination filling up or a flaky
       // device — is retried with the same capped attempt budget as OCC
@@ -709,24 +944,24 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
     }
 
     // Validate-and-commit phase (short critical section).
-    std::unique_lock<std::mutex> file_lock(inode->mu);
+    std::unique_lock<std::shared_mutex> file_lock(inode->mu);
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      stats_.occ.passes++;
+      occ_stats_.passes++;
     }
     auto result = inode->occ.ValidateAndEnd(v1, first_block, count);
     if (result.clean) {
       MUX_RETURN_IF_ERROR(CommitRuns(*inode, tiers, pending, to, {}));
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      stats_.occ.clean_commits++;
+      occ_stats_.clean_commits++;
       return Status::Ok();
     }
 
     // Conflicts: commit the untouched blocks, retry the dirty ones.
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      stats_.occ.conflicts++;
-      stats_.occ.retried_blocks += result.conflicted.size();
+      occ_stats_.conflicts++;
+      occ_stats_.retried_blocks += result.conflicted.size();
     }
     std::sort(result.conflicted.begin(), result.conflicted.end());
     MUX_RETURN_IF_ERROR(
@@ -749,14 +984,22 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
       // resort to a lock-based migration").
       {
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
-        stats_.occ.lock_fallbacks++;
+        occ_stats_.lock_fallbacks++;
       }
       MUX_RETURN_IF_ERROR(CopyRuns(*inode, tiers, pending, to));
       MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
-      auto dst_handle = inode->shadows.find(to);
-      if (dst_handle != inode->shadows.end()) {
-        MUX_RETURN_IF_ERROR(
-            dst->fs->Fsync(dst_handle->second, /*data_only=*/true));
+      vfs::FileHandle dst_handle;
+      bool have_dst = false;
+      {
+        std::lock_guard<std::mutex> shadow_lock(inode->shadow_mu);
+        auto it = inode->shadows.find(to);
+        if (it != inode->shadows.end()) {
+          dst_handle = it->second;
+          have_dst = true;
+        }
+      }
+      if (have_dst) {
+        MUX_RETURN_IF_ERROR(dst->fs->Fsync(dst_handle, /*data_only=*/true));
       }
       MUX_RETURN_IF_ERROR(CommitRuns(*inode, tiers, pending, to, {}));
       return Status::Ok();
@@ -784,7 +1027,7 @@ Status Mux::MigrateFile(const std::string& path, TierId to, TierId from) {
   }
   uint64_t blocks = 0;
   {
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
   }
   if (blocks == 0) {
@@ -817,7 +1060,7 @@ Status Mux::RunPolicyMigrations() {
       if (inode->type != vfs::FileType::kRegular) {
         continue;
       }
-      std::lock_guard<std::mutex> file_lock(inode->mu);
+      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
       FileView fv;
       fv.path = inode->path;
       fv.size = inode->attrs.size();
@@ -887,11 +1130,14 @@ Status Mux::RunPolicyMigrations() {
   // recorded in the scheduler stats but does not stop the other tasks. The
   // round as a whole still succeeds — per-task failures are degraded
   // service, not a fatal error — and the stats are kept for introspection.
-  auto ran = scheduler.RunAll();
+  auto ran = scheduler.RunAll(options_.parallel_migration_drain
+                                  ? IoScheduler::DrainMode::kParallel
+                                  : IoScheduler::DrainMode::kSerial);
   const SchedulerStats round = scheduler.stats();
+  hot_stats_.migration_task_failures.fetch_add(round.failures,
+                                               std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    stats_.migration_task_failures += round.failures;
     last_round_sched_stats_ = round;
   }
   if (round.failures > 0) {
@@ -936,7 +1182,7 @@ MuxSnapshot Mux::BuildSnapshotLocked() const {
     if (ino == kRootIno) {
       continue;
     }
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     FileSnapshot file;
     file.path = inode->path;
     file.is_directory = inode->type == vfs::FileType::kDirectory;
@@ -1046,8 +1292,24 @@ Status Mux::Recover() {
 // ---- introspection -------------------------------------------------------------------
 
 MuxStats Mux::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  // Hot-path counters are relaxed atomics; each one is internally
+  // consistent, and the OCC aggregates are snapshotted under stats_mu_.
+  MuxStats out;
+  out.reads = hot_stats_.reads.load(std::memory_order_relaxed);
+  out.writes = hot_stats_.writes.load(std::memory_order_relaxed);
+  out.split_segments =
+      hot_stats_.split_segments.load(std::memory_order_relaxed);
+  out.migration_passes =
+      hot_stats_.migration_passes.load(std::memory_order_relaxed);
+  out.migrated_blocks =
+      hot_stats_.migrated_blocks.load(std::memory_order_relaxed);
+  out.migration_task_failures =
+      hot_stats_.migration_task_failures.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out.occ = occ_stats_;
+  }
+  return out;
 }
 
 ScmCacheStats Mux::CacheStats() const {
@@ -1061,7 +1323,7 @@ ScmCacheStats Mux::CacheStats() const {
 Result<Mux::FileHeat> Mux::Heat(const std::string& path) const {
   std::lock_guard<std::mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
   FileHeat heat;
   heat.temperature = inode->temperature;
   heat.last_access = inode->last_access;
@@ -1072,7 +1334,7 @@ Result<std::map<TierId, uint64_t>> Mux::FileTierBreakdown(
     const std::string& path) const {
   std::lock_guard<std::mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
   std::map<TierId, uint64_t> breakdown;
   if (inode->blt != nullptr) {
     for (const TierInfo& tier : tiers_) {
@@ -1089,7 +1351,7 @@ uint64_t Mux::BltMemoryBytes() const {
   std::lock_guard<std::mutex> lock(ns_mu_);
   uint64_t total = 0;
   for (const auto& [ino, inode] : inodes_) {
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     if (inode->blt != nullptr) {
       total += inode->blt->MemoryBytes();
     }

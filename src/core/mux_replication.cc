@@ -123,7 +123,7 @@ Status Mux::ReplicateRange(const std::string& path, uint64_t first_block,
   }
   MUX_ASSIGN_OR_RETURN(const TierInfo* replica, FindTier(tiers, replica_tier));
 
-  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
   if (inode->replicas == nullptr) {
     inode->replicas = MakeBlt(options_.blt_kind);
   }
@@ -168,7 +168,7 @@ Status Mux::ReplicateFile(const std::string& path, TierId replica_tier) {
     if (inode->type != vfs::FileType::kRegular) {
       return IsDirError(path);
     }
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
   }
   if (blocks == 0) {
@@ -185,7 +185,7 @@ Status Mux::DropReplicas(const std::string& path) {
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
     tiers = tiers_;
   }
-  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
   if (inode->replicas == nullptr) {
     return Status::Ok();
   }
@@ -223,7 +223,7 @@ Result<std::map<TierId, uint64_t>> Mux::ReplicaBreakdown(
     const std::string& path) const {
   std::lock_guard<std::mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::lock_guard<std::mutex> file_lock(inode->mu);
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
   std::map<TierId, uint64_t> breakdown;
   if (inode->replicas != nullptr) {
     for (const TierInfo& tier : tiers_) {
@@ -257,7 +257,7 @@ Result<Mux::ScrubReport> Mux::Scrub() {
   std::vector<uint8_t> primary_buf(kBlockSize);
   std::vector<uint8_t> replica_buf(kBlockSize);
   for (const auto& inode : files) {
-    std::lock_guard<std::mutex> file_lock(inode->mu);
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     report.files_checked++;
     const uint64_t size_blocks =
         (inode->attrs.size() + kBlockSize - 1) / kBlockSize;

@@ -18,7 +18,18 @@
 //   mux.<op>.latency_ns       histogram: end-to-end op latency through Mux
 //   sched.queue_wait_ns       histogram: submit -> dispatch wait
 //   sched.service_ns          histogram: dispatch -> completion
+//   sched.parallel_drain.rounds    counter: parallel RunAll drain rounds
+//   sched.parallel_drain.tiers     counter: tier drain threads spawned
+//   sched.parallel_drain.{max,sum}_ns  histograms: per-round drain time,
+//                             slowest tier vs sum over tiers (overlap win)
 //   cache.{hit,miss,admission}_ns  histograms: SCM cache path latency
+//   mux.parallel.fanouts      counter: split requests dispatched in parallel
+//   mux.parallel.segments     counter: segments across those fanouts
+//   mux.parallel.chain_{max,sum}_ns  counters: per-tier chain time charged
+//                             (max) vs what serial dispatch would have (sum)
+//   mux.cache.missed_blocks   counter: SCM-cache miss blocks fetched
+//   mux.cache.coalesced_reads counter: tier reads issued for those blocks
+//                             (< missed_blocks ⇒ adjacent misses coalesced)
 #ifndef MUX_OBS_METRICS_H_
 #define MUX_OBS_METRICS_H_
 

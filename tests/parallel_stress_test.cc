@@ -1,0 +1,437 @@
+// Parallel split-I/O dispatch (ISSUE 3): time-cursor semantics, the per-tier
+// I/O executor, parallel-vs-serial split reads, concurrent-reader scaling,
+// cache-miss coalescing, and a readers+writer+migration stress run. The
+// stress sections are the thread-sanitizer workload: build with
+// -DMUX_SANITIZE=thread and run this binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/core/io_executor.h"
+#include "src/vfs/vfs.h"
+#include "tests/mux_rig.h"
+
+namespace mux::testing {
+namespace {
+
+using core::IoCompletion;
+using core::IoExecutor;
+using core::Mux;
+using vfs::OpenFlags;
+
+constexpr uint64_t kMiB = 1ULL << 20;
+constexpr uint64_t kBlockSize = Mux::kBlockSize;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+Status WriteAll(Mux& mux, vfs::FileHandle h, uint64_t total, uint64_t seed) {
+  auto data = Pattern(1 * kMiB, seed);
+  for (uint64_t off = 0; off < total; off += data.size()) {
+    MUX_RETURN_IF_ERROR(
+        mux.Write(h, off, data.data(),
+                  std::min<uint64_t>(data.size(), total - off))
+            .status());
+  }
+  return Status::Ok();
+}
+
+// ---- SimClock cursor semantics -------------------------------------------
+
+TEST(SimClockCursor, AdvanceWithoutCursorMovesSharedClock) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  EXPECT_EQ(clock.Advance(100), 100u);
+  EXPECT_EQ(clock.Now(), 100u);
+}
+
+TEST(SimClockCursor, CursorChargesPrivatelyAndMergesOnDestruct) {
+  SimClock clock;
+  clock.Advance(50);
+  {
+    ScopedTimeCursor cursor(&clock);
+    EXPECT_EQ(clock.Now(), 50u);  // cursor view starts at install time
+    clock.Advance(30);
+    EXPECT_EQ(clock.Now(), 80u);       // visible through the cursor
+    EXPECT_EQ(cursor.local(), 30u);    // charged privately
+  }
+  EXPECT_EQ(clock.Now(), 80u);  // merged: AdvanceTo(origin + local)
+}
+
+TEST(SimClockCursor, NestedCursorMergesIntoParent) {
+  SimClock clock;
+  {
+    ScopedTimeCursor outer(&clock);
+    clock.Advance(10);
+    {
+      ScopedTimeCursor inner(&clock);
+      clock.Advance(5);
+    }
+    // Inner merged into outer's local, not the shared clock.
+    EXPECT_EQ(outer.local(), 15u);
+    EXPECT_EQ(clock.Now(), 15u);  // via outer's view; shared clock still 0
+  }
+  EXPECT_EQ(clock.Now(), 15u);
+}
+
+TEST(SimClockCursor, ReleasePopsWithoutMerging) {
+  SimClock clock;
+  ScopedTimeCursor cursor(&clock, /*origin=*/0);
+  clock.Advance(40);
+  EXPECT_EQ(cursor.Release(), 40u);
+  EXPECT_EQ(clock.Now(), 0u);  // nothing published
+}
+
+TEST(SimClockCursor, AdvanceToIsMonotonicMax) {
+  SimClock clock;
+  EXPECT_EQ(clock.AdvanceTo(100), 100u);
+  EXPECT_EQ(clock.AdvanceTo(60), 100u);  // going backwards is a no-op
+  EXPECT_EQ(clock.Now(), 100u);
+}
+
+TEST(SimClockCursor, CursorsForOtherClocksAreSkipped) {
+  SimClock a;
+  SimClock b;
+  ScopedTimeCursor cursor_a(&a);
+  a.Advance(10);
+  b.Advance(20);  // no cursor for b on this thread: hits b's shared counter
+  EXPECT_EQ(b.Now(), 20u);
+  EXPECT_EQ(cursor_a.local(), 10u);
+}
+
+TEST(SimClockCursor, ConcurrentChainsOverlapViaMaxMerge) {
+  SimClock clock;
+  std::thread t1([&clock] {
+    ScopedTimeCursor cursor(&clock, /*origin=*/0);
+    clock.Advance(300);
+  });
+  std::thread t2([&clock] {
+    ScopedTimeCursor cursor(&clock, /*origin=*/0);
+    clock.Advance(500);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(clock.Now(), 500u);  // max of the chains, not 800
+}
+
+// ---- IoExecutor ----------------------------------------------------------
+
+TEST(IoExecutorTest, ChainsReportElapsedWithoutTouchingSharedClock) {
+  SimClock clock;
+  IoExecutor executor(&clock, /*threads_per_tier=*/1);
+  executor.AddTier(1);
+  executor.AddTier(2);
+  auto f1 = executor.Submit(1, /*origin=*/0, [&clock] {
+    clock.Advance(700);
+    return Status::Ok();
+  });
+  auto f2 = executor.Submit(2, /*origin=*/0, [&clock] {
+    clock.Advance(400);
+    return Status::Ok();
+  });
+  IoCompletion c1 = f1.get();
+  IoCompletion c2 = f2.get();
+  EXPECT_TRUE(c1.status.ok());
+  EXPECT_EQ(c1.elapsed_ns, 700u);
+  EXPECT_EQ(c2.elapsed_ns, 400u);
+  // Workers Release() their cursors: the dispatcher owns the merge.
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.AdvanceTo(std::max(c1.elapsed_ns, c2.elapsed_ns));
+  EXPECT_EQ(clock.Now(), 700u);
+}
+
+TEST(IoExecutorTest, UnknownTierRunsInlineWithCursorDiscipline) {
+  SimClock clock;
+  clock.Advance(100);
+  IoExecutor executor(&clock, 1);
+  auto f = executor.Submit(99, /*origin=*/100, [&clock] {
+    clock.Advance(50);
+    return Status::Ok();
+  });
+  IoCompletion c = f.get();
+  EXPECT_TRUE(c.status.ok());
+  EXPECT_EQ(c.elapsed_ns, 50u);
+  EXPECT_EQ(clock.Now(), 100u);  // inline run still charged privately
+}
+
+TEST(IoExecutorTest, ErrorsPropagateThroughCompletions) {
+  SimClock clock;
+  IoExecutor executor(&clock, 1);
+  executor.AddTier(1);
+  auto f = executor.Submit(1, 0, [] { return InternalError("boom"); });
+  EXPECT_FALSE(f.get().status.ok());
+}
+
+// ---- split reads: parallel vs serial -------------------------------------
+
+// Stripes /split across PM/SSD/HDD (sizes balanced inversely to tier speed)
+// and returns the simulated ns of one full-span read plus the rig's
+// chain-time counters.
+struct SplitResult {
+  SimTime elapsed_ns = 0;
+  uint64_t chain_max_ns = 0;
+  uint64_t chain_sum_ns = 0;
+};
+
+SplitResult TimedSplitRead(bool parallel_dispatch) {
+  constexpr uint64_t kPmBytes = 40 * kMiB;
+  constexpr uint64_t kSsdBytes = 4 * kMiB;
+  constexpr uint64_t kHddBytes = 768 * 1024;
+  constexpr uint64_t kTotal = kPmBytes + kSsdBytes + kHddBytes;
+  core::Mux::Options options;
+  options.parallel_dispatch = parallel_dispatch;
+  // Small FS page caches so the SSD/HDD segments hit media (the default
+  // 16 MiB caches would absorb the freshly migrated segments entirely).
+  MuxRigSizes sizes;
+  sizes.xfslite_cache_pages = 64;
+  sizes.extlite_cache_pages = 64;
+  MuxRig rig(options, sizes);
+  EXPECT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/split", OpenFlags::kCreateRw);
+  EXPECT_TRUE(h.ok());
+  EXPECT_TRUE(WriteAll(mux, *h, kTotal, /*seed=*/42).ok());
+  EXPECT_TRUE(mux.MigrateRange("/split", kPmBytes / kBlockSize,
+                               kSsdBytes / kBlockSize, rig.ssd_tier())
+                  .ok());
+  EXPECT_TRUE(mux.MigrateRange("/split", (kPmBytes + kSsdBytes) / kBlockSize,
+                               kHddBytes / kBlockSize, rig.hdd_tier())
+                  .ok());
+  std::vector<uint8_t> buf(kTotal);
+  const SimTime start = rig.clock().Now();
+  auto got = mux.Read(*h, 0, kTotal, buf.data());
+  EXPECT_TRUE(got.ok());
+  EXPECT_EQ(*got, kTotal);
+  // Content must be identical in both modes: segments write disjoint slices.
+  auto expect = Pattern(1 * kMiB, 42);
+  for (uint64_t off = 0; off < kTotal; off += kMiB) {
+    const uint64_t n = std::min<uint64_t>(kMiB, kTotal - off);
+    EXPECT_EQ(std::memcmp(buf.data() + off, expect.data(), n), 0)
+        << "mismatch at offset " << off;
+  }
+  SplitResult result;
+  result.elapsed_ns = rig.clock().Now() - start;
+  result.chain_max_ns = mux.metrics().CounterValue("mux.parallel.chain_max_ns");
+  result.chain_sum_ns = mux.metrics().CounterValue("mux.parallel.chain_sum_ns");
+  return result;
+}
+
+TEST(ParallelSplitRead, BeatsSerialDispatchByAcceptanceMargin) {
+  const SplitResult serial = TimedSplitRead(/*parallel_dispatch=*/false);
+  const SplitResult parallel = TimedSplitRead(/*parallel_dispatch=*/true);
+  EXPECT_EQ(serial.chain_max_ns, 0u);  // serial mode never fans out
+  ASSERT_GT(serial.elapsed_ns, 0u);
+  const double ratio = static_cast<double>(parallel.elapsed_ns) /
+                       static_cast<double>(serial.elapsed_ns);
+  EXPECT_LT(ratio, 0.6) << "parallel " << parallel.elapsed_ns << "ns vs serial "
+                        << serial.elapsed_ns << "ns";
+}
+
+TEST(ParallelSplitRead, LatencyIsMaxOfTiersNotSum) {
+  const SplitResult parallel = TimedSplitRead(/*parallel_dispatch=*/true);
+  ASSERT_GT(parallel.chain_max_ns, 0u);
+  ASSERT_GT(parallel.chain_sum_ns, parallel.chain_max_ns);
+  // The read costs the slowest chain plus per-op bookkeeping — far below the
+  // sum of the chains.
+  EXPECT_GE(parallel.elapsed_ns, parallel.chain_max_ns);
+  EXPECT_LT(parallel.elapsed_ns, parallel.chain_sum_ns);
+  // Bookkeeping (dispatch, BLT, cache probes) is well under 20% of the
+  // slowest chain at these sizes.
+  EXPECT_LT(parallel.elapsed_ns - parallel.chain_max_ns,
+            parallel.chain_max_ns / 5);
+}
+
+// ---- concurrent readers --------------------------------------------------
+
+// One big read per reader, all released at a common wall-clock start line:
+// every reader installs its per-op cursor at the same simulated origin
+// before the first one merges, so the measured overlap is structural (see
+// bench/parallel_scaling.cc for the same technique).
+SimTime ConcurrentWholeFileReads(MuxRig& rig, int threads, uint64_t bytes) {
+  auto& mux = rig.mux();
+  const auto start_line =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  const SimTime start = rig.clock().Now();
+  std::vector<std::thread> readers;
+  readers.reserve(threads);
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < threads; ++t) {
+    readers.emplace_back([&mux, &failed, start_line, bytes] {
+      auto h = mux.Open("/hot", OpenFlags::kRead);
+      if (!h.ok()) {
+        failed = true;
+        return;
+      }
+      std::vector<uint8_t> buf(bytes);
+      std::this_thread::sleep_until(start_line);
+      auto got = mux.Read(*h, 0, bytes, buf.data());
+      if (!got.ok() || *got != bytes) {
+        failed = true;
+      }
+      (void)mux.Close(*h);
+    });
+  }
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_FALSE(failed.load());
+  return rig.clock().Now() - start;
+}
+
+TEST(ConcurrentReaders, FourReadersWithinTwiceIdeal) {
+  constexpr uint64_t kFileBytes = 48 * kMiB;
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto h = rig.mux().Open("/hot", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(WriteAll(rig.mux(), *h, kFileBytes, /*seed=*/7).ok());
+  ASSERT_TRUE(rig.mux().Close(*h).ok());
+
+  const SimTime one = ConcurrentWholeFileReads(rig, 1, kFileBytes);
+  const SimTime four = ConcurrentWholeFileReads(rig, 4, kFileBytes);
+  ASSERT_GT(one, 0u);
+  // Ideal is flat (readers don't block each other and their simulated
+  // latencies overlap); acceptance allows 2x for scheduling noise.
+  EXPECT_LT(four, 2 * one) << "4 readers " << four << "ns vs 1 reader " << one
+                           << "ns";
+}
+
+// ---- SCM cache miss coalescing -------------------------------------------
+
+TEST(CacheCoalescing, AdjacentMissesFetchAsOneTierRead) {
+  constexpr uint64_t kFileBytes = 2 * kMiB;  // 512 blocks
+  core::Mux::Options options;
+  options.enable_scm_cache = true;
+  MuxRig rig(options);
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/cold", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(WriteAll(mux, *h, kFileBytes, /*seed=*/3).ok());
+  // Home the file on the SSD tier so reads go through the cache path.
+  ASSERT_TRUE(mux.MigrateFile("/cold", rig.ssd_tier()).ok());
+
+  std::vector<uint8_t> buf(kFileBytes);
+  auto got = mux.Read(*h, 0, kFileBytes, buf.data());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(*got, kFileBytes);
+
+  const uint64_t missed = mux.metrics().CounterValue("mux.cache.missed_blocks");
+  const uint64_t fetches =
+      mux.metrics().CounterValue("mux.cache.coalesced_reads");
+  EXPECT_EQ(missed, kFileBytes / kBlockSize);  // fully cold: every block
+  // One contiguous cold run coalesces into one tier read (the old code
+  // issued one read per missed block).
+  EXPECT_EQ(fetches, 1u);
+}
+
+// ---- readers + writer + migration stress ---------------------------------
+
+// Region [0, 4 MiB) is read-only and must always equal the initial pattern;
+// the writer owns [4 MiB, 8 MiB). Migration bounces the whole file between
+// tiers underneath both. TSan (MUX_SANITIZE=thread) validates the locking;
+// the content checks validate reader/writer/migration isolation.
+TEST(ParallelStress, ReadersWriterAndMigrationOnOneFile) {
+  constexpr uint64_t kFileBytes = 8 * kMiB;
+  constexpr uint64_t kHalf = kFileBytes / 2;
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/stress", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(WriteAll(mux, *h, kFileBytes, /*seed=*/11).ok());
+  // WriteAll repeats the same seeded 1 MiB pattern across the file, so every
+  // MiB-aligned read of the stable half must equal this block.
+  const auto stable = Pattern(1 * kMiB, 11);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  // Two readers over the stable half.
+  for (int r = 0; r < 2; ++r) {
+    workers.emplace_back([&mux, &failed, &stable] {
+      auto rh = mux.Open("/stress", OpenFlags::kRead);
+      if (!rh.ok()) {
+        failed = true;
+        return;
+      }
+      std::vector<uint8_t> buf(1 * kMiB);
+      for (int i = 0; i < 16 && !failed; ++i) {
+        const uint64_t off = (i % 4) * kMiB;
+        auto got = mux.Read(*rh, off, buf.size(), buf.data());
+        if (!got.ok() || *got != buf.size() ||
+            std::memcmp(buf.data(), stable.data(), buf.size()) != 0) {
+          failed = true;
+        }
+      }
+      (void)mux.Close(*rh);
+    });
+  }
+  // One writer over the volatile half.
+  workers.emplace_back([&mux, &failed] {
+    auto wh = mux.Open("/stress", OpenFlags::kReadWrite);
+    if (!wh.ok()) {
+      failed = true;
+      return;
+    }
+    for (int i = 0; i < 16 && !failed; ++i) {
+      auto data = Pattern(1 * kMiB, 100 + i);
+      const uint64_t off = 4 * kMiB + (i % 4) * kMiB;
+      if (!mux.Write(*wh, off, data.data(), data.size()).ok()) {
+        failed = true;
+      }
+    }
+    (void)mux.Close(*wh);
+  });
+  // Migration bouncing the whole file PM -> SSD -> HDD -> PM underneath.
+  workers.emplace_back([&mux, &rig, &failed] {
+    const core::TierId tiers[] = {rig.ssd_tier(), rig.hdd_tier(),
+                                  rig.pm_tier()};
+    for (int round = 0; round < 3 && !failed; ++round) {
+      Status s = mux.MigrateFile("/stress", tiers[round]);
+      if (!s.ok()) {
+        failed = true;
+      }
+    }
+  });
+  for (auto& w : workers) {
+    w.join();
+  }
+  ASSERT_FALSE(failed.load());
+
+  // Stable half unchanged after the dust settles.
+  std::vector<uint8_t> buf(kHalf);
+  auto got = mux.Read(*h, 0, kHalf, buf.data());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(*got, kHalf);
+  for (uint64_t off = 0; off < kHalf; off += kMiB) {
+    ASSERT_EQ(std::memcmp(buf.data() + off, stable.data(), kMiB), 0)
+        << "stable region corrupted at offset " << off;
+  }
+
+  // Metadata is globally consistent.
+  auto scrub = mux.Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_TRUE(scrub->Clean())
+      << "missing_shadows=" << scrub->missing_shadows
+      << " size_inconsistencies=" << scrub->size_inconsistencies
+      << " replica_mismatches=" << scrub->replica_mismatches;
+
+  // Hot-path counters saw every op (2 readers x 16 + the setup/final reads).
+  const auto stats = mux.stats();
+  EXPECT_GE(stats.reads, 2u * 16u + 1u);
+  EXPECT_GE(stats.writes, 16u);
+  EXPECT_GE(stats.migration_passes, 3u);
+}
+
+}  // namespace
+}  // namespace mux::testing
