@@ -16,6 +16,7 @@
 // Results go to stdout and BENCH_parallel.json.
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -122,7 +123,7 @@ double ConcurrentReadMs(MuxRig& rig, int threads) {
   return NsToSeconds(rig.clock().Now() - start) * 1e3;
 }
 
-int Run() {
+int Run(bool check) {
   JsonReport report("parallel_scaling");
 
   PrintHeader("Split read: serial vs parallel dispatch (PM 40M / SSD 4M / HDD 0.75M)");
@@ -175,10 +176,30 @@ int Run() {
     std::fprintf(stderr, "failed to write BENCH_parallel.json\n");
     return 1;
   }
+  if (check) {
+    // Acceptance gate (simulated time, so machine-independent): parallel
+    // dispatch must beat serial by the documented margin.
+    if (ratio >= 0.6) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: parallel/serial split-read ratio %.3f "
+                   ">= 0.6\n",
+                   ratio);
+      return 1;
+    }
+    std::fprintf(stderr, "CHECK OK\n");
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace mux::bench
 
-int main() { return mux::bench::Run(); }
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") {
+      check = true;
+    }
+  }
+  return mux::bench::Run(check);
+}

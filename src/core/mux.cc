@@ -32,10 +32,19 @@ Mux::Mux(SimClock* clock, Options options)
   } else {
     policy_ = MakeLruPolicy();
   }
+  PublishTierSetLocked();  // single-threaded in the constructor
   if (options_.parallel_dispatch) {
     executor_ =
         std::make_unique<IoExecutor>(clock_, options_.io_threads_per_tier);
   }
+}
+
+void Mux::PublishTierSetLocked() {
+  auto snapshot = std::make_shared<TierSet>();
+  snapshot->tiers = tiers_;
+  snapshot->policy = policy_;
+  std::lock_guard<std::mutex> lock(tier_set_mu_);
+  tier_set_ = std::move(snapshot);
 }
 
 void Mux::RecordOp(const char* op, std::string_view hist, uint64_t bytes,
@@ -58,7 +67,7 @@ Mux::~Mux() {
     executor_->Shutdown();
   }
   // Close every shadow handle still open.
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   for (auto& [ino, inode] : inodes_) {
     std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     (void)CloseShadowsLocked(*inode);
@@ -72,7 +81,7 @@ Result<TierId> Mux::AddTier(const std::string& name, vfs::FileSystem* fs,
   if (fs == nullptr) {
     return InvalidArgumentError("null file system");
   }
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   for (const TierInfo& tier : tiers_) {
     if (tier.name == name) {
       return ExistsError("tier name in use: " + name);
@@ -86,6 +95,7 @@ Result<TierId> Mux::AddTier(const std::string& name, vfs::FileSystem* fs,
   tier.speed_rank = static_cast<uint32_t>(tiers_.size());
   const TierId id = tier.id;
   tiers_.push_back(std::move(tier));
+  PublishTierSetLocked();
   if (executor_ != nullptr) {
     executor_->AddTier(id);
   }
@@ -109,7 +119,7 @@ Status Mux::RemoveTier(const std::string& name) {
   TierId target = kInvalidTier;
   std::vector<std::shared_ptr<MuxInode>> files;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
     for (const TierInfo& tier : tiers_) {
       if (tier.name == name) {
         removed = tier.id;
@@ -146,7 +156,7 @@ Status Mux::RemoveTier(const std::string& name) {
     MUX_RETURN_IF_ERROR(
         MigrateRangeInternal(inode, 0, blocks, target, removed));
   }
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   for (const auto& [ino, inode] : inodes_) {
     std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     if (inode->blt != nullptr && inode->blt->BlocksOnTier(removed) != 0) {
@@ -169,6 +179,7 @@ Status Mux::RemoveTier(const std::string& name) {
                                 return t.id == removed;
                               }),
                tiers_.end());
+  PublishTierSetLocked();
   if (executor_ != nullptr) {
     executor_->RemoveTier(removed);
   }
@@ -176,8 +187,8 @@ Status Mux::RemoveTier(const std::string& name) {
 }
 
 Result<TierId> Mux::TierByName(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  for (const TierInfo& tier : tiers_) {
+  const auto tier_set = SnapshotTierSet();
+  for (const TierInfo& tier : tier_set->tiers) {
     if (tier.name == name) {
       return tier.id;
     }
@@ -185,10 +196,10 @@ Result<TierId> Mux::TierByName(const std::string& name) const {
   return NotFoundError("no such tier: " + name);
 }
 
-std::vector<TierUsage> Mux::TierUsagesLocked() const {
+std::vector<TierUsage> Mux::TierUsagesFor(const std::vector<TierInfo>& tiers) {
   std::vector<TierUsage> usages;
-  usages.reserve(tiers_.size());
-  for (const TierInfo& tier : tiers_) {
+  usages.reserve(tiers.size());
+  for (const TierInfo& tier : tiers) {
     TierUsage usage;
     usage.id = tier.id;
     usage.name = tier.name;
@@ -209,14 +220,13 @@ std::vector<TierUsage> Mux::TierUsagesLocked() const {
 }
 
 std::vector<TierUsage> Mux::TierUsages() const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  return TierUsagesLocked();
+  return TierUsagesFor(SnapshotTierSet()->tiers);
 }
 
-TierId Mux::FastestTierLocked() const {
+TierId Mux::FastestTierOf(const std::vector<TierInfo>& tiers) {
   TierId best = kInvalidTier;
   uint32_t best_rank = UINT32_MAX;
-  for (const TierInfo& tier : tiers_) {
+  for (const TierInfo& tier : tiers) {
     if (tier.speed_rank < best_rank) {
       best_rank = tier.speed_rank;
       best = tier.id;
@@ -225,14 +235,17 @@ TierId Mux::FastestTierLocked() const {
   return best;
 }
 
+TierId Mux::FastestTierLocked() const { return FastestTierOf(tiers_); }
+
 // ---- policy ------------------------------------------------------------------
 
 Status Mux::SetPolicy(std::unique_ptr<TieringPolicy> policy) {
   if (policy == nullptr) {
     return InvalidArgumentError("null policy");
   }
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   policy_ = std::move(policy);
+  PublishTierSetLocked();
   return Status::Ok();
 }
 
@@ -243,8 +256,8 @@ Status Mux::SetPolicyByName(const std::string& name, const std::string& args) {
 }
 
 std::string_view Mux::PolicyName() const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  return policy_->Name();
+  // Policies return literal names, so the view outlives the snapshot.
+  return SnapshotTierSet()->policy->Name();
 }
 
 // ---- namespace helpers ----------------------------------------------------------
@@ -283,19 +296,57 @@ Result<std::shared_ptr<Mux::MuxInode>> Mux::ResolveDirLocked(
 
 Result<Mux::OpCtx> Mux::BeginOp(vfs::FileHandle handle,
                                 uint32_t needed_flags) const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  auto it = open_files_.find(handle);
-  if (it == open_files_.end()) {
-    return BadHandleError("unknown handle");
+  if (!options_.sharded_op_setup) {
+    // Ablation baseline: one global mutex around the lookup plus a full
+    // tier-vector copy per op — the pre-sharding behavior, kept so
+    // bench/metadata_scaling can measure what the sharded path buys.
+    std::lock_guard<std::mutex> lock(legacy_op_mu_);
+    HandleShard& shard = ShardFor(handle);
+    auto it = shard.files.find(handle);
+    if (it == shard.files.end()) {
+      return BadHandleError("unknown handle");
+    }
+    if ((it->second.flags & needed_flags) != needed_flags) {
+      return PermissionError("handle lacks required access mode");
+    }
+    OpCtx ctx;
+    ctx.file = it->second;
+    auto legacy = std::make_shared<TierSet>();
+    const auto current = SnapshotTierSet();
+    legacy->tiers = current->tiers;  // the per-op vector copy being ablated
+    legacy->policy = current->policy;
+    ctx.tier_set = std::move(legacy);
+    return ctx;
   }
-  if ((it->second.flags & needed_flags) != needed_flags) {
-    return PermissionError("handle lacks required access mode");
-  }
+
+  // Hot path: one shard shared-lock for the handle, one shared_ptr copy for
+  // the tier snapshot. No global mutex, no vector copy.
   OpCtx ctx;
-  ctx.file = it->second;
-  ctx.tiers = tiers_;
-  ctx.policy = policy_.get();
+  {
+    HandleShard& shard = ShardFor(handle);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.files.find(handle);
+    if (it == shard.files.end()) {
+      return BadHandleError("unknown handle");
+    }
+    if ((it->second.flags & needed_flags) != needed_flags) {
+      return PermissionError("handle lacks required access mode");
+    }
+    ctx.file = it->second;
+  }
+  ctx.tier_set = SnapshotTierSet();
   return ctx;
+}
+
+vfs::FileHandle Mux::InsertOpenFile(const std::shared_ptr<MuxInode>& inode,
+                                    uint32_t flags) {
+  const vfs::FileHandle handle =
+      next_handle_.fetch_add(1, std::memory_order_relaxed);
+  inode->open_count.fetch_add(1, std::memory_order_relaxed);
+  HandleShard& shard = ShardFor(handle);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
+  shard.files.emplace(handle, OpenFile{inode, flags});
+  return handle;
 }
 
 // ---- shadow plumbing ----------------------------------------------------------
@@ -370,18 +421,19 @@ void Mux::Touch(MuxInode& inode) {
 Result<vfs::FileHandle> Mux::Open(const std::string& path, uint32_t flags,
                                   uint32_t mode) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  if (tiers_.empty()) {
-    return InternalError("mux has no registered tiers");
+  std::unique_lock<std::mutex> legacy_lock;
+  if (!options_.sharded_op_setup) {
+    legacy_lock = std::unique_lock<std::mutex>(legacy_op_mu_);
   }
-  auto resolved = ResolveLocked(path);
-  std::shared_ptr<MuxInode> inode;
-  if (resolved.ok()) {
+  // Opening an existing file mutates nothing under ns_mu_ (open_count is
+  // atomic, the handle lives in its shard), so the common case holds the
+  // namespace lock shared. Only an actual create upgrades to exclusive.
+  const auto open_resolved =
+      [&](const std::shared_ptr<MuxInode>& inode) -> Result<vfs::FileHandle> {
     if ((flags & vfs::OpenFlags::kExclusive) &&
         (flags & vfs::OpenFlags::kCreate)) {
       return ExistsError(path);
     }
-    inode = *resolved;
     if (inode->type == vfs::FileType::kDirectory) {
       return IsDirError(path);
     }
@@ -389,48 +441,74 @@ Result<vfs::FileHandle> Mux::Open(const std::string& path, uint32_t flags,
       std::lock_guard<std::shared_mutex> file_lock(inode->mu);
       MUX_RETURN_IF_ERROR(TruncateLocked(*inode, 0, tiers_));
     }
-  } else if (resolved.status().code() == ErrorCode::kNotFound &&
-             (flags & vfs::OpenFlags::kCreate)) {
-    MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
-    inode = std::make_shared<MuxInode>();
-    inode->ino = next_ino_++;
-    inode->type = vfs::FileType::kRegular;
-    inode->path = vfs::NormalizePath(path);
-    inode->blt = MakeBlt(options_.blt_kind);
-    const TierId fastest = FastestTierLocked();
-    const SimTime now = clock_->Now();
-    inode->attrs.set_ctime(now);
-    inode->attrs.UpdateSize(0, fastest);
-    inode->attrs.UpdateMtime(now, fastest);
-    inode->attrs.UpdateAtime(now, fastest);
-    inode->attrs.UpdateMode(mode, fastest);
-    inode->last_access = now;
-    inodes_.emplace(inode->ino, inode);
-    parent->children.emplace(vfs::Basename(path), inode->ino);
-  } else {
+    return InsertOpenFile(inode, flags);
+  };
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    if (tiers_.empty()) {
+      return InternalError("mux has no registered tiers");
+    }
+    auto resolved = ResolveLocked(path);
+    if (resolved.ok()) {
+      return open_resolved(*resolved);
+    }
+    if (resolved.status().code() != ErrorCode::kNotFound ||
+        (flags & vfs::OpenFlags::kCreate) == 0) {
+      return resolved.status();
+    }
+  }
+
+  // Create path: retake exclusive and re-resolve — another creator may have
+  // won the race between the two lock holds.
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
+  auto resolved = ResolveLocked(path);
+  if (resolved.ok()) {
+    return open_resolved(*resolved);
+  }
+  if (resolved.status().code() != ErrorCode::kNotFound) {
     return resolved.status();
   }
-  const vfs::FileHandle handle = next_handle_++;
-  inode->open_count++;
-  open_files_.emplace(handle, OpenFile{inode, flags});
-  return handle;
+  MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
+  auto inode = std::make_shared<MuxInode>();
+  inode->ino = next_ino_++;
+  inode->type = vfs::FileType::kRegular;
+  inode->path = vfs::NormalizePath(path);
+  inode->blt = MakeBlt(options_.blt_kind);
+  const TierId fastest = FastestTierLocked();
+  const SimTime now = clock_->Now();
+  inode->attrs.set_ctime(now);
+  inode->attrs.UpdateSize(0, fastest);
+  inode->attrs.UpdateMtime(now, fastest);
+  inode->attrs.UpdateAtime(now, fastest);
+  inode->attrs.UpdateMode(mode, fastest);
+  inode->last_access = now;
+  inodes_.emplace(inode->ino, inode);
+  parent->children.emplace(vfs::Basename(path), inode->ino);
+  return InsertOpenFile(inode, flags);
 }
 
 Status Mux::Close(vfs::FileHandle handle) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  auto it = open_files_.find(handle);
-  if (it == open_files_.end()) {
+  std::unique_lock<std::mutex> legacy_lock;
+  if (!options_.sharded_op_setup) {
+    legacy_lock = std::unique_lock<std::mutex>(legacy_op_mu_);
+  }
+  // Handle teardown touches only the shard and the inode's atomic count —
+  // no namespace lock at all.
+  HandleShard& shard = ShardFor(handle);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
+  auto it = shard.files.find(handle);
+  if (it == shard.files.end()) {
     return BadHandleError("close of unknown handle");
   }
-  it->second.inode->open_count--;
-  open_files_.erase(it);
+  it->second.inode->open_count.fetch_sub(1, std::memory_order_relaxed);
+  shard.files.erase(it);
   return Status::Ok();
 }
 
 Status Mux::Mkdir(const std::string& path, uint32_t mode) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   if (!vfs::IsValidPath(path) || vfs::NormalizePath(path) == "/") {
     return InvalidArgumentError("invalid mkdir path: " + path);
   }
@@ -452,7 +530,7 @@ Status Mux::Mkdir(const std::string& path, uint32_t mode) {
 
 Status Mux::Rmdir(const std::string& path) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   if (vfs::NormalizePath(path) == "/") {
     return InvalidArgumentError("cannot remove root");
   }
@@ -499,7 +577,7 @@ Status Mux::UnlinkInodeLocked(const std::shared_ptr<MuxInode>& inode) {
 
 Status Mux::Unlink(const std::string& path) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
   if (inode->type == vfs::FileType::kDirectory) {
     return IsDirError(path);
@@ -512,7 +590,7 @@ Status Mux::Unlink(const std::string& path) {
 
 Status Mux::Rename(const std::string& from, const std::string& to) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(from));
   if (!vfs::IsValidPath(to)) {
     return InvalidArgumentError("invalid rename target: " + to);
@@ -590,7 +668,7 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
 
 Result<vfs::FileStat> Mux::Stat(const std::string& path) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
   std::shared_lock<std::shared_mutex> file_lock(inode->mu);
   return StatForLocked(*inode);
@@ -616,7 +694,7 @@ vfs::FileStat Mux::StatForLocked(const MuxInode& inode) const {
 
 Result<std::vector<vfs::DirEntry>> Mux::ReadDir(const std::string& path) {
   ChargeDispatch();
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto dir, ResolveDirLocked(path));
   std::vector<vfs::DirEntry> entries;
   entries.reserve(dir->children.size());
@@ -645,14 +723,14 @@ Status Mux::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
   // The caller dictates values; ownership moves to the fastest tier that
   // holds part of the file (or the fastest overall for empty files).
   TierId owner = kInvalidTier;
-  for (const TierInfo& tier : ctx.tiers) {
+  for (const TierInfo& tier : ctx.tiers()) {
     if (inode.blt != nullptr && inode.blt->BlocksOnTier(tier.id) > 0) {
       owner = tier.id;
       break;
     }
   }
-  if (owner == kInvalidTier && !ctx.tiers.empty()) {
-    owner = ctx.tiers.front().id;
+  if (owner == kInvalidTier && !ctx.tiers().empty()) {
+    owner = ctx.tiers().front().id;
   }
   if (update.atime) {
     inode.attrs.UpdateAtime(*update.atime, owner);
@@ -665,7 +743,7 @@ Status Mux::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
   }
   ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
   // Lazy sync: push the values to every shadow so non-owners don't drift.
-  for (const TierInfo& tier : ctx.tiers) {
+  for (const TierInfo& tier : ctx.tiers()) {
     auto it = inode.shadows.find(tier.id);
     if (it != inode.shadows.end()) {
       (void)tier.fs->SetAttr(it->second, update);
@@ -675,9 +753,9 @@ Status Mux::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
 }
 
 Result<vfs::FsStats> Mux::StatFs() {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  const auto tier_set = SnapshotTierSet();
   vfs::FsStats total;
-  for (const TierInfo& tier : tiers_) {
+  for (const TierInfo& tier : tier_set->tiers) {
     auto st = tier.fs->StatFs();
     if (st.ok()) {
       total.capacity_bytes += st->capacity_bytes;
@@ -690,8 +768,8 @@ Result<vfs::FsStats> Mux::StatFs() {
 }
 
 Status Mux::Sync() {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  for (const TierInfo& tier : tiers_) {
+  const auto tier_set = SnapshotTierSet();
+  for (const TierInfo& tier : tier_set->tiers) {
     MUX_RETURN_IF_ERROR(tier.fs->Sync());
   }
   return Status::Ok();

@@ -22,6 +22,7 @@
 #ifndef MUX_CORE_MUX_H_
 #define MUX_CORE_MUX_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
@@ -50,6 +51,17 @@
 #include "src/vfs/file_system.h"
 
 namespace mux::core {
+
+// Immutable snapshot of the tier table plus the active policy. Mux keeps the
+// master copies under ns_mu_ (exclusive) and republishes a fresh TierSet via
+// an atomic shared_ptr swap on every AddTier/RemoveTier/SetPolicy. Op setup
+// pins one snapshot for the op's whole lifetime, so the data path reads tier
+// metadata with no lock and no vector copy, and a concurrent tier swap can
+// never pull the table out from under an in-flight op.
+struct TierSet {
+  std::vector<TierInfo> tiers;  // sorted by speed_rank (= insertion order)
+  std::shared_ptr<TieringPolicy> policy;
+};
 
 struct MuxStats {
   uint64_t reads = 0;
@@ -89,6 +101,18 @@ class Mux : public vfs::FileSystem {
     // (per-tier ordering preserved) so source reads overlap destination
     // writes. Serial round-robin drain when false.
     bool parallel_migration_drain = true;
+    // Contention-free op setup: handle lookups go through a sharded
+    // shared-mutex table and the tier table is pinned as an immutable
+    // snapshot. When false, every BeginOp/Open/Close serializes on one
+    // global mutex and copies the tier vector — the pre-sharding behavior,
+    // kept as an ablation knob for bench/metadata_scaling.
+    bool sharded_op_setup = true;
+    // Migration copy loop double-buffers its slices over the per-tier
+    // executor pools: the source read of slice N+1 overlaps the destination
+    // write of slice N, so a copy costs ~max(read chain, write chain)
+    // instead of the sum. Serial slice-at-a-time copy when false (or when
+    // the executor is absent).
+    bool pipelined_migration_copy = true;
   };
 
   Mux(SimClock* clock, Options options);
@@ -250,7 +274,10 @@ class Mux : public vfs::FileSystem {
     std::map<std::string, vfs::InodeNum> children;  // directories
     double temperature = 0.0;
     SimTime last_access = 0;
-    uint32_t open_count = 0;
+    // Atomic: Open bumps it under a merely-shared ns_mu_ and Close touches
+    // only the handle shard, so two opens (or an open and a close) of one
+    // file can race on the count.
+    std::atomic<uint32_t> open_count{0};
     // File lock: shared for Read/Stat/FStat, exclusive for anything that
     // mutates the BLT, size, or shadow layout. See DESIGN.md "Concurrency
     // model" for the full hierarchy (ns_mu_ -> migrate_mu -> mu ->
@@ -274,16 +301,50 @@ class Mux : public vfs::FileSystem {
     uint32_t flags = 0;
   };
 
-  // Everything one data-path call needs, captured under ns_mu_ once so the
-  // hot path never holds ns_mu_ across device I/O (lock order is always
-  // ns_mu_ -> inode.mu, never the reverse).
+  // Everything one data-path call needs. BeginOp assembles it with no
+  // global lock: a shard shared-lock for the handle lookup plus one
+  // shared_ptr copy pinning the current TierSet snapshot, so the hot path
+  // never touches ns_mu_ and never copies the tier vector (lock order is
+  // always ns_mu_ -> inode.mu, never the reverse).
   struct OpCtx {
     OpenFile file;
-    std::vector<TierInfo> tiers;
-    TieringPolicy* policy = nullptr;
+    std::shared_ptr<const TierSet> tier_set;
+
+    const std::vector<TierInfo>& tiers() const { return tier_set->tiers; }
+    TieringPolicy* policy() const { return tier_set->policy.get(); }
   };
 
-  // ---- namespace (ns_mu_ held) --------------------------------------------
+  // ---- open-file table (sharded; no ns_mu_) -------------------------------
+  // Handles are sharded across kHandleShards independent shared-mutex maps,
+  // so op setup of unrelated handles never contends: BeginOp/FStat take one
+  // shard's lock shared, Open/Close take it exclusive.
+  static constexpr size_t kHandleShards = 16;
+  struct HandleShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<vfs::FileHandle, OpenFile> files;
+  };
+  HandleShard& ShardFor(vfs::FileHandle handle) const {
+    return handle_shards_[handle % kHandleShards];
+  }
+  // Allocates a handle and publishes it in its shard.
+  vfs::FileHandle InsertOpenFile(const std::shared_ptr<MuxInode>& inode,
+                                 uint32_t flags);
+
+  // ---- tier snapshot ------------------------------------------------------
+  // Republishes tiers_/policy_ as a fresh immutable TierSet. Caller holds
+  // ns_mu_ exclusive (it reads the master copies).
+  void PublishTierSetLocked();
+  std::shared_ptr<const TierSet> SnapshotTierSet() const {
+    // tier_set_mu_ is a leaf lock held only for this copy (and the assign in
+    // PublishTierSetLocked) — never across I/O or while any other lock is
+    // taken, so op setup pays two uncontended atomic RMWs, nothing more.
+    // (std::atomic<shared_ptr> would do, but libstdc++'s _Sp_atomic spinlock
+    // is invisible to TSan, and the stress tests must stay TSan-clean.)
+    std::lock_guard<std::mutex> lock(tier_set_mu_);
+    return tier_set_;
+  }
+
+  // ---- namespace (ns_mu_ held, shared is enough for the read-only ones) ---
   Result<std::shared_ptr<MuxInode>> ResolveLocked(const std::string& path) const;
   Result<std::shared_ptr<MuxInode>> ResolveDirLocked(
       const std::string& path) const;
@@ -298,9 +359,13 @@ class Mux : public vfs::FileSystem {
   Status CloseShadowsLocked(MuxInode& inode);  // also needs ns_mu_
   Status EnsureShadowDirs(const TierInfo& tier, const std::string& path);
 
-  // ---- tier helpers (ns_mu_ held) ---------------------------------------------
-  std::vector<TierUsage> TierUsagesLocked() const;
-  TierId FastestTierLocked() const;
+  // ---- tier helpers -------------------------------------------------------
+  // Occupancy snapshot for an explicit tier vector (no lock needed — works
+  // on a pinned TierSet as well as on tiers_ under ns_mu_).
+  static std::vector<TierUsage> TierUsagesFor(
+      const std::vector<TierInfo>& tiers);
+  TierId FastestTierLocked() const;  // ns_mu_ held (reads tiers_)
+  static TierId FastestTierOf(const std::vector<TierInfo>& tiers);
   static Result<const TierInfo*> FindTier(const std::vector<TierInfo>& tiers,
                                           TierId id);
 
@@ -355,8 +420,18 @@ class Mux : public vfs::FileSystem {
                               uint64_t first_block, uint64_t count, TierId to,
                               TierId only_from);
   // Copies the given runs to `to` through the shadow files (no lock held).
+  // With `pipelined_migration_copy` and an executor, slices are
+  // double-buffered over the per-tier pools (see CopyRunsPipelined).
   Status CopyRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
                   const std::vector<BlockLookupTable::Run>& runs, TierId to);
+  // Double-buffered copy: the source pool reads slice N+1 while the
+  // destination pool writes slice N. Chains are anchored at a common origin
+  // and the copy charges max(read chain, write chain) — the two devices
+  // overlap, matching the split-I/O time-cursor model.
+  Status CopyRunsPipelined(MuxInode& inode,
+                           const std::vector<TierInfo>& tiers,
+                           const std::vector<BlockLookupTable::Run>& runs,
+                           const TierInfo& dst);
   // Commits runs into the BLT and punches holes at the sources, skipping
   // `skip_blocks` (inode.mu held).
   Status CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
@@ -394,16 +469,26 @@ class Mux : public vfs::FileSystem {
   mutable obs::MetricsRegistry metrics_;
   mutable obs::TraceBuffer trace_;
 
-  mutable std::mutex ns_mu_;  // namespace, tiers, handles, policy pointer
-  std::vector<TierInfo> tiers_;  // sorted by speed_rank (= insertion order)
+  // Namespace lock, now a shared_mutex: Resolve/Stat/ReadDir/StatFs (and
+  // the brief planning snapshot) take it shared, only namespace mutations
+  // (create/unlink/rename/mkdir) and tier-table swaps take it exclusive.
+  // Open-file handles live in handle_shards_, not under ns_mu_.
+  mutable std::shared_mutex ns_mu_;
+  std::vector<TierInfo> tiers_;  // master copy; snapshot in tier_set_
   std::unordered_map<vfs::InodeNum, std::shared_ptr<MuxInode>> inodes_;
-  std::unordered_map<vfs::FileHandle, OpenFile> open_files_;
-  std::unique_ptr<TieringPolicy> policy_;
+  std::shared_ptr<TieringPolicy> policy_;  // master copy; snapshot in tier_set_
+  // Current immutable snapshot of {tiers_, policy_}; swapped by
+  // PublishTierSetLocked, pinned by BeginOp and friends via SnapshotTierSet.
+  mutable std::mutex tier_set_mu_;  // leaf: guards only the pointer swap
+  std::shared_ptr<const TierSet> tier_set_;
+  mutable std::array<HandleShard, kHandleShards> handle_shards_;
+  // Serializes op setup when sharded_op_setup is off (ablation baseline).
+  mutable std::mutex legacy_op_mu_;
   std::unique_ptr<CacheController> cache_;
   std::unique_ptr<IoExecutor> executor_;  // created when parallel_dispatch
   TierId next_tier_id_ = 0;
   vfs::InodeNum next_ino_ = 2;
-  vfs::FileHandle next_handle_ = 1;
+  std::atomic<vfs::FileHandle> next_handle_{1};
 
   // Hot-path counters are lock-free so concurrent readers never serialize on
   // stats_mu_; the mutex remains only for the cold aggregates (OCC pass

@@ -1,8 +1,11 @@
 // Mux data path: the VFS Call Processor (split/dispatch/merge), the OCC
 // migration engine, the policy runner, and the bookkeeper glue.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstring>
+#include <future>
+#include <unordered_map>
 
 #include "src/common/logging.h"
 #include "src/core/mux.h"
@@ -85,7 +88,7 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
       std::memset(out + (run_lo - offset), 0, run_hi - run_lo);
       continue;
     }
-    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers, run.tier));
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers(), run.tier));
     last_tier = run.tier;
     jobs.push_back(SegmentJob{
         run.tier, [this, &inode, &ctx, tier, run_lo, run_hi, offset,
@@ -145,7 +148,7 @@ Status Mux::ReadRunSegment(MuxInode& inode, const OpCtx& ctx,
     if (lo >= hi) {
       continue;
     }
-    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers, tier.id, lo,
+    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers(), tier.id, lo,
                                               hi - lo, out + (lo - offset)));
   }
   return Status::Ok();
@@ -191,7 +194,7 @@ Status Mux::CachedRunRead(MuxInode& inode, const OpCtx& ctx,
     const uint64_t blocks = missed[j - 1] - b0 + 1;
     metrics_.Add("mux.cache.coalesced_reads", 1);
     buf.resize(blocks * kBlockSize);
-    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers, tier.id,
+    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers(), tier.id,
                                               b0 * kBlockSize,
                                               blocks * kBlockSize,
                                               buf.data()));
@@ -328,8 +331,8 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   // chunks land.
   std::vector<TierUsage> usages;
   if (has_hole) {
-    usages.reserve(ctx.tiers.size());
-    for (const TierInfo& tier : ctx.tiers) {
+    usages.reserve(ctx.tiers().size());
+    for (const TierInfo& tier : ctx.tiers()) {
       TierUsage usage;
       usage.id = tier.id;
       usage.name = tier.name;
@@ -374,7 +377,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
         const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
         const uint64_t run_hi = std::min(
             offset + length, (run.first_block + run.count) * kBlockSize);
-        auto tier_or = FindTier(ctx.tiers, run.tier);
+        auto tier_or = FindTier(ctx.tiers(), run.tier);
         if (!tier_or.ok()) {
           prep = tier_or.status();
           break;
@@ -426,10 +429,10 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
       pctx.block_index = run.first_block;
       pctx.temperature = inode.temperature;
       pctx.tiers = &usages;
-      target = ctx.policy != nullptr ? ctx.policy->PlaceWrite(pctx)
+      target = ctx.policy() != nullptr ? ctx.policy()->PlaceWrite(pctx)
                                      : kInvalidTier;
-      if (target == kInvalidTier && !ctx.tiers.empty()) {
-        target = ctx.tiers.front().id;
+      if (target == kInvalidTier && !ctx.tiers().empty()) {
+        target = ctx.tiers().front().id;
       }
     }
 
@@ -437,7 +440,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
     Status write_status = NoSpaceError("no tier accepted the write");
     TierId actual = kInvalidTier;
     MUX_ASSIGN_OR_RETURN(const TierInfo* first_choice,
-                         FindTier(ctx.tiers, target));
+                         FindTier(ctx.tiers(), target));
     std::vector<const TierInfo*> candidates;
     if (parallel_attempted) {
       // The home-tier attempt already ran on the executor; adopt its result
@@ -448,7 +451,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
         actual = target;
       } else if (parallel_open_failed[si] != 0 ||
                  write_status.code() == ErrorCode::kNoSpace) {
-        for (const TierInfo& tier : ctx.tiers) {
+        for (const TierInfo& tier : ctx.tiers()) {
           if (tier.id != target) {
             candidates.push_back(&tier);
           }
@@ -456,7 +459,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
       }
     } else {
       candidates.push_back(first_choice);
-      for (const TierInfo& tier : ctx.tiers) {
+      for (const TierInfo& tier : ctx.tiers()) {
         if (tier.id != target) {
           candidates.push_back(&tier);
         }
@@ -495,7 +498,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
     // must be punched out.
     if (run.tier != kInvalidTier && run.tier != actual) {
       MUX_ASSIGN_OR_RETURN(const TierInfo* old_tier,
-                           FindTier(ctx.tiers, run.tier));
+                           FindTier(ctx.tiers(), run.tier));
       auto old_shadow = ShadowHandleLocked(inode, *old_tier, false);
       if (old_shadow.ok()) {
         const uint64_t punch_first = run_lo / kBlockSize;
@@ -523,7 +526,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
     }
 
     // Keep mirrors current (synchronous replication, §4 extension).
-    MUX_RETURN_IF_ERROR(UpdateReplicasLocked(inode, ctx.tiers, run_lo,
+    MUX_RETURN_IF_ERROR(UpdateReplicasLocked(inode, ctx.tiers(), run_lo,
                                              data + (run_lo - offset),
                                              run_hi - run_lo, actual));
   }
@@ -598,7 +601,7 @@ Status Mux::Truncate(vfs::FileHandle handle, uint64_t new_size) {
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
   MuxInode& inode = *ctx.file.inode;
   std::lock_guard<std::shared_mutex> file_lock(inode.mu);
-  return TruncateLocked(inode, new_size, ctx.tiers);
+  return TruncateLocked(inode, new_size, ctx.tiers());
 }
 
 Status Mux::Fsync(vfs::FileHandle handle, bool data_only) {
@@ -609,7 +612,7 @@ Status Mux::Fsync(vfs::FileHandle handle, bool data_only) {
   // Fan out to every file system responsible for part of the file and
   // synchronize on all completions (§4 "Crash Consistency").
   for (const TierId tier_id : inode.touched_tiers) {
-    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers, tier_id));
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers(), tier_id));
     auto shadow = ShadowHandleLocked(inode, *tier, false);
     if (!shadow.ok()) {
       continue;
@@ -631,7 +634,7 @@ Status Mux::Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
   // Preallocate on the fastest tier with room (preallocation exists to make
   // later writes cheap, so it follows placement of hot data).
   Status status = NoSpaceError("no tier accepted the fallocate");
-  for (const TierInfo& tier : ctx.tiers) {
+  for (const TierInfo& tier : ctx.tiers()) {
     auto shadow = ShadowHandleLocked(inode, tier, /*create=*/true);
     if (!shadow.ok()) {
       status = shadow.status();
@@ -701,7 +704,7 @@ Status Mux::PunchHole(vfs::FileHandle handle, uint64_t offset,
     if (run.tier == kInvalidTier) {
       continue;
     }
-    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers, run.tier));
+    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers(), run.tier));
     MUX_ASSIGN_OR_RETURN(vfs::FileHandle shadow,
                          ShadowHandleLocked(inode, *tier, false));
     MUX_RETURN_IF_ERROR(tier->fs->PunchHole(shadow,
@@ -719,7 +722,7 @@ Status Mux::PunchHole(vfs::FileHandle handle, uint64_t offset,
       if (rrun.tier == kInvalidTier) {
         continue;
       }
-      auto tier = FindTier(ctx.tiers, rrun.tier);
+      auto tier = FindTier(ctx.tiers(), rrun.tier);
       if (!tier.ok()) {
         continue;
       }
@@ -758,6 +761,9 @@ Status Mux::CopyRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
                      const std::vector<BlockLookupTable::Run>& runs,
                      TierId to) {
   MUX_ASSIGN_OR_RETURN(const TierInfo* dst, FindTier(tiers, to));
+  if (options_.pipelined_migration_copy && executor_ != nullptr) {
+    return CopyRunsPipelined(inode, tiers, runs, *dst);
+  }
   std::vector<uint8_t> buf;
   for (const auto& run : runs) {
     MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
@@ -794,6 +800,114 @@ Status Mux::CopyRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
               .status());
     }
   }
+  return Status::Ok();
+}
+
+Status Mux::CopyRunsPipelined(MuxInode& inode,
+                              const std::vector<TierInfo>& tiers,
+                              const std::vector<BlockLookupTable::Run>& runs,
+                              const TierInfo& dst) {
+  constexpr uint64_t kSlice = 256;  // blocks (1 MiB)
+  const SimTime origin = clock_->Now();
+  SimTime read_chain = 0;   // ns past origin when the last read finished
+  SimTime write_chain = 0;  // ns past origin when the last write finished
+
+  struct Slice {
+    uint64_t off = 0;
+    std::vector<uint8_t> buf;
+  };
+  std::array<Slice, 2> slices;
+
+  vfs::FileHandle dst_handle;
+  {
+    std::lock_guard<std::mutex> shadow_lock(inode.shadow_mu);
+    auto dst_it = inode.shadows.find(dst.id);
+    if (dst_it == inode.shadows.end()) {
+      return InternalError("migration shadows not open");
+    }
+    dst_handle = dst_it->second;
+  }
+
+  uint64_t overlapped = 0;
+  for (const auto& run : runs) {
+    MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
+    vfs::FileHandle src_handle;
+    {
+      std::lock_guard<std::mutex> shadow_lock(inode.shadow_mu);
+      auto src_it = inode.shadows.find(src->id);
+      if (src_it == inode.shadows.end()) {
+        return InternalError("migration shadows not open");
+      }
+      src_handle = src_it->second;
+    }
+
+    // Source reads chain after one another on the source pool; slice N+1's
+    // read is submitted while slice N's write is in flight on the
+    // destination pool. PendingRuns never yields run.tier == dst.id, so the
+    // two chains really are on different devices.
+    auto read_slice = [&](int which, uint64_t done) {
+      Slice& s = slices[which];
+      const uint64_t blocks = std::min(kSlice, run.count - done);
+      s.off = (run.first_block + done) * kBlockSize;
+      s.buf.resize(blocks * kBlockSize);
+      return executor_->Submit(
+          src->id, origin + read_chain, [src, src_handle, &s]() -> Status {
+            MUX_ASSIGN_OR_RETURN(
+                uint64_t got,
+                src->fs->Read(src_handle, s.off, s.buf.size(), s.buf.data()));
+            if (got < s.buf.size()) {
+              std::memset(s.buf.data() + got, 0, s.buf.size() - got);
+            }
+            return Status::Ok();
+          });
+    };
+
+    const uint64_t total_slices = (run.count + kSlice - 1) / kSlice;
+    IoCompletion primed = read_slice(0, 0).get();
+    MUX_RETURN_IF_ERROR(primed.status);
+    read_chain += primed.elapsed_ns;
+    SimTime data_ready = read_chain;
+
+    int cur = 0;
+    for (uint64_t i = 0; i < total_slices; ++i) {
+      Slice& s = slices[cur];
+      // A write needs its buffer filled AND the previous write retired.
+      const SimTime write_start = std::max(data_ready, write_chain);
+      auto write_future = executor_->Submit(
+          dst.id, origin + write_start, [&dst, dst_handle, &s]() -> Status {
+            return dst.fs->Write(dst_handle, s.off, s.buf.data(),
+                                 s.buf.size())
+                .status();
+          });
+      std::future<IoCompletion> next_read;
+      if (i + 1 < total_slices) {
+        next_read = read_slice(1 - cur, (i + 1) * kSlice);
+        ++overlapped;
+      }
+      // Join both before acting on either status so no future outlives the
+      // buffers on an error return.
+      Status read_status;
+      if (next_read.valid()) {
+        IoCompletion rc = next_read.get();
+        read_status = rc.status;
+        read_chain += rc.elapsed_ns;
+        data_ready = read_chain;
+      }
+      IoCompletion wc = write_future.get();
+      write_chain = write_start + wc.elapsed_ns;
+      MUX_RETURN_IF_ERROR(wc.status);
+      MUX_RETURN_IF_ERROR(read_status);
+      cur = 1 - cur;
+    }
+  }
+
+  // The copy charges the pipeline's end, not the serial read+write sum —
+  // same max-of-chains model as split-I/O dispatch.
+  clock_->Advance(std::max(read_chain, write_chain));
+  metrics_.Add("mux.migrate.pipeline.copies", 1);
+  metrics_.Add("mux.migrate.pipeline.overlapped_slices", overlapped);
+  metrics_.Add("mux.migrate.pipeline.read_chain_ns", read_chain);
+  metrics_.Add("mux.migrate.pipeline.write_chain_ns", write_chain);
   return Status::Ok();
 }
 
@@ -836,11 +950,17 @@ Status Mux::CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
       }
       return Status::Ok();
     };
-    for (uint64_t b = run.first_block; b < run_end; ++b) {
-      if (std::binary_search(skip_blocks.begin(), skip_blocks.end(), b)) {
-        MUX_RETURN_IF_ERROR(flush_piece(piece_start, b));
-        piece_start = b + 1;
+    // Merged walk over the sorted conflict list: position once with
+    // lower_bound, then advance both cursors in lockstep —
+    // O(run + conflicts) instead of a log-factor probe per block.
+    auto skip = std::lower_bound(skip_blocks.begin(), skip_blocks.end(),
+                                 run.first_block);
+    for (; skip != skip_blocks.end() && *skip < run_end; ++skip) {
+      if (*skip < piece_start) {
+        continue;  // duplicate conflict entry
       }
+      MUX_RETURN_IF_ERROR(flush_piece(piece_start, *skip));
+      piece_start = *skip + 1;
     }
     MUX_RETURN_IF_ERROR(flush_piece(piece_start, run_end));
   }
@@ -851,11 +971,9 @@ Status Mux::CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
 Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
                                  uint64_t first_block, uint64_t count,
                                  TierId to, TierId only_from) {
-  std::vector<TierInfo> tiers;
-  {
-    std::lock_guard<std::mutex> lock(ns_mu_);
-    tiers = tiers_;
-  }
+  // Pin the tier snapshot for the whole pass — no ns_mu_, no vector copy.
+  const auto tier_set = SnapshotTierSet();
+  const std::vector<TierInfo>& tiers = tier_set->tiers;
   MUX_RETURN_IF_ERROR(FindTier(tiers, to).status());
 
   // One migration pass at a time per inode: OccState has a single
@@ -1019,7 +1137,7 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
 Status Mux::MigrateFile(const std::string& path, TierId to, TierId from) {
   std::shared_ptr<MuxInode> inode;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
   }
   if (inode->type != vfs::FileType::kRegular) {
@@ -1040,7 +1158,7 @@ Status Mux::MigrateRange(const std::string& path, uint64_t first_block,
                          uint64_t count, TierId to) {
   std::shared_ptr<MuxInode> inode;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
   }
   if (inode->type != vfs::FileType::kRegular) {
@@ -1050,34 +1168,61 @@ Status Mux::MigrateRange(const std::string& path, uint64_t first_block,
 }
 
 Status Mux::RunPolicyMigrations() {
-  TieringView view;
-  std::vector<MigrationTask> tasks;
+  // Planning runs OFF the namespace lock. The only ns_mu_ critical section
+  // in the whole round is the brief shared-lock scan below that collects
+  // inode pointers (and their paths — renames hold ns_mu_ exclusive, so the
+  // strings are stable here). Foreground creates/renames resume as soon as
+  // that scan ends; lookups and opens were never blocked at all.
+  const auto tier_set = SnapshotTierSet();
+  if (tier_set == nullptr || tier_set->policy == nullptr ||
+      tier_set->tiers.empty()) {
+    return Status::Ok();
+  }
+
+  std::vector<std::pair<std::shared_ptr<MuxInode>, std::string>> candidates;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
-    view.tiers = TierUsagesLocked();
-    view.now = clock_->Now();
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    candidates.reserve(inodes_.size());
     for (const auto& [ino, inode] : inodes_) {
-      if (inode->type != vfs::FileType::kRegular) {
-        continue;
+      if (inode->type == vfs::FileType::kRegular) {
+        candidates.emplace_back(inode, inode->path);
       }
-      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
-      FileView fv;
-      fv.path = inode->path;
-      fv.size = inode->attrs.size();
+    }
+  }
+
+  // Build the TieringView with no global lock: each inode is viewed under a
+  // *shared* file lock (readers keep flowing; only its own writers wait),
+  // and the heat fields under meta_mu, their dedicated guard. Sizes are
+  // recorded as a side table so the dispatch loop below never has to
+  // re-resolve paths under ns_mu_ for byte estimation.
+  TieringView view;
+  view.tiers = TierUsagesFor(tier_set->tiers);
+  view.now = clock_->Now();
+  view.files.reserve(candidates.size());
+  std::unordered_map<std::string, uint64_t> planned_sizes;
+  planned_sizes.reserve(candidates.size());
+  for (const auto& [inode, path] : candidates) {
+    std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+    FileView fv;
+    fv.path = path;
+    fv.size = inode->attrs.size();
+    {
+      std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
       fv.last_access = inode->last_access;
       fv.temperature = Decay(inode->temperature,
                              view.now - inode->last_access);
-      for (const TierInfo& tier : tiers_) {
-        const uint64_t blocks = inode->blt->BlocksOnTier(tier.id);
-        if (blocks > 0) {
-          fv.blocks_per_tier[tier.id] = blocks;
-        }
-      }
-      view.files.push_back(std::move(fv));
     }
-    tasks = policy_->PlanMigrations(view);
+    for (const TierInfo& tier : tier_set->tiers) {
+      const uint64_t blocks = inode->blt->BlocksOnTier(tier.id);
+      if (blocks > 0) {
+        fv.blocks_per_tier[tier.id] = blocks;
+      }
+    }
+    planned_sizes.emplace(fv.path, fv.size);
+    view.files.push_back(std::move(fv));
   }
 
+  std::vector<MigrationTask> tasks = tier_set->policy->PlanMigrations(view);
   if (tasks.empty()) {
     return Status::Ok();
   }
@@ -1085,28 +1230,26 @@ Status Mux::RunPolicyMigrations() {
   // Dispatch the plan through the I/O scheduler (§4): per-tier queues,
   // cost-estimated ordering, and priorities — promotions toward the fastest
   // tier dispatch before demotions, so a hot file waiting to come up is not
-  // stuck behind bulk evictions.
+  // stuck behind bulk evictions. The scheduler sees the same pinned tier
+  // snapshot the plan was computed against.
   IoScheduler scheduler(SchedAlgo::kCostBased, clock_, &metrics_);
-  TierId fastest = kInvalidTier;
-  {
-    std::lock_guard<std::mutex> lock(ns_mu_);
-    for (const TierInfo& tier : tiers_) {
-      scheduler.RegisterTier(tier);
-    }
-    fastest = FastestTierLocked();
+  for (const TierInfo& tier : tier_set->tiers) {
+    scheduler.RegisterTier(tier);
   }
+  const TierId fastest = FastestTierOf(tier_set->tiers);
   for (const MigrationTask& task : tasks) {
     IoRequest request;
     request.tier = task.to;
     request.is_write = true;
     request.offset = task.first_block * kBlockSize;
-    // Estimate the moved volume for the cost-based order.
+    // Estimate the moved volume for the cost-based order; whole-file tasks
+    // use the size captured at planning time (a stale estimate only skews
+    // queue order, never correctness).
     uint64_t bytes = task.count * kBlockSize;
     if (task.count == 0) {
-      std::lock_guard<std::mutex> lock(ns_mu_);
-      auto inode = ResolveLocked(task.path);
-      if (inode.ok()) {
-        bytes = (*inode)->attrs.size();
+      auto it = planned_sizes.find(task.path);
+      if (it != planned_sizes.end()) {
+        bytes = it->second;
       }
     }
     request.bytes = bytes;
@@ -1182,7 +1325,7 @@ MuxSnapshot Mux::BuildSnapshotLocked() const {
     if (ino == kRootIno) {
       continue;
     }
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::shared_lock<std::shared_mutex> file_lock(inode->mu);
     FileSnapshot file;
     file.path = inode->path;
     file.is_directory = inode->type == vfs::FileType::kDirectory;
@@ -1192,8 +1335,11 @@ MuxSnapshot Mux::BuildSnapshotLocked() const {
     file.ctime = inode->attrs.ctime();
     file.mode = inode->attrs.mode();
     file.occ_version = inode->occ.version();
-    file.temperature = inode->temperature;
-    file.last_access = inode->last_access;
+    {
+      std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
+      file.temperature = inode->temperature;
+      file.last_access = inode->last_access;
+    }
     for (int a = 0; a < kAttrCount; ++a) {
       file.attr_owners[a] = inode->attrs.Owner(static_cast<Attr>(a));
     }
@@ -1214,7 +1360,7 @@ MuxSnapshot Mux::BuildSnapshotLocked() const {
 }
 
 Status Mux::Checkpoint() {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   if (tiers_.empty()) {
     return InternalError("no tiers registered");
   }
@@ -1225,7 +1371,7 @@ Status Mux::Checkpoint() {
 }
 
 Status Mux::Recover() {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::lock_guard<std::shared_mutex> lock(ns_mu_);
   if (tiers_.empty()) {
     return InternalError("no tiers registered");
   }
@@ -1234,9 +1380,13 @@ Status Mux::Recover() {
   MUX_ASSIGN_OR_RETURN(MuxSnapshot snapshot,
                        LoadSnapshot(fastest->fs, options_.meta_path));
 
-  // Reset the namespace to just the root.
+  // Reset the namespace to just the root; open handles do not survive a
+  // recovery (their inodes are rebuilt), so drop every shard.
   inodes_.clear();
-  open_files_.clear();
+  for (HandleShard& shard : handle_shards_) {
+    std::lock_guard<std::shared_mutex> shard_lock(shard.mu);
+    shard.files.clear();
+  }
   auto root = std::make_shared<MuxInode>();
   root->ino = kRootIno;
   root->type = vfs::FileType::kDirectory;
@@ -1313,7 +1463,7 @@ MuxStats Mux::stats() const {
 }
 
 ScmCacheStats Mux::CacheStats() const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   if (cache_ == nullptr) {
     return ScmCacheStats{};
   }
@@ -1321,9 +1471,14 @@ ScmCacheStats Mux::CacheStats() const {
 }
 
 Result<Mux::FileHeat> Mux::Heat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+  // meta_mu: shared-lock readers update heat concurrently (Touch).
+  std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
   FileHeat heat;
   heat.temperature = inode->temperature;
   heat.last_access = inode->last_access;
@@ -1332,12 +1487,16 @@ Result<Mux::FileHeat> Mux::Heat(const std::string& path) const {
 
 Result<std::map<TierId, uint64_t>> Mux::FileTierBreakdown(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  const auto tier_set = SnapshotTierSet();
+  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
   std::map<TierId, uint64_t> breakdown;
   if (inode->blt != nullptr) {
-    for (const TierInfo& tier : tiers_) {
+    for (const TierInfo& tier : tier_set->tiers) {
       const uint64_t blocks = inode->blt->BlocksOnTier(tier.id);
       if (blocks > 0) {
         breakdown[tier.id] = blocks;
@@ -1348,10 +1507,10 @@ Result<std::map<TierId, uint64_t>> Mux::FileTierBreakdown(
 }
 
 uint64_t Mux::BltMemoryBytes() const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   uint64_t total = 0;
   for (const auto& [ino, inode] : inodes_) {
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::shared_lock<std::shared_mutex> file_lock(inode->mu);
     if (inode->blt != nullptr) {
       total += inode->blt->MemoryBytes();
     }

@@ -112,15 +112,15 @@ Status Mux::UpdateReplicasLocked(MuxInode& inode,
 Status Mux::ReplicateRange(const std::string& path, uint64_t first_block,
                            uint64_t count, TierId replica_tier) {
   std::shared_ptr<MuxInode> inode;
-  std::vector<TierInfo> tiers;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
-    tiers = tiers_;
   }
   if (inode->type != vfs::FileType::kRegular) {
     return IsDirError(path);
   }
+  const auto tier_set = SnapshotTierSet();
+  const std::vector<TierInfo>& tiers = tier_set->tiers;
   MUX_ASSIGN_OR_RETURN(const TierInfo* replica, FindTier(tiers, replica_tier));
 
   std::lock_guard<std::shared_mutex> file_lock(inode->mu);
@@ -163,7 +163,7 @@ Status Mux::ReplicateRange(const std::string& path, uint64_t first_block,
 Status Mux::ReplicateFile(const std::string& path, TierId replica_tier) {
   uint64_t blocks = 0;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
     MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
     if (inode->type != vfs::FileType::kRegular) {
       return IsDirError(path);
@@ -179,12 +179,12 @@ Status Mux::ReplicateFile(const std::string& path, TierId replica_tier) {
 
 Status Mux::DropReplicas(const std::string& path) {
   std::shared_ptr<MuxInode> inode;
-  std::vector<TierInfo> tiers;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
-    tiers = tiers_;
   }
+  const auto tier_set = SnapshotTierSet();
+  const std::vector<TierInfo>& tiers = tier_set->tiers;
   std::lock_guard<std::shared_mutex> file_lock(inode->mu);
   if (inode->replicas == nullptr) {
     return Status::Ok();
@@ -221,12 +221,16 @@ Status Mux::DropReplicas(const std::string& path) {
 
 Result<std::map<TierId, uint64_t>> Mux::ReplicaBreakdown(
     const std::string& path) const {
-  std::lock_guard<std::mutex> lock(ns_mu_);
-  MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  const auto tier_set = SnapshotTierSet();
+  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
   std::map<TierId, uint64_t> breakdown;
   if (inode->replicas != nullptr) {
-    for (const TierInfo& tier : tiers_) {
+    for (const TierInfo& tier : tier_set->tiers) {
       const uint64_t blocks = inode->replicas->BlocksOnTier(tier.id);
       if (blocks > 0) {
         breakdown[tier.id] = blocks;
@@ -242,10 +246,10 @@ Result<std::map<TierId, uint64_t>> Mux::ReplicaBreakdown(
 
 Result<Mux::ScrubReport> Mux::Scrub() {
   std::vector<std::shared_ptr<MuxInode>> files;
-  std::vector<TierInfo> tiers;
+  const auto tier_set = SnapshotTierSet();
+  const std::vector<TierInfo>& tiers = tier_set->tiers;
   {
-    std::lock_guard<std::mutex> lock(ns_mu_);
-    tiers = tiers_;
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
     for (const auto& [ino, inode] : inodes_) {
       if (inode->type == vfs::FileType::kRegular) {
         files.push_back(inode);

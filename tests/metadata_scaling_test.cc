@@ -1,0 +1,385 @@
+// Metadata control plane scaling (ISSUE 5): the sharded open-file table,
+// immutable tier/policy snapshots, the shared namespace lock, off-lock
+// policy planning, and the pipelined migration copy. The stress section is
+// the thread-sanitizer workload for the control plane: foreground
+// open/close/read/rename/StatFs racing RunPolicyMigrations, AddTier
+// snapshot swaps, and SetPolicyByName swaps. Build with
+// -DMUX_SANITIZE=thread and run this binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/vfs/memfs.h"
+#include "src/vfs/vfs.h"
+#include "tests/mux_rig.h"
+
+namespace mux::testing {
+namespace {
+
+using core::Mux;
+using vfs::OpenFlags;
+
+constexpr uint64_t kBlockSize = Mux::kBlockSize;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+// ---- sharded handle table ------------------------------------------------
+
+TEST(ShardedHandleTable, ManyHandlesAcrossShardsStayIndependent) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  Mux& mux = rig.mux();
+
+  // Far more handles than shards, so every shard holds several.
+  constexpr int kFiles = 64;
+  std::vector<vfs::FileHandle> handles;
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string path = "/shard" + std::to_string(i);
+    auto h = mux.Open(path, OpenFlags::kCreate | OpenFlags::kReadWrite);
+    ASSERT_TRUE(h.ok()) << h.status();
+    handles.push_back(*h);
+  }
+  const auto data = Pattern(kBlockSize, 7);
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(mux.Write(handles[i], 0, data.data(), data.size()).ok());
+  }
+  // Close every other handle; the survivors must stay fully usable.
+  for (int i = 0; i < kFiles; i += 2) {
+    ASSERT_TRUE(mux.Close(handles[i]).ok());
+  }
+  std::vector<uint8_t> back(kBlockSize);
+  for (int i = 1; i < kFiles; i += 2) {
+    auto st = mux.FStat(handles[i]);
+    ASSERT_TRUE(st.ok()) << st.status();
+    EXPECT_EQ(st->size, kBlockSize);
+    auto got = mux.Read(handles[i], 0, back.size(), back.data());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::memcmp(back.data(), data.data(), back.size()), 0);
+    ASSERT_TRUE(mux.Close(handles[i]).ok());
+  }
+  // A closed handle is really gone.
+  EXPECT_FALSE(mux.FStat(handles[0]).ok());
+}
+
+TEST(ShardedHandleTable, LegacyOpSetupPathStillWorks) {
+  Mux::Options options;
+  options.sharded_op_setup = false;  // ablation: global-mutex op setup
+  MuxRig rig(options);
+  ASSERT_TRUE(rig.ok());
+  Mux& mux = rig.mux();
+
+  auto h = mux.Open("/legacy", OpenFlags::kCreate | OpenFlags::kReadWrite);
+  ASSERT_TRUE(h.ok()) << h.status();
+  const auto data = Pattern(2 * kBlockSize, 11);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  std::vector<uint8_t> back(data.size());
+  auto got = mux.Read(*h, 0, back.size(), back.data());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data.size());
+  EXPECT_EQ(back, data);
+  ASSERT_TRUE(mux.Close(*h).ok());
+  EXPECT_FALSE(mux.FStat(*h).ok());
+}
+
+// ---- immutable tier/policy snapshots ------------------------------------
+
+TEST(TierSnapshot, InFlightHandleSurvivesPolicySwap) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  Mux& mux = rig.mux();
+
+  auto h = mux.Open("/pinned", OpenFlags::kCreate | OpenFlags::kReadWrite);
+  ASSERT_TRUE(h.ok());
+  const auto data = Pattern(4 * kBlockSize, 3);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+
+  // Swap the policy (publishes a fresh snapshot) between ops on a live
+  // handle; the handle keeps working against each new snapshot.
+  ASSERT_TRUE(mux.SetPolicyByName("hotcold").ok());
+  std::vector<uint8_t> back(data.size());
+  ASSERT_TRUE(mux.Read(*h, 0, back.size(), back.data()).ok());
+  EXPECT_EQ(back, data);
+  ASSERT_TRUE(mux.SetPolicyByName("lru").ok());
+  ASSERT_TRUE(mux.Write(*h, data.size(), data.data(), kBlockSize).ok());
+  ASSERT_TRUE(mux.Close(*h).ok());
+}
+
+TEST(TierSnapshot, AddTierPublishesNewSnapshotToNewOps) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  Mux& mux = rig.mux();
+  SimClock& clock = rig.clock();
+
+  vfs::MemFs scratch_fs(&clock);
+  auto added = mux.AddTier("scratch", &scratch_fs,
+                           device::DeviceProfile::TestRam(64ULL << 20));
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_TRUE(mux.TierByName("scratch").ok());
+  EXPECT_EQ(mux.TierUsages().size(), 4u);
+  ASSERT_TRUE(mux.RemoveTier("scratch").ok());
+  EXPECT_FALSE(mux.TierByName("scratch").ok());
+  EXPECT_EQ(mux.TierUsages().size(), 3u);
+}
+
+// ---- pipelined migration copy --------------------------------------------
+
+TEST(PipelinedCopy, MigrationMatchesSerialResult) {
+  for (const bool pipelined : {false, true}) {
+    Mux::Options options;
+    options.pipelined_migration_copy = pipelined;
+    MuxRig rig(options);
+    ASSERT_TRUE(rig.ok());
+    Mux& mux = rig.mux();
+
+    // Big enough for several 1 MiB slices, odd tail included.
+    const auto data = Pattern((5ULL << 20) + 3 * kBlockSize, 42);
+    auto h = mux.Open("/mig", OpenFlags::kCreate | OpenFlags::kReadWrite);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+    ASSERT_TRUE(mux.MigrateFile("/mig", rig.hdd_tier()).ok());
+
+    std::vector<uint8_t> back(data.size());
+    auto got = mux.Read(*h, 0, back.size(), back.data());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, data.size());
+    EXPECT_EQ(back, data) << "pipelined=" << pipelined;
+    ASSERT_TRUE(mux.Close(*h).ok());
+
+    const uint64_t copies =
+        mux.metrics().CounterValue("mux.migrate.pipeline.copies");
+    if (pipelined) {
+      EXPECT_GT(copies, 0u);
+      // The whole point: the copy charged max(read chain, write chain),
+      // so both chains were recorded.
+      EXPECT_GT(mux.metrics().CounterValue(
+                    "mux.migrate.pipeline.read_chain_ns"),
+                0u);
+      EXPECT_GT(mux.metrics().CounterValue(
+                    "mux.migrate.pipeline.write_chain_ns"),
+                0u);
+    } else {
+      EXPECT_EQ(copies, 0u);
+    }
+  }
+}
+
+// ---- off-lock planning ---------------------------------------------------
+
+TEST(OffLockPlanning, PolicyRoundRunsWhileHandlesAreBusy) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  Mux& mux = rig.mux();
+
+  const auto data = Pattern(256 * kBlockSize, 9);
+  std::vector<vfs::FileHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    auto h = mux.Open("/plan" + std::to_string(i),
+                      OpenFlags::kCreate | OpenFlags::kReadWrite);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+    handles.push_back(*h);
+  }
+  ASSERT_TRUE(mux.SetPolicyByName("hotcold").ok());
+  ASSERT_TRUE(mux.RunPolicyMigrations().ok());
+  std::vector<uint8_t> back(data.size());
+  for (auto h : handles) {
+    ASSERT_TRUE(mux.Read(h, 0, back.size(), back.data()).ok());
+    EXPECT_EQ(back, data);
+    ASSERT_TRUE(mux.Close(h).ok());
+  }
+}
+
+// ---- control-plane stress (the TSan workload) ----------------------------
+
+TEST(MetadataScalingStress, ForegroundRacesPlanningAndSnapshotSwaps) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  Mux& mux = rig.mux();
+  SimClock& clock = rig.clock();
+
+  constexpr int kFiles = 6;
+  constexpr uint64_t kFileBytes = 64 * kBlockSize;
+  std::vector<std::vector<uint8_t>> contents;
+  for (int i = 0; i < kFiles; ++i) {
+    contents.push_back(Pattern(kFileBytes, 100 + i));
+    auto h = mux.Open("/stress" + std::to_string(i),
+                      OpenFlags::kCreate | OpenFlags::kReadWrite);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(
+        mux.Write(*h, 0, contents[i].data(), contents[i].size()).ok());
+    ASSERT_TRUE(mux.Close(*h).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::atomic<int> hard_failures{0};
+  std::vector<std::thread> threads;
+
+  // Opener/closer + FStat churn: hammers the sharded handle table.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string path = "/stress" + std::to_string(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto h = mux.Open(path, OpenFlags::kRead);
+        if (!h.ok()) {
+          hard_failures.fetch_add(1);
+          continue;
+        }
+        if (!mux.FStat(*h).ok()) {
+          hard_failures.fetch_add(1);
+        }
+        if (!mux.Close(*h).ok()) {
+          hard_failures.fetch_add(1);
+        }
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Readers on long-lived handles: op setup + shared file locks + heat
+  // updates racing the planner's off-lock view build.
+  for (int t = 2; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string path = "/stress" + std::to_string(t);
+      auto h = mux.Open(path, OpenFlags::kRead);
+      if (!h.ok()) {
+        hard_failures.fetch_add(1);
+        return;
+      }
+      std::vector<uint8_t> buf(4 * kBlockSize);
+      uint64_t off = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!mux.Read(*h, off, buf.size(), buf.data()).ok()) {
+          hard_failures.fetch_add(1);
+        }
+        off = (off + buf.size()) % kFileBytes;
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+      (void)mux.Close(*h);
+    });
+  }
+
+  // Renamer: exclusive ns_mu_ writer racing the shared-lock crowd. The
+  // planner may see either name; both resolve to the same inode.
+  threads.emplace_back([&] {
+    const std::string a = "/stress4";
+    const std::string b = "/stress4.renamed";
+    bool at_a = true;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status s = at_a ? mux.Rename(a, b) : mux.Rename(b, a);
+      if (!s.ok()) {
+        hard_failures.fetch_add(1);
+      }
+      at_a = !at_a;
+      ops.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!at_a) {
+      (void)mux.Rename(b, a);
+    }
+  });
+
+  // StatFs + TierUsages: pure snapshot readers, never touch ns_mu_.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!mux.StatFs().ok()) {
+        hard_failures.fetch_add(1);
+      }
+      (void)mux.TierUsages();
+      ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Policy rounds: brief shared-lock scan, then planning fully off-lock.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!mux.RunPolicyMigrations().ok()) {
+        hard_failures.fetch_add(1);
+      }
+      ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Snapshot swappers: AddTier publishes a new tier snapshot, and
+  // SetPolicyByName publishes a new policy, both racing every op above.
+  // (Tier *removal* is exercised after the race quiesces: a concurrent
+  // in-flight migration may legitimately re-dirty a draining tier.)
+  std::vector<std::unique_ptr<vfs::MemFs>> scratch_fs;
+  for (int i = 0; i < 4; ++i) {
+    scratch_fs.push_back(std::make_unique<vfs::MemFs>(&clock));
+  }
+  threads.emplace_back([&] {
+    size_t added = 0;
+    bool lru = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (added < scratch_fs.size()) {
+        auto id = mux.AddTier("scratch" + std::to_string(added),
+                              scratch_fs[added].get(),
+                              device::DeviceProfile::TestRam(64ULL << 20));
+        if (!id.ok()) {
+          hard_failures.fetch_add(1);
+        }
+        ++added;
+      }
+      if (!mux.SetPolicyByName(lru ? "lru" : "hotcold").ok()) {
+        hard_failures.fetch_add(1);
+      }
+      lru = !lru;
+      ops.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_GT(ops.load(), 0u);
+
+  // Quiesced: drain and drop the scratch tiers (retry — a final policy
+  // round may have parked blocks there moments before it stopped).
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "scratch" + std::to_string(i);
+    if (!mux.TierByName(name).ok()) {
+      continue;
+    }
+    Status removed = Status::Ok();
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      removed = mux.RemoveTier(name);
+      if (removed.ok()) {
+        break;
+      }
+    }
+    EXPECT_TRUE(removed.ok()) << name << ": " << removed;
+  }
+
+  // Every byte still where the foreground put it.
+  std::vector<uint8_t> back(kFileBytes);
+  for (int i = 0; i < kFiles; ++i) {
+    auto h = mux.Open("/stress" + std::to_string(i), OpenFlags::kRead);
+    ASSERT_TRUE(h.ok()) << h.status();
+    auto got = mux.Read(*h, 0, back.size(), back.data());
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, kFileBytes);
+    EXPECT_EQ(back, contents[i]) << "file " << i;
+    ASSERT_TRUE(mux.Close(*h).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mux::testing
