@@ -5,6 +5,8 @@
 #ifndef MUX_BENCH_BENCH_UTIL_H_
 #define MUX_BENCH_BENCH_UTIL_H_
 
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -90,6 +92,139 @@ inline void MaybeDumpMetrics(const core::Mux& mux, const std::string& tag) {
 inline void PrintRow(const char* label, double value, const char* unit) {
   std::printf("  %-38s %12.2f %s\n", label, value, unit);
 }
+
+// Log-linear latency histogram: 16 minor buckets per power of two, ~6%
+// relative resolution across the full ns range. src/common/histogram.h's
+// pure power-of-two buckets are fine for p50/p99 of device latencies but
+// too coarse for the p999 curves the traffic engine reports — at 2x bucket
+// width, a p999 read interpolates across a bucket spanning half the value.
+class FineHistogram {
+ public:
+  static constexpr int kMinorBits = 4;  // 16 minors per major
+  static constexpr int kMinors = 1 << kMinorBits;
+  static constexpr int kMajors = 64;
+
+  void Add(uint64_t value) {
+    buckets_[Index(value)]++;
+    count_++;
+    sum_ += value;
+  }
+
+  void Merge(const FineHistogram& other) {
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  // Value at quantile q in [0, 1], interpolated within the bucket.
+  double Percentile(double q) const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    const double target = q * static_cast<double>(count_);
+    double seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) {
+        continue;
+      }
+      const double next = seen + static_cast<double>(buckets_[i]);
+      if (next >= target) {
+        const double lo = LowerBound(i);
+        const double hi = UpperBound(i);
+        const double frac =
+            (target - seen) / static_cast<double>(buckets_[i]);
+        return lo + (hi - lo) * frac;
+      }
+      seen = next;
+    }
+    return UpperBound(buckets_.size() - 1);
+  }
+
+ private:
+  static size_t Index(uint64_t value) {
+    if (value < kMinors) {
+      return static_cast<size_t>(value);  // exact below 16
+    }
+    const int major = 63 - __builtin_clzll(value);
+    const int minor =
+        static_cast<int>((value >> (major - kMinorBits)) & (kMinors - 1));
+    return static_cast<size_t>(major) * kMinors + minor;
+  }
+
+  static double LowerBound(size_t index) {
+    const size_t major = index / kMinors;
+    const size_t minor = index % kMinors;
+    if (major == 0) {
+      return static_cast<double>(index);
+    }
+    const double base = std::pow(2.0, static_cast<double>(major));
+    return base + base / kMinors * static_cast<double>(minor);
+  }
+
+  static double UpperBound(size_t index) {
+    const size_t major = index / kMinors;
+    if (major == 0) {
+      return static_cast<double>(index + 1);
+    }
+    const double base = std::pow(2.0, static_cast<double>(major));
+    return LowerBound(index) + base / kMinors;
+  }
+
+  std::array<uint64_t, static_cast<size_t>(kMajors) * kMinors> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// Time-bucketed latency recording: one FineHistogram per fixed-width time
+// bucket, keyed by when the op was *scheduled* (not when it completed), so
+// a warmup prefix can be sliced off and a load step's steady state read in
+// isolation. Not thread-safe — the traffic engine keeps one per worker and
+// merges at the end of each step.
+class TimedLatencyRecorder {
+ public:
+  TimedLatencyRecorder(uint64_t bucket_ns, size_t max_buckets)
+      : bucket_ns_(bucket_ns == 0 ? 1 : bucket_ns), buckets_(max_buckets) {}
+
+  // `rel_ns` is the op's scheduled time relative to the recording epoch.
+  // Ops past the last bucket land in the last bucket (the engine sizes
+  // buckets to cover the step).
+  void Record(uint64_t rel_ns, uint64_t latency_ns) {
+    size_t index = static_cast<size_t>(rel_ns / bucket_ns_);
+    if (index >= buckets_.size()) {
+      index = buckets_.size() - 1;
+    }
+    buckets_[index].Add(latency_ns);
+  }
+
+  void MergeFrom(const TimedLatencyRecorder& other) {
+    for (size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+      buckets_[i].Merge(other.buckets_[i]);
+    }
+  }
+
+  // Histogram over buckets [skip_leading, end) — i.e. with warmup excluded.
+  FineHistogram Merged(size_t skip_leading) const {
+    FineHistogram merged;
+    for (size_t i = skip_leading; i < buckets_.size(); ++i) {
+      merged.Merge(buckets_[i]);
+    }
+    return merged;
+  }
+
+  size_t bucket_count() const { return buckets_.size(); }
+  const FineHistogram& bucket(size_t i) const { return buckets_[i]; }
+
+ private:
+  uint64_t bucket_ns_;
+  std::vector<FineHistogram> buckets_;
+};
 
 // Tiny structured-result emitter: benchmarks append named scalar results
 // grouped by scenario and dump one JSON file the analysis scripts (and CI)

@@ -1,0 +1,736 @@
+// Open-loop traffic engine: production-shaped load against the full Mux
+// stack (ROADMAP item 1).
+//
+// Every other bench in this repo is closed-loop: N threads issue the next op
+// as soon as the previous one returns, so when the system slows down the
+// offered load politely slows down with it and tail latency looks flat. Real
+// storage front-ends don't do that — requests keep arriving at whatever rate
+// the fleet generates. This engine models that:
+//
+//   * A dispatcher thread draws Poisson inter-arrival gaps (PoissonArrivals)
+//     for a fixed offered rate and pushes ops into a bounded lock-free MPMC
+//     queue. A full queue DROPS the op (counted) instead of blocking — the
+//     overload signal an open-loop system actually emits.
+//   * Worker threads pop and execute ops against Mux: zipfian
+//     open/read/close and open/write/close over a million-file namespace,
+//     plus a small Stat/ReadDirPaged metadata mix.
+//   * Latency is measured from the op's *scheduled* arrival time, not from
+//     dequeue — an op that sat in the queue because the system was saturated
+//     charges its wait to the system (coordinated-omission avoidance), and
+//     queueing vs service time are attributed separately (obs::PhaseRecorder
+//     into the Mux metrics registry, "client.queue_ns" / "client.service_ns"
+//     / "client.total_ns").
+//   * Offered load is stepped as fractions of a measured closed-loop
+//     capacity, each step run quiescent and again under chaos: concurrent
+//     policy-migration rounds, injected tier faults
+//     (vfs::FaultInjectingFs), and checkpoints.
+//
+// Wall-clock measurement: like bench/metadata_scaling, this bench measures
+// real elapsed time, not SimClock time — the phenomena under test (queueing,
+// lock contention, drop behaviour) are invisible to the simulated clock,
+// which only models device latencies. Acceptance checks are core-aware for
+// the same reason.
+//
+// Header-only so tests/traffic_engine_test.cc drives the identical engine at
+// reduced scale.
+#ifndef MUX_BENCH_TRAFFIC_ENGINE_LIB_H_
+#define MUX_BENCH_TRAFFIC_ENGINE_LIB_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/common/workload.h"
+#include "src/core/mux.h"
+#include "src/device/block_device.h"
+#include "src/device/pm_device.h"
+#include "src/fs/extlite/extlite.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/fs/xfslite/xfslite.h"
+#include "src/obs/phase.h"
+#include "src/vfs/fault_injecting_fs.h"
+
+namespace mux::bench {
+
+struct TrafficConfig {
+  // Namespace population. Files are spread dir_fanout per directory; the
+  // first data_files of them are prepopulated with file_blocks blocks of
+  // data (the zipfian hot set), the rest exist as metadata until the write
+  // mix touches them.
+  uint64_t files = 1'000'000;
+  uint64_t dir_fanout = 1024;
+  uint64_t data_files = 32'768;
+  uint64_t file_blocks = 4;
+
+  // Workload shape.
+  double zipf_theta = 0.99;
+  double read_fraction = 0.88;
+  double write_fraction = 0.10;
+  double meta_fraction = 0.02;
+
+  // Client shape.
+  int workers = 4;
+  size_t queue_capacity = 1 << 16;
+
+  // Offered-load steps, as fractions of the measured closed-loop capacity
+  // (so the same config stresses a laptop and a CI runner equally). Steps
+  // past 1.0 deliberately overload the engine to exercise drop accounting.
+  std::vector<double> load_fractions = {0.25, 0.5, 0.75, 1.0, 1.25};
+  uint64_t calibrate_ms = 300;
+  uint64_t step_ms = 2000;
+  uint64_t warmup_ms = 200;  // leading slice excluded from percentiles
+  uint64_t bucket_ms = 100;  // latency time-bucket width
+
+  // Run each step a second time with policy migrations + injected faults +
+  // checkpoints running concurrently.
+  bool chaos = true;
+  // Probability a tier op fails while the fault injector is in its active
+  // window (windows rotate across tiers).
+  double fault_probability = 0.005;
+
+  uint64_t seed = 42;
+
+  // Exactly-once accounting (tests): every op's seq is counted at execution
+  // and cross-checked against generated/dropped at the end of each step.
+  bool track_ops = false;
+  uint64_t max_tracked_ops = 1 << 22;
+};
+
+struct StepResult {
+  double load_fraction = 0.0;
+  double offered_ops_s = 0.0;
+  bool chaos = false;
+  uint64_t generated = 0;
+  uint64_t dropped = 0;
+  uint64_t completed_ok = 0;
+  uint64_t completed_err = 0;
+  double goodput_ops_s = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double mean_queue_ns = 0.0;
+  double mean_service_ns = 0.0;
+  // Exactly-once verification for this step (track_ops only).
+  uint64_t lost_ops = 0;
+  uint64_t duplicated_ops = 0;
+  bool accounting_exact = true;
+};
+
+// Offered-vs-completed progress sample, taken periodically by the
+// dispatcher; the test asserts the sequence is monotonic.
+struct ProgressSample {
+  uint64_t generated = 0;
+  uint64_t dropped = 0;
+  uint64_t completed = 0;
+};
+
+struct TrafficResult {
+  bool ok = false;
+  std::string error;
+  uint64_t files_created = 0;
+  double populate_seconds = 0.0;
+  double capacity_ops_s = 0.0;  // closed-loop calibration
+  std::vector<StepResult> steps;
+  std::vector<ProgressSample> progress;  // across all steps
+  uint64_t policy_rounds = 0;
+  uint64_t checkpoints_ok = 0;
+  uint64_t checkpoints_failed = 0;
+  uint64_t faults_injected = 0;
+  uint64_t migrated_blocks = 0;
+
+  // Highest load fraction whose QUIET step kept drops under 1% — the "last
+  // passing step" the chaos-vs-quiet p99 acceptance compares at.
+  const StepResult* quiet_step_at(double fraction) const {
+    for (const auto& s : steps) {
+      if (!s.chaos && s.load_fraction == fraction) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+  const StepResult* chaos_step_at(double fraction) const {
+    for (const auto& s : steps) {
+      if (s.chaos && s.load_fraction == fraction) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// Full Mux stack with a FaultInjectingFs interposed on every tier — the
+// MuxRig wiring plus fault decorators, sized for the configured population.
+class TrafficRig {
+ public:
+  explicit TrafficRig(const TrafficConfig& config)
+      : pm_dev_(device::DeviceProfile::OptanePm(PmBytes(config)), &clock_),
+        ssd_dev_(device::DeviceProfile::OptaneSsd(2 * PmBytes(config)),
+                 &clock_),
+        hdd_dev_(device::DeviceProfile::ExosHdd(4 * PmBytes(config)),
+                 &clock_),
+        novafs_(&pm_dev_, &clock_, NovaOptions(config)),
+        xfslite_(&ssd_dev_, &clock_, XfsOptions(config)),
+        extlite_(&hdd_dev_, &clock_, ExtOptions(config)),
+        pm_faults_(&novafs_, config.seed + 101),
+        ssd_faults_(&xfslite_, config.seed + 102),
+        hdd_faults_(&extlite_, config.seed + 103),
+        mux_(std::make_unique<core::Mux>(&clock_, MuxOptions(config))) {
+    ok_ = novafs_.Format().ok() && xfslite_.Format().ok() &&
+          extlite_.Format().ok();
+    auto pm = mux_->AddTier("pm", &pm_faults_, pm_dev_.profile());
+    auto ssd = mux_->AddTier("ssd", &ssd_faults_, ssd_dev_.profile());
+    auto hdd = mux_->AddTier("hdd", &hdd_faults_, hdd_dev_.profile());
+    ok_ = ok_ && pm.ok() && ssd.ok() && hdd.ok();
+    pm_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "pm");
+    ssd_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "ssd");
+    hdd_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "hdd");
+  }
+
+  ~TrafficRig() {
+    pm_dev_.AttachObs(nullptr, nullptr, "pm");
+    ssd_dev_.AttachObs(nullptr, nullptr, "ssd");
+    hdd_dev_.AttachObs(nullptr, nullptr, "hdd");
+  }
+
+  bool ok() const { return ok_; }
+  core::Mux& mux() { return *mux_; }
+  vfs::FaultInjectingFs& faults(size_t tier) {
+    switch (tier % 3) {
+      case 0: return pm_faults_;
+      case 1: return ssd_faults_;
+      default: return hdd_faults_;
+    }
+  }
+  static constexpr size_t kTierCount = 3;
+
+ private:
+  // Device/table sizing from the population: the hot data set must fit the
+  // PM tier with room for checkpoint snapshots, and the underlying inode
+  // tables must hold every shadow file the run can create (data files can
+  // land on any tier once migrations run).
+  static uint64_t PmBytes(const TrafficConfig& c) {
+    const uint64_t data = c.data_files * c.file_blocks * core::Mux::kBlockSize;
+    const uint64_t snapshot = c.files * 256 * 2 + (64ULL << 20);
+    return std::max<uint64_t>(2 * data + snapshot, 256ULL << 20);
+  }
+  static uint64_t InodeTarget(const TrafficConfig& c) {
+    return 4 * c.data_files + c.files / std::max<uint64_t>(1, c.dir_fanout) +
+           4096;
+  }
+  static fs::NovaFs::Options NovaOptions(const TrafficConfig& c) {
+    fs::NovaFs::Options options;
+    options.inode_table_pages = InodeTarget(c) / 16 + 1;  // >= 16 slots/page
+    return options;
+  }
+  static fs::XfsLite::Options XfsOptions(const TrafficConfig& c) {
+    fs::XfsLite::Options options;
+    options.inode_table_blocks = InodeTarget(c) / 16 + 1;
+    return options;
+  }
+  static fs::ExtLite::Options ExtOptions(const TrafficConfig& c) {
+    fs::ExtLite::Options options;
+    options.inode_blocks_per_group =
+        InodeTarget(c) / (16 * options.group_count) + 1;
+    return options;
+  }
+  static core::Mux::Options MuxOptions(const TrafficConfig& c) {
+    core::Mux::Options options;
+    options.policy = "hotcold";
+    (void)c;
+    return options;
+  }
+
+  SimClock clock_;
+  device::PmDevice pm_dev_;
+  device::BlockDevice ssd_dev_;
+  device::BlockDevice hdd_dev_;
+  fs::NovaFs novafs_;
+  fs::XfsLite xfslite_;
+  fs::ExtLite extlite_;
+  vfs::FaultInjectingFs pm_faults_;
+  vfs::FaultInjectingFs ssd_faults_;
+  vfs::FaultInjectingFs hdd_faults_;
+  std::unique_ptr<core::Mux> mux_;
+  bool ok_ = false;
+};
+
+class TrafficEngine {
+ public:
+  explicit TrafficEngine(TrafficConfig config)
+      : config_(std::move(config)),
+        queue_(config_.queue_capacity),
+        phases_(nullptr, "client") {}
+
+  // Builds the rig, populates the namespace, calibrates, and runs every
+  // load step (quiet, then chaos if configured).
+  TrafficResult Run() {
+    TrafficResult result;
+    rig_ = std::make_unique<TrafficRig>(config_);
+    if (!rig_->ok()) {
+      result.error = "rig setup failed";
+      return result;
+    }
+    phases_ = obs::PhaseRecorder(&rig_->mux().metrics(), "client");
+    if (config_.track_ops) {
+      op_counts_ = std::make_unique<std::atomic<uint8_t>[]>(
+          config_.max_tracked_ops);
+    }
+
+    const auto pop_start = Clock::now();
+    Status populated = Populate();
+    if (!populated.ok()) {
+      result.error = "populate failed: " + std::string(populated.message());
+      return result;
+    }
+    result.files_created = config_.files;
+    result.populate_seconds = SecondsSince(pop_start);
+
+    result.capacity_ops_s = Calibrate();
+    if (result.capacity_ops_s <= 0.0) {
+      result.error = "calibration produced zero capacity";
+      return result;
+    }
+
+    for (double fraction : config_.load_fractions) {
+      const double rate = fraction * result.capacity_ops_s;
+      result.steps.push_back(RunStep(fraction, rate, /*chaos=*/false,
+                                     &result));
+      if (config_.chaos) {
+        result.steps.push_back(RunStep(fraction, rate, /*chaos=*/true,
+                                       &result));
+      }
+    }
+    result.migrated_blocks = rig_->mux().stats().migrated_blocks;
+    result.progress = progress_;
+    result.ok = true;
+    return result;
+  }
+
+  core::Mux* mux() { return rig_ == nullptr ? nullptr : &rig_->mux(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Op {
+    uint64_t seq = 0;
+    uint64_t sched_ns = 0;  // relative to the step epoch
+    uint32_t file_id = 0;
+    WorkloadOp kind = WorkloadOp::kRead;
+  };
+
+  static double SecondsSince(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  uint64_t RelNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch_)
+            .count());
+  }
+
+  std::string DirPath(uint64_t file_id) const {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/d%05llu",
+                  static_cast<unsigned long long>(file_id /
+                                                  config_.dir_fanout));
+    return buf;
+  }
+  std::string FilePath(uint64_t file_id) const {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "/d%05llu/f%08llu",
+                  static_cast<unsigned long long>(file_id /
+                                                  config_.dir_fanout),
+                  static_cast<unsigned long long>(file_id));
+    return buf;
+  }
+
+  Status Populate() {
+    core::Mux& mux = rig_->mux();
+    const uint64_t dirs =
+        (config_.files + config_.dir_fanout - 1) / config_.dir_fanout;
+    for (uint64_t d = 0; d < dirs; ++d) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "/d%05llu",
+                    static_cast<unsigned long long>(d));
+      MUX_RETURN_IF_ERROR(mux.Mkdir(buf));
+    }
+    // Create every file (cheap: no shadow file until first write)...
+    for (uint64_t f = 0; f < config_.files; ++f) {
+      MUX_ASSIGN_OR_RETURN(
+          vfs::FileHandle handle,
+          mux.Open(FilePath(f), vfs::OpenFlags::kCreateRw));
+      MUX_RETURN_IF_ERROR(mux.Close(handle));
+    }
+    // ... then lay down data for the zipfian hot set.
+    const uint64_t bytes = config_.file_blocks * core::Mux::kBlockSize;
+    auto data = Pattern(bytes, config_.seed);
+    for (uint64_t f = 0; f < std::min(config_.data_files, config_.files);
+         ++f) {
+      MUX_ASSIGN_OR_RETURN(vfs::FileHandle handle,
+                           mux.Open(FilePath(f), vfs::OpenFlags::kWrite));
+      MUX_RETURN_IF_ERROR(
+          mux.Write(handle, 0, data.data(), bytes).status());
+      MUX_RETURN_IF_ERROR(mux.Close(handle));
+    }
+    return Status::Ok();
+  }
+
+  Status ExecuteOp(const Op& op, uint8_t* block_buf) {
+    core::Mux& mux = rig_->mux();
+    const uint64_t offset =
+        (op.file_id % config_.file_blocks) * core::Mux::kBlockSize;
+    switch (op.kind) {
+      case WorkloadOp::kRead: {
+        MUX_ASSIGN_OR_RETURN(
+            vfs::FileHandle handle,
+            mux.Open(FilePath(op.file_id), vfs::OpenFlags::kRead));
+        auto read =
+            mux.Read(handle, offset, core::Mux::kBlockSize, block_buf);
+        (void)mux.Close(handle);
+        return read.status();
+      }
+      case WorkloadOp::kWrite: {
+        MUX_ASSIGN_OR_RETURN(
+            vfs::FileHandle handle,
+            mux.Open(FilePath(op.file_id), vfs::OpenFlags::kWrite));
+        auto wrote =
+            mux.Write(handle, offset, block_buf, core::Mux::kBlockSize);
+        (void)mux.Close(handle);
+        return wrote.status();
+      }
+      case WorkloadOp::kStat:
+        return mux.Stat(FilePath(op.file_id)).status();
+      case WorkloadOp::kReadDir:
+        return mux.ReadDirPaged(DirPath(op.file_id), "", 32).status();
+    }
+    return Status::Ok();
+  }
+
+  // Closed-loop capacity probe: every worker back-to-back executes the same
+  // mix it will see open-loop. The offered-load steps are fractions of this,
+  // so the bench self-scales to the machine (and to sanitizer slowdowns).
+  double Calibrate() {
+    std::atomic<uint64_t> completed{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    threads.reserve(config_.workers);
+    for (int w = 0; w < config_.workers; ++w) {
+      threads.emplace_back([this, w, &completed, &stop] {
+        ZipfianGenerator zipf(config_.files, config_.zipf_theta,
+                              config_.seed + 7 * w + 1);
+        WorkloadMix mix(config_.read_fraction, config_.write_fraction,
+                        config_.meta_fraction);
+        Rng rng(config_.seed ^ (0x51ed2700 + w));
+        std::vector<uint8_t> buf(core::Mux::kBlockSize, 0xa5);
+        uint64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          Op op;
+          op.file_id = static_cast<uint32_t>(zipf.Next());
+          op.kind = mix.Pick(rng);
+          (void)ExecuteOp(op, buf.data());
+          ++local;
+        }
+        completed.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    const auto start = Clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.calibrate_ms));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) {
+      t.join();
+    }
+    const double seconds = SecondsSince(start);
+    return seconds > 0 ? static_cast<double>(completed.load()) / seconds : 0;
+  }
+
+  void ResetStepCounters() {
+    generated_.store(0, std::memory_order_relaxed);
+    base_dropped_ = queue_.dropped();
+    completed_ok_.store(0, std::memory_order_relaxed);
+    completed_err_.store(0, std::memory_order_relaxed);
+    done_generating_.store(false, std::memory_order_relaxed);
+    if (op_counts_ != nullptr) {
+      for (uint64_t i = 0; i < config_.max_tracked_ops; ++i) {
+        op_counts_[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Progress samples are cumulative across the whole run (per-step counters
+  // are rebased onto the running totals), so the monotonicity invariant the
+  // test asserts holds across step boundaries too.
+  void SampleProgress() {
+    ProgressSample sample;
+    sample.generated =
+        cum_.generated + generated_.load(std::memory_order_relaxed);
+    sample.dropped = cum_.dropped + queue_.dropped() - base_dropped_;
+    sample.completed = cum_.completed +
+                       completed_ok_.load(std::memory_order_relaxed) +
+                       completed_err_.load(std::memory_order_relaxed);
+    progress_.push_back(sample);
+  }
+
+  void DispatcherLoop(double rate, uint64_t step_ns) {
+    PoissonArrivals arrivals(rate, config_.seed + 17);
+    ZipfianGenerator zipf(config_.files, config_.zipf_theta,
+                          config_.seed + 23);
+    WorkloadMix mix(config_.read_fraction, config_.write_fraction,
+                    config_.meta_fraction);
+    Rng rng(config_.seed + 29);
+    uint64_t sched = 0;
+    uint64_t seq = 0;
+    uint64_t last_sample_ns = 0;
+    while (true) {
+      sched += arrivals.NextDeltaNs();
+      if (sched >= step_ns) {
+        break;
+      }
+      // Wait for the scheduled instant. When the system (or this 1-core
+      // machine) falls behind, the schedule does NOT slip: sched keeps its
+      // Poisson timeline and latency is measured against it.
+      while (RelNs() + 100'000 < sched) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      while (RelNs() < sched) {
+        // spin the last <=100us
+      }
+      Op op;
+      op.seq = seq;
+      op.sched_ns = sched;
+      op.file_id = static_cast<uint32_t>(zipf.Next());
+      op.kind = mix.Pick(rng);
+      const bool pushed = queue_.TryPush(op);
+      if (!pushed && op_counts_ != nullptr &&
+          seq < config_.max_tracked_ops) {
+        // Mark the seq as dropped so exactly-once verification can tell
+        // "dropped by design" from "lost in the engine".
+        op_counts_[seq].store(255, std::memory_order_relaxed);
+      }
+      ++seq;
+      generated_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t now = RelNs();
+      if (now - last_sample_ns > 50'000'000) {
+        last_sample_ns = now;
+        SampleProgress();
+      }
+    }
+    done_generating_.store(true, std::memory_order_release);
+  }
+
+  struct WorkerState {
+    std::unique_ptr<TimedLatencyRecorder> recorder;
+    uint64_t queue_sum = 0;
+    uint64_t service_sum = 0;
+    uint64_t ops = 0;
+  };
+
+  void WorkerLoop(WorkerState* state) {
+    std::vector<uint8_t> buf(core::Mux::kBlockSize, 0x5a);
+    Op op;
+    while (true) {
+      if (!queue_.TryPop(&op)) {
+        if (done_generating_.load(std::memory_order_acquire)) {
+          return;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      obs::OpPhases phase;
+      phase.arrival_ns = op.sched_ns;
+      phase.dispatch_ns = RelNs();
+      const Status status = ExecuteOp(op, buf.data());
+      phase.completion_ns = RelNs();
+      phases_.Record(phase);
+      state->recorder->Record(op.sched_ns, phase.TotalNs());
+      state->queue_sum += phase.QueueNs();
+      state->service_sum += phase.ServiceNs();
+      state->ops++;
+      (status.ok() ? completed_ok_ : completed_err_)
+          .fetch_add(1, std::memory_order_relaxed);
+      if (op_counts_ != nullptr && op.seq < config_.max_tracked_ops) {
+        op_counts_[op.seq].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Chaos: policy rounds in a tight-ish loop, rotating per-tier fault
+  // windows, and periodic checkpoints — all while the open-loop traffic
+  // flows.
+  void ChaosLoop(std::atomic<bool>* stop, TrafficResult* result) {
+    core::Mux& mux = rig_->mux();
+    // One checkpoint and one policy round run to completion per chaos step
+    // even if the offered window ends first — at full scale on few cores
+    // (or under sanitizer slowdowns) a single namespace-wide pass can
+    // outlast a short step, and the point of the chaos variant is that
+    // both race the traffic at least once.
+    if (mux.Checkpoint().ok()) {
+      result->checkpoints_ok++;
+    } else {
+      result->checkpoints_failed++;
+    }
+    (void)mux.RunPolicyMigrations();
+    result->policy_rounds++;
+    size_t fault_tier = 0;
+    uint64_t rounds = 0;
+    while (!stop->load(std::memory_order_acquire)) {
+      // Checkpoint every other cycle.
+      if (rounds++ % 2 == 0) {
+        if (mux.Checkpoint().ok()) {
+          result->checkpoints_ok++;
+        } else {
+          result->checkpoints_failed++;
+        }
+        if (stop->load(std::memory_order_acquire)) {
+          break;
+        }
+      }
+      // Fault window on a rotating tier.
+      vfs::FaultInjectingFs& faults = rig_->faults(fault_tier++);
+      const auto before = faults.fault_stats();
+      faults.SetErrorProbability(vfs::FaultOp::kRead,
+                                 config_.fault_probability);
+      faults.SetErrorProbability(vfs::FaultOp::kWrite,
+                                 config_.fault_probability);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      faults.ClearFaults();
+      result->faults_injected +=
+          faults.fault_stats().injected - before.injected;
+      if (stop->load(std::memory_order_acquire)) {
+        break;
+      }
+      // One policy round.
+      (void)mux.RunPolicyMigrations();
+      result->policy_rounds++;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  StepResult RunStep(double fraction, double rate, bool chaos,
+                     TrafficResult* result) {
+    StepResult step;
+    step.load_fraction = fraction;
+    step.offered_ops_s = rate;
+    step.chaos = chaos;
+
+    ResetStepCounters();
+    const uint64_t step_ns = config_.step_ms * 1'000'000ULL;
+    const uint64_t bucket_ns = config_.bucket_ms * 1'000'000ULL;
+    const size_t buckets = config_.step_ms / config_.bucket_ms + 2;
+
+    std::vector<WorkerState> states(config_.workers);
+    for (auto& state : states) {
+      state.recorder =
+          std::make_unique<TimedLatencyRecorder>(bucket_ns, buckets);
+    }
+
+    epoch_ = Clock::now();
+    std::atomic<bool> chaos_stop{false};
+    std::thread chaos_thread;
+    if (chaos) {
+      chaos_thread =
+          std::thread([this, &chaos_stop, result] { ChaosLoop(&chaos_stop,
+                                                              result); });
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(config_.workers);
+    for (int w = 0; w < config_.workers; ++w) {
+      workers.emplace_back([this, &states, w] { WorkerLoop(&states[w]); });
+    }
+    DispatcherLoop(rate, step_ns);
+    for (auto& t : workers) {
+      t.join();  // workers drain the queue before exiting
+    }
+    if (chaos) {
+      chaos_stop.store(true, std::memory_order_release);
+      chaos_thread.join();
+    }
+    // Make sure every programmed fault window is off before the next step.
+    for (size_t t = 0; t < TrafficRig::kTierCount; ++t) {
+      rig_->faults(t).ClearFaults();
+    }
+    SampleProgress();
+    // Workers drain past the nominal window; charge goodput against the
+    // time traffic actually flowed, not the offered window.
+    const double elapsed_s = static_cast<double>(RelNs()) / 1e9;
+
+    step.generated = generated_.load(std::memory_order_relaxed);
+    step.dropped = queue_.dropped() - base_dropped_;
+    step.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+    step.completed_err = completed_err_.load(std::memory_order_relaxed);
+    step.goodput_ops_s =
+        elapsed_s > 0 ? static_cast<double>(step.completed_ok) / elapsed_s
+                      : 0.0;
+    cum_.generated += step.generated;
+    cum_.dropped += step.dropped;
+    cum_.completed += step.completed_ok + step.completed_err;
+
+    TimedLatencyRecorder merged(bucket_ns, buckets);
+    uint64_t queue_sum = 0;
+    uint64_t service_sum = 0;
+    uint64_t ops = 0;
+    for (const auto& state : states) {
+      merged.MergeFrom(*state.recorder);
+      queue_sum += state.queue_sum;
+      service_sum += state.service_sum;
+      ops += state.ops;
+    }
+    const size_t skip = config_.warmup_ms / config_.bucket_ms;
+    const FineHistogram hist = merged.Merged(skip);
+    step.p50_ns = hist.Percentile(0.50);
+    step.p99_ns = hist.Percentile(0.99);
+    step.p999_ns = hist.Percentile(0.999);
+    if (ops > 0) {
+      step.mean_queue_ns = static_cast<double>(queue_sum) / ops;
+      step.mean_service_ns = static_cast<double>(service_sum) / ops;
+    }
+
+    // Exactly-once accounting: generated == executed + dropped, and every
+    // tracked seq ran exactly once or was dropped exactly once.
+    const uint64_t executed = step.completed_ok + step.completed_err;
+    step.accounting_exact = executed + step.dropped == step.generated;
+    if (op_counts_ != nullptr) {
+      const uint64_t tracked =
+          std::min<uint64_t>(step.generated, config_.max_tracked_ops);
+      for (uint64_t i = 0; i < tracked; ++i) {
+        const uint8_t count =
+            op_counts_[i].load(std::memory_order_relaxed);
+        if (count == 0) {
+          step.lost_ops++;
+        } else if (count != 1 && count != 255) {
+          step.duplicated_ops++;
+        }
+      }
+      if (step.lost_ops != 0 || step.duplicated_ops != 0) {
+        step.accounting_exact = false;
+      }
+    }
+    return step;
+  }
+
+  const TrafficConfig config_;
+  std::unique_ptr<TrafficRig> rig_;
+  MpmcQueue<Op> queue_;
+  obs::PhaseRecorder phases_;
+  Clock::time_point epoch_{};
+  std::atomic<uint64_t> generated_{0};
+  std::atomic<uint64_t> completed_ok_{0};
+  std::atomic<uint64_t> completed_err_{0};
+  std::atomic<bool> done_generating_{false};
+  uint64_t base_dropped_ = 0;
+  ProgressSample cum_;  // totals from completed steps (dispatcher-only)
+  std::unique_ptr<std::atomic<uint8_t>[]> op_counts_;
+  std::vector<ProgressSample> progress_;
+};
+
+}  // namespace mux::bench
+
+#endif  // MUX_BENCH_TRAFFIC_ENGINE_LIB_H_

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <vector>
 
 namespace mux {
@@ -63,14 +65,28 @@ class Rng {
 };
 
 // Zipfian distribution over [0, n) with skew theta (0 = uniform-ish,
-// 0.99 = YCSB default). Used by cache and policy benchmarks.
+// 0.99 = YCSB default). Used by cache and policy benchmarks and the traffic
+// engine, which constructs one generator per client thread over millions of
+// keys — so the zeta normalisation constant must not be recomputed from
+// scratch per instance. A process-wide cache keyed by theta remembers
+// partial sums; zeta(n) extends incrementally from the largest cached
+// n' <= n (the YCSB recurrence zeta(n) = zeta(n') + sum_{n'+1..n} i^-theta),
+// making repeat construction O(1) and first construction at a new larger n
+// O(n - n').
 class ZipfianGenerator {
  public:
+  // Terms actually summed across all CachedZeta calls; lets tests assert the
+  // cache avoids recomputation (a second 1M-key generator must add 0 terms).
+  static uint64_t zeta_terms_computed() {
+    std::lock_guard<std::mutex> lock(CacheMu());
+    return TermsComputed();
+  }
+
   ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 1)
       : rng_(seed), n_(n), theta_(theta) {
     assert(n > 0);
-    zetan_ = Zeta(n, theta);
-    zeta2_ = Zeta(2, theta);
+    zetan_ = CachedZeta(n, theta);
+    zeta2_ = CachedZeta(2, theta);
     alpha_ = 1.0 / (1.0 - theta);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
            (1.0 - zeta2_ / zetan_);
@@ -91,11 +107,42 @@ class ZipfianGenerator {
   }
 
  private:
-  static double Zeta(uint64_t n, double theta) {
+  static std::mutex& CacheMu() {
+    static std::mutex mu;
+    return mu;
+  }
+  // theta -> (n -> zeta(n, theta)). A handful of (n, theta) pairs per
+  // process, so an exact-compare double key is fine: callers pass the same
+  // literal theta.
+  static std::map<double, std::map<uint64_t, double>>& Cache() {
+    static std::map<double, std::map<uint64_t, double>> cache;
+    return cache;
+  }
+  static uint64_t& TermsComputed() {
+    static uint64_t terms = 0;
+    return terms;
+  }
+
+  static double CachedZeta(uint64_t n, double theta) {
+    std::lock_guard<std::mutex> lock(CacheMu());
+    std::map<uint64_t, double>& by_n = Cache()[theta];
+    // Resume from the largest cached prefix <= n.
+    uint64_t from = 0;
     double sum = 0.0;
-    for (uint64_t i = 1; i <= n; ++i) {
+    auto it = by_n.upper_bound(n);
+    if (it != by_n.begin()) {
+      --it;
+      from = it->first;
+      sum = it->second;
+      if (from == n) {
+        return sum;
+      }
+    }
+    for (uint64_t i = from + 1; i <= n; ++i) {
       sum += 1.0 / std::pow(static_cast<double>(i), theta);
     }
+    TermsComputed() += n - from;
+    by_n[n] = sum;
     return sum;
   }
 

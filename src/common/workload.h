@@ -1,0 +1,197 @@
+// Open-loop workload generation: arrival processes, op-mix selection, and a
+// lock-free bounded op queue with drop accounting.
+//
+// The traffic engine (bench/traffic_engine) is open-loop: operations arrive
+// on a fixed schedule regardless of whether the system keeps up, the way a
+// front-end fleet keeps sending requests to a storage backend. That shape
+// needs three pieces the closed-loop benches don't have:
+//
+//   * PoissonArrivals — exponential inter-arrival deltas for a given offered
+//     rate. The dispatcher adds deltas to a *scheduled* timeline; when the
+//     system falls behind, the schedule keeps advancing, so latency measured
+//     against it includes the queueing the system actually caused
+//     (coordinated-omission avoidance).
+//   * WorkloadMix — picks read/write/metadata per op from configured
+//     fractions, deterministically from the caller's Rng.
+//   * MpmcQueue — a bounded lock-free multi-producer/multi-consumer ring
+//     (Vyukov-style sequence numbers). When the ring is full the push FAILS
+//     and the caller counts a drop instead of blocking: an open-loop
+//     generator that blocks on a full queue silently degrades into a
+//     closed-loop one and under-reports overload.
+#ifndef MUX_COMMON_WORKLOAD_H_
+#define MUX_COMMON_WORKLOAD_H_
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "src/common/random.h"
+
+namespace mux {
+
+// Exponential inter-arrival deltas for a Poisson process at `rate_per_sec`.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate_per_sec, uint64_t seed)
+      : rng_(seed), mean_ns_(1e9 / rate_per_sec) {
+    assert(rate_per_sec > 0);
+  }
+
+  // Next inter-arrival gap in nanoseconds (>= 1 so schedules always advance).
+  uint64_t NextDeltaNs() {
+    // 1 - u in (0, 1]: log() never sees 0.
+    double u = 1.0 - rng_.NextDouble();
+    double delta = -std::log(u) * mean_ns_;
+    if (delta < 1.0) {
+      return 1;
+    }
+    return static_cast<uint64_t>(delta);
+  }
+
+  double mean_ns() const { return mean_ns_; }
+
+ private:
+  Rng rng_;
+  double mean_ns_;
+};
+
+enum class WorkloadOp : uint8_t {
+  kRead = 0,
+  kWrite,
+  kStat,
+  kReadDir,
+};
+
+// Picks the op class for each arrival from configured fractions. Metadata
+// ops split evenly between Stat and ReadDir.
+class WorkloadMix {
+ public:
+  WorkloadMix(double read_fraction, double write_fraction,
+              double meta_fraction)
+      : read_cut_(read_fraction),
+        write_cut_(read_fraction + write_fraction) {
+    assert(read_fraction >= 0 && write_fraction >= 0 && meta_fraction >= 0);
+    assert(read_fraction + write_fraction + meta_fraction <= 1.0 + 1e-9);
+    (void)meta_fraction;
+  }
+
+  WorkloadOp Pick(Rng& rng) const {
+    double u = rng.NextDouble();
+    if (u < read_cut_) {
+      return WorkloadOp::kRead;
+    }
+    if (u < write_cut_) {
+      return WorkloadOp::kWrite;
+    }
+    return rng.OneIn(2) ? WorkloadOp::kStat : WorkloadOp::kReadDir;
+  }
+
+ private:
+  double read_cut_;
+  double write_cut_;
+};
+
+// Bounded lock-free MPMC ring buffer (Dmitry Vyukov's sequence-number
+// design). TryPush returns false when full — the producer counts the drop;
+// TryPop returns false when empty — the consumer spins or parks. T must be
+// trivially movable; cells are padded to avoid false sharing on the
+// head/tail counters.
+template <typename T>
+class MpmcQueue {
+ public:
+  // Capacity is rounded up to a power of two (sequence arithmetic needs it).
+  explicit MpmcQueue(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Pushes rejected because the ring was full. Monotonic; the producer folds
+  // this into its offered-vs-completed accounting.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Approximate occupancy (racy; for monitoring only).
+  size_t ApproxSize() const {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace mux
+
+#endif  // MUX_COMMON_WORKLOAD_H_

@@ -24,6 +24,7 @@ Mux::Mux(SimClock* clock, Options options)
   root->type = vfs::FileType::kDirectory;
   root->path = "/";
   root->attrs.set_ctime(clock_->Now());
+  root_ = root;
   inodes_.emplace(kRootIno, std::move(root));
   auto policy = PolicyRegistry::Global().Create(options_.policy,
                                                 options_.policy_args);
@@ -260,15 +261,77 @@ std::string_view Mux::PolicyName() const {
   return SnapshotTierSet()->policy->Name();
 }
 
+// ---- file index ------------------------------------------------------------
+
+void Mux::IndexInsertLocked(const std::shared_ptr<MuxInode>& inode) {
+  std::lock_guard<std::mutex> lock(file_index_mu_);
+  // Compact when unlinks have left the index mostly dead — but never while a
+  // chunked scan holds a cursor (compaction shifts slots under it). The
+  // creation order of survivors is preserved, which is the invariant scans
+  // rely on (parents before children).
+  if (index_active_scans_ == 0 && index_dead_hint_ > 64 &&
+      index_dead_hint_ > file_index_.size() / 2) {
+    std::vector<std::weak_ptr<MuxInode>> live;
+    live.reserve(file_index_.size() - index_dead_hint_ / 2);
+    for (const auto& weak : file_index_) {
+      auto node = weak.lock();
+      if (node != nullptr && !node->unlinked.load(std::memory_order_acquire)) {
+        live.push_back(weak);
+      }
+    }
+    file_index_ = std::move(live);
+    index_dead_hint_ = 0;
+  }
+  file_index_.push_back(inode);
+}
+
+bool Mux::CollectIndexChunk(
+    size_t* cursor, size_t chunk,
+    std::vector<std::shared_ptr<MuxInode>>* out) const {
+  out->clear();
+  std::lock_guard<std::mutex> lock(file_index_mu_);
+  if (*cursor >= file_index_.size()) {
+    return false;
+  }
+  const size_t end = std::min(file_index_.size(), *cursor + chunk);
+  for (size_t i = *cursor; i < end; ++i) {
+    auto node = file_index_[i].lock();
+    if (node != nullptr && !node->unlinked.load(std::memory_order_acquire)) {
+      out->push_back(std::move(node));
+    }
+  }
+  *cursor = end;
+  return true;
+}
+
+Mux::IndexScanGuard::IndexScanGuard(const Mux* mux) : mux_(mux) {
+  std::lock_guard<std::mutex> lock(mux_->file_index_mu_);
+  ++mux_->index_active_scans_;
+}
+
+Mux::IndexScanGuard::~IndexScanGuard() {
+  std::lock_guard<std::mutex> lock(mux_->file_index_mu_);
+  --mux_->index_active_scans_;
+}
+
 // ---- namespace helpers ----------------------------------------------------------
 
 Result<std::shared_ptr<Mux::MuxInode>> Mux::ResolveLocked(
     const std::string& path) const {
-  if (!vfs::IsValidPath(path)) {
+  // The resolve hot path runs once per Open/Stat/ReadDir at whatever rate
+  // the clients offer, so it allocates nothing on success: components are
+  // cursored as string_views (validated inline, same rules as IsValidPath)
+  // and looked up through the transparent children comparator.
+  if (path.empty() || path[0] != '/') {
     return InvalidArgumentError("invalid path: " + path);
   }
-  std::shared_ptr<MuxInode> cur = inodes_.at(kRootIno);
-  for (const auto& part : vfs::SplitPath(path)) {
+  std::shared_ptr<MuxInode> cur = root_;
+  vfs::PathComponents cursor(path);
+  std::string_view part;
+  while (cursor.Next(&part)) {
+    if (part == "." || part == "..") {
+      return InvalidArgumentError("invalid path: " + path);
+    }
     if (cur->type != vfs::FileType::kDirectory) {
       return NotDirError(path);
     }
@@ -483,6 +546,7 @@ Result<vfs::FileHandle> Mux::Open(const std::string& path, uint32_t flags,
   inode->attrs.UpdateMode(mode, fastest);
   inode->last_access = now;
   inodes_.emplace(inode->ino, inode);
+  IndexInsertLocked(inode);
   parent->children.emplace(vfs::Basename(path), inode->ino);
   return InsertOpenFile(inode, flags);
 }
@@ -524,6 +588,7 @@ Status Mux::Mkdir(const std::string& path, uint32_t mode) {
   inode->attrs.set_ctime(now);
   inode->attrs.UpdateMode(mode, FastestTierLocked());
   inodes_.emplace(inode->ino, inode);
+  IndexInsertLocked(inode);
   parent->children.emplace(vfs::Basename(path), inode->ino);
   return Status::Ok();
 }
@@ -542,12 +607,18 @@ Status Mux::Rmdir(const std::string& path) {
     return NotEmptyError(path);
   }
   MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
+  NamespaceMutationGuard mutation(this);
   // Remove the shadow directory wherever it materialized.
   for (const TierInfo& tier : tiers_) {
     Status s = tier.fs->Rmdir(inode->path);
     if (!s.ok() && s.code() != ErrorCode::kNotFound) {
       return s;
     }
+  }
+  inode->unlinked.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> index_lock(file_index_mu_);
+    ++index_dead_hint_;
   }
   parent->children.erase(vfs::Basename(path));
   inodes_.erase(inode->ino);
@@ -571,6 +642,11 @@ Status Mux::UnlinkInodeLocked(const std::shared_ptr<MuxInode>& inode) {
   if (cache_ != nullptr) {
     cache_->InvalidateFile(inode->ino);
   }
+  inode->unlinked.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> index_lock(file_index_mu_);
+    ++index_dead_hint_;
+  }
   inodes_.erase(inode->ino);
   return Status::Ok();
 }
@@ -583,6 +659,7 @@ Status Mux::Unlink(const std::string& path) {
     return IsDirError(path);
   }
   MUX_ASSIGN_OR_RETURN(auto parent, ResolveDirLocked(vfs::Dirname(path)));
+  NamespaceMutationGuard mutation(this);
   MUX_RETURN_IF_ERROR(UnlinkInodeLocked(inode));
   parent->children.erase(vfs::Basename(path));
   return Status::Ok();
@@ -600,6 +677,7 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
   if (vfs::PathHasPrefix(norm_to, norm_from) && norm_to != norm_from) {
     return InvalidArgumentError("cannot rename a directory into itself");
   }
+  NamespaceMutationGuard mutation(this);
   // Replace an existing target.
   auto existing = ResolveLocked(to);
   if (existing.ok()) {
@@ -615,6 +693,11 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
           return s;
         }
       }
+      target->unlinked.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> index_lock(file_index_mu_);
+        ++index_dead_hint_;
+      }
       to_parent->children.erase(vfs::Basename(to));
       inodes_.erase(target->ino);
     } else {
@@ -624,6 +707,7 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
     }
   }
 
+  std::string old_path;
   {
     std::lock_guard<std::shared_mutex> file_lock(inode->mu);
     MUX_RETURN_IF_ERROR(CloseShadowsLocked(*inode));
@@ -639,6 +723,12 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
         MUX_RETURN_IF_ERROR(tier.fs->Rename(inode->path, norm_to));
       }
     }
+    // The path swap happens under the exclusive file lock: the lock-free
+    // index scans (policy planning, chunked checkpoint) read inode->path
+    // under a shared file lock with no ns_mu_, so an unlocked assignment
+    // here would race with them.
+    old_path = inode->path;
+    inode->path = norm_to;
   }
 
   // Update the mux namespace.
@@ -647,19 +737,31 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
   MUX_ASSIGN_OR_RETURN(auto to_parent, ResolveDirLocked(vfs::Dirname(to)));
   to_parent->children[vfs::Basename(to)] = inode->ino;
 
-  // Rewrite descendant paths (directory rename moves the whole subtree).
-  const std::string old_path = inode->path;
-  inode->path = norm_to;
+  // Rewrite descendant paths (directory rename moves the whole subtree) by
+  // walking the subtree's children maps — O(subtree), where the old
+  // full-inodes_ sweep was O(namespace) with ns_mu_ held exclusive: a rename
+  // of a 10-entry directory in a 1M-file namespace paid a million
+  // PathHasPrefix probes.
   if (inode->type == vfs::FileType::kDirectory) {
-    for (auto& [ino, node] : inodes_) {
-      if (node->ino != inode->ino &&
-          vfs::PathHasPrefix(node->path, old_path)) {
+    std::vector<std::shared_ptr<MuxInode>> stack = {inode};
+    while (!stack.empty()) {
+      auto dir = stack.back();
+      stack.pop_back();
+      for (const auto& [name, child_ino] : dir->children) {
+        auto it = inodes_.find(child_ino);
+        if (it == inodes_.end()) {
+          continue;
+        }
+        const std::shared_ptr<MuxInode>& node = it->second;
         std::lock_guard<std::shared_mutex> file_lock(node->mu);
         // Shadow handles hold pre-rename paths on the underlying FSes; the
         // handles stay valid (handle-based I/O), but fresh opens need the
         // new path, so drop the cached ones.
         MUX_RETURN_IF_ERROR(CloseShadowsLocked(*node));
         node->path = norm_to + node->path.substr(old_path.size());
+        if (node->type == vfs::FileType::kDirectory) {
+          stack.push_back(node);
+        }
       }
     }
   }
@@ -704,6 +806,27 @@ Result<std::vector<vfs::DirEntry>> Mux::ReadDir(const std::string& path) {
       continue;
     }
     entries.push_back(vfs::DirEntry{name, it->second->type, ino});
+  }
+  return entries;
+}
+
+Result<std::vector<vfs::DirEntry>> Mux::ReadDirPaged(
+    const std::string& path, std::string_view start_after,
+    size_t max_entries) {
+  ChargeDispatch();
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
+  MUX_ASSIGN_OR_RETURN(auto dir, ResolveDirLocked(path));
+  std::vector<vfs::DirEntry> entries;
+  entries.reserve(std::min(max_entries, dir->children.size()));
+  // Transparent comparator: the cursor probe allocates nothing.
+  auto it = start_after.empty() ? dir->children.begin()
+                                : dir->children.upper_bound(start_after);
+  for (; it != dir->children.end() && entries.size() < max_entries; ++it) {
+    auto node = inodes_.find(it->second);
+    if (node == inodes_.end()) {
+      continue;
+    }
+    entries.push_back(vfs::DirEntry{it->first, node->second->type, it->second});
   }
   return entries;
 }

@@ -240,6 +240,21 @@ class Mux : public vfs::FileSystem {
   Status Rename(const std::string& from, const std::string& to) override;
   Result<vfs::FileStat> Stat(const std::string& path) override;
   Result<std::vector<vfs::DirEntry>> ReadDir(const std::string& path) override;
+  // Bounded directory listing: at most `max_entries` entries, starting
+  // strictly after `start_after` (empty = from the beginning), in name
+  // order. ReadDir materialises the whole directory in one vector — fine for
+  // small directories, quadratic pain when a 1M-file population puts tens of
+  // thousands of entries in one directory. Callers page with:
+  //
+  //   std::string cursor;
+  //   for (;;) {
+  //     auto page = mux.ReadDirPaged(path, cursor, 512);
+  //     if (page->empty()) break;
+  //     cursor = page->back().name;
+  //   }
+  Result<std::vector<vfs::DirEntry>> ReadDirPaged(const std::string& path,
+                                                  std::string_view start_after,
+                                                  size_t max_entries);
 
   Result<uint64_t> Read(vfs::FileHandle handle, uint64_t offset,
                         uint64_t length, uint8_t* out) override;
@@ -271,9 +286,17 @@ class Mux : public vfs::FileSystem {
     OccState occ;
     std::map<TierId, vfs::FileHandle> shadows;  // lazily opened
     std::set<TierId> touched_tiers;  // tiers where a shadow file may exist
-    std::map<std::string, vfs::InodeNum> children;  // directories
+    // Directories. Transparent comparator: the resolve hot path looks names
+    // up by string_view without materialising a std::string per component.
+    std::map<std::string, vfs::InodeNum, std::less<>> children;
     double temperature = 0.0;
     SimTime last_access = 0;
+    // Set (under ns_mu_ exclusive, before the namespace entry goes away) when
+    // the inode is unlinked/rmdir'd. The creation-ordered file index keeps a
+    // weak_ptr to every inode ever created; index scans — which run with NO
+    // namespace lock — use this flag to skip entries that are still pinned
+    // alive by an open handle but no longer reachable by path.
+    std::atomic<bool> unlinked{false};
     // Atomic: Open bumps it under a merely-shared ns_mu_ and Close touches
     // only the handle shard, so two opens (or an open and a close) of one
     // file can race on the count.
@@ -443,8 +466,60 @@ class Mux : public vfs::FileSystem {
       const MuxInode& inode, uint64_t first_block, uint64_t count, TierId to,
       TierId only_from) const;
 
+  // ---- creation-ordered file index ---------------------------------------
+  // The namespace-wide scans (policy planning, checkpoint) used to iterate
+  // the whole inodes_ map under ns_mu_ — at 1M inodes that stalls every
+  // create/rename for the duration of the walk. Instead, every inode is
+  // appended to file_index_ at creation; scans walk the index in bounded
+  // chunks under its own leaf mutex (lock order: ns_mu_ -> file_index_mu_)
+  // and never touch ns_mu_ at all. Creation order gives the one invariant
+  // chunking needs: a parent directory always sits at a smaller index than
+  // any child created inside it, so a chunked snapshot can never capture a
+  // child whose parent it missed.
+  static constexpr size_t kIndexScanChunk = 4096;
+  // Appends a freshly created inode (caller holds ns_mu_ exclusive).
+  void IndexInsertLocked(const std::shared_ptr<MuxInode>& inode);
+  // Copies the next <= `chunk` live, non-unlinked inodes starting at
+  // *cursor into `out` (cleared first) and advances *cursor. Returns false
+  // once the cursor has passed the end of the index. Entries appended while
+  // a scan is in flight are picked up (the end is re-read per chunk).
+  bool CollectIndexChunk(size_t* cursor, size_t chunk,
+                         std::vector<std::shared_ptr<MuxInode>>* out) const;
+  // RAII scan pin: compaction is deferred while any chunked scan holds a
+  // cursor into the index (compaction reorders slots).
+  class IndexScanGuard {
+   public:
+    explicit IndexScanGuard(const Mux* mux);
+    ~IndexScanGuard();
+
+   private:
+    const Mux* mux_;
+  };
+
+  // Seqlock-style generation for destructive namespace ops (unlink, rmdir,
+  // rename, recover): odd while one is in flight, bumped again when it
+  // commits. Lock-free checkpoint scans snapshot the generation before and
+  // after; a change (or an odd start) means the scan may have seen a
+  // half-applied rename/unlink and must retry. Creates don't bump it —
+  // fuzzy inclusion of a file created mid-checkpoint is a valid recovery
+  // point; a file whose path changed mid-scan is not.
+  class NamespaceMutationGuard {
+   public:
+    explicit NamespaceMutationGuard(Mux* mux) : mux_(mux) {
+      mux_->ns_generation_.fetch_add(1, std::memory_order_release);
+    }
+    ~NamespaceMutationGuard() {
+      mux_->ns_generation_.fetch_add(1, std::memory_order_release);
+    }
+
+   private:
+    Mux* const mux_;
+  };
+
   // ---- bookkeeping ---------------------------------------------------------------
-  MuxSnapshot BuildSnapshotLocked() const;  // ns_mu_ held
+  // Chunked, ns_mu_-free snapshot build over the file index. Callers
+  // validate via ns_generation_ (see Checkpoint) or hold ns_mu_.
+  MuxSnapshot BuildSnapshotChunked() const;
 
   // Advances the simulated clock by `ns` of Mux software work and attributes
   // it: `counter` is a full metric name like "mux.sw.dispatch_ns" (callers
@@ -476,6 +551,17 @@ class Mux : public vfs::FileSystem {
   mutable std::shared_mutex ns_mu_;
   std::vector<TierInfo> tiers_;  // master copy; snapshot in tier_set_
   std::unordered_map<vfs::InodeNum, std::shared_ptr<MuxInode>> inodes_;
+  // Root inode, cached so the resolve hot path skips the hash lookup. Only
+  // Recover() replaces it (under ns_mu_ exclusive).
+  std::shared_ptr<MuxInode> root_;
+  // Creation-ordered index of every non-root inode (see IndexInsertLocked).
+  // file_index_mu_ is a leaf below ns_mu_: scans take it alone, mutators
+  // take it while holding ns_mu_ exclusive.
+  mutable std::mutex file_index_mu_;
+  std::vector<std::weak_ptr<MuxInode>> file_index_;
+  uint64_t index_dead_hint_ = 0;          // unlinks since last compaction
+  mutable uint64_t index_active_scans_ = 0;  // both guarded by file_index_mu_
+  std::atomic<uint64_t> ns_generation_{0};
   std::shared_ptr<TieringPolicy> policy_;  // master copy; snapshot in tier_set_
   // Current immutable snapshot of {tiers_, policy_}; swapped by
   // PublishTierSetLocked, pinned by BeginOp and friends via SnapshotTierSet.

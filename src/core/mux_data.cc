@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <thread>
 #include <unordered_map>
 
 #include "src/common/logging.h"
@@ -1168,58 +1169,60 @@ Status Mux::MigrateRange(const std::string& path, uint64_t first_block,
 }
 
 Status Mux::RunPolicyMigrations() {
-  // Planning runs OFF the namespace lock. The only ns_mu_ critical section
-  // in the whole round is the brief shared-lock scan below that collects
-  // inode pointers (and their paths — renames hold ns_mu_ exclusive, so the
-  // strings are stable here). Foreground creates/renames resume as soon as
-  // that scan ends; lookups and opens were never blocked at all.
+  // Planning never touches ns_mu_ at all. Candidates come from the
+  // creation-ordered file index, walked in bounded chunks under its own leaf
+  // mutex; each inode is then viewed under a *shared* file lock (readers
+  // keep flowing; only its own writers wait), with the heat fields under
+  // meta_mu, their dedicated guard. Paths are read under the file lock —
+  // Rename swaps inode->path under the exclusive file lock, so the string
+  // is stable here. Foreground creates/renames/lookups are never blocked by
+  // a planning pass, no matter how large the namespace is.
   const auto tier_set = SnapshotTierSet();
   if (tier_set == nullptr || tier_set->policy == nullptr ||
       tier_set->tiers.empty()) {
     return Status::Ok();
   }
 
-  std::vector<std::pair<std::shared_ptr<MuxInode>, std::string>> candidates;
-  {
-    std::shared_lock<std::shared_mutex> lock(ns_mu_);
-    candidates.reserve(inodes_.size());
-    for (const auto& [ino, inode] : inodes_) {
-      if (inode->type == vfs::FileType::kRegular) {
-        candidates.emplace_back(inode, inode->path);
-      }
-    }
-  }
-
-  // Build the TieringView with no global lock: each inode is viewed under a
-  // *shared* file lock (readers keep flowing; only its own writers wait),
-  // and the heat fields under meta_mu, their dedicated guard. Sizes are
-  // recorded as a side table so the dispatch loop below never has to
-  // re-resolve paths under ns_mu_ for byte estimation.
   TieringView view;
   view.tiers = TierUsagesFor(tier_set->tiers);
   view.now = clock_->Now();
-  view.files.reserve(candidates.size());
   std::unordered_map<std::string, uint64_t> planned_sizes;
-  planned_sizes.reserve(candidates.size());
-  for (const auto& [inode, path] : candidates) {
-    std::shared_lock<std::shared_mutex> file_lock(inode->mu);
-    FileView fv;
-    fv.path = path;
-    fv.size = inode->attrs.size();
-    {
-      std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
-      fv.last_access = inode->last_access;
-      fv.temperature = Decay(inode->temperature,
-                             view.now - inode->last_access);
-    }
-    for (const TierInfo& tier : tier_set->tiers) {
-      const uint64_t blocks = inode->blt->BlocksOnTier(tier.id);
-      if (blocks > 0) {
-        fv.blocks_per_tier[tier.id] = blocks;
+  {
+    IndexScanGuard scan(this);
+    size_t cursor = 0;
+    std::vector<std::shared_ptr<MuxInode>> chunk;
+    chunk.reserve(kIndexScanChunk);
+    while (CollectIndexChunk(&cursor, kIndexScanChunk, &chunk)) {
+      metrics_.Add("mux.policy.scan_chunks", 1);
+      for (const auto& inode : chunk) {
+        if (inode->type != vfs::FileType::kRegular) {
+          continue;
+        }
+        std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+        if (inode->unlinked.load(std::memory_order_acquire)) {
+          continue;
+        }
+        FileView fv;
+        fv.path = inode->path;
+        fv.size = inode->attrs.size();
+        {
+          std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
+          fv.last_access = inode->last_access;
+          fv.temperature = Decay(inode->temperature,
+                                 view.now - inode->last_access);
+        }
+        for (const TierInfo& tier : tier_set->tiers) {
+          const uint64_t blocks = inode->blt->BlocksOnTier(tier.id);
+          if (blocks > 0) {
+            fv.blocks_per_tier[tier.id] = blocks;
+          }
+        }
+        // The side table spares the dispatch loop below from re-resolving
+        // paths for byte estimation.
+        planned_sizes.emplace(fv.path, fv.size);
+        view.files.push_back(std::move(fv));
       }
     }
-    planned_sizes.emplace(fv.path, fv.size);
-    view.files.push_back(std::move(fv));
   }
 
   std::vector<MigrationTask> tasks = tier_set->policy->PlanMigrations(view);
@@ -1319,38 +1322,58 @@ void Mux::StopBackgroundMigration() {
 
 // ---- bookkeeping ------------------------------------------------------------------
 
-MuxSnapshot Mux::BuildSnapshotLocked() const {
+MuxSnapshot Mux::BuildSnapshotChunked() const {
+  // Walks the creation-ordered file index in bounded chunks — file_index_mu_
+  // is held only long enough to copy one chunk of pointers, each inode is
+  // read under its shared file lock, and ns_mu_ is never taken. Foreground
+  // namespace traffic flows freely during a checkpoint of any size.
+  //
+  // Consistency: creation order guarantees a parent directory precedes every
+  // child, and the chunk collector re-reads the index end each round, so a
+  // snapshot can never contain a child whose parent it missed. Inodes
+  // unlinked mid-scan are skipped via the `unlinked` flag; renames are
+  // caught by the caller's ns_generation_ check (Checkpoint retries).
   MuxSnapshot snapshot;
-  for (const auto& [ino, inode] : inodes_) {
-    if (ino == kRootIno) {
-      continue;
+  IndexScanGuard scan(this);
+  size_t cursor = 0;
+  std::vector<std::shared_ptr<MuxInode>> chunk;
+  chunk.reserve(kIndexScanChunk);
+  while (CollectIndexChunk(&cursor, kIndexScanChunk, &chunk)) {
+    metrics_.Add("mux.ckpt.chunks", 1);
+    for (const auto& inode : chunk) {
+      std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+      if (inode->unlinked.load(std::memory_order_acquire)) {
+        continue;
+      }
+      FileSnapshot file;
+      file.path = inode->path;
+      file.is_directory = inode->type == vfs::FileType::kDirectory;
+      file.occ_version = inode->occ.version();
+      {
+        // meta_mu, not just the shared file lock: shared-lock readers
+        // update atime/affinity under meta_mu concurrently.
+        std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
+        file.size = inode->attrs.size();
+        file.mtime = inode->attrs.mtime();
+        file.atime = inode->attrs.atime();
+        file.ctime = inode->attrs.ctime();
+        file.mode = inode->attrs.mode();
+        file.temperature = inode->temperature;
+        file.last_access = inode->last_access;
+        for (int a = 0; a < kAttrCount; ++a) {
+          file.attr_owners[a] = inode->attrs.Owner(static_cast<Attr>(a));
+        }
+      }
+      if (inode->blt != nullptr) {
+        file.runs = inode->blt->AllRuns();
+      }
+      if (inode->replicas != nullptr) {
+        file.replica_runs = inode->replicas->AllRuns();
+      }
+      snapshot.files.push_back(std::move(file));
     }
-    std::shared_lock<std::shared_mutex> file_lock(inode->mu);
-    FileSnapshot file;
-    file.path = inode->path;
-    file.is_directory = inode->type == vfs::FileType::kDirectory;
-    file.size = inode->attrs.size();
-    file.mtime = inode->attrs.mtime();
-    file.atime = inode->attrs.atime();
-    file.ctime = inode->attrs.ctime();
-    file.mode = inode->attrs.mode();
-    file.occ_version = inode->occ.version();
-    {
-      std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
-      file.temperature = inode->temperature;
-      file.last_access = inode->last_access;
-    }
-    for (int a = 0; a < kAttrCount; ++a) {
-      file.attr_owners[a] = inode->attrs.Owner(static_cast<Attr>(a));
-    }
-    if (inode->blt != nullptr) {
-      file.runs = inode->blt->AllRuns();
-    }
-    if (inode->replicas != nullptr) {
-      file.replica_runs = inode->replicas->AllRuns();
-    }
-    snapshot.files.push_back(std::move(file));
   }
+  metrics_.Add("mux.ckpt.files", snapshot.files.size());
   // Parents before children so recovery can link as it goes.
   std::sort(snapshot.files.begin(), snapshot.files.end(),
             [](const FileSnapshot& a, const FileSnapshot& b) {
@@ -1360,13 +1383,40 @@ MuxSnapshot Mux::BuildSnapshotLocked() const {
 }
 
 Status Mux::Checkpoint() {
-  std::shared_lock<std::shared_mutex> lock(ns_mu_);
-  if (tiers_.empty()) {
+  const auto tier_set = SnapshotTierSet();
+  if (tier_set == nullptr || tier_set->tiers.empty()) {
     return InternalError("no tiers registered");
   }
-  const MuxSnapshot snapshot = BuildSnapshotLocked();
-  MUX_ASSIGN_OR_RETURN(const TierInfo* fastest,
-                       FindTier(tiers_, FastestTierLocked()));
+  MUX_ASSIGN_OR_RETURN(
+      const TierInfo* fastest,
+      FindTier(tier_set->tiers, FastestTierOf(tier_set->tiers)));
+
+  // Common case: build the snapshot with no namespace lock at all, then
+  // validate against the destructive-op generation (seqlock pattern: odd =
+  // an unlink/rmdir/rename is mid-flight, changed = one committed while we
+  // scanned). Either way the scan may have seen a half-applied op, so
+  // retry. Creates don't bump the generation — including (or missing) a
+  // file born mid-checkpoint is a valid recovery point.
+  constexpr int kLockFreeAttempts = 3;
+  for (int attempt = 0; attempt < kLockFreeAttempts; ++attempt) {
+    const uint64_t gen = ns_generation_.load(std::memory_order_acquire);
+    if (gen % 2 != 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    MuxSnapshot snapshot = BuildSnapshotChunked();
+    if (ns_generation_.load(std::memory_order_acquire) == gen) {
+      return SaveSnapshot(fastest->fs, options_.meta_path, snapshot);
+    }
+    metrics_.Add("mux.ckpt.retries", 1);
+  }
+
+  // A destructive-op storm kept invalidating the lock-free scan; fall back
+  // to holding ns_mu_ shared (destructive ops take it exclusive, so the
+  // generation cannot move), which is the pre-index behaviour minus the
+  // full-map walk.
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
+  const MuxSnapshot snapshot = BuildSnapshotChunked();
   return SaveSnapshot(fastest->fs, options_.meta_path, snapshot);
 }
 
@@ -1375,6 +1425,9 @@ Status Mux::Recover() {
   if (tiers_.empty()) {
     return InternalError("no tiers registered");
   }
+  // A recovery rewrites the whole namespace; any concurrent lock-free
+  // checkpoint scan must see the generation move and retry.
+  NamespaceMutationGuard mutation(this);
   MUX_ASSIGN_OR_RETURN(const TierInfo* fastest,
                        FindTier(tiers_, FastestTierLocked()));
   MUX_ASSIGN_OR_RETURN(MuxSnapshot snapshot,
@@ -1383,6 +1436,11 @@ Status Mux::Recover() {
   // Reset the namespace to just the root; open handles do not survive a
   // recovery (their inodes are rebuilt), so drop every shard.
   inodes_.clear();
+  {
+    std::lock_guard<std::mutex> index_lock(file_index_mu_);
+    file_index_.clear();
+    index_dead_hint_ = 0;
+  }
   for (HandleShard& shard : handle_shards_) {
     std::lock_guard<std::shared_mutex> shard_lock(shard.mu);
     shard.files.clear();
@@ -1391,6 +1449,7 @@ Status Mux::Recover() {
   root->ino = kRootIno;
   root->type = vfs::FileType::kDirectory;
   root->path = "/";
+  root_ = root;
   inodes_.emplace(kRootIno, root);
   next_ino_ = 2;
 
@@ -1434,7 +1493,10 @@ Status Mux::Recover() {
       }
     }
     (*parent)->children.emplace(vfs::Basename(file.path), inode->ino);
-    inodes_.emplace(inode->ino, std::move(inode));
+    inodes_.emplace(inode->ino, inode);
+    // Snapshot files arrive parent-first (sorted by path), so re-inserting
+    // in order preserves the index's parent-before-child invariant.
+    IndexInsertLocked(inode);
   }
   return Status::Ok();
 }

@@ -1,0 +1,89 @@
+// Per-phase latency attribution for queued operations.
+//
+// An open-loop client observes one number — total latency from the moment an
+// op was *scheduled* to arrive until it completed — but that number conflates
+// two very different failure modes: the op waited in a queue (the system is
+// saturated; add capacity or shed load) versus the op was slow to execute
+// (the data path itself regressed; look at tier placement, lock contention,
+// migration interference). PhaseRecorder splits the timeline at the moment a
+// worker dequeued the op:
+//
+//   arrival_ns     when the op was scheduled to arrive (open-loop schedule,
+//                  not when the producer managed to enqueue it — measuring
+//                  from enqueue would hide coordinated omission)
+//   dispatch_ns    when a worker picked it up
+//   completion_ns  when the op finished
+//
+// and publishes three histograms into a MetricsRegistry:
+//
+//   <prefix>.queue_ns    dispatch - arrival   (queueing delay)
+//   <prefix>.service_ns  completion - dispatch (service time)
+//   <prefix>.total_ns    completion - arrival  (what the client saw)
+//
+// The registry is the same sink the Mux data path and devices feed, so a
+// metrics dump shows client-visible latency decomposed next to media time
+// and software charges.
+#ifndef MUX_OBS_PHASE_H_
+#define MUX_OBS_PHASE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace mux::obs {
+
+// One op's timeline, in any monotonic nanosecond timebase (wall clock for
+// the traffic engine; SimClock for simulated paths). Clamped subtraction
+// guards the arrival > dispatch case (an op executed before its scheduled
+// arrival never happens by construction, but a merged/retimed recording
+// should not underflow).
+struct OpPhases {
+  uint64_t arrival_ns = 0;
+  uint64_t dispatch_ns = 0;
+  uint64_t completion_ns = 0;
+
+  uint64_t QueueNs() const {
+    return dispatch_ns > arrival_ns ? dispatch_ns - arrival_ns : 0;
+  }
+  uint64_t ServiceNs() const {
+    return completion_ns > dispatch_ns ? completion_ns - dispatch_ns : 0;
+  }
+  uint64_t TotalNs() const {
+    return completion_ns > arrival_ns ? completion_ns - arrival_ns : 0;
+  }
+};
+
+class PhaseRecorder {
+ public:
+  // Histogram names are materialised once here; Record() itself does not
+  // allocate (MetricsRegistry looks up string_views transparently).
+  PhaseRecorder(MetricsRegistry* registry, std::string_view prefix)
+      : registry_(registry),
+        queue_name_(std::string(prefix) + ".queue_ns"),
+        service_name_(std::string(prefix) + ".service_ns"),
+        total_name_(std::string(prefix) + ".total_ns") {}
+
+  void Record(const OpPhases& phases) const {
+    if (registry_ == nullptr) {
+      return;
+    }
+    registry_->Observe(queue_name_, phases.QueueNs());
+    registry_->Observe(service_name_, phases.ServiceNs());
+    registry_->Observe(total_name_, phases.TotalNs());
+  }
+
+  const std::string& queue_name() const { return queue_name_; }
+  const std::string& service_name() const { return service_name_; }
+  const std::string& total_name() const { return total_name_; }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string queue_name_;
+  std::string service_name_;
+  std::string total_name_;
+};
+
+}  // namespace mux::obs
+
+#endif  // MUX_OBS_PHASE_H_

@@ -84,7 +84,9 @@ bool IsValidPath(std::string_view path) {
   if (path.empty() || path[0] != '/') {
     return false;
   }
-  for (const auto& part : SplitPath(path)) {
+  PathComponents cursor(path);
+  std::string_view part;
+  while (cursor.Next(&part)) {
     if (part == "." || part == "..") {
       return false;
     }

@@ -9,7 +9,42 @@
 namespace mux::vfs {
 
 // Splits "/a/b/c" into {"a", "b", "c"}. Empty components are dropped.
+// Allocates one std::string per component — fine for cold paths (rename,
+// recovery); resolution hot paths should iterate PathComponents instead.
 std::vector<std::string> SplitPath(std::string_view path);
+
+// Zero-allocation forward cursor over the components of a path. Views
+// returned by Next() point into the caller's buffer and are valid as long
+// as that buffer is. Empty components (duplicate slashes) are skipped, same
+// as SplitPath.
+//
+//   PathComponents cursor(path);
+//   std::string_view part;
+//   while (cursor.Next(&part)) { ... }
+class PathComponents {
+ public:
+  explicit PathComponents(std::string_view path) : path_(path) {}
+
+  // Advances to the next component; returns false at the end.
+  bool Next(std::string_view* out) {
+    while (pos_ < path_.size() && path_[pos_] == '/') {
+      ++pos_;
+    }
+    if (pos_ >= path_.size()) {
+      return false;
+    }
+    size_t start = pos_;
+    while (pos_ < path_.size() && path_[pos_] != '/') {
+      ++pos_;
+    }
+    *out = path_.substr(start, pos_ - start);
+    return true;
+  }
+
+ private:
+  std::string_view path_;
+  size_t pos_ = 0;
+};
 
 // Collapses duplicate slashes and trailing slashes: "//a//b/" -> "/a/b".
 // The root stays "/".

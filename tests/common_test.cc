@@ -1,6 +1,9 @@
 // Tests for src/common: Status/Result, SimClock, Rng, Histogram.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -9,6 +12,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/common/workload.h"
 
 namespace mux {
 namespace {
@@ -188,6 +192,170 @@ TEST(ZipfianTest, SkewsTowardsHead) {
   // With theta=0.99 the top-1% of keys should draw far more than 1% of
   // accesses.
   EXPECT_GT(head_hits, kSamples / 10);
+}
+
+// Regression for the O(n)-zeta-per-construction bug: building a second
+// generator over the same (n, theta) must reuse the process-wide cached
+// normalisation constant instead of re-summing a million terms, and a larger
+// n must extend the cached prefix rather than restart from 1.
+TEST(ZipfianTest, ZetaCacheAvoidsRecomputation) {
+  constexpr uint64_t kBig = 1'000'000;
+  ZipfianGenerator warm(kBig, 0.97, 3);
+  const uint64_t after_first = ZipfianGenerator::zeta_terms_computed();
+
+  ZipfianGenerator repeat(kBig, 0.97, 4);
+  EXPECT_EQ(ZipfianGenerator::zeta_terms_computed(), after_first)
+      << "second generator at the same (n, theta) recomputed zeta";
+
+  ZipfianGenerator bigger(kBig + 1000, 0.97, 5);
+  const uint64_t after_extend = ZipfianGenerator::zeta_terms_computed();
+  EXPECT_LE(after_extend - after_first, 1000u)
+      << "growing n should extend the cached prefix, not restart from 1";
+}
+
+// Pins the theta=0.99 distribution against exact zeta-weighted frequencies,
+// so the incremental-zeta rewrite provably did not change what the generator
+// emits. Head ranks of a zipfian draw with probability (1/(k+1)^theta)/zeta(n).
+TEST(ZipfianTest, MatchesExactZetaFrequencies) {
+  constexpr uint64_t kN = 10'000;
+  constexpr double kTheta = 0.99;
+  double zeta = 0.0;
+  for (uint64_t i = 1; i <= kN; ++i) {
+    zeta += 1.0 / std::pow(static_cast<double>(i), kTheta);
+  }
+  ZipfianGenerator gen(kN, kTheta, 7);
+  constexpr int kSamples = 200'000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[gen.Next()]++;
+  }
+  // The two head ranks have special-cased draw paths; check both against the
+  // analytic probability within 15% relative error.
+  for (uint64_t rank : {0u, 1u}) {
+    const double expected =
+        kSamples / (std::pow(static_cast<double>(rank + 1), kTheta) * zeta);
+    EXPECT_NEAR(counts[rank], expected, 0.15 * expected)
+        << "rank " << rank;
+  }
+  // And the mass of the top-16 ranks collectively (less sampling noise).
+  double expected_head = 0.0;
+  int observed_head = 0;
+  for (uint64_t rank = 0; rank < 16; ++rank) {
+    expected_head +=
+        kSamples / (std::pow(static_cast<double>(rank + 1), kTheta) * zeta);
+    observed_head += counts[rank];
+  }
+  EXPECT_NEAR(observed_head, expected_head, 0.10 * expected_head);
+}
+
+TEST(PoissonArrivalsTest, MeanMatchesRate) {
+  constexpr double kRate = 50'000.0;  // ops/s -> mean gap 20us
+  PoissonArrivals arrivals(kRate, 11);
+  constexpr int kSamples = 200'000;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t delta = arrivals.NextDeltaNs();
+    EXPECT_GE(delta, 1u);
+    sum += static_cast<double>(delta);
+  }
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 1e9 / kRate, 0.02 * (1e9 / kRate));
+}
+
+TEST(WorkloadMixTest, FractionsRespected) {
+  WorkloadMix mix(0.8, 0.15, 0.05);
+  Rng rng(13);
+  int reads = 0, writes = 0, stats = 0, readdirs = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    switch (mix.Pick(rng)) {
+      case WorkloadOp::kRead: reads++; break;
+      case WorkloadOp::kWrite: writes++; break;
+      case WorkloadOp::kStat: stats++; break;
+      case WorkloadOp::kReadDir: readdirs++; break;
+    }
+  }
+  EXPECT_NEAR(reads, 0.8 * kSamples, 0.02 * kSamples);
+  EXPECT_NEAR(writes, 0.15 * kSamples, 0.02 * kSamples);
+  EXPECT_NEAR(stats + readdirs, 0.05 * kSamples, 0.01 * kSamples);
+  EXPECT_GT(stats, 0);
+  EXPECT_GT(readdirs, 0);
+}
+
+TEST(MpmcQueueTest, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(q.TryPush(i));
+  }
+  EXPECT_FALSE(q.TryPush(99));  // full -> drop
+  EXPECT_EQ(q.dropped(), 1u);
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    EXPECT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(q.TryPop(&v));  // empty
+}
+
+// Heavy concurrent push/pop: every pushed value is popped exactly once, and
+// producer-side drops are counted, never silently lost.
+TEST(MpmcQueueTest, ConcurrentExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr uint64_t kPerProducer = 20'000;
+  MpmcQueue<uint64_t> q(256);
+  std::atomic<uint64_t> popped_sum{0};
+  std::atomic<uint64_t> popped_count{0};
+  std::atomic<uint64_t> pushed_sum{0};
+  std::atomic<uint64_t> pushed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      uint64_t v;
+      while (true) {
+        if (q.TryPop(&v)) {
+          popped_sum.fetch_add(v, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (done.load(std::memory_order_acquire)) {
+          // Drain fully after producers finish.
+          while (q.TryPop(&v)) {
+            popped_sum.fetch_add(v, std::memory_order_relaxed);
+            popped_count.fetch_add(1, std::memory_order_relaxed);
+          }
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = p * kPerProducer + i + 1;
+        if (q.TryPush(value)) {
+          pushed_sum.fetch_add(value, std::memory_order_relaxed);
+          pushed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(popped_count.load(), pushed_count.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_EQ(pushed_count.load() + q.dropped(),
+            kProducers * kPerProducer);
 }
 
 TEST(HistogramTest, BasicStats) {

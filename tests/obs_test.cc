@@ -12,6 +12,7 @@
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
 #include "src/obs/metrics.h"
+#include "src/obs/phase.h"
 #include "src/obs/trace.h"
 #include "src/vfs/memfs.h"
 #include "src/vfs/types.h"
@@ -334,6 +335,47 @@ TEST(MuxObsTest, MetricsReportAndDump) {
   ASSERT_TRUE(mux.DumpMetrics(path).ok());
   EXPECT_NE(ReadHostFile(path).find("mux.sw.total_ns"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// PhaseRecorder splits an op's timeline at the dequeue instant: queue_ns +
+// service_ns == total_ns for every op, published as three histograms.
+TEST(PhaseRecorderTest, SplitsQueueingFromService) {
+  MetricsRegistry registry;
+  obs::PhaseRecorder recorder(&registry, "client");
+  EXPECT_EQ(recorder.queue_name(), "client.queue_ns");
+  EXPECT_EQ(recorder.service_name(), "client.service_ns");
+  EXPECT_EQ(recorder.total_name(), "client.total_ns");
+
+  // Op scheduled at t=100, dequeued at t=400, finished at t=900:
+  // 300ns queueing, 500ns service.
+  recorder.Record({100, 400, 900});
+  // Op executed exactly on schedule: all service.
+  recorder.Record({1000, 1000, 1250});
+
+  const Histogram queue = registry.HistogramValue("client.queue_ns");
+  const Histogram service = registry.HistogramValue("client.service_ns");
+  const Histogram total = registry.HistogramValue("client.total_ns");
+  EXPECT_EQ(queue.count(), 2u);
+  EXPECT_EQ(service.count(), 2u);
+  EXPECT_EQ(total.count(), 2u);
+  EXPECT_EQ(queue.max(), 300u);
+  EXPECT_EQ(queue.min(), 0u);
+  EXPECT_EQ(service.max(), 500u);
+  EXPECT_EQ(service.min(), 250u);
+  EXPECT_EQ(total.max(), 800u);
+  EXPECT_EQ(total.min(), 250u);
+}
+
+TEST(PhaseRecorderTest, ClampsRetimedSamplesAndNullRegistry) {
+  // dispatch before scheduled arrival (merged/retimed recording): clamp to
+  // zero rather than underflow.
+  obs::OpPhases weird{500, 400, 450};
+  EXPECT_EQ(weird.QueueNs(), 0u);
+  EXPECT_EQ(weird.ServiceNs(), 50u);
+  EXPECT_EQ(weird.TotalNs(), 0u);
+
+  obs::PhaseRecorder disabled(nullptr, "off");
+  disabled.Record({1, 2, 3});  // must not crash
 }
 
 }  // namespace
