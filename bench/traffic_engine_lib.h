@@ -49,6 +49,7 @@
 #include "bench/bench_util.h"
 #include "src/common/random.h"
 #include "src/common/workload.h"
+#include "src/core/async_io.h"
 #include "src/core/mux.h"
 #include "src/device/block_device.h"
 #include "src/device/pm_device.h"
@@ -79,6 +80,15 @@ struct TrafficConfig {
   // Client shape.
   int workers = 4;
   size_t queue_capacity = 1 << 16;
+
+  // Completion-based client path (ROADMAP item 2): the dispatcher submits
+  // each op into a bounded AsyncIoCore submission ring (capacity
+  // queue_capacity, `workers` server threads) and a single completion
+  // continuation does all accounting — no MPMC queue, no thread-per-op
+  // worker pop loop. A full ring rejects the submission and the op counts
+  // as dropped, same overload semantics as the queue path. When false, the
+  // legacy MPMC + worker-threads path runs (kept as the ablation baseline).
+  bool async_mode = false;
 
   // Offered-load steps, as fractions of the measured closed-loop capacity
   // (so the same config stresses a laptop and a CI runner equally). Steps
@@ -121,7 +131,13 @@ struct StepResult {
   // Exactly-once verification for this step (track_ops only).
   uint64_t lost_ops = 0;
   uint64_t duplicated_ops = 0;
+  // Drops according to the per-op ledger, cross-checked against `dropped`
+  // (track_ops only, and only when every generated op fit in the ledger).
+  uint64_t ledger_dropped = 0;
   bool accounting_exact = true;
+  // Client submission-ring occupancy over the step (async mode only).
+  double mean_qdepth = 0.0;
+  uint64_t max_qdepth = 0;
 };
 
 // Offered-vs-completed progress sample, taken periodically by the
@@ -137,7 +153,10 @@ struct TrafficResult {
   std::string error;
   uint64_t files_created = 0;
   double populate_seconds = 0.0;
-  double capacity_ops_s = 0.0;  // closed-loop calibration
+  double capacity_ops_s = 0.0;  // closed-loop calibration (worker threads)
+  // Closed-loop capacity through the async submission path at the same
+  // worker count (async mode only; the load steps scale off this one).
+  double async_capacity_ops_s = 0.0;
   std::vector<StepResult> steps;
   std::vector<ProgressSample> progress;  // across all steps
   uint64_t policy_rounds = 0;
@@ -202,6 +221,7 @@ class TrafficRig {
 
   bool ok() const { return ok_; }
   core::Mux& mux() { return *mux_; }
+  SimClock& clock() { return clock_; }
   vfs::FaultInjectingFs& faults(size_t tier) {
     switch (tier % 3) {
       case 0: return pm_faults_;
@@ -298,9 +318,18 @@ class TrafficEngine {
       result.error = "calibration produced zero capacity";
       return result;
     }
+    // The steps scale off the capacity of the client path under test, so
+    // async mode stresses itself, not the thread-per-op baseline.
+    double step_capacity = result.capacity_ops_s;
+    if (config_.async_mode) {
+      result.async_capacity_ops_s = CalibrateAsync();
+      if (result.async_capacity_ops_s > 0.0) {
+        step_capacity = result.async_capacity_ops_s;
+      }
+    }
 
     for (double fraction : config_.load_fractions) {
-      const double rate = fraction * result.capacity_ops_s;
+      const double rate = fraction * step_capacity;
       result.steps.push_back(RunStep(fraction, rate, /*chaos=*/false,
                                      &result));
       if (config_.chaos) {
@@ -315,6 +344,40 @@ class TrafficEngine {
   }
 
   core::Mux* mux() { return rig_ == nullptr ? nullptr : &rig_->mux(); }
+
+  // ---- per-op ledger ----------------------------------------------------
+  // Each tracked seq accumulates marks: +1 per execution, +kDropMark when
+  // the claim/drop handoff drops it. Legal end states are exactly 1
+  // (executed once) and kDropMark (dropped once); everything else is an
+  // engine bug the tally surfaces. Additive marks are the satellite fix:
+  // the old dispatcher STORED a drop sentinel, which would have silently
+  // overwritten an execution mark — an op double-counted as both dropped
+  // and executed scored as a clean drop instead of a duplicate.
+  static constexpr uint8_t kDropMark = 128;
+
+  struct LedgerTally {
+    uint64_t lost = 0;        // never executed, never dropped
+    uint64_t duplicated = 0;  // any illegal mark combination
+    uint64_t dropped = 0;     // clean drops (== kDropMark exactly)
+  };
+
+  static LedgerTally TallyLedger(const std::atomic<uint8_t>* counts,
+                                 uint64_t tracked) {
+    LedgerTally tally;
+    for (uint64_t i = 0; i < tracked; ++i) {
+      const uint8_t count = counts[i].load(std::memory_order_relaxed);
+      if (count == 1) {
+        continue;
+      } else if (count == kDropMark) {
+        tally.dropped++;
+      } else if (count == 0) {
+        tally.lost++;
+      } else {
+        tally.duplicated++;  // incl. kDropMark+1: dropped AND executed
+      }
+    }
+    return tally;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -454,7 +517,11 @@ class TrafficEngine {
 
   void ResetStepCounters() {
     generated_.store(0, std::memory_order_relaxed);
-    base_dropped_ = queue_.dropped();
+    // The drop counter is the engine's own: the claim/drop handoff bumps it
+    // exactly where the ledger gets its kDropMark, so the two cannot skew
+    // (the old code rebased the MPMC queue's lifetime drop counter, a
+    // second source of truth that drifted from the ledger).
+    dropped_.store(0, std::memory_order_relaxed);
     completed_ok_.store(0, std::memory_order_relaxed);
     completed_err_.store(0, std::memory_order_relaxed);
     done_generating_.store(false, std::memory_order_relaxed);
@@ -472,7 +539,7 @@ class TrafficEngine {
     ProgressSample sample;
     sample.generated =
         cum_.generated + generated_.load(std::memory_order_relaxed);
-    sample.dropped = cum_.dropped + queue_.dropped() - base_dropped_;
+    sample.dropped = cum_.dropped + dropped_.load(std::memory_order_relaxed);
     sample.completed = cum_.completed +
                        completed_ok_.load(std::memory_order_relaxed) +
                        completed_err_.load(std::memory_order_relaxed);
@@ -508,12 +575,12 @@ class TrafficEngine {
       op.sched_ns = sched;
       op.file_id = static_cast<uint32_t>(zipf.Next());
       op.kind = mix.Pick(rng);
-      const bool pushed = queue_.TryPush(op);
-      if (!pushed && op_counts_ != nullptr &&
-          seq < config_.max_tracked_ops) {
-        // Mark the seq as dropped so exactly-once verification can tell
-        // "dropped by design" from "lost in the engine".
-        op_counts_[seq].store(255, std::memory_order_relaxed);
+      if (async_ != nullptr) {
+        // Drop accounting lives in the continuation: a full ring rejects
+        // the submission and the continuation runs inline as cancelled.
+        SubmitAsync(op);
+      } else if (!queue_.TryPush(op)) {
+        DropOp(op.seq);
       }
       ++seq;
       generated_.fetch_add(1, std::memory_order_relaxed);
@@ -521,9 +588,70 @@ class TrafficEngine {
       if (now - last_sample_ns > 50'000'000) {
         last_sample_ns = now;
         SampleProgress();
+        if (async_ != nullptr && async_state_ != nullptr) {
+          const uint64_t depth = async_->QueueDepth(kOpsQueue);
+          async_state_->qdepth_sum += depth;
+          async_state_->qdepth_samples++;
+          async_state_->qdepth_max =
+              std::max(async_state_->qdepth_max, depth);
+        }
       }
     }
     done_generating_.store(true, std::memory_order_release);
+  }
+
+  // The single place an op is dropped: the counter and the ledger mark move
+  // together, so the per-step "generated == executed + dropped" assertion
+  // and the ledger tally can never disagree about what a drop was. (The old
+  // handoff counted drops inside the MPMC queue and separately STORED a
+  // ledger sentinel — an op that was both dropped and executed scored as a
+  // clean drop, and the two drop counts could drift.)
+  void DropOp(uint64_t seq) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (op_counts_ != nullptr && seq < config_.max_tracked_ops) {
+      op_counts_[seq].fetch_add(kDropMark, std::memory_order_relaxed);
+    }
+  }
+
+  // Submits one op into the client submission ring. The server thread runs
+  // the op; the core's completion dispatcher (one thread) runs the
+  // continuation, which does ALL per-op accounting — so the recorder and
+  // sums in async_state_ need no locks.
+  void SubmitAsync(const Op& op) {
+    auto dispatch_ns = std::make_shared<uint64_t>(0);
+    core::AsyncIoRequest request;
+    request.queue = kOpsQueue;
+    request.is_write = op.kind == WorkloadOp::kWrite;
+    request.bytes = core::Mux::kBlockSize;
+    request.fn = [this, op, dispatch_ns]() -> Status {
+      *dispatch_ns = RelNs();
+      thread_local std::vector<uint8_t> buf(core::Mux::kBlockSize, 0x5a);
+      return ExecuteOp(op, buf.data());
+    };
+    AsyncStepState* state = async_state_.get();
+    request.on_complete = [this, op, dispatch_ns,
+                           state](const core::AsyncCompletion& completion) {
+      if (completion.cancelled) {
+        DropOp(op.seq);
+      } else {
+        obs::OpPhases phase;
+        phase.arrival_ns = op.sched_ns;
+        phase.dispatch_ns = *dispatch_ns;
+        phase.completion_ns = RelNs();
+        phases_.Record(phase);
+        state->recorder->Record(op.sched_ns, phase.TotalNs());
+        state->queue_sum += phase.QueueNs();
+        state->service_sum += phase.ServiceNs();
+        state->ops++;
+        (completion.status.ok() ? completed_ok_ : completed_err_)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (op_counts_ != nullptr && op.seq < config_.max_tracked_ops) {
+          op_counts_[op.seq].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      state->delivered.fetch_add(1, std::memory_order_release);
+    };
+    (void)async_->Submit(std::move(request));
   }
 
   struct WorkerState {
@@ -532,6 +660,84 @@ class TrafficEngine {
     uint64_t service_sum = 0;
     uint64_t ops = 0;
   };
+
+  // Per-step accounting for the async client path. The recorder/sums are
+  // touched only by the core's completion dispatcher thread; the qdepth
+  // fields only by the engine dispatcher; `delivered` is the join barrier.
+  struct AsyncStepState {
+    std::unique_ptr<TimedLatencyRecorder> recorder;
+    uint64_t queue_sum = 0;
+    uint64_t service_sum = 0;
+    uint64_t ops = 0;
+    uint64_t qdepth_sum = 0;
+    uint64_t qdepth_samples = 0;
+    uint64_t qdepth_max = 0;
+    std::atomic<uint64_t> delivered{0};  // continuations run (any outcome)
+  };
+
+  void StartAsyncClient() {
+    async_ = std::make_unique<core::AsyncIoCore>(&rig_->clock(),
+                                                 &rig_->mux().metrics());
+    async_->RegisterQueue(kOpsQueue, "client_ops",
+                          static_cast<uint32_t>(config_.workers),
+                          /*servers=*/config_.workers,
+                          /*bound=*/config_.queue_capacity);
+  }
+
+  void StopAsyncClient() {
+    async_->Shutdown();
+    async_.reset();
+  }
+
+  // Closed-loop capacity probe through the async submission path at the
+  // same worker (server) count: one submitting loop keeps a small in-flight
+  // window saturated, so throughput is bounded by the servers, exactly as
+  // Calibrate() is bounded by its worker threads. The async-vs-sync
+  // capacity ratio the bench reports compares the two.
+  double CalibrateAsync() {
+    StartAsyncClient();
+    std::atomic<uint64_t> completed{0};
+    std::atomic<int64_t> in_flight{0};
+    const int64_t window = static_cast<int64_t>(config_.workers) * 4;
+    ZipfianGenerator zipf(config_.files, config_.zipf_theta,
+                          config_.seed + 301);
+    WorkloadMix mix(config_.read_fraction, config_.write_fraction,
+                    config_.meta_fraction);
+    Rng rng(config_.seed + 307);
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::milliseconds(config_.calibrate_ms);
+    while (Clock::now() < deadline) {
+      if (in_flight.load(std::memory_order_relaxed) >= window) {
+        std::this_thread::yield();
+        continue;
+      }
+      Op op;
+      op.file_id = static_cast<uint32_t>(zipf.Next());
+      op.kind = mix.Pick(rng);
+      in_flight.fetch_add(1, std::memory_order_relaxed);
+      core::AsyncIoRequest request;
+      request.queue = kOpsQueue;
+      request.fn = [this, op]() -> Status {
+        thread_local std::vector<uint8_t> buf(core::Mux::kBlockSize, 0x5a);
+        return ExecuteOp(op, buf.data());
+      };
+      request.on_complete =
+          [&completed, &in_flight](const core::AsyncCompletion&) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+            in_flight.fetch_sub(1, std::memory_order_release);
+          };
+      (void)async_->Submit(std::move(request));
+    }
+    // Every continuation references the stack state above; drain before it
+    // goes out of scope.
+    while (in_flight.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double seconds = SecondsSince(start);
+    StopAsyncClient();
+    return seconds > 0 ? static_cast<double>(completed.load()) / seconds : 0;
+  }
 
   void WorkerLoop(WorkerState* state) {
     std::vector<uint8_t> buf(core::Mux::kBlockSize, 0x5a);
@@ -626,10 +832,18 @@ class TrafficEngine {
     const uint64_t bucket_ns = config_.bucket_ms * 1'000'000ULL;
     const size_t buckets = config_.step_ms / config_.bucket_ms + 2;
 
-    std::vector<WorkerState> states(config_.workers);
-    for (auto& state : states) {
-      state.recorder =
+    std::vector<WorkerState> states;
+    if (config_.async_mode) {
+      async_state_ = std::make_unique<AsyncStepState>();
+      async_state_->recorder =
           std::make_unique<TimedLatencyRecorder>(bucket_ns, buckets);
+      StartAsyncClient();
+    } else {
+      states.resize(config_.workers);
+      for (auto& state : states) {
+        state.recorder =
+            std::make_unique<TimedLatencyRecorder>(bucket_ns, buckets);
+      }
     }
 
     epoch_ = Clock::now();
@@ -641,13 +855,26 @@ class TrafficEngine {
                                                               result); });
     }
     std::vector<std::thread> workers;
-    workers.reserve(config_.workers);
-    for (int w = 0; w < config_.workers; ++w) {
-      workers.emplace_back([this, &states, w] { WorkerLoop(&states[w]); });
+    if (!config_.async_mode) {
+      workers.reserve(config_.workers);
+      for (int w = 0; w < config_.workers; ++w) {
+        workers.emplace_back([this, &states, w] { WorkerLoop(&states[w]); });
+      }
     }
     DispatcherLoop(rate, step_ns);
     for (auto& t : workers) {
       t.join();  // workers drain the queue before exiting
+    }
+    if (config_.async_mode) {
+      // Await the completion dispatcher: every generated op was submitted,
+      // and every submission delivers its continuation exactly once
+      // (rejections included), so this terminates.
+      const uint64_t target = generated_.load(std::memory_order_relaxed);
+      while (async_state_->delivered.load(std::memory_order_acquire) <
+             target) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      StopAsyncClient();
     }
     if (chaos) {
       chaos_stop.store(true, std::memory_order_release);
@@ -663,7 +890,7 @@ class TrafficEngine {
     const double elapsed_s = static_cast<double>(RelNs()) / 1e9;
 
     step.generated = generated_.load(std::memory_order_relaxed);
-    step.dropped = queue_.dropped() - base_dropped_;
+    step.dropped = dropped_.load(std::memory_order_relaxed);
     step.completed_ok = completed_ok_.load(std::memory_order_relaxed);
     step.completed_err = completed_err_.load(std::memory_order_relaxed);
     step.goodput_ops_s =
@@ -677,11 +904,25 @@ class TrafficEngine {
     uint64_t queue_sum = 0;
     uint64_t service_sum = 0;
     uint64_t ops = 0;
-    for (const auto& state : states) {
-      merged.MergeFrom(*state.recorder);
-      queue_sum += state.queue_sum;
-      service_sum += state.service_sum;
-      ops += state.ops;
+    if (async_state_ != nullptr) {
+      merged.MergeFrom(*async_state_->recorder);
+      queue_sum = async_state_->queue_sum;
+      service_sum = async_state_->service_sum;
+      ops = async_state_->ops;
+      if (async_state_->qdepth_samples > 0) {
+        step.mean_qdepth =
+            static_cast<double>(async_state_->qdepth_sum) /
+            static_cast<double>(async_state_->qdepth_samples);
+      }
+      step.max_qdepth = async_state_->qdepth_max;
+      async_state_.reset();
+    } else {
+      for (const auto& state : states) {
+        merged.MergeFrom(*state.recorder);
+        queue_sum += state.queue_sum;
+        service_sum += state.service_sum;
+        ops += state.ops;
+      }
     }
     const size_t skip = config_.warmup_ms / config_.bucket_ms;
     const FineHistogram hist = merged.Merged(skip);
@@ -693,39 +934,44 @@ class TrafficEngine {
       step.mean_service_ns = static_cast<double>(service_sum) / ops;
     }
 
-    // Exactly-once accounting: generated == executed + dropped, and every
-    // tracked seq ran exactly once or was dropped exactly once.
+    // Exactly-once accounting: generated == executed + dropped, every
+    // tracked seq ran exactly once or was dropped exactly once, and the
+    // ledger's drop count agrees with the drop counter (the two are bumped
+    // together in DropOp, so a mismatch means a claim/drop handoff bug).
     const uint64_t executed = step.completed_ok + step.completed_err;
     step.accounting_exact = executed + step.dropped == step.generated;
     if (op_counts_ != nullptr) {
       const uint64_t tracked =
           std::min<uint64_t>(step.generated, config_.max_tracked_ops);
-      for (uint64_t i = 0; i < tracked; ++i) {
-        const uint8_t count =
-            op_counts_[i].load(std::memory_order_relaxed);
-        if (count == 0) {
-          step.lost_ops++;
-        } else if (count != 1 && count != 255) {
-          step.duplicated_ops++;
-        }
+      const LedgerTally tally = TallyLedger(op_counts_.get(), tracked);
+      step.lost_ops = tally.lost;
+      step.duplicated_ops = tally.duplicated;
+      step.ledger_dropped = tally.dropped;
+      if (tally.lost != 0 || tally.duplicated != 0) {
+        step.accounting_exact = false;
       }
-      if (step.lost_ops != 0 || step.duplicated_ops != 0) {
+      if (tracked == step.generated && tally.dropped != step.dropped) {
         step.accounting_exact = false;
       }
     }
     return step;
   }
 
+  // The client submission ring lives under an id far above any tier id.
+  static constexpr core::TierId kOpsQueue = 1000;
+
   const TrafficConfig config_;
   std::unique_ptr<TrafficRig> rig_;
   MpmcQueue<Op> queue_;
+  std::unique_ptr<core::AsyncIoCore> async_;  // async_mode client path
+  std::unique_ptr<AsyncStepState> async_state_;
   obs::PhaseRecorder phases_;
   Clock::time_point epoch_{};
   std::atomic<uint64_t> generated_{0};
+  std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> completed_ok_{0};
   std::atomic<uint64_t> completed_err_{0};
   std::atomic<bool> done_generating_{false};
-  uint64_t base_dropped_ = 0;
   ProgressSample cum_;  // totals from completed steps (dispatcher-only)
   std::unique_ptr<std::atomic<uint8_t>[]> op_counts_;
   std::vector<ProgressSample> progress_;

@@ -1,0 +1,391 @@
+#include "src/core/async_io.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace mux::core {
+
+namespace {
+
+// Min-heap helpers over a vector of channel free times.
+struct ChannelGreater {
+  bool operator()(SimTime a, SimTime b) const { return a > b; }
+};
+
+}  // namespace
+
+uint64_t AsyncIoCore::WallNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+AsyncIoCore::AsyncIoCore(SimClock* clock, obs::MetricsRegistry* metrics)
+    : clock_(clock), metrics_(metrics) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+AsyncIoCore::~AsyncIoCore() { Shutdown(); }
+
+void AsyncIoCore::RegisterQueue(TierId queue, std::string name,
+                                uint32_t queue_depth, int servers,
+                                size_t bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = rings_[queue];
+  if (slot != nullptr) {
+    return;  // idempotent
+  }
+  slot = std::make_unique<Ring>();
+  Ring* ring = slot.get();
+  ring->name = std::move(name);
+  ring->qdepth_metric = "sched.qdepth." + ring->name;
+  ring->depth = queue_depth < 1 ? 1 : queue_depth;
+  ring->bound = bound;
+  ring->channels.assign(ring->depth, 0);  // all channels free at t=0
+  const int n = servers < 1 ? 1 : servers;
+  ring->servers.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ring->servers.emplace_back([this, ring] { ServerLoop(ring); });
+  }
+}
+
+void AsyncIoCore::UnregisterQueue(TierId queue) {
+  std::unique_ptr<Ring> ring;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rings_.find(queue);
+    if (it == rings_.end()) {
+      return;
+    }
+    ring = std::move(it->second);
+    rings_.erase(it);
+  }
+  StopRing(ring.get());
+}
+
+void AsyncIoCore::Shutdown() {
+  std::map<TierId, std::unique_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings.swap(rings_);
+  }
+  for (auto& [queue, ring] : rings) {
+    StopRing(ring.get());
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (done_stop_) {
+      return;  // second Shutdown (e.g. explicit call then destructor)
+    }
+    done_stop_ = true;
+  }
+  done_cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+void AsyncIoCore::StopRing(Ring* ring) {
+  {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->stop = true;
+  }
+  ring->cv.notify_all();
+  for (std::thread& t : ring->servers) {
+    t.join();
+  }
+  // Servers drain the ring before exiting; belt-and-braces for anything that
+  // slipped in between their last check and the map erase: run inline.
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    leftovers.swap(ring->queue);
+  }
+  for (Pending& p : leftovers) {
+    RunInline(std::move(p.request));
+  }
+}
+
+Result<AsyncTicket> AsyncIoCore::Submit(AsyncIoRequest request) {
+  if (request.fn == nullptr) {
+    return InvalidArgumentError("async submit without a request function");
+  }
+  if (request.on_complete == nullptr) {
+    return InvalidArgumentError("async submit without a continuation");
+  }
+  AsyncTicket ticket;
+  bool reject = false;
+  {
+    // mu_ is held across the ring push (lock order mu_ -> ring->mu, same as
+    // Cancel/QueueDepth) so the ring cannot be unregistered out from under
+    // the submit.
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket.queue = request.queue;
+    ticket.seq = next_seq_++;
+    auto it = rings_.find(request.queue);
+    if (it != rings_.end()) {
+      Ring* ring = it->second.get();
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      if (!ring->stop) {
+        if (ring->bound != 0 && ring->queue.size() >= ring->bound) {
+          stats_.rejected++;
+          reject = true;
+        } else {
+          stats_.submitted++;
+          if (metrics_ != nullptr) {
+            metrics_->Observe(ring->qdepth_metric, ring->queue.size() + 1);
+          }
+          ring->queue.push_back(Pending{ticket.seq, std::move(request)});
+          ring->cv.notify_one();
+          return ticket;
+        }
+      }
+    }
+    if (!reject) {
+      stats_.submitted++;
+    }
+  }
+  if (reject) {
+    // The continuation contract is exactly-once in every outcome: a
+    // rejected request completes inline as cancelled-with-kBusy so awaiters
+    // (CompletionGroup) never hang on a completion that was never queued.
+    AsyncCompletion completion;
+    completion.status = BusyError("submission ring full");
+    completion.cancelled = true;
+    completion.submit_ns = request.origin;
+    completion.start_ns = request.origin;
+    completion.complete_ns = request.origin;
+    request.on_complete(completion);
+    return BusyError("submission ring full");
+  }
+  // Unknown queue (or already shut down): complete inline so the request is
+  // never stranded. The continuation still runs exactly once.
+  RunInline(std::move(request));
+  return ticket;
+}
+
+bool AsyncIoCore::Cancel(const AsyncTicket& ticket) {
+  if (!ticket.ok()) {
+    return false;
+  }
+  AsyncIoRequest cancelled_request;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rings_.find(ticket.queue);
+    if (it == rings_.end()) {
+      return false;
+    }
+    Ring* ring = it->second.get();
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    for (auto q = ring->queue.begin(); q != ring->queue.end(); ++q) {
+      if (q->seq == ticket.seq) {
+        cancelled_request = std::move(q->request);
+        ring->queue.erase(q);
+        break;
+      }
+    }
+  }
+  if (cancelled_request.on_complete == nullptr) {
+    return false;  // already claimed by a server (or ticket unknown)
+  }
+  AsyncCompletion completion;
+  completion.status = BusyError("cancelled before dispatch");
+  completion.cancelled = true;
+  completion.submit_ns = cancelled_request.origin;
+  completion.start_ns = cancelled_request.origin;
+  completion.complete_ns = cancelled_request.origin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.cancelled++;
+  }
+  PushDone(Done{std::move(cancelled_request.on_complete), completion,
+                WallNs()});
+  return true;
+}
+
+size_t AsyncIoCore::QueueDepth(TierId queue) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rings_.find(queue);
+  if (it == rings_.end()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> ring_lock(it->second->mu);
+  return it->second->queue.size();
+}
+
+AsyncCoreStats AsyncIoCore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncIoCore::ServerLoop(Ring* ring) {
+  for (;;) {
+    Pending pending;
+    SimTime start = 0;
+    {
+      std::unique_lock<std::mutex> lock(ring->mu);
+      // A request needs both a queued entry and a free channel. Channels go
+      // missing while another server is mid-service (it reserved one), so
+      // wait for either to appear; stop only once the ring is drained.
+      ring->cv.wait(lock, [ring] {
+        return (ring->stop && ring->queue.empty()) ||
+               (!ring->queue.empty() && !ring->channels.empty());
+      });
+      if (ring->queue.empty()) {
+        return;  // stop requested and nothing left to drain
+      }
+      pending = std::move(ring->queue.front());
+      ring->queue.pop_front();
+      // Claim the earliest-free simulated channel: service starts when both
+      // the request has arrived and a channel is idle. This is where
+      // queue_depth bites — a single-channel HDD serializes a burst that a
+      // 16-deep SSD absorbs with zero added wait.
+      std::pop_heap(ring->channels.begin(), ring->channels.end(),
+                    ChannelGreater{});
+      const SimTime channel_free = ring->channels.back();
+      ring->channels.pop_back();
+      start = std::max(pending.request.origin, channel_free);
+    }
+
+    AsyncCompletion completion;
+    completion.submit_ns = pending.request.origin;
+    completion.start_ns = start;
+    {
+      ScopedTimeCursor cursor(clock_, start);
+      completion.status = pending.request.fn();
+      completion.complete_ns = start + cursor.Release();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      ring->channels.push_back(completion.complete_ns);
+      std::push_heap(ring->channels.begin(), ring->channels.end(),
+                     ChannelGreater{});
+    }
+    // A channel came free: wake a server that may be parked waiting for one.
+    ring->cv.notify_one();
+
+    if (metrics_ != nullptr) {
+      metrics_->Observe("sched.qdepth.wait_ns", completion.wait_ns());
+    }
+    PushDone(Done{std::move(pending.request.on_complete), completion,
+                  WallNs()});
+  }
+}
+
+void AsyncIoCore::RunInline(AsyncIoRequest request) {
+  AsyncCompletion completion;
+  completion.submit_ns = request.origin;
+  completion.start_ns = request.origin;
+  {
+    ScopedTimeCursor cursor(clock_, request.origin);
+    completion.status = request.fn();
+    completion.complete_ns = request.origin + cursor.Release();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed++;
+    if (!completion.status.ok()) {
+      stats_.failed++;
+    }
+  }
+  request.on_complete(completion);
+}
+
+void AsyncIoCore::PushDone(Done done) {
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (!done_stop_) {
+      done_queue_.push_back(std::move(done));
+      done_cv_.notify_one();
+      return;
+    }
+  }
+  // Dispatcher already stopped (shutdown path): deliver inline. Exactly-once
+  // holds — the entry was never queued.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed++;
+    if (!done.completion.status.ok() && !done.completion.cancelled) {
+      stats_.failed++;
+    }
+  }
+  done.on_complete(done.completion);
+}
+
+void AsyncIoCore::DispatcherLoop() {
+  for (;;) {
+    Done done;
+    {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      done_cv_.wait(lock,
+                    [this] { return done_stop_ || !done_queue_.empty(); });
+      if (done_queue_.empty()) {
+        return;  // stopped and drained
+      }
+      done = std::move(done_queue_.front());
+      done_queue_.pop_front();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Observe("sched.completion_wait_ns",
+                        WallNs() - done.wall_enqueue_ns);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.completed++;
+      if (!done.completion.status.ok() && !done.completion.cancelled) {
+        stats_.failed++;
+      }
+    }
+    // The continuation runs with no AsyncIoCore lock held; it may submit
+    // follow-up requests but must never Await() a group fed by this core.
+    done.on_complete(done.completion);
+  }
+}
+
+// ---- CompletionGroup ------------------------------------------------------
+
+AsyncContinuation CompletionGroup::Add() { return Add(nullptr); }
+
+AsyncContinuation CompletionGroup::Add(AsyncContinuation inner) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    expected_++;
+  }
+  return [this, inner = std::move(inner)](const AsyncCompletion& completion) {
+    if (inner) {
+      inner(completion);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    joined_.completed++;
+    joined_.max_total_ns = std::max(joined_.max_total_ns,
+                                    completion.total_ns());
+    joined_.max_wait_ns = std::max(joined_.max_wait_ns, completion.wait_ns());
+    joined_.sum_service_ns += completion.service_ns();
+    if (completion.cancelled) {
+      joined_.cancelled++;
+    }
+    if (completion.status.ok()) {
+      joined_.max_ok_total_ns = std::max(joined_.max_ok_total_ns,
+                                         completion.total_ns());
+    } else {
+      if (!completion.cancelled) {
+        joined_.failed++;
+      }
+      if (joined_.status.ok()) {
+        joined_.status = completion.status;
+      }
+    }
+    cv_.notify_all();
+  };
+}
+
+CompletionGroup::Joined CompletionGroup::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return joined_.completed == expected_; });
+  return joined_;
+}
+
+}  // namespace mux::core

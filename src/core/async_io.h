@@ -1,0 +1,236 @@
+// Completion-based submission/completion I/O core (ROADMAP item 2).
+//
+// The pre-existing dispatch path was thread-per-op with blocking charges: an
+// op either executed its device work inline or parked its thread on a
+// future while an executor worker ran the chain. Either way a thread was
+// pinned per in-flight op and device queue depth was a fiction — the
+// DeviceProfile::queue_depth field existed but nothing consumed it.
+//
+// AsyncIoCore inverts that control flow:
+//
+//   * Submission rings. Each registered queue (one per tier for Mux's data
+//     path; the traffic engine registers a generic "ops" ring) has a bounded
+//     submission deque. Submit() enqueues the request tagged with a
+//     continuation and returns immediately with a ticket; the submitting
+//     thread never blocks on the device.
+//   * Device servers. A small pool of server threads per ring claims
+//     requests in FIFO order (reordering is the IoScheduler's job, upstream)
+//     and executes them under a private time cursor, so simulated charges
+//     stay off the shared clock until the awaiting op merges them.
+//   * Simulated queue depth. Each ring models DeviceProfile::queue_depth
+//     channels as a min-heap of channel-free times. A request's service
+//     starts at max(submit time, earliest free channel): a deep SSD queue
+//     (queue_depth 16) absorbs a burst with no added wait, while the single
+//     HDD channel serializes it — the two finally diverge in simulated
+//     charging. The wait is first-class: AsyncCompletion::wait_ns() and the
+//     "sched.qdepth.wait_ns" histogram.
+//   * Completion dispatcher. Servers push finished requests onto a central
+//     completion queue drained by one dispatcher thread, which invokes each
+//     continuation exactly once — whether the request succeeded, failed
+//     (EIO/ENOSPC travels in AsyncCompletion::status), or was cancelled
+//     before dispatch. "sched.completion_wait_ns" records how long a
+//     completion waited for its continuation to run (wall ns; the dispatch
+//     lag is host scheduling, not simulated device time).
+//
+// Lock hierarchy (continuation-resume rules, see DESIGN.md "Concurrency
+// model"): continuations run on the completion dispatcher thread with NO
+// AsyncIoCore lock held, but they must not submit to or cancel on the same
+// core re-entrantly-blocking (Await inside a continuation deadlocks the
+// dispatcher). Mux continuations only record stats and signal a
+// CompletionGroup; the awaiting op thread does all lock-holding work.
+//
+// Submissions to an unknown queue or after Shutdown execute inline on the
+// caller's thread (same cursor discipline) and the continuation runs inline
+// too, so shutdown never strands a request — mirroring IoExecutor.
+#ifndef MUX_CORE_ASYNC_IO_H_
+#define MUX_CORE_ASYNC_IO_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/tier.h"
+#include "src/obs/metrics.h"
+
+namespace mux::core {
+
+// One finished (or cancelled) submission, delivered to the continuation.
+struct AsyncCompletion {
+  Status status;
+  bool cancelled = false;
+  SimTime submit_ns = 0;    // sim time the request entered the ring
+  SimTime start_ns = 0;     // sim time a device channel picked it up
+  SimTime complete_ns = 0;  // sim time service finished
+
+  SimTime wait_ns() const { return start_ns - submit_ns; }       // queueing
+  SimTime service_ns() const { return complete_ns - start_ns; }  // device
+  SimTime total_ns() const { return complete_ns - submit_ns; }
+};
+
+using AsyncContinuation = std::function<void(const AsyncCompletion&)>;
+
+// Handle for cancellation. Only valid until the continuation has run.
+struct AsyncTicket {
+  TierId queue = kInvalidTier;
+  uint64_t seq = 0;
+  bool ok() const { return queue != kInvalidTier; }
+};
+
+struct AsyncIoRequest {
+  TierId queue = kInvalidTier;
+  bool is_write = false;
+  uint64_t bytes = 0;
+  // Sim time the submitting op observed at submit; waits are measured from
+  // here and the continuation's total_ns() is relative to it.
+  SimTime origin = 0;
+  // The device work. Runs on a server thread under a private time cursor
+  // anchored at the computed channel start time.
+  std::function<Status()> fn;
+  // Invoked exactly once from the completion dispatcher (or inline on the
+  // shutdown/unknown-queue fallback).
+  AsyncContinuation on_complete;
+};
+
+struct AsyncCoreStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;   // continuations delivered (any outcome)
+  uint64_t failed = 0;      // completions carrying !status.ok()
+  uint64_t cancelled = 0;   // cancelled before a server claimed them
+  uint64_t rejected = 0;    // bounded ring was full at submit
+};
+
+class AsyncIoCore {
+ public:
+  // `metrics` is optional; when set, each queue observes
+  // "sched.qdepth.<name>" (ring occupancy at submit), "sched.qdepth.wait_ns"
+  // (sim channel wait) and "sched.completion_wait_ns" (wall dispatch lag).
+  explicit AsyncIoCore(SimClock* clock,
+                       obs::MetricsRegistry* metrics = nullptr);
+  ~AsyncIoCore();
+
+  AsyncIoCore(const AsyncIoCore&) = delete;
+  AsyncIoCore& operator=(const AsyncIoCore&) = delete;
+
+  // Registers a submission ring. `queue_depth` is the number of simulated
+  // device channels (DeviceProfile::queue_depth for tier rings); `servers`
+  // is the host-thread pool size; `bound` caps the ring (0 = unbounded;
+  // Submit on a full bounded ring fails with kBusy and counts `rejected`).
+  void RegisterQueue(TierId queue, std::string name, uint32_t queue_depth,
+                     int servers = 1, size_t bound = 0);
+  // Drains the ring and joins its servers. Later submits run inline.
+  void UnregisterQueue(TierId queue);
+  // Stops every ring and the completion dispatcher.
+  void Shutdown();
+
+  // Enqueues the request. The continuation runs exactly once in EVERY
+  // outcome: normal completion, failure, cancellation, shutdown fallback —
+  // and on a full bounded ring it runs inline as cancelled-with-kBusy
+  // before Submit returns the kBusy error (so group awaiters never hang).
+  // The only paths that never invoke it are the InvalidArgument returns for
+  // a missing `fn`/`on_complete`, which are caller bugs.
+  Result<AsyncTicket> Submit(AsyncIoRequest request);
+
+  // Cancels a queued request: if no server has claimed it yet it is removed
+  // and its continuation receives {cancelled=true, status=kBusy}; returns
+  // true. Returns false when the request already started (its continuation
+  // will run with the real outcome) or the ticket is unknown.
+  bool Cancel(const AsyncTicket& ticket);
+
+  // Current ring occupancy (racy sample; monitoring only).
+  size_t QueueDepth(TierId queue) const;
+  AsyncCoreStats stats() const;
+
+ private:
+  struct Pending {
+    uint64_t seq = 0;
+    AsyncIoRequest request;
+  };
+
+  struct Ring {
+    std::string name;
+    std::string qdepth_metric;  // "sched.qdepth.<name>", built once
+    uint32_t depth = 1;
+    size_t bound = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+    std::vector<SimTime> channels;  // min-heap of channel free times
+    std::vector<std::thread> servers;
+    bool stop = false;
+  };
+
+  struct Done {
+    AsyncContinuation on_complete;
+    AsyncCompletion completion;
+    uint64_t wall_enqueue_ns = 0;
+  };
+
+  void ServerLoop(Ring* ring);
+  void StopRing(Ring* ring);
+  void PushDone(Done done);
+  void DispatcherLoop();
+  // Executes `request` inline (unknown queue / shutdown fallback): no
+  // channel model, start == origin, continuation invoked on this thread.
+  void RunInline(AsyncIoRequest request);
+  static uint64_t WallNs();
+
+  SimClock* const clock_;
+  obs::MetricsRegistry* const metrics_;  // optional, not owned
+
+  mutable std::mutex mu_;  // guards rings_ map shape + seq + stats
+  std::map<TierId, std::unique_ptr<Ring>> rings_;
+  uint64_t next_seq_ = 1;
+  AsyncCoreStats stats_;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::deque<Done> done_queue_;
+  bool done_stop_ = false;
+  std::thread dispatcher_;
+};
+
+// Await helper for submit-all-then-await: hand Add()'s continuation to N
+// submissions, then Await() blocks until all N completions delivered and
+// returns the join — first error wins, plus the max/total charge figures the
+// awaiting op needs to merge simulated time (Advance(max_total_ns) lands the
+// overlap-charged cost in the op's cursor, exactly like the executor join).
+// The group must outlive every continuation, which Await() guarantees.
+class CompletionGroup {
+ public:
+  struct Joined {
+    Status status;                // first failure (cancellations included)
+    SimTime max_total_ns = 0;     // max wait+service over ALL completions
+    SimTime max_ok_total_ns = 0;  // ... over successful completions only
+    SimTime max_wait_ns = 0;
+    SimTime sum_service_ns = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+  };
+
+  // Returns the continuation for one submission. Call before Await().
+  AsyncContinuation Add();
+  // Wraps `inner` so it observes the completion before the group join.
+  AsyncContinuation Add(AsyncContinuation inner);
+
+  Joined Await();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t expected_ = 0;
+  Joined joined_;
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_ASYNC_IO_H_

@@ -29,6 +29,15 @@ struct CostModel {
   SimTime cache_admission_ns = 60;
   // Extra cost per additional split segment of one request.
   SimTime split_segment_ns = 120;
+  // Completion-based dispatch (AsyncIoCore): enqueueing one request into a
+  // tier's submission ring (tagging the continuation, ring bookkeeping)...
+  SimTime submit_ns = 70;
+  // ... and resuming the awaiting op when its completion arrives. Charged
+  // once per submitted request; the queueing *wait* itself is not a software
+  // cost — it comes out of the simulated channel model, which is where a
+  // deep SSD queue (DeviceProfile::queue_depth 16) and the single-channel
+  // HDD diverge.
+  SimTime completion_ns = 90;
 };
 
 }  // namespace mux::core

@@ -59,9 +59,17 @@ void IoExecutor::StopPool(TierPool* pool) {
   // Workers drain the queue before exiting, but belt-and-braces: complete
   // anything that slipped in after the last drain, inline.
   for (Job& job : pool->queue) {
-    job.done.set_value(RunJob(clock_, job.origin, job.fn));
+    Deliver(&job, RunJob(clock_, job.origin, job.fn));
   }
   pool->queue.clear();
+}
+
+void IoExecutor::Deliver(Job* job, IoCompletion completion) {
+  if (job->callback) {
+    job->callback(completion);
+  } else {
+    job->done.set_value(std::move(completion));
+  }
 }
 
 IoCompletion IoExecutor::RunJob(SimClock* clock, SimTime origin,
@@ -85,7 +93,7 @@ void IoExecutor::WorkerLoop(TierPool* pool) {
       job = std::move(pool->queue.front());
       pool->queue.pop_front();
     }
-    job.done.set_value(RunJob(clock_, job.origin, job.fn));
+    Deliver(&job, RunJob(clock_, job.origin, job.fn));
   }
 }
 
@@ -114,6 +122,31 @@ std::future<IoCompletion> IoExecutor::Submit(TierId tier, SimTime origin,
   // discipline so accounting stays identical.
   job.done.set_value(RunJob(clock_, origin, job.fn));
   return result;
+}
+
+void IoExecutor::SubmitWithCallback(
+    TierId tier, SimTime origin, std::function<Status()> fn,
+    std::function<void(const IoCompletion&)> done) {
+  Job job;
+  job.origin = origin;
+  job.fn = std::move(fn);
+  job.callback = std::move(done);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pools_.find(tier);
+    if (it != pools_.end()) {
+      TierPool* pool = it->second.get();
+      {
+        std::lock_guard<std::mutex> pool_lock(pool->mu);
+        if (!pool->stop) {
+          pool->queue.push_back(std::move(job));
+          pool->cv.notify_one();
+          return;
+        }
+      }
+    }
+  }
+  job.callback(RunJob(clock_, origin, job.fn));
 }
 
 bool IoExecutor::HasPool(TierId tier) const {

@@ -62,6 +62,15 @@ class IoExecutor {
   std::future<IoCompletion> Submit(TierId tier, SimTime origin,
                                    std::function<Status()> fn);
 
+  // Completion-callback submission: the worker invokes `done` with the
+  // chain's completion instead of fulfilling a future, so the caller can
+  // join via a CompletionGroup-style latch (submit-all-then-await) rather
+  // than blocking in per-chain future.get() order. `done` runs exactly once,
+  // on the worker thread (or inline on the unknown-tier/shutdown fallback).
+  void SubmitWithCallback(TierId tier, SimTime origin,
+                          std::function<Status()> fn,
+                          std::function<void(const IoCompletion&)> done);
+
   bool HasPool(TierId tier) const;
 
  private:
@@ -69,6 +78,9 @@ class IoExecutor {
     SimTime origin = 0;
     std::function<Status()> fn;
     std::promise<IoCompletion> done;
+    // When set, the completion goes through the callback and the promise is
+    // left untouched.
+    std::function<void(const IoCompletion&)> callback;
   };
 
   struct TierPool {
@@ -81,6 +93,7 @@ class IoExecutor {
 
   static IoCompletion RunJob(SimClock* clock, SimTime origin,
                              const std::function<Status()>& fn);
+  static void Deliver(Job* job, IoCompletion completion);
   void WorkerLoop(TierPool* pool);
   void StopPool(TierPool* pool);
 

@@ -180,7 +180,100 @@ Result<bool> IoScheduler::RunOne(TierId tier) {
   return true;
 }
 
+// One kAsync round: drain every queue through the submission rings and
+// await the completions. Returns the number of successfully executed
+// requests; stats are recorded by the continuations as completions arrive.
+uint64_t IoScheduler::RunAllAsyncRound() {
+  const SimTime start = clock_->Now();
+  struct Picked {
+    IoRequest request;
+    SimTime est_cost = 0;
+  };
+  std::vector<Picked> picked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [tier, queue] : queues_) {
+      // Pop in algorithm order, tracking a provisional elevator head so the
+      // pick sequence matches what serial dispatch would choose. The real
+      // head still only moves on *successful* completion.
+      uint64_t head = head_positions_[tier];
+      while (!queue.empty()) {
+        const size_t idx = PickLocked(queue, head);
+        Picked p;
+        p.request = std::move(queue[idx]);
+        queue.erase(queue.begin() + static_cast<long>(idx));
+        const auto& profile = profiles_.at(tier);
+        p.est_cost = p.request.is_write
+                         ? profile.EstimateWriteNs(p.request.bytes)
+                         : profile.EstimateReadNs(p.request.bytes);
+        head = p.request.offset + p.request.bytes;
+        if (metrics_ != nullptr) {
+          metrics_->Observe("sched.queue_wait_ns",
+                            start - p.request.enqueue_ns);
+        }
+        picked.push_back(std::move(p));
+      }
+    }
+  }
+  if (picked.empty()) {
+    return 0;
+  }
+
+  CompletionGroup group;
+  uint64_t executed = 0;
+  for (Picked& p : picked) {
+    AsyncIoRequest submission;
+    submission.queue = p.request.tier;
+    submission.is_write = p.request.is_write;
+    submission.bytes = p.request.bytes;
+    submission.origin = start;
+    submission.fn = std::move(p.request.execute);
+    const TierId tier = p.request.tier;
+    const uint64_t head_end = p.request.offset + p.request.bytes;
+    const SimTime est_cost = p.est_cost;
+    submission.on_complete = group.Add(
+        [this, tier, head_end, est_cost, &executed](
+            const AsyncCompletion& completion) {
+          // Runs on the completion dispatcher thread; `executed` is safe to
+          // touch because Await() below orders it after every continuation.
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.dispatched++;
+          if (!completion.status.ok()) {
+            stats_.failures++;
+            stats_.failed_tiers[tier]++;
+            stats_.last_error = completion.status;
+            return;
+          }
+          executed++;
+          head_positions_[tier] = head_end;
+          stats_.est_cost_dispatched_ns += est_cost;
+          if (metrics_ != nullptr) {
+            metrics_->Observe("sched.service_ns", completion.service_ns());
+          }
+        });
+    // Tier rings are unbounded, so this cannot reject; if it ever did, the
+    // continuation contract still fires the group continuation (as a
+    // cancelled completion), so Await() below cannot hang.
+    (void)async_->Submit(std::move(submission));
+  }
+  const CompletionGroup::Joined joined = group.Await();
+  // Same doctrine as the kParallel fix below: only requests that actually
+  // dispatched successfully performed media work, so the round clock
+  // advances by the slowest *successful* completion.
+  clock_->AdvanceTo(start + joined.max_ok_total_ns);
+  if (metrics_ != nullptr) {
+    metrics_->Increment("sched.async_drain.rounds");
+    metrics_->Add("sched.async_drain.requests", picked.size());
+    metrics_->Observe("sched.async_drain.max_ns", joined.max_ok_total_ns);
+    metrics_->Observe("sched.async_drain.sum_ns", joined.sum_service_ns);
+  }
+  return executed;
+}
+
 Result<uint64_t> IoScheduler::RunAll(DrainMode mode) {
+  if (mode == DrainMode::kAsync && async_ == nullptr) {
+    mode = DrainMode::kParallel;  // closest blocking semantics
+  }
   uint64_t executed = 0;
   bool progress = true;
   while (progress) {
@@ -193,6 +286,11 @@ Result<uint64_t> IoScheduler::RunAll(DrainMode mode) {
           tiers.push_back(tier);
         }
       }
+    }
+    if (mode == DrainMode::kAsync && !tiers.empty()) {
+      executed += RunAllAsyncRound();
+      progress = true;
+      continue;
     }
     if (mode == DrainMode::kParallel && tiers.size() > 1) {
       // One drain thread per busy tier. Each thread charges its simulated
@@ -224,7 +322,15 @@ Result<uint64_t> IoScheduler::RunAll(DrainMode mode) {
       for (size_t i = 0; i < drains.size(); ++i) {
         drains[i].join();
         executed += ran_counts[i];
-        max_ns = std::max(max_ns, elapsed[i]);
+        // The round clock advances by the slowest tier that actually
+        // dispatched. A tier whose requests all FAILED still accumulated
+        // cursor time inside the failing execute() calls, but per the
+        // RunOne doctrine a failed request did no media work — letting its
+        // elapsed time win the max inflated the round for every other tier
+        // (e.g. a faulted HDD drain stretching an SSD-only round).
+        if (ran_counts[i] > 0) {
+          max_ns = std::max(max_ns, elapsed[i]);
+        }
         sum_ns += elapsed[i];
         progress = true;
       }

@@ -27,6 +27,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
+#include "src/core/async_io.h"
 #include "src/core/tier.h"
 #include "src/obs/metrics.h"
 
@@ -68,6 +69,11 @@ class IoScheduler {
 
   void RegisterTier(const TierInfo& tier);
 
+  // Attaches the completion-based I/O core used by DrainMode::kAsync. The
+  // core must already have a submission ring registered per tier (Mux wires
+  // its own core in). Not owned; pass nullptr to detach.
+  void AttachAsyncCore(AsyncIoCore* core) { async_ = core; }
+
   // Enqueues; execution happens at dispatch time.
   Status Submit(IoRequest request);
 
@@ -78,7 +84,16 @@ class IoScheduler {
   //               time cursor anchored at the drain start; the shared clock
   //               advances by the *max* per-tier drain time, so independent
   //               tiers overlap exactly as independent devices would.
-  enum class DrainMode { kSerial, kParallel };
+  //               Kept as an ablation of kAsync (thread-per-tier, blocking).
+  //   kAsync    — submit-all-then-await through the attached AsyncIoCore:
+  //               every picked request is pushed into its tier's submission
+  //               ring tagged with a stats-recording continuation, the
+  //               drain thread yields until the completion dispatcher has
+  //               delivered them all, and the clock advances by the slowest
+  //               *successful* completion (queue-depth-aware: per-request
+  //               start times come from the ring's channel model). Falls
+  //               back to kParallel when no core is attached.
+  enum class DrainMode { kSerial, kParallel, kAsync };
 
   // Dispatches every queued request per the algorithm; per-tier queues run
   // round-robin so one busy tier cannot starve the others. Returns the
@@ -101,10 +116,14 @@ class IoScheduler {
   // non-empty queue and mu_ held.
   size_t PickLocked(const std::deque<IoRequest>& queue,
                     uint64_t head_position) const;
+  // The kAsync drain round: pops every queued request in algorithm order
+  // and submits it through async_, then awaits the completion group.
+  uint64_t RunAllAsyncRound();
 
   const SchedAlgo algo_;
   SimClock* const clock_;
   obs::MetricsRegistry* const metrics_;  // optional, not owned
+  AsyncIoCore* async_ = nullptr;         // optional, not owned
 
   mutable std::mutex mu_;
   std::map<TierId, device::DeviceProfile> profiles_;

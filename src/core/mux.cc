@@ -37,6 +37,9 @@ Mux::Mux(SimClock* clock, Options options)
   if (options_.parallel_dispatch) {
     executor_ =
         std::make_unique<IoExecutor>(clock_, options_.io_threads_per_tier);
+    if (options_.async_dispatch) {
+      async_ = std::make_unique<AsyncIoCore>(clock_, &metrics_);
+    }
   }
 }
 
@@ -64,6 +67,9 @@ void Mux::RecordOp(const char* op, std::string_view hist, uint64_t bytes,
 Mux::~Mux() {
   StopBackgroundMigration();
   // Quiesce the executor before tearing down state its workers reference.
+  if (async_ != nullptr) {
+    async_->Shutdown();
+  }
   if (executor_ != nullptr) {
     executor_->Shutdown();
   }
@@ -99,6 +105,12 @@ Result<TierId> Mux::AddTier(const std::string& name, vfs::FileSystem* fs,
   PublishTierSetLocked();
   if (executor_ != nullptr) {
     executor_->AddTier(id);
+  }
+  if (async_ != nullptr) {
+    // Channel count comes straight from the device profile: this is where
+    // SSD queue_depth 16 vs HDD queue_depth 1 becomes a simulated quantity.
+    async_->RegisterQueue(id, name, profile.queue_depth,
+                          options_.io_threads_per_tier);
   }
 
   // The SCM cache wants the (first) DAX-capable tier.
@@ -181,6 +193,9 @@ Status Mux::RemoveTier(const std::string& name) {
                               }),
                tiers_.end());
   PublishTierSetLocked();
+  if (async_ != nullptr) {
+    async_->UnregisterQueue(removed);
+  }
   if (executor_ != nullptr) {
     executor_->RemoveTier(removed);
   }

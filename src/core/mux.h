@@ -39,6 +39,7 @@
 #include "src/core/block_lookup_table.h"
 #include "src/core/bookkeeper.h"
 #include "src/core/cache_controller.h"
+#include "src/core/async_io.h"
 #include "src/core/cost_model.h"
 #include "src/core/io_executor.h"
 #include "src/core/io_scheduler.h"
@@ -97,6 +98,15 @@ class Mux : public vfs::FileSystem {
     bool parallel_dispatch = true;
     // Worker threads per tier in the I/O executor (min 1).
     int io_threads_per_tier = 2;
+    // Completion-based dispatch (ROADMAP item 2): per-tier submission rings
+    // with simulated queue-depth channels replace the blocking thread-per-op
+    // handoff. Split I/O submits every segment chain and awaits one
+    // completion group; policy migration rounds drain the scheduler with
+    // DrainMode::kAsync. When false, the legacy executor-future path and
+    // kParallel/kSerial drains run instead (kept as ablations). Requires
+    // parallel_dispatch for the data path (the async core is created
+    // alongside the executor).
+    bool async_dispatch = true;
     // Policy migration rounds drain the scheduler with one thread per tier
     // (per-tier ordering preserved) so source reads overlap destination
     // writes. Serial round-robin drain when false.
@@ -572,6 +582,10 @@ class Mux : public vfs::FileSystem {
   mutable std::mutex legacy_op_mu_;
   std::unique_ptr<CacheController> cache_;
   std::unique_ptr<IoExecutor> executor_;  // created when parallel_dispatch
+  // Completion-based submission/completion core: one ring per tier, channel
+  // count = DeviceProfile::queue_depth. Created when async_dispatch (and
+  // parallel_dispatch) are on.
+  std::unique_ptr<AsyncIoCore> async_;
   TierId next_tier_id_ = 0;
   vfs::InodeNum next_ino_ = 2;
   std::atomic<vfs::FileHandle> next_handle_{1};

@@ -238,6 +238,45 @@ Status Mux::DispatchSegments(std::vector<SegmentJob> jobs) const {
   for (SegmentJob& job : jobs) {
     chains[job.tier].push_back(std::move(job.fn));
   }
+  if (async_ != nullptr) {
+    // Completion-based path: submit every chain into its tier's submission
+    // ring, then await one completion group — the op thread never blocks in
+    // per-chain future order, and per-request start times come from the
+    // ring's simulated channel model (queue-depth-aware). Submission and
+    // completion handling are software work, charged per chain.
+    ChargeSw("mux.sw.submit_ns",
+             options_.costs.submit_ns * static_cast<SimTime>(chains.size()));
+    const SimTime origin = clock_->Now();
+    CompletionGroup group;
+    for (auto& [tier, fns] : chains) {
+      AsyncIoRequest request;
+      request.queue = tier;
+      request.origin = origin;
+      request.fn = [chain = std::move(fns)]() -> Status {
+        for (const auto& fn : chain) {
+          MUX_RETURN_IF_ERROR(fn());
+        }
+        return Status::Ok();
+      };
+      request.on_complete = group.Add();
+      // A rejected submit still runs the continuation (cancelled, kBusy),
+      // so the group join below always completes.
+      (void)async_->Submit(std::move(request));
+    }
+    const CompletionGroup::Joined joined = group.Await();
+    // Max over the chains, wait + service: concurrent chains overlap, and a
+    // failed chain still consumed the time its segments charged before the
+    // failure (same doctrine as the executor join below).
+    clock_->Advance(joined.max_total_ns);
+    ChargeSw("mux.sw.completion_ns", options_.costs.completion_ns *
+                                         static_cast<SimTime>(chains.size()));
+    metrics_.Add("mux.parallel.fanouts", 1);
+    metrics_.Add("mux.parallel.segments", segment_count);
+    metrics_.Add("mux.parallel.chain_max_ns", joined.max_total_ns);
+    metrics_.Add("mux.parallel.chain_sum_ns", joined.sum_service_ns);
+    return joined.status;
+  }
+
   const SimTime origin = clock_->Now();
   std::vector<std::future<IoCompletion>> completions;
   completions.reserve(chains.size());
@@ -1239,6 +1278,9 @@ Status Mux::RunPolicyMigrations() {
   for (const TierInfo& tier : tier_set->tiers) {
     scheduler.RegisterTier(tier);
   }
+  if (async_ != nullptr) {
+    scheduler.AttachAsyncCore(async_.get());
+  }
   const TierId fastest = FastestTierOf(tier_set->tiers);
   for (const MigrationTask& task : tasks) {
     IoRequest request;
@@ -1276,9 +1318,14 @@ Status Mux::RunPolicyMigrations() {
   // recorded in the scheduler stats but does not stop the other tasks. The
   // round as a whole still succeeds — per-task failures are degraded
   // service, not a fatal error — and the stats are kept for introspection.
-  auto ran = scheduler.RunAll(options_.parallel_migration_drain
-                                  ? IoScheduler::DrainMode::kParallel
-                                  : IoScheduler::DrainMode::kSerial);
+  // Drain mode: completion-based when the async core exists, otherwise the
+  // legacy thread-per-tier parallel drain / serial round-robin ablations.
+  const IoScheduler::DrainMode drain_mode =
+      async_ != nullptr ? IoScheduler::DrainMode::kAsync
+      : options_.parallel_migration_drain
+          ? IoScheduler::DrainMode::kParallel
+          : IoScheduler::DrainMode::kSerial;
+  auto ran = scheduler.RunAll(drain_mode);
   const SchedulerStats round = scheduler.stats();
   hot_stats_.migration_task_failures.fetch_add(round.failures,
                                                std::memory_order_relaxed);

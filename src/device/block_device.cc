@@ -152,6 +152,23 @@ Status BlockDevice::WriteBlocks(uint64_t lba, uint32_t count,
   return Status::Ok();
 }
 
+void BlockDevice::SubmitRead(uint64_t lba, uint32_t count, uint8_t* out,
+                             SimTime origin, IoDoneFn done) {
+  ScopedTimeCursor cursor(clock_, origin);
+  const Status status = ReadBlocks(lba, count, out);
+  const SimTime service_ns = cursor.Release();
+  done(status, service_ns);
+}
+
+void BlockDevice::SubmitWrite(uint64_t lba, uint32_t count,
+                              const uint8_t* data, SimTime origin,
+                              IoDoneFn done) {
+  ScopedTimeCursor cursor(clock_, origin);
+  const Status status = WriteBlocks(lba, count, data);
+  const SimTime service_ns = cursor.Release();
+  done(status, service_ns);
+}
+
 Status BlockDevice::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (writes_until_fault_ == 0) {

@@ -14,6 +14,7 @@
 #define MUX_DEVICE_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -53,6 +54,20 @@ class BlockDevice {
   // count * block_size bytes.
   Status ReadBlocks(uint64_t lba, uint32_t count, uint8_t* out);
   Status WriteBlocks(uint64_t lba, uint32_t count, const uint8_t* data);
+
+  // Completion-callback transfer API for the submission/completion I/O core:
+  // the operation runs on the calling thread under a private time cursor
+  // anchored at `origin` (the submitter's clock value), so its simulated
+  // media charge stays off the shared clock; `done(status, service_ns)` is
+  // invoked exactly once with the outcome and the chain's private charge.
+  // The awaiting op merges the charge itself (typically via a
+  // CompletionGroup max-join), which is what lets concurrent transfers on
+  // independent devices overlap instead of summing.
+  using IoDoneFn = std::function<void(const Status&, SimTime service_ns)>;
+  void SubmitRead(uint64_t lba, uint32_t count, uint8_t* out, SimTime origin,
+                  IoDoneFn done);
+  void SubmitWrite(uint64_t lba, uint32_t count, const uint8_t* data,
+                   SimTime origin, IoDoneFn done);
 
   // Makes all cached writes durable.
   Status Flush();

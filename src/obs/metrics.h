@@ -22,6 +22,15 @@
 //   sched.parallel_drain.tiers     counter: tier drain threads spawned
 //   sched.parallel_drain.{max,sum}_ns  histograms: per-round drain time,
 //                             slowest tier vs sum over tiers (overlap win)
+//   sched.qdepth.<queue>      histogram: submission-ring occupancy at submit
+//   sched.qdepth.wait_ns      histogram: simulated wait for a free device
+//                             channel (where DeviceProfile::queue_depth bites)
+//   sched.completion_wait_ns  histogram: wall ns a completion waited for its
+//                             continuation to run (dispatch lag, not sim time)
+//   sched.async_drain.rounds  counter: async RunAll drain rounds
+//   sched.async_drain.requests counter: requests submitted through the rings
+//   sched.async_drain.{max,sum}_ns  histograms: per-round completion horizon
+//                             (max over ok completions) vs sum of services
 //   cache.{hit,miss,admission}_ns  histograms: SCM cache path latency
 //   mux.parallel.fanouts      counter: split requests dispatched in parallel
 //   mux.parallel.segments     counter: segments across those fanouts

@@ -40,11 +40,36 @@ FaultInjectingFs::FaultInjectingFs(FileSystem* base, uint64_t seed)
       name_("fault(" + std::string(base->Name()) + ")"),
       rng_(seed) {}
 
+void FaultInjectingFs::PublishWordLocked() {
+  uint64_t word = 0;
+  if (dead_) {
+    word |= kDeadBit;
+  }
+  if (has_budget_) {
+    word |= kBudgetBit;
+  }
+  for (int op = 0; op < kFaultOpCount; ++op) {
+    const OpFault& fault = faults_[op];
+    if (fault.fail_at != 0 || fault.fail_next > 0 || fault.probability > 0.0) {
+      word |= FaultBit(op);
+    }
+    if (hooks_[op]) {
+      word |= HookBit(op);
+    }
+  }
+  const uint64_t epoch =
+      (fault_word_.load(std::memory_order_relaxed) >> kEpochShift) + 1;
+  word |= epoch << kEpochShift;
+  fault_word_.store(word, std::memory_order_release);
+}
+
 void FaultInjectingFs::FailNth(FaultOp op, uint64_t nth, ErrorCode code) {
   std::lock_guard<std::mutex> lock(mu_);
   OpFault& fault = faults_[static_cast<int>(op)];
-  fault.fail_at = nth == 0 ? 0 : fault.calls + nth;
+  fault.fail_at =
+      nth == 0 ? 0 : fault.calls.load(std::memory_order_relaxed) + nth;
   fault.code = code;
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::FailNext(FaultOp op, uint64_t count, ErrorCode code) {
@@ -52,6 +77,7 @@ void FaultInjectingFs::FailNext(FaultOp op, uint64_t count, ErrorCode code) {
   OpFault& fault = faults_[static_cast<int>(op)];
   fault.fail_next = count;
   fault.code = code;
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::SetErrorProbability(FaultOp op, double p,
@@ -60,33 +86,37 @@ void FaultInjectingFs::SetErrorProbability(FaultOp op, double p,
   OpFault& fault = faults_[static_cast<int>(op)];
   fault.probability = p;
   fault.code = code;
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::SetWriteByteBudget(uint64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   has_budget_ = true;
   budget_remaining_ = bytes;
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::ClearWriteByteBudget() {
   std::lock_guard<std::mutex> lock(mu_);
   has_budget_ = false;
   budget_remaining_ = 0;
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::KillDevice() {
   std::lock_guard<std::mutex> lock(mu_);
   dead_ = true;
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::Revive() {
   std::lock_guard<std::mutex> lock(mu_);
   dead_ = false;
+  PublishWordLocked();
 }
 
 bool FaultInjectingFs::dead() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return dead_;
+  return (fault_word_.load(std::memory_order_acquire) & kDeadBit) != 0;
 }
 
 void FaultInjectingFs::ClearFaults() {
@@ -99,21 +129,26 @@ void FaultInjectingFs::ClearFaults() {
   has_budget_ = false;
   budget_remaining_ = 0;
   dead_ = false;
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::SetHook(FaultOp op, std::function<void()> hook) {
   std::lock_guard<std::mutex> lock(mu_);
   hooks_[static_cast<int>(op)] = std::move(hook);
+  PublishWordLocked();
 }
 
 void FaultInjectingFs::ClearHook(FaultOp op) {
   std::lock_guard<std::mutex> lock(mu_);
   hooks_[static_cast<int>(op)] = nullptr;
+  PublishWordLocked();
 }
 
 FaultStats FaultInjectingFs::fault_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  FaultStats stats = stats_;
+  stats.ops = ops_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void FaultInjectingFs::CountInjected(ErrorCode code) {
@@ -126,33 +161,62 @@ void FaultInjectingFs::CountInjected(ErrorCode code) {
 }
 
 Status FaultInjectingFs::Enter(FaultOp op, uint64_t bytes) {
-  // Hooks run outside mu_ so they may reenter the file-system stack (tests
-  // use this to interleave a user op at an exact point inside a migration).
+  const int idx = static_cast<int>(op);
+  OpFault& fault = faults_[idx];
+
+  // One acquire load of the epoch word decides this call's fate. If nothing
+  // armed can touch it — no death, no window on this op class, no hook, and
+  // no byte budget (or no bytes to count) — the call only bumps two relaxed
+  // counters and delegates. This is the hot path under load: the old code
+  // took mu_ on EVERY op, and before that read window state that chaos
+  // threads reprogram concurrently.
+  uint64_t armed = kDeadBit | FaultBit(idx) | HookBit(idx);
+  if (bytes > 0) {
+    armed |= kBudgetBit;
+  }
+  if ((fault_word_.load(std::memory_order_acquire) & armed) == 0) {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    fault.calls.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  // Armed slow path. Hooks run outside mu_ so they may reenter the
+  // file-system stack (tests use this to interleave a user op at an exact
+  // point inside a migration).
   std::function<void()> hook;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    hook = hooks_[static_cast<int>(op)];
+    hook = hooks_[idx];
   }
   if (hook) {
     hook();
   }
 
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.ops++;
-  OpFault& fault = faults_[static_cast<int>(op)];
-  fault.calls++;
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  // Claim a call number. fetch_add keeps the count exact against concurrent
+  // fast-path entries of the same class (their window is not armed, but the
+  // counter is shared).
+  const uint64_t my_call = fault.calls.fetch_add(1, std::memory_order_relaxed) + 1;
   if (dead_) {
     CountInjected(ErrorCode::kIoError);
     return IoError(std::string("injected fault: device died (") + OpName(op) +
                    ")");
   }
-  if (fault.fail_at != 0 && fault.calls == fault.fail_at) {
+  // >= rather than ==: unarmed calls racing with the FailNth programming may
+  // have pushed the counter past the captured target; the first armed call
+  // at-or-past it fires, and the reset (serialized by mu_) keeps it one-shot.
+  if (fault.fail_at != 0 && my_call >= fault.fail_at) {
     fault.fail_at = 0;  // one-shot: recover after this failure
+    PublishWordLocked();
     CountInjected(fault.code);
     return MakeFault(fault.code, OpName(op));
   }
   if (fault.fail_next > 0) {
     fault.fail_next--;
+    if (fault.fail_next == 0) {
+      PublishWordLocked();  // window exhausted — rearm the fast path
+    }
     CountInjected(fault.code);
     return MakeFault(fault.code, OpName(op));
   }

@@ -25,12 +25,23 @@
 //                                operations at exact points (e.g. truncate a
 //                                file in the middle of a migration copy).
 //
-// All fault state is mutex-guarded; injection decisions are made before
-// delegation, so the wrapped file system never sees a faulted call.
+// Injection decisions are made before delegation, so the wrapped file system
+// never sees a faulted call.
+//
+// Synchronization: programming calls publish the armed state as ONE atomic
+// epoch word (release-store) — low bits say which op classes currently have
+// a fault window, hook, death, or byte budget armed; the high bits carry an
+// epoch bumped on every reprogramming. Enter() acquire-loads the word once:
+// when nothing relevant is armed it only bumps two relaxed counters and
+// delegates — no mutex on the hot path, and no torn window-bounds reads (the
+// old code read window state that chaos threads reprogram concurrently).
+// Armed calls fall back to the mutex-guarded slow path, which keeps the
+// exactly-once FailNth semantics and the seeded RNG sequence.
 #ifndef MUX_VFS_FAULT_INJECTING_FS_H_
 #define MUX_VFS_FAULT_INJECTING_FS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -148,12 +159,37 @@ class FaultInjectingFs : public FileSystem {
 
  private:
   struct OpFault {
-    uint64_t calls = 0;      // calls of this class seen so far
+    // Calls of this class seen so far. Atomic: the unarmed fast path counts
+    // it without mu_; the slow path claims a call number with fetch_add so
+    // FailNth fires exactly once even under concurrent entries.
+    std::atomic<uint64_t> calls{0};
     uint64_t fail_at = 0;    // absolute call number to fail once (0 = none)
     uint64_t fail_next = 0;  // remaining consecutive failures
     double probability = 0.0;
     ErrorCode code = ErrorCode::kIoError;
   };
+
+  // ---- the epoch word ---------------------------------------------------
+  // bit 0              — device dead
+  // bit 1              — write byte budget armed
+  // bits  8..8+N-1     — op class has a fault window armed
+  //                      (fail_at || fail_next || probability > 0)
+  // bits 16..16+N-1    — op class has a hook installed
+  // bits 32..63        — epoch, bumped on every reprogramming
+  static constexpr uint64_t kDeadBit = 1ull << 0;
+  static constexpr uint64_t kBudgetBit = 1ull << 1;
+  static constexpr int kFaultBitShift = 8;
+  static constexpr int kHookBitShift = 16;
+  static constexpr int kEpochShift = 32;
+  static constexpr uint64_t FaultBit(int op) {
+    return 1ull << (kFaultBitShift + op);
+  }
+  static constexpr uint64_t HookBit(int op) {
+    return 1ull << (kHookBitShift + op);
+  }
+  // Rebuilds the armed bits from the programmed state, bumps the epoch, and
+  // release-stores the word. mu_ held.
+  void PublishWordLocked();
 
   // Runs the hook, then decides whether this call faults. `bytes` is the
   // write volume counted against the byte budget (0 for non-writes).
@@ -162,6 +198,11 @@ class FaultInjectingFs : public FileSystem {
 
   FileSystem* const base_;
   std::string name_;
+
+  // Armed-state summary; see the bit layout above. The ONLY fault state the
+  // fast path reads.
+  std::atomic<uint64_t> fault_word_{0};
+  std::atomic<uint64_t> ops_{0};  // FaultStats::ops
 
   mutable std::mutex mu_;
   Rng rng_;

@@ -209,6 +209,88 @@ void ExpectClean(core::Mux& mux) {
 
 // ---- migration under faults -------------------------------------------------
 
+// TSan regression: chaos threads reprogram the wrapper (FailNth / budget /
+// KillDevice / ClearFaults) while worker threads hammer the unarmed fast
+// path. The old code read fault-window state without synchronization on
+// every Enter; now the fast path only acquire-loads the epoch word and the
+// armed slow path serializes on the mutex. Wired into the CI tsan job.
+TEST_F(FaultInjectingFsTest, ConcurrentReprogrammingIsRaceFree) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> attempts{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      uint8_t b = static_cast<uint8_t>(t);
+      std::vector<uint8_t> out(1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)fs_.Write(*h, 0, &b, 1);
+        (void)fs_.Read(*h, 0, 1, out.data());
+        (void)fs_.FStat(*h);
+        attempts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread chaos([&] {
+    for (int i = 0; i < 200; ++i) {
+      fs_.FailNth(FaultOp::kWrite, 3);
+      fs_.SetErrorProbability(FaultOp::kRead, 0.05);
+      fs_.SetWriteByteBudget(1 << 20);
+      if (i % 5 == 0) {
+        fs_.KillDevice();
+        fs_.Revive();
+      }
+      fs_.ClearFaults();
+      std::this_thread::yield();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  chaos.join();
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_GT(attempts.load(), 0u);
+  // The ops counter never loses a bump: every Write/Read/FStat entered.
+  EXPECT_GE(fs_.fault_stats().ops, 3 * attempts.load());
+}
+
+// FailNth fires exactly once even when the armed call races other entries
+// of the same op class: concurrent writers, exactly one injected EIO.
+TEST_F(FaultInjectingFsTest, FailNthFiresExactlyOnceUnderConcurrency) {
+  auto h = fs_.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 50;
+  fs_.FailNth(FaultOp::kWrite, 10);
+
+  std::atomic<uint64_t> eio{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      uint8_t b = 0;
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        const auto result = fs_.Write(*h, 0, &b, 1);
+        if (!result.ok() &&
+            result.status().code() == ErrorCode::kIoError) {
+          eio.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  EXPECT_EQ(eio.load(), 1u);
+  EXPECT_EQ(fs_.fault_stats().injected_eio, 1u);
+  EXPECT_EQ(fs_.fault_stats().ops,
+            static_cast<uint64_t>(kThreads * kWritesPerThread) + 1);
+  // One-shot: the wrapper recovered after the single injection.
+  uint8_t b = 0;
+  EXPECT_TRUE(fs_.Write(*h, 0, &b, 1).ok());
+}
+
 TEST(FaultMigrationTest, TransientWriteFaultIsRetriedAndSucceeds) {
   FaultRig rig;
   ASSERT_TRUE(rig.ok());

@@ -165,5 +165,118 @@ TEST(IoSchedulerTest, ObservesQueueWaitAndServiceTime) {
   EXPECT_EQ(service.max(), 750u);
 }
 
+// Regression: the kParallel join folded every tier's drain-thread elapsed
+// time into the round max, including tiers whose requests ALL failed. A
+// failed request did no media work, but its execute() may have charged its
+// private cursor before erroring out — that charge inflated the shared
+// clock by up to a full drain round. Only tiers that dispatched at least
+// one request successfully may contribute to the round clock.
+TEST(IoSchedulerTest, ParallelRoundClockExcludesFailedOnlyTiers) {
+  SimClock clock;
+  IoScheduler sched(SchedAlgo::kFifo, &clock);
+  sched.RegisterTier(HddTier(0));
+  TierInfo other = HddTier(1);
+  other.name = "hdd2";
+  sched.RegisterTier(other);
+
+  IoRequest good;
+  good.tier = 0;
+  good.offset = 0;
+  good.bytes = 4096;
+  good.execute = [&clock]() -> Status {
+    clock.Advance(1000);
+    return Status::Ok();
+  };
+  IoRequest bad;
+  bad.tier = 1;
+  bad.offset = 0;
+  bad.bytes = 4096;
+  bad.execute = [&clock]() -> Status {
+    clock.Advance(50000);  // charged, then the dispatch fails
+    return IoError("injected dispatch fault");
+  };
+  ASSERT_TRUE(sched.Submit(std::move(good)).ok());
+  ASSERT_TRUE(sched.Submit(std::move(bad)).ok());
+
+  const SimTime start = clock.Now();
+  auto ran = sched.RunAll(IoScheduler::DrainMode::kParallel);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(*ran, 1u);
+  auto stats = sched.stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.failed_tiers.at(1), 1u);
+  // The round advances by the succeeding tier's drain time only; the
+  // failed-only tier's 50,000 ns cursor charge is discarded with the
+  // failure.
+  EXPECT_EQ(clock.Now() - start, 1000u);
+}
+
+TEST(IoSchedulerTest, AsyncDrainAdvancesRoundClockThroughChannelModel) {
+  SimClock clock;
+  obs::MetricsRegistry metrics;
+  IoScheduler sched(SchedAlgo::kFifo, &clock, &metrics);
+  sched.RegisterTier(HddTier(0));
+
+  AsyncIoCore core(&clock, &metrics);
+  core.RegisterQueue(0, "hdd", /*queue_depth=*/1, /*servers=*/1);
+  sched.AttachAsyncCore(&core);
+
+  auto make = [&clock](uint64_t offset) {
+    IoRequest request;
+    request.tier = 0;
+    request.offset = offset;
+    request.bytes = 4096;
+    request.execute = [&clock]() -> Status {
+      clock.Advance(1000);
+      return Status::Ok();
+    };
+    return request;
+  };
+  ASSERT_TRUE(sched.Submit(make(0)).ok());
+  ASSERT_TRUE(sched.Submit(make(4096)).ok());
+
+  const SimTime start = clock.Now();
+  auto ran = sched.RunAll(IoScheduler::DrainMode::kAsync);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(*ran, 2u);
+  // queue_depth 1: the two 1,000 ns services serialize on the single
+  // channel, so the round horizon is 2,000 ns.
+  EXPECT_EQ(clock.Now() - start, 2000u);
+  EXPECT_EQ(sched.stats().dispatched, 2u);
+  EXPECT_GE(metrics.CounterValue("sched.async_drain.rounds"), 1u);
+  EXPECT_EQ(metrics.HistogramValue("sched.qdepth.hdd").count(), 2u);
+  core.Shutdown();
+}
+
+TEST(IoSchedulerTest, AsyncDrainDiscardsFailedRequestCharge) {
+  SimClock clock;
+  IoScheduler sched(SchedAlgo::kFifo, &clock);
+  sched.RegisterTier(HddTier(0));
+  AsyncIoCore core(&clock);
+  core.RegisterQueue(0, "hdd", /*queue_depth=*/1, /*servers=*/1);
+  sched.AttachAsyncCore(&core);
+
+  IoRequest bad;
+  bad.tier = 0;
+  bad.offset = 0;
+  bad.bytes = 4096;
+  bad.execute = [&clock]() -> Status {
+    clock.Advance(5000);
+    return IoError("injected dispatch fault");
+  };
+  ASSERT_TRUE(sched.Submit(std::move(bad)).ok());
+
+  const SimTime start = clock.Now();
+  auto ran = sched.RunAll(IoScheduler::DrainMode::kAsync);
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(*ran, 0u);
+  auto stats = sched.stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.est_cost_dispatched_ns, 0u);
+  // Failed-request-did-no-media-work: the round clock ignores the charge.
+  EXPECT_EQ(clock.Now(), start);
+  core.Shutdown();
+}
+
 }  // namespace
 }  // namespace mux::core

@@ -168,6 +168,56 @@ TEST(TrafficEngineTest, OverloadDropsInsteadOfBlocking) {
   EXPECT_EQ(step.duplicated_ops, 0u);
 }
 
+// Regression for the drop/claim double-count: the ledger accumulates marks
+// (+1 execute, +kDropMark drop) instead of storing a sentinel, so an op
+// that is both dropped AND executed is classified as duplicated — the old
+// store() scored it as a clean drop.
+TEST(TrafficEngineTest, TallyLedgerClassifiesMarks) {
+  constexpr uint64_t kN = 6;
+  std::atomic<uint8_t> counts[kN];
+  counts[0].store(1);                             // executed once: clean
+  counts[1].store(TrafficEngine::kDropMark);      // dropped once: clean
+  counts[2].store(0);                             // lost
+  counts[3].store(2);                             // executed twice
+  counts[4].store(TrafficEngine::kDropMark + 1);  // dropped AND executed
+  counts[5].store(1);
+  const TrafficEngine::LedgerTally tally =
+      TrafficEngine::TallyLedger(counts, kN);
+  EXPECT_EQ(tally.dropped, 1u);
+  EXPECT_EQ(tally.lost, 1u);
+  EXPECT_EQ(tally.duplicated, 2u);
+}
+
+// Async (submission/completion) client path: same exactly-once invariant as
+// the worker-threads path, plus the queue-depth observables.
+TEST(TrafficEngineTest, AsyncModeExactlyOnceWithQdepth) {
+  TrafficConfig config = TestConfig();
+  config.files = 10'000;
+  config.data_files = 1'000;
+  config.async_mode = true;
+  config.load_fractions = {0.5, 1.2};
+  TrafficEngine engine(config);
+  TrafficResult result = engine.Run();
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.async_capacity_ops_s, 0.0);
+  ASSERT_EQ(result.steps.size(), 2 * config.load_fractions.size());
+  for (const auto& step : result.steps) {
+    SCOPED_TRACE(::testing::Message()
+                 << step.load_fraction << "x "
+                 << (step.chaos ? "chaos" : "quiet"));
+    EXPECT_EQ(step.lost_ops, 0u);
+    EXPECT_EQ(step.duplicated_ops, 0u);
+    EXPECT_TRUE(step.accounting_exact);
+    EXPECT_EQ(step.generated,
+              step.completed_ok + step.completed_err + step.dropped);
+    EXPECT_GT(step.completed_ok, 0u);
+    // The ledger's drop count and the engine's drop counter agree (both
+    // asserted inside accounting_exact, restated here for the report).
+    EXPECT_EQ(step.ledger_dropped, step.dropped);
+    EXPECT_GE(step.max_qdepth, static_cast<uint64_t>(step.mean_qdepth));
+  }
+}
+
 // ---- chunked namespace scans (satellite: full-inodes_ scans under ns_mu_) --
 
 constexpr uint64_t kManyFiles = 6'000;  // > Mux's 4096-entry scan chunk
