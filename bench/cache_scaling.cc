@@ -1,0 +1,329 @@
+// SCM cache concurrency + admission benchmarks (ISSUE 8).
+//
+// Exercises CacheController directly over a PM device — no Mux data path —
+// so the measured quantity is the cache itself. Three experiments:
+//
+//   1. probe_scaling   — 1..8 threads of zipfian (theta 0.99) TryRead/OnMiss
+//                        traffic over a warmed cache, sharded (16) vs the
+//                        global-lock ablation (shards = 1). Like
+//                        bench/metadata_scaling, the contention under test
+//                        is mutex convoying, invisible to the simulated
+//                        clock, so throughput is wall-clock ops/s.
+//   2. scan_resistance — warm a hot set to half capacity, stream a one-touch
+//                        scan 8x the capacity through the cache, and compare
+//                        the hot set's hit rate before/after. The frequency
+//                        sketch (admission threshold) plus MGLRU's
+//                        oldest-generation insertion must keep the drop
+//                        under 10%.
+//   3. agg_ablation    — admit a block stream with the aggregation buffer on
+//                        (256 KiB) vs off, counting DAX write ops at the
+//                        device: staging must produce FEWER, LARGER writes
+//                        (cache.agg.{flushes,bytes} metrics).
+//
+// --check applies core-aware floors (sharded >= 1.3x global at max threads,
+// waived below 4 hardware threads; the scan and aggregation checks are not
+// core-dependent). Results go to stdout and BENCH_cache.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/cache_controller.h"
+#include "src/device/pm_device.h"
+#include "src/fs/novafs/novafs.h"
+
+namespace mux::bench {
+namespace {
+
+using core::CacheController;
+
+constexpr uint64_t kBlock = CacheController::kBlockSize;
+constexpr int kMaxThreads = 8;
+constexpr uint64_t kCapacityBlocks = 4096;  // 16 MiB cache
+constexpr uint64_t kKeySpace = kCapacityBlocks * 4;
+constexpr auto kProbeDuration = std::chrono::milliseconds(250);
+
+using WallClock = std::chrono::steady_clock;
+
+double Seconds(WallClock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+// One self-contained PM + NovaFs + cache stack per experiment, so device
+// stats and sim-clock state never leak between runs.
+struct CacheRig {
+  SimClock clock;
+  device::PmDevice pm;
+  fs::NovaFs novafs;
+  core::CostModel costs;
+  CacheController cache;
+
+  explicit CacheRig(CacheController::Options options)
+      : pm(device::DeviceProfile::OptanePm(256ULL << 20), &clock),
+        novafs(&pm, &clock),
+        cache(&novafs, &clock, costs, std::move(options)) {
+    if (!novafs.Format().ok() || !cache.Init().ok()) {
+      std::fprintf(stderr, "cache rig setup failed\n");
+      std::exit(1);
+    }
+  }
+};
+
+CacheController::Options BaseOptions(uint32_t shards) {
+  CacheController::Options options;
+  options.capacity_blocks = kCapacityBlocks;
+  options.shards = shards;
+  options.admission_threshold = 2;
+  return options;
+}
+
+// Warm the cache with the zipfian head so the sweep measures a realistic
+// hit-dominated mix rather than pure admission churn.
+void Warm(CacheController& cache) {
+  std::vector<uint8_t> data(kBlock, 0x5A);
+  for (uint64_t b = 0; b < kCapacityBlocks / 2; ++b) {
+    cache.OnMiss(1, b, data.data());
+    cache.OnMiss(1, b, data.data());
+  }
+  cache.FlushAggregationBuffer();
+}
+
+// N threads of zipfian probe traffic; returns aggregate wall ops/s.
+double ProbeOpsPerSec(CacheRig& rig, int threads) {
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> stop{false};
+  const auto start_line = WallClock::now() + std::chrono::milliseconds(20);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ScopedTimeCursor cursor(&rig.clock);
+      ZipfianGenerator zipf(kKeySpace, 0.99, /*seed=*/17 + t);
+      std::vector<uint8_t> data(kBlock, 0x5A);
+      std::vector<uint8_t> out(kBlock);
+      std::this_thread::sleep_until(start_line);
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t block = zipf.Next();
+        if (!rig.cache.TryRead(1, block, 0, kBlock, out.data())) {
+          rig.cache.OnMiss(1, block, data.data());
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_until(start_line + kProbeDuration);
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  return static_cast<double>(total_ops.load()) / Seconds(kProbeDuration);
+}
+
+void RunProbeSweep(uint32_t shards, JsonReport& report, double* ops_max) {
+  CacheRig rig(BaseOptions(shards));
+  Warm(rig.cache);
+  const std::string scenario =
+      shards > 1 ? "probe_sharded" : "probe_global";
+  for (int threads : {1, 2, 4, 8}) {
+    const double ops = ProbeOpsPerSec(rig, threads);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d thread(s), %s", threads,
+                  shards > 1 ? "sharded(16)" : "global(1)");
+    PrintRow(label, ops / 1e6, "Mops/s (wall)");
+    char key[64];
+    std::snprintf(key, sizeof(key), "threads_%d_ops_per_sec", threads);
+    report.Add(scenario, key, ops);
+    if (threads == kMaxThreads) {
+      *ops_max = ops;
+    }
+  }
+  const auto stats = rig.cache.stats();
+  const double total = static_cast<double>(stats.hits + stats.misses);
+  report.Add(scenario, "hit_rate",
+             total > 0 ? static_cast<double>(stats.hits) / total : 0.0);
+  if (!rig.cache.CheckConsistency().ok()) {
+    std::fprintf(stderr, "cache inconsistent after probe sweep\n");
+    std::exit(1);
+  }
+}
+
+double HotSetHitRate(CacheController& cache, uint64_t hot_blocks) {
+  std::vector<uint8_t> out(kBlock);
+  uint64_t hits = 0;
+  for (uint64_t b = 0; b < hot_blocks; ++b) {
+    hits += cache.TryRead(1, b, 0, kBlock, out.data()) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(hot_blocks);
+}
+
+// Warm hot set, stream one-touch scan, compare hot hit rates.
+void RunScanResistance(JsonReport& report, double* drop) {
+  CacheRig rig(BaseOptions(16));
+  constexpr uint64_t kHotBlocks = kCapacityBlocks / 2;
+  std::vector<uint8_t> data(kBlock, 0x5A);
+  for (uint64_t b = 0; b < kHotBlocks; ++b) {
+    rig.cache.OnMiss(1, b, data.data());
+    rig.cache.OnMiss(1, b, data.data());
+  }
+  rig.cache.FlushAggregationBuffer();
+  const double before = HotSetHitRate(rig.cache, kHotBlocks);
+
+  std::vector<uint8_t> out(kBlock);
+  for (uint64_t b = 0; b < 8 * kCapacityBlocks; ++b) {
+    if (!rig.cache.TryRead(2, b, 0, kBlock, out.data())) {
+      rig.cache.OnMiss(2, b, data.data());
+    }
+  }
+  const double after = HotSetHitRate(rig.cache, kHotBlocks);
+  *drop = before - after;
+
+  PrintRow("hot-set hit rate before scan", before * 100.0, "%");
+  PrintRow("hot-set hit rate after 8x scan", after * 100.0, "%");
+  PrintRow("drop", *drop * 100.0, "% (acceptance: < 10)");
+  report.Add("scan_resistance", "hit_rate_before", before);
+  report.Add("scan_resistance", "hit_rate_after", after);
+  report.Add("scan_resistance", "drop", *drop);
+  const auto stats = rig.cache.stats();
+  report.Add("scan_resistance", "scan_admissions",
+             static_cast<double>(stats.admissions) - kHotBlocks);
+  if (!rig.cache.CheckConsistency().ok()) {
+    std::fprintf(stderr, "cache inconsistent after scan\n");
+    std::exit(1);
+  }
+}
+
+// Admission write coalescing: DAX write ops with the aggregation buffer on
+// vs off, for the same admitted-block stream.
+void RunAggAblation(JsonReport& report, uint64_t* direct_writes,
+                    uint64_t* agg_writes, double* mean_flush_bytes) {
+  constexpr uint64_t kAdmissions = 2048;
+  auto run = [&](uint64_t agg_bytes) -> uint64_t {
+    auto options = BaseOptions(16);
+    options.admission_threshold = 1;
+    options.agg_buffer_bytes = agg_bytes;
+    CacheRig rig(options);
+    std::vector<uint8_t> data(kBlock, 0x5A);
+    rig.pm.ResetStats();
+    for (uint64_t b = 0; b < kAdmissions; ++b) {
+      rig.cache.OnMiss(1, b, data.data());
+    }
+    rig.cache.FlushAggregationBuffer();
+    const auto stats = rig.cache.stats();
+    if (agg_bytes > 0 && stats.agg_flushes > 0) {
+      *mean_flush_bytes = static_cast<double>(stats.agg_flush_bytes) /
+                          static_cast<double>(stats.agg_flushes);
+    }
+    return rig.pm.stats().write_ops;
+  };
+  *direct_writes = run(0);
+  *agg_writes = run(256 * 1024);
+
+  PrintRow("DAX writes, block-at-a-time", static_cast<double>(*direct_writes),
+           "ops");
+  PrintRow("DAX writes, 256 KiB agg buffer",
+           static_cast<double>(*agg_writes), "ops");
+  PrintRow("mean flush size", *mean_flush_bytes / 1024.0, "KiB");
+  report.Add("agg_ablation", "admissions", static_cast<double>(kAdmissions));
+  report.Add("agg_ablation", "direct_dax_writes",
+             static_cast<double>(*direct_writes));
+  report.Add("agg_ablation", "agg_dax_writes",
+             static_cast<double>(*agg_writes));
+  report.Add("agg_ablation", "mean_flush_bytes", *mean_flush_bytes);
+}
+
+int Run(bool check) {
+  JsonReport report("cache_scaling");
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  report.Add("env", "hardware_threads", static_cast<double>(cores));
+
+  PrintHeader("Zipfian probe throughput: 16 shards vs global lock");
+  double sharded_max = 0, global_max = 0;
+  RunProbeSweep(/*shards=*/16, report, &sharded_max);
+  RunProbeSweep(/*shards=*/1, report, &global_max);
+  const double vs_global = global_max > 0 ? sharded_max / global_max : 0.0;
+  PrintRow("sharded / global @ 8 threads", vs_global, "x");
+  report.Add("probe_summary", "sharded_vs_global_at_8", vs_global);
+
+  PrintHeader("Scan resistance: hot-set hit rate under a streaming scan");
+  double drop = 1.0;
+  RunScanResistance(report, &drop);
+
+  PrintHeader("Aggregation-buffer admission: DAX write coalescing");
+  uint64_t direct_writes = 0, agg_writes = 0;
+  double mean_flush_bytes = 0.0;
+  RunAggAblation(report, &direct_writes, &agg_writes, &mean_flush_bytes);
+
+  if (!report.WriteTo("BENCH_cache.json")) {
+    std::fprintf(stderr, "failed to write BENCH_cache.json\n");
+    return 1;
+  }
+  if (!check) {
+    return 0;
+  }
+
+  int failures = 0;
+  // Wall-clock speedup from sharding needs real parallelism: below 4
+  // hardware threads the 8-thread convoy never materializes, so the floor
+  // is waived (same policy as bench/metadata_scaling).
+  if (cores >= 4) {
+    if (vs_global < 1.3) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: sharded %.2fx global at %d threads "
+                   "(< 1.30x floor, %u cores)\n",
+                   vs_global, kMaxThreads, cores);
+      failures++;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "CHECK WAIVED: %u hardware thread(s), sharded-vs-global "
+                 "wall speedup not measurable (got %.2fx)\n",
+                 cores, vs_global);
+  }
+  if (drop >= 0.10) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: hot-set hit rate dropped %.1f%% under the "
+                 "scan (>= 10%%)\n",
+                 drop * 100.0);
+    failures++;
+  }
+  if (agg_writes * 4 > direct_writes) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: aggregation produced %llu DAX writes vs "
+                 "%llu direct (expected <= 1/4)\n",
+                 static_cast<unsigned long long>(agg_writes),
+                 static_cast<unsigned long long>(direct_writes));
+    failures++;
+  }
+  if (mean_flush_bytes <= static_cast<double>(kBlock)) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: mean flush %.0f bytes, not larger than one "
+                 "block\n",
+                 mean_flush_bytes);
+    failures++;
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "CHECK OK\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mux::bench
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") {
+      check = true;
+    }
+  }
+  return mux::bench::Run(check);
+}

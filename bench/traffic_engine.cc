@@ -38,12 +38,13 @@ uint64_t FlagValue(const char* arg, const char* name, uint64_t fallback) {
 void PrintStep(const StepResult& s) {
   std::printf(
       "  %4.2fx %-5s offered %9.0f/s goodput %9.0f/s drop %5.2f%% "
-      "p50 %7.0fus p99 %8.0fus p999 %8.0fus q/s %5.0f/%5.0fus\n",
+      "p50 %7.0fus p99 %8.0fus p999 %8.0fus q/s %5.0f/%5.0fus "
+      "cache %5.1f%%\n",
       s.load_fraction, s.chaos ? "chaos" : "quiet", s.offered_ops_s,
       s.goodput_ops_s,
       s.generated > 0 ? 100.0 * s.dropped / s.generated : 0.0, s.p50_ns / 1e3,
       s.p99_ns / 1e3, s.p999_ns / 1e3, s.mean_queue_ns / 1e3,
-      s.mean_service_ns / 1e3);
+      s.mean_service_ns / 1e3, s.cache_hit_rate * 100.0);
 }
 
 int Run(const TrafficConfig& config, bool check) {
@@ -126,6 +127,9 @@ int Run(const TrafficConfig& config, bool check) {
     report.Add(name, "mean_queue_ns", s.mean_queue_ns);
     report.Add(name, "mean_service_ns", s.mean_service_ns);
     report.Add(name, "accounting_exact", s.accounting_exact ? 1.0 : 0.0);
+    report.Add(name, "cache_hit_rate", s.cache_hit_rate);
+    report.Add(name, "cache_hits", static_cast<double>(s.cache_hits));
+    report.Add(name, "cache_misses", static_cast<double>(s.cache_misses));
     if (config.async_mode) {
       report.Add(name, "qdepth_mean", s.mean_qdepth);
       report.Add(name, "qdepth_max", static_cast<double>(s.max_qdepth));

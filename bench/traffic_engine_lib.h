@@ -138,6 +138,10 @@ struct StepResult {
   // Client submission-ring occupancy over the step (async mode only).
   double mean_qdepth = 0.0;
   uint64_t max_qdepth = 0;
+  // SCM cache behavior during this step (probe deltas over the step).
+  double cache_hit_rate = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 // Offered-vs-completed progress sample, taken periodically by the
@@ -236,10 +240,16 @@ class TrafficRig {
   // PM tier with room for checkpoint snapshots, and the underlying inode
   // tables must hold every shadow file the run can create (data files can
   // land on any tier once migrations run).
+  static uint64_t CacheBlocks(const TrafficConfig& c) {
+    // A quarter of the data set, floored at 1024 blocks: big enough that the
+    // zipfian head fits, small enough that the scan-shaped tail cannot.
+    return std::max<uint64_t>(1024, c.data_files * c.file_blocks / 4);
+  }
   static uint64_t PmBytes(const TrafficConfig& c) {
     const uint64_t data = c.data_files * c.file_blocks * core::Mux::kBlockSize;
     const uint64_t snapshot = c.files * 256 * 2 + (64ULL << 20);
-    return std::max<uint64_t>(2 * data + snapshot, 256ULL << 20);
+    const uint64_t cache = CacheBlocks(c) * core::Mux::kBlockSize;
+    return std::max<uint64_t>(2 * data + snapshot + cache, 256ULL << 20);
   }
   static uint64_t InodeTarget(const TrafficConfig& c) {
     return 4 * c.data_files + c.files / std::max<uint64_t>(1, c.dir_fanout) +
@@ -264,7 +274,10 @@ class TrafficRig {
   static core::Mux::Options MuxOptions(const TrafficConfig& c) {
     core::Mux::Options options;
     options.policy = "hotcold";
-    (void)c;
+    // The SCM cache fronts the slower tiers under traffic; per-step hit
+    // rates land in StepResult::cache_hit_rate / BENCH_traffic.json.
+    options.enable_scm_cache = true;
+    options.cache.capacity_blocks = CacheBlocks(c);
     return options;
   }
 
@@ -828,6 +841,7 @@ class TrafficEngine {
     step.chaos = chaos;
 
     ResetStepCounters();
+    const core::ScmCacheStats cache_before = rig_->mux().CacheStats();
     const uint64_t step_ns = config_.step_ms * 1'000'000ULL;
     const uint64_t bucket_ns = config_.bucket_ms * 1'000'000ULL;
     const size_t buckets = config_.step_ms / config_.bucket_ms + 2;
@@ -954,6 +968,13 @@ class TrafficEngine {
         step.accounting_exact = false;
       }
     }
+
+    const core::ScmCacheStats cache_after = rig_->mux().CacheStats();
+    step.cache_hits = cache_after.hits - cache_before.hits;
+    step.cache_misses = cache_after.misses - cache_before.misses;
+    const uint64_t probes = step.cache_hits + step.cache_misses;
+    step.cache_hit_rate =
+        probes > 0 ? static_cast<double>(step.cache_hits) / probes : 0.0;
     return step;
   }
 

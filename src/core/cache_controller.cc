@@ -1,23 +1,176 @@
 #include "src/core/cache_controller.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/logging.h"
 
 namespace mux::core {
+namespace {
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+uint64_t RoundDownPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p * 2 <= v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+// ---- FrequencySketch -------------------------------------------------------
+
+void FrequencySketch::Reset(uint64_t entries_hint, uint32_t decay_interval) {
+  const uint64_t entries = RoundUpPow2(std::max<uint64_t>(entries_hint, 64));
+  table_.assign(entries, Entry{});
+  mask_ = entries - 1;
+  used_ = 0;
+  decay_interval_ = decay_interval == 0
+                        ? static_cast<uint32_t>(
+                              std::min<uint64_t>(entries * 4, UINT32_MAX))
+                        : decay_interval;
+  ops_since_decay_ = 0;
+}
+
+size_t FrequencySketch::Bucket(uint64_t file_key, uint64_t block) const {
+  uint64_t h = file_key * 0x9e3779b97f4a7c15ULL ^ block;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h) & mask_;
+}
+
+FrequencySketch::Entry* FrequencySketch::Find(uint64_t file_key,
+                                              uint64_t block) {
+  const size_t base = Bucket(file_key, block);
+  for (uint32_t i = 0; i < kProbeWindow; ++i) {
+    Entry& entry = table_[(base + i) & mask_];
+    if (entry.count != 0 && entry.file_key == file_key &&
+        entry.block == block) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t FrequencySketch::Increment(uint64_t file_key, uint64_t block,
+                                    bool* decayed) {
+  *decayed = false;
+  if (++ops_since_decay_ >= decay_interval_) {
+    Decay();
+    *decayed = true;
+  }
+  if (Entry* entry = Find(file_key, block)) {
+    if (entry->count < kMaxCount) {
+      entry->count++;
+    }
+    return entry->count;
+  }
+  // Claim a free slot in the probe window, else steal the minimum-count
+  // entry: a one-touch scan entry (count 1) always loses to a counted hot
+  // candidate, which is what makes the window scan-resistant.
+  const size_t base = Bucket(file_key, block);
+  Entry* victim = nullptr;
+  for (uint32_t i = 0; i < kProbeWindow; ++i) {
+    Entry& entry = table_[(base + i) & mask_];
+    if (entry.count == 0) {
+      victim = &entry;
+      used_++;
+      break;
+    }
+    if (victim == nullptr || entry.count < victim->count) {
+      victim = &entry;
+    }
+  }
+  victim->file_key = file_key;
+  victim->block = block;
+  victim->count = 1;
+  return 1;
+}
+
+void FrequencySketch::Note(uint64_t file_key, uint64_t block, uint8_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (Entry* entry = Find(file_key, block)) {
+    entry->count = std::max(entry->count, count);
+    return;
+  }
+  const size_t base = Bucket(file_key, block);
+  for (uint32_t i = 0; i < kProbeWindow; ++i) {
+    Entry& entry = table_[(base + i) & mask_];
+    if (entry.count == 0) {
+      entry.file_key = file_key;
+      entry.block = block;
+      entry.count = count;
+      used_++;
+      return;
+    }
+  }
+  // Ghost entries never steal: live miss counts outrank eviction history.
+}
+
+void FrequencySketch::Erase(uint64_t file_key, uint64_t block) {
+  if (Entry* entry = Find(file_key, block)) {
+    entry->count = 0;
+    used_--;
+  }
+}
+
+void FrequencySketch::EraseRange(uint64_t file_key, uint64_t first_block,
+                                 uint64_t last_block) {
+  for (Entry& entry : table_) {
+    if (entry.count != 0 && entry.file_key == file_key &&
+        entry.block >= first_block && entry.block <= last_block) {
+      entry.count = 0;
+      used_--;
+    }
+  }
+}
+
+void FrequencySketch::Decay() {
+  ops_since_decay_ = 0;
+  for (Entry& entry : table_) {
+    if (entry.count != 0) {
+      entry.count >>= 1;
+      if (entry.count == 0) {
+        used_--;
+      }
+    }
+  }
+}
+
+// ---- CacheController -------------------------------------------------------
 
 CacheController::CacheController(vfs::FileSystem* scm_fs, SimClock* clock,
                                  const CostModel& costs, Options options)
     : scm_fs_(scm_fs), clock_(clock), costs_(costs),
       options_(std::move(options)) {
-  replacement_ = options_.use_mglru
-                     ? std::unique_ptr<ReplacementPolicy>(
-                           std::make_unique<MglruPolicy>())
-                     : std::make_unique<PlainLruPolicy>();
+  const uint64_t capacity = std::max<uint64_t>(options_.capacity_blocks, 1);
+  shard_count_ = static_cast<uint32_t>(RoundDownPow2(std::clamp<uint64_t>(
+      options_.shards == 0 ? 1 : options_.shards, 1, capacity)));
+  shard_mask_ = shard_count_ - 1;
+  slots_per_shard_ = capacity / shard_count_;
+  usable_slots_ = slots_per_shard_ * shard_count_;
+  shards_ = std::vector<Shard>(shard_count_);
+  for (Shard& shard : shards_) {
+    shard.replacement = MakeReplacementPolicy(options_.use_mglru);
+    shard.sketch.Reset(slots_per_shard_ * 8, options_.sketch_decay_interval);
+  }
+  agg_capacity_blocks_ = std::min<uint64_t>(
+      options_.agg_buffer_bytes / kBlockSize, usable_slots_);
 }
 
 CacheController::~CacheController() {
-  if (initialized_) {
+  if (initialized_.load(std::memory_order_acquire)) {
     // Release the DAX mapping before closing the file: leaking it leaves
     // the PM file system believing a consumer still holds a pointer into
     // the (now reusable) cache extent.
@@ -27,13 +180,17 @@ CacheController::~CacheController() {
 }
 
 void CacheController::SetObs(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mu_);
-  metrics_ = metrics;
+  metrics_.store(metrics, std::memory_order_release);
+}
+
+void CacheController::ObserveCounter(std::string_view name, uint64_t delta) {
+  if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+    m->Add(name, delta);
+  }
 }
 
 Status CacheController::Init() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (initialized_) {
+  if (initialized_.load(std::memory_order_acquire)) {
     return Status::Ok();
   }
   if (!scm_fs_->SupportsDax()) {
@@ -42,7 +199,8 @@ Status CacheController::Init() {
   MUX_ASSIGN_OR_RETURN(
       cache_handle_,
       scm_fs_->Open(options_.cache_path, vfs::OpenFlags::kCreateRw, 0600));
-  const uint64_t bytes = options_.capacity_blocks * kBlockSize;
+  const uint64_t bytes = std::max<uint64_t>(options_.capacity_blocks, 1) *
+                         kBlockSize;
   Status fallocate = scm_fs_->Fallocate(cache_handle_, 0, bytes,
                                         /*keep_size=*/false);
   if (!fallocate.ok()) {
@@ -56,12 +214,28 @@ Status CacheController::Init() {
   }
   dax_base_ = mapping->data;
   mapping_ = *mapping;
-  slot_owner_.assign(options_.capacity_blocks, Key{0, 0});
-  free_slots_.clear();
-  for (uint32_t slot = 0; slot < options_.capacity_blocks; ++slot) {
-    free_slots_.push_back(options_.capacity_blocks - 1 - slot);
+
+  slot_owner_.assign(usable_slots_, Key{});
+  accessed_ = std::make_unique<std::atomic<uint8_t>[]>(usable_slots_);
+  slot_state_ = std::make_unique<std::atomic<uint32_t>[]>(usable_slots_);
+  for (uint64_t slot = 0; slot < usable_slots_; ++slot) {
+    accessed_[slot].store(0, std::memory_order_relaxed);
+    slot_state_[slot].store(kResident, std::memory_order_relaxed);
   }
-  initialized_ = true;
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    Shard& shard = shards_[s];
+    const uint32_t lo = static_cast<uint32_t>(s * slots_per_shard_);
+    shard.free_slots.clear();
+    for (uint64_t i = 0; i < slots_per_shard_; ++i) {
+      // Descending, so pop_back hands out the shard's slots in order.
+      shard.free_slots.push_back(
+          lo + static_cast<uint32_t>(slots_per_shard_ - 1 - i));
+    }
+  }
+  agg_buffer_.assign(agg_capacity_blocks_ * kBlockSize, 0);
+  agg_entries_.clear();
+  agg_entries_.reserve(agg_capacity_blocks_);
+  initialized_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -70,140 +244,396 @@ bool CacheController::TryRead(uint64_t file_key, uint64_t block,
                               uint8_t* out) {
   const SimTime start = clock_->Now();
   clock_->Advance(costs_.cache_lookup_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!initialized_) {
+  if (!initialized_.load(std::memory_order_acquire)) {
     return false;
   }
-  auto it = index_.find(Key{file_key, block});
-  if (it == index_.end()) {
-    stats_.misses++;
-    if (metrics_ != nullptr) {
-      metrics_->Observe("cache.miss_ns", clock_->Now() - start);
+  const Key key{file_key, block};
+  Shard& shard = ShardFor(key);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+      m->Observe("cache.miss_ns", clock_->Now() - start);
     }
     return false;
   }
-  std::memcpy(out, SlotPtr(it->second) + offset_in_block, n);
-  scm_fs_->ChargeDax(n, /*is_write=*/false);
-  replacement_->Touched(it->second);
-  stats_.hits++;
-  if (metrics_ != nullptr) {
-    metrics_->Observe("cache.hit_ns", clock_->Now() - start);
+  const uint32_t slot = it->second;
+  const uint32_t state = slot_state_[slot].load(std::memory_order_acquire);
+  if (state == kResident) {
+    std::memcpy(out, SlotPtr(slot) + offset_in_block, n);
+    scm_fs_->ChargeDax(n, /*is_write=*/false);
+  } else {
+    // Staged in the aggregation buffer. Under agg_mu_ the entry either
+    // still matches (copy from the buffer — a DRAM read, no DAX charge) or
+    // a flush beat us here (the mutex ordered its slot memcpy before us, so
+    // the DAX bytes are current).
+    std::lock_guard<std::mutex> agg_lock(agg_mu_);
+    if (state < agg_entries_.size() && agg_entries_[state].valid &&
+        agg_entries_[state].key == key && agg_entries_[state].slot == slot) {
+      std::memcpy(out, agg_buffer_.data() + state * kBlockSize +
+                           offset_in_block, n);
+      ObserveCounter("cache.agg.staged_hits", 1);
+    } else {
+      std::memcpy(out, SlotPtr(slot) + offset_in_block, n);
+      scm_fs_->ChargeDax(n, /*is_write=*/false);
+    }
+  }
+  accessed_[slot].store(1, std::memory_order_relaxed);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+    m->Observe("cache.hit_ns", clock_->Now() - start);
   }
   return true;
 }
 
-void CacheController::EvictOneLocked() {
-  auto victim = replacement_->Evict();
-  if (!victim.ok()) {
-    return;
+uint32_t CacheController::TakeSlotLocked(Shard& shard) {
+  if (shard.free_slots.empty()) {
+    // Second-chance eviction scan: a set access bit (shared-lock hits)
+    // buys the slot a reinsertion instead of eviction. Hits are excluded
+    // while we hold the exclusive lock, so every retry clears one bit and
+    // the scan is bounded by the resident count.
+    size_t budget = shard.index.size() + 1;
+    while (budget-- > 0) {
+      auto victim = shard.replacement->Evict();
+      if (!victim.ok()) {
+        break;
+      }
+      const uint32_t slot = *victim;
+      if (accessed_[slot].exchange(0, std::memory_order_relaxed) != 0) {
+        shard.replacement->Inserted(slot);
+        continue;
+      }
+      const Key vkey = slot_owner_[slot];
+      // Ghost history: an evicted resident re-enters one miss short of the
+      // threshold, so a re-reference readmits it ahead of scan traffic.
+      if (options_.admission_threshold > 1) {
+        shard.sketch.Note(vkey.file_key, vkey.block,
+                          static_cast<uint8_t>(std::min<uint32_t>(
+                              options_.admission_threshold - 1, 255)));
+      }
+      shard.index.erase(vkey);
+      ReleaseSlotLocked(shard, slot);
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
   }
-  index_.erase(slot_owner_[*victim]);
-  free_slots_.push_back(*victim);
-  stats_.evictions++;
+  if (shard.free_slots.empty()) {
+    return kResident;
+  }
+  const uint32_t slot = shard.free_slots.back();
+  shard.free_slots.pop_back();
+  return slot;
+}
+
+void CacheController::ReleaseSlotLocked(Shard& shard, uint32_t slot) {
+  if (slot_state_[slot].load(std::memory_order_relaxed) != kResident) {
+    // Cancel the staged entry under agg_mu_ so a later flush cannot write
+    // stale bytes into this (about to be reused) slot. If a flush ran while
+    // we waited for the lock the entry no longer matches and there is
+    // nothing to cancel.
+    std::lock_guard<std::mutex> agg_lock(agg_mu_);
+    const uint32_t state = slot_state_[slot].load(std::memory_order_relaxed);
+    if (state != kResident && state < agg_entries_.size() &&
+        agg_entries_[state].valid && agg_entries_[state].slot == slot) {
+      agg_entries_[state].valid = false;
+      agg_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      ObserveCounter("cache.agg.cancelled", 1);
+    }
+    slot_state_[slot].store(kResident, std::memory_order_release);
+  }
+  accessed_[slot].store(0, std::memory_order_relaxed);
+  shard.free_slots.push_back(slot);
 }
 
 void CacheController::OnMiss(uint64_t file_key, uint64_t block,
                              const uint8_t* block_data) {
   const SimTime start = clock_->Now();
   clock_->Advance(costs_.cache_admission_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!initialized_) {
+  if (!initialized_.load(std::memory_order_acquire)) {
     return;
   }
   const Key key{file_key, block};
-  if (index_.contains(key)) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
+  if (shard.index.contains(key)) {
     return;  // raced in already
   }
-  const uint32_t count = ++miss_counts_[key];
+  bool decayed = false;
+  const uint32_t count = shard.sketch.Increment(file_key, block, &decayed);
+  if (decayed) {
+    shard.sketch_decays.fetch_add(1, std::memory_order_relaxed);
+    ObserveCounter("cache.sketch.decays", 1);
+  }
   if (count < options_.admission_threshold) {
-    // Bound the sketch: decay by clearing when it outgrows the cache 8x.
-    if (miss_counts_.size() > options_.capacity_blocks * 8) {
-      miss_counts_.clear();
+    return;
+  }
+  const uint32_t slot = TakeSlotLocked(shard);
+  if (slot == kResident) {
+    return;
+  }
+  shard.sketch.Erase(file_key, block);
+  if (agg_capacity_blocks_ > 0) {
+    // Stage into the aggregation buffer (a DRAM copy — the DAX write is
+    // charged in bulk at flush time).
+    clock_->Advance(costs_.cache_stage_ns);
+    std::lock_guard<std::mutex> agg_lock(agg_mu_);
+    if (agg_entries_.size() >= agg_capacity_blocks_) {
+      FlushAggLocked();
     }
-    return;
+    const uint32_t idx = static_cast<uint32_t>(agg_entries_.size());
+    std::memcpy(agg_buffer_.data() + idx * kBlockSize, block_data,
+                kBlockSize);
+    agg_entries_.push_back(AggEntry{key, slot, /*valid=*/true});
+    slot_state_[slot].store(idx, std::memory_order_release);
+  } else {
+    std::memcpy(SlotPtr(slot), block_data, kBlockSize);
+    scm_fs_->ChargeDax(kBlockSize, /*is_write=*/true);
+    slot_state_[slot].store(kResident, std::memory_order_release);
   }
-  miss_counts_.erase(key);
-  if (free_slots_.empty()) {
-    EvictOneLocked();
-  }
-  if (free_slots_.empty()) {
-    return;
-  }
-  const uint32_t slot = free_slots_.back();
-  free_slots_.pop_back();
-  std::memcpy(SlotPtr(slot), block_data, kBlockSize);
-  scm_fs_->ChargeDax(kBlockSize, /*is_write=*/true);
-  index_[key] = slot;
+  shard.index[key] = slot;
   slot_owner_[slot] = key;
-  replacement_->Inserted(slot);
-  stats_.admissions++;
-  if (metrics_ != nullptr) {
-    metrics_->Observe("cache.admission_ns", clock_->Now() - start);
+  accessed_[slot].store(0, std::memory_order_relaxed);
+  shard.replacement->Inserted(slot);
+  shard.admissions.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsRegistry* m = metrics_.load(std::memory_order_acquire)) {
+    m->Observe("cache.admission_ns", clock_->Now() - start);
   }
+}
+
+void CacheController::FlushAggLocked() {
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < agg_entries_.size(); ++i) {
+    const AggEntry& entry = agg_entries_[i];
+    if (!entry.valid) {
+      continue;
+    }
+    std::memcpy(SlotPtr(entry.slot), agg_buffer_.data() + i * kBlockSize,
+                kBlockSize);
+    // Release: a reader that sees kResident without taking agg_mu_ must
+    // also see the bytes the memcpy above just wrote.
+    slot_state_[entry.slot].store(kResident, std::memory_order_release);
+    bytes += kBlockSize;
+  }
+  agg_entries_.clear();
+  if (bytes == 0) {
+    return;
+  }
+  // The whole buffer goes down as ONE sequential DAX write.
+  scm_fs_->ChargeDax(bytes, /*is_write=*/true);
+  clock_->Advance(costs_.cache_agg_flush_ns);
+  agg_flushes_.fetch_add(1, std::memory_order_relaxed);
+  agg_flush_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  ObserveCounter("cache.agg.flushes", 1);
+  ObserveCounter("cache.agg.bytes", bytes);
+}
+
+void CacheController::FlushAggregationBuffer() {
+  if (!initialized_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> agg_lock(agg_mu_);
+  FlushAggLocked();
 }
 
 void CacheController::OnWrite(uint64_t file_key, uint64_t block,
                               uint64_t offset_in_block, uint64_t n,
                               const uint8_t* data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!initialized_) {
+  if (!initialized_.load(std::memory_order_acquire)) {
     return;
   }
-  auto it = index_.find(Key{file_key, block});
-  if (it == index_.end()) {
+  const Key key{file_key, block};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
     return;
   }
-  std::memcpy(SlotPtr(it->second) + offset_in_block, data, n);
-  scm_fs_->ChargeDax(n, /*is_write=*/true);
-  replacement_->Touched(it->second);
+  const uint32_t slot = it->second;
+  const uint32_t state = slot_state_[slot].load(std::memory_order_acquire);
+  if (state == kResident) {
+    std::memcpy(SlotPtr(slot) + offset_in_block, data, n);
+    scm_fs_->ChargeDax(n, /*is_write=*/true);
+  } else {
+    std::lock_guard<std::mutex> agg_lock(agg_mu_);
+    if (state < agg_entries_.size() && agg_entries_[state].valid &&
+        agg_entries_[state].key == key && agg_entries_[state].slot == slot) {
+      std::memcpy(agg_buffer_.data() + state * kBlockSize + offset_in_block,
+                  data, n);
+    } else {
+      std::memcpy(SlotPtr(slot) + offset_in_block, data, n);
+      scm_fs_->ChargeDax(n, /*is_write=*/true);
+    }
+  }
+  accessed_[slot].store(1, std::memory_order_relaxed);
+  shard.replacement->Touched(slot);
+}
+
+bool CacheController::InvalidateKeyLocked(Shard& shard, const Key& key) {
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    return false;
+  }
+  const uint32_t slot = it->second;
+  shard.replacement->Removed(slot);
+  ReleaseSlotLocked(shard, slot);
+  shard.index.erase(it);
+  shard.invalidations.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void CacheController::InvalidateBlock(uint64_t file_key, uint64_t block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (!initialized_.load(std::memory_order_acquire)) {
+    return;
+  }
   const Key key{file_key, block};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::shared_mutex> lock(shard.mu);
   // The admission sketch must forget the block too: its counted misses
   // refer to content that just changed, and carrying them over lets a
   // single post-invalidation miss re-admit stale-history blocks early.
-  miss_counts_.erase(key);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  shard.sketch.Erase(file_key, block);
+  (void)InvalidateKeyLocked(shard, key);
+}
+
+void CacheController::InvalidateRange(uint64_t file_key, uint64_t first_block,
+                                      uint64_t last_block) {
+  if (!initialized_.load(std::memory_order_acquire) ||
+      last_block < first_block) {
     return;
   }
-  replacement_->Removed(it->second);
-  free_slots_.push_back(it->second);
-  index_.erase(it);
-  stats_.invalidations++;
+  // Small ranges probe block by block; large (or open-ended) ranges scan
+  // each shard's index instead, which is bounded by the resident count.
+  constexpr uint64_t kProbeLimit = 256;
+  if (last_block - first_block < kProbeLimit) {
+    for (uint64_t b = first_block; b <= last_block; ++b) {
+      InvalidateBlock(file_key, b);
+    }
+    return;
+  }
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::shared_mutex> lock(shard.mu);
+    shard.sketch.EraseRange(file_key, first_block, last_block);
+    for (auto it = shard.index.begin(); it != shard.index.end();) {
+      if (it->first.file_key == file_key && it->first.block >= first_block &&
+          it->first.block <= last_block) {
+        const uint32_t slot = it->second;
+        shard.replacement->Removed(slot);
+        ReleaseSlotLocked(shard, slot);
+        shard.invalidations.fetch_add(1, std::memory_order_relaxed);
+        it = shard.index.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 void CacheController::InvalidateFile(uint64_t file_key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = miss_counts_.begin(); it != miss_counts_.end();) {
-    if (it->first.file_key == file_key) {
-      it = miss_counts_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  for (auto it = index_.begin(); it != index_.end();) {
-    if (it->first.file_key == file_key) {
-      replacement_->Removed(it->second);
-      free_slots_.push_back(it->second);
-      stats_.invalidations++;
-      it = index_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  InvalidateRange(file_key, 0, UINT64_MAX);
 }
 
 ScmCacheStats CacheController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ScmCacheStats stats;
+  for (const Shard& shard : shards_) {
+    stats.hits += shard.hits.load(std::memory_order_relaxed);
+    stats.misses += shard.misses.load(std::memory_order_relaxed);
+    stats.admissions += shard.admissions.load(std::memory_order_relaxed);
+    stats.evictions += shard.evictions.load(std::memory_order_relaxed);
+    stats.invalidations +=
+        shard.invalidations.load(std::memory_order_relaxed);
+    stats.sketch_decays +=
+        shard.sketch_decays.load(std::memory_order_relaxed);
+  }
+  stats.agg_flushes = agg_flushes_.load(std::memory_order_relaxed);
+  stats.agg_flush_bytes = agg_flush_bytes_.load(std::memory_order_relaxed);
+  stats.agg_cancelled = agg_cancelled_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 size_t CacheController::ResidentBlocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return index_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.index.size();
+  }
+  return total;
+}
+
+size_t CacheController::StagedBlocks() const {
+  std::lock_guard<std::mutex> agg_lock(agg_mu_);
+  size_t staged = 0;
+  for (const AggEntry& entry : agg_entries_) {
+    staged += entry.valid ? 1 : 0;
+  }
+  return staged;
+}
+
+std::string_view CacheController::ReplacementName() const {
+  return shards_[0].replacement->Name();
+}
+
+Status CacheController::CheckConsistency() const {
+  if (!initialized_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shard_count_);
+  for (const Shard& shard : shards_) {
+    locks.emplace_back(shard.mu);
+  }
+  std::lock_guard<std::mutex> agg_lock(agg_mu_);
+
+  std::vector<uint8_t> seen(usable_slots_, 0);  // 1 = owned, 2 = free
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    const uint64_t lo = s * slots_per_shard_;
+    const uint64_t hi = lo + slots_per_shard_;
+    if (shard.index.size() + shard.free_slots.size() != slots_per_shard_) {
+      return IoError("cache shard occupancy does not sum to its slot count");
+    }
+    if (shard.replacement->Size() != shard.index.size()) {
+      return IoError("cache replacement policy size != shard index size");
+    }
+    for (const auto& [key, slot] : shard.index) {
+      if (slot < lo || slot >= hi) {
+        return IoError("cache index entry maps outside its shard's slots");
+      }
+      if (seen[slot] != 0) {
+        return IoError("cache slot owned twice");
+      }
+      seen[slot] = 1;
+      if (!(slot_owner_[slot] == key)) {
+        return IoError("cache slot_owner does not match index key");
+      }
+    }
+    for (const uint32_t slot : shard.free_slots) {
+      if (slot < lo || slot >= hi) {
+        return IoError("cache free slot outside its shard's slots");
+      }
+      if (seen[slot] != 0) {
+        return IoError("cache slot both free and owned (or freed twice)");
+      }
+      seen[slot] = 2;
+    }
+  }
+  for (size_t i = 0; i < agg_entries_.size(); ++i) {
+    const AggEntry& entry = agg_entries_[i];
+    if (!entry.valid) {
+      continue;
+    }
+    if (entry.slot >= usable_slots_ || seen[entry.slot] != 1) {
+      return IoError("staged aggregation entry points at an unowned slot");
+    }
+    if (slot_state_[entry.slot].load(std::memory_order_relaxed) !=
+        static_cast<uint32_t>(i)) {
+      return IoError("staged slot state does not point back at its entry");
+    }
+    if (!(slot_owner_[entry.slot] == entry.key)) {
+      return IoError("staged aggregation entry key mismatch");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace mux::core

@@ -1,4 +1,4 @@
-// SCM cache controller (§2.5).
+// SCM cache controller (§2.5) — production-grade concurrent edition.
 //
 // Mux offloads the DRAM page-cache role to storage-class memory: one cache
 // file is created and preallocated on the PM tier ("Mux can create one file
@@ -14,14 +14,41 @@
 // home tier is always current. (The paper also allows write-back; see
 // DESIGN.md for the tradeoff.)
 //
-// Admission control: a block is only inserted after `admission_threshold`
-// misses, so one-touch scans do not pay the PM-copy cost for nothing.
+// Concurrency (Traffic Server's disk-cache shape, iocore/cache):
+//   * The directory is hash-sharded: `Options::shards` (power of two,
+//     default 16) shards, each owning a contiguous slice of the cache-file
+//     slots with its own shared_mutex, index, free list, replacement policy
+//     instance, and admission sketch. Hits take the shard lock *shared* and
+//     record recency in a per-slot atomic access bit (MGLRU A-bit style);
+//     eviction gives accessed slots a second chance under the exclusive
+//     lock. `shards = 1` is the globally-serialized ablation baseline.
+//   * Stats are per-shard relaxed atomics, aggregated lock-free by stats().
+//
+// Admission (scan resistance + write coalescing):
+//   * A block is only inserted after `admission_threshold` misses, counted
+//     in a per-shard fixed-size frequency sketch (open-addressed, bounded
+//     probe window) with periodic *halving decay* — a streaming one-touch
+//     scan can neither admit its blocks nor wipe the counted history of
+//     legitimate hot candidates (the fmcfs per-block access-history idea in
+//     compact form). Evicted residents leave a ghost entry one miss short
+//     of the threshold so a re-reference readmits them quickly.
+//   * Admitted blocks are staged into a sequential aggregation buffer
+//     (default 256 KiB) and flushed as ONE bulk DAX write when it fills —
+//     Traffic Server's aggregation-buffer write path. An in-buffer index
+//     keeps staged blocks readable, writable, and invalidatable before the
+//     flush. `agg_buffer_bytes = 0` is the block-at-a-time ablation.
+//
+// Lock hierarchy (see DESIGN.md "SCM cache"): shard mutex -> agg_mu_ ->
+// device mutex. Shard locks are leaves of the Mux hierarchy: callers hold
+// inode locks when they enter, the cache never calls back up.
 #ifndef MUX_CORE_CACHE_CONTROLLER_H_
 #define MUX_CORE_CACHE_CONTROLLER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +67,61 @@ struct ScmCacheStats {
   uint64_t admissions = 0;
   uint64_t evictions = 0;
   uint64_t invalidations = 0;
+  // Aggregation-buffer admission: bulk flushes and the bytes they wrote as
+  // single DAX writes (0/0 with agg_buffer_bytes = 0).
+  uint64_t agg_flushes = 0;
+  uint64_t agg_flush_bytes = 0;
+  // Staged blocks invalidated or evicted before their flush.
+  uint64_t agg_cancelled = 0;
+  // Halving-decay events across all shard sketches.
+  uint64_t sketch_decays = 0;
+};
+
+// Fixed-size frequency/ghost sketch for admission control: open-addressed
+// (file, block) -> saturating 8-bit count with a bounded probe window. When
+// the window is full the minimum-count entry is stolen (one-touch scan
+// entries lose to counted hot candidates), and every `decay_interval`
+// updates all counts halve and zeros are freed — history fades instead of
+// being wiped, so a candidate one miss short of admission survives a decay
+// event with half its progress. Externally synchronized (per-shard lock).
+class FrequencySketch {
+ public:
+  static constexpr uint32_t kProbeWindow = 16;
+  static constexpr uint8_t kMaxCount = 255;
+
+  // `entries_hint` is rounded up to a power of two (min 64). A
+  // `decay_interval` of 0 picks 4x the table size.
+  void Reset(uint64_t entries_hint, uint32_t decay_interval);
+
+  // Bumps the count for (file_key, block) and returns it. Sets *decayed
+  // when this update triggered a halving pass.
+  uint32_t Increment(uint64_t file_key, uint64_t block, bool* decayed);
+  // Ghost history: remember `count` for a key without bumping (used for
+  // evicted residents). Never triggers decay.
+  void Note(uint64_t file_key, uint64_t block, uint8_t count);
+  void Erase(uint64_t file_key, uint64_t block);
+  // Drops every entry of `file_key` whose block is in [first, last].
+  void EraseRange(uint64_t file_key, uint64_t first_block,
+                  uint64_t last_block);
+
+  size_t entries() const { return used_; }
+
+ private:
+  struct Entry {
+    uint64_t file_key = 0;
+    uint64_t block = 0;
+    uint8_t count = 0;  // 0 = free slot
+  };
+
+  size_t Bucket(uint64_t file_key, uint64_t block) const;
+  Entry* Find(uint64_t file_key, uint64_t block);
+  void Decay();
+
+  std::vector<Entry> table_;
+  size_t mask_ = 0;
+  size_t used_ = 0;
+  uint32_t decay_interval_ = 0;
+  uint32_t ops_since_decay_ = 0;
 };
 
 class CacheController {
@@ -51,6 +133,16 @@ class CacheController {
     bool use_mglru = true;
     uint32_t admission_threshold = 2;  // misses before a block is admitted
     std::string cache_path = "/.mux_cache";
+    // Directory shards (rounded down to a power of two, clamped to
+    // [1, capacity_blocks]). 1 = the global-lock ablation.
+    uint32_t shards = 16;
+    // Aggregation-buffer size (rounded down to whole blocks, clamped to the
+    // cache capacity). 0 disables staging: admissions write one block at a
+    // time, the pre-sharding behavior.
+    uint64_t agg_buffer_bytes = 256 * 1024;
+    // Sketch updates per shard between halving-decay passes; 0 = auto
+    // (4x the sketch table size).
+    uint32_t sketch_decay_interval = 0;
   };
 
   // `scm_fs` must support DAX (the PM tier's file system).
@@ -62,12 +154,14 @@ class CacheController {
   Status Init();
 
   // Copies [offset_in_block, offset_in_block+n) of the cached block into
-  // `out` if present. Charges the cache probe and, on hit, the DAX read.
+  // `out` if present (resident or staged). Charges the cache probe and, on
+  // a resident hit, the DAX read.
   bool TryRead(uint64_t file_key, uint64_t block, uint64_t offset_in_block,
                uint64_t n, uint8_t* out);
 
-  // Reports a miss; once the block's miss count reaches the admission
-  // threshold, `block_data` (a full block) is copied into the cache.
+  // Reports a miss; once the block's sketch count reaches the admission
+  // threshold, `block_data` (a full block) is admitted — staged into the
+  // aggregation buffer, or copied straight to DAX when staging is off.
   void OnMiss(uint64_t file_key, uint64_t block, const uint8_t* block_data);
 
   // Write-through update of a cached copy (no-op if not cached).
@@ -76,18 +170,35 @@ class CacheController {
 
   void InvalidateFile(uint64_t file_key);
   void InvalidateBlock(uint64_t file_key, uint64_t block);
+  // Drops cached copies and sketch history for blocks of `file_key` in
+  // [first_block, last_block] (inclusive; pass UINT64_MAX for "to end").
+  void InvalidateRange(uint64_t file_key, uint64_t first_block,
+                       uint64_t last_block);
 
-  ScmCacheStats stats() const;
-  size_t ResidentBlocks() const;
-  std::string_view ReplacementName() const { return replacement_->Name(); }
+  // Writes every staged block to its slot as one bulk DAX write. Called
+  // automatically when the buffer fills; public for tests and shutdown.
+  void FlushAggregationBuffer();
 
-  // Optional: observe per-op latency into "cache.{hit,miss,admission}_ns".
+  ScmCacheStats stats() const;       // lock-free aggregate over shards
+  size_t ResidentBlocks() const;     // includes staged blocks
+  size_t StagedBlocks() const;
+  uint32_t ShardCount() const { return shard_count_; }
+  std::string_view ReplacementName() const;
+
+  // Exhaustive invariant check for stress tests: every index entry owns a
+  // valid in-shard slot, no slot is owned twice or both free and owned,
+  // per-shard occupancy sums match, and every staged entry's key/slot agree
+  // with its shard. Takes every lock; not for hot paths.
+  Status CheckConsistency() const;
+
+  // Optional: observe per-op latency into "cache.{hit,miss,admission}_ns"
+  // and the cache.agg.* / cache.sketch.* counters.
   void SetObs(obs::MetricsRegistry* metrics);
 
  private:
   struct Key {
-    uint64_t file_key;
-    uint64_t block;
+    uint64_t file_key = 0;
+    uint64_t block = 0;
     bool operator==(const Key& other) const {
       return file_key == other.file_key && block == other.block;
     }
@@ -99,28 +210,93 @@ class CacheController {
     }
   };
 
+  // Slot residency state: kResident, or the index of the aggregation-buffer
+  // entry holding the block's bytes until the next flush.
+  static constexpr uint32_t kResident = UINT32_MAX;
+
+  struct AggEntry {
+    Key key;
+    uint32_t slot = 0;
+    bool valid = false;  // false once cancelled (invalidation/eviction)
+  };
+
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, uint32_t, KeyHash> index;  // key -> global slot
+    std::vector<uint32_t> free_slots;
+    std::unique_ptr<ReplacementPolicy> replacement;
+    FrequencySketch sketch;
+    // Stats: written under mu (any mode), read lock-free by stats().
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> admissions{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> invalidations{0};
+    std::atomic<uint64_t> sketch_decays{0};
+  };
+
+  Shard& ShardFor(const Key& key) {
+    const size_t h = KeyHash()(key);
+    return shards_[(h ^ (h >> 32)) & shard_mask_];
+  }
+  const Shard& ShardForConst(const Key& key) const {
+    return const_cast<CacheController*>(this)->ShardFor(key);
+  }
+
   uint8_t* SlotPtr(uint32_t slot) const {
     return dax_base_ + static_cast<uint64_t>(slot) * kBlockSize;
   }
-  void EvictOneLocked();
+
+  // Takes a free slot, evicting (with access-bit second chance) if needed.
+  // Returns kResident when the shard has no usable slot. Shard lock held
+  // exclusively.
+  uint32_t TakeSlotLocked(Shard& shard);
+  // Returns `slot` to the shard's free list, cancelling its staged entry
+  // first so a later flush cannot clobber a reused slot. Shard lock held
+  // exclusively; takes agg_mu_ when the slot is staged.
+  void ReleaseSlotLocked(Shard& shard, uint32_t slot);
+  // Removes one resident key under the exclusive shard lock (shared helper
+  // of the invalidation paths). Returns false if not present.
+  bool InvalidateKeyLocked(Shard& shard, const Key& key);
+  // Flush with agg_mu_ already held.
+  void FlushAggLocked();
+  void ObserveCounter(std::string_view name, uint64_t delta);
 
   vfs::FileSystem* const scm_fs_;
   SimClock* const clock_;
   const CostModel costs_;
   const Options options_;
 
-  mutable std::mutex mu_;
+  uint32_t shard_count_ = 1;
+  size_t shard_mask_ = 0;
+  uint64_t slots_per_shard_ = 0;
+  uint64_t usable_slots_ = 0;
+  std::vector<Shard> shards_;
+
+  std::atomic<bool> initialized_{false};
   vfs::FileHandle cache_handle_ = 0;
-  bool initialized_ = false;
   uint8_t* dax_base_ = nullptr;
   vfs::DaxMapping mapping_;  // kept so the destructor can DaxUnmap it
-  obs::MetricsRegistry* metrics_ = nullptr;  // optional, not owned
-  std::unique_ptr<ReplacementPolicy> replacement_;
-  std::unordered_map<Key, uint32_t, KeyHash> index_;   // key -> slot
-  std::vector<Key> slot_owner_;                        // slot -> key
-  std::vector<uint32_t> free_slots_;
-  std::unordered_map<Key, uint32_t, KeyHash> miss_counts_;
-  ScmCacheStats stats_;
+  std::atomic<obs::MetricsRegistry*> metrics_{nullptr};  // optional, not owned
+
+  // slot -> owning key; written only under the owning shard's exclusive
+  // lock (slots are statically partitioned by shard).
+  std::vector<Key> slot_owner_;
+  // Per-slot MGLRU-style access bit, set by shared-lock hits, consumed by
+  // the eviction second-chance scan under the exclusive lock.
+  std::unique_ptr<std::atomic<uint8_t>[]> accessed_;
+  // Per-slot residency state; staged -> resident flips are release stores
+  // so readers that skip agg_mu_ still see flushed bytes.
+  std::unique_ptr<std::atomic<uint32_t>[]> slot_state_;
+
+  // Aggregation buffer (cross-shard, below every shard lock).
+  mutable std::mutex agg_mu_;
+  std::vector<uint8_t> agg_buffer_;
+  std::vector<AggEntry> agg_entries_;
+  uint64_t agg_capacity_blocks_ = 0;
+  std::atomic<uint64_t> agg_flushes_{0};
+  std::atomic<uint64_t> agg_flush_bytes_{0};
+  std::atomic<uint64_t> agg_cancelled_{0};
 };
 
 }  // namespace mux::core

@@ -27,6 +27,12 @@ struct CostModel {
   SimTime cache_lookup_ns = 80;
   // Cache admission bookkeeping (frequency sketch update).
   SimTime cache_admission_ns = 60;
+  // Staging one admitted block into the aggregation buffer (a DRAM copy;
+  // the DAX write is charged in bulk at flush time).
+  SimTime cache_stage_ns = 40;
+  // Bookkeeping for flushing the aggregation buffer as one sequential DAX
+  // write (the media time is ChargeDax on the flushed bytes).
+  SimTime cache_agg_flush_ns = 300;
   // Extra cost per additional split segment of one request.
   SimTime split_segment_ns = 120;
   // Completion-based dispatch (AsyncIoCore): enqueueing one request into a

@@ -131,4 +131,11 @@ void PlainLruPolicy::Removed(uint32_t slot) {
   entries_.erase(it);
 }
 
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(bool use_mglru) {
+  if (use_mglru) {
+    return std::make_unique<MglruPolicy>();
+  }
+  return std::make_unique<PlainLruPolicy>();
+}
+
 }  // namespace mux::core

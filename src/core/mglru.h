@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,11 @@ class PlainLruPolicy : public ReplacementPolicy {
   std::list<uint32_t> lru_;  // front = most recent
   std::unordered_map<uint32_t, std::list<uint32_t>::iterator> entries_;
 };
+
+// Builds one policy instance. The sharded cache directory calls this once
+// per shard, so replacement state (like the policies themselves) needs no
+// internal locking — each instance is guarded by its shard's mutex.
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(bool use_mglru);
 
 }  // namespace mux::core
 

@@ -607,7 +607,11 @@ Status Mux::TruncateLocked(MuxInode& inode, uint64_t new_size,
   }
   const uint64_t first_dead = (new_size + kBlockSize - 1) / kBlockSize;
   if (cache_ != nullptr && new_size < inode.attrs.size()) {
-    cache_->InvalidateFile(inode.ino);  // coarse but safe
+    // Only blocks at/after the new EOF go: cached copies of the surviving
+    // prefix stay hot across a shrink. The floor (not first_dead) matters
+    // when new_size is unaligned — the partial tail block's cached bytes
+    // past EOF would otherwise resurface stale if the file regrows.
+    cache_->InvalidateRange(inode.ino, new_size / kBlockSize, UINT64_MAX);
   }
   inode.blt->TruncateFrom(first_dead);
   if (inode.replicas != nullptr) {
@@ -750,11 +754,9 @@ Status Mux::PunchHole(vfs::FileHandle handle, uint64_t offset,
     MUX_RETURN_IF_ERROR(tier->fs->PunchHole(shadow,
                                             run.first_block * kBlockSize,
                                             run.count * kBlockSize));
-    if (cache_ != nullptr) {
-      for (uint64_t b = run.first_block; b < run.first_block + run.count;
-           ++b) {
-        cache_->InvalidateBlock(inode.ino, b);
-      }
+    if (cache_ != nullptr && run.count > 0) {
+      cache_->InvalidateRange(inode.ino, run.first_block,
+                              run.first_block + run.count - 1);
     }
   }
   if (inode.replicas != nullptr) {

@@ -32,6 +32,15 @@
 //   sched.async_drain.{max,sum}_ns  histograms: per-round completion horizon
 //                             (max over ok completions) vs sum of services
 //   cache.{hit,miss,admission}_ns  histograms: SCM cache path latency
+//   cache.agg.flushes         counter: aggregation-buffer bulk flushes
+//   cache.agg.bytes           counter: bytes those flushes wrote as single
+//                             sequential DAX writes (bytes/flushes >> 4 KiB
+//                             ⇒ admission write coalescing is working)
+//   cache.agg.staged_hits     counter: reads served from the aggregation
+//                             buffer before its flush
+//   cache.agg.cancelled       counter: staged blocks invalidated/evicted
+//                             before their flush
+//   cache.sketch.decays       counter: admission-sketch halving-decay passes
 //   mux.parallel.fanouts      counter: split requests dispatched in parallel
 //   mux.parallel.segments     counter: segments across those fanouts
 //   mux.parallel.chain_{max,sum}_ns  counters: per-tier chain time charged

@@ -154,5 +154,256 @@ TEST_F(CacheControllerTest, ObservesHitMissAdmissionLatency) {
             static_cast<uint64_t>(costs_.cache_lookup_ns));
 }
 
+// Regression: the admission sketch used to be an unbounded map that OnMiss
+// wiped with clear() when it outgrew capacity x8 — a candidate one miss
+// short of admission lost ALL its history at once. Halving decay keeps half:
+// with threshold 4, a block at count 3 decays to 1 and needs only 3 more
+// misses (a wipe would leave it needing 4).
+TEST_F(CacheControllerTest, HalvingDecayKeepsHotCandidates) {
+  CacheController::Options options;
+  options.capacity_blocks = 8;
+  options.shards = 1;  // one sketch, so filler misses drive its decay clock
+  options.admission_threshold = 4;
+  options.sketch_decay_interval = 8;
+  CacheController cache(&novafs_, &clock_, costs_, options);
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x66);
+
+  for (int i = 0; i < 3; ++i) {
+    cache.OnMiss(1, 0, data.data());  // count 3: one miss short
+  }
+  // Filler misses on other blocks push the sketch past its decay interval.
+  for (uint64_t b = 0; b < 5; ++b) {
+    cache.OnMiss(2, b, data.data());
+  }
+  ASSERT_GE(cache.stats().sketch_decays, 1u);
+  EXPECT_EQ(cache.stats().admissions, 0u);
+
+  // Post-decay count is 1 (not 0): three misses reach the threshold again.
+  cache.OnMiss(1, 0, data.data());
+  cache.OnMiss(1, 0, data.data());
+  EXPECT_EQ(cache.stats().admissions, 0u);
+  cache.OnMiss(1, 0, data.data());
+  EXPECT_EQ(cache.stats().admissions, 1u);
+  EXPECT_TRUE(cache.CheckConsistency().ok());
+}
+
+TEST_F(CacheControllerTest, InvalidateRangeKeepsBlocksBelowRange) {
+  CacheController::Options options;
+  options.capacity_blocks = 32;
+  options.admission_threshold = 1;
+  CacheController cache(&novafs_, &clock_, costs_, options);
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x77);
+  std::vector<uint8_t> out(kBlock);
+
+  for (uint64_t b = 0; b < 10; ++b) {
+    cache.OnMiss(1, b, data.data());
+  }
+  ASSERT_EQ(cache.stats().admissions, 10u);
+
+  // Open-ended range (the truncate shape) exercises the shard-scan path.
+  cache.InvalidateRange(1, 5, UINT64_MAX);
+  for (uint64_t b = 0; b < 5; ++b) {
+    EXPECT_TRUE(cache.TryRead(1, b, 0, kBlock, out.data())) << b;
+  }
+  for (uint64_t b = 5; b < 10; ++b) {
+    EXPECT_FALSE(cache.TryRead(1, b, 0, kBlock, out.data())) << b;
+  }
+  EXPECT_EQ(cache.stats().invalidations, 5u);
+
+  // Small closed range exercises the per-block probe path.
+  cache.InvalidateRange(1, 2, 3);
+  EXPECT_TRUE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+  EXPECT_FALSE(cache.TryRead(1, 2, 0, kBlock, out.data()));
+  EXPECT_FALSE(cache.TryRead(1, 3, 0, kBlock, out.data()));
+  EXPECT_TRUE(cache.TryRead(1, 4, 0, kBlock, out.data()));
+  EXPECT_TRUE(cache.CheckConsistency().ok());
+}
+
+TEST_F(CacheControllerTest, InvalidateRangeForgetsSketchInRange) {
+  CacheController::Options options;
+  options.capacity_blocks = 32;
+  options.admission_threshold = 2;
+  CacheController cache(&novafs_, &clock_, costs_, options);
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x88);
+
+  cache.OnMiss(1, 600, data.data());  // count 1 in the sketch, not resident
+  cache.OnMiss(1, 2, data.data());    // below the range: history survives
+  cache.InvalidateRange(1, 500, UINT64_MAX);
+
+  cache.OnMiss(1, 600, data.data());  // must start over
+  EXPECT_EQ(cache.stats().admissions, 0u);
+  cache.OnMiss(1, 600, data.data());
+  EXPECT_EQ(cache.stats().admissions, 1u);
+  cache.OnMiss(1, 2, data.data());    // second miss completes the pair
+  EXPECT_EQ(cache.stats().admissions, 2u);
+}
+
+TEST_F(CacheControllerTest, StagedBlockReadableBeforeAndAfterFlush) {
+  CacheController::Options options;
+  options.capacity_blocks = 16;
+  options.admission_threshold = 1;
+  options.agg_buffer_bytes = 4 * kBlock;
+  CacheController cache(&novafs_, &clock_, costs_, options);
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0x99);
+  std::vector<uint8_t> out(kBlock);
+
+  pm_.ResetStats();
+  cache.OnMiss(1, 0, data.data());
+  EXPECT_EQ(cache.StagedBlocks(), 1u);
+  EXPECT_EQ(pm_.stats().write_ops, 0u);  // staged: no DAX write yet
+
+  // Readable and writable while staged.
+  ASSERT_TRUE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), kBlock), 0);
+  const uint8_t patch[4] = {7, 7, 7, 7};
+  cache.OnWrite(1, 0, 64, sizeof(patch), patch);
+
+  cache.FlushAggregationBuffer();
+  EXPECT_EQ(cache.StagedBlocks(), 0u);
+  EXPECT_EQ(cache.stats().agg_flushes, 1u);
+  EXPECT_EQ(cache.stats().agg_flush_bytes, kBlock);
+  EXPECT_EQ(pm_.stats().write_ops, 1u);  // ONE bulk DAX write
+
+  // The staged-time write survived the flush.
+  ASSERT_TRUE(cache.TryRead(1, 0, 64, sizeof(patch), out.data()));
+  EXPECT_EQ(std::memcmp(out.data(), patch, sizeof(patch)), 0);
+  EXPECT_TRUE(cache.CheckConsistency().ok());
+}
+
+// The tentpole's write-coalescing claim, measured at the device: admitting N
+// blocks through the aggregation buffer issues far fewer, far larger DAX
+// writes than block-at-a-time admission.
+TEST_F(CacheControllerTest, AggregationCoalescesDaxWrites) {
+  auto admit = [&](CacheController& cache, uint64_t blocks) {
+    std::vector<uint8_t> data(kBlock, 0xAA);
+    for (uint64_t b = 0; b < blocks; ++b) {
+      cache.OnMiss(42, b, data.data());
+    }
+    cache.FlushAggregationBuffer();
+  };
+  constexpr uint64_t kAdmissions = 32;
+
+  CacheController::Options direct;
+  direct.capacity_blocks = 128;
+  direct.admission_threshold = 1;
+  direct.agg_buffer_bytes = 0;  // block-at-a-time ablation
+  direct.cache_path = "/.cache_direct";
+  CacheController direct_cache(&novafs_, &clock_, costs_, direct);
+  ASSERT_TRUE(direct_cache.Init().ok());
+  pm_.ResetStats();
+  admit(direct_cache, kAdmissions);
+  const uint64_t direct_writes = pm_.stats().write_ops;
+
+  CacheController::Options agg = direct;
+  agg.agg_buffer_bytes = 16 * kBlock;
+  agg.cache_path = "/.cache_agg";
+  CacheController agg_cache(&novafs_, &clock_, costs_, agg);
+  ASSERT_TRUE(agg_cache.Init().ok());
+  pm_.ResetStats();
+  admit(agg_cache, kAdmissions);
+  const uint64_t agg_writes = pm_.stats().write_ops;
+
+  EXPECT_EQ(direct_writes, kAdmissions);
+  EXPECT_EQ(agg_writes, kAdmissions / 16);  // 2 flushes of 16 blocks
+  const auto stats = agg_cache.stats();
+  ASSERT_EQ(stats.agg_flushes, kAdmissions / 16);
+  EXPECT_EQ(stats.agg_flush_bytes / stats.agg_flushes, 16 * kBlock);
+  EXPECT_EQ(direct_cache.stats().agg_flushes, 0u);
+  // Both caches serve the same content.
+  std::vector<uint8_t> out(kBlock);
+  ASSERT_TRUE(agg_cache.TryRead(42, 0, 0, kBlock, out.data()));
+  ASSERT_TRUE(direct_cache.TryRead(42, 0, 0, kBlock, out.data()));
+}
+
+// A staged block invalidated before its flush must not resurface when the
+// flush runs (the cancelled entry's bytes would land in a slot that may
+// already belong to a different key).
+TEST_F(CacheControllerTest, InvalidatedStagedBlockDoesNotResurface) {
+  CacheController::Options options;
+  options.capacity_blocks = 16;
+  options.admission_threshold = 1;
+  options.agg_buffer_bytes = 8 * kBlock;
+  CacheController cache(&novafs_, &clock_, costs_, options);
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> old_data(kBlock, 0x01);
+  std::vector<uint8_t> new_data(kBlock, 0x02);
+  std::vector<uint8_t> out(kBlock);
+
+  cache.OnMiss(1, 0, old_data.data());  // staged
+  cache.InvalidateBlock(1, 0);          // cancelled before flush
+  EXPECT_EQ(cache.stats().agg_cancelled, 1u);
+  EXPECT_FALSE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+
+  // Re-admit with NEW content; the cancelled entry must not clobber it.
+  cache.OnMiss(1, 0, new_data.data());
+  cache.FlushAggregationBuffer();
+  ASSERT_TRUE(cache.TryRead(1, 0, 0, kBlock, out.data()));
+  EXPECT_EQ(std::memcmp(out.data(), new_data.data(), kBlock), 0);
+  EXPECT_TRUE(cache.CheckConsistency().ok());
+}
+
+TEST_F(CacheControllerTest, SingleShardAblationBehavesLikeSharded) {
+  for (const uint32_t shards : {1u, 8u}) {
+    CacheController::Options options;
+    options.capacity_blocks = 64;
+    options.admission_threshold = 2;
+    options.shards = shards;
+    options.cache_path = "/.cache_s" + std::to_string(shards);
+    CacheController cache(&novafs_, &clock_, costs_, options);
+    ASSERT_TRUE(cache.Init().ok());
+    EXPECT_EQ(cache.ShardCount(), shards);
+
+    std::vector<uint8_t> data(kBlock, 0xBB);
+    std::vector<uint8_t> out(kBlock);
+    for (uint64_t b = 0; b < 16; ++b) {
+      cache.OnMiss(1, b, data.data());
+      cache.OnMiss(1, b, data.data());
+      ASSERT_TRUE(cache.TryRead(1, b, 0, kBlock, out.data())) << b;
+    }
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.admissions, 16u);
+    EXPECT_EQ(stats.hits, 16u);
+    EXPECT_EQ(cache.ResidentBlocks(), 16u);
+    EXPECT_TRUE(cache.CheckConsistency().ok());
+  }
+}
+
+TEST_F(CacheControllerTest, EvictionLeavesGhostForFastReadmission) {
+  CacheController::Options options;
+  options.capacity_blocks = 4;
+  options.shards = 1;
+  options.admission_threshold = 2;
+  options.agg_buffer_bytes = 0;
+  CacheController cache(&novafs_, &clock_, costs_, options);
+  ASSERT_TRUE(cache.Init().ok());
+  std::vector<uint8_t> data(kBlock, 0xCC);
+  std::vector<uint8_t> out(kBlock);
+
+  // Fill the cache, then push enough new admissions through to evict the
+  // oldest resident.
+  for (uint64_t b = 0; b < 8; ++b) {
+    cache.OnMiss(1, b, data.data());
+    cache.OnMiss(1, b, data.data());
+  }
+  ASSERT_GE(cache.stats().evictions, 1u);
+  // Find an evicted block: its ghost entry readmits it after ONE miss
+  // instead of the threshold's two.
+  for (uint64_t b = 0; b < 8; ++b) {
+    if (cache.TryRead(1, b, 0, kBlock, out.data())) {
+      continue;
+    }
+    const uint64_t admissions_before = cache.stats().admissions;
+    cache.OnMiss(1, b, data.data());
+    EXPECT_EQ(cache.stats().admissions, admissions_before + 1)
+        << "ghost entry should readmit block " << b << " after one miss";
+    break;
+  }
+  EXPECT_TRUE(cache.CheckConsistency().ok());
+}
+
 }  // namespace
 }  // namespace mux::core

@@ -319,6 +319,45 @@ TEST_F(MuxTest, CacheStaysCoherentWithWrites) {
   EXPECT_EQ(out, expected);
 }
 
+// Regression: shrinking a file used to call InvalidateFile, flushing every
+// cached block; now only blocks at/after the new EOF are dropped, so the
+// surviving prefix stays hot across a truncate.
+TEST_F(MuxTest, TruncateKeepsCachedPrefix) {
+  Mux::Options options;
+  options.enable_scm_cache = true;
+  options.cache.capacity_blocks = 256;
+  options.cache.admission_threshold = 1;
+  MuxRig rig(std::move(options));
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+  auto h = mux.Open("/f", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  constexpr uint64_t kBlocks = 100;
+  auto data = Pattern(kBlocks * 4096, 21);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.MigrateFile("/f", rig.hdd_tier()).ok());
+
+  // Admit every block (threshold 1: one missed pass suffices).
+  std::vector<uint8_t> out(4096);
+  for (uint64_t b = 0; b < kBlocks; ++b) {
+    ASSERT_TRUE(mux.Read(*h, b * 4096, 4096, out.data()).ok());
+  }
+  const auto warm = mux.CacheStats();
+  ASSERT_GE(warm.admissions, kBlocks - 5);
+
+  ASSERT_TRUE(mux.Truncate(*h, 50 * 4096).ok());
+  const auto after_shrink = mux.CacheStats();
+  // Only the truncated half was invalidated...
+  EXPECT_GE(after_shrink.invalidations + after_shrink.agg_cancelled,
+            warm.admissions / 2 - 5);
+  EXPECT_LE(after_shrink.invalidations, 55u);
+
+  // ...so block 0 is still served from the cache, not the HDD.
+  ASSERT_TRUE(mux.Read(*h, 0, 4096, out.data()).ok());
+  EXPECT_EQ(mux.CacheStats().hits, after_shrink.hits + 1);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), 4096), 0);
+}
+
 TEST_F(MuxTest, MountsUnderVfsLikeAnyFileSystem) {
   // Figure 1(b): applications reach Mux through the VFS router.
   vfs::Vfs vfs;
