@@ -4,14 +4,20 @@
 // EXPERIMENTS.md ("Traffic methodology") for why this is open-loop.
 //
 // Usage:
-//   traffic_engine [--check] [--async] [--files=N] [--data-files=N]
-//                  [--workers=N] [--step-ms=N] [--calibrate-ms=N]
-//                  [--no-chaos] [--seed=N]
+//   traffic_engine [--check] [--async] [--mirror] [--files=N]
+//                  [--data-files=N] [--workers=N] [--step-ms=N]
+//                  [--calibrate-ms=N] [--no-chaos] [--seed=N]
 //
 // --async drives the completion-based client path (submission ring +
 // completion dispatcher) instead of the thread-per-op worker pool, and
 // reports per-step submission-ring queue depth plus the async-vs-sync
 // closed-loop capacity ratio.
+//
+// --mirror gives the zipfian hot head an SSD primary plus a PM mirror and
+// runs the "mirror" policy, so the steps exercise fastest-copy reads,
+// write absorption, and lazy reconciliation; per-step replica hit rates
+// are reported and --check asserts every quiet step served reads from a
+// mirror.
 //
 // Writes BENCH_traffic.json. With --check, enforces the acceptance floors
 // from ISSUE 6/7 (core-aware: wall-clock concurrency checks are waived on a
@@ -35,16 +41,20 @@ uint64_t FlagValue(const char* arg, const char* name, uint64_t fallback) {
   return fallback;
 }
 
-void PrintStep(const StepResult& s) {
+void PrintStep(const StepResult& s, bool mirror) {
   std::printf(
       "  %4.2fx %-5s offered %9.0f/s goodput %9.0f/s drop %5.2f%% "
       "p50 %7.0fus p99 %8.0fus p999 %8.0fus q/s %5.0f/%5.0fus "
-      "cache %5.1f%%\n",
+      "cache %5.1f%%",
       s.load_fraction, s.chaos ? "chaos" : "quiet", s.offered_ops_s,
       s.goodput_ops_s,
       s.generated > 0 ? 100.0 * s.dropped / s.generated : 0.0, s.p50_ns / 1e3,
       s.p99_ns / 1e3, s.p999_ns / 1e3, s.mean_queue_ns / 1e3,
       s.mean_service_ns / 1e3, s.cache_hit_rate * 100.0);
+  if (mirror) {
+    std::printf(" mirror %5.1f%%", s.replica_hit_rate * 100.0);
+  }
+  std::printf("\n");
 }
 
 int Run(const TrafficConfig& config, bool check) {
@@ -76,7 +86,7 @@ int Run(const TrafficConfig& config, bool check) {
 
   PrintHeader("Offered-load sweep (open-loop, wall-clock latency)");
   for (const auto& step : result.steps) {
-    PrintStep(step);
+    PrintStep(step, config.mirror_mode);
   }
 
   PrintHeader("Chaos totals");
@@ -101,6 +111,7 @@ int Run(const TrafficConfig& config, bool check) {
   report.Add("config", "step_ms", static_cast<double>(config.step_ms));
   report.Add("config", "hardware_threads", cores);
   report.Add("config", "async_mode", config.async_mode ? 1.0 : 0.0);
+  report.Add("config", "mirror_mode", config.mirror_mode ? 1.0 : 0.0);
   report.Add("calibration", "capacity_ops_s", result.capacity_ops_s);
   report.Add("calibration", "populate_seconds", result.populate_seconds);
   if (config.async_mode) {
@@ -134,6 +145,23 @@ int Run(const TrafficConfig& config, bool check) {
       report.Add(name, "qdepth_mean", s.mean_qdepth);
       report.Add(name, "qdepth_max", static_cast<double>(s.max_qdepth));
     }
+    if (config.mirror_mode) {
+      report.Add(name, "replica_read_hits",
+                 static_cast<double>(s.replica_read_hits));
+      report.Add(name, "replica_hit_rate", s.replica_hit_rate);
+    }
+  }
+  if (config.mirror_mode && engine.mux() != nullptr) {
+    auto& metrics = engine.mux()->metrics();
+    report.Add("mirror", "sync_rounds",
+               static_cast<double>(
+                   metrics.CounterValue("mux.mirror.sync_rounds")));
+    report.Add("mirror", "sync_bytes",
+               static_cast<double>(
+                   metrics.CounterValue("mux.mirror.sync_bytes")));
+    report.Add("mirror", "failovers",
+               static_cast<double>(
+                   metrics.CounterValue("mux.replica.failover")));
   }
   report.Add("chaos", "policy_rounds",
              static_cast<double>(result.policy_rounds));
@@ -317,6 +345,25 @@ int Run(const TrafficConfig& config, bool check) {
     }
   }
 
+  // 7. ISSUE 9 acceptance (mirror mode): every quiet step must serve some
+  //    reads from a non-primary copy. The hot head is mirrored before the
+  //    first step and zipfian reads concentrate there, so this is a logic
+  //    property of copy selection, not a speed property — no core waiver.
+  if (config.mirror_mode) {
+    for (const auto& s : result.steps) {
+      if (s.chaos) {
+        continue;
+      }
+      if (s.completed_ok > 0 && s.replica_read_hits == 0) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: %.2fx quiet step served no reads from a "
+                     "mirror (replica hit rate 0)\n",
+                     s.load_fraction);
+        failures++;
+      }
+    }
+  }
+
   if (failures == 0) {
     std::fprintf(stderr, "CHECK OK\n");
   }
@@ -335,6 +382,8 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(arg, "--async") == 0) {
       config.async_mode = true;
+    } else if (std::strcmp(arg, "--mirror") == 0) {
+      config.mirror_mode = true;
     } else if (std::strcmp(arg, "--no-chaos") == 0) {
       config.chaos = false;
     } else {

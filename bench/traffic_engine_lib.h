@@ -99,6 +99,15 @@ struct TrafficConfig {
   uint64_t warmup_ms = 200;  // leading slice excluded from percentiles
   uint64_t bucket_ms = 100;  // latency time-bucket width
 
+  // Mirror mode (multi-residency BLT): the hot head of the data set is
+  // migrated to the SSD tier and mirrored back onto PM, and the policy is
+  // switched to "mirror", so reads exercise fastest-copy selection, writes
+  // absorb on the fast copy and dirty the SSD one, and the chaos policy
+  // rounds reconcile lazily (MirrorSyncRound). Per-step replica hit rates
+  // land in StepResult::replica_hit_rate.
+  bool mirror_mode = false;
+  uint64_t mirror_files = 512;  // hot head given a PM mirror
+
   // Run each step a second time with policy migrations + injected faults +
   // checkpoints running concurrently.
   bool chaos = true;
@@ -142,6 +151,10 @@ struct StepResult {
   double cache_hit_rate = 0.0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Reads served from a non-primary copy during this step (mirror mode:
+  // metric delta over the step, and the fraction of completed ops).
+  uint64_t replica_read_hits = 0;
+  double replica_hit_rate = 0.0;
 };
 
 // Offered-vs-completed progress sample, taken periodically by the
@@ -212,6 +225,8 @@ class TrafficRig {
     auto ssd = mux_->AddTier("ssd", &ssd_faults_, ssd_dev_.profile());
     auto hdd = mux_->AddTier("hdd", &hdd_faults_, hdd_dev_.profile());
     ok_ = ok_ && pm.ok() && ssd.ok() && hdd.ok();
+    pm_tier_ = pm.value_or(core::kInvalidTier);
+    ssd_tier_ = ssd.value_or(core::kInvalidTier);
     pm_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "pm");
     ssd_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "ssd");
     hdd_dev_.AttachObs(&mux_->metrics(), &mux_->trace(), "hdd");
@@ -226,6 +241,8 @@ class TrafficRig {
   bool ok() const { return ok_; }
   core::Mux& mux() { return *mux_; }
   SimClock& clock() { return clock_; }
+  core::TierId pm_tier() const { return pm_tier_; }
+  core::TierId ssd_tier() const { return ssd_tier_; }
   vfs::FaultInjectingFs& faults(size_t tier) {
     switch (tier % 3) {
       case 0: return pm_faults_;
@@ -273,7 +290,7 @@ class TrafficRig {
   }
   static core::Mux::Options MuxOptions(const TrafficConfig& c) {
     core::Mux::Options options;
-    options.policy = "hotcold";
+    options.policy = c.mirror_mode ? "mirror" : "hotcold";
     // The SCM cache fronts the slower tiers under traffic; per-step hit
     // rates land in StepResult::cache_hit_rate / BENCH_traffic.json.
     options.enable_scm_cache = true;
@@ -292,6 +309,8 @@ class TrafficRig {
   vfs::FaultInjectingFs ssd_faults_;
   vfs::FaultInjectingFs hdd_faults_;
   std::unique_ptr<core::Mux> mux_;
+  core::TierId pm_tier_ = core::kInvalidTier;
+  core::TierId ssd_tier_ = core::kInvalidTier;
   bool ok_ = false;
 };
 
@@ -325,6 +344,14 @@ class TrafficEngine {
     }
     result.files_created = config_.files;
     result.populate_seconds = SecondsSince(pop_start);
+    if (config_.mirror_mode) {
+      Status mirrored = SeedMirrors();
+      if (!mirrored.ok()) {
+        result.error = "mirror seeding failed: " +
+                       std::string(mirrored.message());
+        return result;
+      }
+    }
 
     result.capacity_ops_s = Calibrate();
     if (result.capacity_ops_s <= 0.0) {
@@ -455,6 +482,22 @@ class TrafficEngine {
       MUX_RETURN_IF_ERROR(
           mux.Write(handle, 0, data.data(), bytes).status());
       MUX_RETURN_IF_ERROR(mux.Close(handle));
+    }
+    return Status::Ok();
+  }
+
+  // Mirror mode: the zipfian head (low ids are the hot ranks) moves its
+  // authoritative copy to the SSD tier and gains a clean PM mirror, so the
+  // read mix hits fastest-copy selection from the first quiet step and the
+  // write mix exercises absorb + lazy reconciliation.
+  Status SeedMirrors() {
+    core::Mux& mux = rig_->mux();
+    const uint64_t head = std::min(
+        {config_.mirror_files, config_.data_files, config_.files});
+    for (uint64_t f = 0; f < head; ++f) {
+      const std::string path = FilePath(f);
+      MUX_RETURN_IF_ERROR(mux.MigrateFile(path, rig_->ssd_tier()));
+      MUX_RETURN_IF_ERROR(mux.ReplicateFile(path, rig_->pm_tier()));
     }
     return Status::Ok();
   }
@@ -842,6 +885,8 @@ class TrafficEngine {
 
     ResetStepCounters();
     const core::ScmCacheStats cache_before = rig_->mux().CacheStats();
+    const uint64_t replica_hits_before =
+        rig_->mux().metrics().CounterValue("mux.replica.read_hits");
     const uint64_t step_ns = config_.step_ms * 1'000'000ULL;
     const uint64_t bucket_ns = config_.bucket_ms * 1'000'000ULL;
     const size_t buckets = config_.step_ms / config_.bucket_ms + 2;
@@ -975,6 +1020,13 @@ class TrafficEngine {
     const uint64_t probes = step.cache_hits + step.cache_misses;
     step.cache_hit_rate =
         probes > 0 ? static_cast<double>(step.cache_hits) / probes : 0.0;
+    step.replica_read_hits =
+        rig_->mux().metrics().CounterValue("mux.replica.read_hits") -
+        replica_hits_before;
+    step.replica_hit_rate =
+        step.completed_ok > 0
+            ? static_cast<double>(step.replica_read_hits) / step.completed_ok
+            : 0.0;
     return step;
   }
 

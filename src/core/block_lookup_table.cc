@@ -4,9 +4,400 @@
 
 namespace mux::core {
 
+// ---- Base class: legacy wrappers over the primary map ----------------------
+
+void BlockLookupTable::SetRange(uint64_t first_block, uint64_t count,
+                                TierId tier) {
+  if (count == 0) {
+    return;
+  }
+  // Fresh bytes (or an authoritative copy) just landed on `tier`: any mirror
+  // copy recorded there dissolves into the new primary. Mirrors on other
+  // tiers are untouched; whether they are now stale is the caller's call
+  // (overwrite → DirtyAll, verbatim migration → nothing).
+  const uint32_t bit = ResidencySet::Bit(tier);
+  if (bit != 0 && !mirror_.empty()) {
+    MutateMirror(first_block, count, [bit](uint32_t& extra, uint32_t& dirty) {
+      extra &= ~bit;
+      dirty &= ~bit;
+    });
+  }
+  SetPrimaryRange(first_block, count, tier);
+}
+
+void BlockLookupTable::TruncateFrom(uint64_t first_block) {
+  TruncatePrimaryFrom(first_block);
+  auto it = mirror_.lower_bound(first_block);
+  if (it != mirror_.begin()) {
+    auto prev = std::prev(it);
+    if (first_block < prev->first + prev->second.count) {
+      // Split the straddling extent and drop its tail.
+      const uint64_t tail = prev->first + prev->second.count - first_block;
+      AccountMirror(tail, prev->second.extra, prev->second.dirty, 0, 0);
+      prev->second.count -= tail;
+    }
+  }
+  while (it != mirror_.end()) {
+    AccountMirror(it->second.count, it->second.extra, it->second.dirty, 0, 0);
+    it = mirror_.erase(it);
+  }
+}
+
+void BlockLookupTable::ClearRange(uint64_t first_block, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  ClearPrimaryRange(first_block, count);
+  if (!mirror_.empty()) {
+    MutateMirror(first_block, count, [](uint32_t& extra, uint32_t& dirty) {
+      extra = 0;
+      dirty = 0;
+    });
+  }
+}
+
+uint64_t BlockLookupTable::MemoryBytes() const {
+  // Red-black tree node for a mirror extent: key + payload + 3 pointers +
+  // color, ~56 bytes.
+  return PrimaryMemoryBytes() + mirror_.size() * 56;
+}
+
+// ---- Base class: residency layer -------------------------------------------
+
+ResidencySet BlockLookupTable::LookupSet(uint64_t block) const {
+  ResidencySet set;
+  set.primary = LookupPrimary(block);
+  auto it = mirror_.upper_bound(block);
+  if (it != mirror_.begin()) {
+    --it;
+    if (block < it->first + it->second.count) {
+      set.extra = it->second.extra;
+      set.dirty = it->second.dirty;
+    }
+  }
+  return set;
+}
+
+void BlockLookupTable::AccountMirror(uint64_t len, uint32_t old_extra,
+                                     uint32_t old_dirty, uint32_t new_extra,
+                                     uint32_t new_dirty) {
+  uint32_t add = new_extra & ~old_extra;
+  uint32_t rem = old_extra & ~new_extra;
+  while (add) {
+    const int b = std::countr_zero(add);
+    add &= add - 1;
+    per_tier_extra_[static_cast<TierId>(b)] += len;
+  }
+  while (rem) {
+    const int b = std::countr_zero(rem);
+    rem &= rem - 1;
+    per_tier_extra_[static_cast<TierId>(b)] -= len;
+  }
+  add = new_dirty & ~old_dirty;
+  rem = old_dirty & ~new_dirty;
+  while (add) {
+    const int b = std::countr_zero(add);
+    add &= add - 1;
+    per_tier_dirty_[static_cast<TierId>(b)] += len;
+  }
+  while (rem) {
+    const int b = std::countr_zero(rem);
+    rem &= rem - 1;
+    per_tier_dirty_[static_cast<TierId>(b)] -= len;
+  }
+}
+
+void BlockLookupTable::MutateMirror(
+    uint64_t first_block, uint64_t count,
+    const std::function<void(uint32_t&, uint32_t&)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  const uint64_t end = first_block + count;
+  // Split a straddling predecessor so the range starts on an extent edge.
+  auto it = mirror_.upper_bound(first_block);
+  if (it != mirror_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first < first_block &&
+        first_block < prev->first + prev->second.count) {
+      MirrorExt tail{prev->first + prev->second.count - first_block,
+                     prev->second.extra, prev->second.dirty};
+      prev->second.count = first_block - prev->first;
+      it = mirror_.emplace(first_block, tail).first;
+    } else if (prev->first + prev->second.count > first_block) {
+      it = prev;  // prev->first == first_block
+    }
+  }
+  uint64_t pos = first_block;
+  while (pos < end) {
+    uint64_t seg_end;
+    if (it == mirror_.end() || it->first >= end) {
+      seg_end = end;  // trailing gap
+    } else if (it->first > pos) {
+      seg_end = it->first;  // gap before next extent
+    } else {
+      // Extent starting exactly at pos; split at `end` if it overshoots.
+      seg_end = it->first + it->second.count;
+      if (seg_end > end) {
+        mirror_.emplace(end, MirrorExt{seg_end - end, it->second.extra,
+                                       it->second.dirty});
+        it->second.count = end - it->first;
+        seg_end = end;
+      }
+      uint32_t extra = it->second.extra;
+      uint32_t dirty = it->second.dirty;
+      fn(extra, dirty);
+      dirty &= extra;
+      AccountMirror(seg_end - pos, it->second.extra, it->second.dirty, extra,
+                    dirty);
+      if (extra == 0 && dirty == 0) {
+        it = mirror_.erase(it);
+      } else {
+        it->second.extra = extra;
+        it->second.dirty = dirty;
+        ++it;
+      }
+      pos = seg_end;
+      continue;
+    }
+    // Gap piece [pos, seg_end): materialize only if fn produces residency.
+    uint32_t extra = 0;
+    uint32_t dirty = 0;
+    fn(extra, dirty);
+    dirty &= extra;
+    if (extra != 0 || dirty != 0) {
+      AccountMirror(seg_end - pos, 0, 0, extra, dirty);
+      it = mirror_.emplace(pos, MirrorExt{seg_end - pos, extra, dirty}).first;
+      ++it;
+    }
+    pos = seg_end;
+  }
+  // Coalesce the affected neighborhood: sweep from the extent before the
+  // range to the first extent past it, merging equal adjacent extents.
+  auto sweep = mirror_.lower_bound(first_block);
+  if (sweep != mirror_.begin()) {
+    --sweep;
+  }
+  while (sweep != mirror_.end() && sweep->first <= end) {
+    auto next = std::next(sweep);
+    if (next != mirror_.end() &&
+        sweep->first + sweep->second.count == next->first &&
+        sweep->second.extra == next->second.extra &&
+        sweep->second.dirty == next->second.dirty) {
+      sweep->second.count += next->second.count;
+      mirror_.erase(next);
+      continue;  // re-check the grown extent against its new successor
+    }
+    ++sweep;
+  }
+}
+
+void BlockLookupTable::AddResidency(uint64_t first_block, uint64_t count,
+                                    TierId tier, bool dirty) {
+  const uint32_t bit = ResidencySet::Bit(tier);
+  if (bit == 0 || count == 0) {
+    return;
+  }
+  // Mirrors exist only for mapped blocks whose primary is elsewhere.
+  for (const Run& run : PrimaryRuns(first_block, count)) {
+    if (run.tier == kInvalidTier || run.tier == tier) {
+      continue;
+    }
+    MutateMirror(run.first_block, run.count,
+                 [bit, dirty](uint32_t& extra, uint32_t& d) {
+                   extra |= bit;
+                   if (dirty) {
+                     d |= bit;
+                   } else {
+                     d &= ~bit;
+                   }
+                 });
+  }
+}
+
+void BlockLookupTable::DropResidency(uint64_t first_block, uint64_t count,
+                                     TierId tier) {
+  const uint32_t bit = ResidencySet::Bit(tier);
+  if (bit == 0 || mirror_.empty()) {
+    return;
+  }
+  MutateMirror(first_block, count, [bit](uint32_t& extra, uint32_t& dirty) {
+    extra &= ~bit;
+    dirty &= ~bit;
+  });
+}
+
+void BlockLookupTable::DirtyOn(uint64_t first_block, uint64_t count,
+                               TierId tier) {
+  const uint32_t bit = ResidencySet::Bit(tier);
+  if (bit == 0 || mirror_.empty()) {
+    return;
+  }
+  MutateMirror(first_block, count, [bit](uint32_t& extra, uint32_t& dirty) {
+    dirty |= extra & bit;
+  });
+}
+
+uint64_t BlockLookupTable::DirtyAll(uint64_t first_block, uint64_t count) {
+  if (mirror_.empty()) {
+    return 0;
+  }
+  const uint64_t before = DirtyBlocks();
+  MutateMirror(first_block, count,
+               [](uint32_t& extra, uint32_t& dirty) { dirty = extra; });
+  return DirtyBlocks() - before;
+}
+
+void BlockLookupTable::CleanOn(uint64_t first_block, uint64_t count,
+                               TierId tier) {
+  const uint32_t bit = ResidencySet::Bit(tier);
+  if (bit == 0 || mirror_.empty()) {
+    return;
+  }
+  MutateMirror(first_block, count, [bit](uint32_t& extra, uint32_t& dirty) {
+    dirty &= ~bit;
+  });
+}
+
+uint64_t BlockLookupTable::AbsorbWrite(uint64_t first_block, uint64_t count,
+                                       TierId tier) {
+  if (count == 0) {
+    return 0;
+  }
+  const uint32_t bit = ResidencySet::Bit(tier);
+  uint64_t dirty_before = DirtyBlocks();
+  for (const Run& run : PrimaryRuns(first_block, count)) {
+    if (run.tier == kInvalidTier) {
+      continue;  // holes stay unmapped; placement handles fresh blocks
+    }
+    if (run.tier == tier) {
+      // Absorbed on the primary: every mirror copy is now stale.
+      MutateMirror(run.first_block, run.count,
+                   [](uint32_t& extra, uint32_t& dirty) { dirty = extra; });
+      continue;
+    }
+    // Absorbed on a mirror: it becomes the primary, the old primary demotes
+    // to a dirty mirror (bytes still on media, now stale), and every other
+    // copy is stale too.
+    const uint32_t old_bit = ResidencySet::Bit(run.tier);
+    MutateMirror(run.first_block, run.count,
+                 [bit, old_bit](uint32_t& extra, uint32_t& dirty) {
+                   extra = (extra & ~bit) | old_bit;
+                   dirty = extra;
+                 });
+    SetPrimaryRange(run.first_block, run.count, tier);
+  }
+  const uint64_t dirty_after = DirtyBlocks();
+  return dirty_after > dirty_before ? dirty_after - dirty_before : 0;
+}
+
+std::vector<BlockLookupTable::ResidencyRun> BlockLookupTable::ResidencyRuns(
+    uint64_t first_block, uint64_t count) const {
+  std::vector<ResidencyRun> out;
+  if (count == 0) {
+    return out;
+  }
+  for (const Run& run : PrimaryRuns(first_block, count)) {
+    uint64_t pos = run.first_block;
+    const uint64_t rend = run.first_block + run.count;
+    auto it = mirror_.upper_bound(pos);
+    if (it != mirror_.begin()) {
+      --it;
+    }
+    while (pos < rend) {
+      while (it != mirror_.end() && it->first + it->second.count <= pos) {
+        ++it;
+      }
+      uint64_t seg_end = rend;
+      uint32_t extra = 0;
+      uint32_t dirty = 0;
+      if (it != mirror_.end() && it->first < rend) {
+        if (it->first <= pos) {
+          extra = it->second.extra;
+          dirty = it->second.dirty;
+          seg_end = std::min(rend, it->first + it->second.count);
+        } else {
+          seg_end = it->first;
+        }
+      }
+      const ResidencySet set{run.tier, extra, dirty};
+      if (!out.empty() && out.back().set == set &&
+          out.back().first_block + out.back().count == pos) {
+        out.back().count += seg_end - pos;
+      } else {
+        out.push_back(ResidencyRun{pos, seg_end - pos, set});
+      }
+      pos = seg_end;
+    }
+  }
+  return out;
+}
+
+std::vector<BlockLookupTable::MirrorRun> BlockLookupTable::MirrorRuns(
+    uint64_t first_block, uint64_t count) const {
+  std::vector<MirrorRun> out;
+  if (count == 0 || mirror_.empty()) {
+    return out;
+  }
+  const uint64_t end = first_block + count;
+  auto it = mirror_.upper_bound(first_block);
+  if (it != mirror_.begin()) {
+    --it;
+  }
+  for (; it != mirror_.end() && it->first < end; ++it) {
+    const uint64_t lo = std::max(it->first, first_block);
+    const uint64_t hi = std::min(it->first + it->second.count, end);
+    if (hi <= lo || it->second.extra == 0) {
+      continue;
+    }
+    out.push_back(MirrorRun{lo, hi - lo, it->second.extra, it->second.dirty});
+  }
+  return out;
+}
+
+std::vector<BlockLookupTable::MirrorRun> BlockLookupTable::AllMirrorRuns()
+    const {
+  std::vector<MirrorRun> out;
+  out.reserve(mirror_.size());
+  for (const auto& [start, ext] : mirror_) {
+    if (ext.extra != 0) {
+      out.push_back(MirrorRun{start, ext.count, ext.extra, ext.dirty});
+    }
+  }
+  return out;
+}
+
+std::vector<BlockLookupTable::MirrorRun> BlockLookupTable::DirtyRuns() const {
+  std::vector<MirrorRun> out;
+  for (const auto& [start, ext] : mirror_) {
+    if (ext.dirty != 0) {
+      out.push_back(MirrorRun{start, ext.count, ext.extra, ext.dirty});
+    }
+  }
+  return out;
+}
+
+uint64_t BlockLookupTable::ReplicaBlocksOnTier(TierId tier) const {
+  auto it = per_tier_extra_.find(tier);
+  return it == per_tier_extra_.end() ? 0 : it->second;
+}
+
+uint64_t BlockLookupTable::DirtyBlocksOnTier(TierId tier) const {
+  auto it = per_tier_dirty_.find(tier);
+  return it == per_tier_dirty_.end() ? 0 : it->second;
+}
+
+uint64_t BlockLookupTable::DirtyBlocks() const {
+  uint64_t total = 0;
+  for (const auto& [tier, count] : per_tier_dirty_) {
+    total += count;
+  }
+  return total;
+}
+
 // ---- ExtentTreeBlt ---------------------------------------------------------
 
-TierId ExtentTreeBlt::Lookup(uint64_t block) const {
+TierId ExtentTreeBlt::LookupPrimary(uint64_t block) const {
   auto it = extents_.upper_bound(block);
   if (it == extents_.begin()) {
     return kInvalidTier;
@@ -39,7 +430,7 @@ void ExtentTreeBlt::Coalesce(std::map<uint64_t, Extent>::iterator it) {
   }
 }
 
-void ExtentTreeBlt::ClearRange(uint64_t first_block, uint64_t count) {
+void ExtentTreeBlt::ClearPrimaryRange(uint64_t first_block, uint64_t count) {
   if (count == 0) {
     return;
   }
@@ -70,24 +461,24 @@ void ExtentTreeBlt::ClearRange(uint64_t first_block, uint64_t count) {
   }
 }
 
-void ExtentTreeBlt::SetRange(uint64_t first_block, uint64_t count,
-                             TierId tier) {
+void ExtentTreeBlt::SetPrimaryRange(uint64_t first_block, uint64_t count,
+                                    TierId tier) {
   if (count == 0) {
     return;
   }
-  ClearRange(first_block, count);
+  ClearPrimaryRange(first_block, count);
   auto [it, inserted] = extents_.emplace(first_block, Extent{count, tier});
   (void)inserted;
   per_tier_[tier] += count;
   Coalesce(it);
 }
 
-void ExtentTreeBlt::TruncateFrom(uint64_t first_block) {
-  ClearRange(first_block, UINT64_MAX - first_block);
+void ExtentTreeBlt::TruncatePrimaryFrom(uint64_t first_block) {
+  ClearPrimaryRange(first_block, UINT64_MAX - first_block);
 }
 
-std::vector<BlockLookupTable::Run> ExtentTreeBlt::Runs(uint64_t first_block,
-                                                       uint64_t count) const {
+std::vector<BlockLookupTable::Run> ExtentTreeBlt::PrimaryRuns(
+    uint64_t first_block, uint64_t count) const {
   std::vector<Run> runs;
   if (count == 0) {
     return runs;
@@ -121,7 +512,7 @@ std::vector<BlockLookupTable::Run> ExtentTreeBlt::Runs(uint64_t first_block,
   return runs;
 }
 
-std::vector<BlockLookupTable::Run> ExtentTreeBlt::AllRuns() const {
+std::vector<BlockLookupTable::Run> ExtentTreeBlt::AllPrimaryRuns() const {
   std::vector<Run> runs;
   runs.reserve(extents_.size());
   for (const auto& [start, ext] : extents_) {
@@ -130,12 +521,12 @@ std::vector<BlockLookupTable::Run> ExtentTreeBlt::AllRuns() const {
   return runs;
 }
 
-uint64_t ExtentTreeBlt::BlocksOnTier(TierId tier) const {
+uint64_t ExtentTreeBlt::PrimaryBlocksOnTier(TierId tier) const {
   auto it = per_tier_.find(tier);
   return it == per_tier_.end() ? 0 : it->second;
 }
 
-uint64_t ExtentTreeBlt::TotalBlocks() const {
+uint64_t ExtentTreeBlt::TotalPrimaryBlocks() const {
   uint64_t total = 0;
   for (const auto& [tier, count] : per_tier_) {
     total += count;
@@ -143,22 +534,22 @@ uint64_t ExtentTreeBlt::TotalBlocks() const {
   return total;
 }
 
-uint64_t ExtentTreeBlt::MemoryBytes() const {
+uint64_t ExtentTreeBlt::PrimaryMemoryBytes() const {
   // Red-black tree node: key + extent + 3 pointers + color, ~48 bytes.
   return extents_.size() * 48 + sizeof(*this);
 }
 
 // ---- ByteArrayBlt ----------------------------------------------------------
 
-TierId ByteArrayBlt::Lookup(uint64_t block) const {
+TierId ByteArrayBlt::LookupPrimary(uint64_t block) const {
   if (block >= tiers_.size() || tiers_[block] == kHole) {
     return kInvalidTier;
   }
   return tiers_[block];
 }
 
-void ByteArrayBlt::SetRange(uint64_t first_block, uint64_t count,
-                            TierId tier) {
+void ByteArrayBlt::SetPrimaryRange(uint64_t first_block, uint64_t count,
+                                   TierId tier) {
   if (count == 0) {
     return;
   }
@@ -174,7 +565,7 @@ void ByteArrayBlt::SetRange(uint64_t first_block, uint64_t count,
   }
 }
 
-void ByteArrayBlt::ClearRange(uint64_t first_block, uint64_t count) {
+void ByteArrayBlt::ClearPrimaryRange(uint64_t first_block, uint64_t count) {
   const uint64_t end = std::min<uint64_t>(
       tiers_.size(), count > UINT64_MAX - first_block ? UINT64_MAX
                                                       : first_block + count);
@@ -186,23 +577,23 @@ void ByteArrayBlt::ClearRange(uint64_t first_block, uint64_t count) {
   }
 }
 
-void ByteArrayBlt::TruncateFrom(uint64_t first_block) {
+void ByteArrayBlt::TruncatePrimaryFrom(uint64_t first_block) {
   if (first_block >= tiers_.size()) {
     return;
   }
-  ClearRange(first_block, tiers_.size() - first_block);
+  ClearPrimaryRange(first_block, tiers_.size() - first_block);
   tiers_.resize(first_block);
 }
 
-std::vector<BlockLookupTable::Run> ByteArrayBlt::Runs(uint64_t first_block,
-                                                      uint64_t count) const {
+std::vector<BlockLookupTable::Run> ByteArrayBlt::PrimaryRuns(
+    uint64_t first_block, uint64_t count) const {
   std::vector<Run> runs;
   uint64_t pos = first_block;
   const uint64_t end = first_block + count;
   while (pos < end) {
-    const TierId tier = Lookup(pos);
+    const TierId tier = LookupPrimary(pos);
     uint64_t len = 1;
-    while (pos + len < end && Lookup(pos + len) == tier) {
+    while (pos + len < end && LookupPrimary(pos + len) == tier) {
       ++len;
     }
     runs.push_back(Run{pos, len, tier});
@@ -211,7 +602,7 @@ std::vector<BlockLookupTable::Run> ByteArrayBlt::Runs(uint64_t first_block,
   return runs;
 }
 
-std::vector<BlockLookupTable::Run> ByteArrayBlt::AllRuns() const {
+std::vector<BlockLookupTable::Run> ByteArrayBlt::AllPrimaryRuns() const {
   std::vector<Run> runs;
   uint64_t pos = 0;
   while (pos < tiers_.size()) {
@@ -230,12 +621,12 @@ std::vector<BlockLookupTable::Run> ByteArrayBlt::AllRuns() const {
   return runs;
 }
 
-uint64_t ByteArrayBlt::BlocksOnTier(TierId tier) const {
+uint64_t ByteArrayBlt::PrimaryBlocksOnTier(TierId tier) const {
   auto it = per_tier_.find(tier);
   return it == per_tier_.end() ? 0 : it->second;
 }
 
-uint64_t ByteArrayBlt::TotalBlocks() const {
+uint64_t ByteArrayBlt::TotalPrimaryBlocks() const {
   uint64_t total = 0;
   for (const auto& [tier, count] : per_tier_) {
     total += count;
@@ -243,7 +634,7 @@ uint64_t ByteArrayBlt::TotalBlocks() const {
   return total;
 }
 
-uint64_t ByteArrayBlt::MemoryBytes() const {
+uint64_t ByteArrayBlt::PrimaryMemoryBytes() const {
   return tiers_.capacity() + sizeof(*this);
 }
 

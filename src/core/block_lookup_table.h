@@ -1,17 +1,32 @@
-// Block Lookup Table (BLT): per-file map from block index to the tier that
-// stores the current version of the block (paper §2.2, Figure 2).
+// Block Lookup Table (BLT): per-file map from block index to the set of tiers
+// that store a copy of the block (paper §2.2, Figure 2; MOST multi-residency).
 //
-// Two implementations, both mentioned in the paper:
+// Residency model:
+//  * Every mapped block has exactly one *primary* copy — the authoritative,
+//    newest version. The legacy single-tier API (Lookup/SetRange/Runs/...)
+//    operates on the primary copy and behaves exactly as before.
+//  * A block may additionally be resident on up to 31 other tiers ("mirror"
+//    copies), tracked as a tier bitmap with a per-copy dirty bit. A dirty
+//    copy is stale: the primary absorbed a write that has not yet been
+//    reconciled onto it. The dirty bitmap is always a subset of the extra
+//    bitmap, and the extra bitmap never contains the primary tier.
+//
+// Two primary-map implementations, both mentioned in the paper:
 //  * ExtentTreeBlt — runs of blocks on the same tier stored as extents in an
 //    ordered tree; the default ("we use an extent tree as a high-performance
 //    data structure").
 //  * ByteArrayBlt — "one byte per 4 KB of user data is sufficient with a
 //    simple byte array, leading to less than 0.025% of space overhead"
 //    (§2.3). Kept for the space/speed ablation bench.
+// The mirror layer is shared: both kinds store extra residency in an extent
+// map owned by the base class, so multi-residency semantics are identical
+// across kinds.
 #ifndef MUX_CORE_BLOCK_LOOKUP_TABLE_H_
 #define MUX_CORE_BLOCK_LOOKUP_TABLE_H_
 
+#include <bit>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -20,6 +35,38 @@
 
 namespace mux::core {
 
+// Tiers must have ids below this to participate in mirror bitmaps. The
+// primary copy may live on any tier id.
+inline constexpr uint32_t kMaxResidencyTiers = 32;
+
+// Full residency of one block: the primary tier plus bitmaps of extra copies
+// and of which of those copies are stale.
+struct ResidencySet {
+  TierId primary = kInvalidTier;
+  uint32_t extra = 0;  // bitmap of additional resident tiers (excl. primary)
+  uint32_t dirty = 0;  // subset of `extra`: stale copies
+
+  bool Mapped() const { return primary != kInvalidTier; }
+  static uint32_t Bit(TierId t) {
+    return t < kMaxResidencyTiers ? (1u << t) : 0u;
+  }
+  // Any copy (primary or extra) on `t`.
+  bool On(TierId t) const { return t == primary || (extra & Bit(t)) != 0; }
+  // Extra (non-primary) copy on `t`.
+  bool ReplicaOn(TierId t) const { return (extra & Bit(t)) != 0; }
+  bool DirtyOn(TierId t) const { return (dirty & Bit(t)) != 0; }
+  // A copy that is safe to serve reads from: the primary, or a clean mirror.
+  bool CleanOn(TierId t) const {
+    return t == primary || ((extra & ~dirty) & Bit(t)) != 0;
+  }
+  uint32_t Copies() const {
+    return (Mapped() ? 1u : 0u) + static_cast<uint32_t>(std::popcount(extra));
+  }
+  bool operator==(const ResidencySet& o) const {
+    return primary == o.primary && extra == o.extra && dirty == o.dirty;
+  }
+};
+
 class BlockLookupTable {
  public:
   struct Run {
@@ -27,44 +74,151 @@ class BlockLookupTable {
     uint64_t count = 0;
     TierId tier = kInvalidTier;
   };
+  // A maximal run of blocks with identical full residency.
+  struct ResidencyRun {
+    uint64_t first_block = 0;
+    uint64_t count = 0;
+    ResidencySet set;
+  };
+  // A raw mirror extent: extra-residency bitmaps without the primary tier.
+  struct MirrorRun {
+    uint64_t first_block = 0;
+    uint64_t count = 0;
+    uint32_t extra = 0;
+    uint32_t dirty = 0;
+  };
 
   virtual ~BlockLookupTable() = default;
 
-  // Tier storing `block`; kInvalidTier for holes.
-  virtual TierId Lookup(uint64_t block) const = 0;
-  virtual void SetRange(uint64_t first_block, uint64_t count, TierId tier) = 0;
+  // ---- Legacy single-tier API (primary copy) -------------------------------
+
+  // Tier storing the primary copy of `block`; kInvalidTier for holes.
+  TierId Lookup(uint64_t block) const { return LookupPrimary(block); }
+  // Moves the primary copy of the range to `tier`. Extra residency on `tier`
+  // dissolves into the primary (fresh bytes just landed there); mirror copies
+  // on other tiers are kept untouched — callers that overwrote the data must
+  // follow up with DirtyAll/AbsorbWrite, callers that copied it verbatim
+  // (migration) need not.
+  void SetRange(uint64_t first_block, uint64_t count, TierId tier);
   void Set(uint64_t block, TierId tier) { SetRange(block, 1, tier); }
-  // Clears mappings at and beyond `first_block` (truncate).
-  virtual void TruncateFrom(uint64_t first_block) = 0;
-  // Clears mappings in a range (hole punch).
-  virtual void ClearRange(uint64_t first_block, uint64_t count) = 0;
+  // Clears mappings — primary and all mirrors — at and beyond `first_block`.
+  void TruncateFrom(uint64_t first_block);
+  // Clears primary and all mirrors in a range (hole punch).
+  void ClearRange(uint64_t first_block, uint64_t count);
 
   // Decomposes [first_block, first_block+count) into maximal runs of equal
-  // tier (holes appear as kInvalidTier runs). This is what the VFS call
-  // processor uses to split one user request into per-file-system requests.
-  virtual std::vector<Run> Runs(uint64_t first_block, uint64_t count) const = 0;
-  // Every mapped run in the file, in order.
-  virtual std::vector<Run> AllRuns() const = 0;
+  // primary tier (holes appear as kInvalidTier runs). This is what the VFS
+  // call processor uses to split one user request into per-file-system
+  // requests.
+  std::vector<Run> Runs(uint64_t first_block, uint64_t count) const {
+    return PrimaryRuns(first_block, count);
+  }
+  // Every mapped primary run in the file, in order.
+  std::vector<Run> AllRuns() const { return AllPrimaryRuns(); }
 
-  // Mapped blocks on a given tier / in total.
-  virtual uint64_t BlocksOnTier(TierId tier) const = 0;
-  virtual uint64_t TotalBlocks() const = 0;
+  // Primary-mapped blocks on a given tier / in total.
+  uint64_t BlocksOnTier(TierId tier) const { return PrimaryBlocksOnTier(tier); }
+  uint64_t TotalBlocks() const { return TotalPrimaryBlocks(); }
   // Approximate DRAM footprint, for the paper's space-overhead claim.
-  virtual uint64_t MemoryBytes() const = 0;
+  uint64_t MemoryBytes() const;
+
+  // ---- Residency-aware API -------------------------------------------------
+
+  // Full residency of `block` (primary + extra + dirty bitmaps).
+  ResidencySet LookupSet(uint64_t block) const;
+  // Adds a mirror copy on `tier` for every mapped block in the range whose
+  // primary is elsewhere. `dirty=false` means fresh bytes were just copied
+  // there (an existing dirty bit is cleared); `dirty=true` records a stale
+  // copy (recovery). No-op for holes, for `tier == primary`, and for tier ids
+  // >= kMaxResidencyTiers.
+  void AddResidency(uint64_t first_block, uint64_t count, TierId tier,
+                    bool dirty = false);
+  // Removes the mirror copy on `tier` (primary copies are unaffected).
+  void DropResidency(uint64_t first_block, uint64_t count, TierId tier);
+  // Marks the mirror copy on `tier` stale.
+  void DirtyOn(uint64_t first_block, uint64_t count, TierId tier);
+  // Marks every mirror copy in the range stale (the primary absorbed a
+  // write). Returns the number of newly-dirtied block copies.
+  uint64_t DirtyAll(uint64_t first_block, uint64_t count);
+  // Marks the mirror copy on `tier` clean again (mirror sync reconciled it).
+  void CleanOn(uint64_t first_block, uint64_t count, TierId tier);
+  // Records a write absorbed on resident tier `tier`: `tier` becomes the
+  // primary for the range, the old primary demotes to a *dirty* mirror (its
+  // bytes are now stale but still on media), and every other mirror copy is
+  // marked dirty. For pieces where `tier` already is the primary this reduces
+  // to DirtyAll. Holes in the range are left unmapped. Returns the number of
+  // newly-dirtied block copies.
+  uint64_t AbsorbWrite(uint64_t first_block, uint64_t count, TierId tier);
+
+  // Decomposes the range into maximal runs of identical full residency
+  // (holes appear with an unmapped set).
+  std::vector<ResidencyRun> ResidencyRuns(uint64_t first_block,
+                                          uint64_t count) const;
+  // Raw mirror extents overlapping the range / in the whole file, clipped to
+  // the range. Only extents with a nonzero extra bitmap are returned.
+  std::vector<MirrorRun> MirrorRuns(uint64_t first_block,
+                                    uint64_t count) const;
+  std::vector<MirrorRun> AllMirrorRuns() const;
+  // Mirror extents holding at least one dirty copy, whole file.
+  std::vector<MirrorRun> DirtyRuns() const;
+
+  uint64_t ReplicaBlocksOnTier(TierId tier) const;
+  uint64_t DirtyBlocksOnTier(TierId tier) const;
+  // Total stale copies across all tiers.
+  uint64_t DirtyBlocks() const;
+  bool HasMirrors() const { return !mirror_.empty(); }
+
+ protected:
+  // Primary-copy map, implemented by the concrete BLT kinds. Same contracts
+  // as the legacy public API.
+  virtual TierId LookupPrimary(uint64_t block) const = 0;
+  virtual void SetPrimaryRange(uint64_t first_block, uint64_t count,
+                               TierId tier) = 0;
+  virtual void TruncatePrimaryFrom(uint64_t first_block) = 0;
+  virtual void ClearPrimaryRange(uint64_t first_block, uint64_t count) = 0;
+  virtual std::vector<Run> PrimaryRuns(uint64_t first_block,
+                                       uint64_t count) const = 0;
+  virtual std::vector<Run> AllPrimaryRuns() const = 0;
+  virtual uint64_t PrimaryBlocksOnTier(TierId tier) const = 0;
+  virtual uint64_t TotalPrimaryBlocks() const = 0;
+  virtual uint64_t PrimaryMemoryBytes() const = 0;
+
+ private:
+  struct MirrorExt {
+    uint64_t count = 0;
+    uint32_t extra = 0;
+    uint32_t dirty = 0;
+  };
+  using MirrorMap = std::map<uint64_t, MirrorExt>;
+
+  // Applies `fn` to the (extra, dirty) bitmaps of every block in the range,
+  // splitting/merging extents as needed, keeping per-tier counters in sync
+  // and enforcing dirty ⊆ extra. Gaps are visited with (0, 0) bitmaps and
+  // materialize only if `fn` produces a nonzero result.
+  void MutateMirror(uint64_t first_block, uint64_t count,
+                    const std::function<void(uint32_t&, uint32_t&)>& fn);
+  void AccountMirror(uint64_t len, uint32_t old_extra, uint32_t old_dirty,
+                     uint32_t new_extra, uint32_t new_dirty);
+
+  MirrorMap mirror_;  // first_block -> extra-residency extent
+  std::map<TierId, uint64_t> per_tier_extra_;
+  std::map<TierId, uint64_t> per_tier_dirty_;
 };
 
 // Extent-tree implementation (default).
 class ExtentTreeBlt : public BlockLookupTable {
- public:
-  TierId Lookup(uint64_t block) const override;
-  void SetRange(uint64_t first_block, uint64_t count, TierId tier) override;
-  void TruncateFrom(uint64_t first_block) override;
-  void ClearRange(uint64_t first_block, uint64_t count) override;
-  std::vector<Run> Runs(uint64_t first_block, uint64_t count) const override;
-  std::vector<Run> AllRuns() const override;
-  uint64_t BlocksOnTier(TierId tier) const override;
-  uint64_t TotalBlocks() const override;
-  uint64_t MemoryBytes() const override;
+ protected:
+  TierId LookupPrimary(uint64_t block) const override;
+  void SetPrimaryRange(uint64_t first_block, uint64_t count,
+                       TierId tier) override;
+  void TruncatePrimaryFrom(uint64_t first_block) override;
+  void ClearPrimaryRange(uint64_t first_block, uint64_t count) override;
+  std::vector<Run> PrimaryRuns(uint64_t first_block,
+                               uint64_t count) const override;
+  std::vector<Run> AllPrimaryRuns() const override;
+  uint64_t PrimaryBlocksOnTier(TierId tier) const override;
+  uint64_t TotalPrimaryBlocks() const override;
+  uint64_t PrimaryMemoryBytes() const override;
 
  private:
   struct Extent {
@@ -81,16 +235,18 @@ class ExtentTreeBlt : public BlockLookupTable {
 
 // Byte-array implementation (one byte per block).
 class ByteArrayBlt : public BlockLookupTable {
- public:
-  TierId Lookup(uint64_t block) const override;
-  void SetRange(uint64_t first_block, uint64_t count, TierId tier) override;
-  void TruncateFrom(uint64_t first_block) override;
-  void ClearRange(uint64_t first_block, uint64_t count) override;
-  std::vector<Run> Runs(uint64_t first_block, uint64_t count) const override;
-  std::vector<Run> AllRuns() const override;
-  uint64_t BlocksOnTier(TierId tier) const override;
-  uint64_t TotalBlocks() const override;
-  uint64_t MemoryBytes() const override;
+ protected:
+  TierId LookupPrimary(uint64_t block) const override;
+  void SetPrimaryRange(uint64_t first_block, uint64_t count,
+                       TierId tier) override;
+  void TruncatePrimaryFrom(uint64_t first_block) override;
+  void ClearPrimaryRange(uint64_t first_block, uint64_t count) override;
+  std::vector<Run> PrimaryRuns(uint64_t first_block,
+                               uint64_t count) const override;
+  std::vector<Run> AllPrimaryRuns() const override;
+  uint64_t PrimaryBlocksOnTier(TierId tier) const override;
+  uint64_t TotalPrimaryBlocks() const override;
+  uint64_t PrimaryMemoryBytes() const override;
 
  private:
   static constexpr uint8_t kHole = 0xff;

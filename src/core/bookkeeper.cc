@@ -10,7 +10,11 @@ namespace mux::core {
 namespace {
 
 constexpr uint32_t kSnapshotMagic = 0x4d555853;  // "MUXS"
-constexpr uint32_t kSnapshotVersion = 3;  // v3: + temperature, last_access
+// v3: + temperature, last_access; v4: replica_runs -> mirror_runs (residency
+// bitmaps with per-copy dirty bits). v3 snapshots are still readable: their
+// single-tier replica runs decode to clean mirror runs.
+constexpr uint32_t kSnapshotVersion = 4;
+constexpr uint32_t kMinSnapshotVersion = 3;
 
 void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
   uint8_t buf[4];
@@ -90,11 +94,12 @@ std::vector<uint8_t> EncodeSnapshot(const MuxSnapshot& snapshot) {
       AppendU64(body, run.count);
       AppendU32(body, run.tier);
     }
-    AppendU32(body, static_cast<uint32_t>(file.replica_runs.size()));
-    for (const auto& run : file.replica_runs) {
+    AppendU32(body, static_cast<uint32_t>(file.mirror_runs.size()));
+    for (const auto& run : file.mirror_runs) {
       AppendU64(body, run.first_block);
       AppendU64(body, run.count);
-      AppendU32(body, run.tier);
+      AppendU32(body, run.extra);
+      AppendU32(body, run.dirty);
     }
   }
 
@@ -116,7 +121,8 @@ Result<MuxSnapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes) {
   if (!reader.ReadU32(&magic) || magic != kSnapshotMagic) {
     return CorruptionError("mux snapshot magic mismatch");
   }
-  if (!reader.ReadU32(&version) || version != kSnapshotVersion) {
+  if (!reader.ReadU32(&version) || version < kMinSnapshotVersion ||
+      version > kSnapshotVersion) {
     return CorruptionError("mux snapshot version mismatch");
   }
   if (!reader.ReadU64(&body_len) || !reader.ReadU32(&crc)) {
@@ -173,20 +179,36 @@ Result<MuxSnapshot> DecodeSnapshot(const std::vector<uint8_t>& bytes) {
       run.tier = tier;
       file.runs.push_back(run);
     }
-    uint32_t replica_count = 0;
-    if (!reader.ReadU32(&replica_count)) {
-      return CorruptionError("mux snapshot replica count malformed");
+    uint32_t mirror_count = 0;
+    if (!reader.ReadU32(&mirror_count)) {
+      return CorruptionError("mux snapshot mirror count malformed");
     }
-    file.replica_runs.reserve(replica_count);
-    for (uint32_t r = 0; r < replica_count; ++r) {
-      BlockLookupTable::Run run;
-      uint32_t tier = 0;
-      if (!reader.ReadU64(&run.first_block) || !reader.ReadU64(&run.count) ||
-          !reader.ReadU32(&tier)) {
-        return CorruptionError("mux snapshot replica run malformed");
+    file.mirror_runs.reserve(mirror_count);
+    for (uint32_t r = 0; r < mirror_count; ++r) {
+      BlockLookupTable::MirrorRun run;
+      if (version == 3) {
+        // v3 stored single-tier replica runs; a recovered replica becomes a
+        // clean mirror copy on that tier.
+        uint32_t tier = 0;
+        if (!reader.ReadU64(&run.first_block) || !reader.ReadU64(&run.count) ||
+            !reader.ReadU32(&tier)) {
+          return CorruptionError("mux snapshot replica run malformed");
+        }
+        run.extra = ResidencySet::Bit(tier);
+        run.dirty = 0;
+        if (run.extra == 0) {
+          continue;  // tier id beyond the bitmap range; nothing to restore
+        }
+      } else {
+        if (!reader.ReadU64(&run.first_block) || !reader.ReadU64(&run.count) ||
+            !reader.ReadU32(&run.extra) || !reader.ReadU32(&run.dirty)) {
+          return CorruptionError("mux snapshot mirror run malformed");
+        }
+        if ((run.dirty & ~run.extra) != 0) {
+          return CorruptionError("mux snapshot mirror dirty bits malformed");
+        }
       }
-      run.tier = tier;
-      file.replica_runs.push_back(run);
+      file.mirror_runs.push_back(run);
     }
     snapshot.files.push_back(std::move(file));
   }

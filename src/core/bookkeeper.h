@@ -34,8 +34,11 @@ struct FileSnapshot {
   double temperature = 0.0;
   SimTime last_access = 0;
   std::array<TierId, kAttrCount> attr_owners{};
-  std::vector<BlockLookupTable::Run> runs;
-  std::vector<BlockLookupTable::Run> replica_runs;  // §4 replication mirrors
+  std::vector<BlockLookupTable::Run> runs;  // primary residency
+  // Extra residency (MOST multi-residency): tier bitmaps of mirror copies
+  // with their per-copy dirty bits. v3 snapshots stored single-tier
+  // replica_runs instead; the decoder converts those to clean mirror runs.
+  std::vector<BlockLookupTable::MirrorRun> mirror_runs;
 };
 
 struct MuxSnapshot {

@@ -123,6 +123,16 @@ class Mux : public vfs::FileSystem {
     // instead of the sum. Serial slice-at-a-time copy when false (or when
     // the executor is absent).
     bool pipelined_migration_copy = true;
+    // Load-aware replica selection (MOST): a read of a multi-resident block
+    // is served from the fastest copy whose simulated device channel is
+    // free (AsyncIoCore queue depth + the segments this very op already
+    // assigned there), falling back to the least-loaded copy. When false,
+    // the fastest clean copy always wins (static speed-rank selection, kept
+    // as the ablation baseline).
+    bool load_aware_reads = true;
+    // Per-policy-round budget for the lazy mirror reconciliation pass (see
+    // SyncMirrors). 0 disables the pass entirely.
+    uint64_t mirror_sync_budget_bytes = 32ull << 20;
   };
 
   Mux(SimClock* clock, Options options);
@@ -168,20 +178,28 @@ class Mux : public vfs::FileSystem {
   Status MigrateRange(const std::string& path, uint64_t first_block,
                       uint64_t count, TierId to);
 
-  // ---- Replication (§4 "Crash Consistency": "a much stronger crash
-  // consistency guarantee can be designed ... by the opportunity for data
-  // replication across devices") ------------------------------------------
+  // ---- Replication (§4 "Crash Consistency" + MOST multi-residency) --------
   // Mirrors the file's blocks onto `replica_tier` (in addition to their
-  // primary homes). Subsequent writes update both copies; reads are served
-  // from the faster of the two and FAIL OVER to the surviving copy when a
-  // device dies.
+  // primary homes): residency is *added* in the block lookup table, not
+  // moved. Reads are served from the fastest idle clean copy and FAIL OVER
+  // to surviving copies when a device dies; writes are absorbed on the
+  // fastest resident copy and other copies go dirty until the lazy mirror
+  // sync reconciles them.
   Status ReplicateFile(const std::string& path, TierId replica_tier);
   Status ReplicateRange(const std::string& path, uint64_t first_block,
                         uint64_t count, TierId replica_tier);
-  // Drops all replicas of the file (punching their shadow blocks).
+  // Drops the mirror copies on one tier (punching their shadow blocks).
+  // Primary copies are never dropped.
+  Status DropReplica(const std::string& path, TierId replica_tier);
+  // Drops all mirror copies of the file.
   Status DropReplicas(const std::string& path);
   Result<std::map<TierId, uint64_t>> ReplicaBreakdown(
       const std::string& path) const;
+  // One bounded pass of lazy mirror reconciliation: copies primary bytes
+  // over every dirty mirror copy, oldest file first, until `max_bytes` have
+  // been moved. Returns the bytes actually synced. RunPolicyMigrations runs
+  // this automatically with Options::mirror_sync_budget_bytes.
+  Result<uint64_t> SyncMirrors(uint64_t max_bytes = ~0ull);
 
   // ---- State Bookkeeper ----------------------------------------------------
   // Persists Mux's metadata to the fastest tier.
@@ -196,7 +214,11 @@ class Mux : public vfs::FileSystem {
     uint64_t blocks_checked = 0;
     uint64_t missing_shadows = 0;      // BLT points at a tier with no shadow
     uint64_t size_inconsistencies = 0; // BLT maps blocks beyond logical size
-    uint64_t replica_mismatches = 0;   // mirror bytes differ from primary
+    uint64_t replica_mismatches = 0;   // CLEAN mirror bytes differ from primary
+    // Mirror copies currently marked dirty (awaiting lazy reconciliation).
+    // Not a failure: dirty copies are expected to diverge until SyncMirrors
+    // catches up, so they are reported but excluded from Clean().
+    uint64_t dirty_replicas = 0;
 
     bool Clean() const {
       return missing_shadows == 0 && size_inconsistencies == 0 &&
@@ -204,10 +226,12 @@ class Mux : public vfs::FileSystem {
     }
   };
   // Walks every file and validates Mux's global metadata against the
-  // underlying file systems: shadows exist where the BLT says data lives,
-  // no mapping extends past the logical size, and every replica byte equals
-  // its primary. Read-only; safe to run online.
-  Result<ScrubReport> Scrub();
+  // underlying file systems: shadows exist where the BLT says data lives
+  // (every resident copy, mirrors included), no mapping extends past the
+  // logical size, and every CLEAN mirror byte equals its primary. Dirty
+  // mirrors are counted, not flagged. Read-only; safe to run online.
+  Result<ScrubReport> Fsck();
+  Result<ScrubReport> Scrub() { return Fsck(); }  // legacy name
 
   // ---- Observability (§3.2 software-overhead decomposition) -------------
   // Always-on registry: software charges land in "mux.sw.<step>_ns"
@@ -289,10 +313,10 @@ class Mux : public vfs::FileSystem {
     vfs::FileType type = vfs::FileType::kRegular;
     std::string path;  // canonical mux path == shadow path on every tier
     CollectiveInode attrs;
+    // Owns ALL residency: the primary copy of every block plus any mirror
+    // copies (tier bitmaps + dirty bits). Mirror shadow offsets match the
+    // primary's.
     std::unique_ptr<BlockLookupTable> blt;
-    // Mirror locations (nullptr until the first ReplicateRange). A block may
-    // have at most one replica; its shadow offsets match the primary's.
-    std::unique_ptr<BlockLookupTable> replicas;
     OccState occ;
     std::map<TierId, vfs::FileHandle> shadows;  // lazily opened
     std::set<TierId> touched_tiers;  // tiers where a shadow file may exist
@@ -416,30 +440,54 @@ class Mux : public vfs::FileSystem {
     std::function<Status()> fn;
   };
   Status DispatchSegments(std::vector<SegmentJob> jobs) const;
-  // Serves one mapped run of a read: SCM-cache path (with coalesced miss
-  // fill), plain shadow read, or replica-boundary split. Thread-safe under a
-  // shared inode lock; writes only its own disjoint slice of `out`.
+  // Orders the copies of a uniformly-resident piece for serving a read:
+  // candidates are the primary plus every CLEAN mirror, fastest-first. With
+  // load_aware_reads the serving copy (front of the returned order) is the
+  // candidate with the earliest projected completion for `bytes`: device
+  // ring backlog (AsyncIoCore queue depth over the profile's channel count)
+  // plus the simulated nanoseconds this op has already chained onto that
+  // tier (`local_load`, updated by the caller per assignment) plus the
+  // piece's estimated service time — so one large read of a mirrored range
+  // stripes across the copies instead of piling onto the fastest tier. The
+  // returned order is also the failover order.
+  std::vector<const TierInfo*> RankReadCopies(
+      const ResidencySet& set, const std::vector<TierInfo>& tiers,
+      const std::map<TierId, uint64_t>& local_load, uint64_t bytes) const;
+  // Reads [offset, offset+length) from copies.front()'s shadow, failing
+  // over down the list on I/O error. Failovers bump "mux.replica.failover";
+  // the warning log is rate-limited to one per tier-failure episode via
+  // failing_tiers_. Short reads are zero-filled (sparse shadow tails).
+  Status ReadFromCopies(MuxInode& inode,
+                        const std::vector<const TierInfo*>& copies,
+                        uint64_t offset, uint64_t length, uint8_t* out);
+  // Serves one uniformly-resident run of a read: SCM-cache path (with
+  // coalesced miss fill) or plain shadow read with replica failover.
+  // copies.front() is the serving tier. Thread-safe under a shared inode
+  // lock; writes only its own disjoint slice of `out`.
   Status ReadRunSegment(MuxInode& inode, const OpCtx& ctx,
-                        const TierInfo& tier, uint64_t run_lo, uint64_t run_hi,
+                        const std::vector<const TierInfo*>& copies,
+                        uint64_t run_lo, uint64_t run_hi,
                         uint64_t offset, uint8_t* out);
   // The SCM-cache read path for one run: probes the cache per block, then
-  // coalesces adjacent missed blocks into run-sized tier reads (split only
-  // at replica-coverage boundaries) and admits every block from that buffer.
-  Status CachedRunRead(MuxInode& inode, const OpCtx& ctx, const TierInfo& tier,
+  // coalesces adjacent missed blocks into run-sized tier reads and admits
+  // every block from that buffer.
+  Status CachedRunRead(MuxInode& inode, const OpCtx& ctx,
+                       const std::vector<const TierInfo*>& copies,
                        uint64_t run_lo, uint64_t run_hi, uint64_t offset,
                        uint8_t* out);
-  // Reads [offset, offset+length) of one block from `primary_tier`,
-  // preferring a faster replica and failing over to the other copy on I/O
-  // error.
-  Status ReadWithReplicaLocked(MuxInode& inode,
-                               const std::vector<TierInfo>& tiers,
-                               TierId primary_tier, uint64_t offset,
-                               uint64_t length, uint8_t* out);
-  // Mirrors a just-written byte range into any replicas covering it.
-  Status UpdateReplicasLocked(MuxInode& inode,
-                              const std::vector<TierInfo>& tiers,
-                              uint64_t offset, const uint8_t* data,
-                              uint64_t length, TierId primary_tier);
+  // Punches the mirror copies on `tier` (kInvalidTier = every mirror tier)
+  // and drops their residency. inode.mu held exclusive.
+  Status DropReplicasLocked(MuxInode& inode,
+                            const std::vector<TierInfo>& tiers, TierId tier);
+  // Reconciles dirty mirror copies of one file: copies primary bytes over
+  // each dirty run and marks it clean, stopping once *budget is exhausted.
+  // Takes inode.mu exclusive itself. Returns bytes synced.
+  Result<uint64_t> MirrorSyncFile(const std::shared_ptr<MuxInode>& inode,
+                                  const std::vector<TierInfo>& tiers,
+                                  uint64_t* budget);
+  // SyncMirrors with Options::mirror_sync_budget_bytes (no-op when zero);
+  // tail of every policy round.
+  Status MirrorSyncRound();
   Result<uint64_t> WriteLocked(MuxInode& inode, const OpCtx& ctx,
                                uint64_t offset, const uint8_t* data,
                                uint64_t length, bool is_sync);
@@ -602,6 +650,11 @@ class Mux : public vfs::FileSystem {
     std::atomic<uint64_t> migration_task_failures{0};
   };
   mutable HotStats hot_stats_;
+  // Bitmap of tiers currently inside a read-failure episode: the failover
+  // warning logs once per 0->1 transition of a tier's bit; a later
+  // successful read from that tier clears it (ending the episode). Every
+  // individual failover still counts in "mux.replica.failover".
+  mutable std::atomic<uint32_t> failing_tiers_{0};
   mutable std::mutex stats_mu_;
   OccStats occ_stats_;
   SchedulerStats last_round_sched_stats_;

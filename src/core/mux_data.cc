@@ -2,6 +2,7 @@
 // migration engine, the policy runner, and the bookkeeper glue.
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -52,6 +53,52 @@ Result<uint64_t> Mux::Read(vfs::FileHandle handle, uint64_t offset,
   return result;
 }
 
+std::vector<const TierInfo*> Mux::RankReadCopies(
+    const ResidencySet& set, const std::vector<TierInfo>& tiers,
+    const std::map<TierId, uint64_t>& local_load, uint64_t bytes) const {
+  // Candidates: the primary plus every clean mirror. `tiers` is sorted by
+  // speed_rank, so the static order falls out of the walk.
+  std::vector<const TierInfo*> copies;
+  for (const TierInfo& tier : tiers) {
+    if (set.CleanOn(tier.id)) {
+      copies.push_back(&tier);
+    }
+  }
+  if (copies.size() <= 1 || !options_.load_aware_reads) {
+    return copies;
+  }
+  // Load-aware selection: earliest projected completion wins. The backlog
+  // term spreads the device ring's current occupancy over its simulated
+  // channels; local_load chains this op's own earlier assignments (segments
+  // on one tier serialize into one chain in DispatchSegments).
+  size_t best = 0;
+  double best_finish = 0;
+  for (size_t i = 0; i < copies.size(); ++i) {
+    const TierInfo* tier = copies[i];
+    const double est =
+        static_cast<double>(tier->profile.EstimateReadNs(bytes));
+    const uint32_t channels = std::max(1u, tier->profile.queue_depth);
+    const double backlog =
+        async_ != nullptr
+            ? static_cast<double>(async_->QueueDepth(tier->id)) /
+                  static_cast<double>(channels) * est
+            : 0.0;
+    auto it = local_load.find(tier->id);
+    const double chained =
+        it != local_load.end() ? static_cast<double>(it->second) : 0.0;
+    const double finish = backlog + chained + est;
+    if (i == 0 || finish < best_finish) {
+      best = i;
+      best_finish = finish;
+    }
+  }
+  if (best != 0) {
+    std::rotate(copies.begin(), copies.begin() + best,
+                copies.begin() + best + 1);
+  }
+  return copies;
+}
+
 Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
                                  uint64_t offset, uint64_t length,
                                  uint8_t* out) {
@@ -64,7 +111,8 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
   const uint64_t last_block = (offset + n - 1) / kBlockSize;
 
   ChargeSw("mux.sw.blt_ns", options_.costs.blt_lookup_ns);
-  const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
+  const auto runs =
+      inode.blt->ResidencyRuns(first_block, last_block - first_block + 1);
   if (runs.size() > 1) {
     ChargeSw("mux.sw.split_ns", options_.costs.split_segment_ns * (runs.size() - 1));
     hot_stats_.split_segments.fetch_add(runs.size() - 1,
@@ -75,7 +123,17 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
   // (memset costs no device time). Each job writes a disjoint slice of
   // `out`, so the segments can run concurrently when they land on different
   // tiers (DispatchSegments overlaps their simulated latencies).
+  //
+  // Multi-resident runs additionally stripe: the run is cut into
+  // kReadStripeBlocks pieces and each piece is assigned to the copy with the
+  // earliest projected completion (RankReadCopies), with `local_load`
+  // chaining this op's own assignments — so one large read of a mirrored
+  // range spreads across its copies. Single-copy runs take exactly the old
+  // one-segment path.
+  constexpr uint64_t kReadStripeBlocks = 256;  // 1 MiB
   TierId last_tier = kInvalidTier;
+  std::map<TierId, uint64_t> local_load;
+  uint64_t stripe_pieces = 0;
   std::vector<SegmentJob> jobs;
   jobs.reserve(runs.size());
   for (const auto& run : runs) {
@@ -85,18 +143,40 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
     if (run_lo >= run_hi) {
       continue;
     }
-    if (run.tier == kInvalidTier) {
+    if (!run.set.Mapped()) {
       std::memset(out + (run_lo - offset), 0, run_hi - run_lo);
       continue;
     }
-    MUX_ASSIGN_OR_RETURN(const TierInfo* tier, FindTier(ctx.tiers(), run.tier));
-    last_tier = run.tier;
-    jobs.push_back(SegmentJob{
-        run.tier, [this, &inode, &ctx, tier, run_lo, run_hi, offset,
-                   out]() -> Status {
-          return ReadRunSegment(inode, ctx, *tier, run_lo, run_hi, offset,
-                                out);
-        }});
+    const bool mirrored = (run.set.extra & ~run.set.dirty) != 0;
+    const uint64_t piece_bytes =
+        mirrored ? kReadStripeBlocks * kBlockSize : run_hi - run_lo;
+    for (uint64_t lo = run_lo; lo < run_hi;) {
+      const uint64_t hi = std::min(run_hi, lo + piece_bytes);
+      auto copies = RankReadCopies(run.set, ctx.tiers(), local_load, hi - lo);
+      if (copies.empty()) {
+        return NotFoundError("no resident copy for mapped block");
+      }
+      const TierInfo* serving = copies.front();
+      local_load[serving->id] += serving->profile.EstimateReadNs(hi - lo);
+      if (serving->id != run.set.primary) {
+        metrics_.Add("mux.replica.read_hits", 1);
+      }
+      last_tier = serving->id;
+      if (lo != run_lo) {
+        ++stripe_pieces;
+      }
+      jobs.push_back(SegmentJob{
+          serving->id, [this, &inode, &ctx, copies = std::move(copies), lo,
+                        hi, offset, out]() -> Status {
+            return ReadRunSegment(inode, ctx, copies, lo, hi, offset, out);
+          }});
+      lo = hi;
+    }
+  }
+  if (stripe_pieces > 0) {
+    ChargeSw("mux.sw.split_ns", options_.costs.split_segment_ns * stripe_pieces);
+    hot_stats_.split_segments.fetch_add(stripe_pieces,
+                                        std::memory_order_relaxed);
   }
   MUX_RETURN_IF_ERROR(DispatchSegments(std::move(jobs)));
 
@@ -115,49 +195,66 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
   return n;
 }
 
+Status Mux::ReadFromCopies(MuxInode& inode,
+                           const std::vector<const TierInfo*>& copies,
+                           uint64_t offset, uint64_t length, uint8_t* out) {
+  Status last = NotFoundError("no copy available");
+  for (size_t i = 0; i < copies.size(); ++i) {
+    const TierInfo* tier = copies[i];
+    auto shadow = ShadowHandleLocked(inode, *tier, /*create=*/false);
+    if (shadow.ok()) {
+      auto got = tier->fs->Read(*shadow, offset, length, out);
+      if (got.ok()) {
+        if (*got < length) {
+          // The shadow is shorter than the mapping implies (e.g. tail block
+          // of the file): the remainder reads as zeros.
+          std::memset(out + *got, 0, length - *got);
+        }
+        // A successful read ends any failure episode this tier was in.
+        const uint32_t bit = ResidencySet::Bit(tier->id);
+        if (bit != 0 &&
+            (failing_tiers_.load(std::memory_order_relaxed) & bit) != 0) {
+          failing_tiers_.fetch_and(~bit, std::memory_order_relaxed);
+        }
+        return Status::Ok();
+      }
+      last = got.status();
+    } else {
+      last = shadow.status();
+    }
+    if (i + 1 < copies.size()) {
+      // Fail over to the next surviving copy. Every failover counts; the
+      // warning logs once per tier-failure episode (bit 0->1), not per op.
+      metrics_.Add("mux.replica.failover", 1);
+      const uint32_t bit = ResidencySet::Bit(tier->id);
+      if (bit != 0 &&
+          (failing_tiers_.fetch_or(bit, std::memory_order_relaxed) & bit) ==
+              0) {
+        MUX_LOG(kWarning) << "mux: copy on tier " << tier->name
+                          << " unreadable (" << last
+                          << "), failing over to surviving copies";
+      }
+    }
+  }
+  return last;
+}
+
 Status Mux::ReadRunSegment(MuxInode& inode, const OpCtx& ctx,
-                           const TierInfo& tier, uint64_t run_lo,
-                           uint64_t run_hi, uint64_t offset, uint8_t* out) {
-  // SCM cache path: only for blocks whose home is a slower tier.
-  if (cache_ != nullptr && tier.speed_rank > 0) {
-    return CachedRunRead(inode, ctx, tier, run_lo, run_hi, offset, out);
+                           const std::vector<const TierInfo*>& copies,
+                           uint64_t run_lo, uint64_t run_hi, uint64_t offset,
+                           uint8_t* out) {
+  // SCM cache path: only for blocks whose serving copy is a slower tier.
+  if (cache_ != nullptr && copies.front()->speed_rank > 0) {
+    return CachedRunRead(inode, ctx, copies, run_lo, run_hi, offset, out);
   }
-
-  if (inode.replicas == nullptr) {
-    MUX_ASSIGN_OR_RETURN(vfs::FileHandle shadow,
-                         ShadowHandleLocked(inode, tier, false));
-    MUX_ASSIGN_OR_RETURN(uint64_t got,
-                         tier.fs->Read(shadow, run_lo, run_hi - run_lo,
-                                       out + (run_lo - offset)));
-    if (got < run_hi - run_lo) {
-      // The shadow is shorter than the mapping implies (e.g. tail block
-      // of the file): the remainder reads as zeros.
-      std::memset(out + (run_lo - offset) + got, 0, run_hi - run_lo - got);
-    }
-    return Status::Ok();
-  }
-
-  // Split at replica-coverage boundaries so each piece reads from its
-  // fastest available copy (and can fail over).
-  const uint64_t rb_first = run_lo / kBlockSize;
-  const uint64_t rb_last = (run_hi - 1) / kBlockSize;
-  for (const auto& rrun :
-       inode.replicas->Runs(rb_first, rb_last - rb_first + 1)) {
-    const uint64_t lo = std::max(run_lo, rrun.first_block * kBlockSize);
-    const uint64_t hi =
-        std::min(run_hi, (rrun.first_block + rrun.count) * kBlockSize);
-    if (lo >= hi) {
-      continue;
-    }
-    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers(), tier.id, lo,
-                                              hi - lo, out + (lo - offset)));
-  }
-  return Status::Ok();
+  return ReadFromCopies(inode, copies, run_lo, run_hi - run_lo,
+                        out + (run_lo - offset));
 }
 
 Status Mux::CachedRunRead(MuxInode& inode, const OpCtx& ctx,
-                          const TierInfo& tier, uint64_t run_lo,
-                          uint64_t run_hi, uint64_t offset, uint8_t* out) {
+                          const std::vector<const TierInfo*>& copies,
+                          uint64_t run_lo, uint64_t run_hi, uint64_t offset,
+                          uint8_t* out) {
   // Pass 1: probe the cache block by block; remember the misses.
   std::vector<uint64_t> missed;
   for (uint64_t pos = run_lo; pos < run_hi;) {
@@ -176,29 +273,23 @@ Status Mux::CachedRunRead(MuxInode& inode, const OpCtx& ctx,
 
   // Pass 2: coalesce adjacent missed blocks into one run-sized tier read
   // (instead of one kBlockSize read per miss), admit every block from that
-  // buffer, and copy the requested slices out. Intervals split only where
-  // replica coverage changes, because ReadWithReplicaLocked serves a whole
-  // range from the one copy it picks for the first block.
+  // buffer, and copy the requested slices out. Residency is uniform across
+  // the run (ReadLocked splits at residency boundaries), so coalescing is
+  // pure adjacency.
   metrics_.Add("mux.cache.missed_blocks", missed.size());
   std::vector<uint8_t> buf;
   size_t i = 0;
   while (i < missed.size()) {
     const uint64_t b0 = missed[i];
-    const TierId replica_home =
-        inode.replicas != nullptr ? inode.replicas->Lookup(b0) : kInvalidTier;
     size_t j = i + 1;
-    while (j < missed.size() && missed[j] == missed[j - 1] + 1 &&
-           (inode.replicas == nullptr ||
-            inode.replicas->Lookup(missed[j]) == replica_home)) {
+    while (j < missed.size() && missed[j] == missed[j - 1] + 1) {
       ++j;
     }
     const uint64_t blocks = missed[j - 1] - b0 + 1;
     metrics_.Add("mux.cache.coalesced_reads", 1);
     buf.resize(blocks * kBlockSize);
-    MUX_RETURN_IF_ERROR(ReadWithReplicaLocked(inode, ctx.tiers(), tier.id,
-                                              b0 * kBlockSize,
-                                              blocks * kBlockSize,
-                                              buf.data()));
+    MUX_RETURN_IF_ERROR(ReadFromCopies(inode, copies, b0 * kBlockSize,
+                                       blocks * kBlockSize, buf.data()));
     for (uint64_t b = b0; b < b0 + blocks; ++b) {
       const uint8_t* block_bytes = buf.data() + (b - b0) * kBlockSize;
       cache_->OnMiss(inode.ino, b, block_bytes);
@@ -340,30 +431,55 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   const uint64_t last_block = (offset + length - 1) / kBlockSize;
 
   ChargeSw("mux.sw.blt_ns", options_.costs.blt_lookup_ns);
-  const auto runs = inode.blt->Runs(first_block, last_block - first_block + 1);
+  const auto runs =
+      inode.blt->ResidencyRuns(first_block, last_block - first_block + 1);
   if (runs.size() > 1) {
     ChargeSw("mux.sw.split_ns", options_.costs.split_segment_ns * (runs.size() - 1));
     hot_stats_.split_segments.fetch_add(runs.size() - 1,
                                         std::memory_order_relaxed);
   }
 
+  // One write segment: a residency-uniform piece plus the tier that should
+  // absorb the bytes. Mapped pieces absorb on the fastest CLEAN resident
+  // copy (only clean copies hold current bytes, so a partial-block
+  // overwrite there is safe); holes get a placement decision below.
+  struct WriteSeg {
+    uint64_t first_block = 0;
+    uint64_t count = 0;
+    TierId target = kInvalidTier;
+    ResidencySet set;
+  };
+
   // Placement granularity for new blocks: large appends are placed in
   // chunks so a single huge write can start on the fast tier and spill to
   // slower ones when space runs out.
   constexpr uint64_t kPlacementChunkBlocks = 1024;  // 4 MiB
-  std::vector<BlockLookupTable::Run> segments;
+  std::vector<WriteSeg> segments;
   bool has_hole = false;
   for (const auto& run : runs) {
-    if (run.tier != kInvalidTier || run.count <= kPlacementChunkBlocks) {
-      segments.push_back(run);
-      has_hole |= run.tier == kInvalidTier;
+    if (run.set.Mapped()) {
+      TierId target = run.set.primary;
+      for (const TierInfo& tier : ctx.tiers()) {
+        if (run.set.CleanOn(tier.id)) {
+          target = tier.id;
+          break;
+        }
+      }
+      segments.push_back(WriteSeg{run.first_block, run.count, target,
+                                  run.set});
       continue;
     }
     has_hole = true;
+    if (run.count <= kPlacementChunkBlocks) {
+      segments.push_back(
+          WriteSeg{run.first_block, run.count, kInvalidTier, run.set});
+      continue;
+    }
     for (uint64_t done = 0; done < run.count; done += kPlacementChunkBlocks) {
-      segments.push_back(BlockLookupTable::Run{
+      segments.push_back(WriteSeg{
           run.first_block + done,
-          std::min(kPlacementChunkBlocks, run.count - done), kInvalidTier});
+          std::min(kPlacementChunkBlocks, run.count - done), kInvalidTier,
+          run.set});
     }
   }
 
@@ -393,10 +509,11 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
 
   // Parallel overwrite fast path: when every block is already mapped (no
   // placement decisions, no occupancy feedback between chunks) and the write
-  // spans more than one tier, issue each segment's home-tier write through
-  // the executor so the per-tier device times overlap. The bookkeeping —
-  // ENOSPC fall-down, BLT commit, cache write-through, replica mirroring —
-  // stays in the serial loop below, which consumes the per-segment results.
+  // spans more than one absorb tier, issue each segment's absorb-tier write
+  // through the executor so the per-tier device times overlap. The
+  // bookkeeping — ENOSPC fall-down, BLT commit, cache write-through, mirror
+  // dirtying — stays in the serial loop below, which consumes the
+  // per-segment results.
   std::vector<Status> parallel_status;
   std::vector<char> parallel_open_failed;
   bool parallel_attempted = false;
@@ -404,7 +521,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
       segments.size() > 1) {
     bool multi_tier = false;
     for (const auto& run : segments) {
-      multi_tier |= run.tier != segments.front().tier;
+      multi_tier |= run.target != segments.front().target;
     }
     if (multi_tier) {
       parallel_status.assign(segments.size(), Status::Ok());
@@ -417,7 +534,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
         const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
         const uint64_t run_hi = std::min(
             offset + length, (run.first_block + run.count) * kBlockSize);
-        auto tier_or = FindTier(ctx.tiers(), run.tier);
+        auto tier_or = FindTier(ctx.tiers(), run.target);
         if (!tier_or.ok()) {
           prep = tier_or.status();
           break;
@@ -426,7 +543,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
         Status* slot = &parallel_status[si];
         char* open_failed = &parallel_open_failed[si];
         jobs.push_back(SegmentJob{
-            run.tier, [this, &inode, tier, run_lo, run_hi, offset, data, slot,
+            run.target, [this, &inode, tier, run_lo, run_hi, offset, data, slot,
                        open_failed]() -> Status {
               // Exactly one attempt against the segment's home tier — the
               // same first-candidate attempt the serial loop would make.
@@ -459,7 +576,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
     const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
     const uint64_t run_hi =
         std::min(offset + length, (run.first_block + run.count) * kBlockSize);
-    TierId target = run.tier;
+    TierId target = run.target;
     if (target == kInvalidTier) {
       PlacementContext pctx;
       pctx.path = inode.path;
@@ -534,23 +651,38 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
       }
     }
 
-    // If the data moved tiers relative to the old mapping, the old copy
-    // must be punched out.
-    if (run.tier != kInvalidTier && run.tier != actual) {
-      MUX_ASSIGN_OR_RETURN(const TierInfo* old_tier,
-                           FindTier(ctx.tiers(), run.tier));
-      auto old_shadow = ShadowHandleLocked(inode, *old_tier, false);
-      if (old_shadow.ok()) {
-        const uint64_t punch_first = run_lo / kBlockSize;
-        const uint64_t punch_last = (run_hi - 1) / kBlockSize;
-        (void)old_tier->fs->PunchHole(*old_shadow, punch_first * kBlockSize,
-                                      (punch_last - punch_first + 1) *
-                                          kBlockSize);
+    // Residency bookkeeping for the absorbed bytes (MOST write path):
+    //  * absorbed on the primary — other copies just went stale, DirtyAll;
+    //  * absorbed on a clean mirror — it becomes the primary, the old
+    //    primary demotes to a dirty mirror (its media still holds the old
+    //    bytes), everything else goes dirty (AbsorbWrite); nothing is
+    //    punched — the lazy mirror sync reconciles later;
+    //  * a fall-down landed on a NON-resident tier — exclusive move exactly
+    //    as before: punch the old primary, remap, dirty any mirrors.
+    const uint64_t seg_first = run_lo / kBlockSize;
+    const uint64_t seg_count =
+        (run_hi - 1) / kBlockSize - seg_first + 1;
+    uint64_t dirtied = 0;
+    if (run.set.Mapped() && actual == run.set.primary) {
+      dirtied = inode.blt->DirtyAll(seg_first, seg_count);
+    } else if (run.set.Mapped() && run.set.CleanOn(actual)) {
+      dirtied = inode.blt->AbsorbWrite(seg_first, seg_count, actual);
+    } else {
+      if (run.set.Mapped() && run.set.primary != actual) {
+        MUX_ASSIGN_OR_RETURN(const TierInfo* old_tier,
+                             FindTier(ctx.tiers(), run.set.primary));
+        auto old_shadow = ShadowHandleLocked(inode, *old_tier, false);
+        if (old_shadow.ok()) {
+          (void)old_tier->fs->PunchHole(*old_shadow, seg_first * kBlockSize,
+                                        seg_count * kBlockSize);
+        }
       }
+      inode.blt->SetRange(seg_first, seg_count, actual);
+      dirtied = inode.blt->DirtyAll(seg_first, seg_count);
     }
-    inode.blt->SetRange(run_lo / kBlockSize,
-                        (run_hi - 1) / kBlockSize - run_lo / kBlockSize + 1,
-                        actual);
+    if (dirtied > 0) {
+      metrics_.Add("mux.mirror.dirty_blocks", dirtied);
+    }
     last_written_tier = actual;
 
     // Write-through into the SCM cache.
@@ -564,11 +696,6 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
         pos += chunk;
       }
     }
-
-    // Keep mirrors current (synchronous replication, §4 extension).
-    MUX_RETURN_IF_ERROR(UpdateReplicasLocked(inode, ctx.tiers(), run_lo,
-                                             data + (run_lo - offset),
-                                             run_hi - run_lo, actual));
   }
 
   // OCC bookkeeping: every committed write bumps the version and, during a
@@ -613,10 +740,9 @@ Status Mux::TruncateLocked(MuxInode& inode, uint64_t new_size,
     // past EOF would otherwise resurface stale if the file regrows.
     cache_->InvalidateRange(inode.ino, new_size / kBlockSize, UINT64_MAX);
   }
+  // Clears primary and mirror residency alike; the shadow truncates above
+  // already covered every mirror tier (touched_tiers includes them).
   inode.blt->TruncateFrom(first_dead);
-  if (inode.replicas != nullptr) {
-    inode.replicas->TruncateFrom(first_dead);
-  }
   TierId owner = new_size == 0
                      ? inode.attrs.Owner(Attr::kSize)
                      : inode.blt->Lookup((new_size - 1) / kBlockSize);
@@ -702,8 +828,8 @@ Status Mux::Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
         if (run.tier == tier.id) {
           continue;  // live data already on the preallocation tier
         }
-        // Punch block-by-block groups, skipping blocks whose replica lives
-        // on this tier (the replica bytes share the shadow).
+        // Punch block-by-block groups, skipping blocks whose mirror copy
+        // lives on this tier (the mirror bytes share the shadow).
         uint64_t piece = run.first_block;
         auto flush = [&](uint64_t end) {
           if (piece < end) {
@@ -713,8 +839,7 @@ Status Mux::Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
         };
         for (uint64_t b = run.first_block; b < run.first_block + run.count;
              ++b) {
-          if (inode.replicas != nullptr &&
-              inode.replicas->Lookup(b) == tier.id) {
+          if (inode.blt->LookupSet(b).ReplicaOn(tier.id)) {
             flush(b);
             piece = b + 1;
           }
@@ -759,23 +884,21 @@ Status Mux::PunchHole(vfs::FileHandle handle, uint64_t offset,
                               run.first_block + run.count - 1);
     }
   }
-  if (inode.replicas != nullptr) {
-    for (const auto& rrun : inode.replicas->Runs(first, count)) {
-      if (rrun.tier == kInvalidTier) {
-        continue;
-      }
-      auto tier = FindTier(ctx.tiers(), rrun.tier);
+  for (const auto& mrun : inode.blt->MirrorRuns(first, count)) {
+    for (uint32_t bits = mrun.extra; bits != 0; bits &= bits - 1) {
+      const TierId t = static_cast<TierId>(std::countr_zero(bits));
+      auto tier = FindTier(ctx.tiers(), t);
       if (!tier.ok()) {
         continue;
       }
       auto shadow = ShadowHandleLocked(inode, **tier, false);
       if (shadow.ok()) {
-        (void)(*tier)->fs->PunchHole(*shadow, rrun.first_block * kBlockSize,
-                                     rrun.count * kBlockSize);
+        (void)(*tier)->fs->PunchHole(*shadow, mrun.first_block * kBlockSize,
+                                     mrun.count * kBlockSize);
       }
     }
-    inode.replicas->ClearRange(first, count);
   }
+  // ClearRange drops mirror residency along with the primary mapping.
   inode.blt->ClearRange(first, count);
   inode.occ.NoteWrite(first, count);
   return Status::Ok();
@@ -965,15 +1088,9 @@ Status Mux::CommitRuns(MuxInode& inode, const std::vector<TierInfo>& tiers,
       if (start >= end) {
         return Status::Ok();
       }
+      // SetRange dissolves a mirror copy on `to` into the primary and keeps
+      // mirrors on other tiers clean — the bytes were copied verbatim.
       inode.blt->SetRange(start, end - start, to);
-      if (inode.replicas != nullptr) {
-        // A replica on the destination tier collapses into the primary.
-        for (const auto& rrun : inode.replicas->Runs(start, end - start)) {
-          if (rrun.tier == to) {
-            inode.replicas->ClearRange(rrun.first_block, rrun.count);
-          }
-        }
-      }
       committed += end - start;
       MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
       vfs::FileHandle src_handle;
@@ -1257,7 +1374,12 @@ Status Mux::RunPolicyMigrations() {
           if (blocks > 0) {
             fv.blocks_per_tier[tier.id] = blocks;
           }
+          const uint64_t replicas = inode->blt->ReplicaBlocksOnTier(tier.id);
+          if (replicas > 0) {
+            fv.replica_blocks_per_tier[tier.id] = replicas;
+          }
         }
+        fv.dirty_blocks = inode->blt->DirtyBlocks();
         // The side table spares the dispatch loop below from re-resolving
         // paths for byte estimation.
         planned_sizes.emplace(fv.path, fv.size);
@@ -1268,7 +1390,7 @@ Status Mux::RunPolicyMigrations() {
 
   std::vector<MigrationTask> tasks = tier_set->policy->PlanMigrations(view);
   if (tasks.empty()) {
-    return Status::Ok();
+    return MirrorSyncRound();
   }
 
   // Dispatch the plan through the I/O scheduler (§4): per-tier queues,
@@ -1300,13 +1422,30 @@ Status Mux::RunPolicyMigrations() {
       }
     }
     request.bytes = bytes;
-    request.priority = task.to == fastest ? 0 : 1;  // promotions first
+    // Promotions toward the fastest tier and replica drops (cheap metadata +
+    // punch work that frees capacity) dispatch first.
+    request.priority =
+        task.to == fastest || task.kind == MigrationKind::kDropReplica ? 0 : 1;
     request.execute = [this, task]() -> Status {
-      Status status =
-          task.count == 0
-              ? MigrateFile(task.path, task.to, task.from)
-              : MigrateRange(task.path, task.first_block, task.count,
-                             task.to);
+      Status status;
+      switch (task.kind) {
+        case MigrationKind::kAddReplica:
+          status = task.count == 0
+                       ? ReplicateFile(task.path, task.to)
+                       : ReplicateRange(task.path, task.first_block,
+                                        task.count, task.to);
+          break;
+        case MigrationKind::kDropReplica:
+          status = DropReplica(task.path, task.to);
+          break;
+        case MigrationKind::kMove:
+        default:
+          status = task.count == 0
+                       ? MigrateFile(task.path, task.to, task.from)
+                       : MigrateRange(task.path, task.first_block, task.count,
+                                      task.to);
+          break;
+      }
       if (status.code() == ErrorCode::kNotFound) {
         // The file vanished since planning; nothing to do.
         return Status::Ok();
@@ -1339,7 +1478,23 @@ Status Mux::RunPolicyMigrations() {
     MUX_LOG(kWarning) << "policy migration round: " << round.failures
                       << " task(s) failed, last: " << round.last_error;
   }
-  return ran.status();
+  MUX_RETURN_IF_ERROR(ran.status());
+  return MirrorSyncRound();
+}
+
+// Lazy mirror reconciliation rides on the policy round: after the plan
+// drains, spend a bounded byte budget copying primary bytes over dirty
+// mirror copies so they become readable again.
+Status Mux::MirrorSyncRound() {
+  if (options_.mirror_sync_budget_bytes == 0) {
+    return Status::Ok();
+  }
+  auto synced = SyncMirrors(options_.mirror_sync_budget_bytes);
+  if (!synced.ok()) {
+    MUX_LOG(kWarning) << "mirror sync round: " << synced.status();
+    return synced.status();
+  }
+  return Status::Ok();
 }
 
 SchedulerStats Mux::LastMigrationRoundStats() const {
@@ -1415,9 +1570,7 @@ MuxSnapshot Mux::BuildSnapshotChunked() const {
       }
       if (inode->blt != nullptr) {
         file.runs = inode->blt->AllRuns();
-      }
-      if (inode->replicas != nullptr) {
-        file.replica_runs = inode->replicas->AllRuns();
+        file.mirror_runs = inode->blt->AllMirrorRuns();
       }
       snapshot.files.push_back(std::move(file));
     }
@@ -1533,11 +1686,14 @@ Status Mux::Recover() {
         inode->blt->SetRange(run.first_block, run.count, run.tier);
         inode->touched_tiers.insert(run.tier);
       }
-      if (!file.replica_runs.empty()) {
-        inode->replicas = MakeBlt(options_.blt_kind);
-        for (const auto& run : file.replica_runs) {
-          inode->replicas->SetRange(run.first_block, run.count, run.tier);
-          inode->touched_tiers.insert(run.tier);
+      for (const auto& mrun : file.mirror_runs) {
+        for (uint32_t bits = mrun.extra; bits != 0; bits &= bits - 1) {
+          const TierId t = static_cast<TierId>(std::countr_zero(bits));
+          // Dirty bits round-trip bit-exact: stale copies stay stale until
+          // the first SyncMirrors pass reconciles them.
+          inode->blt->AddResidency(mrun.first_block, mrun.count, t,
+                                   (mrun.dirty & ResidencySet::Bit(t)) != 0);
+          inode->touched_tiers.insert(t);
         }
       }
     }
@@ -1627,6 +1783,412 @@ uint64_t Mux::BltMemoryBytes() const {
     }
   }
   return total;
+}
+
+// ---- replication / mirror maintenance (MOST) -----------------------------------------
+//
+// The paper notes that composing file systems opens "the opportunity for
+// data replication across devices". MOST makes that a first-class residency
+// state: ReplicateRange *adds* residency on a second tier through the same
+// shadow-file mechanism the primary copies use (same path, same offsets);
+// reads are then served from the fastest idle clean copy (ReadLocked) and
+// fail over to survivors; writes absorb on one copy and mark the rest dirty;
+// SyncMirrors lazily re-converges them.
+
+Status Mux::ReplicateRange(const std::string& path, uint64_t first_block,
+                           uint64_t count, TierId replica_tier) {
+  if (ResidencySet::Bit(replica_tier) == 0) {
+    return InvalidArgumentError("tier id too large for mirror residency");
+  }
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  if (inode->type != vfs::FileType::kRegular) {
+    return IsDirError(path);
+  }
+  const auto tier_set = SnapshotTierSet();
+  const std::vector<TierInfo>& tiers = tier_set->tiers;
+  MUX_ASSIGN_OR_RETURN(const TierInfo* replica, FindTier(tiers, replica_tier));
+
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  MUX_ASSIGN_OR_RETURN(vfs::FileHandle replica_shadow,
+                       ShadowHandleLocked(*inode, *replica, /*create=*/true));
+  std::vector<uint8_t> buf;
+  for (const auto& run : inode->blt->Runs(first_block, count)) {
+    if (run.tier == kInvalidTier) {
+      continue;  // holes have no content to mirror
+    }
+    if (run.tier == replica_tier) {
+      continue;  // the primary already lives there
+    }
+    MUX_ASSIGN_OR_RETURN(const TierInfo* src, FindTier(tiers, run.tier));
+    MUX_ASSIGN_OR_RETURN(vfs::FileHandle src_shadow,
+                         ShadowHandleLocked(*inode, *src, /*create=*/false));
+    constexpr uint64_t kSlice = 256;  // 1 MiB copies
+    for (uint64_t done = 0; done < run.count; done += kSlice) {
+      const uint64_t blocks = std::min(kSlice, run.count - done);
+      const uint64_t off = (run.first_block + done) * kBlockSize;
+      buf.resize(blocks * kBlockSize);
+      MUX_ASSIGN_OR_RETURN(uint64_t got, src->fs->Read(src_shadow, off,
+                                                       buf.size(), buf.data()));
+      if (got < buf.size()) {
+        std::memset(buf.data() + got, 0, buf.size() - got);
+      }
+      MUX_RETURN_IF_ERROR(
+          replica->fs->Write(replica_shadow, off, buf.data(), buf.size())
+              .status());
+    }
+    // The bytes just copied are current: a clean mirror copy.
+    inode->blt->AddResidency(run.first_block, run.count, replica_tier,
+                             /*dirty=*/false);
+  }
+  inode->touched_tiers.insert(replica_tier);
+  // The mirror is only a crash-consistency improvement once durable.
+  return replica->fs->Fsync(replica_shadow, /*data_only=*/true);
+}
+
+Status Mux::ReplicateFile(const std::string& path, TierId replica_tier) {
+  uint64_t blocks = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
+    if (inode->type != vfs::FileType::kRegular) {
+      return IsDirError(path);
+    }
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
+  }
+  if (blocks == 0) {
+    return Status::Ok();
+  }
+  return ReplicateRange(path, 0, blocks, replica_tier);
+}
+
+Status Mux::DropReplicasLocked(MuxInode& inode,
+                               const std::vector<TierInfo>& tiers,
+                               TierId tier) {
+  // AllMirrorRuns returns a copied vector, so mutating residency inside the
+  // loop is safe. `extra` never contains the primary tier, so the whole run
+  // range can be punched without a primary-ownership skip.
+  for (const auto& mrun : inode.blt->AllMirrorRuns()) {
+    for (uint32_t bits = mrun.extra; bits != 0; bits &= bits - 1) {
+      const TierId t = static_cast<TierId>(std::countr_zero(bits));
+      if (tier != kInvalidTier && t != tier) {
+        continue;
+      }
+      auto info = FindTier(tiers, t);
+      if (info.ok()) {
+        auto shadow = ShadowHandleLocked(inode, **info, /*create=*/false);
+        if (shadow.ok()) {
+          (void)(*info)->fs->PunchHole(*shadow, mrun.first_block * kBlockSize,
+                                       mrun.count * kBlockSize);
+        }
+      }
+      inode.blt->DropResidency(mrun.first_block, mrun.count, t);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Mux::DropReplica(const std::string& path, TierId replica_tier) {
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  if (inode->type != vfs::FileType::kRegular) {
+    return IsDirError(path);
+  }
+  const auto tier_set = SnapshotTierSet();
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  return DropReplicasLocked(*inode, tier_set->tiers, replica_tier);
+}
+
+Status Mux::DropReplicas(const std::string& path) {
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  if (inode->type != vfs::FileType::kRegular) {
+    return IsDirError(path);
+  }
+  const auto tier_set = SnapshotTierSet();
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  return DropReplicasLocked(*inode, tier_set->tiers, kInvalidTier);
+}
+
+Result<std::map<TierId, uint64_t>> Mux::ReplicaBreakdown(
+    const std::string& path) const {
+  std::shared_ptr<MuxInode> inode;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
+  }
+  const auto tier_set = SnapshotTierSet();
+  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+  std::map<TierId, uint64_t> breakdown;
+  if (inode->blt != nullptr) {
+    for (const TierInfo& tier : tier_set->tiers) {
+      const uint64_t blocks = inode->blt->ReplicaBlocksOnTier(tier.id);
+      if (blocks > 0) {
+        breakdown[tier.id] = blocks;
+      }
+    }
+  }
+  return breakdown;
+}
+
+Result<uint64_t> Mux::MirrorSyncFile(const std::shared_ptr<MuxInode>& inode,
+                                     const std::vector<TierInfo>& tiers,
+                                     uint64_t* budget) {
+  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  if (inode->unlinked.load(std::memory_order_acquire) ||
+      inode->blt == nullptr) {
+    return uint64_t{0};
+  }
+  uint64_t synced = 0;
+  std::vector<uint8_t> buf;
+  // Tiers whose shadows received reconciled bytes, for the final fsync.
+  uint32_t fsync_tiers = 0;
+  for (const auto& mrun : inode->blt->DirtyRuns()) {
+    for (uint32_t bits = mrun.dirty; bits != 0; bits &= bits - 1) {
+      const TierId t = static_cast<TierId>(std::countr_zero(bits));
+      const uint64_t max_blocks = *budget / kBlockSize;
+      if (max_blocks == 0) {
+        *budget = 0;
+        return synced;  // budget exhausted; the rest waits for the next round
+      }
+      const uint64_t count = std::min(mrun.count, max_blocks);
+      auto dst = FindTier(tiers, t);
+      if (!dst.ok()) {
+        metrics_.Add("mux.mirror.sync_failures", 1);
+        continue;
+      }
+      auto dst_shadow = ShadowHandleLocked(*inode, **dst, /*create=*/true);
+      if (!dst_shadow.ok()) {
+        metrics_.Add("mux.mirror.sync_failures", 1);
+        continue;
+      }
+      for (const auto& piece : inode->blt->Runs(mrun.first_block, count)) {
+        if (piece.tier == kInvalidTier || piece.tier == t) {
+          continue;
+        }
+        auto src = FindTier(tiers, piece.tier);
+        if (!src.ok()) {
+          metrics_.Add("mux.mirror.sync_failures", 1);
+          continue;
+        }
+        auto src_shadow = ShadowHandleLocked(*inode, **src, /*create=*/false);
+        if (!src_shadow.ok()) {
+          metrics_.Add("mux.mirror.sync_failures", 1);
+          continue;
+        }
+        constexpr uint64_t kSlice = 256;  // 1 MiB copies
+        bool copied = true;
+        for (uint64_t done = 0; done < piece.count && copied;
+             done += kSlice) {
+          const uint64_t blocks = std::min(kSlice, piece.count - done);
+          const uint64_t off = (piece.first_block + done) * kBlockSize;
+          buf.resize(blocks * kBlockSize);
+          auto got = (*src)->fs->Read(*src_shadow, off, buf.size(),
+                                      buf.data());
+          if (!got.ok()) {
+            copied = false;
+            break;
+          }
+          if (*got < buf.size()) {
+            std::memset(buf.data() + *got, 0, buf.size() - *got);
+          }
+          if (!(*dst)->fs->Write(*dst_shadow, off, buf.data(), buf.size())
+                   .ok()) {
+            copied = false;
+            break;
+          }
+        }
+        if (!copied) {
+          // Leave the copy dirty; a later round retries.
+          metrics_.Add("mux.mirror.sync_failures", 1);
+          continue;
+        }
+        inode->blt->CleanOn(piece.first_block, piece.count, t);
+        const uint64_t bytes = piece.count * kBlockSize;
+        synced += bytes;
+        *budget -= std::min(*budget, bytes);
+        metrics_.Add("mux.mirror.cleaned_blocks", piece.count);
+        fsync_tiers |= ResidencySet::Bit(t);
+      }
+    }
+  }
+  for (uint32_t bits = fsync_tiers; bits != 0; bits &= bits - 1) {
+    const TierId t = static_cast<TierId>(std::countr_zero(bits));
+    auto dst = FindTier(tiers, t);
+    if (!dst.ok()) {
+      continue;
+    }
+    auto shadow = ShadowHandleLocked(*inode, **dst, /*create=*/false);
+    if (!shadow.ok() ||
+        !(*dst)->fs->Fsync(*shadow, /*data_only=*/true).ok()) {
+      // The copy is clean in memory but possibly not durable; report it but
+      // do not re-dirty — the bytes on media are current.
+      metrics_.Add("mux.mirror.sync_failures", 1);
+    }
+  }
+  return synced;
+}
+
+Result<uint64_t> Mux::SyncMirrors(uint64_t max_bytes) {
+  const auto tier_set = SnapshotTierSet();
+  if (tier_set == nullptr || tier_set->tiers.empty()) {
+    return uint64_t{0};
+  }
+  uint64_t budget = max_bytes;
+  uint64_t synced = 0;
+  bool any_dirty = false;
+  IndexScanGuard scan(this);
+  size_t cursor = 0;
+  std::vector<std::shared_ptr<MuxInode>> chunk;
+  chunk.reserve(kIndexScanChunk);
+  while (budget > 0 && CollectIndexChunk(&cursor, kIndexScanChunk, &chunk)) {
+    for (const auto& inode : chunk) {
+      if (budget == 0) {
+        break;
+      }
+      if (inode->type != vfs::FileType::kRegular) {
+        continue;
+      }
+      {
+        // Cheap skip without the exclusive lock: most files have no dirty
+        // mirror copies at all.
+        std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+        if (inode->unlinked.load(std::memory_order_acquire) ||
+            inode->blt == nullptr || inode->blt->DirtyBlocks() == 0) {
+          continue;
+        }
+      }
+      any_dirty = true;
+      MUX_ASSIGN_OR_RETURN(uint64_t got,
+                           MirrorSyncFile(inode, tier_set->tiers, &budget));
+      synced += got;
+    }
+  }
+  if (any_dirty) {
+    metrics_.Add("mux.mirror.sync_rounds", 1);
+  }
+  if (synced > 0) {
+    metrics_.Add("mux.mirror.sync_bytes", synced);
+  }
+  return synced;
+}
+
+// ---- consistency check (Fsck) --------------------------------------------------------
+
+Result<Mux::ScrubReport> Mux::Fsck() {
+  std::vector<std::shared_ptr<MuxInode>> files;
+  const auto tier_set = SnapshotTierSet();
+  const std::vector<TierInfo>& tiers = tier_set->tiers;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    for (const auto& [ino, inode] : inodes_) {
+      if (inode->type == vfs::FileType::kRegular) {
+        files.push_back(inode);
+      }
+    }
+  }
+
+  ScrubReport report;
+  std::vector<uint8_t> primary_buf(kBlockSize);
+  std::vector<uint8_t> replica_buf(kBlockSize);
+  for (const auto& inode : files) {
+    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    report.files_checked++;
+    const uint64_t size_blocks =
+        (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
+    for (const auto& run : inode->blt->AllRuns()) {
+      report.blocks_checked += run.count;
+      // 1. No mapping may extend past the logical size.
+      if (run.first_block + run.count > size_blocks) {
+        report.size_inconsistencies++;
+      }
+      // 2. The tier the BLT names must hold a shadow file.
+      auto tier = FindTier(tiers, run.tier);
+      if (!tier.ok() || !(*tier)->fs->Stat(inode->path).ok()) {
+        report.missing_shadows++;
+      }
+    }
+    // 3. Every extra resident copy must have a shadow too; clean copies must
+    //    be byte-identical to the primary, dirty copies are reported but
+    //    allowed to diverge (lazy reconciliation has not caught up yet).
+    for (const auto& mrun : inode->blt->AllMirrorRuns()) {
+      if (mrun.first_block + mrun.count > size_blocks) {
+        report.size_inconsistencies++;
+      }
+      for (uint32_t bits = mrun.extra; bits != 0; bits &= bits - 1) {
+        const TierId t = static_cast<TierId>(std::countr_zero(bits));
+        report.blocks_checked += mrun.count;
+        const bool dirty = (mrun.dirty & ResidencySet::Bit(t)) != 0;
+        if (dirty) {
+          // Stale by design (lazy reconciliation has not caught up); counted
+          // even when the tier is unreachable, and never byte-compared.
+          report.dirty_replicas += mrun.count;
+        }
+        auto replica_tier = FindTier(tiers, t);
+        if (!replica_tier.ok() ||
+            !(*replica_tier)->fs->Stat(inode->path).ok()) {
+          report.missing_shadows++;
+          continue;
+        }
+        if (dirty) {
+          continue;
+        }
+        auto replica_shadow =
+            ShadowHandleLocked(*inode, **replica_tier, false);
+        if (!replica_shadow.ok()) {
+          report.missing_shadows++;
+          continue;
+        }
+        for (uint64_t block = mrun.first_block;
+             block < mrun.first_block + mrun.count; ++block) {
+          const TierId primary = inode->blt->Lookup(block);
+          auto primary_tier = FindTier(tiers, primary);
+          if (!primary_tier.ok()) {
+            report.replica_mismatches++;
+            continue;
+          }
+          auto primary_shadow =
+              ShadowHandleLocked(*inode, **primary_tier, false);
+          if (!primary_shadow.ok()) {
+            report.replica_mismatches++;
+            continue;
+          }
+          auto primary_read =
+              (*primary_tier)->fs->Read(*primary_shadow, block * kBlockSize,
+                                        kBlockSize, primary_buf.data());
+          auto replica_read =
+              (*replica_tier)->fs->Read(*replica_shadow, block * kBlockSize,
+                                        kBlockSize, replica_buf.data());
+          if (!primary_read.ok() || !replica_read.ok()) {
+            report.replica_mismatches++;
+            continue;
+          }
+          if (*primary_read < kBlockSize) {
+            std::memset(primary_buf.data() + *primary_read, 0,
+                        kBlockSize - *primary_read);
+          }
+          if (*replica_read < kBlockSize) {
+            std::memset(replica_buf.data() + *replica_read, 0,
+                        kBlockSize - *replica_read);
+          }
+          if (primary_buf != replica_buf) {
+            report.replica_mismatches++;
+          }
+        }
+      }
+    }
+  }
+  return report;
 }
 
 }  // namespace mux::core

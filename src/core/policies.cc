@@ -313,6 +313,159 @@ class PinPolicy : public TieringPolicy {
   std::vector<std::pair<std::string, std::string>> rules_;
 };
 
+// ---- Mirror-optimized tiering (MOST) ----------------------------------------
+// Multi-residency-aware policy: cold primaries demote LRU-style, but hot
+// files gain an *additional* copy on the fastest tier instead of moving —
+// the slow copy keeps capacity pressure off the fast tier while the fast
+// copy serves reads. Replica bytes are budgeted separately from primaries so
+// mirrors never starve real placement.
+class MirrorPolicy : public TieringPolicy {
+ public:
+  MirrorPolicy(double hot_threshold, double high_watermark,
+               double replica_budget_fraction)
+      : hot_(hot_threshold), high_(high_watermark),
+        replica_budget_(replica_budget_fraction) {}
+
+  std::string_view Name() const override { return "mirror"; }
+
+  TierId PlaceWrite(const PlacementContext& ctx) override {
+    return FastestWithSpace(*ctx.tiers, ctx.io_size);
+  }
+
+  std::vector<MigrationTask> PlanMigrations(const TieringView& view) override {
+    std::vector<MigrationTask> tasks;
+    if (view.tiers.size() < 2) {
+      return tasks;
+    }
+    const TierUsage& fastest = view.tiers.front();
+    constexpr uint64_t kBlock = 4096;
+
+    // Current replica load on the fastest tier, and the budget it may grow
+    // to (a fraction of capacity; mirrors are a cache, not a tenant).
+    uint64_t replica_bytes = 0;
+    for (const FileView& file : view.files) {
+      auto it = file.replica_blocks_per_tier.find(fastest.id);
+      if (it != file.replica_blocks_per_tier.end()) {
+        replica_bytes += it->second * kBlock;
+      }
+    }
+    const uint64_t budget = static_cast<uint64_t>(
+        replica_budget_ * static_cast<double>(fastest.capacity_bytes));
+
+    // 1. Over budget or over watermark: drop the coldest mirrored files'
+    //    extra copies first — reclaim is a punch, not a copy.
+    if (replica_bytes > budget || fastest.UsedFraction() > high_) {
+      std::vector<const FileView*> mirrored;
+      for (const FileView& file : view.files) {
+        auto it = file.replica_blocks_per_tier.find(fastest.id);
+        if (it != file.replica_blocks_per_tier.end() && it->second > 0) {
+          mirrored.push_back(&file);
+        }
+      }
+      std::sort(mirrored.begin(), mirrored.end(),
+                [](const FileView* a, const FileView* b) {
+                  return a->last_access < b->last_access;
+                });
+      uint64_t over = replica_bytes > budget ? replica_bytes - budget : 0;
+      if (fastest.UsedFraction() > high_) {
+        over = std::max(over, static_cast<uint64_t>(
+            (fastest.UsedFraction() - high_) *
+            static_cast<double>(fastest.capacity_bytes)));
+      }
+      for (const FileView* file : mirrored) {
+        if (over == 0) {
+          break;
+        }
+        tasks.push_back(MigrationTask{file->path, kInvalidTier, fastest.id, 0,
+                                      0, MigrationKind::kDropReplica});
+        const uint64_t bytes =
+            file->replica_blocks_per_tier.at(fastest.id) * kBlock;
+        over -= std::min(over, bytes);
+        replica_bytes -= std::min(replica_bytes, bytes);
+      }
+    }
+
+    // 2. Hot files whose primaries live below gain a mirror copy on the
+    //    fastest tier, hottest first, while space and budget allow.
+    std::vector<const FileView*> hot;
+    for (const FileView& file : view.files) {
+      if (file.temperature < hot_) {
+        continue;
+      }
+      auto mirrored = file.replica_blocks_per_tier.find(fastest.id);
+      if (mirrored != file.replica_blocks_per_tier.end() &&
+          mirrored->second > 0) {
+        continue;  // already mirrored up
+      }
+      uint64_t below_blocks = 0;
+      for (const auto& [tier_id, blocks] : file.blocks_per_tier) {
+        if (tier_id != fastest.id) {
+          below_blocks += blocks;
+        }
+      }
+      if (below_blocks > 0) {
+        hot.push_back(&file);
+      }
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const FileView* a, const FileView* b) {
+                return a->temperature > b->temperature;
+              });
+    uint64_t free = fastest.free_bytes;
+    const uint64_t floor = fastest.capacity_bytes / 64;
+    for (const FileView* file : hot) {
+      const uint64_t bytes = file->size;
+      if (replica_bytes + bytes > budget || free < bytes + floor) {
+        continue;
+      }
+      tasks.push_back(MigrationTask{file->path, kInvalidTier, fastest.id, 0,
+                                    0, MigrationKind::kAddReplica});
+      replica_bytes += bytes;
+      free -= bytes;
+    }
+
+    // 3. Safety demotion of cold primaries when a tier overfills, same shape
+    //    as LRU (mirrors alone cannot fix primary capacity pressure).
+    for (size_t t = 0; t + 1 < view.tiers.size(); ++t) {
+      const TierUsage& tier = view.tiers[t];
+      if (tier.UsedFraction() <= high_) {
+        continue;
+      }
+      const TierId below = view.tiers[t + 1].id;
+      std::vector<const FileView*> on_tier;
+      for (const FileView& file : view.files) {
+        auto it = file.blocks_per_tier.find(tier.id);
+        if (it != file.blocks_per_tier.end() && it->second > 0 &&
+            file.temperature < hot_) {
+          on_tier.push_back(&file);
+        }
+      }
+      std::sort(on_tier.begin(), on_tier.end(),
+                [](const FileView* a, const FileView* b) {
+                  return a->last_access < b->last_access;
+                });
+      uint64_t to_free = static_cast<uint64_t>(
+          (tier.UsedFraction() - high_) *
+          static_cast<double>(tier.capacity_bytes));
+      for (const FileView* file : on_tier) {
+        if (to_free == 0) {
+          break;
+        }
+        tasks.push_back(MigrationTask{file->path, tier.id, below, 0, 0,
+                                      MigrationKind::kMove});
+        const uint64_t bytes = file->blocks_per_tier.at(tier.id) * kBlock;
+        to_free -= std::min(to_free, bytes);
+      }
+    }
+    return tasks;
+  }
+
+ private:
+  const double hot_;
+  const double high_;
+  const double replica_budget_;
+};
+
 // Registers the built-ins exactly once, on first registry use.
 struct BuiltinRegistrar {
   BuiltinRegistrar() {
@@ -328,6 +481,9 @@ struct BuiltinRegistrar {
     });
     (void)registry.Register("pin", [](const std::string& args) {
       return MakePinPolicy(args);
+    });
+    (void)registry.Register("mirror", [](const std::string&) {
+      return MakeMirrorPolicy();
     });
   }
 };
@@ -356,6 +512,13 @@ std::unique_ptr<TieringPolicy> MakeHotColdPolicy(double hot_threshold,
 
 std::unique_ptr<TieringPolicy> MakePinPolicy(const std::string& rules) {
   return std::make_unique<PinPolicy>(rules);
+}
+
+std::unique_ptr<TieringPolicy> MakeMirrorPolicy(
+    double hot_threshold, double high_watermark,
+    double replica_budget_fraction) {
+  return std::make_unique<MirrorPolicy>(hot_threshold, high_watermark,
+                                        replica_budget_fraction);
 }
 
 }  // namespace mux::core

@@ -63,8 +63,12 @@ struct FileView {
   uint64_t size = 0;
   SimTime last_access = 0;
   double temperature = 0.0;
-  // tier -> blocks currently stored there.
+  // tier -> primary blocks currently stored there.
   std::map<TierId, uint64_t> blocks_per_tier;
+  // tier -> extra (mirror) block copies stored there.
+  std::map<TierId, uint64_t> replica_blocks_per_tier;
+  // Mirror copies awaiting lazy reconciliation.
+  uint64_t dirty_blocks = 0;
 };
 
 struct TieringView {
@@ -72,6 +76,13 @@ struct TieringView {
   std::vector<FileView> files;
   SimTime now = 0;
 };
+
+// What a planned task does with residency. kMove is the classic exclusive
+// migration (copy then punch the source); kAddReplica copies without
+// punching, *adding* residency on `to` (MOST promotion); kDropReplica
+// removes the mirror copies on `to` (capacity reclaim — primaries are never
+// dropped this way).
+enum class MigrationKind { kMove, kAddReplica, kDropReplica };
 
 // One unit of planned data movement.
 struct MigrationTask {
@@ -81,6 +92,7 @@ struct MigrationTask {
   // 0 count = whole file.
   uint64_t first_block = 0;
   uint64_t count = 0;
+  MigrationKind kind = MigrationKind::kMove;
 };
 
 class TieringPolicy {
@@ -127,6 +139,15 @@ std::unique_ptr<TieringPolicy> MakeHotColdPolicy(double hot_threshold = 8.0,
 // rules: "prefix=tier_name,prefix=tier_name"; unmatched paths use the
 // fastest tier with space.
 std::unique_ptr<TieringPolicy> MakePinPolicy(const std::string& rules);
+// Mirror-aware policy (MOST, registered as "mirror"): LRU-style demotion of
+// cold primaries, plus hot files gain an *additional* copy on the fastest
+// tier (kAddReplica) while replica bytes stay under
+// `replica_budget_fraction` of that tier's capacity and its occupancy is
+// below `high_watermark`; the coldest mirrored files lose their extra copy
+// first (kDropReplica) when either bound is exceeded.
+std::unique_ptr<TieringPolicy> MakeMirrorPolicy(
+    double hot_threshold = 2.0, double high_watermark = 0.9,
+    double replica_budget_fraction = 0.5);
 
 }  // namespace mux::core
 

@@ -121,6 +121,110 @@ TEST_P(BltTest, SparseFarBlock) {
 
 // Property: both implementations must agree with each other under random
 // operations.
+// ---- multi-residency (MOST) -------------------------------------------------
+
+TEST_P(BltTest, AddResidencyTracksMirrors) {
+  blt_->SetRange(0, 10, 0);
+  blt_->AddResidency(2, 4, 1);
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(1), 4u);
+  const ResidencySet set = blt_->LookupSet(3);
+  EXPECT_EQ(set.primary, 0u);
+  EXPECT_TRUE(set.ReplicaOn(1));
+  EXPECT_TRUE(set.CleanOn(1));
+  EXPECT_EQ(set.Copies(), 2u);
+  // Holes and the primary tier never gain mirror residency.
+  blt_->AddResidency(50, 5, 1);
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(1), 4u);
+  blt_->AddResidency(0, 10, 0);
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(0), 0u);
+}
+
+TEST_P(BltTest, DirtyLifecycle) {
+  blt_->SetRange(0, 8, 0);
+  blt_->AddResidency(0, 8, 1);
+  EXPECT_EQ(blt_->DirtyBlocks(), 0u);
+  // Absorbing a write on the primary dirties every mirror exactly once.
+  EXPECT_EQ(blt_->DirtyAll(2, 4), 4u);
+  EXPECT_EQ(blt_->DirtyAll(2, 4), 0u);  // already dirty: no new copies
+  EXPECT_EQ(blt_->DirtyBlocks(), 4u);
+  EXPECT_EQ(blt_->DirtyBlocksOnTier(1), 4u);
+  EXPECT_FALSE(blt_->LookupSet(3).CleanOn(1));
+  EXPECT_TRUE(blt_->LookupSet(3).DirtyOn(1));
+  // Reconciliation cleans the copy again.
+  blt_->CleanOn(2, 4, 1);
+  EXPECT_EQ(blt_->DirtyBlocks(), 0u);
+  EXPECT_TRUE(blt_->LookupSet(3).CleanOn(1));
+}
+
+TEST_P(BltTest, AbsorbWritePromotesMirror) {
+  blt_->SetRange(0, 8, 2);
+  blt_->AddResidency(0, 8, 1);
+  // The write landed on tier 1: it becomes the primary, the old primary
+  // demotes to a dirty mirror.
+  EXPECT_EQ(blt_->AbsorbWrite(0, 8, 1), 8u);
+  const ResidencySet set = blt_->LookupSet(4);
+  EXPECT_EQ(set.primary, 1u);
+  EXPECT_TRUE(set.DirtyOn(2));
+  EXPECT_FALSE(set.CleanOn(2));
+  EXPECT_EQ(blt_->BlocksOnTier(1), 8u);
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(2), 8u);
+}
+
+TEST_P(BltTest, SetRangeKeepsVerbatimMirrorsClean) {
+  blt_->SetRange(0, 8, 0);
+  blt_->AddResidency(0, 8, 1);
+  // Migration copies bytes verbatim to tier 2: mirrors stay clean, and a
+  // mirror on the destination dissolves into the primary.
+  blt_->SetRange(0, 8, 2);
+  const ResidencySet set = blt_->LookupSet(0);
+  EXPECT_EQ(set.primary, 2u);
+  EXPECT_TRUE(set.CleanOn(1));
+  EXPECT_EQ(blt_->DirtyBlocks(), 0u);
+  blt_->SetRange(0, 8, 1);  // onto the mirror tier: one physical copy
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(1), 0u);
+  EXPECT_EQ(blt_->LookupSet(0).Copies(), 1u);
+}
+
+TEST_P(BltTest, ResidencyRunsSplitAtStateChanges) {
+  blt_->SetRange(0, 16, 0);
+  blt_->AddResidency(4, 8, 1);
+  blt_->DirtyOn(8, 4, 1);
+  auto runs = blt_->ResidencyRuns(0, 16);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].count, 4u);
+  EXPECT_EQ(runs[0].set.extra, 0u);
+  EXPECT_EQ(runs[1].first_block, 4u);
+  EXPECT_EQ(runs[1].count, 4u);
+  EXPECT_TRUE(runs[1].set.CleanOn(1));
+  EXPECT_EQ(runs[2].first_block, 8u);
+  EXPECT_EQ(runs[2].count, 4u);
+  EXPECT_TRUE(runs[2].set.DirtyOn(1));
+  EXPECT_EQ(runs[3].first_block, 12u);
+  EXPECT_EQ(runs[3].set.extra, 0u);
+}
+
+TEST_P(BltTest, TruncateAndClearDropMirrors) {
+  blt_->SetRange(0, 16, 0);
+  blt_->AddResidency(0, 16, 1);
+  blt_->ClearRange(2, 4);
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(1), 12u);
+  blt_->TruncateFrom(8);
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(1), 4u);  // blocks 0,1 and 6,7 remain
+  auto mruns = blt_->AllMirrorRuns();
+  ASSERT_FALSE(mruns.empty());
+  for (const auto& mrun : mruns) {
+    EXPECT_LT(mrun.first_block + mrun.count, 9u);
+  }
+}
+
+TEST_P(BltTest, MirrorBitmapCapsAtThirtyTwoTiers) {
+  blt_->SetRange(0, 4, 0);
+  blt_->AddResidency(0, 4, 40);  // beyond the bitmap: silently ignored
+  EXPECT_EQ(blt_->ReplicaBlocksOnTier(40), 0u);
+  EXPECT_FALSE(blt_->HasMirrors());
+  EXPECT_EQ(ResidencySet::Bit(40), 0u);
+}
+
 TEST(BltCrossCheck, ImplementationsAgree) {
   auto tree = MakeBlt(BltKind::kExtentTree);
   auto array = MakeBlt(BltKind::kByteArray);

@@ -1,0 +1,358 @@
+// Multi-residency failover + lazy-reconciliation stress (MOST).
+//
+// Every tier is wrapped in FaultInjectingFs and Mux runs with the default
+// completion-based dispatch (async_dispatch=true). A chaos thread kills and
+// revives tiers under concurrent read load: blocks with two clean copies
+// must never fail a read (the data path fails over to the surviving copy),
+// and after the dust settles lazy reconciliation must converge exactly once
+// — a second SyncMirrors pass finds nothing, and Fsck reports a clean stack.
+//
+// Runs under TSan/ASan in CI: the failover bitmap (failing_tiers_), the
+// mirror-sync bookkeeping, and the async submission rings are all exercised
+// cross-thread here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/mux.h"
+#include "src/device/block_device.h"
+#include "src/device/pm_device.h"
+#include "src/fs/extlite/extlite.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/fs/xfslite/xfslite.h"
+#include "src/vfs/fault_injecting_fs.h"
+#include "tests/mux_rig.h"
+
+namespace mux::testing {
+namespace {
+
+using vfs::FaultInjectingFs;
+using vfs::OpenFlags;
+
+constexpr uint64_t kBlock = core::Mux::kBlockSize;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+// MuxRig with every tier behind a FaultInjectingFs wrapper.
+class MirrorStressRig {
+ public:
+  explicit MirrorStressRig(core::Mux::Options options = core::Mux::Options())
+      : pm_dev_(device::DeviceProfile::OptanePm(sizes_.pm_bytes), &clock_),
+        ssd_dev_(device::DeviceProfile::OptaneSsd(sizes_.ssd_bytes), &clock_),
+        hdd_dev_(device::DeviceProfile::ExosHdd(sizes_.hdd_bytes), &clock_),
+        novafs_(&pm_dev_, &clock_),
+        xfslite_(&ssd_dev_, &clock_, XfsOptionsFor(sizes_)),
+        extlite_(&hdd_dev_, &clock_, ExtOptionsFor(sizes_)),
+        pm_(&novafs_, 201),
+        ssd_(&xfslite_, 202),
+        hdd_(&extlite_, 203),
+        mux_(std::make_unique<core::Mux>(&clock_, std::move(options))) {
+    ok_ = novafs_.Format().ok() && xfslite_.Format().ok() &&
+          extlite_.Format().ok();
+    auto pm = mux_->AddTier("pm", &pm_, pm_dev_.profile());
+    auto ssd = mux_->AddTier("ssd", &ssd_, ssd_dev_.profile());
+    auto hdd = mux_->AddTier("hdd", &hdd_, hdd_dev_.profile());
+    ok_ = ok_ && pm.ok() && ssd.ok() && hdd.ok();
+    pm_tier_ = pm.value_or(core::kInvalidTier);
+    ssd_tier_ = ssd.value_or(core::kInvalidTier);
+    hdd_tier_ = hdd.value_or(core::kInvalidTier);
+  }
+
+  bool ok() const { return ok_; }
+  core::Mux& mux() { return *mux_; }
+  FaultInjectingFs& pm() { return pm_; }
+  FaultInjectingFs& ssd() { return ssd_; }
+  FaultInjectingFs& hdd() { return hdd_; }
+  core::TierId pm_tier() const { return pm_tier_; }
+  core::TierId ssd_tier() const { return ssd_tier_; }
+  core::TierId hdd_tier() const { return hdd_tier_; }
+
+ private:
+  MuxRigSizes sizes_;
+  SimClock clock_;
+  device::PmDevice pm_dev_;
+  device::BlockDevice ssd_dev_;
+  device::BlockDevice hdd_dev_;
+  fs::NovaFs novafs_;
+  fs::XfsLite xfslite_;
+  fs::ExtLite extlite_;
+  FaultInjectingFs pm_;
+  FaultInjectingFs ssd_;
+  FaultInjectingFs hdd_;
+  std::unique_ptr<core::Mux> mux_;
+  core::TierId pm_tier_ = core::kInvalidTier;
+  core::TierId ssd_tier_ = core::kInvalidTier;
+  core::TierId hdd_tier_ = core::kInvalidTier;
+  bool ok_ = false;
+};
+
+// Kill one tier at a time under concurrent read load: every block has two
+// clean copies (SSD primary + HDD mirror), so no read may ever fail.
+TEST(MirrorStress, FailoverUnderConcurrentReadLoad) {
+  MirrorStressRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  constexpr int kFiles = 4;
+  constexpr uint64_t kBlocksPerFile = 48;
+  std::vector<vfs::FileHandle> handles;
+  std::vector<std::vector<uint8_t>> golden;
+  for (int f = 0; f < kFiles; ++f) {
+    const std::string path = "/f" + std::to_string(f);
+    auto h = mux.Open(path, OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok());
+    auto data = Pattern(kBlocksPerFile * kBlock, 1000 + f);
+    ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+    ASSERT_TRUE(mux.MigrateFile(path, rig.ssd_tier()).ok());
+    ASSERT_TRUE(mux.ReplicateFile(path, rig.hdd_tier()).ok());
+    handles.push_back(*h);
+    golden.push_back(std::move(data));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failed_reads{0};
+  std::atomic<uint64_t> corrupt_reads{0};
+  std::atomic<uint64_t> reads_done{0};
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(7000 + r);
+      std::vector<uint8_t> out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int f = static_cast<int>(rng.Below(kFiles));
+        const uint64_t lo = rng.Below(kBlocksPerFile * kBlock - 1);
+        const uint64_t len =
+            1 + rng.Below(std::min<uint64_t>(kBlocksPerFile * kBlock - lo,
+                                             8 * kBlock));
+        out.resize(len);
+        auto got = mux.Read(handles[f], lo, len, out.data());
+        if (!got.ok()) {
+          failed_reads.fetch_add(1, std::memory_order_relaxed);
+        } else if (std::memcmp(out.data(), golden[f].data() + lo, len) != 0) {
+          corrupt_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        reads_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Chaos: alternate which copy is dead; never both at once.
+  for (int round = 0; round < 6; ++round) {
+    FaultInjectingFs& victim = (round % 2 == 0) ? rig.ssd() : rig.hdd();
+    victim.KillDevice();
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    victim.Revive();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  EXPECT_EQ(failed_reads.load(), 0u)
+      << "mirrored blocks must never fail a read while one copy survives";
+  EXPECT_EQ(corrupt_reads.load(), 0u);
+  EXPECT_GT(reads_done.load(), 0u);
+  // The dead tier was actually hit and failed over from.
+  EXPECT_GT(mux.metrics().CounterValue("mux.replica.failover"), 0u);
+  for (auto h : handles) {
+    EXPECT_TRUE(mux.Close(h).ok());
+  }
+}
+
+// Writes absorb on one copy and dirty the mirrors; bounded SyncMirrors
+// passes must reconcile every dirty copy exactly once and then go idle.
+TEST(MirrorStress, LazyReconciliationConvergesExactlyOnce) {
+  MirrorStressRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  auto h = mux.Open("/w", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(64 * kBlock, 5);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.MigrateFile("/w", rig.ssd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/w", rig.hdd_tier()).ok());
+
+  // Overwrite a scattered set of ranges; each write absorbs on the SSD
+  // primary and leaves the HDD mirror stale.
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const uint64_t lo = rng.Below(data.size() - 1);
+    const uint64_t len = 1 + rng.Below(std::min<uint64_t>(
+        data.size() - lo, 6 * kBlock));
+    auto patch = Pattern(len, rng.Next());
+    ASSERT_TRUE(mux.Write(*h, lo, patch.data(), len).ok());
+    std::copy(patch.begin(), patch.end(), data.begin() + lo);
+  }
+  const uint64_t dirtied =
+      mux.metrics().CounterValue("mux.mirror.dirty_blocks");
+  ASSERT_GT(dirtied, 0u);
+
+  // Reconcile with a deliberately small budget so convergence takes several
+  // bounded passes, as it would ride on successive policy rounds.
+  uint64_t total = 0;
+  int passes = 0;
+  for (; passes < 1000; ++passes) {
+    auto synced = mux.SyncMirrors(8 * kBlock);
+    ASSERT_TRUE(synced.ok()) << synced.status();
+    if (*synced == 0) {
+      break;
+    }
+    total += *synced;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(passes, 1) << "budget should force multiple passes";
+  // Exactly-once: cleaned copies equal the distinct dirtied copies, and a
+  // further pass finds nothing.
+  EXPECT_EQ(mux.metrics().CounterValue("mux.mirror.cleaned_blocks"),
+            mux.metrics().CounterValue("mux.mirror.dirty_blocks"));
+  auto again = mux.SyncMirrors();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+
+  // Both physical copies now byte-match, and the HDD mirror can serve alone.
+  auto report = mux.Fsck();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Clean()) << "mismatches=" << report->replica_mismatches
+                               << " missing=" << report->missing_shadows;
+  EXPECT_EQ(report->dirty_replicas, 0u);
+  rig.ssd().KillDevice();
+  std::vector<uint8_t> out(data.size());
+  auto r = mux.Read(*h, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(out, data);
+  rig.ssd().Revive();
+  EXPECT_TRUE(mux.Close(*h).ok());
+}
+
+// Kill the mirror tier mid-reconciliation: the pass records failures and
+// leaves the copies dirty; after revival the next pass converges and the
+// stack checks out clean.
+TEST(MirrorStress, ReconciliationSurvivesMirrorTierDeath) {
+  MirrorStressRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  auto h = mux.Open("/x", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  auto data = Pattern(32 * kBlock, 6);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  ASSERT_TRUE(mux.MigrateFile("/x", rig.ssd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/x", rig.hdd_tier()).ok());
+  auto patch = Pattern(16 * kBlock, 7);
+  ASSERT_TRUE(mux.Write(*h, 0, patch.data(), patch.size()).ok());
+  std::copy(patch.begin(), patch.end(), data.begin());
+
+  rig.hdd().KillDevice();
+  auto blocked = mux.SyncMirrors();
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(*blocked, 0u);
+  EXPECT_GT(mux.metrics().CounterValue("mux.mirror.sync_failures"), 0u);
+  // Still dirty: Fsck reports the stale copies but stays "clean" — dirty
+  // mirrors are an expected transient, not corruption.
+  {
+    auto report = mux.Fsck();
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->dirty_replicas, 0u);
+  }
+
+  rig.hdd().Revive();
+  auto synced = mux.SyncMirrors();
+  ASSERT_TRUE(synced.ok());
+  EXPECT_GT(*synced, 0u);
+  auto report = mux.Fsck();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Clean()) << "mismatches=" << report->replica_mismatches;
+  EXPECT_EQ(report->dirty_replicas, 0u);
+  EXPECT_TRUE(mux.Close(*h).ok());
+}
+
+// Concurrent writers + background reconciliation + chaos on the mirror
+// tier: the bookkeeping never double-cleans, never loses a dirty bit, and
+// converges once the chaos stops.
+TEST(MirrorStress, ConcurrentWritesAndSyncUnderChaos) {
+  MirrorStressRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  constexpr int kFiles = 3;
+  constexpr uint64_t kBlocksPerFile = 32;
+  std::vector<vfs::FileHandle> handles;
+  for (int f = 0; f < kFiles; ++f) {
+    const std::string path = "/c" + std::to_string(f);
+    auto h = mux.Open(path, OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok());
+    auto data = Pattern(kBlocksPerFile * kBlock, 300 + f);
+    ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+    ASSERT_TRUE(mux.MigrateFile(path, rig.ssd_tier()).ok());
+    ASSERT_TRUE(mux.ReplicateFile(path, rig.hdd_tier()).ok());
+    handles.push_back(*h);
+  }
+
+  std::atomic<bool> stop{false};
+  // One writer per file (disjoint ownership), one syncer, one chaos thread.
+  std::vector<std::thread> workers;
+  for (int f = 0; f < kFiles; ++f) {
+    workers.emplace_back([&, f] {
+      Rng rng(500 + f);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t lo = rng.Below(kBlocksPerFile * kBlock - 1);
+        const uint64_t len = 1 + rng.Below(std::min<uint64_t>(
+            kBlocksPerFile * kBlock - lo, 4 * kBlock));
+        auto patch = Pattern(len, rng.Next());
+        (void)mux.Write(handles[f], lo, patch.data(), len);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)mux.SyncMirrors(16 * kBlock);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  workers.emplace_back([&] {
+    for (int round = 0; round < 4; ++round) {
+      rig.hdd().KillDevice();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      rig.hdd().Revive();
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+    stop.store(true);
+  });
+  for (auto& t : workers) {
+    t.join();
+  }
+
+  // Quiesce: converge reconciliation fully, then verify the stack.
+  for (int i = 0; i < 1000; ++i) {
+    auto synced = mux.SyncMirrors();
+    ASSERT_TRUE(synced.ok()) << synced.status();
+    if (*synced == 0) {
+      break;
+    }
+  }
+  auto report = mux.Fsck();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->replica_mismatches, 0u);
+  EXPECT_EQ(report->missing_shadows, 0u);
+  EXPECT_EQ(report->dirty_replicas, 0u);
+  for (auto h : handles) {
+    EXPECT_TRUE(mux.Close(h).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mux::testing

@@ -1,7 +1,6 @@
-// Tests for cross-tier block replication (the §4 crash-consistency
-// extension): mirroring, synchronous write propagation, fastest-copy reads,
-// device-failure failover, interaction with truncate/punch/migration, and
-// bookkeeper persistence.
+// Tests for multi-residency replication (MOST): mirroring, write-absorb with
+// lazy mirror reconciliation, fastest-copy reads, device-failure failover,
+// interaction with truncate/punch/migration, and bookkeeper persistence.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -54,14 +53,25 @@ TEST_F(MuxReplicationTest, ReplicateCreatesMirror) {
   EXPECT_EQ(out, data_);
 }
 
-TEST_F(MuxReplicationTest, WritesUpdateBothCopies) {
+TEST_F(MuxReplicationTest, WritesAbsorbThenMirrorSyncReconciles) {
   auto& mux = rig_.mux();
   ASSERT_TRUE(mux.ReplicateFile("/r", rig_.ssd_tier()).ok());
   auto patch = Pattern(10000, 2);
   ASSERT_TRUE(mux.Write(handle_, 5000, patch.data(), patch.size()).ok());
   std::copy(patch.begin(), patch.end(), data_.begin() + 5000);
 
-  // Both physical copies carry the update.
+  // The write absorbed on one copy and marked the SSD mirror stale; the
+  // lazy reconciliation pass copies the fresh bytes over.
+  EXPECT_GT(mux.metrics().CounterValue("mux.mirror.dirty_blocks"), 0u);
+  auto synced = mux.SyncMirrors();
+  ASSERT_TRUE(synced.ok()) << synced.status();
+  EXPECT_GT(*synced, 0u);
+  // Exactly-once: a second pass finds nothing left to reconcile.
+  auto again = mux.SyncMirrors();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+
+  // Both physical copies carry the update now.
   for (vfs::FileSystem* fs :
        {static_cast<vfs::FileSystem*>(&rig_.novafs()),
         static_cast<vfs::FileSystem*>(&rig_.xfslite())}) {
@@ -72,6 +82,11 @@ TEST_F(MuxReplicationTest, WritesUpdateBothCopies) {
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(out, data_) << fs->Name();
   }
+  // And the reconciled stack checks out clean.
+  auto report = mux.Fsck();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->Clean()) << "mismatches=" << report->replica_mismatches;
+  EXPECT_EQ(report->dirty_replicas, 0u);
 }
 
 TEST_F(MuxReplicationTest, ReadsPreferTheFasterCopy) {
@@ -260,6 +275,10 @@ TEST_F(MuxReplicationTest, ReplicationOracleUnderChurn) {
     ASSERT_TRUE(mux.Write(handle_, offset, patch.data(), n).ok());
     std::copy(patch.begin(), patch.begin() + n, data_.begin() + offset);
   }
+  // Writes absorbed on one copy; reconcile so every copy is current before
+  // killing devices underneath.
+  auto synced = mux.SyncMirrors();
+  ASSERT_TRUE(synced.ok()) << synced.status();
   for (device::BlockDevice* dead : {&rig_.ssd_dev(), &rig_.hdd_dev()}) {
     dead->FailReads(true);
     std::vector<uint8_t> out(data_.size());
@@ -268,6 +287,56 @@ TEST_F(MuxReplicationTest, ReplicationOracleUnderChurn) {
     ASSERT_EQ(out, data_);
     dead->FailReads(false);
   }
+}
+
+TEST_F(MuxReplicationTest, ReadAcrossMirrorSeam) {
+  // Mirror only the first half of the file, then read across the seam where
+  // the mirrored prefix meets the unmirrored tail: the prefix may be served
+  // from the PM mirror, the tail must come from the HDD primary, and the
+  // caller sees one coherent byte stream.
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.hdd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateRange("/r", 0, 16, rig_.pm_tier()).ok());
+  const uint64_t hits_before =
+      mux.metrics().CounterValue("mux.replica.read_hits");
+  // Straddle the seam with unaligned bounds on both sides.
+  const uint64_t lo = 15 * 4096 + 123;
+  const uint64_t hi = 17 * 4096 + 991;
+  std::vector<uint8_t> out(hi - lo);
+  auto r = mux.Read(handle_, lo, out.size(), out.data());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(std::memcmp(out.data(), data_.data() + lo, out.size()), 0);
+  // Whole-prefix read: the PM mirror serves at least part of it.
+  std::vector<uint8_t> full(data_.size());
+  ASSERT_TRUE(mux.Read(handle_, 0, full.size(), full.data()).ok());
+  EXPECT_EQ(full, data_);
+  EXPECT_GT(mux.metrics().CounterValue("mux.replica.read_hits"), hits_before);
+}
+
+TEST_F(MuxReplicationTest, FailoverIsCountedPerRead) {
+  auto& mux = rig_.mux();
+  ASSERT_TRUE(mux.MigrateFile("/r", rig_.ssd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/r", rig_.hdd_tier()).ok());
+  // Remount xfslite so its page cache cannot mask the dead device.
+  ASSERT_TRUE(rig_.xfslite().Mount().ok());
+  rig_.ssd_dev().FailReads(true);
+  const uint64_t failovers_before =
+      mux.metrics().CounterValue("mux.replica.failover");
+  std::vector<uint8_t> out(data_.size());
+  for (int i = 0; i < 3; ++i) {
+    auto r = mux.Read(handle_, 0, out.size(), out.data());
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(out, data_);
+  }
+  // Every failed-over copy read bumps the counter (the *log* is rate-limited
+  // to one line per failure episode; the metric is not).
+  EXPECT_GT(mux.metrics().CounterValue("mux.replica.failover"),
+            failovers_before);
+  rig_.ssd_dev().FailReads(false);
+  // Recovery: reads succeed from the revived tier again.
+  auto r = mux.Read(handle_, 0, out.size(), out.data());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data_);
 }
 
 TEST_F(MuxReplicationTest, ScrubReportsCleanStack) {
