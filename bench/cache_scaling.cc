@@ -16,13 +16,21 @@
 //                        oldest-generation insertion must keep the drop
 //                        under 10%.
 //   3. agg_ablation    — admit a block stream with the aggregation buffer on
-//                        (256 KiB) vs off, counting DAX write ops at the
-//                        device: staging must produce FEWER, LARGER writes
-//                        (cache.agg.{flushes,bytes} metrics).
+//                        (1 MiB across 16 per-shard lanes) vs off, counting
+//                        DAX write ops at the device: staging must produce
+//                        FEWER, LARGER writes (cache.agg.{flushes,bytes}
+//                        metrics).
+//   4. staging_scaling — 1..8 threads of admission-heavy traffic (threshold
+//                        1, fresh keys), per-shard staging lanes (16 shards)
+//                        vs the single-lane ablation (shards = 1, the old
+//                        global aggregation buffer). Admissions used to
+//                        serialize on one global agg_mu_; per-shard lanes
+//                        must scale (wall ops/s).
 //
-// --check applies core-aware floors (sharded >= 1.3x global at max threads,
-// waived below 4 hardware threads; the scan and aggregation checks are not
-// core-dependent). Results go to stdout and BENCH_cache.json.
+// --check applies core-aware floors (sharded >= 1.3x global and per-shard
+// staging >= 1.2x single-lane at max threads, both waived below 4 hardware
+// threads; the scan and aggregation checks are not core-dependent). Results
+// go to stdout and BENCH_cache.json.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -205,6 +213,9 @@ void RunScanResistance(JsonReport& report, double* drop) {
 void RunAggAblation(JsonReport& report, uint64_t* direct_writes,
                     uint64_t* agg_writes, double* mean_flush_bytes) {
   constexpr uint64_t kAdmissions = 2048;
+  // 1 MiB across 16 shards = 16-block (64 KiB) lanes, so coalescing stays
+  // well above the 4x floor even with partial end-of-run flushes.
+  constexpr uint64_t kAggBytes = 1024 * 1024;
   auto run = [&](uint64_t agg_bytes) -> uint64_t {
     auto options = BaseOptions(16);
     options.admission_threshold = 1;
@@ -224,11 +235,11 @@ void RunAggAblation(JsonReport& report, uint64_t* direct_writes,
     return rig.pm.stats().write_ops;
   };
   *direct_writes = run(0);
-  *agg_writes = run(256 * 1024);
+  *agg_writes = run(kAggBytes);
 
   PrintRow("DAX writes, block-at-a-time", static_cast<double>(*direct_writes),
            "ops");
-  PrintRow("DAX writes, 256 KiB agg buffer",
+  PrintRow("DAX writes, 1 MiB agg buffer (16 lanes)",
            static_cast<double>(*agg_writes), "ops");
   PrintRow("mean flush size", *mean_flush_bytes / 1024.0, "KiB");
   report.Add("agg_ablation", "admissions", static_cast<double>(kAdmissions));
@@ -237,6 +248,65 @@ void RunAggAblation(JsonReport& report, uint64_t* direct_writes,
   report.Add("agg_ablation", "agg_dax_writes",
              static_cast<double>(*agg_writes));
   report.Add("agg_ablation", "mean_flush_bytes", *mean_flush_bytes);
+}
+
+// N threads of admission-heavy traffic (threshold 1, fresh keys per thread
+// so every op takes the staging path); returns aggregate wall ops/s.
+double AdmitOpsPerSec(CacheRig& rig, int threads) {
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> stop{false};
+  const auto start_line = WallClock::now() + std::chrono::milliseconds(20);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ScopedTimeCursor cursor(&rig.clock);
+      std::vector<uint8_t> data(kBlock, 0x5A);
+      std::this_thread::sleep_until(start_line);
+      uint64_t ops = 0;
+      uint64_t block = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Fresh key every op: always admitted, always staged.
+        rig.cache.OnMiss(/*file_key=*/100 + t, block++, data.data());
+        ++ops;
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_until(start_line + kProbeDuration);
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  return static_cast<double>(total_ops.load()) / Seconds(kProbeDuration);
+}
+
+void RunStagingSweep(uint32_t shards, JsonReport& report, double* ops_max) {
+  auto options = BaseOptions(shards);
+  options.admission_threshold = 1;
+  // Same total staging budget in both configs; with 16 shards it splits
+  // into 16 independent lanes, with 1 shard it is the old global buffer.
+  options.agg_buffer_bytes = 1024 * 1024;
+  const std::string scenario =
+      shards > 1 ? "staging_sharded" : "staging_single";
+  for (int threads : {1, 2, 4, 8}) {
+    CacheRig rig(options);  // fresh rig per point: admission-state reset
+    const double ops = AdmitOpsPerSec(rig, threads);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d thread(s), %s", threads,
+                  shards > 1 ? "16 lanes" : "single lane");
+    PrintRow(label, ops / 1e6, "Mops/s (wall)");
+    char key[64];
+    std::snprintf(key, sizeof(key), "threads_%d_ops_per_sec", threads);
+    report.Add(scenario, key, ops);
+    if (threads == kMaxThreads) {
+      *ops_max = ops;
+    }
+    if (!rig.cache.CheckConsistency().ok()) {
+      std::fprintf(stderr, "cache inconsistent after staging sweep\n");
+      std::exit(1);
+    }
+  }
 }
 
 int Run(bool check) {
@@ -260,6 +330,16 @@ int Run(bool check) {
   uint64_t direct_writes = 0, agg_writes = 0;
   double mean_flush_bytes = 0.0;
   RunAggAblation(report, &direct_writes, &agg_writes, &mean_flush_bytes);
+
+  PrintHeader("Admission staging: per-shard lanes vs single global lane");
+  double staging_sharded_max = 0, staging_single_max = 0;
+  RunStagingSweep(/*shards=*/16, report, &staging_sharded_max);
+  RunStagingSweep(/*shards=*/1, report, &staging_single_max);
+  const double staging_speedup = staging_single_max > 0
+                                     ? staging_sharded_max / staging_single_max
+                                     : 0.0;
+  PrintRow("per-shard / single-lane @ 8 threads", staging_speedup, "x");
+  report.Add("staging_summary", "sharded_vs_single_at_8", staging_speedup);
 
   if (!report.WriteTo("BENCH_cache.json")) {
     std::fprintf(stderr, "failed to write BENCH_cache.json\n");
@@ -286,6 +366,20 @@ int Run(bool check) {
                  "CHECK WAIVED: %u hardware thread(s), sharded-vs-global "
                  "wall speedup not measurable (got %.2fx)\n",
                  cores, vs_global);
+  }
+  if (cores >= 4) {
+    if (staging_speedup < 1.2) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: per-shard staging %.2fx single lane at %d "
+                   "threads (< 1.20x floor, %u cores)\n",
+                   staging_speedup, kMaxThreads, cores);
+      failures++;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "CHECK WAIVED: %u hardware thread(s), per-shard staging "
+                 "speedup not measurable (got %.2fx)\n",
+                 cores, staging_speedup);
   }
   if (drop >= 0.10) {
     std::fprintf(stderr,

@@ -4,14 +4,23 @@
 // EXPERIMENTS.md ("Traffic methodology") for why this is open-loop.
 //
 // Usage:
-//   traffic_engine [--check] [--async] [--mirror] [--files=N]
-//                  [--data-files=N] [--workers=N] [--step-ms=N]
+//   traffic_engine [--check] [--async] [--continuation] [--mirror]
+//                  [--files=N] [--data-files=N] [--workers=N] [--step-ms=N]
 //                  [--calibrate-ms=N] [--no-chaos] [--seed=N]
 //
 // --async drives the completion-based client path (submission ring +
 // completion dispatcher) instead of the thread-per-op worker pool, and
 // reports per-step submission-ring queue depth plus the async-vs-sync
 // closed-loop capacity ratio.
+//
+// --continuation drives the op state machine directly: the dispatcher
+// issues Mux::{Read,Write}Async and no thread blocks per op — in-flight is
+// bounded by a semaphore (16 per worker), not by worker threads. Reports
+// per-step ops-in-flight and writes BENCH_async.json with the
+// in-flight-vs-workers scaling curve (continuation vs submission-ring
+// client at 1/2/4 workers); --check floors: continuation capacity >= the
+// ring client's at every worker count and >= 4x its in-flight per worker,
+// both waived below 4 hardware threads.
 //
 // --mirror gives the zipfian hot head an SSD primary plus a PM mirror and
 // runs the "mirror" policy, so the steps exercise fastest-copy reads,
@@ -22,6 +31,7 @@
 // Writes BENCH_traffic.json. With --check, enforces the acceptance floors
 // from ISSUE 6/7 (core-aware: wall-clock concurrency checks are waived on a
 // single hardware thread, metadata_scaling style).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,7 +51,7 @@ uint64_t FlagValue(const char* arg, const char* name, uint64_t fallback) {
   return fallback;
 }
 
-void PrintStep(const StepResult& s, bool mirror) {
+void PrintStep(const StepResult& s, bool mirror, bool continuation) {
   std::printf(
       "  %4.2fx %-5s offered %9.0f/s goodput %9.0f/s drop %5.2f%% "
       "p50 %7.0fus p99 %8.0fus p999 %8.0fus q/s %5.0f/%5.0fus "
@@ -53,6 +63,10 @@ void PrintStep(const StepResult& s, bool mirror) {
       s.mean_service_ns / 1e3, s.cache_hit_rate * 100.0);
   if (mirror) {
     std::printf(" mirror %5.1f%%", s.replica_hit_rate * 100.0);
+  }
+  if (continuation) {
+    std::printf(" inflight %5.1f/%llu", s.mean_inflight,
+                static_cast<unsigned long long>(s.max_inflight));
   }
   std::printf("\n");
 }
@@ -84,9 +98,32 @@ int Run(const TrafficConfig& config, bool check) {
     }
   }
 
+  if (config.continuation_mode) {
+    PrintRow("continuation capacity", result.continuation_capacity_ops_s,
+             "ops/s (wall)");
+    if (result.capacity_ops_s > 0) {
+      PrintRow("continuation/sync capacity",
+               result.continuation_capacity_ops_s / result.capacity_ops_s,
+               "x");
+    }
+  }
+
   PrintHeader("Offered-load sweep (open-loop, wall-clock latency)");
   for (const auto& step : result.steps) {
-    PrintStep(step, config.mirror_mode);
+    PrintStep(step, config.mirror_mode, config.continuation_mode);
+  }
+
+  if (!result.inflight_curve.empty()) {
+    PrintHeader("In-flight vs workers: continuation client vs ring client");
+    for (const auto& p : result.inflight_curve) {
+      char label[96];
+      std::snprintf(label, sizeof(label),
+                    "w=%d ring %5.0f ops/s inflight %4.1f | cont %5.0f "
+                    "ops/s inflight",
+                    p.workers, p.async_ops_s, p.async_mean_inflight,
+                    p.cont_ops_s);
+      PrintRow(label, p.cont_mean_inflight, "ops");
+    }
   }
 
   PrintHeader("Chaos totals");
@@ -111,6 +148,8 @@ int Run(const TrafficConfig& config, bool check) {
   report.Add("config", "step_ms", static_cast<double>(config.step_ms));
   report.Add("config", "hardware_threads", cores);
   report.Add("config", "async_mode", config.async_mode ? 1.0 : 0.0);
+  report.Add("config", "continuation_mode",
+             config.continuation_mode ? 1.0 : 0.0);
   report.Add("config", "mirror_mode", config.mirror_mode ? 1.0 : 0.0);
   report.Add("calibration", "capacity_ops_s", result.capacity_ops_s);
   report.Add("calibration", "populate_seconds", result.populate_seconds);
@@ -121,6 +160,10 @@ int Run(const TrafficConfig& config, bool check) {
                result.capacity_ops_s > 0
                    ? result.async_capacity_ops_s / result.capacity_ops_s
                    : 0.0);
+  }
+  if (config.continuation_mode) {
+    report.Add("calibration", "continuation_capacity_ops_s",
+               result.continuation_capacity_ops_s);
   }
   for (const auto& s : result.steps) {
     char name[64];
@@ -144,6 +187,10 @@ int Run(const TrafficConfig& config, bool check) {
     if (config.async_mode) {
       report.Add(name, "qdepth_mean", s.mean_qdepth);
       report.Add(name, "qdepth_max", static_cast<double>(s.max_qdepth));
+    }
+    if (config.continuation_mode) {
+      report.Add(name, "inflight_mean", s.mean_inflight);
+      report.Add(name, "inflight_max", static_cast<double>(s.max_inflight));
     }
     if (config.mirror_mode) {
       report.Add(name, "replica_read_hits",
@@ -176,6 +223,40 @@ int Run(const TrafficConfig& config, bool check) {
   if (!report.WriteTo("BENCH_traffic.json")) {
     std::fprintf(stderr, "failed to write BENCH_traffic.json\n");
     return 1;
+  }
+  if (config.continuation_mode) {
+    JsonReport async_report("async_scaling");
+    async_report.Add("env", "hardware_threads", cores);
+    async_report.Add("calibration", "sync_capacity_ops_s",
+                     result.capacity_ops_s);
+    async_report.Add("calibration", "continuation_capacity_ops_s",
+                     result.continuation_capacity_ops_s);
+    for (const auto& p : result.inflight_curve) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "curve_w%d", p.workers);
+      const double w = static_cast<double>(p.workers);
+      async_report.Add(name, "async_ops_s", p.async_ops_s);
+      async_report.Add(name, "async_mean_inflight", p.async_mean_inflight);
+      async_report.Add(name, "async_inflight_per_worker",
+                       p.async_mean_inflight / w);
+      async_report.Add(name, "cont_ops_s", p.cont_ops_s);
+      async_report.Add(name, "cont_mean_inflight", p.cont_mean_inflight);
+      async_report.Add(name, "cont_inflight_per_worker",
+                       p.cont_mean_inflight / w);
+      async_report.Add(name, "capacity_ratio",
+                       p.async_ops_s > 0 ? p.cont_ops_s / p.async_ops_s
+                                         : 0.0);
+      // The ring client holds at most one executing op per server thread,
+      // so its per-worker in-flight is floored at 1 — robust to the
+      // sampler undercounting short service times.
+      async_report.Add(name, "inflight_per_worker_ratio",
+                       (p.cont_mean_inflight / w) /
+                           std::max(p.async_mean_inflight / w, 1.0));
+    }
+    if (!async_report.WriteTo("BENCH_async.json")) {
+      std::fprintf(stderr, "failed to write BENCH_async.json\n");
+      return 1;
+    }
   }
   if (!check) {
     return 0;
@@ -345,7 +426,54 @@ int Run(const TrafficConfig& config, bool check) {
     }
   }
 
-  // 7. ISSUE 9 acceptance (mirror mode): every quiet step must serve some
+  // 7. PR 10 acceptance (continuation mode): at every worker count on the
+  //    curve, the op state machine must (a) match or beat the
+  //    submission-ring client's closed-loop capacity (10% measurement-noise
+  //    margin on "match") and (b) hold >= 4x its in-flight ops per worker —
+  //    the ring client blocks one server thread per executing op, the
+  //    continuation client suspends ops in the state machine and is bounded
+  //    only by the semaphore. Both floors need the client stages to
+  //    actually overlap on separate cores, so they are waived below 4
+  //    hardware threads (metadata_scaling style).
+  for (const auto& p : result.inflight_curve) {
+    const double capacity_ratio =
+        p.async_ops_s > 0 ? p.cont_ops_s / p.async_ops_s : 0.0;
+    // Per-worker in-flight, ring baseline floored at 1 (one blocked
+    // thread per executing op is the most the ring client can hold; the
+    // sampler can undercount it on short service times).
+    const double w = static_cast<double>(p.workers);
+    const double inflight_ratio =
+        (p.cont_mean_inflight / w) /
+        std::max(p.async_mean_inflight / w, 1.0);
+    std::printf("w=%d continuation/ring capacity %.2fx, in-flight per "
+                "worker %.1fx\n",
+                p.workers, capacity_ratio, inflight_ratio);
+    if (cores < 4) {
+      if (capacity_ratio < 0.9 || inflight_ratio < 4.0) {
+        std::fprintf(stderr,
+                     "CHECK WAIVED: w=%d capacity %.2fx / in-flight %.1fx "
+                     "on %u hardware thread(s)\n",
+                     p.workers, capacity_ratio, inflight_ratio, cores);
+      }
+      continue;
+    }
+    if (capacity_ratio < 0.9) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: continuation capacity %.2fx ring client "
+                   "at w=%d (< 0.9x)\n",
+                   capacity_ratio, p.workers);
+      failures++;
+    }
+    if (inflight_ratio < 4.0) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: continuation in-flight per worker %.1fx "
+                   "ring client at w=%d (< 4x)\n",
+                   inflight_ratio, p.workers);
+      failures++;
+    }
+  }
+
+  // 8. ISSUE 9 acceptance (mirror mode): every quiet step must serve some
   //    reads from a non-primary copy. The hot head is mirrored before the
   //    first step and zipfian reads concentrate there, so this is a logic
   //    property of copy selection, not a speed property — no core waiver.
@@ -382,6 +510,8 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(arg, "--async") == 0) {
       config.async_mode = true;
+    } else if (std::strcmp(arg, "--continuation") == 0) {
+      config.continuation_mode = true;
     } else if (std::strcmp(arg, "--mirror") == 0) {
       config.mirror_mode = true;
     } else if (std::strcmp(arg, "--no-chaos") == 0) {
@@ -397,6 +527,11 @@ int main(int argc, char** argv) {
           mux::bench::FlagValue(arg, "--calibrate-ms", config.calibrate_ms);
       config.seed = mux::bench::FlagValue(arg, "--seed", config.seed);
     }
+  }
+  if (config.async_mode && config.continuation_mode) {
+    std::fprintf(stderr,
+                 "--async and --continuation are mutually exclusive\n");
+    return 2;
   }
   config.data_files = std::min(config.data_files, config.files);
   return mux::bench::Run(config, check);

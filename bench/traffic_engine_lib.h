@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,6 +90,21 @@ struct TrafficConfig {
   // as dropped, same overload semantics as the queue path. When false, the
   // legacy MPMC + worker-threads path runs (kept as the ablation baseline).
   bool async_mode = false;
+
+  // Continuation client path (the op state machine): the dispatcher issues
+  // data ops straight into Mux::{Read,Write}Async and a done callback does
+  // all accounting on whatever thread the op resumes on. In-flight ops are
+  // bounded by a SEMAPHORE (16 * workers), not by worker threads — no
+  // thread blocks per op, so one dispatcher sustains an in-flight window
+  // far wider than the async ring's server count. A full window drops the
+  // op (open-loop overload semantics, same as the other two paths).
+  bool continuation_mode = false;
+  // In-flight window per nominal worker for the continuation path.
+  int continuation_window_per_worker = 16;
+  // Worker counts for the in-flight-vs-workers scaling curve
+  // (continuation mode only; lands in TrafficResult::inflight_curve and
+  // BENCH_async.json).
+  std::vector<int> curve_workers = {1, 2, 4};
 
   // Offered-load steps, as fractions of the measured closed-loop capacity
   // (so the same config stresses a laptop and a CI runner equally). Steps
@@ -147,6 +163,10 @@ struct StepResult {
   // Client submission-ring occupancy over the step (async mode only).
   double mean_qdepth = 0.0;
   uint64_t max_qdepth = 0;
+  // Ops in flight through the op state machine over the step (continuation
+  // mode only): submitted to Mux::{Read,Write}Async, done not yet run.
+  double mean_inflight = 0.0;
+  uint64_t max_inflight = 0;
   // SCM cache behavior during this step (probe deltas over the step).
   double cache_hit_rate = 0.0;
   uint64_t cache_hits = 0;
@@ -174,6 +194,22 @@ struct TrafficResult {
   // Closed-loop capacity through the async submission path at the same
   // worker count (async mode only; the load steps scale off this one).
   double async_capacity_ops_s = 0.0;
+  // Closed-loop capacity through Mux::{Read,Write}Async with the
+  // semaphore-bounded window (continuation mode only; steps scale off it).
+  double continuation_capacity_ops_s = 0.0;
+  // In-flight-vs-workers scaling curve (continuation mode): for each worker
+  // count, closed-loop capacity and mean ops-in-flight through the
+  // submission-ring client (in-flight = ops occupying a server thread) vs
+  // the continuation client (in-flight = ops suspended in the state
+  // machine, bounded only by the semaphore).
+  struct InflightPoint {
+    int workers = 0;
+    double async_ops_s = 0.0;
+    double async_mean_inflight = 0.0;
+    double cont_ops_s = 0.0;
+    double cont_mean_inflight = 0.0;
+  };
+  std::vector<InflightPoint> inflight_curve;
   std::vector<StepResult> steps;
   std::vector<ProgressSample> progress;  // across all steps
   uint64_t policy_rounds = 0;
@@ -295,6 +331,11 @@ class TrafficRig {
     // rates land in StepResult::cache_hit_rate / BENCH_traffic.json.
     options.enable_scm_cache = true;
     options.cache.capacity_blocks = CacheBlocks(c);
+    if (c.continuation_mode) {
+      // The continuation client's "workers" are the Mux resume pool: ops
+      // suspend and resume there instead of holding a client thread each.
+      options.resume_workers = std::max(2, c.workers);
+    }
     return options;
   }
 
@@ -367,6 +408,13 @@ class TrafficEngine {
         step_capacity = result.async_capacity_ops_s;
       }
     }
+    if (config_.continuation_mode) {
+      const ProbePoint cont = ProbeContinuationClient(config_.workers);
+      result.continuation_capacity_ops_s = cont.ops_s;
+      if (cont.ops_s > 0.0) {
+        step_capacity = cont.ops_s;
+      }
+    }
 
     for (double fraction : config_.load_fractions) {
       const double rate = fraction * step_capacity;
@@ -375,6 +423,19 @@ class TrafficEngine {
       if (config_.chaos) {
         result.steps.push_back(RunStep(fraction, rate, /*chaos=*/true,
                                        &result));
+      }
+    }
+    if (config_.continuation_mode) {
+      for (int w : config_.curve_workers) {
+        TrafficResult::InflightPoint point;
+        point.workers = w;
+        const ProbePoint a = ProbeAsyncClient(w);
+        point.async_ops_s = a.ops_s;
+        point.async_mean_inflight = a.mean_inflight;
+        const ProbePoint c = ProbeContinuationClient(w);
+        point.cont_ops_s = c.ops_s;
+        point.cont_mean_inflight = c.mean_inflight;
+        result.inflight_curve.push_back(point);
       }
     }
     result.migrated_blocks = rig_->mux().stats().migrated_blocks;
@@ -635,6 +696,14 @@ class TrafficEngine {
         // Drop accounting lives in the continuation: a full ring rejects
         // the submission and the continuation runs inline as cancelled.
         SubmitAsync(op);
+      } else if (cont_state_ != nullptr) {
+        // The in-flight bound is the semaphore, not a worker pool: a full
+        // window drops the op instead of blocking the dispatcher.
+        if (cont_inflight_.load(std::memory_order_relaxed) >= cont_window_) {
+          DropOp(op.seq);
+        } else {
+          SubmitContinuation(op);
+        }
       } else if (!queue_.TryPush(op)) {
         DropOp(op.seq);
       }
@@ -650,6 +719,14 @@ class TrafficEngine {
           async_state_->qdepth_samples++;
           async_state_->qdepth_max =
               std::max(async_state_->qdepth_max, depth);
+        }
+        if (cont_state_ != nullptr) {
+          const uint64_t depth = static_cast<uint64_t>(std::max<int64_t>(
+              0, cont_inflight_.load(std::memory_order_relaxed)));
+          cont_state_->inflight_sum += depth;
+          cont_state_->inflight_samples++;
+          cont_state_->inflight_max =
+              std::max(cont_state_->inflight_max, depth);
         }
       }
     }
@@ -716,6 +793,104 @@ class TrafficEngine {
     uint64_t service_sum = 0;
     uint64_t ops = 0;
   };
+
+  // Per-step accounting for the continuation client path. Done callbacks
+  // run on Mux resume workers (plural) or inline on the dispatcher, so the
+  // recorder/sums take a mutex; the inflight_* fields are dispatcher-only;
+  // `delivered` is the join barrier.
+  struct ContStepState {
+    std::mutex mu;
+    std::unique_ptr<TimedLatencyRecorder> recorder;
+    uint64_t queue_sum = 0;
+    uint64_t service_sum = 0;
+    uint64_t ops = 0;
+    uint64_t inflight_sum = 0;
+    uint64_t inflight_samples = 0;
+    uint64_t inflight_max = 0;
+    std::atomic<uint64_t> delivered{0};  // done callbacks run (any outcome)
+  };
+
+  // Completion accounting for one continuation-mode op; runs on whatever
+  // thread the op's done callback fires on.
+  void FinishContinuationOp(const Op& op, uint64_t dispatch_ns,
+                            const Status& status) {
+    ContStepState* state = cont_state_.get();
+    obs::OpPhases phase;
+    phase.arrival_ns = op.sched_ns;
+    phase.dispatch_ns = dispatch_ns;
+    phase.completion_ns = RelNs();
+    phases_.Record(phase);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->recorder->Record(op.sched_ns, phase.TotalNs());
+      state->queue_sum += phase.QueueNs();
+      state->service_sum += phase.ServiceNs();
+      state->ops++;
+    }
+    (status.ok() ? completed_ok_ : completed_err_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (op_counts_ != nullptr && op.seq < config_.max_tracked_ops) {
+      op_counts_[op.seq].fetch_add(1, std::memory_order_relaxed);
+    }
+    cont_inflight_.fetch_sub(1, std::memory_order_release);
+    state->delivered.fetch_add(1, std::memory_order_release);
+  }
+
+  // Issues one op through the op state machine: Open runs sync on the
+  // dispatcher (metadata, no device wait), the data transfer suspends in
+  // Mux::{Read,Write}Async, and the done callback closes and accounts.
+  // Metadata ops have no async variant and run inline. The per-op buffer
+  // is heap-held until done (Mux requires it valid across suspension).
+  void SubmitContinuation(const Op& op) {
+    cont_inflight_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t dispatch_ns = RelNs();
+    core::Mux& mux = rig_->mux();
+    const uint64_t offset =
+        (op.file_id % config_.file_blocks) * core::Mux::kBlockSize;
+    switch (op.kind) {
+      case WorkloadOp::kRead: {
+        auto handle = mux.Open(FilePath(op.file_id), vfs::OpenFlags::kRead);
+        if (!handle.ok()) {
+          FinishContinuationOp(op, dispatch_ns, handle.status());
+          return;
+        }
+        const vfs::FileHandle h = *handle;
+        auto buf = std::make_shared<std::vector<uint8_t>>(
+            core::Mux::kBlockSize);
+        mux.ReadAsync(h, offset, core::Mux::kBlockSize, buf->data(),
+                      [this, op, dispatch_ns, h, buf](Result<uint64_t> r) {
+                        (void)rig_->mux().Close(h);
+                        FinishContinuationOp(op, dispatch_ns, r.status());
+                      });
+        return;
+      }
+      case WorkloadOp::kWrite: {
+        auto handle = mux.Open(FilePath(op.file_id), vfs::OpenFlags::kWrite);
+        if (!handle.ok()) {
+          FinishContinuationOp(op, dispatch_ns, handle.status());
+          return;
+        }
+        const vfs::FileHandle h = *handle;
+        auto buf = std::make_shared<std::vector<uint8_t>>(
+            core::Mux::kBlockSize, 0x5a);
+        mux.WriteAsync(h, offset, buf->data(), core::Mux::kBlockSize,
+                       [this, op, dispatch_ns, h, buf](Result<uint64_t> r) {
+                         (void)rig_->mux().Close(h);
+                         FinishContinuationOp(op, dispatch_ns, r.status());
+                       });
+        return;
+      }
+      case WorkloadOp::kStat:
+        FinishContinuationOp(op, dispatch_ns,
+                             mux.Stat(FilePath(op.file_id)).status());
+        return;
+      case WorkloadOp::kReadDir:
+        FinishContinuationOp(
+            op, dispatch_ns,
+            mux.ReadDirPaged(DirPath(op.file_id), "", 32).status());
+        return;
+    }
+  }
 
   // Per-step accounting for the async client path. The recorder/sums are
   // touched only by the core's completion dispatcher thread; the qdepth
@@ -793,6 +968,173 @@ class TrafficEngine {
     const double seconds = SecondsSince(start);
     StopAsyncClient();
     return seconds > 0 ? static_cast<double>(completed.load()) / seconds : 0;
+  }
+
+  struct ProbePoint {
+    double ops_s = 0.0;
+    double mean_inflight = 0.0;
+  };
+
+  // Closed-loop capacity + mean in-flight through the submission-ring
+  // client at `servers` ring servers. "In flight" here is the number of ops
+  // EXECUTING inside a server fn — the quantity the old path bounds at one
+  // blocked thread per op, so mean_inflight <= servers by construction.
+  ProbePoint ProbeAsyncClient(int servers) {
+    auto async = std::make_unique<core::AsyncIoCore>(&rig_->clock(),
+                                                     &rig_->mux().metrics());
+    async->RegisterQueue(kOpsQueue, "curve_ops",
+                         static_cast<uint32_t>(servers), servers,
+                         config_.queue_capacity);
+    std::atomic<uint64_t> completed{0};
+    std::atomic<int64_t> in_flight{0};
+    std::atomic<int64_t> executing{0};
+    const int64_t window = static_cast<int64_t>(servers) * 4;
+    ZipfianGenerator zipf(config_.files, config_.zipf_theta,
+                          config_.seed + 401);
+    WorkloadMix mix(config_.read_fraction, config_.write_fraction,
+                    config_.meta_fraction);
+    Rng rng(config_.seed + 409);
+    uint64_t sample_sum = 0;
+    uint64_t samples = 0;
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::milliseconds(config_.calibrate_ms);
+    while (Clock::now() < deadline) {
+      sample_sum += static_cast<uint64_t>(
+          std::max<int64_t>(0, executing.load(std::memory_order_relaxed)));
+      samples++;
+      if (in_flight.load(std::memory_order_relaxed) >= window) {
+        std::this_thread::yield();
+        continue;
+      }
+      Op op;
+      op.file_id = static_cast<uint32_t>(zipf.Next());
+      op.kind = mix.Pick(rng);
+      in_flight.fetch_add(1, std::memory_order_relaxed);
+      core::AsyncIoRequest request;
+      request.queue = kOpsQueue;
+      request.fn = [this, op, &executing]() -> Status {
+        executing.fetch_add(1, std::memory_order_relaxed);
+        thread_local std::vector<uint8_t> buf(core::Mux::kBlockSize, 0x5a);
+        const Status status = ExecuteOp(op, buf.data());
+        executing.fetch_sub(1, std::memory_order_relaxed);
+        return status;
+      };
+      request.on_complete =
+          [&completed, &in_flight](const core::AsyncCompletion&) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+            in_flight.fetch_sub(1, std::memory_order_release);
+          };
+      (void)async->Submit(std::move(request));
+    }
+    while (in_flight.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double seconds = SecondsSince(start);
+    async->Shutdown();
+    ProbePoint point;
+    point.ops_s =
+        seconds > 0 ? static_cast<double>(completed.load()) / seconds : 0;
+    point.mean_inflight =
+        samples > 0 ? static_cast<double>(sample_sum) / samples : 0;
+    return point;
+  }
+
+  // Closed-loop capacity + mean in-flight through Mux::{Read,Write}Async
+  // with the semaphore window (16 per nominal worker). No thread blocks per
+  // op: in-flight counts ops suspended inside the op state machine, so the
+  // mean tracks the window, not a thread count.
+  ProbePoint ProbeContinuationClient(int workers) {
+    std::atomic<uint64_t> completed{0};
+    std::atomic<int64_t> in_flight{0};
+    const int64_t window =
+        static_cast<int64_t>(workers) *
+        std::max(1, config_.continuation_window_per_worker);
+    core::Mux& mux = rig_->mux();
+    ZipfianGenerator zipf(config_.files, config_.zipf_theta,
+                          config_.seed + 501);
+    WorkloadMix mix(config_.read_fraction, config_.write_fraction,
+                    config_.meta_fraction);
+    Rng rng(config_.seed + 509);
+    uint64_t sample_sum = 0;
+    uint64_t samples = 0;
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::milliseconds(config_.calibrate_ms);
+    while (Clock::now() < deadline) {
+      sample_sum += static_cast<uint64_t>(
+          std::max<int64_t>(0, in_flight.load(std::memory_order_relaxed)));
+      samples++;
+      if (in_flight.load(std::memory_order_relaxed) >= window) {
+        std::this_thread::yield();
+        continue;
+      }
+      Op op;
+      op.file_id = static_cast<uint32_t>(zipf.Next());
+      op.kind = mix.Pick(rng);
+      const uint64_t offset =
+          (op.file_id % config_.file_blocks) * core::Mux::kBlockSize;
+      switch (op.kind) {
+        case WorkloadOp::kRead: {
+          auto handle = mux.Open(FilePath(op.file_id), vfs::OpenFlags::kRead);
+          if (!handle.ok()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          const vfs::FileHandle h = *handle;
+          auto buf = std::make_shared<std::vector<uint8_t>>(
+              core::Mux::kBlockSize);
+          in_flight.fetch_add(1, std::memory_order_relaxed);
+          mux.ReadAsync(h, offset, core::Mux::kBlockSize, buf->data(),
+                        [this, h, buf, &completed,
+                         &in_flight](Result<uint64_t>) {
+                          (void)rig_->mux().Close(h);
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                          in_flight.fetch_sub(1, std::memory_order_release);
+                        });
+          break;
+        }
+        case WorkloadOp::kWrite: {
+          auto handle =
+              mux.Open(FilePath(op.file_id), vfs::OpenFlags::kWrite);
+          if (!handle.ok()) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          const vfs::FileHandle h = *handle;
+          auto buf = std::make_shared<std::vector<uint8_t>>(
+              core::Mux::kBlockSize, 0x5a);
+          in_flight.fetch_add(1, std::memory_order_relaxed);
+          mux.WriteAsync(h, offset, buf->data(), core::Mux::kBlockSize,
+                         [this, h, buf, &completed,
+                          &in_flight](Result<uint64_t>) {
+                           (void)rig_->mux().Close(h);
+                           completed.fetch_add(1, std::memory_order_relaxed);
+                           in_flight.fetch_sub(1, std::memory_order_release);
+                         });
+          break;
+        }
+        case WorkloadOp::kStat:
+          (void)mux.Stat(FilePath(op.file_id));
+          completed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case WorkloadOp::kReadDir:
+          (void)mux.ReadDirPaged(DirPath(op.file_id), "", 32);
+          completed.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    // Done callbacks reference the stack state above; drain before return.
+    while (in_flight.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double seconds = SecondsSince(start);
+    ProbePoint point;
+    point.ops_s =
+        seconds > 0 ? static_cast<double>(completed.load()) / seconds : 0;
+    point.mean_inflight =
+        samples > 0 ? static_cast<double>(sample_sum) / samples : 0;
+    return point;
   }
 
   void WorkerLoop(WorkerState* state) {
@@ -897,6 +1239,13 @@ class TrafficEngine {
       async_state_->recorder =
           std::make_unique<TimedLatencyRecorder>(bucket_ns, buckets);
       StartAsyncClient();
+    } else if (config_.continuation_mode) {
+      cont_state_ = std::make_unique<ContStepState>();
+      cont_state_->recorder =
+          std::make_unique<TimedLatencyRecorder>(bucket_ns, buckets);
+      cont_window_ = static_cast<int64_t>(config_.workers) *
+                     std::max(1, config_.continuation_window_per_worker);
+      cont_inflight_.store(0, std::memory_order_relaxed);
     } else {
       states.resize(config_.workers);
       for (auto& state : states) {
@@ -914,7 +1263,7 @@ class TrafficEngine {
                                                               result); });
     }
     std::vector<std::thread> workers;
-    if (!config_.async_mode) {
+    if (!config_.async_mode && !config_.continuation_mode) {
       workers.reserve(config_.workers);
       for (int w = 0; w < config_.workers; ++w) {
         workers.emplace_back([this, &states, w] { WorkerLoop(&states[w]); });
@@ -934,6 +1283,17 @@ class TrafficEngine {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       StopAsyncClient();
+    }
+    if (cont_state_ != nullptr) {
+      // Await the op state machine: every non-dropped op's done callback
+      // fires exactly once, and drops are counted at submission time, so
+      // delivered + dropped converges on generated.
+      const uint64_t target = generated_.load(std::memory_order_relaxed);
+      while (cont_state_->delivered.load(std::memory_order_acquire) +
+                 dropped_.load(std::memory_order_relaxed) <
+             target) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
     }
     if (chaos) {
       chaos_stop.store(true, std::memory_order_release);
@@ -975,6 +1335,18 @@ class TrafficEngine {
       }
       step.max_qdepth = async_state_->qdepth_max;
       async_state_.reset();
+    } else if (cont_state_ != nullptr) {
+      merged.MergeFrom(*cont_state_->recorder);
+      queue_sum = cont_state_->queue_sum;
+      service_sum = cont_state_->service_sum;
+      ops = cont_state_->ops;
+      if (cont_state_->inflight_samples > 0) {
+        step.mean_inflight =
+            static_cast<double>(cont_state_->inflight_sum) /
+            static_cast<double>(cont_state_->inflight_samples);
+      }
+      step.max_inflight = cont_state_->inflight_max;
+      cont_state_.reset();
     } else {
       for (const auto& state : states) {
         merged.MergeFrom(*state.recorder);
@@ -1038,6 +1410,9 @@ class TrafficEngine {
   MpmcQueue<Op> queue_;
   std::unique_ptr<core::AsyncIoCore> async_;  // async_mode client path
   std::unique_ptr<AsyncStepState> async_state_;
+  std::unique_ptr<ContStepState> cont_state_;  // continuation_mode path
+  std::atomic<int64_t> cont_inflight_{0};      // the in-flight semaphore
+  int64_t cont_window_ = 0;
   obs::PhaseRecorder phases_;
   Clock::time_point epoch_{};
   std::atomic<uint64_t> generated_{0};

@@ -22,9 +22,16 @@ uint64_t AsyncIoCore::WallNs() {
           .count());
 }
 
-AsyncIoCore::AsyncIoCore(SimClock* clock, obs::MetricsRegistry* metrics)
-    : clock_(clock), metrics_(metrics) {
+AsyncIoCore::AsyncIoCore(SimClock* clock, obs::MetricsRegistry* metrics,
+                         int resume_workers)
+    : clock_(clock),
+      metrics_(metrics),
+      resume_worker_count_(resume_workers < 0 ? 0 : resume_workers) {
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  resume_pool_.reserve(static_cast<size_t>(resume_worker_count_));
+  for (int i = 0; i < resume_worker_count_; ++i) {
+    resume_pool_.emplace_back([this] { ResumeLoop(); });
+  }
 }
 
 AsyncIoCore::~AsyncIoCore() { Shutdown(); }
@@ -84,6 +91,17 @@ void AsyncIoCore::Shutdown() {
   done_cv_.notify_all();
   if (dispatcher_.joinable()) {
     dispatcher_.join();
+  }
+  // The dispatcher has drained; nothing feeds the resume queue any more
+  // except inline fallbacks (which bypass it). Workers drain what is queued
+  // before exiting, so no resumption is ever dropped.
+  {
+    std::lock_guard<std::mutex> lock(resume_mu_);
+    resume_stop_ = true;
+  }
+  resume_cv_.notify_all();
+  for (std::thread& t : resume_pool_) {
+    t.join();
   }
 }
 
@@ -315,6 +333,20 @@ void AsyncIoCore::PushDone(Done done) {
   done.on_complete(done.completion);
 }
 
+void AsyncIoCore::Deliver(Done done) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed++;
+    if (!done.completion.status.ok() && !done.completion.cancelled) {
+      stats_.failed++;
+    }
+  }
+  // The continuation runs with no AsyncIoCore lock held; it may Submit()
+  // or Cancel() re-entrantly but must never Await() a group fed by this
+  // core (see the lock rules in the header).
+  done.on_complete(done.completion);
+}
+
 void AsyncIoCore::DispatcherLoop() {
   for (;;) {
     Done done;
@@ -328,24 +360,147 @@ void AsyncIoCore::DispatcherLoop() {
       done = std::move(done_queue_.front());
       done_queue_.pop_front();
     }
+    const uint64_t dispatched_ns = WallNs();
     if (metrics_ != nullptr) {
-      metrics_->Observe("sched.completion_wait_ns",
-                        WallNs() - done.wall_enqueue_ns);
+      metrics_->Observe("sched.dispatch_ns",
+                        dispatched_ns - done.wall_enqueue_ns);
     }
+    if (resume_worker_count_ == 0) {
+      // Legacy mode: the dispatcher invokes continuations itself. The
+      // resume-pool wait is definitionally zero.
+      if (metrics_ != nullptr) {
+        metrics_->Observe("sched.resume_wait_ns", 0);
+        metrics_->Observe("sched.completion_wait_ns",
+                          dispatched_ns - done.wall_enqueue_ns);
+      }
+      Deliver(std::move(done));
+      continue;
+    }
+    // Hand the completion to the resume pool; the dispatcher goes straight
+    // back to draining so a slow continuation cannot stall completions.
+    const uint64_t enqueue_wall = done.wall_enqueue_ns;
+    auto task = [this, done = std::move(done), dispatched_ns,
+                 enqueue_wall]() mutable {
+      if (metrics_ != nullptr) {
+        const uint64_t now = WallNs();
+        metrics_->Observe("sched.resume_wait_ns", now - dispatched_ns);
+        metrics_->Observe("sched.completion_wait_ns", now - enqueue_wall);
+      }
+      Deliver(std::move(done));
+    };
+    Resume(std::move(task));
+  }
+}
+
+void AsyncIoCore::Resume(std::function<void()> fn) {
+  if (resume_worker_count_ > 0) {
+    std::unique_lock<std::mutex> lock(resume_mu_);
+    if (!resume_stop_) {
+      if (metrics_ != nullptr) {
+        metrics_->Observe("mux.op.pool_depth", resume_queue_.size() + 1);
+      }
+      resume_queue_.push_back(ResumeTask{std::move(fn), WallNs()});
+      lock.unlock();
+      resume_cv_.notify_one();
+      return;
+    }
+  }
+  // No pool (ablation) or already shut down: run on the caller.
+  fn();
+}
+
+void AsyncIoCore::ResumeLoop() {
+  for (;;) {
+    ResumeTask task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.completed++;
-      if (!done.completion.status.ok() && !done.completion.cancelled) {
-        stats_.failed++;
+      std::unique_lock<std::mutex> lock(resume_mu_);
+      resume_cv_.wait(lock,
+                      [this] { return resume_stop_ || !resume_queue_.empty(); });
+      if (resume_queue_.empty()) {
+        return;  // stopped and drained
+      }
+      task = std::move(resume_queue_.front());
+      resume_queue_.pop_front();
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Increment("mux.op.resumes");
+    }
+    task.fn();
+  }
+}
+
+size_t AsyncIoCore::ResumeQueueDepth() const {
+  std::lock_guard<std::mutex> lock(resume_mu_);
+  return resume_queue_.size();
+}
+
+// ---- FanIn ----------------------------------------------------------------
+
+std::shared_ptr<FanIn> FanIn::Create(size_t expected, DoneFn done) {
+  std::shared_ptr<FanIn> fan(new FanIn(expected, std::move(done)));
+  if (expected == 0) {
+    DoneFn fire;
+    fire.swap(fan->done_);
+    if (fire) {
+      fire(fan->joined_);
+    }
+  }
+  return fan;
+}
+
+AsyncContinuation FanIn::Add() { return Add(nullptr); }
+
+AsyncContinuation FanIn::Add(AsyncContinuation inner) {
+  return [self = shared_from_this(),
+          inner = std::move(inner)](const AsyncCompletion& completion) {
+    if (inner) {
+      inner(completion);
+    }
+    self->Arrive(completion);
+  };
+}
+
+void FanIn::Arrive(const AsyncCompletion& completion) {
+  Joined fire_with;
+  DoneFn fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    joined_.completed++;
+    joined_.max_total_ns = std::max(joined_.max_total_ns,
+                                    completion.total_ns());
+    joined_.max_wait_ns = std::max(joined_.max_wait_ns, completion.wait_ns());
+    joined_.sum_service_ns += completion.service_ns();
+    if (completion.cancelled) {
+      joined_.cancelled++;
+    }
+    if (completion.status.ok()) {
+      joined_.max_ok_total_ns = std::max(joined_.max_ok_total_ns,
+                                         completion.total_ns());
+    } else {
+      if (!completion.cancelled) {
+        joined_.failed++;
+      }
+      if (joined_.status.ok()) {
+        joined_.status = completion.status;
       }
     }
-    // The continuation runs with no AsyncIoCore lock held; it may submit
-    // follow-up requests but must never Await() a group fed by this core.
-    done.on_complete(done.completion);
+    if (joined_.completed < expected_) {
+      return;
+    }
+    // Last arrival: fire the join inline on this (delivering) thread. The
+    // callback is moved out so its captures die with it, not with the
+    // shared state.
+    fire_with = joined_;
+    fire.swap(done_);
+  }
+  if (fire) {
+    fire(fire_with);
   }
 }
 
 // ---- CompletionGroup ------------------------------------------------------
+
+std::atomic<uint64_t> CompletionGroup::awaits_{0};
 
 AsyncContinuation CompletionGroup::Add() { return Add(nullptr); }
 
@@ -383,6 +538,7 @@ AsyncContinuation CompletionGroup::Add(AsyncContinuation inner) {
 }
 
 CompletionGroup::Joined CompletionGroup::Await() {
+  awaits_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return joined_.completed == expected_; });
   return joined_;

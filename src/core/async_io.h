@@ -16,7 +16,7 @@
 //   * Device servers. A small pool of server threads per ring claims
 //     requests in FIFO order (reordering is the IoScheduler's job, upstream)
 //     and executes them under a private time cursor, so simulated charges
-//     stay off the shared clock until the awaiting op merges them.
+//     stay off the shared clock until the owning op merges them.
 //   * Simulated queue depth. Each ring models DeviceProfile::queue_depth
 //     channels as a min-heap of channel-free times. A request's service
 //     starts at max(submit time, earliest free channel): a deep SSD queue
@@ -24,20 +24,40 @@
 //     HDD channel serializes it — the two finally diverge in simulated
 //     charging. The wait is first-class: AsyncCompletion::wait_ns() and the
 //     "sched.qdepth.wait_ns" histogram.
-//   * Completion dispatcher. Servers push finished requests onto a central
-//     completion queue drained by one dispatcher thread, which invokes each
-//     continuation exactly once — whether the request succeeded, failed
-//     (EIO/ENOSPC travels in AsyncCompletion::status), or was cancelled
-//     before dispatch. "sched.completion_wait_ns" records how long a
-//     completion waited for its continuation to run (wall ns; the dispatch
-//     lag is host scheduling, not simulated device time).
+//   * Completion dispatcher + resume pool. Servers push finished requests
+//     onto a central completion queue drained by one dispatcher thread.
+//     With `resume_workers == 0` the dispatcher invokes each continuation
+//     itself (legacy/ablation mode). With a pool, the dispatcher only hands
+//     the completion to a small fixed set of resume workers, which invoke
+//     the continuation — so a slow continuation (an op's commit phase)
+//     never stalls completion draining, and ops are resumed by the pool
+//     rather than by a thread parked per op. Either way the continuation
+//     runs exactly once — success, failure (EIO/ENOSPC travels in
+//     AsyncCompletion::status), cancellation, ring rejection, or shutdown
+//     drain.
 //
-// Lock hierarchy (continuation-resume rules, see DESIGN.md "Concurrency
-// model"): continuations run on the completion dispatcher thread with NO
-// AsyncIoCore lock held, but they must not submit to or cancel on the same
-// core re-entrantly-blocking (Await inside a continuation deadlocks the
-// dispatcher). Mux continuations only record stats and signal a
-// CompletionGroup; the awaiting op thread does all lock-holding work.
+// Continuation lock rules (op state machine, see DESIGN.md
+// "Submission/completion I/O core"):
+//
+//   * Continuations run on a resume worker (or the dispatcher when no pool
+//     is configured) with NO AsyncIoCore lock held.
+//   * Re-entrant Submit() from a continuation is LEGAL: a resumed op phase
+//     may fan out its next round of device requests directly. Cancel() is
+//     equally legal.
+//   * CompletionGroup::Await() from a continuation is still FORBIDDEN: the
+//     group is fed by this core, and with resume_workers == 0 the await
+//     would park the dispatcher on completions only the dispatcher can
+//     deliver. The compat shim keeps the old rule; state-machine code uses
+//     FanIn (non-blocking join) instead.
+//   * Continuations must not block on locks held across a Submit()+resume
+//     window by other ops. Mux ops hold only their per-inode OpGate across
+//     suspension, and gate handoff is queued (never blocking) on this pool.
+//
+// "sched.completion_wait_ns" records the full wall lag from completion
+// enqueue to continuation start; the split parts are "sched.dispatch_ns"
+// (enqueue -> dispatcher handed the completion to the resume pool) and
+// "sched.resume_wait_ns" (handed off -> continuation running), so queueing
+// in the resumption pool is observable separately from dispatcher lag.
 //
 // Submissions to an unknown queue or after Shutdown execute inline on the
 // caller's thread (same cursor discipline) and the continuation runs inline
@@ -45,6 +65,7 @@
 #ifndef MUX_CORE_ASYNC_IO_H_
 #define MUX_CORE_ASYNC_IO_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -95,8 +116,8 @@ struct AsyncIoRequest {
   // The device work. Runs on a server thread under a private time cursor
   // anchored at the computed channel start time.
   std::function<Status()> fn;
-  // Invoked exactly once from the completion dispatcher (or inline on the
-  // shutdown/unknown-queue fallback).
+  // Invoked exactly once from a resume worker / the completion dispatcher
+  // (or inline on the rejection/shutdown/unknown-queue fallbacks).
   AsyncContinuation on_complete;
 };
 
@@ -112,9 +133,13 @@ class AsyncIoCore {
  public:
   // `metrics` is optional; when set, each queue observes
   // "sched.qdepth.<name>" (ring occupancy at submit), "sched.qdepth.wait_ns"
-  // (sim channel wait) and "sched.completion_wait_ns" (wall dispatch lag).
+  // (sim channel wait), "sched.completion_wait_ns" (wall enqueue -> resume)
+  // and its split parts "sched.dispatch_ns" / "sched.resume_wait_ns".
+  // `resume_workers` sizes the continuation-resumption pool; 0 keeps the
+  // legacy mode where the dispatcher thread invokes continuations itself.
   explicit AsyncIoCore(SimClock* clock,
-                       obs::MetricsRegistry* metrics = nullptr);
+                       obs::MetricsRegistry* metrics = nullptr,
+                       int resume_workers = 0);
   ~AsyncIoCore();
 
   AsyncIoCore(const AsyncIoCore&) = delete;
@@ -128,7 +153,8 @@ class AsyncIoCore {
                      int servers = 1, size_t bound = 0);
   // Drains the ring and joins its servers. Later submits run inline.
   void UnregisterQueue(TierId queue);
-  // Stops every ring and the completion dispatcher.
+  // Stops every ring, the completion dispatcher, and the resume pool (in
+  // that order; queued resumptions are drained, never dropped).
   void Shutdown();
 
   // Enqueues the request. The continuation runs exactly once in EVERY
@@ -145,8 +171,16 @@ class AsyncIoCore {
   // will run with the real outcome) or the ticket is unknown.
   bool Cancel(const AsyncTicket& ticket);
 
+  // Enqueues a task onto the resume pool — how op phases hop threads
+  // without a device completion (per-inode gate grants, deferred commits).
+  // Runs inline on the caller when no pool is configured or after Shutdown.
+  void Resume(std::function<void()> fn);
+
   // Current ring occupancy (racy sample; monitoring only).
   size_t QueueDepth(TierId queue) const;
+  // Tasks queued for the resume pool (racy sample; monitoring only).
+  size_t ResumeQueueDepth() const;
+  int resume_workers() const { return resume_worker_count_; }
   AsyncCoreStats stats() const;
 
  private:
@@ -174,10 +208,21 @@ class AsyncIoCore {
     uint64_t wall_enqueue_ns = 0;
   };
 
+  // One unit of resume-pool work: either a completion delivery or a bare
+  // Resume() task.
+  struct ResumeTask {
+    std::function<void()> fn;
+    uint64_t wall_enqueue_ns = 0;
+  };
+
   void ServerLoop(Ring* ring);
   void StopRing(Ring* ring);
   void PushDone(Done done);
   void DispatcherLoop();
+  void ResumeLoop();
+  // Counts delivery stats and invokes the continuation (no locks held
+  // around the invoke).
+  void Deliver(Done done);
   // Executes `request` inline (unknown queue / shutdown fallback): no
   // channel model, start == origin, continuation invoked on this thread.
   void RunInline(AsyncIoRequest request);
@@ -185,6 +230,7 @@ class AsyncIoCore {
 
   SimClock* const clock_;
   obs::MetricsRegistry* const metrics_;  // optional, not owned
+  const int resume_worker_count_;
 
   mutable std::mutex mu_;  // guards rings_ map shape + seq + stats
   std::map<TierId, std::unique_ptr<Ring>> rings_;
@@ -196,26 +242,101 @@ class AsyncIoCore {
   std::deque<Done> done_queue_;
   bool done_stop_ = false;
   std::thread dispatcher_;
+
+  mutable std::mutex resume_mu_;
+  std::condition_variable resume_cv_;
+  std::deque<ResumeTask> resume_queue_;
+  bool resume_stop_ = false;
+  std::vector<std::thread> resume_pool_;
 };
 
-// Await helper for submit-all-then-await: hand Add()'s continuation to N
-// submissions, then Await() blocks until all N completions delivered and
-// returns the join — first error wins, plus the max/total charge figures the
-// awaiting op needs to merge simulated time (Advance(max_total_ns) lands the
-// overlap-charged cost in the op's cursor, exactly like the executor join).
-// The group must outlive every continuation, which Await() guarantees.
+// Join figures shared by FanIn (default path) and CompletionGroup (shim):
+// first error wins, plus the max/total charge figures the owning op needs
+// to merge simulated time (charging max_total_ns lands the overlap-charged
+// cost in the op's timeline, exactly like the executor join).
+struct AsyncJoined {
+  Status status;                // first failure (cancellations included)
+  SimTime max_total_ns = 0;     // max wait+service over ALL completions
+  SimTime max_ok_total_ns = 0;  // ... over successful completions only
+  SimTime max_wait_ns = 0;
+  SimTime sum_service_ns = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+};
+
+// Non-blocking fan-in: the op state machine's replacement for
+// CompletionGroup on the default data path. Create() fixes the expected
+// completion count up front; Add() returns continuations to hand to
+// Submit(); the LAST completion to arrive fires `done` inline on its
+// delivering thread (a resume worker on the default path — or the
+// submitting thread itself when a bounded ring rejects inline), with the
+// same Joined aggregation CompletionGroup produced. No thread ever parks:
+// the shared_ptr keeps the join state alive until the final continuation
+// has run. `done` must not block; it may Submit() follow-up requests.
+class FanIn : public std::enable_shared_from_this<FanIn> {
+ public:
+  using Joined = AsyncJoined;
+  using DoneFn = std::function<void(const Joined&)>;
+
+  // `expected` == 0 fires `done` before Create returns (on this thread).
+  static std::shared_ptr<FanIn> Create(size_t expected, DoneFn done);
+
+  // Returns the continuation for one expected submission. Every Add()'d
+  // continuation must eventually be invoked (Submit guarantees this in
+  // every outcome); calling Add() more than `expected` times is a bug.
+  AsyncContinuation Add();
+  // Wraps `inner` so it observes the completion before the join arrives.
+  AsyncContinuation Add(AsyncContinuation inner);
+
+ private:
+  FanIn(size_t expected, DoneFn done)
+      : expected_(expected), done_(std::move(done)) {}
+
+  void Arrive(const AsyncCompletion& completion);
+
+  std::mutex mu_;
+  size_t expected_;
+  Joined joined_;
+  DoneFn done_;
+};
+
+// One-shot latch: how a synchronous wrapper (Mux::Read over ReadAsync, the
+// scheduler's round join) waits for an op state machine to finish. This is
+// a plain event, not a CompletionGroup — the waiter is a client-facing
+// thread whose API contract is blocking, never a resume worker.
+class OpEvent {
+ public:
+  void Signal() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      signaled_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return signaled_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
+// Await helper for submit-all-then-await — the COMPAT/ABLATION SHIM. The
+// default data path no longer blocks here (op state machines join via
+// FanIn); this survives for the legacy `continuation_ops=false` dispatch
+// path and ablation benches. Hand Add()'s continuation to N submissions,
+// then Await() blocks until all N completions are delivered and returns
+// the join. The group must outlive every continuation, which Await()
+// guarantees. Never call Await() from a continuation (see lock rules
+// above). The global await counter lets regression tests assert the
+// default path executed zero blocking joins.
 class CompletionGroup {
  public:
-  struct Joined {
-    Status status;                // first failure (cancellations included)
-    SimTime max_total_ns = 0;     // max wait+service over ALL completions
-    SimTime max_ok_total_ns = 0;  // ... over successful completions only
-    SimTime max_wait_ns = 0;
-    SimTime sum_service_ns = 0;
-    uint64_t completed = 0;
-    uint64_t failed = 0;
-    uint64_t cancelled = 0;
-  };
+  using Joined = AsyncJoined;
 
   // Returns the continuation for one submission. Call before Await().
   AsyncContinuation Add();
@@ -224,7 +345,14 @@ class CompletionGroup {
 
   Joined Await();
 
+  // Process-wide count of Await() calls that have started (parked or not).
+  static uint64_t await_count() {
+    return awaits_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static std::atomic<uint64_t> awaits_;
+
   std::mutex mu_;
   std::condition_variable cv_;
   size_t expected_ = 0;

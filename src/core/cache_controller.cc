@@ -165,8 +165,17 @@ CacheController::CacheController(vfs::FileSystem* scm_fs, SimClock* clock,
     shard.replacement = MakeReplacementPolicy(options_.use_mglru);
     shard.sketch.Reset(slots_per_shard_ * 8, options_.sketch_decay_interval);
   }
-  agg_capacity_blocks_ = std::min<uint64_t>(
-      options_.agg_buffer_bytes / kBlockSize, usable_slots_);
+  // Split the staging budget across the shards: each shard gets at least
+  // one block (so a tiny budget still exercises the staged path) clamped to
+  // its slot count. shards == 1 reproduces the old single global buffer.
+  const uint64_t total_agg_blocks = options_.agg_buffer_bytes / kBlockSize;
+  if (total_agg_blocks == 0) {
+    agg_shard_capacity_blocks_ = 0;
+  } else {
+    agg_shard_capacity_blocks_ = std::min<uint64_t>(
+        std::max<uint64_t>(total_agg_blocks / shard_count_, 1),
+        slots_per_shard_);
+  }
 }
 
 CacheController::~CacheController() {
@@ -232,9 +241,11 @@ Status CacheController::Init() {
           lo + static_cast<uint32_t>(slots_per_shard_ - 1 - i));
     }
   }
-  agg_buffer_.assign(agg_capacity_blocks_ * kBlockSize, 0);
-  agg_entries_.clear();
-  agg_entries_.reserve(agg_capacity_blocks_);
+  for (Shard& shard : shards_) {
+    shard.agg_buffer.assign(agg_shard_capacity_blocks_ * kBlockSize, 0);
+    shard.agg_entries.clear();
+    shard.agg_entries.reserve(agg_shard_capacity_blocks_);
+  }
   initialized_.store(true, std::memory_order_release);
   return Status::Ok();
 }
@@ -264,14 +275,15 @@ bool CacheController::TryRead(uint64_t file_key, uint64_t block,
     std::memcpy(out, SlotPtr(slot) + offset_in_block, n);
     scm_fs_->ChargeDax(n, /*is_write=*/false);
   } else {
-    // Staged in the aggregation buffer. Under agg_mu_ the entry either
-    // still matches (copy from the buffer — a DRAM read, no DAX charge) or
-    // a flush beat us here (the mutex ordered its slot memcpy before us, so
-    // the DAX bytes are current).
-    std::lock_guard<std::mutex> agg_lock(agg_mu_);
-    if (state < agg_entries_.size() && agg_entries_[state].valid &&
-        agg_entries_[state].key == key && agg_entries_[state].slot == slot) {
-      std::memcpy(out, agg_buffer_.data() + state * kBlockSize +
+    // Staged in this shard's aggregation buffer. Under its agg_mu the
+    // entry either still matches (copy from the buffer — a DRAM read, no
+    // DAX charge) or a flush beat us here (the mutex ordered its slot
+    // memcpy before us, so the DAX bytes are current).
+    std::lock_guard<std::mutex> agg_lock(shard.agg_mu);
+    if (state < shard.agg_entries.size() && shard.agg_entries[state].valid &&
+        shard.agg_entries[state].key == key &&
+        shard.agg_entries[state].slot == slot) {
+      std::memcpy(out, shard.agg_buffer.data() + state * kBlockSize +
                            offset_in_block, n);
       ObserveCounter("cache.agg.staged_hits", 1);
     } else {
@@ -328,15 +340,16 @@ uint32_t CacheController::TakeSlotLocked(Shard& shard) {
 
 void CacheController::ReleaseSlotLocked(Shard& shard, uint32_t slot) {
   if (slot_state_[slot].load(std::memory_order_relaxed) != kResident) {
-    // Cancel the staged entry under agg_mu_ so a later flush cannot write
-    // stale bytes into this (about to be reused) slot. If a flush ran while
-    // we waited for the lock the entry no longer matches and there is
-    // nothing to cancel.
-    std::lock_guard<std::mutex> agg_lock(agg_mu_);
+    // Cancel the staged entry under the shard's agg_mu so a later flush
+    // cannot write stale bytes into this (about to be reused) slot. If a
+    // flush ran while we waited for the lock the entry no longer matches
+    // and there is nothing to cancel.
+    std::lock_guard<std::mutex> agg_lock(shard.agg_mu);
     const uint32_t state = slot_state_[slot].load(std::memory_order_relaxed);
-    if (state != kResident && state < agg_entries_.size() &&
-        agg_entries_[state].valid && agg_entries_[state].slot == slot) {
-      agg_entries_[state].valid = false;
+    if (state != kResident && state < shard.agg_entries.size() &&
+        shard.agg_entries[state].valid &&
+        shard.agg_entries[state].slot == slot) {
+      shard.agg_entries[state].valid = false;
       agg_cancelled_.fetch_add(1, std::memory_order_relaxed);
       ObserveCounter("cache.agg.cancelled", 1);
     }
@@ -373,18 +386,18 @@ void CacheController::OnMiss(uint64_t file_key, uint64_t block,
     return;
   }
   shard.sketch.Erase(file_key, block);
-  if (agg_capacity_blocks_ > 0) {
-    // Stage into the aggregation buffer (a DRAM copy — the DAX write is
-    // charged in bulk at flush time).
+  if (agg_shard_capacity_blocks_ > 0) {
+    // Stage into the shard's aggregation buffer (a DRAM copy — the DAX
+    // write is charged in bulk at flush time).
     clock_->Advance(costs_.cache_stage_ns);
-    std::lock_guard<std::mutex> agg_lock(agg_mu_);
-    if (agg_entries_.size() >= agg_capacity_blocks_) {
-      FlushAggLocked();
+    std::lock_guard<std::mutex> agg_lock(shard.agg_mu);
+    if (shard.agg_entries.size() >= agg_shard_capacity_blocks_) {
+      FlushAggLocked(shard);
     }
-    const uint32_t idx = static_cast<uint32_t>(agg_entries_.size());
-    std::memcpy(agg_buffer_.data() + idx * kBlockSize, block_data,
+    const uint32_t idx = static_cast<uint32_t>(shard.agg_entries.size());
+    std::memcpy(shard.agg_buffer.data() + idx * kBlockSize, block_data,
                 kBlockSize);
-    agg_entries_.push_back(AggEntry{key, slot, /*valid=*/true});
+    shard.agg_entries.push_back(AggEntry{key, slot, /*valid=*/true});
     slot_state_[slot].store(idx, std::memory_order_release);
   } else {
     std::memcpy(SlotPtr(slot), block_data, kBlockSize);
@@ -401,21 +414,21 @@ void CacheController::OnMiss(uint64_t file_key, uint64_t block,
   }
 }
 
-void CacheController::FlushAggLocked() {
+void CacheController::FlushAggLocked(Shard& shard) {
   uint64_t bytes = 0;
-  for (size_t i = 0; i < agg_entries_.size(); ++i) {
-    const AggEntry& entry = agg_entries_[i];
+  for (size_t i = 0; i < shard.agg_entries.size(); ++i) {
+    const AggEntry& entry = shard.agg_entries[i];
     if (!entry.valid) {
       continue;
     }
-    std::memcpy(SlotPtr(entry.slot), agg_buffer_.data() + i * kBlockSize,
+    std::memcpy(SlotPtr(entry.slot), shard.agg_buffer.data() + i * kBlockSize,
                 kBlockSize);
-    // Release: a reader that sees kResident without taking agg_mu_ must
+    // Release: a reader that sees kResident without taking agg_mu must
     // also see the bytes the memcpy above just wrote.
     slot_state_[entry.slot].store(kResident, std::memory_order_release);
     bytes += kBlockSize;
   }
-  agg_entries_.clear();
+  shard.agg_entries.clear();
   if (bytes == 0) {
     return;
   }
@@ -432,8 +445,10 @@ void CacheController::FlushAggregationBuffer() {
   if (!initialized_.load(std::memory_order_acquire)) {
     return;
   }
-  std::lock_guard<std::mutex> agg_lock(agg_mu_);
-  FlushAggLocked();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> agg_lock(shard.agg_mu);
+    FlushAggLocked(shard);
+  }
 }
 
 void CacheController::OnWrite(uint64_t file_key, uint64_t block,
@@ -455,11 +470,12 @@ void CacheController::OnWrite(uint64_t file_key, uint64_t block,
     std::memcpy(SlotPtr(slot) + offset_in_block, data, n);
     scm_fs_->ChargeDax(n, /*is_write=*/true);
   } else {
-    std::lock_guard<std::mutex> agg_lock(agg_mu_);
-    if (state < agg_entries_.size() && agg_entries_[state].valid &&
-        agg_entries_[state].key == key && agg_entries_[state].slot == slot) {
-      std::memcpy(agg_buffer_.data() + state * kBlockSize + offset_in_block,
-                  data, n);
+    std::lock_guard<std::mutex> agg_lock(shard.agg_mu);
+    if (state < shard.agg_entries.size() && shard.agg_entries[state].valid &&
+        shard.agg_entries[state].key == key &&
+        shard.agg_entries[state].slot == slot) {
+      std::memcpy(shard.agg_buffer.data() + state * kBlockSize +
+                      offset_in_block, data, n);
     } else {
       std::memcpy(SlotPtr(slot) + offset_in_block, data, n);
       scm_fs_->ChargeDax(n, /*is_write=*/true);
@@ -561,10 +577,12 @@ size_t CacheController::ResidentBlocks() const {
 }
 
 size_t CacheController::StagedBlocks() const {
-  std::lock_guard<std::mutex> agg_lock(agg_mu_);
   size_t staged = 0;
-  for (const AggEntry& entry : agg_entries_) {
-    staged += entry.valid ? 1 : 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> agg_lock(shard.agg_mu);
+    for (const AggEntry& entry : shard.agg_entries) {
+      staged += entry.valid ? 1 : 0;
+    }
   }
   return staged;
 }
@@ -582,7 +600,11 @@ Status CacheController::CheckConsistency() const {
   for (const Shard& shard : shards_) {
     locks.emplace_back(shard.mu);
   }
-  std::lock_guard<std::mutex> agg_lock(agg_mu_);
+  std::vector<std::unique_lock<std::mutex>> agg_locks;
+  agg_locks.reserve(shard_count_);
+  for (const Shard& shard : shards_) {
+    agg_locks.emplace_back(shard.agg_mu);
+  }
 
   std::vector<uint8_t> seen(usable_slots_, 0);  // 1 = owned, 2 = free
   for (uint32_t s = 0; s < shard_count_; ++s) {
@@ -617,20 +639,28 @@ Status CacheController::CheckConsistency() const {
       seen[slot] = 2;
     }
   }
-  for (size_t i = 0; i < agg_entries_.size(); ++i) {
-    const AggEntry& entry = agg_entries_[i];
-    if (!entry.valid) {
-      continue;
-    }
-    if (entry.slot >= usable_slots_ || seen[entry.slot] != 1) {
-      return IoError("staged aggregation entry points at an unowned slot");
-    }
-    if (slot_state_[entry.slot].load(std::memory_order_relaxed) !=
-        static_cast<uint32_t>(i)) {
-      return IoError("staged slot state does not point back at its entry");
-    }
-    if (!(slot_owner_[entry.slot] == entry.key)) {
-      return IoError("staged aggregation entry key mismatch");
+  for (uint32_t s = 0; s < shard_count_; ++s) {
+    const Shard& shard = shards_[s];
+    const uint64_t lo = s * slots_per_shard_;
+    const uint64_t hi = lo + slots_per_shard_;
+    for (size_t i = 0; i < shard.agg_entries.size(); ++i) {
+      const AggEntry& entry = shard.agg_entries[i];
+      if (!entry.valid) {
+        continue;
+      }
+      if (entry.slot < lo || entry.slot >= hi) {
+        return IoError("staged aggregation entry outside its shard's slots");
+      }
+      if (seen[entry.slot] != 1) {
+        return IoError("staged aggregation entry points at an unowned slot");
+      }
+      if (slot_state_[entry.slot].load(std::memory_order_relaxed) !=
+          static_cast<uint32_t>(i)) {
+        return IoError("staged slot state does not point back at its entry");
+      }
+      if (!(slot_owner_[entry.slot] == entry.key)) {
+        return IoError("staged aggregation entry key mismatch");
+      }
     }
   }
   return Status::Ok();

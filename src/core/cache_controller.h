@@ -32,15 +32,21 @@
 //     legitimate hot candidates (the fmcfs per-block access-history idea in
 //     compact form). Evicted residents leave a ghost entry one miss short
 //     of the threshold so a re-reference readmits them quickly.
-//   * Admitted blocks are staged into a sequential aggregation buffer
-//     (default 256 KiB) and flushed as ONE bulk DAX write when it fills —
-//     Traffic Server's aggregation-buffer write path. An in-buffer index
-//     keeps staged blocks readable, writable, and invalidatable before the
-//     flush. `agg_buffer_bytes = 0` is the block-at-a-time ablation.
+//   * Admitted blocks are staged into a PER-SHARD sequential aggregation
+//     buffer (the 256 KiB default divides across the shards) and flushed as
+//     ONE bulk DAX write when it fills — Traffic Server's aggregation-buffer
+//     write path, one staging lane per directory shard so admissions on
+//     different shards never serialize on a global staging mutex. An
+//     in-buffer index keeps staged blocks readable, writable, and
+//     invalidatable before the flush. `agg_buffer_bytes = 0` is the
+//     block-at-a-time ablation; `shards = 1` reproduces the old single
+//     global buffer exactly.
 //
-// Lock hierarchy (see DESIGN.md "SCM cache"): shard mutex -> agg_mu_ ->
-// device mutex. Shard locks are leaves of the Mux hierarchy: callers hold
-// inode locks when they enter, the cache never calls back up.
+// Lock hierarchy (see DESIGN.md "SCM cache"): shard mutex -> that shard's
+// agg_mu -> device mutex (slots are statically partitioned, so no path ever
+// needs two shards' staging locks at once). Shard locks are leaves of the
+// Mux hierarchy: callers hold inode locks when they enter, the cache never
+// calls back up.
 #ifndef MUX_CORE_CACHE_CONTROLLER_H_
 #define MUX_CORE_CACHE_CONTROLLER_H_
 
@@ -136,9 +142,10 @@ class CacheController {
     // Directory shards (rounded down to a power of two, clamped to
     // [1, capacity_blocks]). 1 = the global-lock ablation.
     uint32_t shards = 16;
-    // Aggregation-buffer size (rounded down to whole blocks, clamped to the
-    // cache capacity). 0 disables staging: admissions write one block at a
-    // time, the pre-sharding behavior.
+    // Total aggregation-buffer size, divided evenly across the shards
+    // (each shard stages at least one block, clamped to its slot count).
+    // 0 disables staging: admissions write one block at a time, the
+    // pre-sharding behavior.
     uint64_t agg_buffer_bytes = 256 * 1024;
     // Sketch updates per shard between halving-decay passes; 0 = auto
     // (4x the sketch table size).
@@ -175,8 +182,9 @@ class CacheController {
   void InvalidateRange(uint64_t file_key, uint64_t first_block,
                        uint64_t last_block);
 
-  // Writes every staged block to its slot as one bulk DAX write. Called
-  // automatically when the buffer fills; public for tests and shutdown.
+  // Flushes every shard's staged blocks to their slots, one bulk DAX write
+  // per non-empty shard buffer. Per-shard flushes happen automatically when
+  // a buffer fills; public for tests and shutdown.
   void FlushAggregationBuffer();
 
   ScmCacheStats stats() const;       // lock-free aggregate over shards
@@ -226,6 +234,14 @@ class CacheController {
     std::vector<uint32_t> free_slots;
     std::unique_ptr<ReplacementPolicy> replacement;
     FrequencySketch sketch;
+    // Per-shard aggregation staging (below mu, above the device): this
+    // shard's admitted blocks stage here and flush as one bulk DAX write.
+    // Slot -> entry back-pointers live in slot_state_ and only ever name
+    // entries of the slot's owning shard (slots are statically
+    // partitioned).
+    mutable std::mutex agg_mu;
+    std::vector<uint8_t> agg_buffer;
+    std::vector<AggEntry> agg_entries;
     // Stats: written under mu (any mode), read lock-free by stats().
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
@@ -253,13 +269,13 @@ class CacheController {
   uint32_t TakeSlotLocked(Shard& shard);
   // Returns `slot` to the shard's free list, cancelling its staged entry
   // first so a later flush cannot clobber a reused slot. Shard lock held
-  // exclusively; takes agg_mu_ when the slot is staged.
+  // exclusively; takes the shard's agg_mu when the slot is staged.
   void ReleaseSlotLocked(Shard& shard, uint32_t slot);
   // Removes one resident key under the exclusive shard lock (shared helper
   // of the invalidation paths). Returns false if not present.
   bool InvalidateKeyLocked(Shard& shard, const Key& key);
-  // Flush with agg_mu_ already held.
-  void FlushAggLocked();
+  // Flush one shard's staging buffer, its agg_mu already held.
+  void FlushAggLocked(Shard& shard);
   void ObserveCounter(std::string_view name, uint64_t delta);
 
   vfs::FileSystem* const scm_fs_;
@@ -289,11 +305,10 @@ class CacheController {
   // so readers that skip agg_mu_ still see flushed bytes.
   std::unique_ptr<std::atomic<uint32_t>[]> slot_state_;
 
-  // Aggregation buffer (cross-shard, below every shard lock).
-  mutable std::mutex agg_mu_;
-  std::vector<uint8_t> agg_buffer_;
-  std::vector<AggEntry> agg_entries_;
-  uint64_t agg_capacity_blocks_ = 0;
+  // Per-shard staging capacity in blocks (0 = staging disabled). The
+  // buffers themselves live in the shards; only the aggregate counters are
+  // global (relaxed atomics, read by stats()).
+  uint64_t agg_shard_capacity_blocks_ = 0;
   std::atomic<uint64_t> agg_flushes_{0};
   std::atomic<uint64_t> agg_flush_bytes_{0};
   std::atomic<uint64_t> agg_cancelled_{0};

@@ -219,8 +219,9 @@ uint64_t IoScheduler::RunAllAsyncRound() {
     return 0;
   }
 
-  CompletionGroup group;
   uint64_t executed = 0;
+  std::vector<AsyncIoRequest> submissions;
+  submissions.reserve(picked.size());
   for (Picked& p : picked) {
     AsyncIoRequest submission;
     submission.queue = p.request.tier;
@@ -231,11 +232,12 @@ uint64_t IoScheduler::RunAllAsyncRound() {
     const TierId tier = p.request.tier;
     const uint64_t head_end = p.request.offset + p.request.bytes;
     const SimTime est_cost = p.est_cost;
-    submission.on_complete = group.Add(
+    submission.on_complete =
         [this, tier, head_end, est_cost, &executed](
             const AsyncCompletion& completion) {
-          // Runs on the completion dispatcher thread; `executed` is safe to
-          // touch because Await() below orders it after every continuation.
+          // Runs on a resume worker (or the dispatcher in legacy mode);
+          // `executed` is safe to touch because the round join below orders
+          // it after every continuation.
           std::lock_guard<std::mutex> lock(mu_);
           stats_.dispatched++;
           if (!completion.status.ok()) {
@@ -250,13 +252,37 @@ uint64_t IoScheduler::RunAllAsyncRound() {
           if (metrics_ != nullptr) {
             metrics_->Observe("sched.service_ns", completion.service_ns());
           }
-        });
-    // Tier rings are unbounded, so this cannot reject; if it ever did, the
-    // continuation contract still fires the group continuation (as a
-    // cancelled completion), so Await() below cannot hang.
-    (void)async_->Submit(std::move(submission));
+        };
+    submissions.push_back(std::move(submission));
   }
-  const CompletionGroup::Joined joined = group.Await();
+  // Join the round's completions. Default: non-blocking FanIn whose final
+  // continuation signals a plain OpEvent the drain thread waits on — no
+  // CompletionGroup::Await on this path. The blocking group survives only
+  // for the legacy no-resume-pool configuration.
+  // Tier rings are unbounded, so submits cannot reject; if one ever did,
+  // the continuation contract still fires the join continuation (as a
+  // cancelled completion), so neither join below can hang.
+  AsyncJoined joined;
+  if (async_->resume_workers() > 0) {
+    OpEvent event;
+    auto fan = FanIn::Create(submissions.size(),
+                             [&joined, &event](const AsyncJoined& j) {
+                               joined = j;
+                               event.Signal();
+                             });
+    for (AsyncIoRequest& submission : submissions) {
+      submission.on_complete = fan->Add(std::move(submission.on_complete));
+      (void)async_->Submit(std::move(submission));
+    }
+    event.Wait();
+  } else {
+    CompletionGroup group;
+    for (AsyncIoRequest& submission : submissions) {
+      submission.on_complete = group.Add(std::move(submission.on_complete));
+      (void)async_->Submit(std::move(submission));
+    }
+    joined = group.Await();
+  }
   // Same doctrine as the kParallel fix below: only requests that actually
   // dispatched successfully performed media work, so the round clock
   // advances by the slowest *successful* completion.

@@ -38,7 +38,10 @@ Mux::Mux(SimClock* clock, Options options)
     executor_ =
         std::make_unique<IoExecutor>(clock_, options_.io_threads_per_tier);
     if (options_.async_dispatch) {
-      async_ = std::make_unique<AsyncIoCore>(clock_, &metrics_);
+      async_ = std::make_unique<AsyncIoCore>(
+          clock_, &metrics_,
+          options_.continuation_ops ? std::max(0, options_.resume_workers)
+                                    : 0);
     }
   }
 }
@@ -53,7 +56,12 @@ void Mux::PublishTierSetLocked() {
 
 void Mux::RecordOp(const char* op, std::string_view hist, uint64_t bytes,
                    SimTime start_ns) const {
-  const SimTime elapsed = clock_->Now() - start_ns;
+  RecordOpElapsed(op, hist, bytes, start_ns, clock_->Now() - start_ns);
+}
+
+void Mux::RecordOpElapsed(const char* op, std::string_view hist,
+                          uint64_t bytes, SimTime start_ns,
+                          SimTime elapsed) const {
   metrics_.Observe(hist, elapsed);
   obs::TraceEvent event;
   event.layer = "mux";
@@ -76,7 +84,7 @@ Mux::~Mux() {
   // Close every shadow handle still open.
   std::lock_guard<std::shared_mutex> lock(ns_mu_);
   for (auto& [ino, inode] : inodes_) {
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::lock_guard<OpGate> file_lock(inode->mu);
     (void)CloseShadowsLocked(*inode);
   }
 }
@@ -160,7 +168,7 @@ Status Mux::RemoveTier(const std::string& name) {
   for (const auto& inode : files) {
     uint64_t blocks = 0;
     {
-      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+      std::lock_guard<OpGate> file_lock(inode->mu);
       blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
       if (inode->blt->BlocksOnTier(removed) == 0) {
         continue;
@@ -171,7 +179,7 @@ Status Mux::RemoveTier(const std::string& name) {
   }
   std::lock_guard<std::shared_mutex> lock(ns_mu_);
   for (const auto& [ino, inode] : inodes_) {
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::lock_guard<OpGate> file_lock(inode->mu);
     if (inode->blt != nullptr && inode->blt->BlocksOnTier(removed) != 0) {
       return BusyError("tier still holds data: " + name);
     }
@@ -516,7 +524,7 @@ Result<vfs::FileHandle> Mux::Open(const std::string& path, uint32_t flags,
       return IsDirError(path);
     }
     if (flags & vfs::OpenFlags::kTruncate) {
-      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+      std::lock_guard<OpGate> file_lock(inode->mu);
       MUX_RETURN_IF_ERROR(TruncateLocked(*inode, 0, tiers_));
     }
     return InsertOpenFile(inode, flags);
@@ -642,7 +650,7 @@ Status Mux::Rmdir(const std::string& path) {
 
 Status Mux::UnlinkInodeLocked(const std::shared_ptr<MuxInode>& inode) {
   // ns_mu_ held. Drop shadows, shadow files, cache entries, namespace entry.
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::lock_guard<OpGate> file_lock(inode->mu);
   MUX_RETURN_IF_ERROR(CloseShadowsLocked(*inode));
   for (const TierId tier_id : inode->touched_tiers) {
     for (const TierInfo& tier : tiers_) {
@@ -724,7 +732,7 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
 
   std::string old_path;
   {
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::lock_guard<OpGate> file_lock(inode->mu);
     MUX_RETURN_IF_ERROR(CloseShadowsLocked(*inode));
     // Rename the shadow on every tier that may hold it (file: touched
     // tiers; directory: any tier — shadow dirs are not tracked per tier).
@@ -768,7 +776,7 @@ Status Mux::Rename(const std::string& from, const std::string& to) {
           continue;
         }
         const std::shared_ptr<MuxInode>& node = it->second;
-        std::lock_guard<std::shared_mutex> file_lock(node->mu);
+        std::lock_guard<OpGate> file_lock(node->mu);
         // Shadow handles hold pre-rename paths on the underlying FSes; the
         // handles stay valid (handle-based I/O), but fresh opens need the
         // new path, so drop the cached ones.
@@ -787,7 +795,7 @@ Result<vfs::FileStat> Mux::Stat(const std::string& path) {
   ChargeDispatch();
   std::shared_lock<std::shared_mutex> lock(ns_mu_);
   MUX_ASSIGN_OR_RETURN(auto inode, ResolveLocked(path));
-  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+  std::shared_lock<OpGate> file_lock(inode->mu);
   return StatForLocked(*inode);
 }
 
@@ -849,7 +857,7 @@ Result<std::vector<vfs::DirEntry>> Mux::ReadDirPaged(
 Result<vfs::FileStat> Mux::FStat(vfs::FileHandle handle) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
-  std::shared_lock<std::shared_mutex> file_lock(ctx.file.inode->mu);
+  std::shared_lock<OpGate> file_lock(ctx.file.inode->mu);
   return StatForLocked(*ctx.file.inode);
 }
 
@@ -857,7 +865,7 @@ Status Mux::SetAttr(vfs::FileHandle handle, const vfs::AttrUpdate& update) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
   MuxInode& inode = *ctx.file.inode;
-  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
+  std::lock_guard<OpGate> file_lock(inode.mu);
   // The caller dictates values; ownership moves to the fastest tier that
   // holds part of the file (or the fastest overall for empty files).
   TierId owner = kInvalidTier;

@@ -45,6 +45,7 @@
 #include "src/core/io_scheduler.h"
 #include "src/core/metadata.h"
 #include "src/core/occ.h"
+#include "src/core/op_gate.h"
 #include "src/core/policy.h"
 #include "src/core/tier.h"
 #include "src/obs/metrics.h"
@@ -133,6 +134,18 @@ class Mux : public vfs::FileSystem {
     // Per-policy-round budget for the lazy mirror reconciliation pass (see
     // SyncMirrors). 0 disables the pass entirely.
     uint64_t mirror_sync_budget_bytes = 32ull << 20;
+    // Op state machine (PR 10): data-path ops are resumable phase chains
+    // (resolve -> plan -> per-tier submissions -> commit) resumed by the
+    // AsyncIoCore resume pool. Synchronous Read/Write join their fan-in via
+    // OpEvent (never CompletionGroup::Await) and ReadAsync/WriteAsync never
+    // block at all. When false, split dispatch reverts to the PR 7
+    // submit-all-then-Await compat shim (ablation baseline) and the async
+    // entry points degrade to sync-inline.
+    bool continuation_ops = true;
+    // Size of the AsyncIoCore continuation-resumption pool. 0 keeps the
+    // legacy mode where the completion dispatcher invokes continuations
+    // itself (and disables the non-blocking async entry points).
+    int resume_workers = 2;
   };
 
   Mux(SimClock* clock, Options options);
@@ -294,6 +307,17 @@ class Mux : public vfs::FileSystem {
                         uint64_t length, uint8_t* out) override;
   Result<uint64_t> Write(vfs::FileHandle handle, uint64_t offset,
                          const uint8_t* data, uint64_t length) override;
+  // Non-blocking data path (op state machine). The call returns as soon as
+  // the op is planned and its device requests are in the submission rings
+  // (or queued on the inode gate); `done` runs exactly once from a resume
+  // worker when the op commits — the caller thread never parks between
+  // submission and completion. `out`/`data` must stay valid until `done`
+  // runs. Falls back to sync-inline (done invoked before returning) when
+  // continuation_ops is off or the async core/resume pool is absent.
+  void ReadAsync(vfs::FileHandle handle, uint64_t offset, uint64_t length,
+                 uint8_t* out, std::function<void(Result<uint64_t>)> done);
+  void WriteAsync(vfs::FileHandle handle, uint64_t offset, const uint8_t* data,
+                  uint64_t length, std::function<void(Result<uint64_t>)> done);
   Status Truncate(vfs::FileHandle handle, uint64_t new_size) override;
   Status Fsync(vfs::FileHandle handle, bool data_only) override;
   Status Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
@@ -338,8 +362,11 @@ class Mux : public vfs::FileSystem {
     // File lock: shared for Read/Stat/FStat, exclusive for anything that
     // mutates the BLT, size, or shadow layout. See DESIGN.md "Concurrency
     // model" for the full hierarchy (ns_mu_ -> migrate_mu -> mu ->
-    // shadow_mu/meta_mu).
-    std::shared_mutex mu;
+    // shadow_mu/meta_mu). An OpGate, not a shared_mutex: its ownership is
+    // acquisition-scoped, so an op state machine can take it in the plan
+    // phase on one thread and release it in the commit phase on a resume
+    // worker (and queue for it without blocking via TryLock*OrQueue).
+    OpGate mu;
     // Guards `shadows` and `touched_tiers`: shared-lock readers lazily open
     // shadow handles, and migration's copy phase reads handles with no file
     // lock at all, so the map needs its own lock.
@@ -496,6 +523,83 @@ class Mux : public vfs::FileSystem {
   Status TruncateLocked(MuxInode& inode, uint64_t new_size,
                         const std::vector<TierInfo>& tiers);
 
+  // ---- op state machine (continuation-resumed data path) -------------------
+  // Every Mux read/write decomposes into phases:
+  //   resolve (BeginOp) -> gate acquire -> plan (split/stripe + cache probe)
+  //   -> per-tier ring submissions -> commit (absorb/bookkeep) -> finish.
+  // The sync wrappers run the same pieces inline (single-tier) or park in an
+  // OpEvent while the commit runs on a resume worker; ReadAsync/WriteAsync
+  // never block — completions resume the op via FanIn on the AsyncIoCore
+  // resume pool. Per-op simulated time lives in {start_ns, local_ns}: each
+  // phase installs ScopedTimeCursor(clock_, start+local) and accumulates
+  // local += cursor.Release(), so phases hopping threads never contaminate
+  // a foreign thread's cursor; the finish phase publishes via AdvanceTo.
+  struct ReadPlan {
+    uint64_t n = 0;  // bytes the op will return (0 = past-EOF no-op)
+    TierId last_tier = kInvalidTier;
+    std::vector<SegmentJob> jobs;
+  };
+  struct WriteSegment {
+    uint64_t first_block = 0;
+    uint64_t count = 0;
+    TierId target = kInvalidTier;  // kInvalidTier = hole, placed at commit
+    ResidencySet set;
+  };
+  struct WritePlan {
+    std::vector<WriteSegment> segments;
+    std::vector<TierUsage> usages;  // occupancy snapshot (holes only)
+    // Parallel overwrite fast path: home-tier attempt jobs whose results
+    // land in the slots below; the commit loop adopts them. `jobs` closures
+    // point into the slot vectors, so a WritePlan must not move once
+    // planned (it lives in the op struct / the wrapper's frame).
+    std::vector<Status> parallel_status;
+    std::vector<char> parallel_open_failed;
+    std::vector<SegmentJob> jobs;
+    bool parallel_attempted = false;
+  };
+  // Plan phase: split + stripe + hole memsets + the software charges up
+  // front. Never touches a device. `out`-directed hole fills happen here.
+  Result<ReadPlan> PlanReadLocked(MuxInode& inode, const OpCtx& ctx,
+                                  uint64_t offset, uint64_t length,
+                                  uint8_t* out);
+  // Finish phase of a successful read: atime affinity, Touch, counters.
+  void FinishReadLocked(MuxInode& inode, TierId last_tier);
+  // Plan phase of a write: segments, occupancy, parallel-eligibility jobs.
+  Status PlanWriteLocked(MuxInode& inode, const OpCtx& ctx, uint64_t offset,
+                         const uint8_t* data, uint64_t length, bool is_sync,
+                         WritePlan* plan);
+  // Commit + finish of a write: the serial per-segment loop (placement,
+  // ENOSPC fall-down, residency bookkeeping, cache write-through — adopting
+  // parallel slot results when plan.parallel_attempted) and the trailing
+  // OCC/affinity/Touch bookkeeping.
+  Result<uint64_t> ExecuteWriteTail(MuxInode& inode, const OpCtx& ctx,
+                                    uint64_t offset, const uint8_t* data,
+                                    uint64_t length, bool is_sync,
+                                    WritePlan& plan);
+  struct ReadOp;
+  struct WriteOp;
+  void ReadOpLocked(std::shared_ptr<ReadOp> op);
+  void ReadOpCommit(std::shared_ptr<ReadOp> op, const AsyncJoined& joined);
+  void FinishReadOp(std::shared_ptr<ReadOp> op, Result<uint64_t> result);
+  void WriteOpLocked(std::shared_ptr<WriteOp> op);
+  void WriteOpCommit(std::shared_ptr<WriteOp> op, const AsyncJoined& joined);
+  void WriteOpSerialCommit(std::shared_ptr<WriteOp> op,
+                           const AsyncCompletion& completion);
+  void FinishWriteOp(std::shared_ptr<WriteOp> op, Result<uint64_t> result);
+  // True when the non-blocking entry points can actually suspend.
+  bool ContinuationPathEnabled() const {
+    return options_.continuation_ops && async_ != nullptr &&
+           async_->resume_workers() > 0;
+  }
+  // Tracks concurrently in-flight data ops ("mux.op.inflight" histogram,
+  // observed at op admission): with the state machine this exceeds every
+  // thread-pool size, which is the PR's acceptance metric.
+  void OpAdmit() {
+    const int64_t now = ops_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    metrics_.Observe("mux.op.inflight", static_cast<uint64_t>(now));
+  }
+  void OpRetire() { ops_inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
   // ---- migration internals ------------------------------------------------------
   Status MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
                               uint64_t first_block, uint64_t count, TierId to,
@@ -596,6 +700,11 @@ class Mux : public vfs::FileSystem {
   // trace ring (layer "mux").
   void RecordOp(const char* op, std::string_view hist, uint64_t bytes,
                 SimTime start_ns) const;
+  // Same, but with the elapsed time supplied explicitly — async ops account
+  // their own {start, local} time and must not read the shared clock (other
+  // ops advance it concurrently).
+  void RecordOpElapsed(const char* op, std::string_view hist, uint64_t bytes,
+                       SimTime start_ns, SimTime elapsed_ns) const;
 
   SimClock* const clock_;
   const Options options_;
@@ -650,6 +759,8 @@ class Mux : public vfs::FileSystem {
     std::atomic<uint64_t> migration_task_failures{0};
   };
   mutable HotStats hot_stats_;
+  // Data ops admitted but not yet finished (sync and async alike).
+  mutable std::atomic<int64_t> ops_inflight_{0};
   // Bitmap of tiers currently inside a read-failure episode: the failover
   // warning logs once per 0->1 transition of a tier's bit; a later
   // successful read from that tier clears it (ending the episode). Every

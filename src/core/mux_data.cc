@@ -34,14 +34,20 @@ Result<const TierInfo*> Mux::FindTier(const std::vector<TierInfo>& tiers,
 Result<uint64_t> Mux::Read(vfs::FileHandle handle, uint64_t offset,
                            uint64_t length, uint8_t* out) {
   const SimTime start = clock_->Now();
+  OpAdmit();
   ChargeDispatch();
-  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kRead));
+  auto ctx_or = BeginOp(handle, vfs::OpenFlags::kRead);
+  if (!ctx_or.ok()) {
+    OpRetire();
+    return ctx_or.status();
+  }
+  OpCtx ctx = std::move(*ctx_or);
   MuxInode& inode = *ctx.file.inode;
   Result<uint64_t> result = uint64_t{0};
   {
     // Shared: readers of one file proceed concurrently; writers/truncate/
     // migration-commit take the exclusive side.
-    std::shared_lock<std::shared_mutex> file_lock(inode.mu);
+    std::shared_lock<OpGate> file_lock(inode.mu);
     // Per-op time cursor, installed AFTER the lock so ops that actually
     // serialized on the file lock do not falsely overlap in simulated time.
     // It merges (cursor destructs before the lock releases) via CAS-max, so
@@ -50,6 +56,7 @@ Result<uint64_t> Mux::Read(vfs::FileHandle handle, uint64_t offset,
     result = ReadLocked(inode, ctx, offset, length, out);
   }
   RecordOp("read", "mux.read.latency_ns", result.ok() ? *result : 0, start);
+  OpRetire();
   return result;
 }
 
@@ -102,9 +109,23 @@ std::vector<const TierInfo*> Mux::RankReadCopies(
 Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
                                  uint64_t offset, uint64_t length,
                                  uint8_t* out) {
+  MUX_ASSIGN_OR_RETURN(ReadPlan plan,
+                       PlanReadLocked(inode, ctx, offset, length, out));
+  if (plan.n == 0) {
+    return uint64_t{0};
+  }
+  MUX_RETURN_IF_ERROR(DispatchSegments(std::move(plan.jobs)));
+  FinishReadLocked(inode, plan.last_tier);
+  return plan.n;
+}
+
+Result<Mux::ReadPlan> Mux::PlanReadLocked(MuxInode& inode, const OpCtx& ctx,
+                                          uint64_t offset, uint64_t length,
+                                          uint8_t* out) {
+  ReadPlan plan;
   const uint64_t size = inode.attrs.size();
   if (offset >= size || length == 0) {
-    return uint64_t{0};
+    return plan;
   }
   const uint64_t n = std::min(length, size - offset);
   const uint64_t first_block = offset / kBlockSize;
@@ -131,11 +152,9 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
   // range spreads across its copies. Single-copy runs take exactly the old
   // one-segment path.
   constexpr uint64_t kReadStripeBlocks = 256;  // 1 MiB
-  TierId last_tier = kInvalidTier;
   std::map<TierId, uint64_t> local_load;
   uint64_t stripe_pieces = 0;
-  std::vector<SegmentJob> jobs;
-  jobs.reserve(runs.size());
+  plan.jobs.reserve(runs.size());
   for (const auto& run : runs) {
     const uint64_t run_lo = std::max(offset, run.first_block * kBlockSize);
     const uint64_t run_hi =
@@ -161,11 +180,11 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
       if (serving->id != run.set.primary) {
         metrics_.Add("mux.replica.read_hits", 1);
       }
-      last_tier = serving->id;
+      plan.last_tier = serving->id;
       if (lo != run_lo) {
         ++stripe_pieces;
       }
-      jobs.push_back(SegmentJob{
+      plan.jobs.push_back(SegmentJob{
           serving->id, [this, &inode, &ctx, copies = std::move(copies), lo,
                         hi, offset, out]() -> Status {
             return ReadRunSegment(inode, ctx, copies, lo, hi, offset, out);
@@ -178,8 +197,11 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
     hot_stats_.split_segments.fetch_add(stripe_pieces,
                                         std::memory_order_relaxed);
   }
-  MUX_RETURN_IF_ERROR(DispatchSegments(std::move(jobs)));
+  plan.n = n;
+  return plan;
+}
 
+void Mux::FinishReadLocked(MuxInode& inode, TierId last_tier) {
   // atime affinity: the file system that fetched the last block (§2.3).
   // meta_mu because concurrent shared-lock readers race on these fields.
   {
@@ -192,7 +214,6 @@ Result<uint64_t> Mux::ReadLocked(MuxInode& inode, const OpCtx& ctx,
   ChargeSw("mux.sw.affinity_ns", options_.costs.affinity_update_ns);
   Touch(inode);
   hot_stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  return n;
 }
 
 Status Mux::ReadFromCopies(MuxInode& inode,
@@ -331,30 +352,57 @@ Status Mux::DispatchSegments(std::vector<SegmentJob> jobs) const {
   }
   if (async_ != nullptr) {
     // Completion-based path: submit every chain into its tier's submission
-    // ring, then await one completion group — the op thread never blocks in
-    // per-chain future order, and per-request start times come from the
+    // ring and join the completions — per-request start times come from the
     // ring's simulated channel model (queue-depth-aware). Submission and
-    // completion handling are software work, charged per chain.
+    // completion handling are software work, charged per chain. On the
+    // default path the join is a FanIn whose final completion signals a
+    // plain OpEvent (the sync API's blocking bridge); only the
+    // continuation_ops=false ablation still parks in
+    // CompletionGroup::Await.
     ChargeSw("mux.sw.submit_ns",
              options_.costs.submit_ns * static_cast<SimTime>(chains.size()));
     const SimTime origin = clock_->Now();
-    CompletionGroup group;
-    for (auto& [tier, fns] : chains) {
-      AsyncIoRequest request;
-      request.queue = tier;
-      request.origin = origin;
-      request.fn = [chain = std::move(fns)]() -> Status {
-        for (const auto& fn : chain) {
-          MUX_RETURN_IF_ERROR(fn());
-        }
-        return Status::Ok();
-      };
-      request.on_complete = group.Add();
-      // A rejected submit still runs the continuation (cancelled, kBusy),
-      // so the group join below always completes.
-      (void)async_->Submit(std::move(request));
+    AsyncJoined joined;
+    if (options_.continuation_ops) {
+      OpEvent event;
+      auto fan = FanIn::Create(chains.size(),
+                               [&joined, &event](const AsyncJoined& j) {
+                                 joined = j;
+                                 event.Signal();
+                               });
+      for (auto& [tier, fns] : chains) {
+        AsyncIoRequest request;
+        request.queue = tier;
+        request.origin = origin;
+        request.fn = [chain = std::move(fns)]() -> Status {
+          for (const auto& fn : chain) {
+            MUX_RETURN_IF_ERROR(fn());
+          }
+          return Status::Ok();
+        };
+        request.on_complete = fan->Add();
+        // A rejected submit still runs the continuation (cancelled, kBusy),
+        // so the fan-in below always fires.
+        (void)async_->Submit(std::move(request));
+      }
+      event.Wait();
+    } else {
+      CompletionGroup group;
+      for (auto& [tier, fns] : chains) {
+        AsyncIoRequest request;
+        request.queue = tier;
+        request.origin = origin;
+        request.fn = [chain = std::move(fns)]() -> Status {
+          for (const auto& fn : chain) {
+            MUX_RETURN_IF_ERROR(fn());
+          }
+          return Status::Ok();
+        };
+        request.on_complete = group.Add();
+        (void)async_->Submit(std::move(request));
+      }
+      joined = group.Await();
     }
-    const CompletionGroup::Joined joined = group.Await();
     // Max over the chains, wait + service: concurrent chains overlap, and a
     // failed chain still consumed the time its segments charged before the
     // failure (same doctrine as the executor join below).
@@ -404,13 +452,19 @@ Status Mux::DispatchSegments(std::vector<SegmentJob> jobs) const {
 Result<uint64_t> Mux::Write(vfs::FileHandle handle, uint64_t offset,
                             const uint8_t* data, uint64_t length) {
   const SimTime start = clock_->Now();
+  OpAdmit();
   ChargeDispatch();
-  MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
+  auto ctx_or = BeginOp(handle, vfs::OpenFlags::kWrite);
+  if (!ctx_or.ok()) {
+    OpRetire();
+    return ctx_or.status();
+  }
+  OpCtx ctx = std::move(*ctx_or);
   MuxInode& inode = *ctx.file.inode;
   const bool is_sync = (ctx.file.flags & vfs::OpenFlags::kSync) != 0;
   Result<uint64_t> result = uint64_t{0};
   {
-    std::lock_guard<std::shared_mutex> file_lock(inode.mu);
+    std::lock_guard<OpGate> file_lock(inode.mu);
     // Cursor installed after lock acquisition (see Read): writers serialize
     // on the exclusive lock, so their simulated times must chain, not
     // overlap. The cursor merges before the lock is released.
@@ -418,6 +472,7 @@ Result<uint64_t> Mux::Write(vfs::FileHandle handle, uint64_t offset,
     result = WriteLocked(inode, ctx, offset, data, length, is_sync);
   }
   RecordOp("write", "mux.write.latency_ns", result.ok() ? *result : 0, start);
+  OpRetire();
   return result;
 }
 
@@ -427,6 +482,20 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   if (length == 0) {
     return uint64_t{0};
   }
+  WritePlan plan;
+  MUX_RETURN_IF_ERROR(
+      PlanWriteLocked(inode, ctx, offset, data, length, is_sync, &plan));
+  if (!plan.jobs.empty()) {
+    MUX_RETURN_IF_ERROR(DispatchSegments(std::move(plan.jobs)));
+    plan.parallel_attempted = true;
+  }
+  return ExecuteWriteTail(inode, ctx, offset, data, length, is_sync, plan);
+}
+
+Status Mux::PlanWriteLocked(MuxInode& inode, const OpCtx& ctx,
+                            uint64_t offset, const uint8_t* data,
+                            uint64_t length, bool is_sync, WritePlan* plan) {
+  (void)is_sync;
   const uint64_t first_block = offset / kBlockSize;
   const uint64_t last_block = (offset + length - 1) / kBlockSize;
 
@@ -439,22 +508,18 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
                                         std::memory_order_relaxed);
   }
 
-  // One write segment: a residency-uniform piece plus the tier that should
-  // absorb the bytes. Mapped pieces absorb on the fastest CLEAN resident
-  // copy (only clean copies hold current bytes, so a partial-block
-  // overwrite there is safe); holes get a placement decision below.
-  struct WriteSeg {
-    uint64_t first_block = 0;
-    uint64_t count = 0;
-    TierId target = kInvalidTier;
-    ResidencySet set;
-  };
+  // One write segment (WriteSegment): a residency-uniform piece plus the
+  // tier that should absorb the bytes. Mapped pieces absorb on the fastest
+  // CLEAN resident copy (only clean copies hold current bytes, so a
+  // partial-block overwrite there is safe); holes get a placement decision
+  // in ExecuteWriteTail.
+  using WriteSeg = WriteSegment;
 
   // Placement granularity for new blocks: large appends are placed in
   // chunks so a single huge write can start on the fast tier and spill to
   // slower ones when space runs out.
   constexpr uint64_t kPlacementChunkBlocks = 1024;  // 4 MiB
-  std::vector<WriteSeg> segments;
+  auto& segments = plan->segments;
   bool has_hole = false;
   for (const auto& run : runs) {
     if (run.set.Mapped()) {
@@ -485,7 +550,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
 
   // Policies need occupancy; capture it once and keep it current locally as
   // chunks land.
-  std::vector<TierUsage> usages;
+  auto& usages = plan->usages;
   if (has_hole) {
     usages.reserve(ctx.tiers().size());
     for (const TierInfo& tier : ctx.tiers()) {
@@ -514,9 +579,8 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   // bookkeeping — ENOSPC fall-down, BLT commit, cache write-through, mirror
   // dirtying — stays in the serial loop below, which consumes the
   // per-segment results.
-  std::vector<Status> parallel_status;
-  std::vector<char> parallel_open_failed;
-  bool parallel_attempted = false;
+  auto& parallel_status = plan->parallel_status;
+  auto& parallel_open_failed = plan->parallel_open_failed;
   if (!has_hole && options_.parallel_dispatch && executor_ != nullptr &&
       segments.size() > 1) {
     bool multi_tier = false;
@@ -526,7 +590,7 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
     if (multi_tier) {
       parallel_status.assign(segments.size(), Status::Ok());
       parallel_open_failed.assign(segments.size(), 0);
-      std::vector<SegmentJob> jobs;
+      auto& jobs = plan->jobs;
       jobs.reserve(segments.size());
       Status prep = Status::Ok();
       for (size_t si = 0; si < segments.size(); ++si) {
@@ -563,12 +627,29 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
               return Status::Ok();
             }});
       }
-      if (prep.ok()) {
-        MUX_RETURN_IF_ERROR(DispatchSegments(std::move(jobs)));
-        parallel_attempted = true;
+      if (!prep.ok()) {
+        // Prep failed (unknown tier) — discard the fast path and let the
+        // serial loop take every attempt, exactly as before.
+        jobs.clear();
+        parallel_status.clear();
+        parallel_open_failed.clear();
       }
     }
   }
+  return Status::Ok();
+}
+
+Result<uint64_t> Mux::ExecuteWriteTail(MuxInode& inode, const OpCtx& ctx,
+                                       uint64_t offset, const uint8_t* data,
+                                       uint64_t length, bool is_sync,
+                                       WritePlan& plan) {
+  const uint64_t first_block = offset / kBlockSize;
+  const uint64_t last_block = (offset + length - 1) / kBlockSize;
+  auto& segments = plan.segments;
+  auto& usages = plan.usages;
+  auto& parallel_status = plan.parallel_status;
+  auto& parallel_open_failed = plan.parallel_open_failed;
+  const bool parallel_attempted = plan.parallel_attempted;
 
   TierId last_written_tier = kInvalidTier;
   for (size_t si = 0; si < segments.size(); ++si) {
@@ -717,6 +798,348 @@ Result<uint64_t> Mux::WriteLocked(MuxInode& inode, const OpCtx& ctx,
   return length;
 }
 
+// ---- op state machine: non-blocking read/write -----------------------------------
+//
+// ReadAsync/WriteAsync run the same plan/execute/finish pieces as the sync
+// wrappers, but no thread ever parks: the gate is acquired via
+// TryLock*OrQueue (grant hops onto the resume pool), device fan-out joins
+// through FanIn, and the commit phase runs on a resume worker when the last
+// completion arrives. Per-op simulated time is carried in {start_ns,
+// local_ns}; each phase anchors a ScopedTimeCursor at start+local and
+// accumulates its Release()'d time, so an op resumed on a thread that owns
+// a foreign cursor never contaminates it.
+
+struct Mux::ReadOp {
+  vfs::FileHandle handle = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint8_t* out = nullptr;
+  std::function<void(Result<uint64_t>)> done;
+  OpCtx ctx;
+  SimTime start_ns = 0;
+  SimTime local_ns = 0;  // only the phase currently running touches this
+  size_t chains = 0;
+  ReadPlan plan;
+};
+
+struct Mux::WriteOp {
+  vfs::FileHandle handle = 0;
+  uint64_t offset = 0;
+  const uint8_t* data = nullptr;
+  uint64_t length = 0;
+  bool is_sync = false;
+  std::function<void(Result<uint64_t>)> done;
+  OpCtx ctx;
+  SimTime start_ns = 0;
+  SimTime local_ns = 0;
+  size_t chains = 0;
+  WritePlan plan;
+  // Serial path: filled by the ring request's fn, read by the commit phase
+  // (the completion delivery orders the two).
+  Result<uint64_t> serial_result = uint64_t{0};
+};
+
+void Mux::ReadAsync(vfs::FileHandle handle, uint64_t offset, uint64_t length,
+                    uint8_t* out,
+                    std::function<void(Result<uint64_t>)> done) {
+  if (!ContinuationPathEnabled()) {
+    // Ablation / degraded mode: the state machine needs the async core and
+    // a resume pool; without them the call is sync-inline.
+    auto result = Read(handle, offset, length, out);
+    if (done) {
+      done(std::move(result));
+    }
+    return;
+  }
+  auto op = std::make_shared<ReadOp>();
+  op->handle = handle;
+  op->offset = offset;
+  op->length = length;
+  op->out = out;
+  op->done = std::move(done);
+  op->start_ns = clock_->Now();
+  OpAdmit();
+  {
+    ScopedTimeCursor cursor(clock_, op->start_ns);
+    ChargeDispatch();
+    auto ctx_or = BeginOp(handle, vfs::OpenFlags::kRead);
+    op->local_ns += cursor.Release();
+    if (!ctx_or.ok()) {
+      FinishReadOp(std::move(op), ctx_or.status());
+      return;
+    }
+    op->ctx = std::move(*ctx_or);
+  }
+  MuxInode& inode = *op->ctx.file.inode;
+  // Shared gate, queued acquisition: the grant runs on the releasing thread
+  // and only hops the plan phase onto the resume pool.
+  if (inode.mu.TryLockSharedOrQueue([this, op] {
+        async_->Resume([this, op] { ReadOpLocked(op); });
+      })) {
+    ReadOpLocked(std::move(op));
+  }
+}
+
+void Mux::ReadOpLocked(std::shared_ptr<ReadOp> op) {
+  MuxInode& inode = *op->ctx.file.inode;
+  ScopedTimeCursor cursor(clock_, op->start_ns + op->local_ns);
+  auto plan_or =
+      PlanReadLocked(inode, op->ctx, op->offset, op->length, op->out);
+  if (!plan_or.ok() || plan_or->n == 0 || plan_or->jobs.empty()) {
+    // No device work: past-EOF, zero-length, or a hole-only read already
+    // served by the plan's memsets. Finish inline under the gate.
+    Result<uint64_t> result = uint64_t{0};
+    if (!plan_or.ok()) {
+      result = plan_or.status();
+    } else if (plan_or->n > 0) {
+      FinishReadLocked(inode, plan_or->last_tier);
+      result = plan_or->n;
+    }
+    op->local_ns += cursor.Release();
+    inode.mu.unlock_shared();
+    FinishReadOp(std::move(op), std::move(result));
+    return;
+  }
+  op->plan = std::move(*plan_or);
+  std::map<TierId, std::vector<std::function<Status()>>> chains;
+  for (SegmentJob& job : op->plan.jobs) {
+    chains[job.tier].push_back(std::move(job.fn));
+  }
+  ChargeSw("mux.sw.submit_ns",
+           options_.costs.submit_ns * static_cast<SimTime>(chains.size()));
+  const SimTime origin = clock_->Now();
+  op->chains = chains.size();
+  op->local_ns += cursor.Release();
+  auto fan = FanIn::Create(op->chains, [this, op](const AsyncJoined& joined) {
+    ReadOpCommit(op, joined);
+  });
+  for (auto& [tier, fns] : chains) {
+    AsyncIoRequest request;
+    request.queue = tier;
+    request.origin = origin;
+    request.fn = [chain = std::move(fns)]() -> Status {
+      for (const auto& fn : chain) {
+        MUX_RETURN_IF_ERROR(fn());
+      }
+      return Status::Ok();
+    };
+    request.on_complete = fan->Add();
+    // A rejected submit still runs the continuation (cancelled, kBusy), so
+    // the fan-in always fires and the op always resumes.
+    (void)async_->Submit(std::move(request));
+  }
+}
+
+void Mux::ReadOpCommit(std::shared_ptr<ReadOp> op, const AsyncJoined& joined) {
+  MuxInode& inode = *op->ctx.file.inode;
+  {
+    ScopedTimeCursor cursor(clock_, op->start_ns + op->local_ns);
+    clock_->Advance(joined.max_total_ns);
+    ChargeSw("mux.sw.completion_ns",
+             options_.costs.completion_ns * static_cast<SimTime>(op->chains));
+    if (op->chains > 1) {
+      metrics_.Add("mux.parallel.fanouts", 1);
+      metrics_.Add("mux.parallel.segments", op->plan.jobs.size());
+      metrics_.Add("mux.parallel.chain_max_ns", joined.max_total_ns);
+      metrics_.Add("mux.parallel.chain_sum_ns", joined.sum_service_ns);
+    }
+    if (joined.status.ok()) {
+      FinishReadLocked(inode, op->plan.last_tier);
+    }
+    op->local_ns += cursor.Release();
+  }
+  inode.mu.unlock_shared();
+  Result<uint64_t> result = joined.status.ok()
+                                ? Result<uint64_t>(op->plan.n)
+                                : Result<uint64_t>(joined.status);
+  FinishReadOp(std::move(op), std::move(result));
+}
+
+void Mux::FinishReadOp(std::shared_ptr<ReadOp> op, Result<uint64_t> result) {
+  clock_->AdvanceTo(op->start_ns + op->local_ns);
+  RecordOpElapsed("read", "mux.read.latency_ns", result.ok() ? *result : 0,
+                  op->start_ns, op->local_ns);
+  OpRetire();
+  if (op->done) {
+    op->done(std::move(result));
+  }
+}
+
+void Mux::WriteAsync(vfs::FileHandle handle, uint64_t offset,
+                     const uint8_t* data, uint64_t length,
+                     std::function<void(Result<uint64_t>)> done) {
+  if (!ContinuationPathEnabled()) {
+    auto result = Write(handle, offset, data, length);
+    if (done) {
+      done(std::move(result));
+    }
+    return;
+  }
+  auto op = std::make_shared<WriteOp>();
+  op->handle = handle;
+  op->offset = offset;
+  op->data = data;
+  op->length = length;
+  op->done = std::move(done);
+  op->start_ns = clock_->Now();
+  OpAdmit();
+  {
+    ScopedTimeCursor cursor(clock_, op->start_ns);
+    ChargeDispatch();
+    auto ctx_or = BeginOp(handle, vfs::OpenFlags::kWrite);
+    op->local_ns += cursor.Release();
+    if (!ctx_or.ok()) {
+      FinishWriteOp(std::move(op), ctx_or.status());
+      return;
+    }
+    op->ctx = std::move(*ctx_or);
+  }
+  op->is_sync = (op->ctx.file.flags & vfs::OpenFlags::kSync) != 0;
+  MuxInode& inode = *op->ctx.file.inode;
+  if (inode.mu.TryLockOrQueue([this, op] {
+        async_->Resume([this, op] { WriteOpLocked(op); });
+      })) {
+    WriteOpLocked(std::move(op));
+  }
+}
+
+void Mux::WriteOpLocked(std::shared_ptr<WriteOp> op) {
+  MuxInode& inode = *op->ctx.file.inode;
+  ScopedTimeCursor cursor(clock_, op->start_ns + op->local_ns);
+  if (op->length == 0) {
+    op->local_ns += cursor.Release();
+    inode.mu.unlock();
+    FinishWriteOp(std::move(op), uint64_t{0});
+    return;
+  }
+  const Status planned = PlanWriteLocked(inode, op->ctx, op->offset, op->data,
+                                         op->length, op->is_sync, &op->plan);
+  if (!planned.ok()) {
+    op->local_ns += cursor.Release();
+    inode.mu.unlock();
+    FinishWriteOp(std::move(op), planned);
+    return;
+  }
+  if (!op->plan.jobs.empty()) {
+    // Parallel overwrite fast path: the home-tier attempts fan out through
+    // the rings; the commit phase adopts their per-slot results.
+    std::map<TierId, std::vector<std::function<Status()>>> chains;
+    for (SegmentJob& job : op->plan.jobs) {
+      chains[job.tier].push_back(std::move(job.fn));
+    }
+    ChargeSw("mux.sw.submit_ns",
+             options_.costs.submit_ns * static_cast<SimTime>(chains.size()));
+    const SimTime origin = clock_->Now();
+    op->chains = chains.size();
+    op->local_ns += cursor.Release();
+    auto fan =
+        FanIn::Create(op->chains, [this, op](const AsyncJoined& joined) {
+          WriteOpCommit(op, joined);
+        });
+    for (auto& [tier, fns] : chains) {
+      AsyncIoRequest request;
+      request.queue = tier;
+      request.is_write = true;
+      request.origin = origin;
+      request.fn = [chain = std::move(fns)]() -> Status {
+        for (const auto& fn : chain) {
+          MUX_RETURN_IF_ERROR(fn());
+        }
+        return Status::Ok();
+      };
+      request.on_complete = fan->Add();
+      (void)async_->Submit(std::move(request));
+    }
+    return;
+  }
+  // Serial path: one ring request runs the whole commit loop (placement,
+  // fall-down, bookkeeping) on the first absorb tier's queue; the
+  // completion resumes the finish phase. The op still holds the exclusive
+  // gate throughout, so running the loop on a server thread is safe.
+  TierId queue = kInvalidTier;
+  for (const auto& seg : op->plan.segments) {
+    if (seg.target != kInvalidTier) {
+      queue = seg.target;
+      break;
+    }
+  }
+  if (queue == kInvalidTier && !op->ctx.tiers().empty()) {
+    queue = op->ctx.tiers().front().id;
+  }
+  ChargeSw("mux.sw.submit_ns", options_.costs.submit_ns);
+  const SimTime origin = clock_->Now();
+  op->local_ns += cursor.Release();
+  AsyncIoRequest request;
+  request.queue = queue;
+  request.is_write = true;
+  request.bytes = op->length;
+  request.origin = origin;
+  request.fn = [this, op]() -> Status {
+    op->serial_result =
+        ExecuteWriteTail(*op->ctx.file.inode, op->ctx, op->offset, op->data,
+                         op->length, op->is_sync, op->plan);
+    return op->serial_result.ok() ? Status::Ok() : op->serial_result.status();
+  };
+  request.on_complete = [this, op](const AsyncCompletion& completion) {
+    WriteOpSerialCommit(op, completion);
+  };
+  (void)async_->Submit(std::move(request));
+}
+
+void Mux::WriteOpCommit(std::shared_ptr<WriteOp> op,
+                        const AsyncJoined& joined) {
+  MuxInode& inode = *op->ctx.file.inode;
+  Result<uint64_t> result = uint64_t{0};
+  {
+    ScopedTimeCursor cursor(clock_, op->start_ns + op->local_ns);
+    clock_->Advance(joined.max_total_ns);
+    ChargeSw("mux.sw.completion_ns",
+             options_.costs.completion_ns * static_cast<SimTime>(op->chains));
+    metrics_.Add("mux.parallel.fanouts", 1);
+    metrics_.Add("mux.parallel.segments", op->plan.jobs.size());
+    metrics_.Add("mux.parallel.chain_max_ns", joined.max_total_ns);
+    metrics_.Add("mux.parallel.chain_sum_ns", joined.sum_service_ns);
+    if (joined.status.ok()) {
+      op->plan.parallel_attempted = true;
+      result = ExecuteWriteTail(inode, op->ctx, op->offset, op->data,
+                                op->length, op->is_sync, op->plan);
+    } else {
+      result = joined.status;
+    }
+    op->local_ns += cursor.Release();
+  }
+  inode.mu.unlock();
+  FinishWriteOp(std::move(op), std::move(result));
+}
+
+void Mux::WriteOpSerialCommit(std::shared_ptr<WriteOp> op,
+                              const AsyncCompletion& completion) {
+  MuxInode& inode = *op->ctx.file.inode;
+  {
+    ScopedTimeCursor cursor(clock_, op->start_ns + op->local_ns);
+    clock_->Advance(completion.total_ns());
+    ChargeSw("mux.sw.completion_ns", options_.costs.completion_ns);
+    op->local_ns += cursor.Release();
+  }
+  inode.mu.unlock();
+  // A cancelled/rejected submission never ran the fn; surface the
+  // cancellation status instead of the untouched default result.
+  Result<uint64_t> result = completion.cancelled
+                                ? Result<uint64_t>(completion.status)
+                                : std::move(op->serial_result);
+  FinishWriteOp(std::move(op), std::move(result));
+}
+
+void Mux::FinishWriteOp(std::shared_ptr<WriteOp> op, Result<uint64_t> result) {
+  clock_->AdvanceTo(op->start_ns + op->local_ns);
+  RecordOpElapsed("write", "mux.write.latency_ns", result.ok() ? *result : 0,
+                  op->start_ns, op->local_ns);
+  OpRetire();
+  if (op->done) {
+    op->done(std::move(result));
+  }
+}
+
 // ---- truncate / fsync / fallocate / punch ------------------------------------------
 
 Status Mux::TruncateLocked(MuxInode& inode, uint64_t new_size,
@@ -770,7 +1193,7 @@ Status Mux::Truncate(vfs::FileHandle handle, uint64_t new_size) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, vfs::OpenFlags::kWrite));
   MuxInode& inode = *ctx.file.inode;
-  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
+  std::lock_guard<OpGate> file_lock(inode.mu);
   return TruncateLocked(inode, new_size, ctx.tiers());
 }
 
@@ -778,7 +1201,7 @@ Status Mux::Fsync(vfs::FileHandle handle, bool data_only) {
   ChargeDispatch();
   MUX_ASSIGN_OR_RETURN(OpCtx ctx, BeginOp(handle, 0));
   MuxInode& inode = *ctx.file.inode;
-  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
+  std::lock_guard<OpGate> file_lock(inode.mu);
   // Fan out to every file system responsible for part of the file and
   // synchronize on all completions (§4 "Crash Consistency").
   for (const TierId tier_id : inode.touched_tiers) {
@@ -800,7 +1223,7 @@ Status Mux::Fallocate(vfs::FileHandle handle, uint64_t offset, uint64_t length,
   if (length == 0) {
     return InvalidArgumentError("zero-length fallocate");
   }
-  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
+  std::lock_guard<OpGate> file_lock(inode.mu);
   // Preallocate on the fastest tier with room (preallocation exists to make
   // later writes cheap, so it follows placement of hot data).
   Status status = NoSpaceError("no tier accepted the fallocate");
@@ -866,7 +1289,7 @@ Status Mux::PunchHole(vfs::FileHandle handle, uint64_t offset,
   if (offset % kBlockSize != 0 || length % kBlockSize != 0 || length == 0) {
     return InvalidArgumentError("hole punch must be block aligned");
   }
-  std::lock_guard<std::shared_mutex> file_lock(inode.mu);
+  std::lock_guard<OpGate> file_lock(inode.mu);
   const uint64_t first = offset / kBlockSize;
   const uint64_t count = length / kBlockSize;
   for (const auto& run : inode.blt->Runs(first, count)) {
@@ -1145,7 +1568,7 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
   std::vector<BlockLookupTable::Run> pending;
   uint64_t v1 = 0;
   {
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::lock_guard<OpGate> file_lock(inode->mu);
     pending = PendingRunsLocked(*inode, first_block, count, to, only_from);
     if (pending.empty()) {
       return Status::Ok();
@@ -1189,7 +1612,7 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
       }
     }
     if (!copy_status.ok()) {
-      std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+      std::lock_guard<OpGate> file_lock(inode->mu);
       inode->occ.AbortPass();
       // Transient tier trouble — the destination filling up or a flaky
       // device — is retried with the same capped attempt budget as OCC
@@ -1221,7 +1644,7 @@ Status Mux::MigrateRangeInternal(const std::shared_ptr<MuxInode>& inode,
     }
 
     // Validate-and-commit phase (short critical section).
-    std::unique_lock<std::shared_mutex> file_lock(inode->mu);
+    std::unique_lock<OpGate> file_lock(inode->mu);
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       occ_stats_.passes++;
@@ -1304,7 +1727,7 @@ Status Mux::MigrateFile(const std::string& path, TierId to, TierId from) {
   }
   uint64_t blocks = 0;
   {
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::lock_guard<OpGate> file_lock(inode->mu);
     blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
   }
   if (blocks == 0) {
@@ -1356,7 +1779,7 @@ Status Mux::RunPolicyMigrations() {
         if (inode->type != vfs::FileType::kRegular) {
           continue;
         }
-        std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+        std::shared_lock<OpGate> file_lock(inode->mu);
         if (inode->unlinked.load(std::memory_order_acquire)) {
           continue;
         }
@@ -1545,7 +1968,7 @@ MuxSnapshot Mux::BuildSnapshotChunked() const {
   while (CollectIndexChunk(&cursor, kIndexScanChunk, &chunk)) {
     metrics_.Add("mux.ckpt.chunks", 1);
     for (const auto& inode : chunk) {
-      std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+      std::shared_lock<OpGate> file_lock(inode->mu);
       if (inode->unlinked.load(std::memory_order_acquire)) {
         continue;
       }
@@ -1743,7 +2166,7 @@ Result<Mux::FileHeat> Mux::Heat(const std::string& path) const {
     std::shared_lock<std::shared_mutex> lock(ns_mu_);
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
   }
-  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+  std::shared_lock<OpGate> file_lock(inode->mu);
   // meta_mu: shared-lock readers update heat concurrently (Touch).
   std::lock_guard<std::mutex> meta_lock(inode->meta_mu);
   FileHeat heat;
@@ -1760,7 +2183,7 @@ Result<std::map<TierId, uint64_t>> Mux::FileTierBreakdown(
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
   }
   const auto tier_set = SnapshotTierSet();
-  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+  std::shared_lock<OpGate> file_lock(inode->mu);
   std::map<TierId, uint64_t> breakdown;
   if (inode->blt != nullptr) {
     for (const TierInfo& tier : tier_set->tiers) {
@@ -1777,7 +2200,7 @@ uint64_t Mux::BltMemoryBytes() const {
   std::shared_lock<std::shared_mutex> lock(ns_mu_);
   uint64_t total = 0;
   for (const auto& [ino, inode] : inodes_) {
-    std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+    std::shared_lock<OpGate> file_lock(inode->mu);
     if (inode->blt != nullptr) {
       total += inode->blt->MemoryBytes();
     }
@@ -1812,7 +2235,7 @@ Status Mux::ReplicateRange(const std::string& path, uint64_t first_block,
   const std::vector<TierInfo>& tiers = tier_set->tiers;
   MUX_ASSIGN_OR_RETURN(const TierInfo* replica, FindTier(tiers, replica_tier));
 
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::lock_guard<OpGate> file_lock(inode->mu);
   MUX_ASSIGN_OR_RETURN(vfs::FileHandle replica_shadow,
                        ShadowHandleLocked(*inode, *replica, /*create=*/true));
   std::vector<uint8_t> buf;
@@ -1857,7 +2280,7 @@ Status Mux::ReplicateFile(const std::string& path, TierId replica_tier) {
     if (inode->type != vfs::FileType::kRegular) {
       return IsDirError(path);
     }
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::lock_guard<OpGate> file_lock(inode->mu);
     blocks = (inode->attrs.size() + kBlockSize - 1) / kBlockSize;
   }
   if (blocks == 0) {
@@ -1902,7 +2325,7 @@ Status Mux::DropReplica(const std::string& path, TierId replica_tier) {
     return IsDirError(path);
   }
   const auto tier_set = SnapshotTierSet();
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::lock_guard<OpGate> file_lock(inode->mu);
   return DropReplicasLocked(*inode, tier_set->tiers, replica_tier);
 }
 
@@ -1916,7 +2339,7 @@ Status Mux::DropReplicas(const std::string& path) {
     return IsDirError(path);
   }
   const auto tier_set = SnapshotTierSet();
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::lock_guard<OpGate> file_lock(inode->mu);
   return DropReplicasLocked(*inode, tier_set->tiers, kInvalidTier);
 }
 
@@ -1928,7 +2351,7 @@ Result<std::map<TierId, uint64_t>> Mux::ReplicaBreakdown(
     MUX_ASSIGN_OR_RETURN(inode, ResolveLocked(path));
   }
   const auto tier_set = SnapshotTierSet();
-  std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+  std::shared_lock<OpGate> file_lock(inode->mu);
   std::map<TierId, uint64_t> breakdown;
   if (inode->blt != nullptr) {
     for (const TierInfo& tier : tier_set->tiers) {
@@ -1944,7 +2367,7 @@ Result<std::map<TierId, uint64_t>> Mux::ReplicaBreakdown(
 Result<uint64_t> Mux::MirrorSyncFile(const std::shared_ptr<MuxInode>& inode,
                                      const std::vector<TierInfo>& tiers,
                                      uint64_t* budget) {
-  std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+  std::lock_guard<OpGate> file_lock(inode->mu);
   if (inode->unlinked.load(std::memory_order_acquire) ||
       inode->blt == nullptr) {
     return uint64_t{0};
@@ -2062,7 +2485,7 @@ Result<uint64_t> Mux::SyncMirrors(uint64_t max_bytes) {
       {
         // Cheap skip without the exclusive lock: most files have no dirty
         // mirror copies at all.
-        std::shared_lock<std::shared_mutex> file_lock(inode->mu);
+        std::shared_lock<OpGate> file_lock(inode->mu);
         if (inode->unlinked.load(std::memory_order_acquire) ||
             inode->blt == nullptr || inode->blt->DirtyBlocks() == 0) {
           continue;
@@ -2102,7 +2525,7 @@ Result<Mux::ScrubReport> Mux::Fsck() {
   std::vector<uint8_t> primary_buf(kBlockSize);
   std::vector<uint8_t> replica_buf(kBlockSize);
   for (const auto& inode : files) {
-    std::lock_guard<std::shared_mutex> file_lock(inode->mu);
+    std::lock_guard<OpGate> file_lock(inode->mu);
     report.files_checked++;
     const uint64_t size_blocks =
         (inode->attrs.size() + kBlockSize - 1) / kBlockSize;

@@ -1,0 +1,136 @@
+#include "src/core/op_gate.h"
+
+#include <utility>
+
+namespace mux::core {
+
+void OpGate::lock() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (CanAcquireLocked(/*exclusive=*/true)) {
+    writer_ = true;
+    return;
+  }
+  bool granted = false;
+  waiters_.push_back(Waiter{/*exclusive=*/true, &granted, nullptr});
+  cv_.wait(lock, [&granted] { return granted; });
+}
+
+bool OpGate::try_lock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!CanAcquireLocked(/*exclusive=*/true)) {
+    return false;
+  }
+  writer_ = true;
+  return true;
+}
+
+void OpGate::unlock() { ReleaseExclusive(); }
+
+void OpGate::lock_shared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (CanAcquireLocked(/*exclusive=*/false)) {
+    readers_++;
+    return;
+  }
+  bool granted = false;
+  waiters_.push_back(Waiter{/*exclusive=*/false, &granted, nullptr});
+  cv_.wait(lock, [&granted] { return granted; });
+}
+
+bool OpGate::try_lock_shared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!CanAcquireLocked(/*exclusive=*/false)) {
+    return false;
+  }
+  readers_++;
+  return true;
+}
+
+void OpGate::unlock_shared() { ReleaseShared(); }
+
+bool OpGate::TryLockOrQueue(GrantFn grant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (CanAcquireLocked(/*exclusive=*/true)) {
+    writer_ = true;
+    return true;
+  }
+  waiters_.push_back(Waiter{/*exclusive=*/true, nullptr, std::move(grant)});
+  return false;
+}
+
+bool OpGate::TryLockSharedOrQueue(GrantFn grant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (CanAcquireLocked(/*exclusive=*/false)) {
+    readers_++;
+    return true;
+  }
+  waiters_.push_back(Waiter{/*exclusive=*/false, nullptr, std::move(grant)});
+  return false;
+}
+
+std::vector<OpGate::GrantFn> OpGate::GrantLocked() {
+  std::vector<GrantFn> fire;
+  if (waiters_.empty() || writer_) {
+    return fire;
+  }
+  if (waiters_.front().exclusive) {
+    if (readers_ != 0) {
+      return fire;  // writer waits for the last reader's release
+    }
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    writer_ = true;
+    if (w.granted != nullptr) {
+      *w.granted = true;
+      cv_.notify_all();
+    } else {
+      fire.push_back(std::move(w.grant));
+    }
+    return fire;
+  }
+  // Batch: grant every consecutive shared waiter at the head in one pass.
+  bool notify = false;
+  while (!waiters_.empty() && !waiters_.front().exclusive) {
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    readers_++;
+    if (w.granted != nullptr) {
+      *w.granted = true;
+      notify = true;
+    } else {
+      fire.push_back(std::move(w.grant));
+    }
+  }
+  if (notify) {
+    cv_.notify_all();
+  }
+  return fire;
+}
+
+void OpGate::ReleaseExclusive() {
+  std::vector<GrantFn> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer_ = false;
+    fire = GrantLocked();
+  }
+  for (GrantFn& fn : fire) {
+    fn();
+  }
+}
+
+void OpGate::ReleaseShared() {
+  std::vector<GrantFn> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    readers_--;
+    if (readers_ == 0) {
+      fire = GrantLocked();
+    }
+  }
+  for (GrantFn& fn : fire) {
+    fn();
+  }
+}
+
+}  // namespace mux::core

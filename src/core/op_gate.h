@@ -1,0 +1,97 @@
+// Fair FIFO reader-writer gate for op state machines.
+//
+// A continuation-resumed op acquires its inode lock in one phase (resolve,
+// on the submitting thread) and releases it in another (commit, on a
+// resume-pool worker). std::shared_mutex forbids that: unlock must happen
+// on the locking thread. OpGate's ownership is ACQUISITION-scoped instead
+// of thread-scoped — the gate is a counter + FIFO waiter queue behind a
+// plain mutex/condvar, so a grant on thread A and a release on thread B
+// are just two critical sections TSan fully understands.
+//
+// Semantics:
+//   * Shared/exclusive modes with writer-preferring fairness: a reader
+//     queues behind any waiter (no barging past a parked writer), and
+//     releases grant the queue head — consecutive shared waiters are
+//     granted as one batch.
+//   * Blocking methods use the standard SharedMutex spelling (lock /
+//     unlock / lock_shared / unlock_shared and try_ variants), so
+//     std::shared_lock<OpGate> and std::lock_guard<OpGate> compile
+//     unchanged at every legacy call site.
+//   * Async acquisition (TryLockOrQueue / TryLockSharedOrQueue) never
+//     blocks: it either acquires inline and returns true, or queues a
+//     grant callback and returns false. The callback runs on the RELEASING
+//     thread once the gate is held on the op's behalf, so it must only
+//     enqueue the op's next phase (AsyncIoCore::Resume), never execute
+//     phase work inline.
+//
+// Why ops must hold the shared gate across their device window at all: a
+// racing migration CommitRuns takes the exclusive gate and punches the
+// source blocks it moved; a read that dropped the gate before its tier I/O
+// completed could return zeros for blocks that were remapped mid-flight.
+#ifndef MUX_CORE_OP_GATE_H_
+#define MUX_CORE_OP_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mux::core {
+
+class OpGate {
+ public:
+  using GrantFn = std::function<void()>;
+
+  OpGate() = default;
+  OpGate(const OpGate&) = delete;
+  OpGate& operator=(const OpGate&) = delete;
+
+  // Blocking acquisition (SharedMutex concept).
+  void lock();
+  bool try_lock();
+  void unlock();
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared();
+
+  // Non-blocking acquisition: true = acquired inline, the caller holds the
+  // gate now. false = `grant` was queued and will run exactly once when the
+  // gate is granted to this waiter (the op holds the gate when it runs).
+  bool TryLockOrQueue(GrantFn grant);
+  bool TryLockSharedOrQueue(GrantFn grant);
+
+ private:
+  struct Waiter {
+    bool exclusive = false;
+    bool* granted = nullptr;  // blocking waiter: flag on its stack
+    GrantFn grant;            // async waiter: continuation to fire
+  };
+
+  // True when a new acquisition in `exclusive` mode may proceed inline:
+  // nothing conflicting is held and nobody is queued ahead (fairness).
+  bool CanAcquireLocked(bool exclusive) const {
+    if (!waiters_.empty()) {
+      return false;
+    }
+    return exclusive ? (!writer_ && readers_ == 0) : !writer_;
+  }
+
+  // Grants the queue head (batching consecutive shared waiters) if the
+  // gate is free. Returns async grant fns for the caller to fire AFTER
+  // releasing mu_; blocking waiters are flagged + notified here.
+  std::vector<GrantFn> GrantLocked();
+  void ReleaseExclusive();
+  void ReleaseShared();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t readers_ = 0;
+  bool writer_ = false;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace mux::core
+
+#endif  // MUX_CORE_OP_GATE_H_

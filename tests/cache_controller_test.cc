@@ -291,6 +291,9 @@ TEST_F(CacheControllerTest, AggregationCoalescesDaxWrites) {
   direct.capacity_blocks = 128;
   direct.admission_threshold = 1;
   direct.agg_buffer_bytes = 0;  // block-at-a-time ablation
+  // One shard = one staging lane, so the flush geometry below is exact
+  // (the per-shard split divides the buffer otherwise).
+  direct.shards = 1;
   direct.cache_path = "/.cache_direct";
   CacheController direct_cache(&novafs_, &clock_, costs_, direct);
   ASSERT_TRUE(direct_cache.Init().ok());
@@ -317,6 +320,22 @@ TEST_F(CacheControllerTest, AggregationCoalescesDaxWrites) {
   std::vector<uint8_t> out(kBlock);
   ASSERT_TRUE(agg_cache.TryRead(42, 0, 0, kBlock, out.data()));
   ASSERT_TRUE(direct_cache.TryRead(42, 0, 0, kBlock, out.data()));
+
+  // Sharded staging splits the same budget into per-shard lanes: flushes
+  // are smaller but coalescing survives (strictly fewer DAX writes than
+  // block-at-a-time), and every staged block still lands.
+  CacheController::Options sharded = agg;
+  sharded.shards = 4;
+  sharded.agg_buffer_bytes = 16 * kBlock;  // 4 blocks per lane
+  sharded.cache_path = "/.cache_agg_sharded";
+  CacheController sharded_cache(&novafs_, &clock_, costs_, sharded);
+  ASSERT_TRUE(sharded_cache.Init().ok());
+  pm_.ResetStats();
+  admit(sharded_cache, kAdmissions);
+  EXPECT_LT(pm_.stats().write_ops, kAdmissions / 2);
+  EXPECT_EQ(sharded_cache.stats().admissions, kAdmissions);
+  ASSERT_TRUE(sharded_cache.TryRead(42, 0, 0, kBlock, out.data()));
+  EXPECT_TRUE(sharded_cache.CheckConsistency().ok());
 }
 
 // A staged block invalidated before its flush must not resurface when the

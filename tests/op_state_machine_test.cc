@@ -1,0 +1,851 @@
+// Op state machine tests: exactly-once FanIn resumption for every
+// completion outcome (ok / EIO / cancel / ring-reject / shutdown drain),
+// OpGate acquisition-scoped ownership (cross-thread release, FIFO fairness,
+// async grants), ReadAsync/WriteAsync correctness against the sync path,
+// striped mirror read fan-in surviving mid-stripe tier death (failover must
+// resume the op, never park it), and the acceptance regression: at high
+// in-flight the default data path executes ZERO CompletionGroup::Await
+// calls while mux.op.inflight far exceeds the resume-pool size.
+//
+// The stress cases run under TSan/ASan in CI (tsan job, next to
+// parallel_stress_test and mirror_stress_test).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/async_io.h"
+#include "src/core/mux.h"
+#include "src/core/op_gate.h"
+#include "src/device/block_device.h"
+#include "src/device/pm_device.h"
+#include "src/fs/extlite/extlite.h"
+#include "src/fs/novafs/novafs.h"
+#include "src/fs/xfslite/xfslite.h"
+#include "src/obs/metrics.h"
+#include "src/vfs/fault_injecting_fs.h"
+#include "tests/mux_rig.h"
+
+namespace mux::core {
+namespace {
+
+using testing::ExtOptionsFor;
+using testing::MuxRig;
+using testing::MuxRigSizes;
+using testing::XfsOptionsFor;
+using vfs::FaultInjectingFs;
+using vfs::OpenFlags;
+
+constexpr TierId kQueue = 7;
+constexpr uint64_t kBlock = Mux::kBlockSize;
+
+// A latch the tests use to pin a server thread inside fn (or a resume
+// worker inside a done callback).
+class Gate {
+ public:
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+AsyncIoRequest MakeRequest(std::function<Status()> fn,
+                           AsyncContinuation on_complete) {
+  AsyncIoRequest request;
+  request.queue = kQueue;
+  request.bytes = 4096;
+  request.fn = std::move(fn);
+  request.on_complete = std::move(on_complete);
+  return request;
+}
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Rng rng(seed);
+  rng.Fill(v.data(), n);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// FanIn: the non-blocking join must fire its done exactly once for every
+// mix of completion outcomes, with the same aggregation CompletionGroup
+// produces.
+// ---------------------------------------------------------------------------
+
+TEST(FanInTest, ZeroExpectedFiresBeforeCreateReturns) {
+  int calls = 0;
+  auto fan = FanIn::Create(0, [&calls](const AsyncJoined& joined) {
+    ++calls;
+    EXPECT_TRUE(joined.status.ok());
+    EXPECT_EQ(joined.completed, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(FanInTest, AllOkFiresExactlyOnce) {
+  SimClock clock;
+  AsyncIoCore core(&clock, nullptr, /*resume_workers=*/2);
+  core.RegisterQueue(kQueue, "q", /*queue_depth=*/4, /*servers=*/2);
+
+  std::atomic<int> done_calls{0};
+  Gate joined_gate;
+  AsyncJoined got;
+  auto fan = FanIn::Create(8, [&](const AsyncJoined& joined) {
+    got = joined;
+    done_calls.fetch_add(1);
+    joined_gate.Open();
+  });
+  for (int i = 0; i < 8; ++i) {
+    auto ticket = core.Submit(MakeRequest(
+        [&clock]() -> Status {
+          clock.Advance(100);
+          return Status::Ok();
+        },
+        fan->Add()));
+    ASSERT_TRUE(ticket.ok());
+  }
+  joined_gate.Wait();
+  EXPECT_EQ(done_calls.load(), 1);
+  EXPECT_TRUE(got.status.ok());
+  EXPECT_EQ(got.completed, 8u);
+  EXPECT_EQ(got.failed, 0u);
+  EXPECT_EQ(got.cancelled, 0u);
+  // Overlap-charged join figure: every completion took 100ns of service.
+  EXPECT_GE(got.max_total_ns, 100u);
+  core.Shutdown();
+}
+
+TEST(FanInTest, FirstErrorWinsAndFailuresCount) {
+  SimClock clock;
+  AsyncIoCore core(&clock, nullptr, /*resume_workers=*/1);
+  core.RegisterQueue(kQueue, "q", /*queue_depth=*/1, /*servers=*/1);
+
+  std::atomic<int> done_calls{0};
+  Gate joined_gate;
+  AsyncJoined got;
+  auto fan = FanIn::Create(4, [&](const AsyncJoined& joined) {
+    got = joined;
+    done_calls.fetch_add(1);
+    joined_gate.Open();
+  });
+  for (int i = 0; i < 4; ++i) {
+    const bool fail = (i % 2 == 1);
+    auto ticket = core.Submit(MakeRequest(
+        [fail]() -> Status {
+          return fail ? IoError("injected") : Status::Ok();
+        },
+        fan->Add()));
+    ASSERT_TRUE(ticket.ok());
+  }
+  joined_gate.Wait();
+  EXPECT_EQ(done_calls.load(), 1);
+  EXPECT_EQ(got.status.code(), ErrorCode::kIoError);
+  EXPECT_EQ(got.completed, 4u);
+  EXPECT_EQ(got.failed, 2u);
+  core.Shutdown();
+}
+
+TEST(FanInTest, CancelledSubmissionsStillResumeTheJoin) {
+  SimClock clock;
+  AsyncIoCore core(&clock, nullptr, /*resume_workers=*/1);
+  core.RegisterQueue(kQueue, "q", /*queue_depth=*/1, /*servers=*/1);
+
+  Gate server_gate;
+  std::atomic<int> done_calls{0};
+  Gate joined_gate;
+  AsyncJoined got;
+  auto fan = FanIn::Create(4, [&](const AsyncJoined& joined) {
+    got = joined;
+    done_calls.fetch_add(1);
+    joined_gate.Open();
+  });
+  // One blocker pins the single server; the rest stay queued and are
+  // cancellable. Wait until the server actually claimed the blocker, or a
+  // follow-up could be claimed (and become uncancellable) instead.
+  std::atomic<bool> claimed{false};
+  auto blocker = core.Submit(MakeRequest(
+      [&server_gate, &claimed]() -> Status {
+        claimed.store(true);
+        server_gate.Wait();
+        return Status::Ok();
+      },
+      fan->Add()));
+  ASSERT_TRUE(blocker.ok());
+  while (!claimed.load()) {
+    std::this_thread::yield();
+  }
+  std::vector<AsyncTicket> queued;
+  for (int i = 0; i < 3; ++i) {
+    auto ticket = core.Submit(
+        MakeRequest([]() -> Status { return Status::Ok(); }, fan->Add()));
+    ASSERT_TRUE(ticket.ok());
+    queued.push_back(*ticket);
+  }
+  int cancelled = 0;
+  for (const auto& ticket : queued) {
+    if (core.Cancel(ticket)) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(cancelled, 3);  // nothing but the blocker was claimable
+  server_gate.Open();
+  joined_gate.Wait();
+  EXPECT_EQ(done_calls.load(), 1);
+  EXPECT_EQ(got.completed, 4u);
+  EXPECT_EQ(got.cancelled, 3u);
+  EXPECT_EQ(got.status.code(), ErrorCode::kBusy);  // cancellation is kBusy
+  core.Shutdown();
+}
+
+TEST(FanInTest, RingRejectResumesInlineAndJoins) {
+  SimClock clock;
+  AsyncIoCore core(&clock, nullptr, /*resume_workers=*/1);
+  // Bounded ring: one slot, one server. The blocker occupies the server,
+  // one request fills the ring, further submits are rejected inline.
+  core.RegisterQueue(kQueue, "q", /*queue_depth=*/1, /*servers=*/1,
+                     /*bound=*/1);
+
+  Gate server_gate;
+  std::atomic<int> done_calls{0};
+  Gate joined_gate;
+  AsyncJoined got;
+  auto fan = FanIn::Create(4, [&](const AsyncJoined& joined) {
+    got = joined;
+    done_calls.fetch_add(1);
+    joined_gate.Open();
+  });
+  std::atomic<bool> claimed{false};
+  auto blocker = core.Submit(MakeRequest(
+      [&server_gate, &claimed]() -> Status {
+        claimed.store(true);
+        server_gate.Wait();
+        return Status::Ok();
+      },
+      fan->Add()));
+  ASSERT_TRUE(blocker.ok());
+  // Wait for the server to claim the blocker so the one-slot ring is empty
+  // for the filler.
+  while (!claimed.load()) {
+    std::this_thread::yield();
+  }
+  auto filler = core.Submit(
+      MakeRequest([]() -> Status { return Status::Ok(); }, fan->Add()));
+  ASSERT_TRUE(filler.ok());
+  int rejected = 0;
+  for (int i = 0; i < 2; ++i) {
+    // The continuation runs inline as cancelled-with-kBusy BEFORE Submit
+    // returns the error — the fan-in can never hang on a rejected slot.
+    auto ticket = core.Submit(
+        MakeRequest([]() -> Status { return Status::Ok(); }, fan->Add()));
+    if (!ticket.ok()) {
+      EXPECT_EQ(ticket.status().code(), ErrorCode::kBusy);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 2);
+  server_gate.Open();
+  joined_gate.Wait();
+  EXPECT_EQ(done_calls.load(), 1);
+  EXPECT_EQ(got.completed, 4u);
+  EXPECT_EQ(got.cancelled, 2u);
+  EXPECT_EQ(core.stats().rejected, 2u);
+  core.Shutdown();
+}
+
+TEST(FanInTest, ShutdownDrainRunsEveryContinuationExactlyOnce) {
+  SimClock clock;
+  AsyncIoCore core(&clock, nullptr, /*resume_workers=*/2);
+  core.RegisterQueue(kQueue, "q", /*queue_depth=*/2, /*servers=*/2);
+  core.Shutdown();
+
+  // Post-shutdown submissions run inline on this thread; the fan-in fires
+  // before the loop exits and exactly once.
+  std::atomic<int> done_calls{0};
+  std::atomic<int> continuations{0};
+  auto fan = FanIn::Create(3, [&](const AsyncJoined& joined) {
+    EXPECT_EQ(joined.completed, 3u);
+    EXPECT_TRUE(joined.status.ok());
+    done_calls.fetch_add(1);
+  });
+  for (int i = 0; i < 3; ++i) {
+    auto ticket = core.Submit(MakeRequest(
+        []() -> Status { return Status::Ok(); },
+        fan->Add([&continuations](const AsyncCompletion&) {
+          continuations.fetch_add(1);
+        })));
+    ASSERT_TRUE(ticket.ok());
+  }
+  EXPECT_EQ(continuations.load(), 3);
+  EXPECT_EQ(done_calls.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// OpGate: acquisition-scoped ownership. The properties the op state machine
+// leans on: release on a different thread than acquire, FIFO fairness (no
+// reader barging past a queued writer), and async grants that run exactly
+// once on the releasing thread.
+// ---------------------------------------------------------------------------
+
+TEST(OpGateTest, ExclusiveExcludesAcrossThreads) {
+  OpGate gate;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        std::lock_guard<OpGate> lock(gate);
+        ++counter;  // data-race-free iff the gate excludes
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(OpGateTest, ReleaseOnDifferentThreadIsLegal) {
+  OpGate gate;
+  gate.lock();
+  // std::shared_mutex forbids this; OpGate's ownership is acquisition-
+  // scoped, so a resume worker may release what the submit thread acquired.
+  std::thread other([&gate] { gate.unlock(); });
+  other.join();
+  EXPECT_TRUE(gate.try_lock());
+  std::thread shared_release([&gate] {
+    gate.unlock();
+    gate.lock_shared();
+  });
+  shared_release.join();
+  EXPECT_FALSE(gate.try_lock());        // a reader is in
+  EXPECT_TRUE(gate.try_lock_shared());  // shared mode admits more readers
+  gate.unlock_shared();
+  gate.unlock_shared();
+  EXPECT_TRUE(gate.try_lock());
+  gate.unlock();
+}
+
+TEST(OpGateTest, ReadersDoNotBargePastQueuedWriter) {
+  OpGate gate;
+  gate.lock_shared();  // reader holds the gate
+
+  std::atomic<int> writer_granted{0};
+  std::atomic<int> reader_granted{0};
+  EXPECT_FALSE(gate.TryLockOrQueue([&] { writer_granted.fetch_add(1); }));
+  // Fairness: a new reader queues BEHIND the parked writer even though the
+  // gate is currently in shared mode.
+  EXPECT_FALSE(
+      gate.TryLockSharedOrQueue([&] { reader_granted.fetch_add(1); }));
+  EXPECT_EQ(writer_granted.load(), 0);
+  EXPECT_EQ(reader_granted.load(), 0);
+
+  gate.unlock_shared();  // grants the writer (queue head), not the reader
+  EXPECT_EQ(writer_granted.load(), 1);
+  EXPECT_EQ(reader_granted.load(), 0);
+
+  gate.unlock();  // writer's turn ends; the queued reader is granted
+  EXPECT_EQ(writer_granted.load(), 1);
+  EXPECT_EQ(reader_granted.load(), 1);
+  gate.unlock_shared();
+  EXPECT_TRUE(gate.try_lock());
+  gate.unlock();
+}
+
+TEST(OpGateTest, AsyncGrantRunsExactlyOnceOnReleasingThread) {
+  OpGate gate;
+  gate.lock();
+
+  std::atomic<int> grants{0};
+  std::thread::id grant_thread;
+  EXPECT_FALSE(gate.TryLockOrQueue([&] {
+    grant_thread = std::this_thread::get_id();
+    grants.fetch_add(1);
+  }));
+
+  std::thread::id releaser_thread;
+  std::thread releaser([&] {
+    releaser_thread = std::this_thread::get_id();
+    gate.unlock();  // fires the grant on THIS thread, after dropping mu_
+  });
+  releaser.join();
+  EXPECT_EQ(grants.load(), 1);
+  EXPECT_EQ(grant_thread, releaser_thread);
+  gate.unlock();  // the grant left the gate held on the op's behalf
+  EXPECT_TRUE(gate.try_lock());
+  gate.unlock();
+}
+
+TEST(OpGateTest, ConsecutiveSharedWaitersGrantAsOneBatch) {
+  OpGate gate;
+  gate.lock();
+  std::atomic<int> granted{0};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(gate.TryLockSharedOrQueue([&] { granted.fetch_add(1); }));
+  }
+  gate.unlock();
+  EXPECT_EQ(granted.load(), 3);  // one release admits the whole batch
+  gate.unlock_shared();
+  gate.unlock_shared();
+  gate.unlock_shared();
+  EXPECT_TRUE(gate.try_lock());
+  gate.unlock();
+}
+
+// ---------------------------------------------------------------------------
+// Mux::ReadAsync / WriteAsync: the state machine must produce the same
+// bytes as the sync path, in both the continuation and fallback modes.
+// ---------------------------------------------------------------------------
+
+TEST(OpStateMachineTest, AsyncRoundtripMatchesSyncPath) {
+  MuxRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  auto h = mux.Open("/async_rt", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  const auto data = Pattern(17 * kBlock + 123, 42);
+
+  Gate wrote;
+  Result<uint64_t> wrote_result = uint64_t{0};
+  mux.WriteAsync(*h, 0, data.data(), data.size(),
+                 [&](Result<uint64_t> result) {
+                   wrote_result = std::move(result);
+                   wrote.Open();
+                 });
+  wrote.Wait();
+  ASSERT_TRUE(wrote_result.ok());
+  EXPECT_EQ(*wrote_result, data.size());
+
+  std::vector<uint8_t> async_out(data.size());
+  Gate read;
+  Result<uint64_t> read_result = uint64_t{0};
+  mux.ReadAsync(*h, 0, async_out.size(), async_out.data(),
+                [&](Result<uint64_t> result) {
+                  read_result = std::move(result);
+                  read.Open();
+                });
+  read.Wait();
+  ASSERT_TRUE(read_result.ok());
+  EXPECT_EQ(*read_result, data.size());
+  EXPECT_EQ(std::memcmp(async_out.data(), data.data(), data.size()), 0);
+
+  std::vector<uint8_t> sync_out(data.size());
+  auto got = mux.Read(*h, 0, sync_out.size(), sync_out.data());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::memcmp(sync_out.data(), async_out.data(), data.size()), 0);
+  EXPECT_TRUE(mux.Close(*h).ok());
+}
+
+TEST(OpStateMachineTest, AblationFallbackCompletesInlineBeforeReturn) {
+  Mux::Options options;
+  options.continuation_ops = false;  // ablation: no state machine
+  MuxRig rig(options);
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  auto h = mux.Open("/inline", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  const auto data = Pattern(4 * kBlock, 7);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  bool done_ran = false;
+  mux.WriteAsync(*h, 0, data.data(), data.size(), [&](Result<uint64_t> r) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_TRUE(r.ok());
+    done_ran = true;
+  });
+  EXPECT_TRUE(done_ran);  // sync-inline: done already ran
+
+  std::vector<uint8_t> out(data.size());
+  done_ran = false;
+  mux.ReadAsync(*h, 0, out.size(), out.data(), [&](Result<uint64_t> r) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, out.size());
+    done_ran = true;
+  });
+  EXPECT_TRUE(done_ran);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+  EXPECT_TRUE(mux.Close(*h).ok());
+}
+
+// The acceptance regression for the tentpole: drive in-flight far above the
+// resume-pool size with done callbacks latched, and assert the default data
+// path executed ZERO CompletionGroup::Await calls — no thread blocked
+// between submission and completion — while mux.op.inflight proves the ops
+// really were concurrent.
+TEST(OpStateMachineTest, ZeroBlockingAwaitsAtHighInFlight) {
+  MuxRig rig;  // default options: continuation_ops=true, resume_workers=2
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  constexpr int kOps = 64;
+  auto h = mux.Open("/hif", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  const auto data = Pattern(kOps * kBlock, 11);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+
+  const uint64_t awaits_before = CompletionGroup::await_count();
+
+  Gate release_dones;
+  std::atomic<int> dones{0};
+  Gate all_done;
+  std::vector<std::vector<uint8_t>> outs(kOps,
+                                         std::vector<uint8_t>(kBlock));
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kOps; ++i) {
+    mux.ReadAsync(*h, static_cast<uint64_t>(i) * kBlock, kBlock,
+                  outs[i].data(), [&](Result<uint64_t> result) {
+                    // Runs on a resume worker. Latching here pins the pool:
+                    // later completions must queue, so admitted ops stack
+                    // up and mux.op.inflight records the pile-up.
+                    release_dones.Wait();
+                    if (!result.ok()) {
+                      failures.fetch_add(1);
+                    }
+                    if (dones.fetch_add(1) + 1 == kOps) {
+                      all_done.Open();
+                    }
+                  });
+  }
+  // Every submission returned while its completion was still latched: the
+  // caller thread never parked. Now drain.
+  release_dones.Open();
+  all_done.Wait();
+  EXPECT_EQ(dones.load(), kOps);
+  EXPECT_EQ(failures.load(), 0);
+
+  // Zero blocking joins on the default data path...
+  EXPECT_EQ(CompletionGroup::await_count() - awaits_before, 0u);
+  // ...while concurrency far exceeded what blocked threads could produce:
+  // with a 2-worker resume pool, any Await-style path would cap in-flight
+  // near the pool size.
+  const Histogram inflight = mux.metrics().HistogramValue("mux.op.inflight");
+  EXPECT_GE(inflight.max(), 16u)
+      << "expected admitted ops to pile far above the resume pool";
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(std::memcmp(outs[i].data(), data.data() + i * kBlock, kBlock),
+              0)
+        << "op " << i;
+  }
+  EXPECT_TRUE(mux.Close(*h).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Striped mirror fan-in under tier death. A mirrored file's reads stripe
+// across the copies (multi-resident runs), so one ReadAsync fans into
+// per-tier chains. Killing a tier mid-stripe must fail over INSIDE the
+// chain and resume the op — every done fires, no read fails, nothing parks.
+// ---------------------------------------------------------------------------
+
+// MuxRig with every tier behind a FaultInjectingFs wrapper (the
+// mirror_stress_test rig, continuation-path edition).
+class FaultRig {
+ public:
+  explicit FaultRig(Mux::Options options = Mux::Options())
+      : pm_dev_(device::DeviceProfile::OptanePm(sizes_.pm_bytes), &clock_),
+        ssd_dev_(device::DeviceProfile::OptaneSsd(sizes_.ssd_bytes), &clock_),
+        hdd_dev_(device::DeviceProfile::ExosHdd(sizes_.hdd_bytes), &clock_),
+        novafs_(&pm_dev_, &clock_),
+        xfslite_(&ssd_dev_, &clock_, XfsOptionsFor(sizes_)),
+        extlite_(&hdd_dev_, &clock_, ExtOptionsFor(sizes_)),
+        pm_(&novafs_, 301),
+        ssd_(&xfslite_, 302),
+        hdd_(&extlite_, 303),
+        mux_(std::make_unique<Mux>(&clock_, std::move(options))) {
+    ok_ = novafs_.Format().ok() && xfslite_.Format().ok() &&
+          extlite_.Format().ok();
+    auto pm = mux_->AddTier("pm", &pm_, pm_dev_.profile());
+    auto ssd = mux_->AddTier("ssd", &ssd_, ssd_dev_.profile());
+    auto hdd = mux_->AddTier("hdd", &hdd_, hdd_dev_.profile());
+    ok_ = ok_ && pm.ok() && ssd.ok() && hdd.ok();
+    ssd_tier_ = ssd.value_or(kInvalidTier);
+    hdd_tier_ = hdd.value_or(kInvalidTier);
+  }
+
+  bool ok() const { return ok_; }
+  Mux& mux() { return *mux_; }
+  FaultInjectingFs& ssd() { return ssd_; }
+  FaultInjectingFs& hdd() { return hdd_; }
+  TierId ssd_tier() const { return ssd_tier_; }
+  TierId hdd_tier() const { return hdd_tier_; }
+
+ private:
+  MuxRigSizes sizes_;
+  SimClock clock_;
+  device::PmDevice pm_dev_;
+  device::BlockDevice ssd_dev_;
+  device::BlockDevice hdd_dev_;
+  fs::NovaFs novafs_;
+  fs::XfsLite xfslite_;
+  fs::ExtLite extlite_;
+  FaultInjectingFs pm_;
+  FaultInjectingFs ssd_;
+  FaultInjectingFs hdd_;
+  std::unique_ptr<Mux> mux_;
+  TierId ssd_tier_ = kInvalidTier;
+  TierId hdd_tier_ = kInvalidTier;
+  bool ok_ = false;
+};
+
+TEST(OpStateMachineTest, StripedMirrorReadResumesThroughTierDeath) {
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  constexpr uint64_t kBlocks = 48;
+  auto h = mux.Open("/striped", OpenFlags::kCreateRw);
+  ASSERT_TRUE(h.ok());
+  const auto data = Pattern(kBlocks * kBlock, 55);
+  ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+  // Two clean copies: SSD primary + HDD mirror. Wide reads stripe across
+  // both, so each ReadAsync fans into one chain per tier.
+  ASSERT_TRUE(mux.MigrateFile("/striped", rig.ssd_tier()).ok());
+  ASSERT_TRUE(mux.ReplicateFile("/striped", rig.hdd_tier()).ok());
+
+  // Phase 1: the SSD copy is dead BEFORE the stripe is submitted — its
+  // chain must fail over to the HDD copy inside the chain fn and the op
+  // must still commit via the fan-in (guaranteed failover).
+  rig.ssd().KillDevice();
+  {
+    std::vector<uint8_t> out(data.size());
+    Gate done_gate;
+    Result<uint64_t> result = uint64_t{0};
+    mux.ReadAsync(*h, 0, out.size(), out.data(), [&](Result<uint64_t> r) {
+      result = std::move(r);
+      done_gate.Open();
+    });
+    done_gate.Wait();
+    ASSERT_TRUE(result.ok())
+        << "mirrored stripe must fail over, not fail: " << result.status();
+    EXPECT_EQ(*result, data.size());
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+  }
+  EXPECT_GT(mux.metrics().CounterValue("mux.replica.failover"), 0u);
+  rig.ssd().Revive();
+
+  // Phase 2: tier death races in-flight stripes. Alternate the victim while
+  // async reads pound both copies; with one copy always alive, every done
+  // must fire with ok — the fan-in resumes the op through the failover, it
+  // never parks waiting for the dead tier.
+  std::atomic<int> issued{0};
+  std::atomic<int> delivered{0};
+  std::atomic<int> failed{0};
+  std::atomic<int> corrupt{0};
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    Rng rng(91);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t lo_block = rng.Below(kBlocks - 16);
+      const uint64_t len = (8 + rng.Below(8)) * kBlock;
+      auto out = std::make_shared<std::vector<uint8_t>>(len);
+      issued.fetch_add(1);
+      mux.ReadAsync(*h, lo_block * kBlock, len, out->data(),
+                    [&, out, lo_block, len](Result<uint64_t> r) {
+                      if (!r.ok()) {
+                        failed.fetch_add(1);
+                      } else if (std::memcmp(out->data(),
+                                             data.data() + lo_block * kBlock,
+                                             len) != 0) {
+                        corrupt.fetch_add(1);
+                      }
+                      delivered.fetch_add(1);
+                    });
+      if (issued.load() - delivered.load() > 64) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  for (int round = 0; round < 6; ++round) {
+    FaultInjectingFs& victim = (round % 2 == 0) ? rig.ssd() : rig.hdd();
+    victim.KillDevice();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    victim.Revive();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  reader.join();
+  // Exactly-once resumption: every issued op's done fires even with tiers
+  // dying mid-stripe.
+  for (int spin = 0; spin < 2000 && delivered.load() < issued.load();
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.load(), issued.load());
+  EXPECT_GT(issued.load(), 0);
+  EXPECT_EQ(failed.load(), 0)
+      << "a mirrored read with one surviving copy must never fail";
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_TRUE(mux.Close(*h).ok());
+}
+
+// ---------------------------------------------------------------------------
+// TSan/ASan stress: concurrent async ops racing cancellation (core level)
+// and policy rounds + mirror sync (mux level).
+// ---------------------------------------------------------------------------
+
+TEST(OpStateMachineStress, SubmitRacesCancelExactlyOnce) {
+  SimClock clock;
+  AsyncIoCore core(&clock, nullptr, /*resume_workers=*/2);
+  core.RegisterQueue(kQueue, "q", /*queue_depth=*/2, /*servers=*/2);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  std::atomic<int> continuations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(500 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        auto ticket = core.Submit(MakeRequest(
+            [&clock]() -> Status {
+              clock.Advance(10);
+              return Status::Ok();
+            },
+            [&continuations](const AsyncCompletion&) {
+              continuations.fetch_add(1);
+            }));
+        ASSERT_TRUE(ticket.ok());
+        // Race a cancellation against the servers: either outcome must
+        // deliver the continuation exactly once.
+        if (rng.Below(2) == 0) {
+          (void)core.Cancel(*ticket);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  core.Shutdown();
+  EXPECT_EQ(continuations.load(), kThreads * kPerThread);
+  const AsyncCoreStats stats = core.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+TEST(OpStateMachineStress, AsyncOpsRacePolicyRoundsAndTierDeath) {
+  FaultRig rig;
+  ASSERT_TRUE(rig.ok());
+  auto& mux = rig.mux();
+
+  constexpr int kFiles = 3;
+  constexpr uint64_t kBlocksPerFile = 24;
+  std::vector<vfs::FileHandle> handles;
+  for (int f = 0; f < kFiles; ++f) {
+    const std::string path = "/s" + std::to_string(f);
+    auto h = mux.Open(path, OpenFlags::kCreateRw);
+    ASSERT_TRUE(h.ok());
+    auto data = Pattern(kBlocksPerFile * kBlock, 700 + f);
+    ASSERT_TRUE(mux.Write(*h, 0, data.data(), data.size()).ok());
+    ASSERT_TRUE(mux.MigrateFile(path, rig.ssd_tier()).ok());
+    ASSERT_TRUE(mux.ReplicateFile(path, rig.hdd_tier()).ok());
+    handles.push_back(*h);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> issued{0};
+  std::atomic<uint64_t> delivered{0};
+
+  // Async read/write load. Writes dirty mirrors, so reads during a kill MAY
+  // legitimately fail (sole clean copy dead) — the ledger, not the status,
+  // is the assertion: every op's done fires exactly once.
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(800 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int f = static_cast<int>(rng.Below(kFiles));
+        const uint64_t lo =
+            rng.Below(kBlocksPerFile - 4) * kBlock;
+        const uint64_t len = (1 + rng.Below(4)) * kBlock;
+        issued.fetch_add(1);
+        if (rng.Below(4) == 0) {
+          auto buf = std::make_shared<std::vector<uint8_t>>(
+              Pattern(len, rng.Next()));
+          mux.WriteAsync(handles[f], lo, buf->data(), len,
+                         [&, buf](Result<uint64_t>) {
+                           delivered.fetch_add(1);
+                         });
+        } else {
+          auto buf = std::make_shared<std::vector<uint8_t>>(len);
+          mux.ReadAsync(handles[f], lo, len, buf->data(),
+                        [&, buf](Result<uint64_t>) {
+                          delivered.fetch_add(1);
+                        });
+        }
+        if (issued.load() - delivered.load() > 32) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+  // Policy rounds (exclusive inode gates + migrations) race the ops.
+  std::thread policy([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)mux.RunPolicyMigrations();
+      (void)mux.SyncMirrors(64 * kBlock);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  // Chaos: one tier dead at a time.
+  for (int round = 0; round < 4; ++round) {
+    FaultInjectingFs& victim = (round % 2 == 0) ? rig.ssd() : rig.hdd();
+    victim.KillDevice();
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    victim.Revive();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : workers) {
+    t.join();
+  }
+  policy.join();
+  for (int spin = 0; spin < 2000 && delivered.load() < issued.load();
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(delivered.load(), issued.load())
+      << "every async op must resume exactly once through policy rounds "
+         "and tier death";
+  EXPECT_GT(issued.load(), 0u);
+
+  // After the dust settles the stack must still be coherent: reconcile
+  // mirrors until idle, then a clean Fsck.
+  while (true) {
+    auto synced = mux.SyncMirrors();
+    ASSERT_TRUE(synced.ok());
+    if (*synced == 0) {
+      break;
+    }
+  }
+  auto report = mux.Fsck();
+  ASSERT_TRUE(report.ok());
+  for (auto h : handles) {
+    EXPECT_TRUE(mux.Close(h).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mux::core
